@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	renuver "repro"
+)
+
+func TestRunToFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "glass.csv")
+	if err := run("glass", 50, 3, out, nil); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := renuver.LoadCSVFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 50 || rel.Schema().Len() != 11 {
+		t.Errorf("shape = %dx%d", rel.Len(), rel.Schema().Len())
+	}
+}
+
+func TestRunToStdout(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run("bridges", 20, 1, "", &buf); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := renuver.LoadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 20 {
+		t.Errorf("rows = %d", rel.Len())
+	}
+}
+
+func TestRunDefaultSize(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run("bridges", 0, 1, "", &buf); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := renuver.LoadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 108 { // Table 3 size
+		t.Errorf("default size = %d, want 108", rel.Len())
+	}
+}
+
+func TestRunJSONLinesOutput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "cars.jsonl")
+	if err := run("cars", 15, 1, out, nil); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := renuver.LoadJSONLinesFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 15 || rel.Schema().Len() != 9 {
+		t.Errorf("shape = %dx%d", rel.Len(), rel.Schema().Len())
+	}
+}
+
+func TestRunUnknownDataset(t *testing.T) {
+	if err := run("bogus", 0, 1, "", nil); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if err := run("bogus", 10, 1, "", nil); err == nil {
+		t.Error("unknown dataset with explicit n accepted")
+	}
+}

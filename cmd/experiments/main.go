@@ -1,0 +1,168 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -exp table3|figure2|figure3|table4|table5|ablations|scaling|extended|all
+//	            [-scale quick|full|bench] [-format text|csv]
+//
+// Text output is the numeric series behind each figure (one row per
+// series point) and aligned text for each table; csv output is one
+// machine-readable block per experiment. See EXPERIMENTS.md for the
+// paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: table3, figure2, figure3, table4, table5, ablations, scaling, extended, mechanisms, all")
+		scale  = flag.String("scale", "quick", "campaign scale: quick, full, bench")
+		format = flag.String("format", "text", "output format: text, csv")
+	)
+	flag.Parse()
+	if err := run(*exp, *scale, *format, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp, scaleName, format string, w io.Writer) error {
+	s, ok := experiments.ScaleByName(scaleName)
+	if !ok {
+		return fmt.Errorf("unknown scale %q", scaleName)
+	}
+	if format != "text" && format != "csv" {
+		return fmt.Errorf("unknown format %q", format)
+	}
+	env := experiments.NewEnv(s)
+	fmt.Fprintf(w, "# scale=%s seed=%d format=%s\n\n", s.Name, s.Seed, format)
+
+	type step struct {
+		name string
+		fn   func() error
+	}
+	steps := []step{
+		{"table3", func() error {
+			rows, err := experiments.Table3(env)
+			if err != nil {
+				return err
+			}
+			if format == "csv" {
+				return experiments.WriteTable3CSV(w, rows, env.Scale)
+			}
+			_, err = io.WriteString(w, experiments.RenderTable3(rows, env.Scale))
+			return err
+		}},
+		{"figure2", func() error {
+			cells, err := experiments.Figure2(env)
+			if err != nil {
+				return err
+			}
+			if format == "csv" {
+				return experiments.WriteFigure2CSV(w, cells)
+			}
+			_, err = io.WriteString(w, experiments.RenderFigure2(cells, env.Scale))
+			return err
+		}},
+		{"figure3", func() error {
+			points, err := experiments.Figure3(env)
+			if err != nil {
+				return err
+			}
+			if format == "csv" {
+				return experiments.WriteFigure3CSV(w, points)
+			}
+			_, err = io.WriteString(w, experiments.RenderFigure3(points, env.Scale))
+			return err
+		}},
+		{"table4", func() error {
+			rows, err := experiments.Table4(env)
+			if err != nil {
+				return err
+			}
+			if format == "csv" {
+				return experiments.WriteStressCSV(w, rows)
+			}
+			_, err = io.WriteString(w, experiments.RenderStress(rows))
+			return err
+		}},
+		{"table5", func() error {
+			rows, err := experiments.Table5(env)
+			if err != nil {
+				return err
+			}
+			if format == "csv" {
+				return experiments.WriteStressCSV(w, rows)
+			}
+			_, err = io.WriteString(w, experiments.RenderStress(rows))
+			return err
+		}},
+		{"ablations", func() error {
+			rows, err := experiments.Ablations(env)
+			if err != nil {
+				return err
+			}
+			if format == "csv" {
+				return experiments.WriteAblationsCSV(w, rows)
+			}
+			_, err = io.WriteString(w, experiments.RenderAblations(rows))
+			return err
+		}},
+		{"scaling", func() error {
+			rows, err := experiments.ComplexityScaling(env)
+			if err != nil {
+				return err
+			}
+			if format == "csv" {
+				return experiments.WriteScalingCSV(w, rows)
+			}
+			_, err = io.WriteString(w, experiments.RenderScaling(rows))
+			return err
+		}},
+		{"extended", func() error {
+			points, err := experiments.ExtendedComparison(env)
+			if err != nil {
+				return err
+			}
+			if format == "csv" {
+				return experiments.WriteExtendedCSV(w, points)
+			}
+			_, err = io.WriteString(w, experiments.RenderExtended(points, env.Scale))
+			return err
+		}},
+		{"mechanisms", func() error {
+			rows, err := experiments.MechanismStudy(env)
+			if err != nil {
+				return err
+			}
+			_, err = io.WriteString(w, experiments.RenderMechanisms(rows))
+			return err
+		}},
+	}
+
+	matched := false
+	for _, st := range steps {
+		if exp != "all" && exp != st.name {
+			continue
+		}
+		matched = true
+		start := time.Now()
+		fmt.Fprintf(w, "== %s ==\n", st.name)
+		if err := st.fn(); err != nil {
+			return fmt.Errorf("%s: %w", st.name, err)
+		}
+		fmt.Fprintf(w, "(%s in %s)\n\n", st.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !matched {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := run("table3", "bogus", "text", &sb); err == nil {
+		t.Error("unknown scale accepted")
+	}
+	if err := run("table3", "bench", "xml", &sb); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := run("nonsense", "bench", "text", &sb); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunTable3Text(t *testing.T) {
+	var sb strings.Builder
+	if err := run("table3", "bench", "text", &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"== table3 ==", "restaurant", "thr="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAllBenchCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign in -short mode")
+	}
+	var sb strings.Builder
+	if err := run("all", "bench", "csv", &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"== table3 ==", "== figure2 ==", "== figure3 ==",
+		"== table4 ==", "== table5 ==", "== ablations ==",
+		"== scaling ==", "== extended ==",
+		"dataset,method,rate,precision,recall,f1", // figure3 CSV header
+		"config,recall,precision,f1,time_ms",      // ablations CSV header
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q", want)
+		}
+	}
+}
+
+func TestRunScalingCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := run("scaling", "bench", "csv", &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "tuples,sigma,missing,time_ms") {
+		t.Errorf("csv header missing:\n%s", out)
+	}
+}

@@ -1,0 +1,57 @@
+// Command profile prints per-attribute summaries of a CSV or JSON-lines
+// file: null rates, distinctness, numeric ranges, top values, and the
+// sampled mean pairwise distance that informs RFDc threshold selection.
+//
+// Usage:
+//
+//	profile -in data.csv [-topk 5] [-sample-pairs 1000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	renuver "repro"
+	"repro/internal/profile"
+)
+
+func main() {
+	var (
+		in          = flag.String("in", "", "input CSV or .jsonl file (required)")
+		topK        = flag.Int("topk", 5, "top values listed per attribute")
+		samplePairs = flag.Int("sample-pairs", 1000, "pairs sampled for the mean distance")
+		seed        = flag.Int64("seed", 1, "sampling seed")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*in, *topK, *samplePairs, *seed, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "profile:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in string, topK, samplePairs int, seed int64, w io.Writer) error {
+	var rel *renuver.Relation
+	var err error
+	if strings.HasSuffix(in, ".jsonl") || strings.HasSuffix(in, ".ndjson") {
+		rel, err = renuver.LoadJSONLinesFile(in)
+	} else {
+		rel, err = renuver.LoadCSVFile(in)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%d tuples x %d attributes, %d missing cells\n\n",
+		rel.Len(), rel.Schema().Len(), rel.CountMissing())
+	profiles := profile.Relation(rel, profile.Options{
+		TopK: topK, SamplePairs: samplePairs, Seed: seed,
+	})
+	_, err = io.WriteString(w, profile.Render(profiles))
+	return err
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunProfilesCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(path, []byte("City,Score\nLA,1.0\nNY,\nLA,3.0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run(path, 3, 100, 1, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"3 tuples x 2 attributes, 1 missing", "City", "LA(2)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunProfilesJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.jsonl")
+	if err := os.WriteFile(path, []byte("{\"a\":1}\n{\"a\":null}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run(path, 5, 100, 1, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "1 missing") {
+		t.Errorf("output:\n%s", sb.String())
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	var sb strings.Builder
+	if err := run(filepath.Join(t.TempDir(), "nope.csv"), 5, 100, 1, &sb); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,144 @@
+// Command renuver imputes the missing values of a CSV (or JSON-lines)
+// file with the RENUVER algorithm. Files ending in .jsonl/.ndjson are
+// read and written as newline-delimited JSON; everything else is CSV.
+//
+// Usage:
+//
+//	renuver -in dirty.csv -out clean.csv [-rfds sigma.rfd] [-threshold 15]
+//	        [-order asc|desc] [-verify lhs|both|off] [-report]
+//
+// When -rfds is omitted the RFDcs are discovered on the input first
+// (threshold limit -threshold). With -report, per-cell imputation
+// provenance is printed to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	renuver "repro"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "input CSV with missing values (required)")
+		out       = flag.String("out", "", "output CSV (default: stdout)")
+		rfds      = flag.String("rfds", "", "RFDc set file; discovered from the input when omitted")
+		threshold = flag.Float64("threshold", 15, "discovery threshold limit when -rfds is omitted")
+		maxLHS    = flag.Int("maxlhs", 2, "discovery LHS size limit when -rfds is omitted")
+		order     = flag.String("order", "asc", "RHS-threshold cluster order: asc (paper prose) or desc (Algorithm 2 literal)")
+		verify    = flag.String("verify", "lhs", "IS_FAULTLESS scope: lhs (Algorithm 4), both, off")
+		report    = flag.Bool("report", false, "print per-cell imputation provenance to stderr")
+		saveRFDs  = flag.String("save-rfds", "", "write the (discovered) RFDc set to this file")
+		workers   = flag.Int("workers", 0, "parallel tuple-scan workers (0 = serial)")
+		donors    = flag.String("donors", "", "comma-separated reference CSVs for the multi-dataset extension")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*in, *out, *rfds, *saveRFDs, *threshold, *maxLHS, *order, *verify, *report, *workers, *donors); err != nil {
+		fmt.Fprintln(os.Stderr, "renuver:", err)
+		os.Exit(1)
+	}
+}
+
+// loadRelation reads CSV or (by .jsonl/.ndjson extension) JSON lines.
+func loadRelation(path string) (*renuver.Relation, error) {
+	if strings.HasSuffix(path, ".jsonl") || strings.HasSuffix(path, ".ndjson") {
+		return renuver.LoadJSONLinesFile(path)
+	}
+	return renuver.LoadCSVFile(path)
+}
+
+// saveRelation writes CSV or (by extension) JSON lines.
+func saveRelation(path string, rel *renuver.Relation) error {
+	if strings.HasSuffix(path, ".jsonl") || strings.HasSuffix(path, ".ndjson") {
+		return renuver.SaveJSONLinesFile(path, rel)
+	}
+	return renuver.SaveCSVFile(path, rel)
+}
+
+func run(in, out, rfds, saveRFDs string, threshold float64, maxLHS int, order, verify string, report bool, workers int, donors string) error {
+	rel, err := loadRelation(in)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loaded %d tuples x %d attributes, %d missing cells\n",
+		rel.Len(), rel.Schema().Len(), rel.CountMissing())
+
+	var sigma renuver.RFDSet
+	if rfds != "" {
+		sigma, err = renuver.LoadRFDsFile(rfds, rel.Schema())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "loaded %d RFDcs from %s\n", len(sigma), rfds)
+	} else {
+		sigma, err = renuver.DiscoverRFDs(rel, renuver.DiscoveryOptions{
+			MaxThreshold: threshold, MaxLHS: maxLHS,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "discovered %d RFDcs (threshold limit %g)\n", len(sigma), threshold)
+	}
+	if saveRFDs != "" {
+		if err := renuver.SaveRFDsFile(saveRFDs, sigma, rel.Schema()); err != nil {
+			return err
+		}
+	}
+
+	var opts []renuver.Option
+	switch order {
+	case "asc":
+	case "desc":
+		opts = append(opts, renuver.WithClusterOrder(renuver.DescendingThreshold))
+	default:
+		return fmt.Errorf("unknown -order %q", order)
+	}
+	switch verify {
+	case "lhs":
+	case "both":
+		opts = append(opts, renuver.WithVerifyMode(renuver.VerifyBothSides))
+	case "off":
+		opts = append(opts, renuver.WithVerifyMode(renuver.VerifyOff))
+	default:
+		return fmt.Errorf("unknown -verify %q", verify)
+	}
+
+	if workers > 1 {
+		opts = append(opts, renuver.WithWorkers(workers))
+	}
+
+	var res *renuver.Result
+	if donors != "" {
+		var pool []*renuver.Relation
+		for _, path := range strings.Split(donors, ",") {
+			donor, err := loadRelation(strings.TrimSpace(path))
+			if err != nil {
+				return err
+			}
+			pool = append(pool, donor)
+		}
+		res, err = renuver.NewImputer(sigma, opts...).ImputeWithDonors(rel, pool)
+	} else {
+		res, err = renuver.Impute(rel, sigma, opts...)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "imputed %d/%d cells (%d key-RFDcs filtered, %d verify rejections)\n",
+		res.Stats.Imputed, res.Stats.MissingCells, res.Stats.KeyRFDs, res.Stats.VerifyRejections)
+	if report {
+		fmt.Fprint(os.Stderr, res.Report(rel.Schema()))
+	}
+
+	if out == "" {
+		return renuver.SaveCSV(os.Stdout, res.Relation)
+	}
+	return saveRelation(out, res.Relation)
+}

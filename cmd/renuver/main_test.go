@@ -1,0 +1,155 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	renuver "repro"
+)
+
+const dirtyCSV = `Name,City,Phone,Type,Class
+Granita,Malibu,310/456-0488,Californian,6
+Chinois Main,LA,310-392-9025,French,5
+Citrus,Los Angeles,213/857-0034,Californian,6
+Citrus,Los Angeles,,Californian,6
+Fenix,Hollywood,213/848-6677,,5
+Fenix Argyle,,213/848-6677,French (new),5
+C. Main,Los Angeles,,French,5
+`
+
+const sigmaFile = `Name(<=8), Phone(<=0), Class(<=1) -> Type(<=0)
+Class(<=0) -> Type(<=5)
+City(<=2) -> Phone(<=2)
+Name(<=4) -> Phone(<=1)
+Name(<=8), Phone(<=0) -> City(<=9)
+Name(<=6), City(<=9) -> Phone(<=0)
+Phone(<=1) -> Class(<=0)
+`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunWithProvidedRFDs(t *testing.T) {
+	in := writeTemp(t, "dirty.csv", dirtyCSV)
+	rfds := writeTemp(t, "sigma.rfd", sigmaFile)
+	out := filepath.Join(t.TempDir(), "clean.csv")
+	if err := run(in, out, rfds, "", 15, 2, "asc", "lhs", false, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := renuver.LoadCSVFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.CountMissing() != 0 {
+		t.Errorf("%d cells left missing", rel.CountMissing())
+	}
+	phone := rel.Schema().MustIndex("Phone")
+	if got := rel.Get(6, phone).Str(); got != "310-392-9025" {
+		t.Errorf("t7[Phone] = %q", got)
+	}
+}
+
+func TestRunWithDiscovery(t *testing.T) {
+	in := writeTemp(t, "dirty.csv", dirtyCSV)
+	out := filepath.Join(t.TempDir(), "clean.csv")
+	saved := filepath.Join(t.TempDir(), "sigma.rfd")
+	if err := run(in, out, "", saved, 9, 2, "asc", "both", true, 2, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Errorf("output not written: %v", err)
+	}
+	data, err := os.ReadFile(saved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "->") {
+		t.Errorf("saved RFDs look wrong: %q", string(data)[:50])
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	in := writeTemp(t, "dirty.csv", dirtyCSV)
+	rfds := writeTemp(t, "sigma.rfd", sigmaFile)
+	if err := run(in, "", rfds, "", 15, 2, "sideways", "lhs", false, 0, ""); err == nil {
+		t.Error("bad -order accepted")
+	}
+	if err := run(in, "", rfds, "", 15, 2, "asc", "maybe", false, 0, ""); err == nil {
+		t.Error("bad -verify accepted")
+	}
+	if err := run(filepath.Join(t.TempDir(), "missing.csv"), "", "", "", 15, 2, "asc", "lhs", false, 0, ""); err == nil {
+		t.Error("missing input accepted")
+	}
+	if err := run(in, "", filepath.Join(t.TempDir(), "missing.rfd"), "", 15, 2, "asc", "lhs", false, 0, ""); err == nil {
+		t.Error("missing RFD file accepted")
+	}
+}
+
+func TestRunJSONLinesInAndOut(t *testing.T) {
+	in := writeTemp(t, "dirty.jsonl",
+		`{"A":"x","B":"v1"}
+{"A":"x","B":null}
+`)
+	rfdsFile := writeTemp(t, "sigma.rfd", "A(<=0) -> B(<=0)\n")
+	out := filepath.Join(t.TempDir(), "clean.jsonl")
+	if err := run(in, out, rfdsFile, "", 15, 2, "asc", "lhs", false, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := renuver.LoadJSONLinesFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.CountMissing() != 0 {
+		t.Errorf("%d cells left missing in JSON output", rel.CountMissing())
+	}
+	if got := rel.Get(1, 1).Str(); got != "v1" {
+		t.Errorf("imputed B = %q", got)
+	}
+}
+
+func TestRunWithDonorPool(t *testing.T) {
+	// The target has a missing B with no internal donor; the reference
+	// file supplies it.
+	in := writeTemp(t, "target.csv", "A,B\nx,\ny,v2\n")
+	donor := writeTemp(t, "donor.csv", "A,B\nx,v1\n")
+	rfds := writeTemp(t, "sigma.rfd", "A(<=0) -> B(<=0)\n")
+	out := filepath.Join(t.TempDir(), "clean.csv")
+	if err := run(in, out, rfds, "", 15, 2, "asc", "lhs", false, 0, donor); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := renuver.LoadCSVFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rel.Get(0, 1).Str(); got != "v1" {
+		t.Errorf("B = %q, want v1 from the donor file", got)
+	}
+	// A bad donor path must fail loudly.
+	if err := run(in, "", rfds, "", 15, 2, "asc", "lhs", false, 0, "/nonexistent.csv"); err == nil {
+		t.Error("missing donor file accepted")
+	}
+}
+
+func TestRunDescOrderAndOffVerify(t *testing.T) {
+	in := writeTemp(t, "dirty.csv", dirtyCSV)
+	rfds := writeTemp(t, "sigma.rfd", sigmaFile)
+	out := filepath.Join(t.TempDir(), "clean.csv")
+	if err := run(in, out, rfds, "", 15, 2, "desc", "off", false, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := renuver.LoadCSVFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 7 {
+		t.Errorf("rows = %d", rel.Len())
+	}
+}

@@ -1,0 +1,75 @@
+// Restaurant cleaning: the paper's motivating scenario end-to-end on the
+// synthetic Restaurant dataset — a data-integration product full of
+// near-duplicates (abbreviated names, phone-separator variants, city
+// aliases).
+//
+//	go run ./examples/restaurant_cleaning
+//
+// The example generates the dataset, injects 5% missing values, discovers
+// RFDcs at the paper's threshold limit 15, imputes with RENUVER, and
+// scores the result with the paper's rule-based validator (phones match
+// on digits, city aliases form value sets).
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	renuver "repro"
+)
+
+func main() {
+	rel, err := renuver.GenerateDataset("restaurant", 400, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("restaurant dataset: %d tuples x %d attributes\n",
+		rel.Len(), rel.Schema().Len())
+
+	dirty, injected, err := renuver.Inject(rel, 0.05, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("injected %d missing values (5%%)\n", len(injected))
+
+	start := time.Now()
+	sigma, err := renuver.DiscoverRFDs(rel, renuver.DiscoveryOptions{MaxThreshold: 15})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("discovered %d RFDcs at threshold limit 15 in %s\n",
+		len(sigma), time.Since(start).Round(time.Millisecond))
+
+	start = time.Now()
+	res, err := renuver.Impute(dirty, sigma)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RENUVER imputed %d/%d cells in %s (%d verify rejections, %d key flips)\n",
+		res.Stats.Imputed, res.Stats.MissingCells,
+		time.Since(start).Round(time.Millisecond),
+		res.Stats.VerifyRejections, res.Stats.KeyFlips)
+
+	// The paper's rule-based validator: phone numbers compare on digits,
+	// city aliases form value sets (Sec. 6.1).
+	rules := `regex Phone: [0-9]
+set City: Los Angeles | LA | L.A.
+set City: New York | New York City | NY
+set City: Hollywood | W. Hollywood
+set City: Santa Monica | S. Monica
+set Type: French | French (new)
+set Type: American | American (new)
+`
+	validator, err := renuver.LoadRules(strings.NewReader(rules))
+	if err != nil {
+		log.Fatal(err)
+	}
+	strict := renuver.Score(res.Relation, injected, renuver.NewValidator())
+	relaxed := renuver.Score(res.Relation, injected, validator)
+	fmt.Printf("\nstrict equality:      %s\n", strict)
+	fmt.Printf("rule-based validator: %s\n", relaxed)
+	fmt.Println("\nthe gap is the paper's point: separator and alias variants are" +
+		"\nsemantically correct imputations that strict equality misses.")
+}

@@ -1,0 +1,83 @@
+// Sensor imputation: RENUVER vs the grey-based kNN baseline on purely
+// numeric data — the Glass-style scenario of Figure 3 (panels d-f),
+// where the paper compares against kNN because the dataset "contains
+// only numerical values".
+//
+//	go run ./examples/sensor_imputation
+//
+// Chemical-composition readings (eight oxide fractions + refractive
+// index) lose 4% of their values; both methods fill them and are scored
+// with per-attribute delta rules, the paper's third rule type.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	renuver "repro"
+)
+
+func main() {
+	rel, err := renuver.GenerateDataset("glass", 214, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("glass dataset: %d tuples x %d attributes (all numeric)\n",
+		rel.Len(), rel.Schema().Len())
+
+	dirty, injected, err := renuver.Inject(rel, 0.04, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("injected %d missing readings (4%%)\n\n", len(injected))
+
+	// Delta rules: a reading is correct within the tolerance of its
+	// attribute (Sec. 6.1, "delta variation").
+	validator, err := renuver.LoadRules(strings.NewReader(`delta RI: 0.003
+delta Na: 0.6
+delta Mg: 0.5
+delta Al: 0.3
+delta Si: 0.8
+delta K: 0.2
+delta Ca: 0.6
+delta Ba: 0.3
+delta Fe: 0.1
+`))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// RENUVER with RFDcs discovered at threshold limit 15 (the setting
+	// the paper uses for Glass in Figure 3).
+	sigma, err := renuver.DiscoverRFDs(rel, renuver.DiscoveryOptions{MaxThreshold: 15})
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	res, err := renuver.Impute(dirty, sigma)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rTime := time.Since(start)
+	rScore := renuver.Score(res.Relation, injected, validator)
+
+	// Grey-based kNN (Huang & Lee 2004), k = 5.
+	kn, err := renuver.NewKNN(renuver.KNNOptions{K: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	start = time.Now()
+	knnOut, err := kn.Impute(dirty)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kTime := time.Since(start)
+	kScore := renuver.Score(knnOut, injected, validator)
+
+	fmt.Printf("%-22s (|Σ|=%d)  %s   time %s\n", "RENUVER", len(sigma), rScore, rTime.Round(time.Millisecond))
+	fmt.Printf("%-22s          %s   time %s\n", kn.Name(), kScore, kTime.Round(time.Millisecond))
+	fmt.Println("\nRENUVER abstains when no candidate passes verification — its" +
+		"\nprecision stays high while kNN always guesses a weighted mean.")
+}

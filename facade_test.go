@@ -1,0 +1,180 @@
+package renuver
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestFacadeStreamsAndBuffers exercises the io.Reader/Writer wrappers.
+func TestFacadeStreamsAndBuffers(t *testing.T) {
+	rel, err := LoadCSV(strings.NewReader(table2CSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := figure1Set(t, rel.Schema())
+	var buf bytes.Buffer
+	if err := SaveRFDs(&buf, sigma, rel.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadRFDs(&buf, rel.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(sigma) {
+		t.Errorf("RFD stream round trip: %d -> %d", len(sigma), len(back))
+	}
+}
+
+func TestFacadeJSONAndMechanisms(t *testing.T) {
+	rel := loadTable2(t)
+	var buf bytes.Buffer
+	if err := SaveJSONLines(&buf, rel); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadJSONLines(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != rel.Len() || back.CountMissing() != rel.CountMissing() {
+		t.Error("JSON round trip changed shape or nulls")
+	}
+	for _, mech := range []Mechanism{MCAR, MAR, MNAR} {
+		injRel, injected, err := InjectWithMechanism(rel, 0.1, mech, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", mech, err)
+		}
+		if injRel.CountMissing() <= rel.CountMissing() || len(injected) == 0 {
+			t.Errorf("%v: nothing injected", mech)
+		}
+	}
+}
+
+func TestFacadeExtensionWrappers(t *testing.T) {
+	rel := loadTable2(t)
+
+	limits := AdaptiveThresholdLimits(rel, 0.5, 0, 1)
+	if len(limits) != rel.Schema().Len() {
+		t.Errorf("limits = %v", limits)
+	}
+
+	a, err := ParseRFD("Name(<=5) -> Phone(<=1)", rel.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseRFD("Name(<=3) -> Phone(<=2)", rel.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ImpliesRFD(a, b) || ImpliesRFD(b, a) {
+		t.Error("ImpliesRFD wrapper wrong")
+	}
+	if got := MinimizeRFDs(RFDSet{a, b}); len(got) != 1 {
+		t.Errorf("MinimizeRFDs = %d deps, want 1", len(got))
+	}
+
+	mt := NewRFDMaintainer(rel, RFDSet{a})
+	if mt.Relation().Len() != rel.Len() {
+		t.Error("maintainer base wrong")
+	}
+}
+
+func TestFacadeExtraBaselines(t *testing.T) {
+	rel, err := GenerateDataset("glass", 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty, injected, err := Inject(rel, 0.05, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm := NewMeanMode()
+	lr, err := NewLocalRegression(RegressionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma, err := DiscoverRFDs(rel, DiscoveryOptions{MaxThreshold: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := NewDerandExact(sigma, DerandOptions{}, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Method{mm, lr, ex} {
+		out, err := m.Impute(dirty)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		byAttr := ScoreByAttribute(out, injected, NewValidator())
+		total := 0
+		for _, s := range byAttr {
+			total += s.Missing
+		}
+		if total != len(injected) {
+			t.Errorf("%s: per-attribute missing sums to %d, want %d", m.Name(), total, len(injected))
+		}
+	}
+	if _, err := NewDerandExact(sigma, DerandOptions{MaxCandidates: -1}, 0); err == nil {
+		t.Error("bad Derand config accepted by NewDerandExact")
+	}
+}
+
+func TestFacadeMethodContextPath(t *testing.T) {
+	rel := loadTable2(t)
+	sigma := figure1Set(t, rel.Schema())
+	m := AsMethod(NewImputer(sigma))
+	if m.Name() != "RENUVER" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	cm, ok := m.(interface {
+		ImputeContext(context.Context, *Relation) (*Relation, error)
+	})
+	if !ok {
+		t.Fatal("facade method does not support contexts")
+	}
+	out, err := cm.ImputeContext(context.Background(), rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CountMissing() != 0 {
+		t.Errorf("%d cells left", out.CountMissing())
+	}
+	// Cancelled context surfaces the error and the partial clone.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cm.ImputeContext(ctx, rel); err == nil {
+		t.Error("cancelled context not surfaced")
+	}
+}
+
+func TestFacadeProfile(t *testing.T) {
+	rel := loadTable2(t)
+	profiles := Profile(rel, ProfileOptions{TopK: 2, Seed: 1})
+	if len(profiles) != rel.Schema().Len() {
+		t.Fatalf("profiles = %d", len(profiles))
+	}
+	byName := map[string]AttrProfile{}
+	for _, p := range profiles {
+		byName[p.Name] = p
+	}
+	if byName["Phone"].Nulls != 2 || byName["City"].Nulls != 1 {
+		t.Errorf("null counts: Phone=%d City=%d", byName["Phone"].Nulls, byName["City"].Nulls)
+	}
+	if byName["Class"].Min != 5 || byName["Class"].Max != 6 {
+		t.Errorf("Class range = [%v, %v]", byName["Class"].Min, byName["Class"].Max)
+	}
+}
+
+func TestFacadeStreamAlias(t *testing.T) {
+	rel := loadTable2(t)
+	sigma := figure1Set(t, rel.Schema())
+	var s *Stream = NewImputer(sigma).NewStream(rel.Head(3))
+	if _, err := s.Append(rel.Row(3)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Relation().Len() != 4 {
+		t.Errorf("stream length = %d", s.Relation().Len())
+	}
+}

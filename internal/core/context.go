@@ -1,0 +1,62 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/dataset"
+)
+
+// ImputeContext is Impute with cooperative cancellation: the context is
+// checked between missing values, so a cancelled or deadline-exceeded
+// run stops promptly and returns the partially imputed result alongside
+// the context's error. The partial result is well-formed — every cell
+// already imputed passed verification — which makes time-bounded
+// best-effort imputation a first-class mode rather than an abandoned
+// goroutine.
+func (im *Imputer) ImputeContext(ctx context.Context, rel *dataset.Relation) (*Result, error) {
+	if err := validateSigma(im.sigma, rel.Schema().Len()); err != nil {
+		return nil, err
+	}
+	work := rel.Clone()
+	res := &Result{Relation: work}
+	kt := newKeyTrackerParallel(work, im.sigma, im.opts.Workers)
+	res.Stats.KeyRFDs = kt.keys
+	incomplete := work.IncompleteRows()
+	res.Stats.MissingCells = work.CountMissing()
+
+	var idx *donorIndex
+	if !im.opts.NoIndex {
+		idx = newDonorIndex(work, im.sigma)
+	}
+
+	for _, row := range incomplete {
+		for _, attr := range work.Row(row).MissingAttrs() {
+			if err := ctx.Err(); err != nil {
+				res.finish(work)
+				return res, err
+			}
+			sigmaPrime := kt.nonKeys()
+			clusters := im.clustersFor(sigmaPrime, attr)
+			if im.imputeMissingValue(work, row, attr, sigmaPrime, clusters, res, idx) {
+				idx.insert(row, attr, work.Get(row, attr))
+				if !im.opts.NoKeyReevaluation {
+					before := kt.keys
+					kt.afterImpute(row, attr)
+					res.Stats.KeyFlips += before - kt.keys
+				}
+			}
+		}
+	}
+	res.finish(work)
+	return res, nil
+}
+
+// finish populates the unimputed list and the tail counters.
+func (res *Result) finish(work *dataset.Relation) {
+	res.Unimputed = res.Unimputed[:0]
+	for _, c := range work.MissingCells() {
+		res.Unimputed = append(res.Unimputed, c)
+	}
+	res.Stats.Imputed = len(res.Imputations)
+	res.Stats.Unimputed = len(res.Unimputed)
+}

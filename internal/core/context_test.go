@@ -1,0 +1,82 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestImputeContextBackgroundMatchesImpute(t *testing.T) {
+	rel := table2(t)
+	sigma := figure1Sigma(t, rel.Schema())
+	plain, err := New(sigma).Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxRes, err := New(sigma).ImputeContext(context.Background(), rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Relation.Equal(ctxRes.Relation) {
+		t.Error("background-context run diverged from Impute")
+	}
+}
+
+func TestImputeContextAlreadyCancelled(t *testing.T) {
+	rel := table2(t)
+	sigma := figure1Sigma(t, rel.Schema())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := New(sigma).ImputeContext(ctx, rel)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("partial result missing")
+	}
+	if res.Stats.Imputed != 0 {
+		t.Errorf("imputed %d cells under a cancelled context", res.Stats.Imputed)
+	}
+	// Counters are still reconciled for the partial result.
+	if res.Stats.Imputed+res.Stats.Unimputed != res.Stats.MissingCells {
+		t.Errorf("partial stats inconsistent: %+v", res.Stats)
+	}
+}
+
+func TestImputeContextDeadline(t *testing.T) {
+	rel := table2(t)
+	sigma := figure1Sigma(t, rel.Schema())
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := New(sigma).ImputeContext(ctx, rel)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestImputeContextPartialResultWellFormed(t *testing.T) {
+	// Cancel mid-run by using a context that cancels after the first
+	// check; with four missing values at least the checks between cells
+	// fire. We can't control exactly how many cells complete, but every
+	// completed imputation must be valid and recorded.
+	rel := table2(t)
+	sigma := figure1Sigma(t, rel.Schema())
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(time.Millisecond)
+		cancel()
+	}()
+	res, err := New(sigma).ImputeContext(ctx, rel)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if res.Stats.Imputed+res.Stats.Unimputed != res.Stats.MissingCells {
+		t.Errorf("partial stats inconsistent: %+v", res.Stats)
+	}
+	for _, imp := range res.Imputations {
+		if res.Relation.Get(imp.Cell.Row, imp.Cell.Attr).IsNull() {
+			t.Error("recorded imputation not applied")
+		}
+	}
+}

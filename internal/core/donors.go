@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/distance"
+	"repro/internal/rfd"
+)
+
+// ImputeWithDonors is the paper's first future-work extension (Sec. 7):
+// "to increase the number of imputed values, we would like to extend
+// RENUVER with the possibility of selecting plausible candidate tuples
+// among multiple datasets."
+//
+// The algorithm is unchanged except that FIND_CANDIDATE_TUPLES also
+// scans the donor relations: their tuples can contribute candidate
+// values but are never imputed themselves, never verified against
+// (semantic consistency per Definition 4.3 concerns the target
+// instance), and never affect key-RFDc status (Definition 3.4 is defined
+// on the target instance). Donor schemas must match the target's.
+func (im *Imputer) ImputeWithDonors(rel *dataset.Relation, donors []*dataset.Relation) (*Result, error) {
+	for i, d := range donors {
+		if !d.Schema().Equal(rel.Schema()) {
+			return nil, fmt.Errorf("core: donor %d schema %q incompatible with target %q",
+				i, d.Schema(), rel.Schema())
+		}
+	}
+	if err := validateSigma(im.sigma, rel.Schema().Len()); err != nil {
+		return nil, err
+	}
+
+	work := rel.Clone()
+	res := &Result{Relation: work}
+	kt := newKeyTrackerWithDonors(work, im.sigma, donors)
+	res.Stats.KeyRFDs = kt.keys
+	incomplete := work.IncompleteRows()
+	res.Stats.MissingCells = work.CountMissing()
+
+	for _, row := range incomplete {
+		for _, attr := range work.Row(row).MissingAttrs() {
+			sigmaPrime := kt.nonKeys()
+			clusters := im.clustersFor(sigmaPrime, attr)
+			if im.imputeWithDonorPool(work, donors, row, attr, sigmaPrime, clusters, res) {
+				if !im.opts.NoKeyReevaluation {
+					before := kt.keys
+					kt.afterImpute(row, attr)
+					res.Stats.KeyFlips += before - kt.keys
+				}
+			}
+		}
+	}
+
+	for _, c := range work.MissingCells() {
+		res.Unimputed = append(res.Unimputed, c)
+	}
+	res.Stats.Imputed = len(res.Imputations)
+	res.Stats.Unimputed = len(res.Unimputed)
+	return res, nil
+}
+
+// donorRef addresses a candidate tuple in the combined search space:
+// source -1 is the target instance, 0.. indexes the donor pool.
+type donorRef struct {
+	source int
+	row    int
+}
+
+// donorCandidate extends candidate with its provenance.
+type donorCandidate struct {
+	ref  donorRef
+	dist float64
+}
+
+// imputeWithDonorPool is Algorithm 2 over the combined candidate space.
+func (im *Imputer) imputeWithDonorPool(work *dataset.Relation, donors []*dataset.Relation,
+	row, attr int, sigmaPrime rfd.Set, clusters []rfd.Cluster, res *Result) bool {
+
+	for _, cluster := range clusters {
+		res.Stats.ClustersScanned++
+		cands := findDonorCandidates(work, donors, row, attr, cluster.RFDs)
+		res.Stats.CandidatesEvaluated += len(cands)
+		if len(cands) == 0 {
+			continue
+		}
+		if !im.opts.NoRanking {
+			sort.Slice(cands, func(i, j int) bool {
+				if cands[i].dist != cands[j].dist {
+					return cands[i].dist < cands[j].dist
+				}
+				if cands[i].ref.source != cands[j].ref.source {
+					return cands[i].ref.source < cands[j].ref.source
+				}
+				return cands[i].ref.row < cands[j].ref.row
+			})
+		}
+		limit := len(cands)
+		if im.opts.MaxCandidates > 0 && im.opts.MaxCandidates < limit {
+			limit = im.opts.MaxCandidates
+		}
+		for k := 0; k < limit; k++ {
+			cand := cands[k]
+			var value dataset.Value
+			if cand.ref.source < 0 {
+				value = work.Get(cand.ref.row, attr)
+			} else {
+				value = donors[cand.ref.source].Get(cand.ref.row, attr)
+			}
+			work.Set(row, attr, value)
+			res.Stats.CandidatesTried++
+			if im.isFaultless(work, row, attr, sigmaPrime) {
+				res.Imputations = append(res.Imputations, Imputation{
+					Cell:             dataset.Cell{Row: row, Attr: attr},
+					Value:            value,
+					Donor:            cand.ref.row,
+					DonorSource:      cand.ref.source,
+					Distance:         cand.dist,
+					ClusterThreshold: cluster.Threshold,
+					Attempt:          k + 1,
+				})
+				return true
+			}
+			res.Stats.VerifyRejections++
+			work.Set(row, attr, dataset.Null)
+		}
+	}
+	return false
+}
+
+// findDonorCandidates is Algorithm 3 over the target plus the donor
+// pool.
+func findDonorCandidates(work *dataset.Relation, donors []*dataset.Relation,
+	row, attr int, deps rfd.Set) []donorCandidate {
+
+	m := work.Schema().Len()
+	needed := make([]int, 0, m)
+	seen := make([]bool, m)
+	for _, dep := range deps {
+		for _, c := range dep.LHS {
+			if !seen[c.Attr] {
+				seen[c.Attr] = true
+				needed = append(needed, c.Attr)
+			}
+		}
+	}
+	t := work.Row(row)
+	p := make(distance.Pattern, m)
+	var cands []donorCandidate
+
+	score := func(tj dataset.Tuple, ref donorRef) {
+		if tj[attr].IsNull() {
+			return
+		}
+		for _, a := range needed {
+			p[a] = distance.Values(t[a], tj[a])
+		}
+		distMin, found := 0.0, false
+		for _, dep := range deps {
+			if !dep.LHSSatisfiedBy(p) {
+				continue
+			}
+			d, ok := p.MeanOver(dep.LHSAttrs())
+			if !ok {
+				continue
+			}
+			if !found || d < distMin {
+				distMin, found = d, true
+			}
+		}
+		if found {
+			cands = append(cands, donorCandidate{ref: ref, dist: distMin})
+		}
+	}
+
+	for j := 0; j < work.Len(); j++ {
+		if j == row {
+			continue
+		}
+		score(work.Row(j), donorRef{source: -1, row: j})
+	}
+	for s, donor := range donors {
+		for j := 0; j < donor.Len(); j++ {
+			score(donor.Row(j), donorRef{source: s, row: j})
+		}
+	}
+	return cands
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/rfd"
+)
+
+func TestImputeWithDonorsFillsWhatTargetAlone(t *testing.T) {
+	// The target has no donor for row1.B, but the reference dataset does
+	// (Sec. 7: "selecting plausible candidate tuples among multiple
+	// datasets").
+	target, err := dataset.ReadCSVString(`A,B
+x,
+y,v2
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	donor, err := dataset.ReadCSVString(`A,B
+x,v1
+z,v3
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := rfd.Set{rfd.MustParse("A(<=0) -> B(<=0)", target.Schema())}
+	im := New(sigma)
+
+	solo, err := im.Impute(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !solo.Relation.Get(0, 1).IsNull() {
+		t.Fatal("precondition: target alone cannot impute row0.B")
+	}
+
+	res, err := im.ImputeWithDonors(target, []*dataset.Relation{donor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Relation.Get(0, 1); got.Str() != "v1" {
+		t.Errorf("row0.B = %v, want v1 from the donor pool", got)
+	}
+	imp, ok := res.ImputedValue(dataset.Cell{Row: 0, Attr: 1})
+	if !ok {
+		t.Fatal("imputation not recorded")
+	}
+	if imp.DonorSource != 0 || imp.Donor != 0 {
+		t.Errorf("provenance = source %d row %d, want donor pool 0 row 0", imp.DonorSource, imp.Donor)
+	}
+	// Donor relations must be untouched.
+	if donor.CountMissing() != 0 || donor.Len() != 2 {
+		t.Error("donor mutated")
+	}
+}
+
+func TestImputeWithDonorsPrefersCloserCandidate(t *testing.T) {
+	// Target donor at distance 2, pool donor at distance 0: pool wins.
+	target, err := dataset.ReadCSVString(`A,B
+kxx,far
+k,
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	donor, err := dataset.ReadCSVString(`A,B
+k,near
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := rfd.Set{rfd.MustParse("A(<=2) -> B(<=100)", target.Schema())}
+	res, err := New(sigma).ImputeWithDonors(target, []*dataset.Relation{donor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Relation.Get(1, 1); got.Str() != "near" {
+		t.Errorf("imputed %v, want near (donor pool candidate is closer)", got)
+	}
+}
+
+func TestImputeWithDonorsVerifiesAgainstTargetOnly(t *testing.T) {
+	// The candidate value violates a dependency against another TARGET
+	// tuple -> rejected, even though it is consistent with the donor.
+	target, err := dataset.ReadCSVString(`A,B,C
+k,,1
+q,bb,9
+zz,bb,9
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	donor, err := dataset.ReadCSVString(`A,B,C
+k,bb,1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := target.Schema()
+	sigma := rfd.Set{
+		rfd.MustParse("A(<=0) -> B(<=0)", schema), // proposes bb from the donor
+		rfd.MustParse("B(<=0) -> C(<=1)", schema), // but target row1 has B=bb with C=9
+	}
+	res, err := New(sigma).ImputeWithDonors(target, []*dataset.Relation{donor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Relation.Get(0, 1).IsNull() {
+		t.Errorf("imputed %v, want rejection (violates against target row 1)", res.Relation.Get(0, 1))
+	}
+	if res.Stats.VerifyRejections == 0 {
+		t.Error("no rejection recorded")
+	}
+}
+
+func TestImputeWithDonorsSchemaMismatch(t *testing.T) {
+	target, err := dataset.ReadCSVString("A,B\nx,1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	donor, err := dataset.ReadCSVString("A\nx\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(nil).ImputeWithDonors(target, []*dataset.Relation{donor}); err == nil {
+		t.Error("mismatched donor schema accepted")
+	}
+}
+
+func TestImputeWithDonorsEmptyPoolMatchesImpute(t *testing.T) {
+	rel := table2(t)
+	sigma := figure1Sigma(t, rel.Schema())
+	im := New(sigma)
+	a, err := im.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := im.ImputeWithDonors(rel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Relation.Equal(b.Relation) {
+		t.Error("empty donor pool diverged from plain Impute")
+	}
+	if len(a.Imputations) != len(b.Imputations) {
+		t.Errorf("imputation counts differ: %d vs %d", len(a.Imputations), len(b.Imputations))
+	}
+}

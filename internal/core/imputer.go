@@ -1,0 +1,302 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/distance"
+	"repro/internal/rfd"
+)
+
+// Imputer runs the RENUVER imputation process for one Σ and one Options
+// configuration. It is stateless across Impute calls and safe to reuse.
+type Imputer struct {
+	sigma rfd.Set
+	opts  Options
+}
+
+// New returns an Imputer over Σ with the given options applied to the
+// paper-faithful defaults.
+func New(sigma rfd.Set, opts ...Option) *Imputer {
+	im := &Imputer{sigma: sigma}
+	for _, o := range opts {
+		o(&im.opts)
+	}
+	return im
+}
+
+// Imputation records one successfully imputed cell with its provenance.
+type Imputation struct {
+	Cell  dataset.Cell  // the imputed position
+	Value dataset.Value // the value taken from the donor
+	Donor int           // row index of the donor tuple t_j
+	// DonorSource is -1 for the target instance itself; 0.. indexes the
+	// donor pool when the multi-dataset extension (ImputeWithDonors) was
+	// used.
+	DonorSource      int
+	Distance         float64 // dist_min of the winning candidate (Eq. 2)
+	ClusterThreshold float64 // RHS threshold of the cluster that produced it
+	Attempt          int     // how many ranked candidates were tried (1 = first)
+}
+
+// Stats aggregates counters over one Impute run.
+type Stats struct {
+	MissingCells        int // cells that were null on input
+	Imputed             int // cells successfully imputed
+	Unimputed           int // cells left null
+	KeyRFDs             int // RFDcs filtered as keys during pre-processing
+	CandidatesEvaluated int // (tuple, cluster) candidate tuples scored
+	CandidatesTried     int // tentative imputations attempted
+	VerifyRejections    int // tentative imputations rejected by IS_FAULTLESS
+	ClustersScanned     int // clusters examined across all missing values
+	KeyFlips            int // key-RFDcs that became non-key mid-run
+}
+
+// Result is the outcome of one Impute run.
+type Result struct {
+	// Relation is the imputed instance r' (a clone; the input is not
+	// mutated).
+	Relation *dataset.Relation
+	// Imputations lists the filled cells in imputation order.
+	Imputations []Imputation
+	// Unimputed lists the cells left missing because no candidate passed.
+	Unimputed []dataset.Cell
+	// Stats carries the run counters.
+	Stats Stats
+}
+
+// ImputedValue returns the imputation record for a cell, if that cell was
+// filled during the run.
+func (res *Result) ImputedValue(c dataset.Cell) (Imputation, bool) {
+	for _, imp := range res.Imputations {
+		if imp.Cell == c {
+			return imp, true
+		}
+	}
+	return Imputation{}, false
+}
+
+// validateSigma rejects dependencies referencing attributes outside the
+// schema.
+func validateSigma(sigma rfd.Set, m int) error {
+	for _, dep := range sigma {
+		if dep.RHS.Attr >= m {
+			return fmt.Errorf("core: RFD references attribute %d, schema has %d", dep.RHS.Attr, m)
+		}
+		for _, c := range dep.LHS {
+			if c.Attr >= m {
+				return fmt.Errorf("core: RFD references attribute %d, schema has %d", c.Attr, m)
+			}
+		}
+	}
+	return nil
+}
+
+// Impute runs RENUVER (Algorithm 1) on the instance and returns the
+// imputed clone. The input relation is never mutated. It fails if an RFDc
+// in Σ references an attribute outside the relation's schema.
+//
+// The RFDc selection step (Algorithm 1, lines 7-10) is folded into the
+// imputation loop: Σ'_A and its Λ clusters are derived from the *current*
+// Σ' for each missing value, so that key-RFDcs freed by earlier
+// imputations (line 14, Example 5.1) immediately become available.
+func (im *Imputer) Impute(rel *dataset.Relation) (*Result, error) {
+	return im.ImputeContext(context.Background(), rel)
+}
+
+// clustersFor builds Λ_Σ'_A for the attribute under the configured
+// ordering and clustering options.
+func (im *Imputer) clustersFor(sigmaPrime rfd.Set, attr int) []rfd.Cluster {
+	forA := sigmaPrime.ForRHS(attr)
+	if len(forA) == 0 {
+		return nil
+	}
+	if im.opts.NoClustering {
+		// Ablation A2: one flat cluster holding every RFDc for A.
+		maxTh := forA[0].RHSThreshold()
+		for _, dep := range forA[1:] {
+			if th := dep.RHSThreshold(); th > maxTh {
+				maxTh = th
+			}
+		}
+		return []rfd.Cluster{{Threshold: maxTh, RFDs: forA}}
+	}
+	clusters := rfd.ClusterByRHSThreshold(forA)
+	if im.opts.ClusterOrder == DescendingThreshold {
+		for i, j := 0, len(clusters)-1; i < j; i, j = i+1, j-1 {
+			clusters[i], clusters[j] = clusters[j], clusters[i]
+		}
+	}
+	return clusters
+}
+
+// candidate is one entry of T_candidate: a donor row and its dist_min.
+type candidate struct {
+	row  int
+	dist float64
+}
+
+// imputeMissingValue is Algorithm 2. It returns true when the cell was
+// imputed. idx may be nil (no donor index available).
+func (im *Imputer) imputeMissingValue(work *dataset.Relation, row, attr int,
+	sigmaPrime rfd.Set, clusters []rfd.Cluster, res *Result, idx *donorIndex) bool {
+
+	for _, cluster := range clusters {
+		res.Stats.ClustersScanned++
+		var cands []candidate
+		if rows, ok := idx.candidateRows(work, row, cluster.RFDs); ok {
+			cands = findCandidateTuplesIndexed(work, rows, row, attr, cluster.RFDs)
+		} else if im.opts.Workers > 1 {
+			cands = findCandidateTuplesParallel(work, row, attr, cluster.RFDs, im.opts.Workers)
+		} else {
+			cands = findCandidateTuples(work, row, attr, cluster.RFDs)
+		}
+		res.Stats.CandidatesEvaluated += len(cands)
+		if len(cands) == 0 {
+			continue
+		}
+		if !im.opts.NoRanking {
+			// Ascending dist; ties broken by row index for determinism.
+			sort.Slice(cands, func(i, j int) bool {
+				if cands[i].dist != cands[j].dist {
+					return cands[i].dist < cands[j].dist
+				}
+				return cands[i].row < cands[j].row
+			})
+		}
+		limit := len(cands)
+		if im.opts.MaxCandidates > 0 && im.opts.MaxCandidates < limit {
+			limit = im.opts.MaxCandidates
+		}
+		for k := 0; k < limit; k++ {
+			cand := cands[k]
+			value := work.Get(cand.row, attr)
+			work.Set(row, attr, value) // tentative t[A] <- t_j[A]
+			res.Stats.CandidatesTried++
+			if im.isFaultlessParallel(work, row, attr, sigmaPrime) {
+				res.Imputations = append(res.Imputations, Imputation{
+					Cell:             dataset.Cell{Row: row, Attr: attr},
+					Value:            value,
+					Donor:            cand.row,
+					DonorSource:      -1,
+					Distance:         cand.dist,
+					ClusterThreshold: cluster.Threshold,
+					Attempt:          k + 1,
+				})
+				return true
+			}
+			res.Stats.VerifyRejections++
+			work.Set(row, attr, dataset.Null) // revert
+		}
+	}
+	return false
+}
+
+// findCandidateTuples is Algorithm 3: every tuple t_j ≠ t with a value on
+// A whose distance pattern against t satisfies the LHS of at least one
+// RFDc in the cluster becomes a candidate, scored with the minimum mean
+// LHS distance (Eq. 2) over the matching RFDcs.
+func findCandidateTuples(work *dataset.Relation, row, attr int, deps rfd.Set) []candidate {
+	// Only the union of LHS attributes is ever read from the pattern, so
+	// compute just those components.
+	m := work.Schema().Len()
+	needed := make([]int, 0, m)
+	seen := make([]bool, m)
+	for _, dep := range deps {
+		for _, c := range dep.LHS {
+			if !seen[c.Attr] {
+				seen[c.Attr] = true
+				needed = append(needed, c.Attr)
+			}
+		}
+	}
+
+	t := work.Row(row)
+	p := make(distance.Pattern, m)
+	var cands []candidate
+	for j := 0; j < work.Len(); j++ {
+		if j == row {
+			continue
+		}
+		tj := work.Row(j)
+		if tj[attr].IsNull() {
+			continue
+		}
+		for _, a := range needed {
+			p[a] = distance.Values(t[a], tj[a])
+		}
+		distMin, found := 0.0, false
+		for _, dep := range deps {
+			if !dep.LHSSatisfiedBy(p) {
+				continue
+			}
+			d, ok := p.MeanOver(dep.LHSAttrs())
+			if !ok {
+				continue
+			}
+			if !found || d < distMin {
+				distMin, found = d, true
+			}
+		}
+		if found {
+			cands = append(cands, candidate{row: j, dist: distMin})
+		}
+	}
+	return cands
+}
+
+// isFaultless is Algorithm 4: after tentatively imputing t[A], check that
+// no tuple pair (t, t_i) witnesses a violation of a dependency that
+// constrains A. Under VerifyLHS (the literal Algorithm 4) only RFDcs with
+// A on the LHS are re-checked; VerifyBothSides also re-checks RFDcs with
+// A as RHS attribute, giving the full Definition 4.3 guarantee.
+func (im *Imputer) isFaultless(work *dataset.Relation, row, attr int, sigmaPrime rfd.Set) bool {
+	if im.opts.Verify == VerifyOff {
+		return true
+	}
+	var relevant rfd.Set
+	for _, dep := range sigmaPrime {
+		if dep.HasLHSAttr(attr) || (im.opts.Verify == VerifyBothSides && dep.RHS.Attr == attr) {
+			relevant = append(relevant, dep)
+		}
+	}
+	if len(relevant) == 0 {
+		return true
+	}
+	// Only the LHS and RHS attributes of the relevant dependencies are
+	// ever read from the pattern.
+	m := work.Schema().Len()
+	needed := make([]int, 0, m)
+	seen := make([]bool, m)
+	mark := func(a int) {
+		if !seen[a] {
+			seen[a] = true
+			needed = append(needed, a)
+		}
+	}
+	for _, dep := range relevant {
+		for _, c := range dep.LHS {
+			mark(c.Attr)
+		}
+		mark(dep.RHS.Attr)
+	}
+	t := work.Row(row)
+	p := make(distance.Pattern, m)
+	for i := 0; i < work.Len(); i++ {
+		if i == row {
+			continue
+		}
+		ti := work.Row(i)
+		for _, a := range needed {
+			p[a] = distance.Values(t[a], ti[a])
+		}
+		for _, dep := range relevant {
+			if dep.ViolatedBy(p) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,541 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/rfd"
+)
+
+// table2 builds the paper's Table 2 sample instance.
+func table2(t testing.TB) *dataset.Relation {
+	t.Helper()
+	rel, err := dataset.ReadCSVString(`Name,City,Phone,Type,Class
+Granita,Malibu,310/456-0488,Californian,6
+Chinois Main,LA,310-392-9025,French,5
+Citrus,Los Angeles,213/857-0034,Californian,6
+Citrus,Los Angeles,,Californian,6
+Fenix,Hollywood,213/848-6677,,5
+Fenix Argyle,,213/848-6677,French (new),5
+C. Main,Los Angeles,,French,5
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+// figure1Sigma returns φ1..φ7 of Figure 1.
+func figure1Sigma(t testing.TB, schema *dataset.Schema) rfd.Set {
+	t.Helper()
+	specs := []string{
+		"Name(<=8), Phone(<=0), Class(<=1) -> Type(<=0)", // φ1
+		"Class(<=0) -> Type(<=5)",                        // φ2
+		"City(<=2) -> Phone(<=2)",                        // φ3
+		"Name(<=4) -> Phone(<=1)",                        // φ4
+		"Name(<=8), Phone(<=0) -> City(<=9)",             // φ5
+		"Name(<=6), City(<=9) -> Phone(<=0)",             // φ6
+		"Phone(<=1) -> Class(<=0)",                       // φ7
+	}
+	var out rfd.Set
+	for _, s := range specs {
+		out = append(out, rfd.MustParse(s, schema))
+	}
+	return out
+}
+
+func cellValue(t *testing.T, res *Result, rel *dataset.Relation, attrName string, row int) dataset.Value {
+	t.Helper()
+	return res.Relation.Get(row, rel.Schema().MustIndex(attrName))
+}
+
+// TestPaperWorkedExample replays the full Figure 1 / Sec. 5 walk-through:
+// the four missing values of Table 2 are imputed in row-major order and
+// every outcome the paper derives must hold.
+func TestPaperWorkedExample(t *testing.T) {
+	rel := table2(t)
+	im := New(figure1Sigma(t, rel.Schema()))
+	res, err := im.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// t4[Phone] <- t3[Phone] (Example 5.1's premise).
+	if got := cellValue(t, res, rel, "Phone", 3); got.Str() != "213/857-0034" {
+		t.Errorf("t4[Phone] = %q, want 213/857-0034", got.Str())
+	}
+	// t6[City] <- t5[City] = Hollywood (Example 4.6).
+	if got := cellValue(t, res, rel, "City", 5); got.Str() != "Hollywood" {
+		t.Errorf("t6[City] = %q, want Hollywood", got.Str())
+	}
+	// t7[Phone]: t3 is closest (dist 3, Example 5.8) but violates
+	// Phone(<=1)->Class(<=0) (Example 5.9); t2's phone wins (Sec. 5 text).
+	if got := cellValue(t, res, rel, "Phone", 6); got.Str() != "310-392-9025" {
+		t.Errorf("t7[Phone] = %q, want 310-392-9025 (t2's phone after t3 is rejected)", got.Str())
+	}
+	// t5[Type] <- t6[Type] via φ1 (the only tuple with equal phone).
+	if got := cellValue(t, res, rel, "Type", 4); got.Str() != "French (new)" {
+		t.Errorf("t5[Type] = %q, want French (new)", got.Str())
+	}
+
+	if res.Stats.Imputed != 4 || res.Stats.Unimputed != 0 {
+		t.Errorf("stats = %+v, want 4 imputed / 0 unimputed", res.Stats)
+	}
+	if res.Stats.VerifyRejections == 0 {
+		t.Error("expected at least one verification rejection (t3's phone for t7)")
+	}
+	// Input must be untouched.
+	if !rel.Get(3, rel.Schema().MustIndex("Phone")).IsNull() {
+		t.Error("input relation was mutated")
+	}
+}
+
+func TestImputationProvenance(t *testing.T) {
+	rel := table2(t)
+	im := New(figure1Sigma(t, rel.Schema()))
+	res, err := im.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phone := rel.Schema().MustIndex("Phone")
+	imp, ok := res.ImputedValue(dataset.Cell{Row: 6, Attr: phone})
+	if !ok {
+		t.Fatal("t7[Phone] not recorded")
+	}
+	if imp.Donor != 1 {
+		t.Errorf("t7[Phone] donor = t%d, want t2 (row 1)", imp.Donor+1)
+	}
+	if imp.Distance != 7.5 { // Example 5.8: dist(t2,t7) = 7.5
+		t.Errorf("t7[Phone] distance = %v, want 7.5", imp.Distance)
+	}
+	if imp.ClusterThreshold != 0 { // found in ρ⁰ via φ6
+		t.Errorf("t7[Phone] cluster threshold = %v, want 0", imp.ClusterThreshold)
+	}
+	if imp.Attempt < 2 {
+		t.Errorf("t7[Phone] attempt = %d, want >= 2 (t3-like donors rejected first)", imp.Attempt)
+	}
+	if _, ok := res.ImputedValue(dataset.Cell{Row: 0, Attr: 0}); ok {
+		t.Error("non-missing cell reported as imputed")
+	}
+}
+
+func TestImputedTupleBecomesDonor(t *testing.T) {
+	// Sec. 4: "an imputed tuple t could itself become a candidate tuple
+	// for imputing another tuple". Build an instance where the only viable
+	// donor for the second missing value is a tuple imputed first.
+	rel2, err := dataset.ReadCSVString(`A,B,C
+k1,v1,w1
+k1,,w1
+,v1,w1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := rel2.Schema()
+	sigma := rfd.Set{
+		rfd.MustParse("A(<=0) -> B(<=0)", schema), // imputes row1.B from row0
+		rfd.MustParse("B(<=0), C(<=0) -> A(<=0)", schema),
+	}
+	res, err := New(sigma).Impute(rel2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Relation.Get(1, 1); got.Str() != "v1" {
+		t.Fatalf("row1.B = %q, want v1", got.Str())
+	}
+	// row2.A needs a donor pair matching on B and C; row1 matches only
+	// after its B was imputed (row0 matches too — both donate "k1").
+	if got := res.Relation.Get(2, 0); got.Str() != "k1" {
+		t.Errorf("row2.A = %q, want k1 via chained imputation", got.Str())
+	}
+}
+
+func TestKeyRFDFreedMidRun(t *testing.T) {
+	// Example 5.1: an imputation can turn a key-RFDc into a usable one.
+	// D is only imputable via φk: A(<=0),B(<=0) -> D(<=0), which is key at
+	// start because row1.B is missing; imputing row1.B via φb first frees
+	// φk, whose candidates then fill row1.D.
+	rel, err := dataset.ReadCSVString(`A,B,C,D
+x,y,c1,d1
+x,,c1,
+z,q,c2,d2
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := rel.Schema()
+	phiB := rfd.MustParse("C(<=0) -> B(<=0)", schema)
+	phiK := rfd.MustParse("A(<=0), B(<=0) -> D(<=0)", schema)
+	if !phiK.IsKey(rel) {
+		t.Fatal("precondition: φk key on input")
+	}
+	res, err := New(rfd.Set{phiB, phiK}).Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Relation.Get(1, 1); got.Str() != "y" {
+		t.Fatalf("row1.B = %q, want y", got.Str())
+	}
+	if got := res.Relation.Get(1, 3); got.Str() != "d1" {
+		t.Errorf("row1.D = %q, want d1 (φk freed mid-run)", got.Str())
+	}
+	if res.Stats.KeyFlips == 0 {
+		t.Error("expected a key flip to be recorded")
+	}
+	if res.Stats.KeyRFDs != 1 {
+		t.Errorf("KeyRFDs = %d, want 1 (φk initially key)", res.Stats.KeyRFDs)
+	}
+}
+
+func TestKeyReevaluationDisabled(t *testing.T) {
+	rel, err := dataset.ReadCSVString(`A,B,C,D
+x,y,c1,d1
+x,,c1,
+z,q,c2,d2
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := rel.Schema()
+	sigma := rfd.Set{
+		rfd.MustParse("C(<=0) -> B(<=0)", schema),
+		rfd.MustParse("A(<=0), B(<=0) -> D(<=0)", schema),
+	}
+	res, err := New(sigma, WithoutKeyReevaluation()).Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Relation.Get(1, 3).IsNull() {
+		t.Error("row1.D imputed although key re-evaluation is off")
+	}
+	if res.Stats.KeyFlips != 0 {
+		t.Errorf("KeyFlips = %d, want 0", res.Stats.KeyFlips)
+	}
+}
+
+func TestUnimputableLeftMissing(t *testing.T) {
+	// No RFD has B as RHS -> the missing B must stay missing.
+	rel, err := dataset.ReadCSVString(`A,B
+x,1
+x,
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := rfd.Set{rfd.MustParse("B(<=0) -> A(<=0)", rel.Schema())}
+	res, err := New(sigma).Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Imputed != 0 || res.Stats.Unimputed != 1 {
+		t.Errorf("stats = %+v, want 0/1", res.Stats)
+	}
+	if len(res.Unimputed) != 1 || res.Unimputed[0] != (dataset.Cell{Row: 1, Attr: 1}) {
+		t.Errorf("Unimputed = %v", res.Unimputed)
+	}
+}
+
+func TestVerificationBlocksAllCandidates(t *testing.T) {
+	// The only candidate value violates a dependency with the imputed
+	// attribute on the LHS -> the cell must stay missing (Sec. 4: "it is
+	// better to leave t[A] unimputed").
+	rel, err := dataset.ReadCSVString(`A,B,C
+x,b1,1
+x,,2
+y,b1,9
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := rel.Schema()
+	sigma := rfd.Set{
+		rfd.MustParse("A(<=0) -> B(<=0)", schema), // candidate: row0's b1
+		rfd.MustParse("B(<=0) -> C(<=1)", schema), // but then rows 1,2 share B with C gap 7
+	}
+	res, err := New(sigma).Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Relation.Get(1, 1).IsNull() {
+		t.Errorf("row1.B = %v, want missing (all candidates faulty)", res.Relation.Get(1, 1))
+	}
+	if res.Stats.VerifyRejections == 0 {
+		t.Error("expected rejections recorded")
+	}
+}
+
+func TestVerifyOffAcceptsFirstCandidate(t *testing.T) {
+	rel, err := dataset.ReadCSVString(`A,B,C
+x,b1,1
+x,,2
+y,b1,9
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := rel.Schema()
+	sigma := rfd.Set{
+		rfd.MustParse("A(<=0) -> B(<=0)", schema),
+		rfd.MustParse("B(<=0) -> C(<=1)", schema),
+	}
+	res, err := New(sigma, WithVerifyMode(VerifyOff)).Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Relation.Get(1, 1); got.Str() != "b1" {
+		t.Errorf("row1.B = %v, want b1 under VerifyOff", got)
+	}
+}
+
+func TestVerifyBothSidesCatchesRHSBreach(t *testing.T) {
+	// Imputing B can newly witness a violation of φ with B on the RHS:
+	// rows 1 and 2 share A (so A(<=0) -> B(<=0) fires) but the imputed B
+	// would differ from row 2's. The literal Algorithm 4 (VerifyLHS)
+	// misses it; VerifyBothSides must reject.
+	rel, err := dataset.ReadCSVString(`A,B,K
+p,b1,k1
+q,,k1
+q,b2,zzz
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := rel.Schema()
+	sigma := rfd.Set{
+		rfd.MustParse("K(<=0) -> B(<=0)", schema), // donor: row0 (K k1)
+		rfd.MustParse("A(<=0) -> B(<=0)", schema), // rows 1,2 share A
+	}
+	lhsOnly, err := New(sigma).Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lhsOnly.Relation.Get(1, 1); got.Str() != "b1" {
+		t.Fatalf("VerifyLHS run imputed %v, want b1 (breach invisible to Algorithm 4)", got)
+	}
+	both, err := New(sigma, WithVerifyMode(VerifyBothSides)).Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !both.Relation.Get(1, 1).IsNull() {
+		t.Errorf("VerifyBothSides imputed %v, want rejection", both.Relation.Get(1, 1))
+	}
+}
+
+func TestClusterOrderAscendingPrefersTightCluster(t *testing.T) {
+	// Two clusters can impute B: a tight one (RHS<=0) via attribute K and
+	// a loose one (RHS<=5) via attribute L. Donor values differ; the
+	// ascending order must take the tight cluster's donor.
+	rel, err := dataset.ReadCSVString(`K,L,B
+k1,l9,tight
+k9,l1,loose
+k1,l1,
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := rel.Schema()
+	sigma := rfd.Set{
+		rfd.MustParse("K(<=0) -> B(<=0)", schema),
+		rfd.MustParse("L(<=0) -> B(<=5)", schema),
+	}
+	asc, err := New(sigma).Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := asc.Relation.Get(2, 2); got.Str() != "tight" {
+		t.Errorf("ascending order imputed %q, want tight", got.Str())
+	}
+	desc, err := New(sigma, WithClusterOrder(DescendingThreshold)).Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := desc.Relation.Get(2, 2); got.Str() != "loose" {
+		t.Errorf("descending order imputed %q, want loose", got.Str())
+	}
+}
+
+func TestNoClusteringFlattens(t *testing.T) {
+	rel, err := dataset.ReadCSVString(`K,L,B
+k1,l9,tight
+k9,l1,loose
+k1,l1,
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := rel.Schema()
+	sigma := rfd.Set{
+		rfd.MustParse("K(<=0) -> B(<=0)", schema),
+		rfd.MustParse("L(<=0) -> B(<=5)", schema),
+	}
+	res, err := New(sigma, WithoutClustering()).Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One flat cluster: both donors are candidates at dist 0; tie broken
+	// by row index -> row 0's value.
+	if got := res.Relation.Get(2, 2); got.Str() != "tight" {
+		t.Errorf("flat cluster imputed %q, want tight (row-index tie-break)", got.Str())
+	}
+	if res.Stats.ClustersScanned != 1 {
+		t.Errorf("ClustersScanned = %d, want 1", res.Stats.ClustersScanned)
+	}
+}
+
+func TestNoRankingTakesRowOrder(t *testing.T) {
+	// Candidates at distances 2 (row0) and 0 (row1). Ranked: row1 wins.
+	// Unranked: row0 wins.
+	rel, err := dataset.ReadCSVString(`K,B
+kaa,far
+kzz,near
+kzz,
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := rfd.Set{rfd.MustParse("K(<=3) -> B(<=100)", rel.Schema())}
+	ranked, err := New(sigma).Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ranked.Relation.Get(2, 1); got.Str() != "near" {
+		t.Errorf("ranked imputed %q, want near", got.Str())
+	}
+	unranked, err := New(sigma, WithoutRanking()).Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := unranked.Relation.Get(2, 1); got.Str() != "far" {
+		t.Errorf("unranked imputed %q, want far (row order)", got.Str())
+	}
+}
+
+func TestMaxCandidatesCap(t *testing.T) {
+	// The nearest candidate is rejected by verification; with the cap at 1
+	// the cell stays missing, without a cap the second candidate passes.
+	// Row 2 exists only to make the verifying dependency non-key on the
+	// input (a key-RFDc would be filtered from Σ' and never verified).
+	rel, err := dataset.ReadCSVString(`K,B,C
+kz,bad,1
+kzz,good,5
+qqqqq,bad,1
+kz,,5
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := rel.Schema()
+	sigma := rfd.Set{
+		rfd.MustParse("K(<=2) -> B(<=100)", schema),
+		rfd.MustParse("B(<=0) -> C(<=1)", schema),
+	}
+	free, err := New(sigma).Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := free.Relation.Get(3, 1); got.Str() != "good" {
+		t.Fatalf("uncapped imputed %q, want good", got.Str())
+	}
+	capped, err := New(sigma, WithMaxCandidates(1)).Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !capped.Relation.Get(3, 1).IsNull() {
+		t.Errorf("capped imputed %v, want missing", capped.Relation.Get(3, 1))
+	}
+}
+
+func TestCompleteInstanceNoOp(t *testing.T) {
+	rel, err := dataset.ReadCSVString("A,B\nx,1\ny,2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(rfd.Set{rfd.MustParse("A(<=0) -> B(<=0)", rel.Schema())}).Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Relation.Equal(rel) {
+		t.Error("complete instance changed")
+	}
+	if res.Stats.MissingCells != 0 || res.Stats.Imputed != 0 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+}
+
+func TestEmptySigma(t *testing.T) {
+	rel := table2(t)
+	res, err := New(nil).Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Imputed != 0 || res.Stats.Unimputed != 4 {
+		t.Errorf("stats = %+v, want nothing imputed", res.Stats)
+	}
+}
+
+func TestSchemaMismatchError(t *testing.T) {
+	rel, err := dataset.ReadCSVString("A,B\nx,1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := rfd.MustNew([]rfd.Constraint{{Attr: 5}}, rfd.Constraint{Attr: 1})
+	if _, err := New(rfd.Set{bad}).Impute(rel); err == nil {
+		t.Error("LHS attr out of schema accepted")
+	}
+	bad2 := rfd.MustNew([]rfd.Constraint{{Attr: 0}}, rfd.Constraint{Attr: 7})
+	if _, err := New(rfd.Set{bad2}).Impute(rel); err == nil {
+		t.Error("RHS attr out of schema accepted")
+	}
+}
+
+func TestSemanticConsistencyPreserved(t *testing.T) {
+	// Definition 4.3 under the literal Algorithm 4: after the run, no
+	// dependency that held before may be violated via the imputed
+	// attribute's LHS occurrences. With VerifyBothSides the full r' ⊨ Σ'
+	// must hold for every dependency that held on the input.
+	rel := table2(t)
+	sigma := figure1Sigma(t, rel.Schema())
+	res, err := New(sigma, WithVerifyMode(VerifyBothSides)).Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, dep := range sigma {
+		if dep.HoldsOn(rel) && !dep.HoldsOn(res.Relation) {
+			t.Errorf("φ%d held on input but is violated after imputation", i+1)
+		}
+	}
+}
+
+func TestStatsCountersConsistent(t *testing.T) {
+	rel := table2(t)
+	res, err := New(figure1Sigma(t, rel.Schema())).Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	if s.Imputed+s.Unimputed != s.MissingCells {
+		t.Errorf("imputed %d + unimputed %d != missing %d", s.Imputed, s.Unimputed, s.MissingCells)
+	}
+	if s.CandidatesTried != s.Imputed+s.VerifyRejections {
+		t.Errorf("tried %d != imputed %d + rejected %d", s.CandidatesTried, s.Imputed, s.VerifyRejections)
+	}
+	if s.CandidatesEvaluated < s.CandidatesTried {
+		t.Errorf("evaluated %d < tried %d", s.CandidatesEvaluated, s.CandidatesTried)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rel := table2(t)
+	sigma := figure1Sigma(t, rel.Schema())
+	a, err := New(sigma).Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(sigma).Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Relation.Equal(b.Relation) {
+		t.Error("two identical runs diverged")
+	}
+}

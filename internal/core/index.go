@@ -1,0 +1,189 @@
+package core
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/distance"
+	"repro/internal/rfd"
+)
+
+// donorIndex is an inverted index value → row list for the attributes
+// that appear with threshold 0 on some LHS in Σ. An RFDc premise with an
+// equality constraint (threshold 0 means exact match for every domain)
+// can only be satisfied by donors sharing the tuple's value on that
+// attribute, so the candidate scan can jump straight to the matching
+// rows instead of sweeping the whole instance. Attributes constrained
+// only with positive thresholds fall back to the full scan.
+//
+// The index tracks the working relation: committed imputations insert
+// the new value (nulls are never indexed, and imputation only ever
+// turns nulls into values, so no deletions are needed).
+type donorIndex struct {
+	// rows[attr][value string] = row indices holding that value, in
+	// ascending order. Nil map entry = attribute not indexed.
+	rows []map[string][]int
+}
+
+// newDonorIndex builds the index over the attributes that some
+// dependency in Σ constrains with threshold 0.
+func newDonorIndex(rel *dataset.Relation, sigma rfd.Set) *donorIndex {
+	m := rel.Schema().Len()
+	indexed := make([]bool, m)
+	any := false
+	for _, dep := range sigma {
+		for _, c := range dep.LHS {
+			if c.Threshold == 0 {
+				indexed[c.Attr] = true
+				any = true
+			}
+		}
+	}
+	if !any {
+		return nil
+	}
+	idx := &donorIndex{rows: make([]map[string][]int, m)}
+	for a := 0; a < m; a++ {
+		if indexed[a] {
+			idx.rows[a] = map[string][]int{}
+		}
+	}
+	for i := 0; i < rel.Len(); i++ {
+		t := rel.Row(i)
+		for a := 0; a < m; a++ {
+			if idx.rows[a] == nil || t[a].IsNull() {
+				continue
+			}
+			key := t[a].String()
+			idx.rows[a][key] = append(idx.rows[a][key], i)
+		}
+	}
+	return idx
+}
+
+// insert records a committed imputation.
+func (idx *donorIndex) insert(row, attr int, v dataset.Value) {
+	if idx == nil || idx.rows[attr] == nil || v.IsNull() {
+		return
+	}
+	key := v.String()
+	list := idx.rows[attr][key]
+	// Keep ascending order; imputation order is row-major so appends are
+	// usually already sorted, but donors.go and streams can insert out
+	// of order.
+	pos := len(list)
+	for pos > 0 && list[pos-1] > row {
+		pos--
+	}
+	list = append(list, 0)
+	copy(list[pos+1:], list[pos:])
+	list[pos] = row
+	idx.rows[attr][key] = list
+}
+
+// lookup returns the rows whose attr equals the value, or (nil, false)
+// when the attribute is not indexed.
+func (idx *donorIndex) lookup(attr int, v dataset.Value) ([]int, bool) {
+	if idx == nil || idx.rows[attr] == nil {
+		return nil, false
+	}
+	return idx.rows[attr][v.String()], true
+}
+
+// candidateRows returns the donor rows worth scanning for the cluster:
+// for each dependency, the rows matching one of its equality constraints
+// (via the index) or all rows when the dependency has no usable equality
+// constraint. The result is a deduplicated ascending row list; the
+// boolean is false when at least one dependency required the full scan,
+// in which case the caller should sweep everything.
+func (idx *donorIndex) candidateRows(work *dataset.Relation, row int, deps rfd.Set) ([]int, bool) {
+	if idx == nil {
+		return nil, false
+	}
+	t := work.Row(row)
+	seen := map[int]bool{}
+	var out []int
+	for _, dep := range deps {
+		matched := false
+		for _, c := range dep.LHS {
+			if c.Threshold != 0 {
+				continue
+			}
+			if t[c.Attr].IsNull() {
+				// The premise can never be satisfied for this tuple:
+				// a missing component fails the constraint, so this
+				// dependency contributes no candidates at all.
+				matched = true
+				break
+			}
+			if rows, ok := idx.lookup(c.Attr, t[c.Attr]); ok {
+				matched = true
+				for _, r := range rows {
+					if r != row && !seen[r] {
+						seen[r] = true
+						out = append(out, r)
+					}
+				}
+				break
+			}
+		}
+		if !matched {
+			return nil, false // this dependency needs the full sweep
+		}
+	}
+	// Ascending order for deterministic downstream processing.
+	insertionSort(out)
+	return out, true
+}
+
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}
+
+// findCandidateTuplesIndexed is findCandidateTuples restricted to the
+// index-provided row set. Results are identical to the full scan because
+// every donor outside the set fails all premises.
+func findCandidateTuplesIndexed(work *dataset.Relation, rows []int, row, attr int, deps rfd.Set) []candidate {
+	m := work.Schema().Len()
+	needed := make([]int, 0, m)
+	seen := make([]bool, m)
+	for _, dep := range deps {
+		for _, c := range dep.LHS {
+			if !seen[c.Attr] {
+				seen[c.Attr] = true
+				needed = append(needed, c.Attr)
+			}
+		}
+	}
+	t := work.Row(row)
+	p := make(distance.Pattern, m)
+	var cands []candidate
+	for _, j := range rows {
+		tj := work.Row(j)
+		if tj[attr].IsNull() {
+			continue
+		}
+		for _, a := range needed {
+			p[a] = distance.Values(t[a], tj[a])
+		}
+		distMin, found := 0.0, false
+		for _, dep := range deps {
+			if !dep.LHSSatisfiedBy(p) {
+				continue
+			}
+			d, ok := p.MeanOver(dep.LHSAttrs())
+			if !ok {
+				continue
+			}
+			if !found || d < distMin {
+				distMin, found = d, true
+			}
+		}
+		if found {
+			cands = append(cands, candidate{row: j, dist: distMin})
+		}
+	}
+	return cands
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/rfd"
+)
+
+func TestDonorIndexNilSafety(t *testing.T) {
+	var idx *donorIndex
+	if _, ok := idx.lookup(0, dataset.NewString("x")); ok {
+		t.Error("nil index claimed a lookup")
+	}
+	if _, ok := idx.candidateRows(nil, 0, nil); ok {
+		t.Error("nil index claimed candidate rows")
+	}
+	idx.insert(0, 0, dataset.NewString("x")) // must not panic
+}
+
+func TestDonorIndexOnlyEqualityAttrsIndexed(t *testing.T) {
+	rel := table2(t)
+	sigma := figure1Sigma(t, rel.Schema())
+	idx := newDonorIndex(rel, sigma)
+	if idx == nil {
+		t.Fatal("index not built despite threshold-0 constraints (Phone in φ1, φ5)")
+	}
+	phone := rel.Schema().MustIndex("Phone")
+	name := rel.Schema().MustIndex("Name")
+	if idx.rows[phone] == nil {
+		t.Error("Phone (threshold 0 in φ1/φ5) not indexed")
+	}
+	if idx.rows[name] != nil {
+		t.Error("Name (never threshold 0) indexed")
+	}
+	// Lookup correctness: the shared Fenix phone maps to rows 4 and 5.
+	rows, ok := idx.lookup(phone, dataset.NewString("213/848-6677"))
+	if !ok || len(rows) != 2 || rows[0] != 4 || rows[1] != 5 {
+		t.Errorf("lookup = %v, %v", rows, ok)
+	}
+}
+
+func TestDonorIndexNoEqualityConstraints(t *testing.T) {
+	rel := table2(t)
+	sigma := rfd.Set{rfd.MustParse("Name(<=4) -> Phone(<=1)", rel.Schema())}
+	if idx := newDonorIndex(rel, sigma); idx != nil {
+		t.Error("index built with no threshold-0 constraint")
+	}
+}
+
+func TestDonorIndexInsertKeepsOrder(t *testing.T) {
+	rel := table2(t)
+	sigma := figure1Sigma(t, rel.Schema())
+	idx := newDonorIndex(rel, sigma)
+	phone := rel.Schema().MustIndex("Phone")
+	// Insert a row out of order (smaller index than existing entries).
+	idx.insert(1, phone, dataset.NewString("213/848-6677"))
+	rows, _ := idx.lookup(phone, dataset.NewString("213/848-6677"))
+	if len(rows) != 3 || rows[0] != 1 || rows[1] != 4 || rows[2] != 5 {
+		t.Errorf("rows after insert = %v", rows)
+	}
+}
+
+// TestIndexedImputeEquivalence: the index never changes results — on
+// random instances and on the paper example, indexed and unindexed runs
+// are bit-identical.
+func TestIndexedImputeEquivalence(t *testing.T) {
+	rel := table2(t)
+	sigma := figure1Sigma(t, rel.Schema())
+	withIdx, err := New(sigma).Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := New(sigma, WithoutIndex()).Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !withIdx.Relation.Equal(without.Relation) {
+		t.Fatal("paper example: indexed run diverged")
+	}
+
+	rng := rand.New(rand.NewSource(202))
+	for trial := 0; trial < 120; trial++ {
+		inst := randomInstance(rng)
+		sg := randomSigma(rng, inst.Schema().Len())
+		a, err := New(sg).Impute(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := New(sg, WithoutIndex()).Impute(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Relation.Equal(b.Relation) {
+			t.Fatalf("trial %d: indexed run diverged", trial)
+		}
+		if len(a.Imputations) != len(b.Imputations) {
+			t.Fatalf("trial %d: imputation counts differ", trial)
+		}
+		for i := range a.Imputations {
+			if a.Imputations[i] != b.Imputations[i] {
+				t.Fatalf("trial %d: imputation %d differs:\n%+v\n%+v",
+					trial, i, a.Imputations[i], b.Imputations[i])
+			}
+		}
+	}
+}
+
+func TestCandidateRowsSemantics(t *testing.T) {
+	rel := table2(t)
+	// Cluster with a single equality-using dependency: φ5's premise needs
+	// Phone(<=0), so only equal-phone donors are worth scanning.
+	sigma := rfd.Set{rfd.MustParse("Name(<=8), Phone(<=0) -> City(<=9)", rel.Schema())}
+	idx := newDonorIndex(rel, sigma)
+	// t6 (row 5) has phone 213/848-6677 -> candidate rows must be {4}.
+	rows, ok := idx.candidateRows(rel, 5, sigma)
+	if !ok {
+		t.Fatal("index did not cover the cluster")
+	}
+	if len(rows) != 1 || rows[0] != 4 {
+		t.Errorf("candidate rows = %v, want [4]", rows)
+	}
+	// A cluster containing a dependency without equality constraints
+	// forces the full sweep.
+	mixed := rfd.Set{sigma[0], rfd.MustParse("Name(<=4) -> City(<=9)", rel.Schema())}
+	if _, ok := idx.candidateRows(rel, 5, mixed); ok {
+		t.Error("cluster with non-equality dependency should fall back")
+	}
+	// A tuple with a missing value on the equality attribute contributes
+	// nothing for that dependency (premise unsatisfiable).
+	rows, ok = idx.candidateRows(rel, 3, sigma) // t4's phone is missing
+	if !ok || len(rows) != 0 {
+		t.Errorf("unsatisfiable premise: rows = %v, ok = %v", rows, ok)
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/distance"
+	"repro/internal/rfd"
+)
+
+// keyTracker maintains the key / non-key status of every RFDc in Σ as the
+// instance is imputed (Algorithm 1 line 14 done incrementally).
+//
+// Key status is monotone under imputation: filling a cell can only turn a
+// "_" pattern component into a value, which can newly satisfy an LHS but
+// never un-satisfy one, so a non-key RFDc stays non-key. After imputing
+// cell (row, attr) only the still-key RFDcs with attr on their LHS can
+// flip, and only via pairs involving that row — which keeps the
+// re-evaluation far below the naive O(|Σ|·n²) full rescan.
+type keyTracker struct {
+	rel   *dataset.Relation
+	sigma rfd.Set
+	// donors optionally extends the candidate search space (the
+	// multi-dataset extension): a dependency is useful — non-key for our
+	// purposes — as soon as some pair of one target tuple and any tuple
+	// in the search space satisfies its LHS.
+	donors []*dataset.Relation
+	isKey  []bool
+	keys   int // number of true entries in isKey
+}
+
+// newKeyTracker computes the initial key status of every RFDc with one
+// shared pass over the tuple pairs: each pair's distance pattern is
+// computed once and tested against every RFDc still marked key.
+func newKeyTracker(rel *dataset.Relation, sigma rfd.Set) *keyTracker {
+	return newKeyTrackerWithDonors(rel, sigma, nil)
+}
+
+// newKeyTrackerWithDonors additionally absorbs target×donor pairs.
+func newKeyTrackerWithDonors(rel *dataset.Relation, sigma rfd.Set, donors []*dataset.Relation) *keyTracker {
+	kt := &keyTracker{rel: rel, sigma: sigma, donors: donors,
+		isKey: make([]bool, len(sigma)), keys: len(sigma)}
+	for i := range kt.isKey {
+		kt.isKey[i] = true
+	}
+	n := rel.Len()
+	m := rel.Schema().Len()
+	p := make(distance.Pattern, m)
+	for i := 0; i < n && kt.keys > 0; i++ {
+		ti := rel.Row(i)
+		for j := i + 1; j < n && kt.keys > 0; j++ {
+			distance.PatternInto(p, ti, rel.Row(j))
+			kt.absorb(p)
+		}
+		for _, donor := range kt.donors {
+			for j := 0; j < donor.Len() && kt.keys > 0; j++ {
+				distance.PatternInto(p, ti, donor.Row(j))
+				kt.absorb(p)
+			}
+		}
+	}
+	return kt
+}
+
+// absorb marks non-key every still-key RFDc whose LHS the pattern
+// satisfies.
+func (kt *keyTracker) absorb(p distance.Pattern) {
+	for s, dep := range kt.sigma {
+		if kt.isKey[s] && dep.LHSSatisfiedBy(p) {
+			kt.isKey[s] = false
+			kt.keys--
+		}
+	}
+}
+
+// afterImpute re-evaluates key status after cell (row, attr) gained a
+// value: pairs (row, j) are re-tested against the still-key RFDcs that
+// constrain attr on their LHS.
+func (kt *keyTracker) afterImpute(row, attr int) {
+	if kt.keys == 0 {
+		return
+	}
+	affected := false
+	for s, dep := range kt.sigma {
+		if kt.isKey[s] && dep.HasLHSAttr(attr) {
+			affected = true
+			break
+		}
+	}
+	if !affected {
+		return
+	}
+	n := kt.rel.Len()
+	m := kt.rel.Schema().Len()
+	p := make(distance.Pattern, m)
+	t := kt.rel.Row(row)
+	check := func(other dataset.Tuple) {
+		distance.PatternInto(p, t, other)
+		for s, dep := range kt.sigma {
+			if kt.isKey[s] && dep.HasLHSAttr(attr) && dep.LHSSatisfiedBy(p) {
+				kt.isKey[s] = false
+				kt.keys--
+			}
+		}
+	}
+	for j := 0; j < n && kt.keys > 0; j++ {
+		if j == row {
+			continue
+		}
+		check(kt.rel.Row(j))
+	}
+	for _, donor := range kt.donors {
+		for j := 0; j < donor.Len() && kt.keys > 0; j++ {
+			check(donor.Row(j))
+		}
+	}
+}
+
+// nonKeys returns the current Σ' in Σ order.
+func (kt *keyTracker) nonKeys() rfd.Set {
+	out := make(rfd.Set, 0, len(kt.sigma)-kt.keys)
+	for s, dep := range kt.sigma {
+		if !kt.isKey[s] {
+			out = append(out, dep)
+		}
+	}
+	return out
+}

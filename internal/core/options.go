@@ -1,0 +1,109 @@
+// Package core implements RENUVER (RFD-based NUll ValuE Repairer), the
+// paper's primary contribution: Algorithms 1-4 of Breve et al., EDBT 2022.
+//
+// Given a relation instance with missing values and a set Σ of RFDcs
+// holding on it, RENUVER:
+//
+//	(a) pre-processes — collects the incomplete tuples r̂ and drops
+//	    key-RFDcs from Σ (they cannot produce candidates);
+//	(b) selects, per missing value t[A], the RFDcs with RHS A and clusters
+//	    them by RHS threshold (tightest first);
+//	(c) per cluster, finds plausible candidate tuples via the LHS
+//	    constraints, ranks them by mean LHS distance (Eq. 2), and imputes
+//	    with the closest candidate that keeps the instance semantically
+//	    consistent (IS_FAULTLESS); imputed tuples immediately become donors
+//	    for later missing values, and key-RFDcs are re-evaluated after
+//	    every successful imputation (a key can turn non-key, Example 5.1).
+package core
+
+// ClusterOrder selects the order in which RHS-threshold clusters are
+// tried for one missing value.
+type ClusterOrder int
+
+const (
+	// AscendingThreshold tries the tightest RHS cluster first. This is
+	// the order in the prose of Sec. 5 step (b) and the worked example of
+	// Figure 1 (ρ⁰ before ρ¹ before ρ²), and the package default.
+	AscendingThreshold ClusterOrder = iota
+	// DescendingThreshold tries the loosest cluster first — the literal
+	// reading of Algorithm 2 line 1. Exposed for the ablation study.
+	DescendingThreshold
+)
+
+// VerifyMode selects which dependencies IS_FAULTLESS re-checks after a
+// tentative imputation of attribute A.
+type VerifyMode int
+
+const (
+	// VerifyLHS re-checks only the RFDcs with A on the LHS — the literal
+	// Algorithm 4 (its line 1 selects φ with A ⊆ X).
+	VerifyLHS VerifyMode = iota
+	// VerifyBothSides additionally re-checks RFDcs with A as the RHS
+	// attribute: imputing t[A] can also newly witness an RHS breach.
+	// This is the full Definition 4.3 semantic-consistency guarantee.
+	VerifyBothSides
+	// VerifyOff skips verification entirely (ablation A1): the closest
+	// candidate always wins.
+	VerifyOff
+)
+
+// Options tunes the imputer. The zero value is the paper-faithful
+// configuration.
+type Options struct {
+	// ClusterOrder is the order RHS-threshold clusters are tried in.
+	ClusterOrder ClusterOrder
+	// Verify selects the IS_FAULTLESS behaviour.
+	Verify VerifyMode
+	// NoClustering disables the Λ partition (ablation A2): all RFDcs for
+	// the attribute are treated as one flat cluster.
+	NoClustering bool
+	// NoRanking disables the distance sort of T_candidate (ablation A3):
+	// candidates are tried in row order.
+	NoRanking bool
+	// NoKeyReevaluation disables Algorithm 1 line 14 (re-checking key
+	// status after each imputation). Key-RFDcs then stay filtered with
+	// their initial status for the whole run.
+	NoKeyReevaluation bool
+	// MaxCandidates, when positive, caps how many ranked candidates are
+	// tried per cluster before moving on. Zero means unlimited.
+	MaxCandidates int
+	// Workers, when above 1, parallelizes the tuple scans (candidate
+	// generation, verification, and the initial key-RFDc detection)
+	// across that many goroutines. Results are bit-identical to the
+	// serial run; the imputation loop itself stays sequential because
+	// imputed tuples become donors for later cells.
+	Workers int
+	// NoIndex disables the donor index — the inverted value index on
+	// equality-constrained (threshold 0) LHS attributes that lets
+	// candidate generation skip donors that cannot satisfy any premise.
+	// Results are identical either way.
+	NoIndex bool
+}
+
+// Option mutates Options; used by New.
+type Option func(*Options)
+
+// WithClusterOrder sets the cluster traversal order.
+func WithClusterOrder(o ClusterOrder) Option { return func(op *Options) { op.ClusterOrder = o } }
+
+// WithVerifyMode sets the IS_FAULTLESS behaviour.
+func WithVerifyMode(m VerifyMode) Option { return func(op *Options) { op.Verify = m } }
+
+// WithoutClustering flattens the Λ partition (ablation A2).
+func WithoutClustering() Option { return func(op *Options) { op.NoClustering = true } }
+
+// WithoutRanking keeps candidates in row order (ablation A3).
+func WithoutRanking() Option { return func(op *Options) { op.NoRanking = true } }
+
+// WithoutKeyReevaluation freezes key status at pre-processing time.
+func WithoutKeyReevaluation() Option { return func(op *Options) { op.NoKeyReevaluation = true } }
+
+// WithMaxCandidates caps the candidates tried per cluster.
+func WithMaxCandidates(k int) Option { return func(op *Options) { op.MaxCandidates = k } }
+
+// WithWorkers parallelizes the tuple scans across n goroutines.
+func WithWorkers(n int) Option { return func(op *Options) { op.Workers = n } }
+
+// WithoutIndex disables the donor index on equality-constrained LHS
+// attributes.
+func WithoutIndex() Option { return func(op *Options) { op.NoIndex = true } }

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dataset"
+	"repro/internal/distance"
+	"repro/internal/rfd"
+)
+
+// chunkRanges splits [0, n) into at most workers contiguous ranges.
+func chunkRanges(n, workers int) [][2]int {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var out [][2]int
+	size := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// findCandidateTuplesParallel computes the same candidate list as
+// findCandidateTuples, chunking the donor scan across workers. Chunks
+// are contiguous row ranges concatenated in order, so the output is
+// bit-identical to the serial scan.
+func findCandidateTuplesParallel(work *dataset.Relation, row, attr int, deps rfd.Set, workers int) []candidate {
+	n := work.Len()
+	if workers <= 1 || n < 2*workers {
+		return findCandidateTuples(work, row, attr, deps)
+	}
+	m := work.Schema().Len()
+	needed := make([]int, 0, m)
+	seen := make([]bool, m)
+	for _, dep := range deps {
+		for _, c := range dep.LHS {
+			if !seen[c.Attr] {
+				seen[c.Attr] = true
+				needed = append(needed, c.Attr)
+			}
+		}
+	}
+	t := work.Row(row)
+	ranges := chunkRanges(n, workers)
+	parts := make([][]candidate, len(ranges))
+	var wg sync.WaitGroup
+	for ci, rg := range ranges {
+		wg.Add(1)
+		go func(ci int, lo, hi int) {
+			defer wg.Done()
+			p := make(distance.Pattern, m)
+			var local []candidate
+			for j := lo; j < hi; j++ {
+				if j == row {
+					continue
+				}
+				tj := work.Row(j)
+				if tj[attr].IsNull() {
+					continue
+				}
+				for _, a := range needed {
+					p[a] = distance.Values(t[a], tj[a])
+				}
+				distMin, found := 0.0, false
+				for _, dep := range deps {
+					if !dep.LHSSatisfiedBy(p) {
+						continue
+					}
+					d, ok := p.MeanOver(dep.LHSAttrs())
+					if !ok {
+						continue
+					}
+					if !found || d < distMin {
+						distMin, found = d, true
+					}
+				}
+				if found {
+					local = append(local, candidate{row: j, dist: distMin})
+				}
+			}
+			parts[ci] = local
+		}(ci, rg[0], rg[1])
+	}
+	wg.Wait()
+	var out []candidate
+	for _, part := range parts {
+		out = append(out, part...)
+	}
+	return out
+}
+
+// isFaultlessParallel mirrors isFaultless with a chunked scan; the first
+// violation found anywhere flips a shared flag and stops the other
+// workers at their next check.
+func (im *Imputer) isFaultlessParallel(work *dataset.Relation, row, attr int, sigmaPrime rfd.Set) bool {
+	if im.opts.Verify == VerifyOff {
+		return true
+	}
+	var relevant rfd.Set
+	for _, dep := range sigmaPrime {
+		if dep.HasLHSAttr(attr) || (im.opts.Verify == VerifyBothSides && dep.RHS.Attr == attr) {
+			relevant = append(relevant, dep)
+		}
+	}
+	if len(relevant) == 0 {
+		return true
+	}
+	n := work.Len()
+	if im.opts.Workers <= 1 || n < 2*im.opts.Workers {
+		return im.isFaultless(work, row, attr, sigmaPrime)
+	}
+	m := work.Schema().Len()
+	needed := make([]int, 0, m)
+	seen := make([]bool, m)
+	mark := func(a int) {
+		if !seen[a] {
+			seen[a] = true
+			needed = append(needed, a)
+		}
+	}
+	for _, dep := range relevant {
+		for _, c := range dep.LHS {
+			mark(c.Attr)
+		}
+		mark(dep.RHS.Attr)
+	}
+	t := work.Row(row)
+	var violated atomic.Bool
+	var wg sync.WaitGroup
+	for _, rg := range chunkRanges(n, im.opts.Workers) {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			p := make(distance.Pattern, m)
+			for i := lo; i < hi; i++ {
+				if i == row {
+					continue
+				}
+				if violated.Load() {
+					return
+				}
+				ti := work.Row(i)
+				for _, a := range needed {
+					p[a] = distance.Values(t[a], ti[a])
+				}
+				for _, dep := range relevant {
+					if dep.ViolatedBy(p) {
+						violated.Store(true)
+						return
+					}
+				}
+			}
+		}(rg[0], rg[1])
+	}
+	wg.Wait()
+	return !violated.Load()
+}
+
+// newKeyTrackerParallel computes the initial key status with the pair
+// scan chunked over the first index. Each dependency's status is an
+// atomic flag: a stale read only causes redundant work, never a wrong
+// verdict, because absorb-marking is monotone.
+func newKeyTrackerParallel(rel *dataset.Relation, sigma rfd.Set, workers int) *keyTracker {
+	n := rel.Len()
+	if workers <= 1 || n < 2*workers || len(sigma) == 0 {
+		return newKeyTracker(rel, sigma)
+	}
+	kt := &keyTracker{rel: rel, sigma: sigma, isKey: make([]bool, len(sigma))}
+	flags := make([]atomic.Bool, len(sigma)) // true = still key
+	for i := range flags {
+		flags[i].Store(true)
+	}
+	var remaining atomic.Int64
+	remaining.Store(int64(len(sigma)))
+
+	m := rel.Schema().Len()
+	var wg sync.WaitGroup
+	for _, rg := range chunkRanges(n, workers) {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			p := make(distance.Pattern, m)
+			for i := lo; i < hi; i++ {
+				if remaining.Load() == 0 {
+					return
+				}
+				ti := rel.Row(i)
+				for j := i + 1; j < n; j++ {
+					distance.PatternInto(p, ti, rel.Row(j))
+					for s, dep := range sigma {
+						if flags[s].Load() && dep.LHSSatisfiedBy(p) {
+							if flags[s].CompareAndSwap(true, false) {
+								remaining.Add(-1)
+							}
+						}
+					}
+				}
+			}
+		}(rg[0], rg[1])
+	}
+	wg.Wait()
+	for s := range flags {
+		kt.isKey[s] = flags[s].Load()
+		if kt.isKey[s] {
+			kt.keys++
+		}
+	}
+	return kt
+}

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// Report renders a human-readable audit of the run: one line per imputed
+// cell with full provenance (donor row, distance, cluster, attempt) and
+// one per cell left missing. Attribute names come from the schema. This
+// is the text cmd/renuver prints under -report.
+func (res *Result) Report(schema *dataset.Schema) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "imputed %d/%d cells, %d left missing\n",
+		res.Stats.Imputed, res.Stats.MissingCells, res.Stats.Unimputed)
+	for _, imp := range res.Imputations {
+		source := ""
+		if imp.DonorSource >= 0 {
+			source = fmt.Sprintf(" [donor dataset %d]", imp.DonorSource)
+		}
+		fmt.Fprintf(&sb, "  row %d, %s <- %q (donor row %d%s, dist %.3f, cluster thr %g, attempt %d)\n",
+			imp.Cell.Row+1, schema.Attr(imp.Cell.Attr).Name, imp.Value.String(),
+			imp.Donor+1, source, imp.Distance, imp.ClusterThreshold, imp.Attempt)
+	}
+	for _, cell := range res.Unimputed {
+		fmt.Fprintf(&sb, "  row %d, %s left missing\n",
+			cell.Row+1, schema.Attr(cell.Attr).Name)
+	}
+	return sb.String()
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestResultReport(t *testing.T) {
+	rel := table2(t)
+	sigma := figure1Sigma(t, rel.Schema())
+	res, err := New(sigma).Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := res.Report(rel.Schema())
+	for _, want := range []string{
+		"imputed 4/4 cells, 0 left missing",
+		`row 7, Phone <- "310-392-9025"`,
+		"attempt 3",
+		`row 6, City <- "Hollywood"`,
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report lacks %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestResultReportUnimputedAndDonorSource(t *testing.T) {
+	target, err := New(nil).Impute(table2(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := target.Report(table2(t).Schema())
+	if !strings.Contains(report, "left missing") {
+		t.Errorf("report lacks unimputed lines:\n%s", report)
+	}
+	// Donor-source annotation appears for pool imputations.
+	rel := table2(t)
+	sigma := figure1Sigma(t, rel.Schema())
+	res, err := New(sigma).ImputeWithDonors(rel.Head(7), []*dataset.Relation{rel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report(rel.Schema())
+	if len(res.Imputations) > 0 {
+		hasPool := false
+		for _, imp := range res.Imputations {
+			if imp.DonorSource >= 0 {
+				hasPool = true
+			}
+		}
+		if hasPool && !strings.Contains(rep, "donor dataset") {
+			t.Errorf("pool provenance missing:\n%s", rep)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/rfd"
+)
+
+func streamBase(t *testing.T) (*dataset.Relation, rfd.Set) {
+	t.Helper()
+	rel, err := dataset.ReadCSVString(`A,B
+k1,v1
+k2,v2
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel, rfd.Set{rfd.MustParse("A(<=0) -> B(<=0)", rel.Schema())}
+}
+
+func TestStreamAppendImputesOnArrival(t *testing.T) {
+	rel, sigma := streamBase(t)
+	s := New(sigma).NewStream(rel)
+	imps, err := s.Append(dataset.Tuple{dataset.NewString("k1"), dataset.Null})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imps) != 1 {
+		t.Fatalf("imputations = %v", imps)
+	}
+	if got := s.Relation().Get(2, 1); got.Str() != "v1" {
+		t.Errorf("appended tuple B = %v, want v1", got)
+	}
+	if st := s.Stats(); st.Imputed != 1 || st.MissingCells != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestStreamArrivalBecomesDonor(t *testing.T) {
+	rel, sigma := streamBase(t)
+	s := New(sigma).NewStream(rel)
+	// New key "k9" arrives complete, then an incomplete "k9" arrives and
+	// must be fillable from the earlier arrival.
+	if _, err := s.Append(dataset.Tuple{dataset.NewString("k9"), dataset.NewString("v9")}); err != nil {
+		t.Fatal(err)
+	}
+	imps, err := s.Append(dataset.Tuple{dataset.NewString("k9"), dataset.Null})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imps) != 1 || imps[0].Value.Str() != "v9" {
+		t.Errorf("imputations = %+v, want v9 from the earlier arrival", imps)
+	}
+}
+
+func TestStreamUnimputableStaysMissingThenRetry(t *testing.T) {
+	rel, sigma := streamBase(t)
+	s := New(sigma).NewStream(rel)
+	// "k7" has no donor yet: stays missing.
+	if _, err := s.Append(dataset.Tuple{dataset.NewString("k7"), dataset.Null}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Relation().Get(2, 1).IsNull() {
+		t.Fatal("imputed without any donor")
+	}
+	if st := s.Stats(); st.Unimputed != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// The donor arrives later; RetryMissing fills the backlog.
+	if _, err := s.Append(dataset.Tuple{dataset.NewString("k7"), dataset.NewString("v7")}); err != nil {
+		t.Fatal(err)
+	}
+	imps := s.RetryMissing()
+	if len(imps) != 1 || imps[0].Value.Str() != "v7" {
+		t.Fatalf("RetryMissing = %+v", imps)
+	}
+	if got := s.Relation().Get(2, 1); got.Str() != "v7" {
+		t.Errorf("backlog cell = %v", got)
+	}
+	if st := s.Stats(); st.Unimputed != 0 || st.Imputed != 1 {
+		t.Errorf("stats after retry = %+v", st)
+	}
+}
+
+func TestStreamKeyRFDFreedByArrival(t *testing.T) {
+	// φ is key on the base (no pair satisfies A(<=0)); an arriving
+	// duplicate key makes it usable without a full rescan.
+	rel, err := dataset.ReadCSVString(`A,B
+k1,v1
+k2,v2
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := rfd.Set{rfd.MustParse("A(<=0) -> B(<=0)", rel.Schema())}
+	if !sigma[0].IsKey(rel) {
+		t.Fatal("precondition: φ key on base")
+	}
+	s := New(sigma).NewStream(rel)
+	// Incomplete k1 arrives first: the pair (row0, new) satisfies the
+	// LHS... wait, its B is missing, but the LHS is A only -> the pair
+	// (k1, k1) flips φ to non-key AND provides the donor.
+	imps, err := s.Append(dataset.Tuple{dataset.NewString("k1"), dataset.Null})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imps) != 1 || imps[0].Value.Str() != "v1" {
+		t.Errorf("imputations = %+v", imps)
+	}
+}
+
+func TestStreamArityValidation(t *testing.T) {
+	rel, sigma := streamBase(t)
+	s := New(sigma).NewStream(rel)
+	if _, err := s.Append(dataset.Tuple{dataset.NewString("x")}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+}
+
+func TestStreamDoesNotMutateBase(t *testing.T) {
+	rel, sigma := streamBase(t)
+	s := New(sigma).NewStream(rel)
+	if _, err := s.Append(dataset.Tuple{dataset.NewString("k1"), dataset.Null}); err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 {
+		t.Error("base relation mutated by stream")
+	}
+}
+
+func TestStreamMatchesBatchOnSameData(t *testing.T) {
+	// Feeding the incomplete tuples of Table 2 one at a time (after the
+	// complete ones) must impute at least as consistently as the batch
+	// run does on the same donors: each imputed value must match what a
+	// batch imputation over the final instance would accept.
+	rel := table2(t)
+	sigma := figure1Sigma(t, rel.Schema())
+	base := rel.Head(3) // t1..t3 are complete
+	s := New(sigma).NewStream(base)
+	for i := 3; i < rel.Len(); i++ {
+		if _, err := s.Append(rel.Row(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RetryMissing()
+	got := s.Relation()
+	if got.Len() != rel.Len() {
+		t.Fatalf("stream length %d", got.Len())
+	}
+	// The worked-example cells must agree with the batch outcome.
+	phone := rel.Schema().MustIndex("Phone")
+	city := rel.Schema().MustIndex("City")
+	if v := got.Get(3, phone); v.Str() != "213/857-0034" {
+		t.Errorf("t4[Phone] = %q", v.Str())
+	}
+	if v := got.Get(5, city); v.Str() != "Hollywood" {
+		t.Errorf("t6[City] = %q", v.Str())
+	}
+	if v := got.Get(6, phone); v.Str() != "310-392-9025" {
+		t.Errorf("t7[Phone] = %q", v.Str())
+	}
+}

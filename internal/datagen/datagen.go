@@ -1,0 +1,549 @@
+// Package datagen synthesizes the five evaluation datasets of the paper
+// (Table 3 and Sec. 6). The originals (Fodors/Zagat Restaurant, UCI Cars,
+// UCI Glass, UCI Bridges, Medicare Physician-Compare) cannot be shipped —
+// the module is offline and the Physician dump is no longer published —
+// so each generator reproduces the properties the algorithms actually
+// exercise: schema and cardinality, attribute domains and their
+// distance structure (near-duplicate strings with abbreviation and
+// separator variants, correlated numerics), and the inter-attribute
+// dependencies that make RFDcs discoverable.
+//
+// All generators are deterministic in (n, seed).
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// DefaultSizes mirror Table 3 and Table 5 of the paper.
+var DefaultSizes = map[string]int{
+	"restaurant": 864,
+	"cars":       406,
+	"glass":      214,
+	"bridges":    108,
+	"physician":  10359,
+}
+
+// ByName dispatches to a generator by its lowercase dataset name.
+func ByName(name string, n int, seed int64) (*dataset.Relation, error) {
+	switch strings.ToLower(name) {
+	case "restaurant":
+		return Restaurant(n, seed), nil
+	case "cars":
+		return Cars(n, seed), nil
+	case "glass":
+		return Glass(n, seed), nil
+	case "bridges":
+		return Bridges(n, seed), nil
+	case "physician":
+		return Physician(n, seed), nil
+	default:
+		return nil, fmt.Errorf("datagen: unknown dataset %q", name)
+	}
+}
+
+// Names lists the available generators in Table 3 order.
+func Names() []string {
+	return []string{"restaurant", "cars", "glass", "bridges", "physician"}
+}
+
+// ---------------------------------------------------------------------------
+// Restaurant — 864 tuples × 6 attributes (Name, Addr, City, Phone, Type,
+// Class). The original is the product of integrating Fodor's and Zagat's
+// guides, so many restaurants appear twice with abbreviated names,
+// different phone separators, and city aliases — precisely the
+// near-duplicate structure the paper's Table 2 sample shows and that
+// distance-based RFDcs exploit (Name ≈ → Phone ≈, Phone = → City ≈, ...).
+
+var restaurantNameFirst = []string{
+	"Granita", "Chinois", "Citrus", "Fenix", "Campanile", "Spago", "Patina",
+	"Lucques", "Matsuhisa", "Valentino", "Drago", "Vincenti", "Giorgio",
+	"Michael", "Nobu", "Remi", "Carmine", "Palio", "Union", "Gotham",
+	"Mesa", "Tribeca", "Montrachet", "Chanterelle", "Daniel", "Lespinasse",
+	"Bouley", "Aureole", "Lutece", "Oceana",
+}
+
+var restaurantNameSecond = []string{
+	"", "Main", "Grill", "Bistro", "Cafe", "Kitchen", "Garden", "House",
+	"Room", "Place", "Argyle", "West", "East", "on Main", "Downtown",
+}
+
+type cityInfo struct {
+	name    string
+	aliases []string
+	area    string
+}
+
+var restaurantCities = []cityInfo{
+	{name: "Los Angeles", aliases: []string{"LA", "L.A."}, area: "213"},
+	{name: "Malibu", aliases: []string{"Malibu"}, area: "310"},
+	{name: "Hollywood", aliases: []string{"W. Hollywood"}, area: "213"},
+	{name: "Santa Monica", aliases: []string{"S. Monica"}, area: "310"},
+	{name: "New York", aliases: []string{"New York City", "NY"}, area: "212"},
+	{name: "Brooklyn", aliases: []string{"Brooklyn"}, area: "718"},
+	{name: "Pasadena", aliases: []string{"Pasadena"}, area: "818"},
+	{name: "Venice", aliases: []string{"Venice"}, area: "310"},
+}
+
+type cuisineInfo struct {
+	name  string
+	class int64
+}
+
+var restaurantCuisines = []cuisineInfo{
+	{"Californian", 6}, {"French", 5}, {"French (new)", 5}, {"Italian", 4},
+	{"Japanese", 3}, {"American", 2}, {"American (new)", 2}, {"Steakhouse", 1},
+	{"Seafood", 7}, {"Mexican", 8}, {"Chinese", 9}, {"Continental", 0},
+}
+
+var streetNames = []string{
+	"Ocean Ave", "Main St", "Melrose Ave", "Sunset Blvd", "Wilshire Blvd",
+	"Broadway", "5th Ave", "Madison Ave", "Spring St", "Canal St",
+	"Pico Blvd", "La Cienega Blvd",
+}
+
+// Restaurant generates the restaurant dataset.
+func Restaurant(n int, seed int64) *dataset.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	schema := dataset.NewSchema(
+		dataset.Attribute{Name: "Name", Kind: dataset.KindString},
+		dataset.Attribute{Name: "Addr", Kind: dataset.KindString},
+		dataset.Attribute{Name: "City", Kind: dataset.KindString},
+		dataset.Attribute{Name: "Phone", Kind: dataset.KindString},
+		dataset.Attribute{Name: "Type", Kind: dataset.KindString},
+		dataset.Attribute{Name: "Class", Kind: dataset.KindInt},
+	)
+	rel := dataset.NewRelation(schema)
+
+	type entity struct {
+		name, addr, city, phone, cuisine string
+		class                            int64
+		cityIdx                          int
+	}
+	for rel.Len() < n {
+		first := restaurantNameFirst[rng.Intn(len(restaurantNameFirst))]
+		second := restaurantNameSecond[rng.Intn(len(restaurantNameSecond))]
+		name := strings.TrimSpace(first + " " + second)
+		ci := rng.Intn(len(restaurantCities))
+		city := restaurantCities[ci]
+		cu := restaurantCuisines[rng.Intn(len(restaurantCuisines))]
+		e := entity{
+			name:    name,
+			addr:    fmt.Sprintf("%d %s", 100+rng.Intn(9900), streetNames[rng.Intn(len(streetNames))]),
+			city:    city.name,
+			phone:   fmt.Sprintf("%s/%03d-%04d", city.area, 100+rng.Intn(900), rng.Intn(10000)),
+			cuisine: cu.name,
+			class:   cu.class,
+			cityIdx: ci,
+		}
+		// Primary row.
+		rel.MustAppend(restaurantRow(e.name, e.addr, e.city, e.phone, e.cuisine, e.class))
+		// ~40% of entities get an integration near-duplicate.
+		if rel.Len() < n && rng.Float64() < 0.4 {
+			dupName := e.name
+			if parts := strings.Fields(e.name); len(parts) > 1 && rng.Float64() < 0.6 {
+				dupName = parts[0][:1] + ". " + strings.Join(parts[1:], " ") // "Chinois Main" -> "C. Main"
+			}
+			dupCity := e.city
+			if als := restaurantCities[e.cityIdx].aliases; rng.Float64() < 0.5 {
+				dupCity = als[rng.Intn(len(als))]
+			}
+			dupPhone := strings.Replace(e.phone, "/", "-", 1) // separator variant
+			rel.MustAppend(restaurantRow(dupName, e.addr, dupCity, dupPhone, e.cuisine, e.class))
+		}
+	}
+	return rel
+}
+
+func restaurantRow(name, addr, city, phone, cuisine string, class int64) dataset.Tuple {
+	return dataset.Tuple{
+		dataset.NewString(name), dataset.NewString(addr), dataset.NewString(city),
+		dataset.NewString(phone), dataset.NewString(cuisine), dataset.NewInt(class),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Cars — 406 tuples × 9 attributes, the UCI Auto-MPG shape: model families
+// share cylinders/displacement/horsepower, and mpg anticorrelates with
+// weight and horsepower. Numeric correlations are what make Cars the
+// dataset where low RHS thresholds already work well (Sec. 6.2).
+
+var carMakes = []string{
+	"chevrolet", "ford", "plymouth", "dodge", "amc", "toyota", "datsun",
+	"honda", "volkswagen", "buick", "pontiac", "mazda", "mercury", "fiat",
+	"peugeot", "audi", "saab", "volvo", "subaru", "opel",
+}
+
+var carModels = []string{
+	"chevelle", "skylark", "satellite", "rebel", "torino", "corona",
+	"510", "civic", "rabbit", "impala", "catalina", "rx2", "monarch",
+	"124b", "504", "100ls", "99le", "244dl", "dl", "manta",
+}
+
+// Cars generates the cars dataset.
+func Cars(n int, seed int64) *dataset.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	schema := dataset.NewSchema(
+		dataset.Attribute{Name: "Mpg", Kind: dataset.KindFloat},
+		dataset.Attribute{Name: "Cylinders", Kind: dataset.KindInt},
+		dataset.Attribute{Name: "Displacement", Kind: dataset.KindFloat},
+		dataset.Attribute{Name: "Horsepower", Kind: dataset.KindInt},
+		dataset.Attribute{Name: "Weight", Kind: dataset.KindInt},
+		dataset.Attribute{Name: "Acceleration", Kind: dataset.KindFloat},
+		dataset.Attribute{Name: "ModelYear", Kind: dataset.KindInt},
+		dataset.Attribute{Name: "Origin", Kind: dataset.KindInt},
+		dataset.Attribute{Name: "Name", Kind: dataset.KindString},
+	)
+	rel := dataset.NewRelation(schema)
+
+	cylinderChoices := []int64{4, 4, 4, 6, 6, 8} // skew toward 4, like UCI
+	for rel.Len() < n {
+		cyl := cylinderChoices[rng.Intn(len(cylinderChoices))]
+		disp := float64(cyl)*30 + rng.Float64()*60 - 30 // ~ cylinders
+		if disp < 60 {
+			disp = 60 + rng.Float64()*20
+		}
+		hp := int64(disp*0.55 + rng.Float64()*30)
+		weight := int64(disp*8 + 1500 + rng.Float64()*400)
+		mpg := 46 - float64(hp)*0.18 - float64(weight)*0.003 + rng.Float64()*4
+		if mpg < 9 {
+			mpg = 9 + rng.Float64()*2
+		}
+		accel := 27 - float64(hp)*0.08 + rng.Float64()*3
+		if accel < 8 {
+			accel = 8 + rng.Float64()
+		}
+		year := int64(70 + rng.Intn(13))
+		origin := int64(1)
+		makeIdx := rng.Intn(len(carMakes))
+		if makeIdx >= 5 && makeIdx < 9 || makeIdx == 11 || makeIdx == 18 {
+			origin = 3 // japanese-ish
+		} else if makeIdx >= 13 {
+			origin = 2 // european-ish
+		}
+		name := carMakes[makeIdx] + " " + carModels[rng.Intn(len(carModels))]
+		rel.MustAppend(dataset.Tuple{
+			dataset.NewFloat(math.Round(mpg*10) / 10),
+			dataset.NewInt(cyl),
+			dataset.NewFloat(math.Round(disp)),
+			dataset.NewInt(hp),
+			dataset.NewInt(weight),
+			dataset.NewFloat(math.Round(accel*10) / 10),
+			dataset.NewInt(year),
+			dataset.NewInt(origin),
+			dataset.NewString(name),
+		})
+	}
+	return rel
+}
+
+// ---------------------------------------------------------------------------
+// Glass — 214 tuples × 11 attributes, the UCI Glass-Identification shape:
+// an id, the refractive index, eight oxide weight fractions that sum to
+// ≈100, and the glass type driving per-component means. "Closed decimal
+// numbers" (Sec. 6.2) whose distances integer thresholds capture poorly —
+// the generator keeps that property.
+
+// glassProfiles: per type, mean (Na, Mg, Al, Si, K, Ca, Ba, Fe).
+var glassProfiles = map[int64][8]float64{
+	1: {13.2, 3.5, 1.2, 72.6, 0.45, 8.8, 0.0, 0.06},
+	2: {13.1, 3.0, 1.4, 72.6, 0.52, 9.1, 0.05, 0.08},
+	3: {13.4, 3.5, 1.2, 72.4, 0.43, 8.8, 0.0, 0.06},
+	5: {12.8, 0.8, 2.0, 72.4, 1.45, 10.1, 0.2, 0.06},
+	6: {14.6, 1.3, 1.4, 73.2, 0.0, 9.4, 0.0, 0.0},
+	7: {14.4, 0.5, 2.1, 72.8, 0.3, 8.5, 1.0, 0.01},
+}
+
+var glassTypes = []int64{1, 1, 1, 2, 2, 2, 3, 5, 6, 7} // UCI-like imbalance
+
+// Glass generates the glass dataset.
+func Glass(n int, seed int64) *dataset.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	schema := dataset.NewSchema(
+		dataset.Attribute{Name: "Id", Kind: dataset.KindInt},
+		dataset.Attribute{Name: "RI", Kind: dataset.KindFloat},
+		dataset.Attribute{Name: "Na", Kind: dataset.KindFloat},
+		dataset.Attribute{Name: "Mg", Kind: dataset.KindFloat},
+		dataset.Attribute{Name: "Al", Kind: dataset.KindFloat},
+		dataset.Attribute{Name: "Si", Kind: dataset.KindFloat},
+		dataset.Attribute{Name: "K", Kind: dataset.KindFloat},
+		dataset.Attribute{Name: "Ca", Kind: dataset.KindFloat},
+		dataset.Attribute{Name: "Ba", Kind: dataset.KindFloat},
+		dataset.Attribute{Name: "Fe", Kind: dataset.KindFloat},
+		dataset.Attribute{Name: "Type", Kind: dataset.KindInt},
+	)
+	rel := dataset.NewRelation(schema)
+	round := func(f float64, digits int) float64 {
+		p := math.Pow(10, float64(digits))
+		return math.Round(f*p) / p
+	}
+	for i := 0; rel.Len() < n; i++ {
+		typ := glassTypes[rng.Intn(len(glassTypes))]
+		prof := glassProfiles[typ]
+		var comp [8]float64
+		total := 0.0
+		for k := range prof {
+			comp[k] = math.Max(0, prof[k]+rng.NormFloat64()*prof[k]*0.06+rng.NormFloat64()*0.02)
+			total += comp[k]
+		}
+		// Oxide weight fractions sum to ≈100% in real glass; renormalize
+		// with a little residual slack.
+		scale := (100 + rng.NormFloat64()*0.5) / total
+		for k := range comp {
+			comp[k] *= scale
+		}
+		ri := 1.515 + (comp[5]-8.8)*0.002 + rng.NormFloat64()*0.001 // RI tracks Ca
+		rel.MustAppend(dataset.Tuple{
+			dataset.NewInt(int64(i + 1)),
+			dataset.NewFloat(round(ri, 5)),
+			dataset.NewFloat(round(comp[0], 2)),
+			dataset.NewFloat(round(comp[1], 2)),
+			dataset.NewFloat(round(comp[2], 2)),
+			dataset.NewFloat(round(comp[3], 2)),
+			dataset.NewFloat(round(comp[4], 2)),
+			dataset.NewFloat(round(comp[5], 2)),
+			dataset.NewFloat(round(comp[6], 2)),
+			dataset.NewFloat(round(comp[7], 2)),
+			dataset.NewInt(typ),
+		})
+	}
+	return rel
+}
+
+// ---------------------------------------------------------------------------
+// Bridges — 108 tuples × 13 attributes, the UCI Pittsburgh-Bridges shape:
+// mostly categorical design-description attributes whose values follow
+// the construction era (ERECTED → MATERIAL → TYPE, PURPOSE → LANES,
+// LENGTH ↔ SPAN).
+
+var bridgeRivers = []string{"A", "M", "O"} // Allegheny, Monongahela, Ohio
+
+// Bridges generates the bridges dataset.
+func Bridges(n int, seed int64) *dataset.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	schema := dataset.NewSchema(
+		dataset.Attribute{Name: "Identif", Kind: dataset.KindString},
+		dataset.Attribute{Name: "River", Kind: dataset.KindString},
+		dataset.Attribute{Name: "Location", Kind: dataset.KindInt},
+		dataset.Attribute{Name: "Erected", Kind: dataset.KindInt},
+		dataset.Attribute{Name: "Purpose", Kind: dataset.KindString},
+		dataset.Attribute{Name: "Length", Kind: dataset.KindInt},
+		dataset.Attribute{Name: "Lanes", Kind: dataset.KindInt},
+		dataset.Attribute{Name: "ClearG", Kind: dataset.KindString},
+		dataset.Attribute{Name: "TOrD", Kind: dataset.KindString},
+		dataset.Attribute{Name: "Material", Kind: dataset.KindString},
+		dataset.Attribute{Name: "Span", Kind: dataset.KindString},
+		dataset.Attribute{Name: "RelL", Kind: dataset.KindString},
+		dataset.Attribute{Name: "Type", Kind: dataset.KindString},
+	)
+	rel := dataset.NewRelation(schema)
+	purposes := []string{"HIGHWAY", "HIGHWAY", "RR", "AQUEDUCT", "WALK"}
+	for i := 0; rel.Len() < n; i++ {
+		erected := int64(1818 + rng.Intn(170))
+		material, typ := "STEEL", "ARCH"
+		switch {
+		case erected < 1870:
+			material = "WOOD"
+			typ = "WOOD"
+		case erected < 1910:
+			material = "IRON"
+			if rng.Float64() < 0.6 {
+				typ = "SUSPEN"
+			} else {
+				typ = "SIMPLE-T"
+			}
+		default:
+			if rng.Float64() < 0.5 {
+				typ = "ARCH"
+			} else {
+				typ = "CANTILEV"
+			}
+		}
+		purpose := purposes[rng.Intn(len(purposes))]
+		lanes := int64(2)
+		if purpose == "HIGHWAY" && rng.Float64() < 0.4 {
+			lanes = 4
+		}
+		if purpose == "RR" || purpose == "WALK" {
+			lanes = 1 + int64(rng.Intn(2))
+		}
+		length := int64(800 + rng.Intn(4000))
+		span := "MEDIUM"
+		if length < 1200 {
+			span = "SHORT"
+		} else if length > 3200 {
+			span = "LONG"
+		}
+		relL := []string{"S", "S-F", "F"}[rng.Intn(3)]
+		clearG := "G"
+		if rng.Float64() < 0.2 {
+			clearG = "N"
+		}
+		tOrD := "THROUGH"
+		if typ == "WOOD" || rng.Float64() < 0.25 {
+			tOrD = "DECK"
+		}
+		rel.MustAppend(dataset.Tuple{
+			dataset.NewString(fmt.Sprintf("E%d", i+1)),
+			dataset.NewString(bridgeRivers[rng.Intn(len(bridgeRivers))]),
+			dataset.NewInt(int64(1 + rng.Intn(52))),
+			dataset.NewInt(erected),
+			dataset.NewString(purpose),
+			dataset.NewInt(length),
+			dataset.NewInt(lanes),
+			dataset.NewString(clearG),
+			dataset.NewString(tOrD),
+			dataset.NewString(material),
+			dataset.NewString(span),
+			dataset.NewString(relL),
+			dataset.NewString(typ),
+		})
+	}
+	return rel
+}
+
+// ---------------------------------------------------------------------------
+// Physician — up to 10359 tuples × 18 attributes, the Medicare
+// Physician-Compare shape used by the Table 5 stress test: a mix of
+// textual and numeric attributes, strong functional structure
+// (Zip → City → State, School/GradYear per physician, Specialty →
+// Credential), and several rows per physician (one per practice
+// location), which gives the dataset its duplicate-heavy character.
+
+var physFirstNames = []string{
+	"JAMES", "MARY", "JOHN", "PATRICIA", "ROBERT", "JENNIFER", "MICHAEL",
+	"LINDA", "WILLIAM", "ELIZABETH", "DAVID", "BARBARA", "RICHARD", "SUSAN",
+	"JOSEPH", "JESSICA", "THOMAS", "SARAH", "CHARLES", "KAREN",
+}
+
+var physLastNames = []string{
+	"SMITH", "JOHNSON", "WILLIAMS", "BROWN", "JONES", "GARCIA", "MILLER",
+	"DAVIS", "RODRIGUEZ", "MARTINEZ", "HERNANDEZ", "LOPEZ", "GONZALEZ",
+	"WILSON", "ANDERSON", "THOMAS", "TAYLOR", "MOORE", "JACKSON", "MARTIN",
+}
+
+var physSchools = []string{
+	"HARVARD MEDICAL SCHOOL", "JOHNS HOPKINS UNIVERSITY", "STANFORD UNIVERSITY",
+	"UNIVERSITY OF PENNSYLVANIA", "DUKE UNIVERSITY", "COLUMBIA UNIVERSITY",
+	"UNIVERSITY OF MICHIGAN", "YALE UNIVERSITY", "EMORY UNIVERSITY",
+	"BAYLOR COLLEGE OF MEDICINE", "OTHER",
+}
+
+type specialtyInfo struct {
+	name, credential string
+}
+
+var physSpecialties = []specialtyInfo{
+	{"INTERNAL MEDICINE", "MD"}, {"FAMILY PRACTICE", "MD"},
+	{"CARDIOLOGY", "MD"}, {"DERMATOLOGY", "MD"},
+	{"NURSE PRACTITIONER", "NP"}, {"PHYSICIAN ASSISTANT", "PA"},
+	{"CHIROPRACTIC", "DC"}, {"OPTOMETRY", "OD"},
+	{"PODIATRY", "DPM"}, {"DENTISTRY", "DDS"},
+}
+
+type zipInfo struct {
+	zip, city, state string
+}
+
+var physZips = []zipInfo{
+	{"15213", "PITTSBURGH", "PA"}, {"15217", "PITTSBURGH", "PA"},
+	{"10001", "NEW YORK", "NY"}, {"10016", "NEW YORK", "NY"},
+	{"90001", "LOS ANGELES", "CA"}, {"90210", "BEVERLY HILLS", "CA"},
+	{"60601", "CHICAGO", "IL"}, {"60614", "CHICAGO", "IL"},
+	{"77001", "HOUSTON", "TX"}, {"77030", "HOUSTON", "TX"},
+	{"19104", "PHILADELPHIA", "PA"}, {"02115", "BOSTON", "MA"},
+	{"30303", "ATLANTA", "GA"}, {"98101", "SEATTLE", "WA"},
+	{"33101", "MIAMI", "FL"}, {"80202", "DENVER", "CO"},
+}
+
+var physOrgs = []string{
+	"GENERAL HOSPITAL", "UNIVERSITY MEDICAL CENTER", "COMMUNITY HEALTH",
+	"REGIONAL CLINIC", "PRIMARY CARE ASSOCIATES", "SPECIALTY GROUP",
+	"HEALTH PARTNERS", "MEDICAL ASSOCIATES",
+}
+
+// Physician generates the physician dataset.
+func Physician(n int, seed int64) *dataset.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	schema := dataset.NewSchema(
+		dataset.Attribute{Name: "NPI", Kind: dataset.KindInt},
+		dataset.Attribute{Name: "LastName", Kind: dataset.KindString},
+		dataset.Attribute{Name: "FirstName", Kind: dataset.KindString},
+		dataset.Attribute{Name: "Gender", Kind: dataset.KindString},
+		dataset.Attribute{Name: "Credential", Kind: dataset.KindString},
+		dataset.Attribute{Name: "School", Kind: dataset.KindString},
+		dataset.Attribute{Name: "GradYear", Kind: dataset.KindInt},
+		dataset.Attribute{Name: "Specialty", Kind: dataset.KindString},
+		dataset.Attribute{Name: "Org", Kind: dataset.KindString},
+		dataset.Attribute{Name: "OrgMembers", Kind: dataset.KindInt},
+		dataset.Attribute{Name: "Street", Kind: dataset.KindString},
+		dataset.Attribute{Name: "Suite", Kind: dataset.KindString},
+		dataset.Attribute{Name: "City", Kind: dataset.KindString},
+		dataset.Attribute{Name: "State", Kind: dataset.KindString},
+		dataset.Attribute{Name: "Zip", Kind: dataset.KindString},
+		dataset.Attribute{Name: "Phone", Kind: dataset.KindString},
+		dataset.Attribute{Name: "MedicareFlag", Kind: dataset.KindString},
+		dataset.Attribute{Name: "Quality", Kind: dataset.KindInt},
+	)
+	rel := dataset.NewRelation(schema)
+	for rel.Len() < n {
+		npi := int64(1000000000 + rng.Intn(900000000))
+		last := physLastNames[rng.Intn(len(physLastNames))]
+		first := physFirstNames[rng.Intn(len(physFirstNames))]
+		gender := "M"
+		if rng.Float64() < 0.5 {
+			gender = "F"
+		}
+		spec := physSpecialties[rng.Intn(len(physSpecialties))]
+		school := physSchools[rng.Intn(len(physSchools))]
+		gradYear := int64(1960 + rng.Intn(55))
+		org := physOrgs[rng.Intn(len(physOrgs))]
+		orgMembers := int64(1 + rng.Intn(400))
+		quality := int64(1 + rng.Intn(5))
+		flag := "Y"
+		if rng.Float64() < 0.15 {
+			flag = "N"
+		}
+		// One row per practice location (1-3), sharing all physician-level
+		// attributes — the duplicate structure of the original extract.
+		locations := 1 + rng.Intn(3)
+		for l := 0; l < locations && rel.Len() < n; l++ {
+			zi := physZips[rng.Intn(len(physZips))]
+			street := fmt.Sprintf("%d %s", 100+rng.Intn(9900),
+				[]string{"MAIN ST", "OAK AVE", "CENTRE AVE", "MARKET ST", "PARK BLVD"}[rng.Intn(5)])
+			// Always a concrete value: the empty string and tokens like
+			// "NONE" would round-trip to null through the CSV codec.
+			suite := fmt.Sprintf("FL %d", 1+rng.Intn(9))
+			if rng.Float64() < 0.4 {
+				suite = fmt.Sprintf("STE %d", 100+rng.Intn(900))
+			}
+			phone := fmt.Sprintf("%s%07d", zi.zip[:3], rng.Intn(10000000))
+			rel.MustAppend(dataset.Tuple{
+				dataset.NewInt(npi),
+				dataset.NewString(last),
+				dataset.NewString(first),
+				dataset.NewString(gender),
+				dataset.NewString(spec.credential),
+				dataset.NewString(school),
+				dataset.NewInt(gradYear),
+				dataset.NewString(spec.name),
+				dataset.NewString(org),
+				dataset.NewInt(orgMembers),
+				dataset.NewString(street),
+				dataset.NewString(suite),
+				dataset.NewString(zi.city),
+				dataset.NewString(zi.state),
+				dataset.NewString(zi.zip),
+				dataset.NewString(phone),
+				dataset.NewString(flag),
+				dataset.NewInt(quality),
+			})
+		}
+	}
+	return rel
+}

@@ -1,0 +1,265 @@
+package datagen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestTable3Shapes(t *testing.T) {
+	// The generators must reproduce Table 3's (tuples, attributes) shapes.
+	cases := []struct {
+		name  string
+		attrs int
+	}{
+		{"restaurant", 6},
+		{"cars", 9},
+		{"glass", 11},
+		{"bridges", 13},
+		{"physician", 18},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			n := DefaultSizes[c.name]
+			if c.name == "physician" {
+				n = 300 // full size is a stress-test knob, not a unit-test one
+			}
+			rel, err := ByName(c.name, n, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rel.Len() != n {
+				t.Errorf("tuples = %d, want %d", rel.Len(), n)
+			}
+			if rel.Schema().Len() != c.attrs {
+				t.Errorf("attributes = %d, want %d", rel.Schema().Len(), c.attrs)
+			}
+			if rel.CountMissing() != 0 {
+				t.Errorf("%d generated cells missing; injection is eval's job", rel.CountMissing())
+			}
+		})
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("bogus", 10, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestNamesMatchesRegistry(t *testing.T) {
+	for _, name := range Names() {
+		if _, err := ByName(name, 10, 1); err != nil {
+			t.Errorf("listed dataset %q not generatable: %v", name, err)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, name := range Names() {
+		a, err := ByName(name, 60, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ByName(name, 60, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(b) {
+			t.Errorf("%s: same seed diverged", name)
+		}
+		c, err := ByName(name, 60, 43)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Equal(c) {
+			t.Errorf("%s: different seeds identical", name)
+		}
+	}
+}
+
+func TestRestaurantNearDuplicates(t *testing.T) {
+	rel := Restaurant(400, 7)
+	phone := rel.Schema().MustIndex("Phone")
+	// Separator variants of the same number must exist (the integration
+	// artifact RENUVER's RFDcs exploit).
+	digits := func(s string) string {
+		var b strings.Builder
+		for _, r := range s {
+			if r >= '0' && r <= '9' {
+				b.WriteRune(r)
+			}
+		}
+		return b.String()
+	}
+	seen := map[string][]string{}
+	for i := 0; i < rel.Len(); i++ {
+		p := rel.Get(i, phone).Str()
+		seen[digits(p)] = append(seen[digits(p)], p)
+	}
+	variants := 0
+	for _, forms := range seen {
+		if len(forms) >= 2 && forms[0] != forms[1] {
+			variants++
+		}
+	}
+	if variants == 0 {
+		t.Error("no phone separator variants generated")
+	}
+}
+
+func TestRestaurantCityAreaCorrelation(t *testing.T) {
+	rel := Restaurant(600, 3)
+	city := rel.Schema().MustIndex("City")
+	phone := rel.Schema().MustIndex("Phone")
+	// Canonical city names must map to a single area code.
+	area := map[string]string{}
+	for i := 0; i < rel.Len(); i++ {
+		c := rel.Get(i, city).Str()
+		if c != "Malibu" && c != "Brooklyn" { // only spot-check unambiguous ones
+			continue
+		}
+		a := rel.Get(i, phone).Str()[:3]
+		if prev, ok := area[c]; ok && prev != a {
+			t.Fatalf("city %q has area codes %s and %s", c, prev, a)
+		}
+		area[c] = a
+	}
+}
+
+func TestCarsCorrelations(t *testing.T) {
+	rel := Cars(406, 5)
+	s := rel.Schema()
+	mpg, hp, cyl := s.MustIndex("Mpg"), s.MustIndex("Horsepower"), s.MustIndex("Cylinders")
+	// Mean mpg of 8-cylinder cars must be far below mean mpg of 4-cylinder.
+	sum := map[int64]float64{}
+	cnt := map[int64]int{}
+	for i := 0; i < rel.Len(); i++ {
+		c := rel.Get(i, cyl).Int()
+		sum[c] += rel.Get(i, mpg).Float()
+		cnt[c]++
+	}
+	if cnt[4] == 0 || cnt[8] == 0 {
+		t.Fatal("cylinder classes missing")
+	}
+	if sum[4]/float64(cnt[4]) <= sum[8]/float64(cnt[8])+5 {
+		t.Errorf("mpg(4cyl)=%.1f not clearly above mpg(8cyl)=%.1f",
+			sum[4]/float64(cnt[4]), sum[8]/float64(cnt[8]))
+	}
+	// Horsepower must be positive and bounded sanely.
+	for i := 0; i < rel.Len(); i++ {
+		h := rel.Get(i, hp).Int()
+		if h < 20 || h > 400 {
+			t.Fatalf("horsepower %d out of range", h)
+		}
+	}
+}
+
+func TestGlassCompositionSums(t *testing.T) {
+	rel := Glass(214, 9)
+	s := rel.Schema()
+	comps := []string{"Na", "Mg", "Al", "Si", "K", "Ca", "Ba", "Fe"}
+	for i := 0; i < rel.Len(); i++ {
+		total := 0.0
+		for _, c := range comps {
+			v := rel.Get(i, s.MustIndex(c)).Float()
+			if v < 0 {
+				t.Fatalf("negative component %s = %v", c, v)
+			}
+			total += v
+		}
+		if total < 90 || total > 110 {
+			t.Fatalf("row %d composition sums to %v, want ≈100", i, total)
+		}
+	}
+	typ := s.MustIndex("Type")
+	for i := 0; i < rel.Len(); i++ {
+		tv := rel.Get(i, typ).Int()
+		if _, ok := glassProfiles[tv]; !ok {
+			t.Fatalf("unknown glass type %d", tv)
+		}
+	}
+}
+
+func TestBridgesEraDependencies(t *testing.T) {
+	rel := Bridges(108, 2)
+	s := rel.Schema()
+	erected, material := s.MustIndex("Erected"), s.MustIndex("Material")
+	for i := 0; i < rel.Len(); i++ {
+		year := rel.Get(i, erected).Int()
+		mat := rel.Get(i, material).Str()
+		if year < 1870 && mat != "WOOD" {
+			t.Fatalf("bridge from %d has material %s", year, mat)
+		}
+		if year >= 1910 && mat != "STEEL" {
+			t.Fatalf("bridge from %d has material %s", year, mat)
+		}
+	}
+}
+
+func TestPhysicianFunctionalStructure(t *testing.T) {
+	rel := Physician(500, 11)
+	s := rel.Schema()
+	zip, city, state := s.MustIndex("Zip"), s.MustIndex("City"), s.MustIndex("State")
+	spec, cred := s.MustIndex("Specialty"), s.MustIndex("Credential")
+	zipCity := map[string]string{}
+	specCred := map[string]string{}
+	for i := 0; i < rel.Len(); i++ {
+		z, c := rel.Get(i, zip).Str(), rel.Get(i, city).Str()
+		if prev, ok := zipCity[z]; ok && prev != c {
+			t.Fatalf("zip %s maps to cities %s and %s", z, prev, c)
+		}
+		zipCity[z] = c
+		sp, cr := rel.Get(i, spec).Str(), rel.Get(i, cred).Str()
+		if prev, ok := specCred[sp]; ok && prev != cr {
+			t.Fatalf("specialty %s has credentials %s and %s", sp, prev, cr)
+		}
+		specCred[sp] = cr
+		if rel.Get(i, state).IsNull() {
+			t.Fatal("null state generated")
+		}
+	}
+}
+
+func TestPhysicianMultiLocationDuplicates(t *testing.T) {
+	rel := Physician(600, 4)
+	npi := rel.Schema().MustIndex("NPI")
+	counts := map[int64]int{}
+	for i := 0; i < rel.Len(); i++ {
+		counts[rel.Get(i, npi).Int()]++
+	}
+	multi := 0
+	for _, c := range counts {
+		if c > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Error("no multi-location physicians generated")
+	}
+}
+
+func TestGeneratedDataCSVRoundTrips(t *testing.T) {
+	for _, name := range Names() {
+		rel, err := ByName(name, 40, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := dataset.WriteCSV(&buf, rel); err != nil {
+			t.Fatal(err)
+		}
+		back, err := dataset.ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if back.Len() != rel.Len() || back.Schema().Len() != rel.Schema().Len() {
+			t.Errorf("%s: round trip changed shape", name)
+		}
+		if back.CountMissing() != 0 {
+			t.Errorf("%s: round trip invented %d nulls", name, back.CountMissing())
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// ReadCSV loads a relation from CSV. The first record is the header; value
+// kinds are inferred per column from every data row (see InferKind).
+// Duplicate header names are disambiguated with a numeric suffix.
+func ReadCSV(r io.Reader) (*Relation, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataset: csv has no header row")
+	}
+	header := dedupeHeader(records[0])
+	body := records[1:]
+
+	m := len(header)
+	cols := make([][]string, m)
+	for i := range cols {
+		cols[i] = make([]string, 0, len(body))
+	}
+	for rowNum, rec := range body {
+		if len(rec) != m {
+			return nil, fmt.Errorf("dataset: row %d has %d fields, want %d", rowNum+2, len(rec), m)
+		}
+		for i, f := range rec {
+			cols[i] = append(cols[i], f)
+		}
+	}
+
+	attrs := make([]Attribute, m)
+	for i, name := range header {
+		attrs[i] = Attribute{Name: name, Kind: InferKind(cols[i])}
+	}
+	rel := NewRelation(NewSchema(attrs...))
+	for rowNum, rec := range body {
+		t := make(Tuple, m)
+		for i, f := range rec {
+			v, err := Parse(f, attrs[i].Kind)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d: %w", rowNum+2, err)
+			}
+			t[i] = v
+		}
+		rel.rows = append(rel.rows, t)
+	}
+	return rel, nil
+}
+
+// ReadCSVFile is ReadCSV over a file path.
+func ReadCSVFile(path string) (*Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f)
+}
+
+// ReadCSVString is ReadCSV over an in-memory document; handy in tests.
+func ReadCSVString(doc string) (*Relation, error) {
+	return ReadCSV(strings.NewReader(doc))
+}
+
+// WriteCSV writes the relation as CSV with a header row. Null cells are
+// written as empty fields, except in single-column relations where an
+// all-empty record would be a blank line (which csv readers skip); there
+// the explicit null token "_" is written instead.
+func WriteCSV(w io.Writer, rel *Relation) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(rel.Schema().Names()); err != nil {
+		return err
+	}
+	rec := make([]string, rel.Schema().Len())
+	for i := 0; i < rel.Len(); i++ {
+		t := rel.Row(i)
+		for j, v := range t {
+			rec[j] = v.String()
+		}
+		if len(rec) == 1 && rec[0] == "" {
+			rec[0] = "_"
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile is WriteCSV to a file path.
+func WriteCSVFile(path string, rel *Relation) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCSV(f, rel); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// dedupeHeader makes header names unique and non-empty.
+func dedupeHeader(header []string) []string {
+	used := make(map[string]bool, len(header))
+	out := make([]string, len(header))
+	for i, name := range header {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			name = fmt.Sprintf("col%d", i+1)
+		}
+		candidate := name
+		for n := 2; used[candidate]; n++ {
+			candidate = fmt.Sprintf("%s_%d", name, n)
+		}
+		used[candidate] = true
+		out[i] = candidate
+	}
+	return out
+}

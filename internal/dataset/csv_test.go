@@ -1,0 +1,184 @@
+package dataset
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `Name,City,Phone,Type,Class
+Granita,Malibu,310/456-0488,Californian,6
+Chinois Main,LA,310-392-9025,French,5
+Citrus,Los Angeles,213/857-0034,Californian,6
+Citrus,Los Angeles,,Californian,6
+Fenix,Hollywood,213/848-6677,,5
+Fenix Argyle,,213/848-6677,French (new),5
+C. Main,Los Angeles,,French,5
+`
+
+func TestReadCSVInference(t *testing.T) {
+	r, err := ReadCSVString(sampleCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 7 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	s := r.Schema()
+	wantKinds := map[string]Kind{
+		"Name": KindString, "City": KindString, "Phone": KindString,
+		"Type": KindString, "Class": KindInt,
+	}
+	for name, kind := range wantKinds {
+		i, ok := s.Index(name)
+		if !ok {
+			t.Fatalf("missing attribute %q", name)
+		}
+		if s.Attr(i).Kind != kind {
+			t.Errorf("attribute %q inferred %v, want %v", name, s.Attr(i).Kind, kind)
+		}
+	}
+	if got := r.CountMissing(); got != 4 {
+		t.Errorf("CountMissing = %d, want 4", got)
+	}
+	if got := r.Get(0, s.MustIndex("Class")); got.Int() != 6 {
+		t.Errorf("Class[0] = %v", got)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r, err := ReadCSVString(sampleCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Equal(r2) {
+		t.Error("round-trip changed relation")
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	r, err := ReadCSVString(sampleCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sample.csv")
+	if err := WriteCSVFile(path, r); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ReadCSVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Equal(r2) {
+		t.Error("file round-trip changed relation")
+	}
+}
+
+func TestReadCSVFileMissing(t *testing.T) {
+	if _, err := ReadCSVFile(filepath.Join(t.TempDir(), "nope.csv")); err == nil {
+		t.Error("reading nonexistent file should fail")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"empty document", ""},
+		{"ragged row", "A,B\n1,2\n3\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadCSVString(c.doc); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestReadCSVHeaderOnly(t *testing.T) {
+	r, err := ReadCSVString("A,B,C\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 || r.Schema().Len() != 3 {
+		t.Errorf("shape = %dx%d", r.Len(), r.Schema().Len())
+	}
+}
+
+func TestReadCSVDuplicateAndEmptyHeaders(t *testing.T) {
+	r, err := ReadCSVString("A,A,,A\n1,2,3,4\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := r.Schema().Names()
+	if names[0] != "A" || names[1] != "A_2" || names[2] != "col3" || names[3] != "A_3" {
+		t.Errorf("deduped names = %v", names)
+	}
+}
+
+func TestReadCSVMixedNumericColumn(t *testing.T) {
+	r, err := ReadCSVString("X\n1\n2.5\n?\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Schema().Attr(0).Kind; got != KindFloat {
+		t.Errorf("inferred %v, want float", got)
+	}
+	if !r.Get(2, 0).IsNull() {
+		t.Error("'?' not parsed as null")
+	}
+}
+
+func TestReadCSVBoolColumn(t *testing.T) {
+	r, err := ReadCSVString("Flag\ntrue\nfalse\n\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Schema().Attr(0).Kind; got != KindBool {
+		t.Errorf("inferred %v, want bool", got)
+	}
+	if !r.Get(0, 0).Bool() || r.Get(1, 0).Bool() {
+		t.Error("bool payloads wrong")
+	}
+}
+
+func TestWriteCSVNullsAsEmpty(t *testing.T) {
+	r := NewRelation(NewSchema(Attribute{Name: "A", Kind: KindString}))
+	r.MustAppend(Tuple{Null})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.String(), "A\n_\n"; got != want {
+		t.Errorf("null cell written as %q, want %q", got, want)
+	}
+	// The empty field must read back as null.
+	r2, err := ReadCSV(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Len() != 1 || !r2.Get(0, 0).IsNull() {
+		t.Errorf("round-tripped null = %v over %d rows", r2.Get(0, 0), r2.Len())
+	}
+}
+
+func TestReadCSVQuotedFields(t *testing.T) {
+	r, err := ReadCSVString("A,B\n\"hello, world\",\"line\"\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Get(0, 0).Str(); got != "hello, world" {
+		t.Errorf("quoted field = %q", got)
+	}
+}

@@ -1,0 +1,217 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// ReadJSONLines loads a relation from newline-delimited JSON (one object
+// per line). The schema is the union of all keys, ordered
+// alphabetically; value kinds are inferred from the JSON types (numbers
+// become float, or int when every occurrence is integral; booleans stay
+// boolean; everything else is a string). JSON null and absent keys are
+// missing values.
+func ReadJSONLines(r io.Reader) (*Relation, error) {
+	var objects []map[string]any
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	lineNum := 0
+	for sc.Scan() {
+		lineNum++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var obj map[string]any
+		if err := json.Unmarshal(line, &obj); err != nil {
+			return nil, fmt.Errorf("dataset: json line %d: %w", lineNum, err)
+		}
+		objects = append(objects, obj)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return relationFromObjects(objects)
+}
+
+// ReadJSONLinesFile is ReadJSONLines over a file path.
+func ReadJSONLinesFile(path string) (*Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSONLines(f)
+}
+
+// relationFromObjects builds the union schema and typed tuples.
+func relationFromObjects(objects []map[string]any) (*Relation, error) {
+	keySet := map[string]bool{}
+	for _, obj := range objects {
+		for k := range obj {
+			keySet[k] = true
+		}
+	}
+	keys := make([]string, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("dataset: json input has no keys")
+	}
+
+	kinds := make([]Kind, len(keys))
+	for i, k := range keys {
+		kinds[i] = inferJSONKind(objects, k)
+	}
+	attrs := make([]Attribute, len(keys))
+	for i, k := range keys {
+		attrs[i] = Attribute{Name: k, Kind: kinds[i]}
+	}
+	rel := NewRelation(NewSchema(attrs...))
+	for lineNum, obj := range objects {
+		t := make(Tuple, len(keys))
+		for i, k := range keys {
+			v, err := jsonValue(obj[k], kinds[i])
+			if err != nil {
+				return nil, fmt.Errorf("dataset: json object %d, key %q: %w", lineNum+1, k, err)
+			}
+			t[i] = v
+		}
+		rel.rows = append(rel.rows, t)
+	}
+	return rel, nil
+}
+
+// inferJSONKind picks the narrowest kind covering every non-null value.
+func inferJSONKind(objects []map[string]any, key string) Kind {
+	sawValue, allBool, allNumber, allIntegral := false, true, true, true
+	for _, obj := range objects {
+		raw, ok := obj[key]
+		if !ok || raw == nil {
+			continue
+		}
+		sawValue = true
+		switch x := raw.(type) {
+		case bool:
+			allNumber = false
+		case float64:
+			allBool = false
+			if x != float64(int64(x)) {
+				allIntegral = false
+			}
+		default:
+			return KindString
+		}
+	}
+	switch {
+	case !sawValue:
+		return KindString
+	case allBool:
+		return KindBool
+	case allNumber && allIntegral:
+		return KindInt
+	case allNumber:
+		return KindFloat
+	default:
+		return KindString
+	}
+}
+
+// jsonValue converts one decoded JSON value into the target kind.
+func jsonValue(raw any, kind Kind) (Value, error) {
+	if raw == nil {
+		return Null, nil
+	}
+	switch kind {
+	case KindBool:
+		b, ok := raw.(bool)
+		if !ok {
+			return Null, fmt.Errorf("want bool, got %T", raw)
+		}
+		return NewBool(b), nil
+	case KindInt:
+		f, ok := raw.(float64)
+		if !ok {
+			return Null, fmt.Errorf("want number, got %T", raw)
+		}
+		return NewInt(int64(f)), nil
+	case KindFloat:
+		f, ok := raw.(float64)
+		if !ok {
+			return Null, fmt.Errorf("want number, got %T", raw)
+		}
+		return NewFloat(f), nil
+	default:
+		switch x := raw.(type) {
+		case string:
+			return NewString(x), nil
+		case bool:
+			return NewBool(x).toStringValue(), nil
+		case float64:
+			return NewFloat(x).toStringValue(), nil
+		default:
+			data, err := json.Marshal(raw)
+			if err != nil {
+				return Null, err
+			}
+			return NewString(string(data)), nil
+		}
+	}
+}
+
+// toStringValue renders a typed value as a string cell — used when a
+// mixed-type JSON column degrades to the string kind.
+func (v Value) toStringValue() Value { return NewString(v.String()) }
+
+// WriteJSONLines writes the relation as newline-delimited JSON objects.
+// Missing cells are emitted as JSON null so the document round-trips.
+func WriteJSONLines(w io.Writer, rel *Relation) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	names := rel.Schema().Names()
+	for i := 0; i < rel.Len(); i++ {
+		obj := make(map[string]any, len(names))
+		t := rel.Row(i)
+		for j, name := range names {
+			obj[name] = jsonEncodable(t[j])
+		}
+		if err := enc.Encode(obj); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteJSONLinesFile is WriteJSONLines to a file path.
+func WriteJSONLinesFile(path string, rel *Relation) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteJSONLines(f, rel); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func jsonEncodable(v Value) any {
+	switch v.Kind() {
+	case KindNull:
+		return nil
+	case KindBool:
+		return v.Bool()
+	case KindInt:
+		return v.Int()
+	case KindFloat:
+		return v.Float()
+	default:
+		return v.Str()
+	}
+}

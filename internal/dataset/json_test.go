@@ -1,0 +1,151 @@
+package dataset
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const jsonSample = `{"name":"Granita","class":6,"score":4.5,"open":true}
+{"name":"Citrus","class":6,"score":3.25,"open":false}
+{"name":null,"class":5,"open":true}
+`
+
+func TestReadJSONLinesInference(t *testing.T) {
+	rel, err := ReadJSONLines(strings.NewReader(jsonSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 3 {
+		t.Fatalf("rows = %d", rel.Len())
+	}
+	s := rel.Schema()
+	// Keys sorted alphabetically: class, name, open, score.
+	wantKinds := map[string]Kind{
+		"class": KindInt, "name": KindString, "open": KindBool, "score": KindFloat,
+	}
+	for name, kind := range wantKinds {
+		i, ok := s.Index(name)
+		if !ok {
+			t.Fatalf("missing attribute %q", name)
+		}
+		if s.Attr(i).Kind != kind {
+			t.Errorf("attr %q kind = %v, want %v", name, s.Attr(i).Kind, kind)
+		}
+	}
+	// JSON null and absent key both become missing.
+	nameIdx := s.MustIndex("name")
+	scoreIdx := s.MustIndex("score")
+	if !rel.Get(2, nameIdx).IsNull() {
+		t.Error("json null not missing")
+	}
+	if !rel.Get(2, scoreIdx).IsNull() {
+		t.Error("absent key not missing")
+	}
+	if got := rel.Get(0, s.MustIndex("class")); got.Int() != 6 {
+		t.Errorf("class = %v", got)
+	}
+}
+
+func TestJSONLinesRoundTrip(t *testing.T) {
+	rel, err := ReadJSONLines(strings.NewReader(jsonSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONLines(&buf, rel); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONLines(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Equal(back) {
+		t.Error("round trip changed relation")
+	}
+}
+
+func TestJSONLinesFileRoundTrip(t *testing.T) {
+	rel, err := ReadJSONLines(strings.NewReader(jsonSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "rel.jsonl")
+	if err := WriteJSONLinesFile(path, rel); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONLinesFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Equal(back) {
+		t.Error("file round trip changed relation")
+	}
+	if _, err := ReadJSONLinesFile(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestReadJSONLinesMixedTypesDegradeToString(t *testing.T) {
+	doc := `{"x":"text"}
+{"x":5}
+{"x":true}
+{"x":[1,2]}
+`
+	rel, err := ReadJSONLines(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rel.Schema().Attr(0).Kind; got != KindString {
+		t.Fatalf("mixed column kind = %v", got)
+	}
+	if got := rel.Get(1, 0).Str(); got != "5" {
+		t.Errorf("number as string = %q", got)
+	}
+	if got := rel.Get(2, 0).Str(); got != "true" {
+		t.Errorf("bool as string = %q", got)
+	}
+	if got := rel.Get(3, 0).Str(); got != "[1,2]" {
+		t.Errorf("array as string = %q", got)
+	}
+}
+
+func TestReadJSONLinesErrors(t *testing.T) {
+	if _, err := ReadJSONLines(strings.NewReader("{broken\n")); err == nil {
+		t.Error("malformed json accepted")
+	}
+	if _, err := ReadJSONLines(strings.NewReader("")); err == nil {
+		t.Error("empty document accepted (no keys)")
+	}
+	if _, err := ReadJSONLines(strings.NewReader("[1,2,3]\n")); err == nil {
+		t.Error("non-object line accepted")
+	}
+}
+
+func TestReadJSONLinesSkipsBlankLines(t *testing.T) {
+	rel, err := ReadJSONLines(strings.NewReader("{\"a\":1}\n\n{\"a\":2}\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 {
+		t.Errorf("rows = %d", rel.Len())
+	}
+}
+
+func TestJSONIntegralFloatsStayInt(t *testing.T) {
+	rel, err := ReadJSONLines(strings.NewReader("{\"n\":1}\n{\"n\":2}\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rel.Schema().Attr(0).Kind; got != KindInt {
+		t.Errorf("kind = %v, want int", got)
+	}
+	rel2, err := ReadJSONLines(strings.NewReader("{\"n\":1}\n{\"n\":2.5}\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rel2.Schema().Attr(0).Kind; got != KindFloat {
+		t.Errorf("kind = %v, want float", got)
+	}
+}

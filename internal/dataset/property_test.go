@@ -1,0 +1,151 @@
+package dataset
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomRelation builds a random typed relation with CSV-safe values.
+func randomRelation(rng *rand.Rand) *Relation {
+	m := 1 + rng.Intn(5)
+	attrs := make([]Attribute, m)
+	for a := 0; a < m; a++ {
+		attrs[a] = Attribute{
+			Name: fmt.Sprintf("C%d", a),
+			Kind: []Kind{KindString, KindInt, KindFloat, KindBool}[rng.Intn(4)],
+		}
+	}
+	rel := NewRelation(NewSchema(attrs...))
+	words := []string{"alpha", "beta gamma", "x,y", `quo"te`, "Granita"}
+	n := rng.Intn(20)
+	for i := 0; i < n; i++ {
+		t := make(Tuple, m)
+		for a := 0; a < m; a++ {
+			if rng.Float64() < 0.2 {
+				t[a] = Null
+				continue
+			}
+			switch attrs[a].Kind {
+			case KindString:
+				t[a] = NewString(words[rng.Intn(len(words))])
+			case KindInt:
+				t[a] = NewInt(int64(rng.Intn(2000) - 1000))
+			case KindFloat:
+				t[a] = NewFloat(float64(rng.Intn(1000)) / 8)
+			case KindBool:
+				t[a] = NewBool(rng.Intn(2) == 0)
+			}
+		}
+		rel.MustAppend(t)
+	}
+	return rel
+}
+
+// TestPropertyCSVRoundTrip: writing and re-reading any random relation
+// reproduces shape and null positions; typed cells survive when the
+// type is inferable (string columns whose every value looks numeric may
+// legitimately re-infer, so compare the rendering).
+func TestPropertyCSVRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		rel := randomRelation(rng)
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, rel); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if back.Len() != rel.Len() || back.Schema().Len() != rel.Schema().Len() {
+			t.Fatalf("trial %d: shape changed %dx%d -> %dx%d", trial,
+				rel.Len(), rel.Schema().Len(), back.Len(), back.Schema().Len())
+		}
+		for i := 0; i < rel.Len(); i++ {
+			for a := 0; a < rel.Schema().Len(); a++ {
+				orig, got := rel.Get(i, a), back.Get(i, a)
+				if orig.IsNull() != got.IsNull() {
+					t.Fatalf("trial %d: null position changed at (%d,%d): %v -> %v",
+						trial, i, a, orig, got)
+				}
+				if !orig.IsNull() && orig.String() != got.String() {
+					t.Fatalf("trial %d: cell (%d,%d) rendering changed %q -> %q",
+						trial, i, a, orig.String(), got.String())
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyCloneIsDeepEverywhere: mutating any cell of a clone never
+// leaks into the original.
+func TestPropertyCloneIsDeepEverywhere(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	for trial := 0; trial < 100; trial++ {
+		rel := randomRelation(rng)
+		if rel.Len() == 0 {
+			continue
+		}
+		clone := rel.Clone()
+		i, a := rng.Intn(rel.Len()), rng.Intn(rel.Schema().Len())
+		orig := rel.Get(i, a)
+		clone.Set(i, a, NewString("MUTATED"))
+		if !rel.Get(i, a).Equal(orig) {
+			t.Fatalf("trial %d: clone mutation leaked", trial)
+		}
+	}
+}
+
+// TestPropertyMissingAccountingAgrees: CountMissing equals the length
+// of MissingCells and the sum over IncompleteRows' missing attrs.
+func TestPropertyMissingAccountingAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 150; trial++ {
+		rel := randomRelation(rng)
+		count := rel.CountMissing()
+		if got := len(rel.MissingCells()); got != count {
+			t.Fatalf("trial %d: MissingCells %d != CountMissing %d", trial, got, count)
+		}
+		sum := 0
+		for _, row := range rel.IncompleteRows() {
+			sum += len(rel.Row(row).MissingAttrs())
+		}
+		if sum != count {
+			t.Fatalf("trial %d: per-row sum %d != CountMissing %d", trial, sum, count)
+		}
+		if (count == 0) != rel.Complete() {
+			t.Fatalf("trial %d: Complete() disagrees", trial)
+		}
+	}
+}
+
+// TestPropertyActiveDomainInvariants: domain values are distinct,
+// non-null, and all present in the column.
+func TestPropertyActiveDomainInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 100; trial++ {
+		rel := randomRelation(rng)
+		for a := 0; a < rel.Schema().Len(); a++ {
+			dom := rel.ActiveDomain(a)
+			seen := map[string]bool{}
+			for _, v := range dom {
+				if v.IsNull() {
+					t.Fatalf("trial %d: null in active domain", trial)
+				}
+				key := v.String()
+				if seen[key] {
+					t.Fatalf("trial %d: duplicate %q in active domain", trial, key)
+				}
+				seen[key] = true
+			}
+			// Every observed value is in the domain.
+			for i := 0; i < rel.Len(); i++ {
+				if v := rel.Get(i, a); !v.IsNull() && !seen[v.String()] {
+					t.Fatalf("trial %d: observed %q missing from domain", trial, v.String())
+				}
+			}
+		}
+	}
+}

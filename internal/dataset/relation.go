@@ -1,0 +1,229 @@
+package dataset
+
+import (
+	"fmt"
+)
+
+// Tuple is one row of a relation, positional against the schema.
+type Tuple []Value
+
+// Clone returns an independent copy of the tuple.
+func (t Tuple) Clone() Tuple { return append(Tuple(nil), t...) }
+
+// HasMissing reports whether any cell of the tuple is null.
+func (t Tuple) HasMissing() bool {
+	for _, v := range t {
+		if v.IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+// MissingAttrs returns the positions of the null cells.
+func (t Tuple) MissingAttrs() []int {
+	var out []int
+	for i, v := range t {
+		if v.IsNull() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Cell identifies a single position in a relation instance: row index and
+// attribute index.
+type Cell struct {
+	Row  int
+	Attr int
+}
+
+// Relation is a mutable relation instance r over a fixed schema.
+// Rows are addressed by index; the imputation algorithms mutate cells in
+// place via Set.
+type Relation struct {
+	schema *Schema
+	rows   []Tuple
+}
+
+// NewRelation returns an empty relation over the schema.
+func NewRelation(schema *Schema) *Relation {
+	return &Relation{schema: schema}
+}
+
+// Schema returns the relation schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// Len returns the number of tuples, n in the paper's notation.
+func (r *Relation) Len() int { return len(r.rows) }
+
+// Row returns the tuple at index i. The returned slice aliases the
+// relation's storage; callers that mutate it must use Set instead.
+func (r *Relation) Row(i int) Tuple { return r.rows[i] }
+
+// Get returns the cell value at (row, attr).
+func (r *Relation) Get(row, attr int) Value { return r.rows[row][attr] }
+
+// Set overwrites the cell value at (row, attr).
+func (r *Relation) Set(row, attr int, v Value) { r.rows[row][attr] = v }
+
+// Append adds a tuple to the relation. The tuple's arity must match the
+// schema; cell kinds must match the attribute kind or be null.
+func (r *Relation) Append(t Tuple) error {
+	if len(t) != r.schema.Len() {
+		return fmt.Errorf("dataset: tuple arity %d != schema arity %d", len(t), r.schema.Len())
+	}
+	for i, v := range t {
+		if v.IsNull() {
+			continue
+		}
+		want := r.schema.Attr(i).Kind
+		if v.Kind() != want && !(v.Kind().Numeric() && want.Numeric()) {
+			return fmt.Errorf("dataset: attribute %q expects %v, got %v",
+				r.schema.Attr(i).Name, want, v.Kind())
+		}
+	}
+	r.rows = append(r.rows, t)
+	return nil
+}
+
+// MustAppend is Append that panics on error; used by generators that
+// construct tuples against their own schema.
+func (r *Relation) MustAppend(t Tuple) {
+	if err := r.Append(t); err != nil {
+		panic(err)
+	}
+}
+
+// Clone returns a deep copy of the relation: imputation runs clone the
+// injected instance so every algorithm sees identical input.
+func (r *Relation) Clone() *Relation {
+	c := &Relation{schema: r.schema, rows: make([]Tuple, len(r.rows))}
+	for i, t := range r.rows {
+		c.rows[i] = t.Clone()
+	}
+	return c
+}
+
+// MissingCells returns every null cell in the relation, in row-major order.
+func (r *Relation) MissingCells() []Cell {
+	var cells []Cell
+	for i, t := range r.rows {
+		for j, v := range t {
+			if v.IsNull() {
+				cells = append(cells, Cell{Row: i, Attr: j})
+			}
+		}
+	}
+	return cells
+}
+
+// IncompleteRows returns the indices of tuples with at least one missing
+// value — the set r-hat of the paper.
+func (r *Relation) IncompleteRows() []int {
+	var rows []int
+	for i, t := range r.rows {
+		if t.HasMissing() {
+			rows = append(rows, i)
+		}
+	}
+	return rows
+}
+
+// CountMissing returns the number of null cells.
+func (r *Relation) CountMissing() int {
+	n := 0
+	for _, t := range r.rows {
+		for _, v := range t {
+			if v.IsNull() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Complete reports whether the relation has no missing cells.
+func (r *Relation) Complete() bool { return r.CountMissing() == 0 }
+
+// Select returns the row indices for which keep returns true.
+func (r *Relation) Select(keep func(Tuple) bool) []int {
+	var rows []int
+	for i, t := range r.rows {
+		if keep(t) {
+			rows = append(rows, i)
+		}
+	}
+	return rows
+}
+
+// Project returns a new relation holding copies of the given attributes.
+func (r *Relation) Project(attrNames ...string) (*Relation, error) {
+	idx := make([]int, len(attrNames))
+	attrs := make([]Attribute, len(attrNames))
+	for k, name := range attrNames {
+		i, ok := r.schema.Index(name)
+		if !ok {
+			return nil, fmt.Errorf("dataset: project on unknown attribute %q", name)
+		}
+		idx[k] = i
+		attrs[k] = r.schema.Attr(i)
+	}
+	out := NewRelation(NewSchema(attrs...))
+	for _, t := range r.rows {
+		row := make(Tuple, len(idx))
+		for k, i := range idx {
+			row[k] = t[i]
+		}
+		out.rows = append(out.rows, row)
+	}
+	return out, nil
+}
+
+// Head returns a new relation holding copies of the first n rows (all rows
+// if n exceeds the length). Used by the Table 5 tuple-count sweep.
+func (r *Relation) Head(n int) *Relation {
+	if n > len(r.rows) {
+		n = len(r.rows)
+	}
+	out := NewRelation(r.schema)
+	for i := 0; i < n; i++ {
+		out.rows = append(out.rows, r.rows[i].Clone())
+	}
+	return out
+}
+
+// ActiveDomain returns the distinct non-null values of the attribute, in
+// first-appearance order.
+func (r *Relation) ActiveDomain(attr int) []Value {
+	seen := make(map[string]bool)
+	var out []Value
+	for _, t := range r.rows {
+		v := t[attr]
+		if v.IsNull() {
+			continue
+		}
+		key := v.Kind().String() + "\x00" + v.String()
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Equal reports whether two relations have the same schema and identical
+// cell contents.
+func (r *Relation) Equal(o *Relation) bool {
+	if !r.schema.Equal(o.schema) || len(r.rows) != len(o.rows) {
+		return false
+	}
+	for i := range r.rows {
+		for j := range r.rows[i] {
+			if !r.rows[i][j].Equal(o.rows[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,248 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func restaurantSchema() *Schema {
+	return NewSchema(
+		Attribute{Name: "Name", Kind: KindString},
+		Attribute{Name: "City", Kind: KindString},
+		Attribute{Name: "Phone", Kind: KindString},
+		Attribute{Name: "Type", Kind: KindString},
+		Attribute{Name: "Class", Kind: KindInt},
+	)
+}
+
+// paperSample builds the Table 2 instance from the paper.
+func paperSample() *Relation {
+	r := NewRelation(restaurantSchema())
+	rows := [][]any{
+		{"Granita", "Malibu", "310/456-0488", "Californian", int64(6)},
+		{"Chinois Main", "LA", "310-392-9025", "French", int64(5)},
+		{"Citrus", "Los Angeles", "213/857-0034", "Californian", int64(6)},
+		{"Citrus", "Los Angeles", nil, "Californian", int64(6)},
+		{"Fenix", "Hollywood", "213/848-6677", nil, int64(5)},
+		{"Fenix Argyle", nil, "213/848-6677", "French (new)", int64(5)},
+		{"C. Main", "Los Angeles", nil, "French", int64(5)},
+	}
+	for _, raw := range rows {
+		t := make(Tuple, len(raw))
+		for i, f := range raw {
+			switch x := f.(type) {
+			case nil:
+				t[i] = Null
+			case string:
+				t[i] = NewString(x)
+			case int64:
+				t[i] = NewInt(x)
+			}
+		}
+		r.MustAppend(t)
+	}
+	return r
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := restaurantSchema()
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", s.Len())
+	}
+	if i, ok := s.Index("Phone"); !ok || i != 2 {
+		t.Errorf("Index(Phone) = %d,%v", i, ok)
+	}
+	if _, ok := s.Index("Nope"); ok {
+		t.Error("Index(Nope) should not exist")
+	}
+	if s.MustIndex("Class") != 4 {
+		t.Error("MustIndex(Class) != 4")
+	}
+	if got := s.Names(); got[0] != "Name" || got[4] != "Class" {
+		t.Errorf("Names = %v", got)
+	}
+	if s.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+func TestSchemaMustIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustIndex on unknown attribute should panic")
+		}
+	}()
+	restaurantSchema().MustIndex("Missing")
+}
+
+func TestSchemaDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate attribute should panic")
+		}
+	}()
+	NewSchema(Attribute{Name: "A"}, Attribute{Name: "A"})
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a, b := restaurantSchema(), restaurantSchema()
+	if !a.Equal(b) {
+		t.Error("identical schemas not Equal")
+	}
+	c := NewSchema(Attribute{Name: "X", Kind: KindInt})
+	if a.Equal(c) {
+		t.Error("different schemas Equal")
+	}
+}
+
+func TestRelationMissingAccounting(t *testing.T) {
+	r := paperSample()
+	if r.Len() != 7 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if got := r.CountMissing(); got != 4 {
+		t.Errorf("CountMissing = %d, want 4", got)
+	}
+	incomplete := r.IncompleteRows()
+	want := []int{3, 4, 5, 6}
+	if len(incomplete) != len(want) {
+		t.Fatalf("IncompleteRows = %v, want %v", incomplete, want)
+	}
+	for i := range want {
+		if incomplete[i] != want[i] {
+			t.Fatalf("IncompleteRows = %v, want %v", incomplete, want)
+		}
+	}
+	cells := r.MissingCells()
+	if len(cells) != 4 {
+		t.Fatalf("MissingCells = %v", cells)
+	}
+	if cells[0] != (Cell{Row: 3, Attr: 2}) {
+		t.Errorf("first missing cell = %+v", cells[0])
+	}
+	if r.Complete() {
+		t.Error("Complete() true on instance with nulls")
+	}
+}
+
+func TestRelationSetAndGet(t *testing.T) {
+	r := paperSample()
+	r.Set(3, 2, NewString("213/857-0034"))
+	if got := r.Get(3, 2); got.Str() != "213/857-0034" {
+		t.Errorf("Get after Set = %v", got)
+	}
+	if got := r.CountMissing(); got != 3 {
+		t.Errorf("CountMissing after imputation = %d, want 3", got)
+	}
+}
+
+func TestRelationCloneIndependence(t *testing.T) {
+	r := paperSample()
+	c := r.Clone()
+	if !r.Equal(c) {
+		t.Fatal("clone not Equal to original")
+	}
+	c.Set(0, 0, NewString("Changed"))
+	if r.Get(0, 0).Str() != "Granita" {
+		t.Error("mutating clone affected original")
+	}
+	if r.Equal(c) {
+		t.Error("Equal true after divergence")
+	}
+}
+
+func TestRelationAppendErrors(t *testing.T) {
+	r := NewRelation(restaurantSchema())
+	if err := r.Append(Tuple{NewString("x")}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	bad := Tuple{NewInt(1), NewString("c"), NewString("p"), NewString("t"), NewInt(5)}
+	if err := r.Append(bad); err == nil {
+		t.Error("kind mismatch accepted")
+	}
+	// Numeric widening is allowed.
+	ok := Tuple{NewString("n"), NewString("c"), NewString("p"), NewString("t"), NewFloat(5)}
+	if err := r.Append(ok); err != nil {
+		t.Errorf("float into int column rejected: %v", err)
+	}
+	// Nulls are allowed anywhere.
+	nulls := Tuple{Null, Null, Null, Null, Null}
+	if err := r.Append(nulls); err != nil {
+		t.Errorf("all-null tuple rejected: %v", err)
+	}
+}
+
+func TestRelationProject(t *testing.T) {
+	r := paperSample()
+	p, err := r.Project("Name", "Class")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Schema().Len() != 2 || p.Len() != r.Len() {
+		t.Fatalf("projection shape %dx%d", p.Len(), p.Schema().Len())
+	}
+	if p.Get(0, 0).Str() != "Granita" || p.Get(0, 1).Int() != 6 {
+		t.Errorf("projected row 0 = %v %v", p.Get(0, 0), p.Get(0, 1))
+	}
+	if _, err := r.Project("Nope"); err == nil {
+		t.Error("projecting unknown attribute should fail")
+	}
+}
+
+func TestRelationHead(t *testing.T) {
+	r := paperSample()
+	h := r.Head(3)
+	if h.Len() != 3 {
+		t.Fatalf("Head(3).Len = %d", h.Len())
+	}
+	h.Set(0, 0, NewString("Z"))
+	if r.Get(0, 0).Str() != "Granita" {
+		t.Error("Head rows alias original storage")
+	}
+	if r.Head(100).Len() != r.Len() {
+		t.Error("Head larger than relation should clamp")
+	}
+}
+
+func TestRelationActiveDomain(t *testing.T) {
+	r := paperSample()
+	cities := r.ActiveDomain(r.Schema().MustIndex("City"))
+	// Malibu, LA, Los Angeles, Hollywood — nulls excluded, dupes collapsed.
+	if len(cities) != 4 {
+		t.Fatalf("ActiveDomain(City) = %v", cities)
+	}
+	if cities[0].Str() != "Malibu" {
+		t.Errorf("first domain value = %v, want first-appearance order", cities[0])
+	}
+	classes := r.ActiveDomain(r.Schema().MustIndex("Class"))
+	if len(classes) != 2 {
+		t.Errorf("ActiveDomain(Class) = %v", classes)
+	}
+}
+
+func TestRelationSelect(t *testing.T) {
+	r := paperSample()
+	classAttr := r.Schema().MustIndex("Class")
+	rows := r.Select(func(t Tuple) bool { return !t[classAttr].IsNull() && t[classAttr].Int() == 6 })
+	if len(rows) != 3 {
+		t.Errorf("Select class=6 = %v", rows)
+	}
+}
+
+func TestTupleHelpers(t *testing.T) {
+	tp := Tuple{NewString("a"), Null, NewInt(1)}
+	if !tp.HasMissing() {
+		t.Error("HasMissing false")
+	}
+	if got := tp.MissingAttrs(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("MissingAttrs = %v", got)
+	}
+	c := tp.Clone()
+	c[0] = NewString("b")
+	if tp[0].Str() != "a" {
+		t.Error("Clone aliases storage")
+	}
+	full := Tuple{NewString("a")}
+	if full.HasMissing() || full.MissingAttrs() != nil {
+		t.Error("complete tuple reported missing")
+	}
+}

@@ -1,0 +1,96 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Attribute describes one column of a relation schema: its name and the
+// value domain dom(A).
+type Attribute struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered list of attributes. Attribute order is significant
+// (tuples are positional) and names are unique.
+type Schema struct {
+	attrs []Attribute
+	index map[string]int
+}
+
+// NewSchema builds a schema from the given attributes. It panics on
+// duplicate or empty attribute names; schemas are constructed from trusted
+// code paths (CSV headers are deduplicated by the reader).
+func NewSchema(attrs ...Attribute) *Schema {
+	s := &Schema{
+		attrs: append([]Attribute(nil), attrs...),
+		index: make(map[string]int, len(attrs)),
+	}
+	for i, a := range attrs {
+		if a.Name == "" {
+			panic("dataset: empty attribute name")
+		}
+		if _, dup := s.index[a.Name]; dup {
+			panic(fmt.Sprintf("dataset: duplicate attribute %q", a.Name))
+		}
+		s.index[a.Name] = i
+	}
+	return s
+}
+
+// Len returns the number of attributes, m in the paper's notation.
+func (s *Schema) Len() int { return len(s.attrs) }
+
+// Attr returns the attribute at position i.
+func (s *Schema) Attr(i int) Attribute { return s.attrs[i] }
+
+// Attrs returns a copy of the attribute list.
+func (s *Schema) Attrs() []Attribute { return append([]Attribute(nil), s.attrs...) }
+
+// Index returns the position of the named attribute and whether it exists.
+func (s *Schema) Index(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// MustIndex is Index that panics on unknown names; used where the
+// attribute name was already validated.
+func (s *Schema) MustIndex(name string) int {
+	i, ok := s.index[name]
+	if !ok {
+		panic(fmt.Sprintf("dataset: unknown attribute %q", name))
+	}
+	return i
+}
+
+// Names returns the attribute names in order.
+func (s *Schema) Names() []string {
+	names := make([]string, len(s.attrs))
+	for i, a := range s.attrs {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// Equal reports whether two schemas have identical attribute lists.
+func (s *Schema) Equal(o *Schema) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	for i := range s.attrs {
+		if s.attrs[i] != o.attrs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schema as "name:kind, ...".
+func (s *Schema) String() string {
+	parts := make([]string, len(s.attrs))
+	for i, a := range s.attrs {
+		parts[i] = a.Name + ":" + a.Kind.String()
+	}
+	return strings.Join(parts, ", ")
+}

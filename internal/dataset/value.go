@@ -1,0 +1,236 @@
+// Package dataset provides the relational substrate RENUVER operates on:
+// typed attribute values, relation schemas with type inference, mutable
+// relation instances, and a CSV codec.
+//
+// The package is deliberately self-contained — Go has no mainstream
+// dataframe library, so everything the imputation stack needs from a
+// "table" lives here: typed cells with an explicit null, cheap projection,
+// row cloning, and missing-cell enumeration.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the value domains RENUVER understands (Sec. 5.3 of the
+// paper: string, int, float/double, and boolean attributes, plus null).
+type Kind uint8
+
+// Supported value kinds. KindNull is the zero value so that a zero Value
+// is a missing cell.
+const (
+	KindNull Kind = iota
+	KindString
+	KindInt
+	KindFloat
+	KindBool
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Numeric reports whether the kind carries a numeric payload.
+func (k Kind) Numeric() bool { return k == KindInt || k == KindFloat }
+
+// Value is a single typed cell. The zero Value is null (a missing value,
+// written "_" in the paper). Values are immutable once constructed.
+type Value struct {
+	kind Kind
+	s    string  // payload for KindString
+	n    float64 // payload for KindInt/KindFloat/KindBool (0 or 1)
+}
+
+// Null is the missing-value cell, t[A] = _ in the paper's notation.
+var Null = Value{}
+
+// NewString returns a string value.
+func NewString(s string) Value { return Value{kind: KindString, s: s} }
+
+// NewInt returns an integer value.
+func NewInt(i int64) Value { return Value{kind: KindInt, n: float64(i)} }
+
+// NewFloat returns a floating-point value. NaN is treated as null because
+// a NaN cell cannot participate in any distance computation.
+func NewFloat(f float64) Value {
+	if math.IsNaN(f) {
+		return Null
+	}
+	return Value{kind: KindFloat, n: f}
+}
+
+// NewBool returns a boolean value.
+func NewBool(b bool) Value {
+	v := Value{kind: KindBool}
+	if b {
+		v.n = 1
+	}
+	return v
+}
+
+// Kind returns the domain of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the cell is missing.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Str returns the string payload. It is only meaningful for KindString.
+func (v Value) Str() string { return v.s }
+
+// Float returns the numeric payload as float64 (0/1 for booleans).
+func (v Value) Float() float64 { return v.n }
+
+// Int returns the numeric payload truncated to int64.
+func (v Value) Int() int64 { return int64(v.n) }
+
+// Bool returns the boolean payload.
+func (v Value) Bool() bool { return v.kind == KindBool && v.n != 0 }
+
+// Equal reports deep equality of two cells. Two nulls are equal to each
+// other; null never equals a present value.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		// Int/float cross-kind comparison still counts when payloads match:
+		// type inference can legitimately widen a column between loads.
+		if v.kind.Numeric() && o.kind.Numeric() {
+			return v.n == o.n
+		}
+		return false
+	}
+	switch v.kind {
+	case KindNull:
+		return true
+	case KindString:
+		return v.s == o.s
+	default:
+		return v.n == o.n
+	}
+}
+
+// String renders the value the way the CSV codec writes it. Null renders
+// as the empty string.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return ""
+	case KindString:
+		return v.s
+	case KindInt:
+		return strconv.FormatInt(int64(v.n), 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.n, 'g', -1, 64)
+	case KindBool:
+		if v.n != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return ""
+	}
+}
+
+// nullTokens are raw CSV spellings parsed as a missing value.
+var nullTokens = map[string]bool{
+	"": true, "_": true, "?": true, "na": true, "n/a": true,
+	"nan": true, "null": true, "none": true, "nil": true, "missing": true,
+}
+
+// IsNullToken reports whether a raw string denotes a missing value.
+func IsNullToken(raw string) bool {
+	return nullTokens[strings.ToLower(strings.TrimSpace(raw))]
+}
+
+// Parse converts a raw string into a Value of the requested kind.
+// Null tokens parse to Null for every kind. Parsing a non-null token into
+// a numeric or boolean kind fails loudly rather than guessing.
+func Parse(raw string, kind Kind) (Value, error) {
+	if IsNullToken(raw) {
+		return Null, nil
+	}
+	trimmed := strings.TrimSpace(raw)
+	switch kind {
+	case KindString:
+		return NewString(raw), nil
+	case KindInt:
+		i, err := strconv.ParseInt(trimmed, 10, 64)
+		if err != nil {
+			return Null, fmt.Errorf("dataset: parse %q as int: %w", raw, err)
+		}
+		return NewInt(i), nil
+	case KindFloat:
+		f, err := strconv.ParseFloat(trimmed, 64)
+		if err != nil {
+			return Null, fmt.Errorf("dataset: parse %q as float: %w", raw, err)
+		}
+		return NewFloat(f), nil
+	case KindBool:
+		switch strings.ToLower(trimmed) {
+		case "true", "t", "yes", "y", "1":
+			return NewBool(true), nil
+		case "false", "f", "no", "n", "0":
+			return NewBool(false), nil
+		}
+		return Null, fmt.Errorf("dataset: parse %q as bool", raw)
+	case KindNull:
+		return Null, nil
+	default:
+		return Null, fmt.Errorf("dataset: parse into unknown kind %v", kind)
+	}
+}
+
+// InferKind guesses the narrowest kind that can represent every non-null
+// token in the sample. Order of preference: bool, int, float, string.
+func InferKind(sample []string) Kind {
+	couldBool, couldInt, couldFloat := true, true, true
+	sawValue := false
+	for _, raw := range sample {
+		if IsNullToken(raw) {
+			continue
+		}
+		sawValue = true
+		t := strings.ToLower(strings.TrimSpace(raw))
+		switch t {
+		case "true", "false", "t", "f", "yes", "no":
+		default:
+			couldBool = false
+		}
+		if _, err := strconv.ParseInt(strings.TrimSpace(raw), 10, 64); err != nil {
+			couldInt = false
+		}
+		if _, err := strconv.ParseFloat(strings.TrimSpace(raw), 64); err != nil {
+			couldFloat = false
+		}
+		if !couldBool && !couldInt && !couldFloat {
+			return KindString
+		}
+	}
+	switch {
+	case !sawValue:
+		return KindString
+	case couldBool:
+		return KindBool
+	case couldInt:
+		return KindInt
+	case couldFloat:
+		return KindFloat
+	default:
+		return KindString
+	}
+}

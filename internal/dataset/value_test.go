@@ -1,0 +1,214 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	cases := []struct {
+		name string
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{"null", Null, KindNull, ""},
+		{"string", NewString("Granita"), KindString, "Granita"},
+		{"empty string", NewString(""), KindString, ""},
+		{"int", NewInt(42), KindInt, "42"},
+		{"negative int", NewInt(-7), KindInt, "-7"},
+		{"float", NewFloat(3.25), KindFloat, "3.25"},
+		{"bool true", NewBool(true), KindBool, "true"},
+		{"bool false", NewBool(false), KindBool, "false"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if c.v.Kind() != c.kind {
+				t.Errorf("Kind() = %v, want %v", c.v.Kind(), c.kind)
+			}
+			if c.v.String() != c.str {
+				t.Errorf("String() = %q, want %q", c.v.String(), c.str)
+			}
+		})
+	}
+}
+
+func TestZeroValueIsNull(t *testing.T) {
+	var v Value
+	if !v.IsNull() {
+		t.Fatal("zero Value must be null")
+	}
+	if !v.Equal(Null) {
+		t.Fatal("zero Value must equal Null")
+	}
+}
+
+func TestNewFloatNaNBecomesNull(t *testing.T) {
+	if v := NewFloat(math.NaN()); !v.IsNull() {
+		t.Fatalf("NewFloat(NaN) = %v, want Null", v)
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Value
+		want bool
+	}{
+		{"null==null", Null, Null, true},
+		{"null!=string", Null, NewString(""), false},
+		{"string==string", NewString("x"), NewString("x"), true},
+		{"string!=string", NewString("x"), NewString("y"), false},
+		{"int==int", NewInt(5), NewInt(5), true},
+		{"int!=int", NewInt(5), NewInt(6), false},
+		{"int==float crosskind", NewInt(5), NewFloat(5), true},
+		{"int!=float crosskind", NewInt(5), NewFloat(5.5), false},
+		{"bool==bool", NewBool(true), NewBool(true), true},
+		{"bool!=bool", NewBool(true), NewBool(false), false},
+		{"string!=int", NewString("5"), NewInt(5), false},
+		{"bool!=int despite payload", NewBool(true), NewInt(1), false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.a.Equal(c.b); got != c.want {
+				t.Errorf("Equal = %v, want %v", got, c.want)
+			}
+			if got := c.b.Equal(c.a); got != c.want {
+				t.Errorf("Equal not symmetric: %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestValueEqualReflexiveProperty(t *testing.T) {
+	f := func(s string, i int64, fl float64, b bool) bool {
+		vals := []Value{NewString(s), NewInt(i), NewFloat(fl), NewBool(b), Null}
+		for _, v := range vals {
+			if !v.Equal(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseRoundTripProperty(t *testing.T) {
+	// Parsing a value's String() back at its own kind must reproduce it.
+	f := func(i int64, b bool) bool {
+		vi, err := Parse(NewInt(i).String(), KindInt)
+		if err != nil || !vi.Equal(NewInt(i)) {
+			return false
+		}
+		vb, err := Parse(NewBool(b).String(), KindBool)
+		return err == nil && vb.Equal(NewBool(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseFloatRoundTripProperty(t *testing.T) {
+	f := func(fl float64) bool {
+		want := NewFloat(fl)
+		got, err := Parse(want.String(), KindFloat)
+		if want.IsNull() { // NaN input
+			return err == nil && got.IsNull()
+		}
+		return err == nil && got.Equal(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseNullTokens(t *testing.T) {
+	for _, tok := range []string{"", "_", "?", "NA", "n/a", "NaN", "NULL", "none", " nil ", "missing"} {
+		for _, k := range []Kind{KindString, KindInt, KindFloat, KindBool} {
+			v, err := Parse(tok, k)
+			if err != nil {
+				t.Errorf("Parse(%q, %v) error: %v", tok, k, err)
+			}
+			if !v.IsNull() {
+				t.Errorf("Parse(%q, %v) = %v, want Null", tok, k, v)
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		raw  string
+		kind Kind
+	}{
+		{"abc", KindInt},
+		{"1.5", KindInt},
+		{"abc", KindFloat},
+		{"maybe", KindBool},
+		{"2", KindBool},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.raw, c.kind); err == nil {
+			t.Errorf("Parse(%q, %v) succeeded, want error", c.raw, c.kind)
+		}
+	}
+}
+
+func TestParseBoolSpellings(t *testing.T) {
+	truthy := []string{"true", "T", "YES", "y", "1"}
+	falsy := []string{"false", "F", "NO", "n", "0"}
+	for _, s := range truthy {
+		v, err := Parse(s, KindBool)
+		if err != nil || !v.Bool() {
+			t.Errorf("Parse(%q, bool) = %v, %v; want true", s, v, err)
+		}
+	}
+	for _, s := range falsy {
+		v, err := Parse(s, KindBool)
+		if err != nil || v.Bool() || v.IsNull() {
+			t.Errorf("Parse(%q, bool) = %v, %v; want false", s, v, err)
+		}
+	}
+}
+
+func TestInferKind(t *testing.T) {
+	cases := []struct {
+		name   string
+		sample []string
+		want   Kind
+	}{
+		{"all ints", []string{"1", "2", "-3"}, KindInt},
+		{"ints with nulls", []string{"1", "", "3", "?"}, KindInt},
+		{"floats", []string{"1.5", "2"}, KindFloat},
+		{"scientific", []string{"1e3", "2"}, KindFloat},
+		{"bools", []string{"true", "false", "T"}, KindBool},
+		{"strings", []string{"Granita", "Fenix"}, KindString},
+		{"mixed digits and text", []string{"1", "abc"}, KindString},
+		{"empty sample", nil, KindString},
+		{"all nulls", []string{"", "?", "NA"}, KindString},
+		{"phone-like", []string{"310/456-0488"}, KindString},
+		{"numeric with leading space", []string{" 12 ", "5"}, KindInt},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := InferKind(c.sample); got != c.want {
+				t.Errorf("InferKind(%v) = %v, want %v", c.sample, got, c.want)
+			}
+		})
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindFloat.String() != "float" || KindNull.String() != "null" {
+		t.Error("Kind.String mismatch")
+	}
+	if Kind(99).String() != "kind(99)" {
+		t.Errorf("unknown kind String() = %q", Kind(99).String())
+	}
+	if !KindInt.Numeric() || !KindFloat.Numeric() || KindString.Numeric() || KindBool.Numeric() {
+		t.Error("Kind.Numeric mismatch")
+	}
+}

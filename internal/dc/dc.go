@@ -1,0 +1,225 @@
+// Package dc implements denial constraints (DCs) — the metadata class the
+// Holoclean baseline consumes (Rekatsinas et al. [20] take DCs as input;
+// the paper obtained them with automatic discovery [2, 9]).
+//
+// A DC forbids a conjunction of predicates over a tuple pair:
+//
+//	¬( t1.A1 op1 t2.A1 ∧ t1.A2 op2 t2.A2 ∧ ... )
+//
+// A pair making every predicate true is a violation witness. Predicates
+// over missing values are unsatisfiable, so incomplete cells never
+// witness a violation.
+package dc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// Op is a comparison operator between the two tuples' values on one
+// attribute.
+type Op uint8
+
+// Supported operators. Order operators apply to numeric attributes only.
+const (
+	Eq Op = iota
+	Neq
+	Lt
+	Leq
+	Gt
+	Geq
+)
+
+var opNames = [...]string{"=", "!=", "<", "<=", ">", ">="}
+
+// String returns the operator's symbol.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// ParseOp reads an operator symbol.
+func ParseOp(s string) (Op, error) {
+	for i, name := range opNames {
+		if s == name {
+			return Op(i), nil
+		}
+	}
+	return 0, fmt.Errorf("dc: unknown operator %q", s)
+}
+
+// Predicate compares t1[Attr] against t2[Attr] with Op.
+type Predicate struct {
+	Attr int
+	Op   Op
+}
+
+// eval reports whether the predicate holds for the pair. Missing values
+// make every predicate false.
+func (p Predicate) eval(t1, t2 dataset.Tuple) bool {
+	a, b := t1[p.Attr], t2[p.Attr]
+	if a.IsNull() || b.IsNull() {
+		return false
+	}
+	switch p.Op {
+	case Eq:
+		return a.Equal(b)
+	case Neq:
+		return !a.Equal(b)
+	}
+	// Order comparisons require numeric kinds.
+	if !a.Kind().Numeric() || !b.Kind().Numeric() {
+		return false
+	}
+	switch p.Op {
+	case Lt:
+		return a.Float() < b.Float()
+	case Leq:
+		return a.Float() <= b.Float()
+	case Gt:
+		return a.Float() > b.Float()
+	case Geq:
+		return a.Float() >= b.Float()
+	default:
+		return false
+	}
+}
+
+// DC is one denial constraint: the negated conjunction of its predicates.
+type DC struct {
+	Preds []Predicate
+}
+
+// New builds a DC, rejecting empty or duplicate-attribute predicate
+// lists.
+func New(preds ...Predicate) (*DC, error) {
+	if len(preds) == 0 {
+		return nil, fmt.Errorf("dc: empty predicate list")
+	}
+	seen := map[int]bool{}
+	for _, p := range preds {
+		if seen[p.Attr] {
+			return nil, fmt.Errorf("dc: duplicate attribute %d", p.Attr)
+		}
+		seen[p.Attr] = true
+	}
+	return &DC{Preds: append([]Predicate(nil), preds...)}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(preds ...Predicate) *DC {
+	d, err := New(preds...)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// WitnessedBy reports whether the ordered pair (t1, t2) makes every
+// predicate true — i.e. violates the constraint.
+func (d *DC) WitnessedBy(t1, t2 dataset.Tuple) bool {
+	for _, p := range d.Preds {
+		if !p.eval(t1, t2) {
+			return false
+		}
+	}
+	return true
+}
+
+// Violations counts the ordered tuple pairs witnessing a violation.
+func (d *DC) Violations(rel *dataset.Relation) int {
+	n, count := rel.Len(), 0
+	for i := 0; i < n; i++ {
+		ti := rel.Row(i)
+		for j := 0; j < n; j++ {
+			if i != j && d.WitnessedBy(ti, rel.Row(j)) {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// HoldsOn reports whether no pair witnesses a violation.
+func (d *DC) HoldsOn(rel *dataset.Relation) bool {
+	n := rel.Len()
+	for i := 0; i < n; i++ {
+		ti := rel.Row(i)
+		for j := 0; j < n; j++ {
+			if i != j && d.WitnessedBy(ti, rel.Row(j)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ViolationsInvolving counts the violations in which the given row takes
+// part (as either side). The Holoclean baseline uses this as a repair
+// feature.
+func (d *DC) ViolationsInvolving(rel *dataset.Relation, row int) int {
+	n, count := rel.Len(), 0
+	t := rel.Row(row)
+	for j := 0; j < n; j++ {
+		if j == row {
+			continue
+		}
+		tj := rel.Row(j)
+		if d.WitnessedBy(t, tj) {
+			count++
+		}
+		if d.WitnessedBy(tj, t) {
+			count++
+		}
+	}
+	return count
+}
+
+// InvolvesAttr reports whether the DC constrains the attribute.
+func (d *DC) InvolvesAttr(attr int) bool {
+	for _, p := range d.Preds {
+		if p.Attr == attr {
+			return true
+		}
+	}
+	return false
+}
+
+// Format renders the DC as "!(A = & B != & C >)" with attribute names.
+func (d *DC) Format(schema *dataset.Schema) string {
+	parts := make([]string, len(d.Preds))
+	for i, p := range d.Preds {
+		parts[i] = schema.Attr(p.Attr).Name + " " + p.Op.String()
+	}
+	return "!(" + strings.Join(parts, " & ") + ")"
+}
+
+// Parse reads a DC in Format form.
+func Parse(s string, schema *dataset.Schema) (*DC, error) {
+	body := strings.TrimSpace(s)
+	if !strings.HasPrefix(body, "!(") || !strings.HasSuffix(body, ")") {
+		return nil, fmt.Errorf("dc: %q: want !(...)", s)
+	}
+	body = body[2 : len(body)-1]
+	var preds []Predicate
+	for _, part := range strings.Split(body, "&") {
+		fields := strings.Fields(part)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("dc: bad predicate %q", part)
+		}
+		attr, ok := schema.Index(fields[0])
+		if !ok {
+			return nil, fmt.Errorf("dc: unknown attribute %q", fields[0])
+		}
+		op, err := ParseOp(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, Predicate{Attr: attr, Op: op})
+	}
+	return New(preds...)
+}

@@ -1,0 +1,253 @@
+package dc
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func sample(t testing.TB) *dataset.Relation {
+	t.Helper()
+	rel, err := dataset.ReadCSVString(`Zip,City,Salary,Tax
+10001,NYC,100,30
+10001,NYC,200,60
+90210,LA,150,40
+90210,LA,50,10
+10001,,80,
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+func TestPredicateEval(t *testing.T) {
+	rel := sample(t)
+	t0, t1, t4 := rel.Row(0), rel.Row(1), rel.Row(4)
+	cases := []struct {
+		name string
+		p    Predicate
+		a, b dataset.Tuple
+		want bool
+	}{
+		{"eq true", Predicate{Attr: 0, Op: Eq}, t0, t1, true},
+		{"eq false", Predicate{Attr: 2, Op: Eq}, t0, t1, false},
+		{"neq", Predicate{Attr: 2, Op: Neq}, t0, t1, true},
+		{"lt", Predicate{Attr: 2, Op: Lt}, t0, t1, true},
+		{"lt false", Predicate{Attr: 2, Op: Lt}, t1, t0, false},
+		{"gt", Predicate{Attr: 2, Op: Gt}, t1, t0, true},
+		{"leq equal", Predicate{Attr: 0, Op: Leq}, t0, t1, true},
+		{"geq equal", Predicate{Attr: 0, Op: Geq}, t0, t1, true},
+		{"null never true", Predicate{Attr: 1, Op: Eq}, t0, t4, false},
+		{"null never neq", Predicate{Attr: 1, Op: Neq}, t0, t4, false},
+		{"order on strings false", Predicate{Attr: 1, Op: Lt}, t0, t1, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.p.eval(c.a, c.b); got != c.want {
+				t.Errorf("eval = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestDCHoldsAndViolations(t *testing.T) {
+	rel := sample(t)
+	schema := rel.Schema()
+	// Zip = -> City != : holds (equal zips always share city or null).
+	zipCity := MustNew(Predicate{Attr: 0, Op: Eq}, Predicate{Attr: 1, Op: Neq})
+	if !zipCity.HoldsOn(rel) {
+		t.Errorf("%s should hold", zipCity.Format(schema))
+	}
+	if got := zipCity.Violations(rel); got != 0 {
+		t.Errorf("violations = %d", got)
+	}
+	// Salary > & Tax < : violated by rows 2,3? (150,40) vs (50,10):
+	// 150>50 and 40<10 false. Check (0,2): 100>150 false. (1,2): 200>150,
+	// 60<40 false. Actually rows 0 vs 3: 100>50, 30<10 false. Construct a
+	// real violation: rows 1 and 2: 200>150 and 60<40? no. So it holds.
+	oc := MustNew(Predicate{Attr: 2, Op: Gt}, Predicate{Attr: 3, Op: Lt})
+	if !oc.HoldsOn(rel) {
+		t.Errorf("%s should hold on monotone salary/tax", oc.Format(schema))
+	}
+	// City = -> Salary != would be witnessed by same-city rows with
+	// different salaries.
+	cs := MustNew(Predicate{Attr: 1, Op: Eq}, Predicate{Attr: 2, Op: Neq})
+	if cs.HoldsOn(rel) {
+		t.Errorf("%s should be violated", cs.Format(schema))
+	}
+	if got := cs.Violations(rel); got != 4 { // (0,1),(1,0),(2,3),(3,2)
+		t.Errorf("violations = %d, want 4", got)
+	}
+}
+
+func TestViolationsInvolving(t *testing.T) {
+	rel := sample(t)
+	cs := MustNew(Predicate{Attr: 1, Op: Eq}, Predicate{Attr: 2, Op: Neq})
+	if got := cs.ViolationsInvolving(rel, 0); got != 2 { // (0,1) and (1,0)
+		t.Errorf("ViolationsInvolving(0) = %d, want 2", got)
+	}
+	if got := cs.ViolationsInvolving(rel, 4); got != 0 {
+		t.Errorf("ViolationsInvolving(4) = %d, want 0 (null city)", got)
+	}
+}
+
+func TestDCNewValidation(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Error("empty DC accepted")
+	}
+	if _, err := New(Predicate{Attr: 1, Op: Eq}, Predicate{Attr: 1, Op: Neq}); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+}
+
+func TestDCFormatParseRoundTrip(t *testing.T) {
+	rel := sample(t)
+	schema := rel.Schema()
+	d := MustNew(Predicate{Attr: 0, Op: Eq}, Predicate{Attr: 2, Op: Gt}, Predicate{Attr: 3, Op: Lt})
+	text := d.Format(schema)
+	if text != "!(Zip = & Salary > & Tax <)" {
+		t.Errorf("Format = %q", text)
+	}
+	back, err := Parse(text, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Preds) != 3 || back.Preds[1] != d.Preds[1] {
+		t.Errorf("round trip changed DC: %+v", back)
+	}
+}
+
+func TestDCParseErrors(t *testing.T) {
+	rel := sample(t)
+	for _, s := range []string{"", "Zip =", "!(Zip)", "!(Bogus =)", "!(Zip ~)"} {
+		if _, err := Parse(s, rel.Schema()); err == nil {
+			t.Errorf("Parse(%q) accepted", s)
+		}
+	}
+}
+
+func TestInvolvesAttr(t *testing.T) {
+	d := MustNew(Predicate{Attr: 0, Op: Eq}, Predicate{Attr: 2, Op: Neq})
+	if !d.InvolvesAttr(0) || !d.InvolvesAttr(2) || d.InvolvesAttr(1) {
+		t.Error("InvolvesAttr wrong")
+	}
+}
+
+func TestOpParse(t *testing.T) {
+	for _, s := range []string{"=", "!=", "<", "<=", ">", ">="} {
+		op, err := ParseOp(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if op.String() != s {
+			t.Errorf("round trip %q -> %q", s, op.String())
+		}
+	}
+	if _, err := ParseOp("~"); err == nil {
+		t.Error("bad op accepted")
+	}
+	if Op(42).String() != "op(42)" {
+		t.Error("unknown op String")
+	}
+}
+
+func TestDiscoverFindsFDShapedDC(t *testing.T) {
+	rel := sample(t)
+	dcs := Discover(rel, DiscoverConfig{})
+	foundZipCity := false
+	for _, d := range dcs {
+		if d.Format(rel.Schema()) == "!(Zip = & City !=)" {
+			foundZipCity = true
+		}
+		if !d.HoldsOn(rel) {
+			t.Errorf("discovered DC %s violated", d.Format(rel.Schema()))
+		}
+	}
+	if !foundZipCity {
+		t.Error("Zip->City FD-shaped DC not discovered")
+	}
+}
+
+func TestDiscoverOrderCompatibility(t *testing.T) {
+	rel, err := dataset.ReadCSVString(`X,Y
+1,10
+2,20
+3,30
+4,40
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcs := Discover(rel, DiscoverConfig{})
+	found := false
+	for _, d := range dcs {
+		if d.Format(rel.Schema()) == "!(X > & Y <)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("order-compatibility DC not discovered on monotone data")
+	}
+}
+
+func TestDiscoverToleratesNoise(t *testing.T) {
+	rel, err := dataset.ReadCSVString(`A,B
+x,1
+x,1
+x,1
+x,1
+x,2
+y,3
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := Discover(rel, DiscoverConfig{})
+	for _, d := range exact {
+		if d.Format(rel.Schema()) == "!(A = & B !=)" {
+			t.Error("exact discovery kept a violated DC")
+		}
+	}
+	noisy := Discover(rel, DiscoverConfig{MaxViolationRate: 0.5})
+	found := false
+	for _, d := range noisy {
+		if d.Format(rel.Schema()) == "!(A = & B !=)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("tolerant discovery dropped the approximate DC")
+	}
+}
+
+func TestDiscoverEdgeCases(t *testing.T) {
+	one, err := dataset.ReadCSVString("A\nx\ny\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Discover(one, DiscoverConfig{}); len(got) != 0 {
+		t.Errorf("single attribute produced %d DCs", len(got))
+	}
+	single, err := dataset.ReadCSVString("A,B\nx,1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Discover(single, DiscoverConfig{}); len(got) != 0 {
+		t.Errorf("single tuple produced %d DCs", len(got))
+	}
+}
+
+func TestDiscoverSamplingDeterminism(t *testing.T) {
+	rel := sample(t)
+	a := Discover(rel, DiscoverConfig{MaxPairs: 8, Seed: 3})
+	b := Discover(rel, DiscoverConfig{MaxPairs: 8, Seed: 3})
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic sampled discovery: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Format(rel.Schema()) != b[i].Format(rel.Schema()) {
+			t.Errorf("DC %d differs", i)
+		}
+	}
+}

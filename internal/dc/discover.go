@@ -1,0 +1,127 @@
+package dc
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// DiscoverConfig tunes DC discovery.
+type DiscoverConfig struct {
+	// MaxViolationRate tolerates approximate DCs: a candidate is kept if
+	// the fraction of sampled ordered pairs violating it is at most this
+	// value. Zero means exact DCs only.
+	MaxViolationRate float64
+	// MinEvidence requires at least this many sampled pairs to satisfy
+	// the candidate's first predicate (so vacuous constraints are
+	// dropped). Zero means 1.
+	MinEvidence int
+	// MaxPairs caps the sampled ordered pairs. Zero means all.
+	MaxPairs int
+	// Seed drives sampling.
+	Seed int64
+}
+
+// Discover finds two-predicate denial constraints in the spirit of the
+// FastDC/Hydra predicate-space search [2, 9], restricted to the two
+// families that matter for repair features:
+//
+//   - FD-shaped: ¬(t1.A = t2.A ∧ t1.B ≠ t2.B) — equal on A forces equal
+//     on B;
+//   - order-compatibility: ¬(t1.A > t2.A ∧ t1.B < t2.B) — A and B sort
+//     the same way (numeric attributes only).
+//
+// Candidates are validated on (a sample of) ordered tuple pairs and kept
+// when their violation rate is within MaxViolationRate.
+func Discover(rel *dataset.Relation, cfg DiscoverConfig) []*DC {
+	if cfg.MinEvidence == 0 {
+		cfg.MinEvidence = 1
+	}
+	m := rel.Schema().Len()
+	if m < 2 || rel.Len() < 2 {
+		return nil
+	}
+	pairs := samplePairs(rel.Len(), cfg.MaxPairs, cfg.Seed)
+
+	var out []*DC
+	for a := 0; a < m; a++ {
+		for b := 0; b < m; b++ {
+			if a == b {
+				continue
+			}
+			// FD-shaped candidate (directional; evaluate a -> b).
+			fd := MustNew(Predicate{Attr: a, Op: Eq}, Predicate{Attr: b, Op: Neq})
+			if acceptable(rel, fd, pairs, cfg) {
+				out = append(out, fd)
+			}
+			// Order compatibility: only once per unordered numeric pair.
+			if a < b && rel.Schema().Attr(a).Kind.Numeric() && rel.Schema().Attr(b).Kind.Numeric() {
+				oc := MustNew(Predicate{Attr: a, Op: Gt}, Predicate{Attr: b, Op: Lt})
+				if acceptable(rel, oc, pairs, cfg) {
+					out = append(out, oc)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// acceptable validates one candidate over the sampled ordered pairs.
+func acceptable(rel *dataset.Relation, d *DC, pairs [][2]int, cfg DiscoverConfig) bool {
+	violations, evidence := 0, 0
+	first := d.Preds[0]
+	for _, pr := range pairs {
+		t1, t2 := rel.Row(pr[0]), rel.Row(pr[1])
+		if first.eval(t1, t2) {
+			evidence++
+		}
+		if d.WitnessedBy(t1, t2) {
+			violations++
+		}
+	}
+	if evidence < cfg.MinEvidence {
+		return false
+	}
+	rate := float64(violations) / float64(len(pairs))
+	return rate <= cfg.MaxViolationRate
+}
+
+// samplePairs returns ordered pairs (i, j), i != j — all of them, or a
+// deterministic uniform sample of maxPairs.
+func samplePairs(n, maxPairs int, seed int64) [][2]int {
+	total := n * (n - 1)
+	if maxPairs <= 0 || maxPairs >= total {
+		out := make([][2]int, 0, total)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j {
+					out = append(out, [2]int{i, j})
+				}
+			}
+		}
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[[2]int]bool, maxPairs)
+	out := make([][2]int, 0, maxPairs)
+	for len(out) < maxPairs {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		key := [2]int{i, j}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, key)
+	}
+	sort.Slice(out, func(x, y int) bool {
+		if out[x][0] != out[y][0] {
+			return out[x][0] < out[y][0]
+		}
+		return out[x][1] < out[y][1]
+	})
+	return out
+}

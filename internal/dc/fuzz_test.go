@@ -1,0 +1,51 @@
+package dc
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// FuzzParseDC: arbitrary input never panics; accepted inputs round-trip
+// through Format.
+func FuzzParseDC(f *testing.F) {
+	seeds := []string{
+		"!(Zip = & City !=)",
+		"!(Salary > & Tax <)",
+		"!(Zip =)",
+		"",
+		"!(Zip ~)",
+		"!(Bogus =)",
+		"!(Zip = & Zip !=)",
+		"Zip =",
+		"!()",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	schema := dataset.NewSchema(
+		dataset.Attribute{Name: "Zip", Kind: dataset.KindInt},
+		dataset.Attribute{Name: "City", Kind: dataset.KindString},
+		dataset.Attribute{Name: "Salary", Kind: dataset.KindFloat},
+		dataset.Attribute{Name: "Tax", Kind: dataset.KindFloat},
+	)
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := Parse(input, schema)
+		if err != nil {
+			return
+		}
+		text := d.Format(schema)
+		back, err := Parse(text, schema)
+		if err != nil {
+			t.Fatalf("Format output %q does not re-parse: %v", text, err)
+		}
+		if len(back.Preds) != len(d.Preds) {
+			t.Fatalf("round trip changed predicate count: %q", text)
+		}
+		for i := range d.Preds {
+			if back.Preds[i] != d.Preds[i] {
+				t.Fatalf("round trip changed predicate %d: %q", i, text)
+			}
+		}
+	})
+}

@@ -1,0 +1,102 @@
+package discovery
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestAdaptiveAttrLimitsShape(t *testing.T) {
+	rel := table2(t)
+	limits := AdaptiveAttrLimits(rel, 0.5, 0, 1)
+	if len(limits) != rel.Schema().Len() {
+		t.Fatalf("limits = %v", limits)
+	}
+	for a, l := range limits {
+		if l < 0 {
+			t.Errorf("attr %d limit %v negative", a, l)
+		}
+	}
+	// Name distances are large (distinct restaurant names), Class
+	// distances tiny (5 vs 6): the caps must reflect that order.
+	name := rel.Schema().MustIndex("Name")
+	class := rel.Schema().MustIndex("Class")
+	if limits[name] <= limits[class] {
+		t.Errorf("limit(Name)=%v <= limit(Class)=%v; want domain-aware caps", limits[name], limits[class])
+	}
+}
+
+func TestAdaptiveAttrLimitsDegenerate(t *testing.T) {
+	// Constant attribute: no nonzero distances -> cap 0.
+	rel, err := dataset.ReadCSVString("A,B\nc,1\nc,2\nc,3\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	limits := AdaptiveAttrLimits(rel, 0.5, 0, 1)
+	if limits[0] != 0 {
+		t.Errorf("constant attribute cap = %v, want 0", limits[0])
+	}
+	if limits[1] == 0 {
+		t.Errorf("varying attribute cap = %v, want > 0", limits[1])
+	}
+	// Single tuple: all zeros, no panic.
+	single, err := dataset.ReadCSVString("A\nx\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := AdaptiveAttrLimits(single, 0.5, 0, 1); got[0] != 0 {
+		t.Errorf("single-tuple cap = %v", got)
+	}
+}
+
+func TestAdaptiveAttrLimitsQuantileClamping(t *testing.T) {
+	rel := table2(t)
+	lo := AdaptiveAttrLimits(rel, -1, 0, 1)  // clamps to default 0.25
+	hi := AdaptiveAttrLimits(rel, 2.0, 0, 1) // clamps to 1.0 (max distance)
+	for a := range lo {
+		if lo[a] > hi[a] {
+			t.Errorf("attr %d: quantile 0.25 cap %v > max cap %v", a, lo[a], hi[a])
+		}
+	}
+}
+
+func TestDiscoveryWithAttrLimits(t *testing.T) {
+	rel := table2(t)
+	limits := AdaptiveAttrLimits(rel, 0.25, 0, 1)
+	sigma, err := Discover(rel, Config{MaxThreshold: 15, AttrLimits: limits})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dep := range sigma {
+		if dep.RHS.Threshold > limits[dep.RHS.Attr] {
+			t.Errorf("%s exceeds RHS cap %v", dep.Format(rel.Schema()), limits[dep.RHS.Attr])
+		}
+		for _, c := range dep.LHS {
+			if c.Threshold > limits[c.Attr] {
+				t.Errorf("%s exceeds LHS cap %v on attr %d", dep.Format(rel.Schema()), limits[c.Attr], c.Attr)
+			}
+		}
+		if !dep.HoldsOn(rel) {
+			t.Errorf("capped discovery emitted a non-holding RFD: %s", dep.Format(rel.Schema()))
+		}
+	}
+	// Capping must not enlarge the candidate set.
+	uncapped, err := Discover(rel, Config{MaxThreshold: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sigma) > len(uncapped) {
+		t.Errorf("capped %d > uncapped %d", len(sigma), len(uncapped))
+	}
+}
+
+func TestAdaptiveAttrLimitsSampledDeterminism(t *testing.T) {
+	rel := table2(t)
+	a := AdaptiveAttrLimits(rel, 0.5, 10, 3)
+	b := AdaptiveAttrLimits(rel, 0.5, 10, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("sampled limits nondeterministic")
+		}
+	}
+}

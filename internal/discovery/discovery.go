@@ -1,0 +1,325 @@
+// Package discovery finds RFDcs holding on a relation instance. The paper
+// delegates discovery to the dominance-based algorithm of Caruccio et al.
+// [6], which has no public implementation; this package produces the same
+// artifact class — RFDcs with conjunctive LHS distance constraints and a
+// single-attribute RHS, discovered under a maximum-threshold limit
+// (the paper's {3, 6, 9, 12, 15} sweep) — with a distance-pattern greedy
+// lattice search:
+//
+//  1. The distance patterns of (a sample of) all tuple pairs are
+//     materialized once.
+//  2. For every RHS attribute A, RHS threshold β in the grid, and LHS
+//     attribute set X up to MaxLHS attributes, the maximal per-attribute
+//     LHS thresholds are derived greedily from the violating pairs
+//     (d_A > β): every such pair must fail at least one LHS constraint,
+//     and thresholds only ever decrease, so one pass over the violating
+//     pairs suffices.
+//  3. Candidates that end up vacuous (key-like: no sampled pair satisfies
+//     the LHS) or dominated by a more general discovered RFDc are pruned.
+package discovery
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/distance"
+	"repro/internal/rfd"
+)
+
+// Config tunes discovery.
+type Config struct {
+	// MaxThreshold is the threshold limit: no discovered constraint (LHS
+	// or RHS) exceeds it. The paper sweeps {3, 6, 9, 12, 15}.
+	MaxThreshold float64
+	// MaxLHS bounds the LHS attribute-set size. Zero means 2.
+	MaxLHS int
+	// RHSGrid lists the candidate RHS thresholds. Empty means the
+	// integers 0..MaxThreshold.
+	RHSGrid []float64
+	// MaxPairs caps how many tuple pairs are sampled for pattern
+	// materialization. Zero means all pairs. Sampling keeps discovery
+	// tractable on large instances at the cost of soundness on the
+	// unsampled pairs (discovered RFDcs are then approximate).
+	MaxPairs int
+	// Seed drives pair sampling. Ignored when all pairs fit.
+	Seed int64
+	// MinSupport is the minimum number of sampled pairs that must satisfy
+	// a candidate's LHS for it to be kept (the non-key requirement).
+	// Zero means 1.
+	MinSupport int
+	// KeepDominated disables the dominance pruning pass, yielding the raw
+	// candidate set (closer to the paper's very large Σ sizes).
+	KeepDominated bool
+	// AttrLimits optionally caps the threshold per attribute (both LHS
+	// and RHS), on top of MaxThreshold. Produce distribution-aware caps
+	// with AdaptiveAttrLimits — the paper's Sec. 7 threshold-bounding
+	// extension. Nil means MaxThreshold everywhere; otherwise the slice
+	// must cover every attribute.
+	AttrLimits []float64
+}
+
+// limitFor returns the effective threshold cap for one attribute.
+func (c *Config) limitFor(attr int) float64 {
+	if c.AttrLimits == nil {
+		return c.MaxThreshold
+	}
+	return math.Min(c.MaxThreshold, c.AttrLimits[attr])
+}
+
+func (c *Config) normalize() error {
+	if c.MaxThreshold < 0 {
+		return fmt.Errorf("discovery: negative MaxThreshold %v", c.MaxThreshold)
+	}
+	if c.MaxLHS == 0 {
+		c.MaxLHS = 2
+	}
+	if c.MaxLHS < 0 {
+		return fmt.Errorf("discovery: negative MaxLHS %d", c.MaxLHS)
+	}
+	if len(c.RHSGrid) == 0 {
+		for b := 0.0; b <= c.MaxThreshold; b++ {
+			c.RHSGrid = append(c.RHSGrid, b)
+		}
+	}
+	sort.Float64s(c.RHSGrid)
+	if c.MinSupport == 0 {
+		c.MinSupport = 1
+	}
+	return nil
+}
+
+// Discover returns the RFDcs found on the instance under the config.
+// The result is deterministic for a fixed (instance, config, seed).
+func Discover(rel *dataset.Relation, cfg Config) (rfd.Set, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	m := rel.Schema().Len()
+	if m < 2 || rel.Len() < 2 {
+		return nil, nil
+	}
+
+	patterns := samplePatterns(rel, cfg.MaxPairs, cfg.Seed)
+	if len(patterns) == 0 {
+		return nil, nil
+	}
+
+	attrs := make([]int, m)
+	for i := range attrs {
+		attrs[i] = i
+	}
+
+	var out rfd.Set
+	for rhs := 0; rhs < m; rhs++ {
+		candidates := discoverForRHS(patterns, attrs, rhs, cfg)
+		if !cfg.KeepDominated {
+			candidates = rfd.Minimize(candidates)
+		}
+		out = append(out, candidates...)
+	}
+	return out, nil
+}
+
+// samplePatterns materializes distance patterns for up to maxPairs tuple
+// pairs. With maxPairs == 0 or enough room, all n(n-1)/2 pairs are used;
+// otherwise a uniform sample without replacement is drawn.
+func samplePatterns(rel *dataset.Relation, maxPairs int, seed int64) []distance.Pattern {
+	n := rel.Len()
+	total := n * (n - 1) / 2
+	if maxPairs <= 0 || maxPairs >= total {
+		out := make([]distance.Pattern, 0, total)
+		for i := 0; i < n; i++ {
+			ti := rel.Row(i)
+			for j := i + 1; j < n; j++ {
+				out = append(out, distance.PatternBetween(ti, rel.Row(j)))
+			}
+		}
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[[2]int]bool, maxPairs)
+	out := make([]distance.Pattern, 0, maxPairs)
+	for len(out) < maxPairs {
+		i := rng.Intn(n)
+		j := rng.Intn(n)
+		if i == j {
+			continue
+		}
+		if i > j {
+			i, j = j, i
+		}
+		key := [2]int{i, j}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, distance.PatternBetween(rel.Row(i), rel.Row(j)))
+	}
+	return out
+}
+
+// discoverForRHS emits every surviving candidate with the given RHS
+// attribute.
+func discoverForRHS(patterns []distance.Pattern, attrs []int, rhs int, cfg Config) rfd.Set {
+	lhsPool := make([]int, 0, len(attrs)-1)
+	for _, a := range attrs {
+		if a != rhs {
+			lhsPool = append(lhsPool, a)
+		}
+	}
+
+	// Violating pairs per β never include patterns whose RHS component is
+	// missing (they cannot witness). Sort pattern indices by RHS distance
+	// descending so each β's violating set is a prefix.
+	order := make([]int, 0, len(patterns))
+	for idx, p := range patterns {
+		if !distance.IsMissing(p[rhs]) {
+			order = append(order, idx)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return patterns[order[a]][rhs] > patterns[order[b]][rhs]
+	})
+
+	var out rfd.Set
+	subsets := enumerateSubsets(lhsPool, cfg.MaxLHS)
+	rhsLimit := cfg.limitFor(rhs)
+	for _, beta := range cfg.RHSGrid {
+		if beta > rhsLimit {
+			continue
+		}
+		// Violating prefix: d_rhs > beta.
+		cut := sort.Search(len(order), func(k int) bool {
+			return patterns[order[k]][rhs] <= beta
+		})
+		violating := order[:cut]
+		for _, lhs := range subsets {
+			caps := make([]float64, len(lhs))
+			for i, a := range lhs {
+				caps[i] = cfg.limitFor(a)
+			}
+			cand := greedyThresholds(patterns, violating, lhs, caps)
+			if cand == nil {
+				continue
+			}
+			if support(patterns, lhs, cand) < cfg.MinSupport {
+				continue
+			}
+			constraints := make([]rfd.Constraint, len(lhs))
+			for i, a := range lhs {
+				constraints[i] = rfd.Constraint{Attr: a, Threshold: cand[i]}
+			}
+			dep, err := rfd.New(constraints, rfd.Constraint{Attr: rhs, Threshold: beta})
+			if err != nil {
+				continue
+			}
+			out = append(out, dep)
+		}
+	}
+	return out
+}
+
+// greedyThresholds computes maximal per-attribute LHS thresholds under
+// the per-attribute caps such that every violating pattern fails at
+// least one constraint. It returns nil when no threshold vector works
+// (some violating pair is identical on every LHS attribute).
+//
+// Because thresholds only ever decrease, a pattern that fails the current
+// constraints also fails all later ones, so a single pass is exact.
+func greedyThresholds(patterns []distance.Pattern, violating []int, lhs []int, caps []float64) []float64 {
+	th := make([]float64, len(lhs))
+	copy(th, caps)
+	for _, idx := range violating {
+		p := patterns[idx]
+		satisfied := true
+		for i, a := range lhs {
+			d := p[a]
+			if distance.IsMissing(d) || d > th[i] {
+				satisfied = false
+				break
+			}
+		}
+		if !satisfied {
+			continue
+		}
+		// Cut the pair on the attribute with the largest distance — the
+		// cheapest cut, keeping the other thresholds as loose as possible.
+		best, bestD := -1, -1.0
+		for i, a := range lhs {
+			if d := p[a]; d > bestD {
+				best, bestD = i, d
+			}
+		}
+		if bestD <= 0 {
+			return nil // identical on all LHS attributes yet violating
+		}
+		// Largest integer grid value strictly below bestD.
+		next := math.Ceil(bestD) - 1
+		if next >= bestD { // bestD was integral
+			next = bestD - 1
+		}
+		if next < 0 {
+			return nil
+		}
+		th[best] = next
+	}
+	return th
+}
+
+// support counts the sampled patterns satisfying every LHS constraint —
+// the witness count for the non-key requirement.
+func support(patterns []distance.Pattern, lhs []int, th []float64) int {
+	count := 0
+	for _, p := range patterns {
+		ok := true
+		for i, a := range lhs {
+			d := p[a]
+			if distance.IsMissing(d) || d > th[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			count++
+		}
+	}
+	return count
+}
+
+// enumerateSubsets lists the non-empty subsets of pool with at most k
+// elements, in deterministic order (singletons first, then pairs, ...).
+func enumerateSubsets(pool []int, k int) [][]int {
+	var out [][]int
+	var cur []int
+	var rec func(start, size int)
+	rec = func(start, size int) {
+		for i := start; i < len(pool); i++ {
+			cur = append(cur, pool[i])
+			out = append(out, append([]int(nil), cur...))
+			if size+1 < k {
+				rec(i+1, size+1)
+			}
+			cur = cur[:len(cur)-1]
+		}
+	}
+	if k >= 1 {
+		rec(0, 0)
+	}
+	// Order by size, then lexicographically; the recursion above yields
+	// depth-first order, so re-sort for by-size determinism.
+	sort.Slice(out, func(a, b int) bool {
+		if len(out[a]) != len(out[b]) {
+			return len(out[a]) < len(out[b])
+		}
+		for i := range out[a] {
+			if out[a][i] != out[b][i] {
+				return out[a][i] < out[b][i]
+			}
+		}
+		return false
+	})
+	return out
+}

@@ -1,0 +1,117 @@
+package discovery
+
+import (
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/distance"
+	"repro/internal/rfd"
+)
+
+// Maintainer keeps a discovered RFDc set valid as tuples arrive — the
+// incremental-discovery capability the paper's Sec. 7 names as a
+// prerequisite for streaming scenarios (citing the incremental
+// algorithms of Caruccio et al. [4, 5]). Instead of re-running discovery
+// after every arrival, the maintainer checks only the pairs the new
+// tuple introduces:
+//
+//   - a pair that witnesses a violation of φ forces a repair: φ's LHS is
+//     tightened just below the pair's distance on the cheapest attribute
+//     (the same greedy cut discovery uses), or φ is dropped when the
+//     pair is identical on the whole LHS;
+//   - tightening is monotone, so a dependency only ever gets more
+//     restrictive and the maintained set always holds on the instance
+//     seen so far.
+type Maintainer struct {
+	rel   *dataset.Relation
+	sigma rfd.Set
+	// counters
+	dropped   int
+	tightened int
+}
+
+// NewMaintainer starts incremental maintenance from a base instance and
+// a set holding on it. The base is cloned; Σ is deep-copied so repairs
+// never mutate the caller's dependencies.
+func NewMaintainer(base *dataset.Relation, sigma rfd.Set) *Maintainer {
+	cp := make(rfd.Set, len(sigma))
+	for i, dep := range sigma {
+		lhs := append([]rfd.Constraint(nil), dep.LHS...)
+		cp[i] = rfd.MustNew(lhs, dep.RHS)
+	}
+	return &Maintainer{rel: base.Clone(), sigma: cp}
+}
+
+// Sigma returns the currently maintained set. The returned slice is the
+// maintainer's working set; callers must not mutate it.
+func (mt *Maintainer) Sigma() rfd.Set { return mt.sigma }
+
+// Relation exposes the accumulated instance.
+func (mt *Maintainer) Relation() *dataset.Relation { return mt.rel }
+
+// Stats returns how many dependencies were dropped and how many repair
+// tightenings were applied so far.
+func (mt *Maintainer) Stats() (dropped, tightened int) { return mt.dropped, mt.tightened }
+
+// Append adds one tuple and repairs the set against the new pairs. It
+// returns the number of dependencies dropped and tightened by this
+// arrival.
+func (mt *Maintainer) Append(t dataset.Tuple) (dropped, tightened int, err error) {
+	if err := mt.rel.Append(t.Clone()); err != nil {
+		return 0, 0, err
+	}
+	row := mt.rel.Len() - 1
+	m := mt.rel.Schema().Len()
+	p := make(distance.Pattern, m)
+	tNew := mt.rel.Row(row)
+
+	for j := 0; j < row; j++ {
+		distance.PatternInto(p, tNew, mt.rel.Row(j))
+		var kept rfd.Set
+		for _, dep := range mt.sigma {
+			repaired, ok := repairAgainst(dep, p)
+			if !ok {
+				dropped++
+				continue
+			}
+			if repaired != dep {
+				tightened++
+			}
+			kept = append(kept, repaired)
+		}
+		mt.sigma = kept
+	}
+	mt.dropped += dropped
+	mt.tightened += tightened
+	return dropped, tightened, nil
+}
+
+// repairAgainst returns the dependency unchanged when the pattern does
+// not witness a violation; otherwise it tightens the LHS threshold on
+// the attribute with the largest distance so the pair no longer
+// satisfies the premise. The second result is false when no repair
+// exists (the pair is identical on every LHS attribute).
+func repairAgainst(dep *rfd.RFD, p distance.Pattern) (*rfd.RFD, bool) {
+	if !dep.ViolatedBy(p) {
+		return dep, true
+	}
+	best, bestD := -1, -1.0
+	for i, c := range dep.LHS {
+		if d := p[c.Attr]; d > bestD {
+			best, bestD = i, d
+		}
+	}
+	if bestD <= 0 {
+		return nil, false
+	}
+	next := math.Ceil(bestD) - 1
+	if next >= bestD {
+		next = bestD - 1
+	}
+	if next < 0 {
+		return nil, false
+	}
+	lhs := append([]rfd.Constraint(nil), dep.LHS...)
+	lhs[best].Threshold = next
+	return rfd.MustNew(lhs, dep.RHS), true
+}

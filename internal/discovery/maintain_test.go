@@ -1,0 +1,147 @@
+package discovery
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/rfd"
+)
+
+func TestMaintainerKeepsValidSetUnchanged(t *testing.T) {
+	rel, err := dataset.ReadCSVString("A,B\nx,1\ny,2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := rfd.Set{rfd.MustParse("A(<=0) -> B(<=0)", rel.Schema())}
+	mt := NewMaintainer(rel, sigma)
+	// A consistent arrival: x/1 again.
+	d, tt, err := mt.Append(dataset.Tuple{dataset.NewString("x"), dataset.NewInt(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 || tt != 0 {
+		t.Errorf("dropped %d, tightened %d; want 0,0", d, tt)
+	}
+	if len(mt.Sigma()) != 1 || !mt.Sigma()[0].Equal(sigma[0]) {
+		t.Errorf("set changed: %v", mt.Sigma())
+	}
+}
+
+func TestMaintainerTightensOnViolation(t *testing.T) {
+	// The base pair "ax"/"qqqq" is outside the A(<=2) premise, so the
+	// dependency holds vacuously on the base.
+	rel, err := dataset.ReadCSVString("A,B\nax,1\nqqqq,9\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := rfd.Set{rfd.MustParse("A(<=2) -> B(<=0)", rel.Schema())}
+	if !sigma[0].HoldsOn(rel) {
+		t.Fatal("precondition: φ holds on base")
+	}
+	mt := NewMaintainer(rel, sigma)
+	// Arrival "ay"/5: distance("ax","ay") = 1 <= 2 but B differs by 4 ->
+	// violation -> tighten A's threshold below 1, i.e. to 0.
+	d, tt, err := mt.Append(dataset.Tuple{dataset.NewString("ay"), dataset.NewInt(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 || tt != 1 {
+		t.Fatalf("dropped %d, tightened %d; want 0,1", d, tt)
+	}
+	got := mt.Sigma()[0]
+	if got.LHS[0].Threshold != 0 {
+		t.Errorf("tightened threshold = %v, want 0", got.LHS[0].Threshold)
+	}
+	if !got.HoldsOn(mt.Relation()) {
+		t.Error("repaired dependency does not hold")
+	}
+}
+
+func TestMaintainerDropsUnrepairable(t *testing.T) {
+	rel, err := dataset.ReadCSVString("A,B\nx,1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := rfd.Set{rfd.MustParse("A(<=0) -> B(<=0)", rel.Schema())}
+	mt := NewMaintainer(rel, sigma)
+	// Arrival x/9: identical on the whole LHS yet violating -> no
+	// threshold can exclude the pair -> dropped.
+	d, _, err := mt.Append(dataset.Tuple{dataset.NewString("x"), dataset.NewInt(9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1 || len(mt.Sigma()) != 0 {
+		t.Errorf("dropped %d, remaining %d; want 1, 0", d, len(mt.Sigma()))
+	}
+	dTot, _ := mt.Stats()
+	if dTot != 1 {
+		t.Errorf("Stats dropped = %d", dTot)
+	}
+}
+
+// TestMaintainerInvariant: after any arrival sequence, every maintained
+// dependency holds on the accumulated instance — checked against random
+// streams seeded from discovery output.
+func TestMaintainerInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	base := table2(t)
+	sigma, err := Discover(base, Config{MaxThreshold: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := NewMaintainer(base, sigma)
+	words := []string{"Granita", "Citrus", "Fenix", "C. Main", "LA", "Hollywood", "French", "Californian"}
+	for arrivals := 0; arrivals < 25; arrivals++ {
+		tpl := make(dataset.Tuple, base.Schema().Len())
+		for a := 0; a < base.Schema().Len(); a++ {
+			if base.Schema().Attr(a).Kind == dataset.KindInt {
+				tpl[a] = dataset.NewInt(int64(rng.Intn(9)))
+			} else {
+				tpl[a] = dataset.NewString(words[rng.Intn(len(words))])
+			}
+		}
+		if _, _, err := mt.Append(tpl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, dep := range mt.Sigma() {
+		if !dep.HoldsOn(mt.Relation()) {
+			t.Errorf("maintained dependency violated: %s", dep.Format(base.Schema()))
+		}
+	}
+	// The maintainer must have had to do *something* on random data.
+	d, tt := mt.Stats()
+	if d+tt == 0 {
+		t.Log("note: no repairs were needed (unusual but possible)")
+	}
+}
+
+func TestMaintainerDoesNotMutateInputs(t *testing.T) {
+	rel, err := dataset.ReadCSVString("A,B\nax,1\nqqqq,9\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := rfd.Set{rfd.MustParse("A(<=2) -> B(<=0)", rel.Schema())}
+	mt := NewMaintainer(rel, sigma)
+	if _, _, err := mt.Append(dataset.Tuple{dataset.NewString("ay"), dataset.NewInt(5)}); err != nil {
+		t.Fatal(err)
+	}
+	if sigma[0].LHS[0].Threshold != 2 {
+		t.Error("caller's dependency mutated")
+	}
+	if rel.Len() != 2 {
+		t.Error("caller's relation mutated")
+	}
+}
+
+func TestMaintainerArityError(t *testing.T) {
+	rel, err := dataset.ReadCSVString("A,B\nx,1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := NewMaintainer(rel, nil)
+	if _, _, err := mt.Append(dataset.Tuple{dataset.NewString("x")}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+}

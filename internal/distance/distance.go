@@ -1,0 +1,112 @@
+package distance
+
+import (
+	"math"
+
+	"repro/internal/dataset"
+)
+
+// Missing marks an uncomputable component of a distance pattern — the "_"
+// of Definition 5.4, present when either tuple is null on the attribute.
+// NaN is used so that any threshold comparison against it is false, which
+// is exactly the paper's rule: a pattern component that is "_" can never
+// satisfy an LHS constraint.
+var Missing = math.NaN()
+
+// IsMissing reports whether a pattern component is the "_" mark.
+func IsMissing(d float64) bool { return math.IsNaN(d) }
+
+// Values returns the domain-appropriate distance between two non-null
+// cells (Sec. 5.3): absolute difference for numerics, Levenshtein for
+// strings, 0/1 equality for booleans. If either cell is null, or the kinds
+// are incomparable, it returns Missing.
+func Values(a, b dataset.Value) float64 {
+	if a.IsNull() || b.IsNull() {
+		return Missing
+	}
+	ka, kb := a.Kind(), b.Kind()
+	switch {
+	case ka == dataset.KindString && kb == dataset.KindString:
+		return float64(Levenshtein(a.Str(), b.Str()))
+	case ka.Numeric() && kb.Numeric():
+		return math.Abs(a.Float() - b.Float())
+	case ka == dataset.KindBool && kb == dataset.KindBool:
+		if a.Bool() == b.Bool() {
+			return 0
+		}
+		return 1
+	default:
+		return Missing
+	}
+}
+
+// ValuesWithin reports whether the distance between two cells is ≤ max.
+// It is equivalent to Values(a,b) <= max but avoids computing the exact
+// edit distance for strings when only the predicate is needed.
+func ValuesWithin(a, b dataset.Value, max float64) bool {
+	if a.IsNull() || b.IsNull() {
+		return false
+	}
+	ka, kb := a.Kind(), b.Kind()
+	switch {
+	case ka == dataset.KindString && kb == dataset.KindString:
+		return LevenshteinWithin(a.Str(), b.Str(), int(math.Floor(max)))
+	case ka.Numeric() && kb.Numeric():
+		return math.Abs(a.Float()-b.Float()) <= max
+	case ka == dataset.KindBool && kb == dataset.KindBool:
+		d := 1.0
+		if a.Bool() == b.Bool() {
+			d = 0
+		}
+		return d <= max
+	default:
+		return false
+	}
+}
+
+// Pattern is the distance pattern p of Definition 5.4: one component per
+// attribute, Missing where either tuple is null on that attribute.
+type Pattern []float64
+
+// PatternBetween computes the distance pattern for a tuple pair.
+func PatternBetween(a, b dataset.Tuple) Pattern {
+	p := make(Pattern, len(a))
+	for i := range a {
+		p[i] = Values(a[i], b[i])
+	}
+	return p
+}
+
+// PatternInto computes the distance pattern for a tuple pair into a
+// caller-provided slice, avoiding per-pair allocation in hot loops.
+// The slice must have len == len(a).
+func PatternInto(p Pattern, a, b dataset.Tuple) {
+	for i := range a {
+		p[i] = Values(a[i], b[i])
+	}
+}
+
+// Satisfies reports whether component i of the pattern is present and at
+// most the threshold — the satisfaction rule for a single φ[B] constraint.
+func (p Pattern) Satisfies(attr int, threshold float64) bool {
+	d := p[attr]
+	return !IsMissing(d) && d <= threshold
+}
+
+// MeanOver returns the mean of the pattern components at the given
+// attribute positions — the distance value of Equation 2. The second
+// result is false when attrs is empty or any component is Missing.
+func (p Pattern) MeanOver(attrs []int) (float64, bool) {
+	if len(attrs) == 0 {
+		return 0, false
+	}
+	sum := 0.0
+	for _, a := range attrs {
+		d := p[a]
+		if IsMissing(d) {
+			return 0, false
+		}
+		sum += d
+	}
+	return sum / float64(len(attrs)), true
+}

@@ -1,0 +1,171 @@
+package distance
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestValuesByDomain(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b dataset.Value
+		want float64
+	}{
+		{"strings", dataset.NewString("kitten"), dataset.NewString("sitting"), 3},
+		{"equal strings", dataset.NewString("x"), dataset.NewString("x"), 0},
+		{"ints", dataset.NewInt(6), dataset.NewInt(5), 1},
+		{"floats", dataset.NewFloat(1.5), dataset.NewFloat(4.0), 2.5},
+		{"int vs float", dataset.NewInt(2), dataset.NewFloat(2.5), 0.5},
+		{"bools equal", dataset.NewBool(true), dataset.NewBool(true), 0},
+		{"bools differ", dataset.NewBool(true), dataset.NewBool(false), 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Values(c.a, c.b); got != c.want {
+				t.Errorf("Values = %v, want %v", got, c.want)
+			}
+			if got := Values(c.b, c.a); got != c.want {
+				t.Errorf("Values not symmetric: %v", got)
+			}
+		})
+	}
+}
+
+func TestValuesMissing(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b dataset.Value
+	}{
+		{"null left", dataset.Null, dataset.NewString("x")},
+		{"null right", dataset.NewInt(1), dataset.Null},
+		{"both null", dataset.Null, dataset.Null},
+		{"string vs int", dataset.NewString("1"), dataset.NewInt(1)},
+		{"bool vs int", dataset.NewBool(true), dataset.NewInt(1)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Values(c.a, c.b); !IsMissing(got) {
+				t.Errorf("Values = %v, want Missing", got)
+			}
+			if ValuesWithin(c.a, c.b, math.Inf(1)) {
+				t.Error("ValuesWithin must be false for missing")
+			}
+		})
+	}
+}
+
+func TestMissingNeverSatisfiesThreshold(t *testing.T) {
+	// The core rule: a "_" component fails every comparison.
+	if Missing <= 1e18 || Missing >= -1e18 {
+		t.Error("Missing must compare false against everything")
+	}
+	p := Pattern{Missing}
+	if p.Satisfies(0, math.Inf(1)) {
+		t.Error("Missing satisfies +inf threshold")
+	}
+}
+
+func TestValuesWithinAgreesWithValues(t *testing.T) {
+	pairs := []struct{ a, b dataset.Value }{
+		{dataset.NewString("Granita"), dataset.NewString("Citrus")},
+		{dataset.NewString("Citrus"), dataset.NewString("Citrus")},
+		{dataset.NewInt(6), dataset.NewInt(5)},
+		{dataset.NewFloat(1.1), dataset.NewFloat(9.9)},
+		{dataset.NewBool(true), dataset.NewBool(false)},
+	}
+	for _, pr := range pairs {
+		d := Values(pr.a, pr.b)
+		for _, max := range []float64{0, 0.5, 1, 2, 5, 10} {
+			if got, want := ValuesWithin(pr.a, pr.b, max), d <= max; got != want {
+				t.Errorf("ValuesWithin(%v,%v,%v) = %v, distance %v", pr.a, pr.b, max, got, d)
+			}
+		}
+	}
+}
+
+func TestPatternBetweenPaperExample(t *testing.T) {
+	// Example 5.5: pattern between t5 and t6 of Table 2 is [7, _, 0, _, 0].
+	t5 := dataset.Tuple{
+		dataset.NewString("Fenix"), dataset.NewString("Hollywood"),
+		dataset.NewString("213/848-6677"), dataset.Null, dataset.NewInt(5),
+	}
+	t6 := dataset.Tuple{
+		dataset.NewString("Fenix Argyle"), dataset.Null,
+		dataset.NewString("213/848-6677"), dataset.NewString("French (new)"), dataset.NewInt(5),
+	}
+	p := PatternBetween(t5, t6)
+	if p[0] != 7 {
+		t.Errorf("p[Name] = %v, want 7", p[0])
+	}
+	if !IsMissing(p[1]) {
+		t.Errorf("p[City] = %v, want Missing", p[1])
+	}
+	if p[2] != 0 {
+		t.Errorf("p[Phone] = %v, want 0", p[2])
+	}
+	if !IsMissing(p[3]) {
+		t.Errorf("p[Type] = %v, want Missing", p[3])
+	}
+	if p[4] != 0 {
+		t.Errorf("p[Class] = %v, want 0", p[4])
+	}
+}
+
+func TestPatternInto(t *testing.T) {
+	a := dataset.Tuple{dataset.NewInt(1), dataset.NewString("x")}
+	b := dataset.Tuple{dataset.NewInt(4), dataset.Null}
+	p := make(Pattern, 2)
+	PatternInto(p, a, b)
+	if p[0] != 3 || !IsMissing(p[1]) {
+		t.Errorf("PatternInto = %v", p)
+	}
+}
+
+func TestPatternSatisfies(t *testing.T) {
+	p := Pattern{3, Missing, 0}
+	if !p.Satisfies(0, 3) {
+		t.Error("3 <= 3 should satisfy")
+	}
+	if p.Satisfies(0, 2.9) {
+		t.Error("3 <= 2.9 should not satisfy")
+	}
+	if p.Satisfies(1, 1000) {
+		t.Error("Missing should never satisfy")
+	}
+	if !p.Satisfies(2, 0) {
+		t.Error("0 <= 0 should satisfy")
+	}
+}
+
+func TestPatternMeanOverPaperExamples(t *testing.T) {
+	// Example 5.7: dist(t5,t6) over {Name, Phone} on pattern [7,_,0,_,0] = 3.5.
+	p := Pattern{7, Missing, 0, Missing, 0}
+	got, ok := p.MeanOver([]int{0, 2})
+	if !ok || got != 3.5 {
+		t.Errorf("MeanOver = %v,%v want 3.5,true", got, ok)
+	}
+	// Example 5.8: patterns [6,9,_,0] -> 7.5 and [6,0,_,1] -> 3 over {Name, City}.
+	p27 := Pattern{6, 9, Missing, 0}
+	p37 := Pattern{6, 0, Missing, 1}
+	if d, ok := p27.MeanOver([]int{0, 1}); !ok || d != 7.5 {
+		t.Errorf("dist(t2,t7) = %v,%v want 7.5", d, ok)
+	}
+	if d, ok := p37.MeanOver([]int{0, 1}); !ok || d != 3 {
+		t.Errorf("dist(t3,t7) = %v,%v want 3", d, ok)
+	}
+}
+
+func TestPatternMeanOverEdgeCases(t *testing.T) {
+	p := Pattern{1, Missing}
+	if _, ok := p.MeanOver(nil); ok {
+		t.Error("mean over no attrs should fail")
+	}
+	if _, ok := p.MeanOver([]int{1}); ok {
+		t.Error("mean including Missing should fail")
+	}
+	if d, ok := p.MeanOver([]int{0}); !ok || d != 1 {
+		t.Errorf("singleton mean = %v,%v", d, ok)
+	}
+}

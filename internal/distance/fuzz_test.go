@@ -1,0 +1,53 @@
+package distance
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzLevenshteinMetric: the metric axioms hold for arbitrary inputs,
+// and the bounded predicate agrees with the exact distance.
+func FuzzLevenshteinMetric(f *testing.F) {
+	f.Add("kitten", "sitting")
+	f.Add("", "")
+	f.Add("a", "")
+	f.Add("héllo", "hello")
+	f.Add("310/456-0488", "310-456-0488")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		// Bound the quadratic DP.
+		if utf8.RuneCountInString(a) > 64 {
+			a = string([]rune(a)[:64])
+		}
+		if utf8.RuneCountInString(b) > 64 {
+			b = string([]rune(b)[:64])
+		}
+		d := Levenshtein(a, b)
+		if d != Levenshtein(b, a) {
+			t.Fatalf("not symmetric: %q %q", a, b)
+		}
+		if (d == 0) != (a == b) {
+			t.Fatalf("identity violated: %q %q -> %d", a, b, d)
+		}
+		la, lb := symbolCount(a), symbolCount(b)
+		lenDiff := la - lb
+		if lenDiff < 0 {
+			lenDiff = -lenDiff
+		}
+		maxLen := la
+		if lb > maxLen {
+			maxLen = lb
+		}
+		if d < lenDiff || d > maxLen {
+			t.Fatalf("bounds violated: d=%d, |len diff|=%d, max len=%d", d, lenDiff, maxLen)
+		}
+		for _, bound := range []int{0, 1, d - 1, d, d + 1} {
+			if got, want := LevenshteinWithin(a, b, bound), d <= bound; got != want {
+				t.Fatalf("Within(%q,%q,%d) = %v, exact %d", a, b, bound, got, d)
+			}
+		}
+		norm := NormalizedLevenshtein(a, b)
+		if norm < 0 || norm > 1 {
+			t.Fatalf("normalized out of range: %v", norm)
+		}
+	})
+}

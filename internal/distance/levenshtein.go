@@ -1,0 +1,161 @@
+// Package distance implements the per-domain distance functions δ_A the
+// paper assigns to attribute domains (Sec. 5.3): Levenshtein edit distance
+// for strings, absolute difference for numerics, and equality (0/1) for
+// booleans. It also provides the distance pattern of Definition 5.4 —
+// the per-attribute distance vector between two tuples with "_" marks
+// where either side is missing.
+package distance
+
+import "unicode/utf8"
+
+// Levenshtein returns the edit distance (unit-cost insert/delete/
+// substitute) between a and b, computed over runes.
+//
+// The implementation is the classic two-row dynamic program with the
+// shorter string on the columns, so scratch space is O(min(|a|,|b|)).
+func Levenshtein(a, b string) int {
+	if a == b {
+		return 0
+	}
+	ra, rb := toRunes(a), toRunes(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	if len(ra) < len(rb) {
+		ra, rb = rb, ra
+	}
+	prev := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		diag := prev[0] // prev[i-1][j-1]
+		prev[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 0
+			if ra[i-1] != rb[j-1] {
+				cost = 1
+			}
+			next := min3(prev[j]+1, prev[j-1]+1, diag+cost)
+			diag = prev[j]
+			prev[j] = next
+		}
+	}
+	return prev[len(rb)]
+}
+
+// LevenshteinWithin reports whether the edit distance between a and b is
+// at most max, short-circuiting as soon as the bound is provably exceeded.
+// The candidate-generation hot loop only needs the predicate, not the
+// exact distance, whenever the LHS threshold would be violated anyway.
+func LevenshteinWithin(a, b string, max int) bool {
+	if max < 0 {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	ra, rb := toRunes(a), toRunes(b)
+	if len(ra) < len(rb) {
+		ra, rb = rb, ra
+	}
+	if len(ra)-len(rb) > max {
+		return false
+	}
+	if len(rb) == 0 {
+		return len(ra) <= max
+	}
+	const inf = 1 << 30
+	prev := make([]int, len(rb)+1)
+	for j := range prev {
+		if j <= max {
+			prev[j] = j
+		} else {
+			prev[j] = inf
+		}
+	}
+	for i := 1; i <= len(ra); i++ {
+		diag := prev[0]
+		if i <= max {
+			prev[0] = i
+		} else {
+			prev[0] = inf
+		}
+		rowMin := prev[0]
+		for j := 1; j <= len(rb); j++ {
+			cost := 0
+			if ra[i-1] != rb[j-1] {
+				cost = 1
+			}
+			next := min3(prev[j]+1, prev[j-1]+1, diag+cost)
+			if next > inf {
+				next = inf
+			}
+			diag = prev[j]
+			prev[j] = next
+			if next < rowMin {
+				rowMin = next
+			}
+		}
+		if rowMin > max {
+			return false
+		}
+	}
+	return prev[len(rb)] <= max
+}
+
+// NormalizedLevenshtein returns the normalized edit distance of Yujian &
+// Bo [25]: 2·GLD / (α·(|a|+|b|) + GLD) with unit costs (α = 1), which is a
+// metric in [0, 1]. Two empty strings have distance 0.
+func NormalizedLevenshtein(a, b string) float64 {
+	la, lb := symbolCount(a), symbolCount(b)
+	if la == 0 && lb == 0 {
+		return 0
+	}
+	gld := float64(Levenshtein(a, b))
+	return 2 * gld / (float64(la+lb) + gld)
+}
+
+// toRunes decodes the comparison symbols of a string: runes for valid
+// UTF-8, raw bytes otherwise. The byte fallback keeps the identity
+// property (distance 0 iff equal) for arbitrary binary data — decoding
+// invalid sequences would collapse distinct bytes onto U+FFFD.
+func toRunes(s string) []rune {
+	// Fast path for ASCII, the overwhelmingly common case in the datasets.
+	ascii := true
+	for i := 0; i < len(s); i++ {
+		if s[i] >= utf8.RuneSelf {
+			ascii = false
+			break
+		}
+	}
+	if !ascii && utf8.ValidString(s) {
+		return []rune(s)
+	}
+	r := make([]rune, len(s))
+	for i := 0; i < len(s); i++ {
+		r[i] = rune(s[i])
+	}
+	return r
+}
+
+// symbolCount is the length toRunes would produce.
+func symbolCount(s string) int {
+	if utf8.ValidString(s) {
+		return utf8.RuneCountInString(s)
+	}
+	return len(s)
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,169 @@
+package distance
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"unicode/utf8"
+)
+
+func TestLevenshteinTable(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"abc", "abc", 0},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"gumbo", "gambol", 2},
+		{"Fenix", "Fenix Argyle", 7},
+		{"Chinois Main", "C. Main", 6},
+		{"LA", "Los Angeles", 9},
+		{"310/456-0488", "310-392-9025", 8},
+		{"a", "b", 1},
+		{"ab", "ba", 2},
+		{"héllo", "hello", 1}, // non-ASCII counted as one rune
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := Levenshtein(c.b, c.a); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+// levenshteinRef is a straightforward full-matrix reference implementation
+// used to cross-check the optimized two-row version.
+func levenshteinRef(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	d := make([][]int, len(ra)+1)
+	for i := range d {
+		d[i] = make([]int, len(rb)+1)
+		d[i][0] = i
+	}
+	for j := 0; j <= len(rb); j++ {
+		d[0][j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			d[i][j] = min3(d[i-1][j]+1, d[i][j-1]+1, d[i-1][j-1]+cost)
+		}
+	}
+	return d[len(ra)][len(rb)]
+}
+
+func randomWord(rng *rand.Rand, maxLen int) string {
+	n := rng.Intn(maxLen + 1)
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = byte('a' + rng.Intn(6)) // small alphabet to force collisions
+	}
+	return string(buf)
+}
+
+func TestLevenshteinMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		a, b := randomWord(rng, 12), randomWord(rng, 12)
+		if got, want := Levenshtein(a, b), levenshteinRef(a, b); got != want {
+			t.Fatalf("Levenshtein(%q,%q) = %d, ref %d", a, b, got, want)
+		}
+	}
+}
+
+func TestLevenshteinMetricProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		a, b, c := randomWord(rng, 10), randomWord(rng, 10), randomWord(rng, 10)
+		dab, dba := Levenshtein(a, b), Levenshtein(b, a)
+		if dab != dba {
+			t.Fatalf("not symmetric: %q %q", a, b)
+		}
+		if (dab == 0) != (a == b) {
+			t.Fatalf("identity of indiscernibles violated: %q %q -> %d", a, b, dab)
+		}
+		if Levenshtein(a, c) > dab+Levenshtein(b, c) {
+			t.Fatalf("triangle inequality violated: %q %q %q", a, b, c)
+		}
+	}
+}
+
+func TestLevenshteinWithin(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		a, b := randomWord(rng, 12), randomWord(rng, 12)
+		d := Levenshtein(a, b)
+		for _, max := range []int{0, 1, 2, 3, 5, 8, 15} {
+			if got, want := LevenshteinWithin(a, b, max), d <= max; got != want {
+				t.Fatalf("LevenshteinWithin(%q,%q,%d) = %v, distance %d", a, b, max, got, d)
+			}
+		}
+	}
+	if LevenshteinWithin("a", "b", -1) {
+		t.Error("negative bound must be false")
+	}
+	if !LevenshteinWithin("same", "same", 0) {
+		t.Error("equal strings within 0")
+	}
+	if LevenshteinWithin("", "abcd", 3) {
+		t.Error("length gap 4 cannot be within 3")
+	}
+	if !LevenshteinWithin("", "abc", 3) {
+		t.Error("empty vs abc is exactly 3")
+	}
+}
+
+func TestNormalizedLevenshtein(t *testing.T) {
+	if got := NormalizedLevenshtein("", ""); got != 0 {
+		t.Errorf("norm('','') = %v", got)
+	}
+	if got := NormalizedLevenshtein("abc", "abc"); got != 0 {
+		t.Errorf("norm(equal) = %v", got)
+	}
+	// Totally different equal-length strings: GLD = n, norm = 2n/(2n+n) = 2/3.
+	if got, want := NormalizedLevenshtein("aaa", "bbb"), 2.0/3.0; got != want {
+		t.Errorf("norm(aaa,bbb) = %v, want %v", got, want)
+	}
+	// Against empty: GLD = n, norm = 2n/(n+n) = 1.
+	if got := NormalizedLevenshtein("abc", ""); got != 1 {
+		t.Errorf("norm(abc,'') = %v, want 1", got)
+	}
+}
+
+func TestNormalizedLevenshteinRangeProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		// Bound input size to keep the quadratic DP cheap.
+		if utf8.RuneCountInString(a) > 64 {
+			a = string([]rune(a)[:64])
+		}
+		if utf8.RuneCountInString(b) > 64 {
+			b = string([]rune(b)[:64])
+		}
+		d := NormalizedLevenshtein(a, b)
+		return d >= 0 && d <= 1 && NormalizedLevenshtein(b, a) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLevenshteinShort(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Levenshtein("Chinois Main", "C. Main")
+	}
+}
+
+func BenchmarkLevenshteinWithinReject(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		LevenshteinWithin("a very long restaurant name here", "completely different street", 2)
+	}
+}

@@ -1,0 +1,58 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBootstrapF1CIBasics(t *testing.T) {
+	ms := []Metrics{{F1: 0.6}, {F1: 0.7}, {F1: 0.8}, {F1: 0.65}, {F1: 0.75}}
+	lo, hi := BootstrapF1CI(ms, 2000, 0.95, 1)
+	if lo > hi {
+		t.Fatalf("lo %v > hi %v", lo, hi)
+	}
+	// The interval must bracket the sample mean (0.7) and stay inside
+	// the sample range.
+	if lo > 0.7 || hi < 0.7 {
+		t.Errorf("CI [%v, %v] does not bracket the mean", lo, hi)
+	}
+	if lo < 0.6 || hi > 0.8 {
+		t.Errorf("CI [%v, %v] escapes the sample range", lo, hi)
+	}
+}
+
+func TestBootstrapF1CIDegenerate(t *testing.T) {
+	if lo, hi := BootstrapF1CI(nil, 100, 0.95, 1); lo != 0 || hi != 0 {
+		t.Errorf("empty CI = [%v, %v]", lo, hi)
+	}
+	if lo, hi := BootstrapF1CI([]Metrics{{F1: 0.42}}, 100, 0.95, 1); lo != 0.42 || hi != 0.42 {
+		t.Errorf("singleton CI = [%v, %v]", lo, hi)
+	}
+	// Identical runs: zero-width interval.
+	same := []Metrics{{F1: 0.5}, {F1: 0.5}, {F1: 0.5}}
+	if lo, hi := BootstrapF1CI(same, 100, 0.95, 1); lo != 0.5 || hi != 0.5 {
+		t.Errorf("constant CI = [%v, %v]", lo, hi)
+	}
+	// Bad params fall back to defaults without panicking.
+	if lo, hi := BootstrapF1CI(same, -1, 2.0, 1); lo != 0.5 || hi != 0.5 {
+		t.Errorf("fallback CI = [%v, %v]", lo, hi)
+	}
+}
+
+func TestBootstrapF1CIDeterminismAndWidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var ms []Metrics
+	for i := 0; i < 10; i++ {
+		ms = append(ms, Metrics{F1: rng.Float64()})
+	}
+	lo1, hi1 := BootstrapF1CI(ms, 500, 0.95, 7)
+	lo2, hi2 := BootstrapF1CI(ms, 500, 0.95, 7)
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Error("same seed diverged")
+	}
+	// A 50% interval is no wider than a 95% one.
+	lo50, hi50 := BootstrapF1CI(ms, 500, 0.50, 7)
+	if hi50-lo50 > hi1-lo1 {
+		t.Errorf("50%% CI [%v,%v] wider than 95%% [%v,%v]", lo50, hi50, lo1, hi1)
+	}
+}

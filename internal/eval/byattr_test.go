@@ -1,0 +1,67 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestScoreByAttribute(t *testing.T) {
+	rel, err := dataset.ReadCSVString("A,B\nx,1\ny,2\nz,3\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected := []Injected{
+		{Cell: dataset.Cell{Row: 0, Attr: 0}, Truth: dataset.NewString("x")},
+		{Cell: dataset.Cell{Row: 1, Attr: 0}, Truth: dataset.NewString("y")},
+		{Cell: dataset.Cell{Row: 2, Attr: 1}, Truth: dataset.NewInt(3)},
+	}
+	imputed := rel.Clone()
+	imputed.Set(0, 0, dataset.NewString("x"))     // A correct
+	imputed.Set(1, 0, dataset.NewString("WRONG")) // A wrong
+	imputed.Set(2, 1, dataset.NewInt(3))          // B correct
+
+	byAttr := ScoreByAttribute(imputed, injected, NewValidator())
+	if len(byAttr) != 2 {
+		t.Fatalf("attributes = %v", byAttr)
+	}
+	a := byAttr["A"]
+	if a.Missing != 2 || a.Correct != 1 || a.Precision != 0.5 {
+		t.Errorf("A = %+v", a)
+	}
+	b := byAttr["B"]
+	if b.Missing != 1 || b.Precision != 1 || b.Recall != 1 {
+		t.Errorf("B = %+v", b)
+	}
+}
+
+func TestScoreByAttributeConsistentWithOverall(t *testing.T) {
+	// Summing the per-attribute counts reproduces the overall Score.
+	rel, err := dataset.ReadCSVString("A,B,C\nx,1,q\ny,2,w\nz,3,e\nv,4,r\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	injRel, injected, err := Inject(rel, 0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := injRel.Clone()
+	for i, inj := range injected {
+		if i%2 == 0 {
+			out.Set(inj.Cell.Row, inj.Cell.Attr, inj.Truth)
+		}
+	}
+	overall := Score(out, injected, NewValidator())
+	byAttr := ScoreByAttribute(out, injected, NewValidator())
+	sumMissing, sumImputed, sumCorrect := 0, 0, 0
+	for _, m := range byAttr {
+		sumMissing += m.Missing
+		sumImputed += m.Imputed
+		sumCorrect += m.Correct
+	}
+	if sumMissing != overall.Missing || sumImputed != overall.Imputed || sumCorrect != overall.Correct {
+		t.Errorf("per-attribute sums (%d,%d,%d) != overall (%d,%d,%d)",
+			sumMissing, sumImputed, sumCorrect,
+			overall.Missing, overall.Imputed, overall.Correct)
+	}
+}

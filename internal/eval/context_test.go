@@ -1,0 +1,70 @@
+package eval
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// slowCtxMethod cooperates with cancellation: it works cell by cell and
+// returns a partial result on deadline.
+type slowCtxMethod struct {
+	perCell time.Duration
+}
+
+func (s slowCtxMethod) Name() string { return "slow-ctx" }
+func (s slowCtxMethod) Impute(rel *dataset.Relation) (*dataset.Relation, error) {
+	return s.ImputeContext(context.Background(), rel)
+}
+func (s slowCtxMethod) ImputeContext(ctx context.Context, rel *dataset.Relation) (*dataset.Relation, error) {
+	out := rel.Clone()
+	for _, cell := range rel.MissingCells() {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		time.Sleep(s.perCell)
+		out.Set(cell.Row, cell.Attr, dataset.NewString("x"))
+	}
+	return out, nil
+}
+
+// multiCellVariant has several missing cells so the cooperative method
+// observes the deadline between cells.
+func multiCellVariant(t *testing.T) Variant {
+	t.Helper()
+	rel, err := dataset.ReadCSVString("A\nx\nx\nx\nx\nx\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	injRel, injected, err := Inject(rel, 1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Variant{Rate: 1, Relation: injRel, Injected: injected}
+}
+
+func TestRunCooperativeTimeout(t *testing.T) {
+	res := Run(slowCtxMethod{perCell: 100 * time.Millisecond}, multiCellVariant(t),
+		NewValidator(), Budget{TimeLimit: 20 * time.Millisecond})
+	if !res.TimedOut || res.Marker() != "TL" {
+		t.Fatalf("res = %+v, want TL", res)
+	}
+	// The cooperative path returns promptly — well under the per-cell
+	// sleep times a watchdog-abandoned goroutine would keep burning.
+	if res.Elapsed > time.Second {
+		t.Errorf("elapsed = %v, cooperative cancellation too slow", res.Elapsed)
+	}
+}
+
+func TestRunCooperativeCompletesUnderGenerousBudget(t *testing.T) {
+	res := Run(slowCtxMethod{perCell: time.Millisecond}, variantOf(t),
+		NewValidator(), Budget{TimeLimit: 5 * time.Second})
+	if res.TimedOut || res.Err != nil {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Metrics.Imputed != 1 {
+		t.Errorf("metrics = %+v", res.Metrics)
+	}
+}

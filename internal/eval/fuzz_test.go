@@ -1,0 +1,39 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// FuzzReadRules: arbitrary rule documents never panic the parser, and an
+// accepted validator never rejects exact equality.
+func FuzzReadRules(f *testing.F) {
+	seeds := []string{
+		"set City: new york | ny\n",
+		"regex Phone: [0-9]\n",
+		"delta Class: 1\n",
+		"# comment\n\nset A: x | y\n",
+		"warp Speed: 9\n",
+		"set City\n",
+		"delta X: not-a-number\n",
+		"regex P: [unclosed\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		v, err := ReadRules(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		for _, val := range []dataset.Value{
+			dataset.NewString("x"), dataset.NewInt(5), dataset.NewFloat(1.5),
+		} {
+			if !v.Correct("City", val, val) || !v.Correct("Phone", val, val) {
+				t.Fatalf("validator from %q rejects equality for %v", doc, val)
+			}
+		}
+	})
+}

@@ -1,0 +1,195 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/impute"
+)
+
+// Budget bounds one measured run, mirroring the paper's stress limits
+// (48 h / 30 GB on the authors' testbed, scaled down here). A zero field
+// means unlimited.
+type Budget struct {
+	// TimeLimit marks the run TL when exceeded. The method is abandoned
+	// once the limit passes (its goroutine is left to finish in the
+	// background), so a TL run reports no metrics — exactly like the
+	// paper's "TL" rows.
+	TimeLimit time.Duration
+	// MemLimit marks the run ML when the sampled heap exceeds it.
+	MemLimit uint64
+}
+
+// RunResult is one measured (method, variant) execution.
+type RunResult struct {
+	Method   string
+	Metrics  Metrics
+	Elapsed  time.Duration
+	PeakHeap uint64 // max sampled heap during the run, bytes
+	TimedOut bool   // TL marker
+	OverMem  bool   // ML marker
+	Err      error
+}
+
+// Marker renders the TL/ML flags the way Tables 4-5 print them.
+func (r RunResult) Marker() string {
+	switch {
+	case r.TimedOut:
+		return "TL"
+	case r.OverMem:
+		return "ML"
+	case r.Err != nil:
+		return "ERR"
+	default:
+		return ""
+	}
+}
+
+// Run executes the method on the injected variant, scores it against the
+// ground truth, and samples the heap while it runs. With a zero Budget
+// the run is unbounded.
+//
+// Methods implementing impute.ContextMethod get a cooperative deadline:
+// they observe the budget themselves and stop promptly, so no goroutine
+// outlives a TL run. Plain methods fall back to a watchdog that marks TL
+// and abandons the still-running goroutine (its result is discarded).
+func Run(method impute.Method, variant Variant, v *Validator, budget Budget) RunResult {
+	res := RunResult{Method: method.Name()}
+
+	type outcome struct {
+		rel *dataset.Relation
+		err error
+	}
+	done := make(chan outcome, 1)
+	stopSampling := make(chan struct{})
+	peakCh := make(chan uint64, 1)
+
+	go func() {
+		var peak uint64
+		ticker := time.NewTicker(5 * time.Millisecond)
+		defer ticker.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-stopSampling:
+				peakCh <- peak
+				return
+			case <-ticker.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak {
+					peak = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+
+	start := time.Now()
+	var out outcome
+	if ctxMethod, ok := method.(impute.ContextMethod); ok && budget.TimeLimit > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), budget.TimeLimit)
+		out.rel, out.err = ctxMethod.ImputeContext(ctx, variant.Relation)
+		cancel()
+		if errors.Is(out.err, context.DeadlineExceeded) {
+			res.TimedOut = true
+			out = outcome{}
+		}
+	} else {
+		go func() {
+			rel, err := method.Impute(variant.Relation)
+			done <- outcome{rel: rel, err: err}
+		}()
+		if budget.TimeLimit > 0 {
+			select {
+			case out = <-done:
+			case <-time.After(budget.TimeLimit):
+				res.TimedOut = true
+			}
+		} else {
+			out = <-done
+		}
+	}
+	res.Elapsed = time.Since(start)
+	close(stopSampling)
+	res.PeakHeap = <-peakCh
+
+	if budget.MemLimit > 0 && res.PeakHeap > budget.MemLimit {
+		res.OverMem = true
+	}
+	if res.TimedOut {
+		return res
+	}
+	if out.err != nil {
+		res.Err = out.err
+		return res
+	}
+	res.Metrics = Score(out.rel, variant.Injected, v)
+	return res
+}
+
+// RunGrid executes the method over every variant, grouping the averaged
+// metrics per missing rate (the paper's reporting unit). Budget-violating
+// runs poison their rate's marker and contribute no metrics.
+type RateResult struct {
+	Rate    float64
+	Metrics Metrics
+	// F1Spread is the across-variant standard deviation of F1 — the
+	// variability the averaged number hides.
+	F1Spread float64
+	Elapsed  time.Duration // mean wall-clock over the variants
+	Peak     uint64        // max peak heap over the variants
+	Marker   string        // "", "TL", "ML" or "ERR"
+}
+
+// RunGrid measures the method over the whole injection grid.
+func RunGrid(method impute.Method, variants []Variant, v *Validator, budget Budget) []RateResult {
+	byRate := map[float64][]RunResult{}
+	var rates []float64
+	for _, variant := range variants {
+		if _, seen := byRate[variant.Rate]; !seen {
+			rates = append(rates, variant.Rate)
+		}
+		byRate[variant.Rate] = append(byRate[variant.Rate], Run(method, variant, v, budget))
+	}
+	var out []RateResult
+	for _, rate := range rates {
+		rr := RateResult{Rate: rate}
+		var ms []Metrics
+		var total time.Duration
+		for _, run := range byRate[rate] {
+			if m := run.Marker(); m != "" && rr.Marker == "" {
+				rr.Marker = m
+			}
+			if run.Marker() == "" {
+				ms = append(ms, run.Metrics)
+			}
+			total += run.Elapsed
+			if run.PeakHeap > rr.Peak {
+				rr.Peak = run.PeakHeap
+			}
+		}
+		rr.Metrics = Average(ms)
+		rr.F1Spread = StdDevF1(ms)
+		rr.Elapsed = total / time.Duration(len(byRate[rate]))
+		out = append(out, rr)
+	}
+	return out
+}
+
+// FormatBytes renders a byte count the way the paper's tables do
+// ("1.38 GB").
+func FormatBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2f KB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}

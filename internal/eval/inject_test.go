@@ -1,0 +1,140 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func grid(t testing.TB, rows int) *dataset.Relation {
+	t.Helper()
+	rel := dataset.NewRelation(dataset.NewSchema(
+		dataset.Attribute{Name: "A", Kind: dataset.KindString},
+		dataset.Attribute{Name: "B", Kind: dataset.KindInt},
+	))
+	for i := 0; i < rows; i++ {
+		rel.MustAppend(dataset.Tuple{
+			dataset.NewString("v"), dataset.NewInt(int64(i)),
+		})
+	}
+	return rel
+}
+
+func TestInjectCountAndTruth(t *testing.T) {
+	rel := grid(t, 50) // 100 observed cells
+	injRel, injected, err := Inject(rel, 0.10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(injected) != 10 {
+		t.Fatalf("injected %d cells, want 10", len(injected))
+	}
+	if injRel.CountMissing() != 10 {
+		t.Errorf("relation has %d nulls", injRel.CountMissing())
+	}
+	for _, inj := range injected {
+		if !injRel.Get(inj.Cell.Row, inj.Cell.Attr).IsNull() {
+			t.Errorf("cell %+v not nulled", inj.Cell)
+		}
+		if !rel.Get(inj.Cell.Row, inj.Cell.Attr).Equal(inj.Truth) {
+			t.Errorf("truth mismatch at %+v", inj.Cell)
+		}
+	}
+	if rel.CountMissing() != 0 {
+		t.Error("input mutated")
+	}
+}
+
+func TestInjectNeverPicksExistingNulls(t *testing.T) {
+	rel, err := dataset.ReadCSVString("A,B\nx,\ny,2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	injRel, injected, err := Inject(rel, 1.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(injected) != 3 { // 3 observed cells
+		t.Fatalf("injected %d, want 3", len(injected))
+	}
+	for _, inj := range injected {
+		if inj.Truth.IsNull() {
+			t.Error("injected an already-null cell")
+		}
+	}
+	if injRel.CountMissing() != 4 {
+		t.Errorf("total nulls = %d, want 4", injRel.CountMissing())
+	}
+}
+
+func TestInjectRateValidation(t *testing.T) {
+	rel := grid(t, 5)
+	if _, _, err := Inject(rel, -0.1, 1); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, _, err := Inject(rel, 1.5, 1); err == nil {
+		t.Error("rate > 1 accepted")
+	}
+}
+
+func TestInjectSeedDeterminism(t *testing.T) {
+	rel := grid(t, 30)
+	_, a, err := Inject(rel, 0.2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := Inject(rel, 0.2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+	_, c, err := Inject(rel, 0.2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical injections (suspicious)")
+	}
+}
+
+func TestInjectGrid(t *testing.T) {
+	rel := grid(t, 40)
+	variants, err := InjectGrid(rel, []float64{0.01, 0.05}, 5, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(variants) != 10 {
+		t.Fatalf("variants = %d, want 10", len(variants))
+	}
+	seeds := map[int64]bool{}
+	for _, v := range variants {
+		if seeds[v.Seed] {
+			t.Errorf("duplicate seed %d", v.Seed)
+		}
+		seeds[v.Seed] = true
+		if v.Rate != 0.01 && v.Rate != 0.05 {
+			t.Errorf("unexpected rate %v", v.Rate)
+		}
+	}
+	// 1% of 80 cells = 1 cell (rounded); 5% = 4 cells.
+	for _, v := range variants {
+		want := int(float64(80)*v.Rate + 0.5)
+		if len(v.Injected) != want {
+			t.Errorf("rate %v injected %d, want %d", v.Rate, len(v.Injected), want)
+		}
+	}
+}

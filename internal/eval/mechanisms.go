@@ -1,0 +1,177 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// Mechanism names a missingness mechanism. The paper's evaluation
+// injects uniformly at random (MCAR); MAR and MNAR are the standard
+// harder settings of the imputation literature (Donders et al. [12]):
+// under MAR missingness depends on an *observed* attribute, under MNAR
+// on the removed value itself.
+type Mechanism int
+
+const (
+	// MCAR removes cells uniformly at random (the paper's protocol).
+	MCAR Mechanism = iota
+	// MAR removes cells of the target attribute preferentially in the
+	// tuples whose *driver* attribute has the most common values —
+	// missingness correlates with observed data.
+	MAR
+	// MNAR removes preferentially the rarest values of the target
+	// attribute itself (for numerics: the largest values) — missingness
+	// correlates with the removed data.
+	MNAR
+)
+
+// String names the mechanism.
+func (m Mechanism) String() string {
+	switch m {
+	case MCAR:
+		return "MCAR"
+	case MAR:
+		return "MAR"
+	case MNAR:
+		return "MNAR"
+	default:
+		return fmt.Sprintf("mechanism(%d)", int(m))
+	}
+}
+
+// InjectWithMechanism removes rate·(observed cells) values under the
+// mechanism. MCAR delegates to Inject. For MAR and MNAR the candidate
+// cells are weighted (2/3 of removals come from the biased half, 1/3
+// uniform, so every cell keeps a nonzero removal probability — the
+// standard soft-bias protocol).
+func InjectWithMechanism(rel *dataset.Relation, rate float64, mech Mechanism, seed int64) (*dataset.Relation, []Injected, error) {
+	if mech == MCAR {
+		return Inject(rel, rate, seed)
+	}
+	if rate < 0 || rate > 1 {
+		return nil, nil, fmt.Errorf("eval: rate %v outside [0,1]", rate)
+	}
+	var observed []dataset.Cell
+	for i := 0; i < rel.Len(); i++ {
+		t := rel.Row(i)
+		for j := range t {
+			if !t[j].IsNull() {
+				observed = append(observed, dataset.Cell{Row: i, Attr: j})
+			}
+		}
+	}
+	count := int(float64(len(observed))*rate + 0.5)
+	if count > len(observed) {
+		count = len(observed)
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	scores := make([]float64, len(observed))
+	switch mech {
+	case MAR:
+		driverOf := marDrivers(rel)
+		freq := valueFrequencies(rel)
+		for k, cell := range observed {
+			driver := driverOf[cell.Attr]
+			dv := rel.Get(cell.Row, driver)
+			if dv.IsNull() {
+				scores[k] = 0
+				continue
+			}
+			scores[k] = float64(freq[driver][dv.String()])
+		}
+	case MNAR:
+		freq := valueFrequencies(rel)
+		for k, cell := range observed {
+			v := rel.Get(cell.Row, cell.Attr)
+			if v.Kind().Numeric() {
+				scores[k] = v.Float() // larger values more likely missing
+			} else {
+				scores[k] = -float64(freq[cell.Attr][v.String()]) // rarer first
+			}
+		}
+	default:
+		return nil, nil, fmt.Errorf("eval: unknown mechanism %v", mech)
+	}
+
+	// Rank by score descending with random jitter for ties, then take
+	// 2/3 biased + 1/3 uniform.
+	idx := make([]int, len(observed))
+	for i := range idx {
+		idx[i] = i
+	}
+	jitter := make([]float64, len(observed))
+	for i := range jitter {
+		jitter[i] = rng.Float64()
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if scores[idx[a]] != scores[idx[b]] {
+			return scores[idx[a]] > scores[idx[b]]
+		}
+		return jitter[idx[a]] > jitter[idx[b]]
+	})
+
+	biased := count * 2 / 3
+	chosen := make(map[int]bool, count)
+	for _, k := range idx[:min(biased, len(idx))] {
+		chosen[k] = true
+	}
+	for len(chosen) < count {
+		chosen[rng.Intn(len(observed))] = true
+	}
+
+	out := rel.Clone()
+	injected := make([]Injected, 0, count)
+	// Deterministic order: row-major over the chosen cells.
+	keys := make([]int, 0, len(chosen))
+	for k := range chosen {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		cell := observed[k]
+		injected = append(injected, Injected{Cell: cell, Truth: rel.Get(cell.Row, cell.Attr)})
+		out.Set(cell.Row, cell.Attr, dataset.Null)
+	}
+	return out, injected, nil
+}
+
+// marDrivers picks, per attribute, the driver attribute whose values
+// steer its missingness: simply the next attribute cyclically — a fixed,
+// documented choice that keeps the mechanism reproducible.
+func marDrivers(rel *dataset.Relation) []int {
+	m := rel.Schema().Len()
+	out := make([]int, m)
+	for a := 0; a < m; a++ {
+		out[a] = (a + 1) % m
+	}
+	return out
+}
+
+// valueFrequencies counts each attribute's observed value multiplicities.
+func valueFrequencies(rel *dataset.Relation) []map[string]int {
+	m := rel.Schema().Len()
+	out := make([]map[string]int, m)
+	for a := 0; a < m; a++ {
+		out[a] = map[string]int{}
+	}
+	for i := 0; i < rel.Len(); i++ {
+		t := rel.Row(i)
+		for a := range t {
+			if !t[a].IsNull() {
+				out[a][t[a].String()]++
+			}
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,154 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func mechSample(t testing.TB) *dataset.Relation {
+	t.Helper()
+	rel := dataset.NewRelation(dataset.NewSchema(
+		dataset.Attribute{Name: "Group", Kind: dataset.KindString},
+		dataset.Attribute{Name: "Score", Kind: dataset.KindFloat},
+	))
+	// 40 common-group rows with low scores, 10 rare-group with high.
+	for i := 0; i < 40; i++ {
+		rel.MustAppend(dataset.Tuple{dataset.NewString("common"), dataset.NewFloat(float64(i % 5))})
+	}
+	for i := 0; i < 10; i++ {
+		rel.MustAppend(dataset.Tuple{dataset.NewString("rare"), dataset.NewFloat(100 + float64(i))})
+	}
+	return rel
+}
+
+func TestMechanismString(t *testing.T) {
+	if MCAR.String() != "MCAR" || MAR.String() != "MAR" || MNAR.String() != "MNAR" {
+		t.Error("mechanism names wrong")
+	}
+	if Mechanism(9).String() == "" {
+		t.Error("unknown mechanism unnamed")
+	}
+}
+
+func TestMCARDelegates(t *testing.T) {
+	rel := mechSample(t)
+	a, ai, err := InjectWithMechanism(rel, 0.1, MCAR, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, bi, err := Inject(rel, 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) || len(ai) != len(bi) {
+		t.Error("MCAR mechanism diverged from Inject")
+	}
+}
+
+func TestMechanismCountsAndTruth(t *testing.T) {
+	rel := mechSample(t)
+	for _, mech := range []Mechanism{MAR, MNAR} {
+		injRel, injected, err := InjectWithMechanism(rel, 0.2, mech, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells := float64(rel.Len() * rel.Schema().Len())
+		want := int(cells*0.2 + 0.5)
+		if len(injected) != want {
+			t.Errorf("%v: injected %d, want %d", mech, len(injected), want)
+		}
+		for _, inj := range injected {
+			if !injRel.Get(inj.Cell.Row, inj.Cell.Attr).IsNull() {
+				t.Errorf("%v: cell not nulled", mech)
+			}
+			if inj.Truth.IsNull() {
+				t.Errorf("%v: null truth", mech)
+			}
+		}
+	}
+}
+
+func TestMNARBiasTowardLargeNumerics(t *testing.T) {
+	rel := mechSample(t)
+	_, injected, err := InjectWithMechanism(rel, 0.2, MNAR, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The high scores (>=100) live in 10 of 50 Score cells; under MNAR
+	// the biased 2/3 of removals must hit them disproportionately.
+	high := 0
+	scoreCells := 0
+	for _, inj := range injected {
+		if inj.Cell.Attr != 1 {
+			continue
+		}
+		scoreCells++
+		if inj.Truth.Float() >= 100 {
+			high++
+		}
+	}
+	if scoreCells == 0 {
+		t.Skip("no score cells drawn (possible with heavy string bias)")
+	}
+	if float64(high)/float64(scoreCells) <= 0.2 {
+		t.Errorf("MNAR high-value share = %d/%d, want clearly above the 20%% base rate",
+			high, scoreCells)
+	}
+}
+
+func TestMARBiasTowardCommonDriver(t *testing.T) {
+	rel := mechSample(t)
+	_, injected, err := InjectWithMechanism(rel, 0.2, MAR, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Score's driver is Group (next attribute cyclically): cells in
+	// "common"-group rows (80% of rows) should dominate the Score
+	// removals beyond their base share.
+	common, scoreCells := 0, 0
+	for _, inj := range injected {
+		if inj.Cell.Attr != 1 {
+			continue
+		}
+		scoreCells++
+		if rel.Get(inj.Cell.Row, 0).Str() == "common" {
+			common++
+		}
+	}
+	if scoreCells > 0 && float64(common)/float64(scoreCells) < 0.8 {
+		t.Errorf("MAR common-driver share = %d/%d, want >= base rate", common, scoreCells)
+	}
+}
+
+func TestMechanismDeterminism(t *testing.T) {
+	rel := mechSample(t)
+	for _, mech := range []Mechanism{MAR, MNAR} {
+		_, a, err := InjectWithMechanism(rel, 0.15, mech, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, b, err := InjectWithMechanism(rel, 0.15, mech, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%v: lengths differ", mech)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: same seed diverged", mech)
+			}
+		}
+	}
+}
+
+func TestMechanismValidation(t *testing.T) {
+	rel := mechSample(t)
+	if _, _, err := InjectWithMechanism(rel, -0.1, MAR, 1); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, _, err := InjectWithMechanism(rel, 0.1, Mechanism(42), 1); err == nil {
+		t.Error("unknown mechanism accepted")
+	}
+}

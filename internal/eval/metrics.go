@@ -1,0 +1,156 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// Metrics are the paper's three qualitative measures (Sec. 6.1):
+//
+//	precision = |true ∩ imputed| / |imputed|
+//	recall    = |true ∩ missing| / |missing|
+//	F1        = 2·P·R / (P + R)
+//
+// Precision tracks the algorithm's reliability when it decides to impute
+// at all; recall also penalizes cells left missing.
+type Metrics struct {
+	Missing   int // injected missing cells
+	Imputed   int // cells the method filled
+	Correct   int // filled cells judged correct by the validator
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// Score compares the imputed relation against the injected ground truth
+// under the validator. Only the injected cells are inspected.
+func Score(imputed *dataset.Relation, injected []Injected, v *Validator) Metrics {
+	m := Metrics{Missing: len(injected)}
+	schema := imputed.Schema()
+	for _, inj := range injected {
+		got := imputed.Get(inj.Cell.Row, inj.Cell.Attr)
+		if got.IsNull() {
+			continue
+		}
+		m.Imputed++
+		if v.Correct(schema.Attr(inj.Cell.Attr).Name, got, inj.Truth) {
+			m.Correct++
+		}
+	}
+	if m.Imputed > 0 {
+		m.Precision = float64(m.Correct) / float64(m.Imputed)
+	}
+	if m.Missing > 0 {
+		m.Recall = float64(m.Correct) / float64(m.Missing)
+	}
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	return m
+}
+
+// BootstrapF1CI returns a percentile bootstrap confidence interval for
+// the mean F1 over the variant runs: `resamples` means of samples drawn
+// with replacement, cut at the (1±conf)/2 percentiles. With fewer than
+// two runs the interval collapses to the single value.
+func BootstrapF1CI(ms []Metrics, resamples int, conf float64, seed int64) (lo, hi float64) {
+	if len(ms) == 0 {
+		return 0, 0
+	}
+	if len(ms) == 1 {
+		return ms[0].F1, ms[0].F1
+	}
+	if resamples <= 0 {
+		resamples = 1000
+	}
+	if conf <= 0 || conf >= 1 {
+		conf = 0.95
+	}
+	rng := rand.New(rand.NewSource(seed))
+	means := make([]float64, resamples)
+	for r := range means {
+		sum := 0.0
+		for k := 0; k < len(ms); k++ {
+			sum += ms[rng.Intn(len(ms))].F1
+		}
+		means[r] = sum / float64(len(ms))
+	}
+	sort.Float64s(means)
+	alpha := (1 - conf) / 2
+	loIdx := int(alpha * float64(resamples-1))
+	hiIdx := int((1 - alpha) * float64(resamples-1))
+	return means[loIdx], means[hiIdx]
+}
+
+// StdDevF1 returns the population standard deviation of the F1 scores —
+// the across-variant spread the paper's averaging hides. Zero for fewer
+// than two samples.
+func StdDevF1(ms []Metrics) float64 {
+	if len(ms) < 2 {
+		return 0
+	}
+	mean := 0.0
+	for _, m := range ms {
+		mean += m.F1
+	}
+	mean /= float64(len(ms))
+	varSum := 0.0
+	for _, m := range ms {
+		d := m.F1 - mean
+		varSum += d * d
+	}
+	return math.Sqrt(varSum / float64(len(ms)))
+}
+
+// Average returns the component-wise mean of the metrics — the paper
+// averages each missing rate over its five injected variants.
+func Average(ms []Metrics) Metrics {
+	if len(ms) == 0 {
+		return Metrics{}
+	}
+	var out Metrics
+	for _, m := range ms {
+		out.Missing += m.Missing
+		out.Imputed += m.Imputed
+		out.Correct += m.Correct
+		out.Precision += m.Precision
+		out.Recall += m.Recall
+		out.F1 += m.F1
+	}
+	n := float64(len(ms))
+	out.Missing = int(float64(out.Missing)/n + 0.5)
+	out.Imputed = int(float64(out.Imputed)/n + 0.5)
+	out.Correct = int(float64(out.Correct)/n + 0.5)
+	out.Precision /= n
+	out.Recall /= n
+	out.F1 /= n
+	return out
+}
+
+// String renders the metrics as "P=0.864 R=0.329 F1=0.476".
+func (m Metrics) String() string {
+	return fmt.Sprintf("P=%.3f R=%.3f F1=%.3f (missing=%d imputed=%d correct=%d)",
+		m.Precision, m.Recall, m.F1, m.Missing, m.Imputed, m.Correct)
+}
+
+// ScoreByAttribute breaks the evaluation down per attribute — which
+// columns a method fills well is the first question any error analysis
+// asks. Keys are attribute names; attributes with no injected cells are
+// absent.
+func ScoreByAttribute(imputed *dataset.Relation, injected []Injected, v *Validator) map[string]Metrics {
+	schema := imputed.Schema()
+	grouped := map[string][]Injected{}
+	for _, inj := range injected {
+		name := schema.Attr(inj.Cell.Attr).Name
+		grouped[name] = append(grouped[name], inj)
+	}
+	out := make(map[string]Metrics, len(grouped))
+	for name, cells := range grouped {
+		out[name] = Score(imputed, cells, v)
+	}
+	return out
+}

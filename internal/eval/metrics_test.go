@@ -1,0 +1,224 @@
+package eval
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+func TestScorePaperDefinitions(t *testing.T) {
+	// 4 injected cells; the method imputes 3, of which 2 are correct:
+	// precision = 2/3, recall = 2/4.
+	truth, err := dataset.ReadCSVString("A,B\nx,1\ny,2\nz,3\nw,4\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected := []Injected{
+		{Cell: dataset.Cell{Row: 0, Attr: 0}, Truth: dataset.NewString("x")},
+		{Cell: dataset.Cell{Row: 1, Attr: 0}, Truth: dataset.NewString("y")},
+		{Cell: dataset.Cell{Row: 2, Attr: 0}, Truth: dataset.NewString("z")},
+		{Cell: dataset.Cell{Row: 3, Attr: 0}, Truth: dataset.NewString("w")},
+	}
+	imputed := truth.Clone()
+	imputed.Set(0, 0, dataset.NewString("x"))     // correct
+	imputed.Set(1, 0, dataset.NewString("y"))     // correct
+	imputed.Set(2, 0, dataset.NewString("WRONG")) // wrong
+	imputed.Set(3, 0, dataset.Null)               // unimputed
+
+	m := Score(imputed, injected, NewValidator())
+	if m.Missing != 4 || m.Imputed != 3 || m.Correct != 2 {
+		t.Fatalf("counts = %+v", m)
+	}
+	if math.Abs(m.Precision-2.0/3.0) > 1e-12 {
+		t.Errorf("precision = %v", m.Precision)
+	}
+	if m.Recall != 0.5 {
+		t.Errorf("recall = %v", m.Recall)
+	}
+	wantF1 := 2 * (2.0 / 3.0) * 0.5 / (2.0/3.0 + 0.5)
+	if math.Abs(m.F1-wantF1) > 1e-12 {
+		t.Errorf("F1 = %v, want %v", m.F1, wantF1)
+	}
+	if !strings.Contains(m.String(), "P=0.667") {
+		t.Errorf("String() = %q", m.String())
+	}
+}
+
+func TestScoreEmptyAndDegenerate(t *testing.T) {
+	rel, err := dataset.ReadCSVString("A\nx\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Score(rel, nil, NewValidator())
+	if m.Precision != 0 || m.Recall != 0 || m.F1 != 0 {
+		t.Errorf("empty injection metrics = %+v", m)
+	}
+	// Nothing imputed: precision 0 (0/0 -> 0 by convention), recall 0.
+	injected := []Injected{{Cell: dataset.Cell{Row: 0, Attr: 0}, Truth: dataset.NewString("x")}}
+	empty := rel.Clone()
+	empty.Set(0, 0, dataset.Null)
+	m = Score(empty, injected, NewValidator())
+	if m.Imputed != 0 || m.Precision != 0 || m.F1 != 0 {
+		t.Errorf("all-abstain metrics = %+v", m)
+	}
+}
+
+func TestScoreUsesValidatorRules(t *testing.T) {
+	rel, err := dataset.ReadCSVString("Phone\n213-848-6677\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected := []Injected{{Cell: dataset.Cell{Row: 0, Attr: 0}, Truth: dataset.NewString("213-848-6677")}}
+	imputed := rel.Clone()
+	imputed.Set(0, 0, dataset.NewString("213/848-6677"))
+
+	strict := Score(imputed, injected, NewValidator())
+	if strict.Correct != 0 {
+		t.Error("strict validator accepted a separator variant")
+	}
+	v := NewValidator()
+	if err := v.SetRegex("Phone", "[0-9]"); err != nil {
+		t.Fatal(err)
+	}
+	lax := Score(imputed, injected, v)
+	if lax.Correct != 1 {
+		t.Error("regex validator rejected the separator variant")
+	}
+}
+
+func TestAverage(t *testing.T) {
+	ms := []Metrics{
+		{Missing: 10, Imputed: 8, Correct: 6, Precision: 0.75, Recall: 0.6, F1: 2 * 0.75 * 0.6 / 1.35},
+		{Missing: 10, Imputed: 4, Correct: 4, Precision: 1.0, Recall: 0.4, F1: 2 * 1.0 * 0.4 / 1.4},
+	}
+	avg := Average(ms)
+	if avg.Missing != 10 || avg.Imputed != 6 || avg.Correct != 5 {
+		t.Errorf("averaged counts = %+v", avg)
+	}
+	if math.Abs(avg.Precision-0.875) > 1e-12 {
+		t.Errorf("averaged precision = %v", avg.Precision)
+	}
+	if got := Average(nil); got != (Metrics{}) {
+		t.Errorf("Average(nil) = %+v", got)
+	}
+}
+
+// sleepMethod is a test double that burns wall-clock time and memory.
+type sleepMethod struct {
+	d     time.Duration
+	alloc int
+	fail  bool
+}
+
+func (s sleepMethod) Name() string { return "sleepy" }
+func (s sleepMethod) Impute(rel *dataset.Relation) (*dataset.Relation, error) {
+	if s.fail {
+		return nil, errors.New("boom")
+	}
+	if s.alloc > 0 {
+		buf := make([]byte, s.alloc)
+		for i := range buf {
+			buf[i] = byte(i)
+		}
+		_ = buf
+	}
+	time.Sleep(s.d)
+	return rel.Clone(), nil
+}
+
+func variantOf(t *testing.T) Variant {
+	t.Helper()
+	rel, err := dataset.ReadCSVString("A\nx\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	injRel := rel.Clone()
+	injRel.Set(0, 0, dataset.Null)
+	return Variant{Rate: 0.5, Relation: injRel,
+		Injected: []Injected{{Cell: dataset.Cell{Row: 0, Attr: 0}, Truth: dataset.NewString("x")}}}
+}
+
+func TestRunMeasuresAndScores(t *testing.T) {
+	res := Run(sleepMethod{d: 10 * time.Millisecond}, variantOf(t), NewValidator(), Budget{})
+	if res.Err != nil || res.TimedOut || res.OverMem {
+		t.Fatalf("unexpected markers: %+v", res)
+	}
+	if res.Elapsed < 10*time.Millisecond {
+		t.Errorf("elapsed = %v", res.Elapsed)
+	}
+	if res.Metrics.Missing != 1 {
+		t.Errorf("metrics = %+v", res.Metrics)
+	}
+	if res.Marker() != "" {
+		t.Errorf("marker = %q", res.Marker())
+	}
+}
+
+func TestRunTimeLimit(t *testing.T) {
+	res := Run(sleepMethod{d: 300 * time.Millisecond}, variantOf(t), NewValidator(),
+		Budget{TimeLimit: 20 * time.Millisecond})
+	if !res.TimedOut {
+		t.Fatal("TL not marked")
+	}
+	if res.Marker() != "TL" {
+		t.Errorf("marker = %q", res.Marker())
+	}
+	if res.Metrics.Imputed != 0 {
+		t.Error("TL run reported metrics")
+	}
+}
+
+func TestRunErrMarker(t *testing.T) {
+	res := Run(sleepMethod{fail: true}, variantOf(t), NewValidator(), Budget{})
+	if res.Err == nil || res.Marker() != "ERR" {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestRunMemLimit(t *testing.T) {
+	// 64 MB allocation against a 1-byte budget must trip ML.
+	res := Run(sleepMethod{d: 50 * time.Millisecond, alloc: 64 << 20}, variantOf(t),
+		NewValidator(), Budget{MemLimit: 1})
+	if !res.OverMem {
+		t.Fatal("ML not marked")
+	}
+	if res.Marker() != "ML" {
+		t.Errorf("marker = %q", res.Marker())
+	}
+}
+
+func TestRunGridGroupsByRate(t *testing.T) {
+	v1, v2 := variantOf(t), variantOf(t)
+	v2.Rate = 0.9
+	results := RunGrid(sleepMethod{d: time.Millisecond}, []Variant{v1, v2, v1}, NewValidator(), Budget{})
+	if len(results) != 2 {
+		t.Fatalf("results = %+v", results)
+	}
+	if results[0].Rate != 0.5 || results[1].Rate != 0.9 {
+		t.Errorf("rates = %v, %v", results[0].Rate, results[1].Rate)
+	}
+	if results[0].Marker != "" {
+		t.Errorf("marker = %q", results[0].Marker)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		in   uint64
+		want string
+	}{
+		{512, "512 B"},
+		{2 << 10, "2.00 KB"},
+		{3 << 20, "3.00 MB"},
+		{1482551501, "1.38 GB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.in); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestPropertyInjectionAccounting: for any rate and seed, the injected
+// count follows the rounding formula, every injected cell was observed,
+// and the non-injected cells are untouched.
+func TestPropertyInjectionAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 150; trial++ {
+		rows := 2 + rng.Intn(40)
+		rel := grid(t, rows)
+		// Pre-null a few cells so injection must avoid them.
+		for k := 0; k < rng.Intn(4); k++ {
+			rel.Set(rng.Intn(rows), rng.Intn(2), dataset.Null)
+		}
+		observed := rows*2 - rel.CountMissing()
+		rate := rng.Float64()
+		injRel, injected, err := Inject(rel, rate, rng.Int63())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int(float64(observed)*rate + 0.5)
+		if want > observed {
+			want = observed
+		}
+		if len(injected) != want {
+			t.Fatalf("trial %d: injected %d, want %d (observed %d, rate %v)",
+				trial, len(injected), want, observed, rate)
+		}
+		if injRel.CountMissing() != rel.CountMissing()+len(injected) {
+			t.Fatalf("trial %d: null accounting off", trial)
+		}
+		for _, inj := range injected {
+			if inj.Truth.IsNull() {
+				t.Fatalf("trial %d: injected an already-null cell", trial)
+			}
+		}
+	}
+}
+
+// TestPropertyScoreBounds: metrics always land in [0,1] and F1 is the
+// harmonic mean (hence at most min(P,R)·2/(1+min/max)... just check it
+// never exceeds either component's max and is zero iff both are).
+func TestPropertyScoreBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 150; trial++ {
+		rows := 2 + rng.Intn(30)
+		rel := grid(t, rows)
+		injRel, injected, err := Inject(rel, 0.3, rng.Int63())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A fake "method": randomly restore truth, impute junk, or skip.
+		out := injRel.Clone()
+		for _, inj := range injected {
+			switch rng.Intn(3) {
+			case 0:
+				out.Set(inj.Cell.Row, inj.Cell.Attr, inj.Truth)
+			case 1:
+				out.Set(inj.Cell.Row, inj.Cell.Attr, dataset.NewString("junk"))
+			}
+		}
+		m := Score(out, injected, NewValidator())
+		for name, v := range map[string]float64{
+			"precision": m.Precision, "recall": m.Recall, "f1": m.F1,
+		} {
+			if v < 0 || v > 1 {
+				t.Fatalf("trial %d: %s = %v out of range", trial, name, v)
+			}
+		}
+		if m.F1 > m.Precision+1e-12 && m.F1 > m.Recall+1e-12 {
+			t.Fatalf("trial %d: F1 %v exceeds both P %v and R %v", trial, m.F1, m.Precision, m.Recall)
+		}
+		if m.Correct > m.Imputed || m.Imputed > m.Missing {
+			t.Fatalf("trial %d: counts inconsistent: %+v", trial, m)
+		}
+		// Recall can never exceed precision·(imputed/missing) scaled...
+		// simpler invariant: recall <= imputed/missing.
+		if m.Missing > 0 && m.Recall > float64(m.Imputed)/float64(m.Missing)+1e-12 {
+			t.Fatalf("trial %d: recall %v > imputed/missing", trial, m.Recall)
+		}
+	}
+}
+
+// TestPropertyPerfectMethodScoresOne: restoring the exact truth yields
+// P = R = F1 = 1 under any validator.
+func TestPropertyPerfectMethodScoresOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 80; trial++ {
+		rel := grid(t, 3+rng.Intn(20))
+		injRel, injected, err := Inject(rel, 0.4, rng.Int63())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(injected) == 0 {
+			continue
+		}
+		out := injRel.Clone()
+		for _, inj := range injected {
+			out.Set(inj.Cell.Row, inj.Cell.Attr, inj.Truth)
+		}
+		m := Score(out, injected, NewValidator())
+		if m.Precision != 1 || m.Recall != 1 || m.F1 != 1 {
+			t.Fatalf("trial %d: perfect method scored %+v", trial, m)
+		}
+	}
+}
+
+// TestPropertyValidatorNeverRejectsEquality: whatever rules are loaded,
+// an exactly equal imputation is always correct.
+func TestPropertyValidatorNeverRejectsEquality(t *testing.T) {
+	v := NewValidator()
+	v.AddValueSet("A", "x", "y")
+	if err := v.SetRegex("A", "[a-z]"); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SetDelta("A", 0); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	words := []string{"x", "y", "zz", "", "multi word"}
+	for trial := 0; trial < 200; trial++ {
+		var val dataset.Value
+		if rng.Intn(2) == 0 {
+			val = dataset.NewString(words[rng.Intn(len(words))])
+		} else {
+			val = dataset.NewInt(int64(rng.Intn(100)))
+		}
+		if !v.Correct("A", val, val) {
+			t.Fatalf("trial %d: equality rejected for %v", trial, val)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package eval
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// Validator implements the paper's rule-based framework for the automatic
+// verification of imputation results (Sec. 6.1): an imputed value is
+// judged correct against the expected one not only on strict equality but
+// also through per-attribute admissibility rules —
+//
+//	value sets      — spellings with the same meaning ("new york", "ny");
+//	custom regexes  — structural variation is admissible as long as the
+//	                  regex-matched parts coincide (e.g. phone separators);
+//	delta variation — numeric attributes may deviate by at most ±delta.
+//
+// Attributes without a rule fall back to strict equality.
+type Validator struct {
+	sets   map[string][][]string // attr -> groups of equivalent spellings
+	regexs map[string]*regexp.Regexp
+	deltas map[string]float64
+}
+
+// NewValidator returns an empty validator (strict equality everywhere).
+func NewValidator() *Validator {
+	return &Validator{
+		sets:   map[string][][]string{},
+		regexs: map[string]*regexp.Regexp{},
+		deltas: map[string]float64{},
+	}
+}
+
+// AddValueSet registers a group of equivalent spellings for the
+// attribute. Comparison is case-insensitive.
+func (v *Validator) AddValueSet(attr string, values ...string) {
+	group := make([]string, len(values))
+	for i, s := range values {
+		group[i] = strings.ToLower(strings.TrimSpace(s))
+	}
+	v.sets[attr] = append(v.sets[attr], group)
+}
+
+// SetRegex registers the admissibility regex for the attribute: two
+// values are equivalent when the concatenations of their regex matches
+// coincide.
+func (v *Validator) SetRegex(attr, pattern string) error {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return fmt.Errorf("eval: rule regex for %q: %w", attr, err)
+	}
+	v.regexs[attr] = re
+	return nil
+}
+
+// SetDelta registers the admissible numeric deviation for the attribute.
+func (v *Validator) SetDelta(attr string, delta float64) error {
+	if delta < 0 {
+		return fmt.Errorf("eval: negative delta %v for %q", delta, attr)
+	}
+	v.deltas[attr] = delta
+	return nil
+}
+
+// Correct judges an imputed value against the expected one for the named
+// attribute. A null imputed value is never correct.
+func (v *Validator) Correct(attr string, imputed, expected dataset.Value) bool {
+	if imputed.IsNull() {
+		return false
+	}
+	if imputed.Equal(expected) {
+		return true
+	}
+	if delta, ok := v.deltas[attr]; ok &&
+		imputed.Kind().Numeric() && expected.Kind().Numeric() {
+		if math.Abs(imputed.Float()-expected.Float()) <= delta {
+			return true
+		}
+	}
+	if re, ok := v.regexs[attr]; ok {
+		if extract(re, imputed.String()) == extract(re, expected.String()) {
+			return true
+		}
+	}
+	for _, group := range v.sets[attr] {
+		if inGroup(group, imputed.String()) && inGroup(group, expected.String()) {
+			return true
+		}
+	}
+	return false
+}
+
+func extract(re *regexp.Regexp, s string) string {
+	return strings.Join(re.FindAllString(s, -1), "")
+}
+
+func inGroup(group []string, s string) bool {
+	s = strings.ToLower(strings.TrimSpace(s))
+	for _, g := range group {
+		if g == s {
+			return true
+		}
+	}
+	return false
+}
+
+// ReadRules parses a rule file. One rule per line:
+//
+//	set   <Attr>: spelling | spelling | spelling
+//	regex <Attr>: <pattern>
+//	delta <Attr>: <number>
+//
+// Blank lines and lines starting with '#' are ignored. Attribute names
+// may contain spaces (everything up to the first ':').
+func ReadRules(r io.Reader) (*Validator, error) {
+	v := NewValidator()
+	sc := bufio.NewScanner(r)
+	lineNum := 0
+	for sc.Scan() {
+		lineNum++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		kind, rest, found := strings.Cut(line, " ")
+		if !found {
+			return nil, fmt.Errorf("eval: rules line %d: malformed %q", lineNum, line)
+		}
+		attr, body, found := strings.Cut(rest, ":")
+		if !found {
+			return nil, fmt.Errorf("eval: rules line %d: missing ':'", lineNum)
+		}
+		attr = strings.TrimSpace(attr)
+		body = strings.TrimSpace(body)
+		switch kind {
+		case "set":
+			parts := strings.Split(body, "|")
+			if len(parts) < 2 {
+				return nil, fmt.Errorf("eval: rules line %d: value set needs >=2 spellings", lineNum)
+			}
+			v.AddValueSet(attr, parts...)
+		case "regex":
+			if err := v.SetRegex(attr, body); err != nil {
+				return nil, fmt.Errorf("eval: rules line %d: %w", lineNum, err)
+			}
+		case "delta":
+			d, err := strconv.ParseFloat(body, 64)
+			if err != nil {
+				return nil, fmt.Errorf("eval: rules line %d: bad delta: %w", lineNum, err)
+			}
+			if err := v.SetDelta(attr, d); err != nil {
+				return nil, fmt.Errorf("eval: rules line %d: %w", lineNum, err)
+			}
+		default:
+			return nil, fmt.Errorf("eval: rules line %d: unknown rule kind %q", lineNum, kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// ReadRulesFile is ReadRules over a file path.
+func ReadRulesFile(path string) (*Validator, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadRules(f)
+}

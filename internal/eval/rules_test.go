@@ -1,0 +1,136 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestValidatorStrictEqualityDefault(t *testing.T) {
+	v := NewValidator()
+	if !v.Correct("A", dataset.NewString("x"), dataset.NewString("x")) {
+		t.Error("equal strings judged wrong")
+	}
+	if v.Correct("A", dataset.NewString("x"), dataset.NewString("y")) {
+		t.Error("different strings judged correct")
+	}
+	if !v.Correct("A", dataset.NewInt(5), dataset.NewInt(5)) {
+		t.Error("equal ints judged wrong")
+	}
+	if v.Correct("A", dataset.Null, dataset.NewString("x")) {
+		t.Error("null imputation judged correct")
+	}
+}
+
+func TestValueSetRule(t *testing.T) {
+	// The paper's example: "new york", "new york city" and "ny" express
+	// the same concept.
+	v := NewValidator()
+	v.AddValueSet("City", "new york", "new york city", "ny")
+	if !v.Correct("City", dataset.NewString("NY"), dataset.NewString("New York")) {
+		t.Error("same-set values judged wrong (case-insensitivity expected)")
+	}
+	if v.Correct("City", dataset.NewString("la"), dataset.NewString("ny")) {
+		t.Error("out-of-set value judged correct")
+	}
+	// The rule only applies to its attribute.
+	if v.Correct("Other", dataset.NewString("ny"), dataset.NewString("new york")) {
+		t.Error("rule leaked to another attribute")
+	}
+}
+
+func TestRegexRule(t *testing.T) {
+	// The paper's Phone example: same digits, different separators.
+	v := NewValidator()
+	if err := v.SetRegex("Phone", "[0-9]"); err != nil {
+		t.Fatal(err)
+	}
+	if !v.Correct("Phone", dataset.NewString("213/848-6677"), dataset.NewString("213-848-6677")) {
+		t.Error("same digits with different separators judged wrong")
+	}
+	if v.Correct("Phone", dataset.NewString("213/848-6677"), dataset.NewString("213-848-6678")) {
+		t.Error("different digits judged correct")
+	}
+	if err := v.SetRegex("Bad", "[unclosed"); err == nil {
+		t.Error("invalid regex accepted")
+	}
+}
+
+func TestDeltaRule(t *testing.T) {
+	// The paper's example: Horsepower admits ±25.
+	v := NewValidator()
+	if err := v.SetDelta("Horsepower", 25); err != nil {
+		t.Fatal(err)
+	}
+	if !v.Correct("Horsepower", dataset.NewInt(150), dataset.NewInt(130)) {
+		t.Error("within-delta value judged wrong")
+	}
+	if !v.Correct("Horsepower", dataset.NewFloat(150), dataset.NewInt(175)) {
+		t.Error("boundary delta judged wrong")
+	}
+	if v.Correct("Horsepower", dataset.NewInt(150), dataset.NewInt(180)) {
+		t.Error("out-of-delta value judged correct")
+	}
+	if v.Correct("Horsepower", dataset.NewString("150"), dataset.NewInt(150)) {
+		t.Error("delta applied to non-numeric value")
+	}
+	if err := v.SetDelta("X", -1); err == nil {
+		t.Error("negative delta accepted")
+	}
+}
+
+func TestReadRules(t *testing.T) {
+	doc := `# restaurant rules
+set City: new york | new york city | ny
+regex Phone: [0-9]
+delta Class: 1
+`
+	v, err := ReadRules(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Correct("City", dataset.NewString("ny"), dataset.NewString("new york city")) {
+		t.Error("set rule not loaded")
+	}
+	if !v.Correct("Phone", dataset.NewString("12-3"), dataset.NewString("1/23")) {
+		t.Error("regex rule not loaded")
+	}
+	if !v.Correct("Class", dataset.NewInt(5), dataset.NewInt(6)) {
+		t.Error("delta rule not loaded")
+	}
+}
+
+func TestReadRulesErrors(t *testing.T) {
+	cases := []string{
+		"set City\n",               // missing colon
+		"set City: only-one\n",     // one spelling
+		"regex Phone: [unclosed\n", // bad regex
+		"delta Class: abc\n",       // bad number
+		"delta Class: -4\n",        // negative
+		"warp Speed: 9\n",          // unknown kind
+		"nonsense-without-space\n", // malformed
+	}
+	for _, doc := range cases {
+		if _, err := ReadRules(strings.NewReader(doc)); err == nil {
+			t.Errorf("ReadRules(%q) accepted", doc)
+		}
+	}
+}
+
+func TestReadRulesFileMissing(t *testing.T) {
+	if _, err := ReadRulesFile("/nonexistent/rules"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestAttributeNamesWithSpaces(t *testing.T) {
+	doc := "delta CLEAR G: 2\n"
+	v, err := ReadRules(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Correct("CLEAR G", dataset.NewInt(4), dataset.NewInt(5)) {
+		t.Error("spaced attribute rule not applied")
+	}
+}

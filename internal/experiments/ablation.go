@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+)
+
+// AblationRow is one configuration's averaged outcome in the ablation
+// study (DESIGN.md experiments A1-A3 plus the verification-scope and
+// cluster-order variants).
+type AblationRow struct {
+	Config  string
+	Metrics eval.Metrics
+	Elapsed time.Duration
+}
+
+// ablationConfigs enumerates the studied variants. The paper-faithful
+// configuration comes first as the reference.
+func ablationConfigs() []struct {
+	name string
+	opts []core.Option
+} {
+	return []struct {
+		name string
+		opts []core.Option
+	}{
+		{"paper-faithful", nil},
+		{"no-verify (A1)", []core.Option{core.WithVerifyMode(core.VerifyOff)}},
+		{"verify-both-sides", []core.Option{core.WithVerifyMode(core.VerifyBothSides)}},
+		{"no-clustering (A2)", []core.Option{core.WithoutClustering()}},
+		{"descending-clusters", []core.Option{core.WithClusterOrder(core.DescendingThreshold)}},
+		{"no-ranking (A3)", []core.Option{core.WithoutRanking()}},
+		{"no-key-reeval", []core.Option{core.WithoutKeyReevaluation()}},
+	}
+}
+
+// Ablations measures every RENUVER variant on the Restaurant dataset at
+// the campaign's comparison threshold, averaging over the usual injected
+// variants at the highest Figure 2 rate.
+func Ablations(env *Env) ([]AblationRow, error) {
+	rel, err := env.Dataset("restaurant")
+	if err != nil {
+		return nil, err
+	}
+	sigma, err := env.Sigma("restaurant", env.Scale.ComparisonThreshold)
+	if err != nil {
+		return nil, err
+	}
+	validator := Rules("restaurant")
+	rate := env.Scale.Rates[len(env.Scale.Rates)-1]
+	variants, err := eval.InjectGrid(rel, []float64{rate}, env.Scale.Variants, env.Scale.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, cfg := range ablationConfigs() {
+		var ms []eval.Metrics
+		var total time.Duration
+		for _, variant := range variants {
+			start := time.Now()
+			res, err := core.New(sigma, cfg.opts...).Impute(variant.Relation)
+			if err != nil {
+				return nil, err
+			}
+			total += time.Since(start)
+			ms = append(ms, eval.Score(res.Relation, variant.Injected, validator))
+		}
+		rows = append(rows, AblationRow{
+			Config:  cfg.name,
+			Metrics: eval.Average(ms),
+			Elapsed: total / time.Duration(len(variants)),
+		})
+	}
+	return rows, nil
+}
+
+// RenderAblations prints the ablation study.
+func RenderAblations(rows []AblationRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-22s %7s %10s %9s %10s\n", "Config", "Recall", "Precision", "F1", "Time")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-22s %7.3f %10.3f %9.3f %10s\n",
+			r.Config, r.Metrics.Recall, r.Metrics.Precision, r.Metrics.F1,
+			r.Elapsed.Round(time.Millisecond))
+	}
+	return sb.String()
+}
+
+// ScalingRow is one point of the complexity-scaling check (experiment
+// X1): RENUVER's wall clock as the tuple count grows, everything else
+// fixed.
+type ScalingRow struct {
+	Tuples  int
+	Sigma   int
+	Missing int
+	Elapsed time.Duration
+}
+
+// ComplexityScaling measures RENUVER on growing Restaurant prefixes —
+// the empirical counterpart of the paper's O(n²·m·|Σ|·(k·m·|Σ| + k log k))
+// worst case; wall clock should grow clearly super-linearly but
+// polynomially in n.
+func ComplexityScaling(env *Env) ([]ScalingRow, error) {
+	rel, err := env.Dataset("restaurant")
+	if err != nil {
+		return nil, err
+	}
+	var rows []ScalingRow
+	for _, frac := range []float64{0.25, 0.5, 0.75, 1.0} {
+		n := int(float64(rel.Len()) * frac)
+		if n < 10 {
+			continue
+		}
+		slice := rel.Head(n)
+		sigma, err := env.SigmaFor(slice, env.Scale.ComparisonThreshold)
+		if err != nil {
+			return nil, err
+		}
+		injRel, injected, err := eval.Inject(slice, 0.05, env.Scale.Seed)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if _, err := core.New(sigma).Impute(injRel); err != nil {
+			return nil, err
+		}
+		rows = append(rows, ScalingRow{
+			Tuples:  n,
+			Sigma:   len(sigma),
+			Missing: len(injected),
+			Elapsed: time.Since(start),
+		})
+	}
+	return rows, nil
+}
+
+// RenderScaling prints the scaling sweep.
+func RenderScaling(rows []ScalingRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%8s %8s %8s %12s\n", "Tuples", "|Sigma|", "Missing", "Time")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%8d %8d %8d %12s\n", r.Tuples, r.Sigma, r.Missing,
+			r.Elapsed.Round(time.Millisecond))
+	}
+	return sb.String()
+}

@@ -1,0 +1,341 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/eval"
+)
+
+func benchEnv() *Env {
+	scale := BenchScale()
+	// Even tighter for unit tests: exercise the code paths, not the GHz.
+	scale.Sizes = map[string]int{
+		"restaurant": 80, "cars": 60, "glass": 50, "bridges": 50, "physician": 120,
+	}
+	scale.PhysicianSlices = []int{30, 60}
+	return NewEnv(scale)
+}
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"full", "quick", "bench"} {
+		s, ok := ScaleByName(name)
+		if !ok || s.Name != name {
+			t.Errorf("ScaleByName(%q) = %+v, %v", name, s, ok)
+		}
+		if len(s.Rates) == 0 || len(s.Thresholds) == 0 || s.Variants == 0 {
+			t.Errorf("scale %q incomplete: %+v", name, s)
+		}
+	}
+	if _, ok := ScaleByName("bogus"); ok {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestEnvCaching(t *testing.T) {
+	env := benchEnv()
+	a, err := env.Dataset("restaurant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := env.Dataset("restaurant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("dataset not cached")
+	}
+	s1, err := env.Sigma("restaurant", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := env.Sigma("restaurant", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1) == 0 || len(s1) != len(s2) {
+		t.Errorf("sigma caching broken: %d vs %d", len(s1), len(s2))
+	}
+	if _, err := env.Dataset("unknown"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestRulesPerDataset(t *testing.T) {
+	// Every dataset must return a validator; restaurant's must accept
+	// phone separator variants, cars' the ±25 horsepower delta.
+	for _, name := range []string{"restaurant", "cars", "glass", "bridges", "physician"} {
+		if Rules(name) == nil {
+			t.Fatalf("Rules(%q) nil", name)
+		}
+	}
+	v := Rules("restaurant")
+	if !v.Correct("Phone", mustVal("213/848-6677"), mustVal("213-848-6677")) {
+		t.Error("restaurant phone rule missing")
+	}
+	if !v.Correct("City", mustVal("LA"), mustVal("Los Angeles")) {
+		t.Error("restaurant city value set missing")
+	}
+}
+
+func TestTable3(t *testing.T) {
+	env := benchEnv()
+	rows, err := Table3(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, row := range rows {
+		if len(row.RFDCounts) != len(env.Scale.Thresholds) {
+			t.Errorf("%s: %d RFD counts", row.Dataset, len(row.RFDCounts))
+		}
+		if len(row.Missing) != len(env.Scale.Rates) {
+			t.Errorf("%s: %d missing counts", row.Dataset, len(row.Missing))
+		}
+		// Missing counts must grow with the rate.
+		for i := 1; i < len(row.Missing); i++ {
+			if row.Missing[i] < row.Missing[i-1] {
+				t.Errorf("%s: missing counts not monotone: %v", row.Dataset, row.Missing)
+			}
+		}
+	}
+	text := RenderTable3(rows, env.Scale)
+	if !strings.Contains(text, "restaurant") || !strings.Contains(text, "thr=") {
+		t.Errorf("render:\n%s", text)
+	}
+}
+
+func TestFigure2SinglePanel(t *testing.T) {
+	env := benchEnv()
+	cells, err := Figure2For(env, []string{"bridges"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(env.Scale.Thresholds) * len(env.Scale.Rates)
+	if len(cells) != want {
+		t.Fatalf("cells = %d, want %d", len(cells), want)
+	}
+	for _, c := range cells {
+		if c.Metrics.Precision < 0 || c.Metrics.Precision > 1 {
+			t.Errorf("precision %v out of range", c.Metrics.Precision)
+		}
+	}
+	text := RenderFigure2(cells, env.Scale)
+	if !strings.Contains(text, "bridges / Precision") {
+		t.Errorf("render:\n%s", text)
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparative sweep in -short mode")
+	}
+	env := benchEnv()
+	points, err := Figure3(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	methods := map[string]bool{}
+	datasets := map[string]bool{}
+	for _, p := range points {
+		methods[p.Method] = true
+		datasets[p.Dataset] = true
+	}
+	for _, m := range []string{"RENUVER", "Derand", "Holoclean"} {
+		if !methods[m] {
+			t.Errorf("method %s missing from Figure 3", m)
+		}
+	}
+	if !methods["kNN(k=5)"] {
+		t.Error("kNN missing from the Glass panel")
+	}
+	if !datasets["restaurant"] || !datasets["glass"] {
+		t.Errorf("datasets = %v", datasets)
+	}
+	text := RenderFigure3(points, env.Scale)
+	if !strings.Contains(text, "glass / Recall") {
+		t.Errorf("render:\n%s", text)
+	}
+}
+
+func TestTable4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress sweep in -short mode")
+	}
+	env := benchEnv()
+	rows, err := Table4(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Every method appears, every param of a non-budget-hit method too.
+	perMethod := map[string]int{}
+	for _, r := range rows {
+		perMethod[r.Method]++
+	}
+	if len(perMethod) != 3 {
+		t.Errorf("methods = %v", perMethod)
+	}
+	for m, c := range perMethod {
+		if c != len(env.Scale.StressRates) {
+			t.Errorf("%s has %d rows, want %d", m, c, len(env.Scale.StressRates))
+		}
+	}
+	text := RenderStress(rows)
+	if !strings.Contains(text, "RENUVER") {
+		t.Errorf("render:\n%s", text)
+	}
+}
+
+func TestTable5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress sweep in -short mode")
+	}
+	env := benchEnv()
+	rows, err := Table5(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3 * len(env.Scale.PhysicianSlices)
+	if len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+}
+
+func TestTable4BudgetMarkers(t *testing.T) {
+	// A 1 ns time budget must TL every run and backfill the higher rates.
+	env := benchEnv()
+	env.Scale.Budget = eval.Budget{TimeLimit: time.Nanosecond}
+	rows, err := Table4(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Marker != "TL" {
+			t.Errorf("row %+v not TL under 1ns budget", r)
+		}
+	}
+	text := RenderStress(rows)
+	if !strings.Contains(text, "TL") {
+		t.Errorf("render lacks TL:\n%s", text)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep in -short mode")
+	}
+	env := benchEnv()
+	rows, err := Ablations(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ablationConfigs()) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Config != "paper-faithful" {
+		t.Errorf("reference config first, got %q", rows[0].Config)
+	}
+	text := RenderAblations(rows)
+	if !strings.Contains(text, "no-verify") {
+		t.Errorf("render:\n%s", text)
+	}
+}
+
+func TestExtendedComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extended sweep in -short mode")
+	}
+	env := benchEnv()
+	points, err := ExtendedComparison(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	methods := map[string]bool{}
+	for _, p := range points {
+		methods[p.Method] = true
+	}
+	for _, want := range []string{"RENUVER", "Derand", "Holoclean", "kNN(k=5)", "Mean/Mode", "LocalLR(k=10)"} {
+		if !methods[want] {
+			t.Errorf("method %s missing", want)
+		}
+	}
+	if want := 6 * len(env.Scale.Rates); len(points) != want {
+		t.Errorf("points = %d, want %d", len(points), want)
+	}
+	text := RenderExtended(points, env.Scale)
+	if !strings.Contains(text, "Mean/Mode") {
+		t.Errorf("render:\n%s", text)
+	}
+}
+
+func TestFigure2AllPanels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four-panel sweep in -short mode")
+	}
+	env := benchEnv()
+	cells, err := Figure2(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	datasets := map[string]bool{}
+	for _, c := range cells {
+		datasets[c.Dataset] = true
+	}
+	for _, want := range Figure2Datasets {
+		if !datasets[want] {
+			t.Errorf("panel %s missing", want)
+		}
+	}
+}
+
+func TestMechanismStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mechanism sweep in -short mode")
+	}
+	env := benchEnv()
+	rows, err := MechanismStudy(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want MCAR/MAR/MNAR", len(rows))
+	}
+	if rows[0].Mechanism != eval.MCAR {
+		t.Errorf("first mechanism = %v", rows[0].Mechanism)
+	}
+	text := RenderMechanisms(rows)
+	if !strings.Contains(text, "MNAR") {
+		t.Errorf("render:\n%s", text)
+	}
+}
+
+func TestComplexityScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling sweep in -short mode")
+	}
+	env := benchEnv()
+	rows, err := ComplexityScaling(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Tuples <= rows[i-1].Tuples {
+			t.Errorf("tuple counts not increasing: %+v", rows)
+		}
+	}
+	if !strings.Contains(RenderScaling(rows), "Tuples") {
+		t.Error("render broken")
+	}
+}
+
+func mustVal(s string) dataset.Value { return dataset.NewString(s) }

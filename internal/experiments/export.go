@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// The CSV exporters emit one row per series point so the figures can be
+// re-plotted outside Go. Every writer starts with a header row.
+
+func writeAll(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+
+// WriteTable3CSV exports the Table 3 statistics.
+func WriteTable3CSV(w io.Writer, rows []Table3Row, scale Scale) error {
+	header := []string{"dataset", "attributes", "tuples"}
+	for _, th := range scale.Thresholds {
+		header = append(header, fmt.Sprintf("rfds_thr%g", th))
+	}
+	for _, r := range scale.Rates {
+		header = append(header, fmt.Sprintf("missing_%g", r))
+	}
+	var out [][]string
+	for _, row := range rows {
+		rec := []string{row.Dataset, strconv.Itoa(row.Attributes), strconv.Itoa(row.Tuples)}
+		for _, c := range row.RFDCounts {
+			rec = append(rec, strconv.Itoa(c))
+		}
+		for _, m := range row.Missing {
+			rec = append(rec, strconv.Itoa(m))
+		}
+		out = append(out, rec)
+	}
+	return writeAll(w, header, out)
+}
+
+// WriteFigure2CSV exports the Figure 2 sweep, one row per cell.
+func WriteFigure2CSV(w io.Writer, cells []Figure2Cell) error {
+	var out [][]string
+	for _, c := range cells {
+		out = append(out, []string{
+			c.Dataset, f(c.Threshold), f(c.Rate),
+			f(c.Metrics.Precision), f(c.Metrics.Recall), f(c.Metrics.F1),
+			strconv.Itoa(c.Metrics.Imputed), strconv.Itoa(c.Metrics.Missing),
+		})
+	}
+	return writeAll(w, []string{
+		"dataset", "threshold", "rate", "precision", "recall", "f1", "imputed", "missing",
+	}, out)
+}
+
+// WriteFigure3CSV exports the comparative evaluation, one row per
+// (dataset, method, rate).
+func WriteFigure3CSV(w io.Writer, points []Figure3Point) error {
+	var out [][]string
+	for _, p := range points {
+		out = append(out, []string{
+			p.Dataset, p.Method, f(p.Rate),
+			f(p.Metrics.Precision), f(p.Metrics.Recall), f(p.Metrics.F1),
+		})
+	}
+	return writeAll(w, []string{"dataset", "method", "rate", "precision", "recall", "f1"}, out)
+}
+
+// WriteStressCSV exports a Table 4/5 sweep.
+func WriteStressCSV(w io.Writer, rows []StressRow) error {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Dataset, r.Method, r.Param,
+			f(r.Metrics.Recall), f(r.Metrics.Precision), f(r.Metrics.F1),
+			strconv.FormatInt(r.Elapsed.Milliseconds(), 10),
+			strconv.FormatUint(r.Peak, 10),
+			r.Marker,
+		})
+	}
+	return writeAll(w, []string{
+		"dataset", "method", "param", "recall", "precision", "f1",
+		"time_ms", "peak_bytes", "marker",
+	}, out)
+}
+
+// WriteAblationsCSV exports the ablation study.
+func WriteAblationsCSV(w io.Writer, rows []AblationRow) error {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Config, f(r.Metrics.Recall), f(r.Metrics.Precision), f(r.Metrics.F1),
+			strconv.FormatInt(r.Elapsed.Milliseconds(), 10),
+		})
+	}
+	return writeAll(w, []string{"config", "recall", "precision", "f1", "time_ms"}, out)
+}
+
+// WriteScalingCSV exports the complexity-scaling sweep.
+func WriteScalingCSV(w io.Writer, rows []ScalingRow) error {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			strconv.Itoa(r.Tuples), strconv.Itoa(r.Sigma), strconv.Itoa(r.Missing),
+			strconv.FormatInt(r.Elapsed.Milliseconds(), 10),
+		})
+	}
+	return writeAll(w, []string{"tuples", "sigma", "missing", "time_ms"}, out)
+}
+
+// WriteExtendedCSV exports the extended comparison.
+func WriteExtendedCSV(w io.Writer, points []ExtendedPoint) error {
+	var out [][]string
+	for _, p := range points {
+		out = append(out, []string{
+			p.Method, f(p.Rate),
+			f(p.Metrics.Precision), f(p.Metrics.Recall), f(p.Metrics.F1),
+			strconv.FormatInt(p.Elapsed.Milliseconds(), 10),
+		})
+	}
+	return writeAll(w, []string{"method", "rate", "precision", "recall", "f1", "time_ms"}, out)
+}

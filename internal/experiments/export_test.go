@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/eval"
+)
+
+func parseCSV(t *testing.T, doc string) [][]string {
+	t.Helper()
+	records, err := csv.NewReader(strings.NewReader(doc)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return records
+}
+
+func TestWriteTable3CSV(t *testing.T) {
+	scale := BenchScale()
+	rows := []Table3Row{{
+		Dataset: "restaurant", Attributes: 6, Tuples: 120,
+		RFDCounts: []int{10, 20}, Missing: []int{5, 12},
+	}}
+	var buf bytes.Buffer
+	if err := WriteTable3CSV(&buf, rows, scale); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, buf.String())
+	if len(records) != 2 {
+		t.Fatalf("records = %v", records)
+	}
+	if records[0][0] != "dataset" || records[1][0] != "restaurant" {
+		t.Errorf("records = %v", records)
+	}
+	if len(records[0]) != 3+len(scale.Thresholds)+len(scale.Rates) {
+		t.Errorf("header width = %d", len(records[0]))
+	}
+}
+
+func TestWriteFigure2CSV(t *testing.T) {
+	cells := []Figure2Cell{{
+		Dataset: "glass", Threshold: 9, Rate: 0.03,
+		Metrics: eval.Metrics{Precision: 0.8, Recall: 0.7, F1: 0.75, Imputed: 10, Missing: 12},
+	}}
+	var buf bytes.Buffer
+	if err := WriteFigure2CSV(&buf, cells); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, buf.String())
+	if len(records) != 2 || records[1][0] != "glass" || records[1][3] != "0.8000" {
+		t.Errorf("records = %v", records)
+	}
+}
+
+func TestWriteFigure3CSV(t *testing.T) {
+	points := []Figure3Point{{Dataset: "restaurant", Method: "RENUVER", Rate: 0.05,
+		Metrics: eval.Metrics{Precision: 0.9, Recall: 0.6, F1: 0.72}}}
+	var buf bytes.Buffer
+	if err := WriteFigure3CSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, buf.String())
+	if len(records) != 2 || records[1][1] != "RENUVER" {
+		t.Errorf("records = %v", records)
+	}
+}
+
+func TestWriteStressCSV(t *testing.T) {
+	rows := []StressRow{{
+		Dataset: "physician", Method: "Derand", Param: "2072 tuples",
+		Metrics: eval.Metrics{Recall: 0.1}, Elapsed: 1500 * time.Millisecond,
+		Peak: 1 << 20, Marker: "TL",
+	}}
+	var buf bytes.Buffer
+	if err := WriteStressCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, buf.String())
+	if records[1][6] != "1500" || records[1][8] != "TL" {
+		t.Errorf("records = %v", records)
+	}
+}
+
+func TestWriteAblationsAndScalingAndExtendedCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAblationsCSV(&buf, []AblationRow{{Config: "paper-faithful"}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "config,recall") {
+		t.Errorf("ablation csv = %q", buf.String())
+	}
+	buf.Reset()
+	if err := WriteScalingCSV(&buf, []ScalingRow{{Tuples: 60, Sigma: 10, Missing: 5, Elapsed: time.Second}}); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, buf.String())
+	if records[1][3] != "1000" {
+		t.Errorf("scaling csv = %v", records)
+	}
+	buf.Reset()
+	if err := WriteExtendedCSV(&buf, []ExtendedPoint{{Method: "kNN(k=5)", Rate: 0.01}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "kNN(k=5)") {
+		t.Errorf("extended csv = %q", buf.String())
+	}
+}

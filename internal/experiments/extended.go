@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/impute"
+	"repro/internal/impute/derand"
+	"repro/internal/impute/holoclean"
+	"repro/internal/impute/knn"
+	"repro/internal/impute/meanmode"
+	"repro/internal/impute/regression"
+)
+
+// ExtendedPoint is one point of the extended comparison: beyond the
+// paper's Figure 3 contenders it adds the statistical floor (mean/mode)
+// and the regression class of the related work (local linear
+// regression, [26]), all on the numeric Glass dataset.
+type ExtendedPoint struct {
+	Method  string
+	Rate    float64
+	Metrics eval.Metrics
+	Elapsed time.Duration
+}
+
+// ExtendedComparison runs six methods on Glass over the campaign's
+// rates, all on identical injected variants.
+func ExtendedComparison(env *Env) ([]ExtendedPoint, error) {
+	rel, err := env.Dataset("glass")
+	if err != nil {
+		return nil, err
+	}
+	validator := Rules("glass")
+	variants, err := eval.InjectGrid(rel, env.Scale.Rates, env.Scale.Variants, env.Scale.Seed)
+	if err != nil {
+		return nil, err
+	}
+	sigma, err := env.Sigma("glass", env.Scale.ComparisonThreshold)
+	if err != nil {
+		return nil, err
+	}
+	dcs, err := env.DCs("glass")
+	if err != nil {
+		return nil, err
+	}
+	dr, err := derand.New(sigma, derand.Config{Seed: env.Scale.Seed})
+	if err != nil {
+		return nil, err
+	}
+	hc, err := holoclean.New(holoclean.Config{DCs: dcs, Seed: env.Scale.Seed})
+	if err != nil {
+		return nil, err
+	}
+	kn, err := knn.New(knn.Config{})
+	if err != nil {
+		return nil, err
+	}
+	lr, err := regression.New(regression.Config{})
+	if err != nil {
+		return nil, err
+	}
+	methods := []impute.Method{
+		renuverAdapter{im: core.New(sigma)},
+		dr, hc, kn, meanmode.New(), lr,
+	}
+
+	var points []ExtendedPoint
+	for _, m := range methods {
+		for _, rr := range eval.RunGrid(m, variants, validator, eval.Budget{}) {
+			points = append(points, ExtendedPoint{
+				Method:  m.Name(),
+				Rate:    rr.Rate,
+				Metrics: rr.Metrics,
+				Elapsed: rr.Elapsed,
+			})
+		}
+	}
+	return points, nil
+}
+
+// RenderExtended prints the extended comparison.
+func RenderExtended(points []ExtendedPoint, scale Scale) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "glass, %d variants per rate, thr=%g\n", scale.Variants, scale.ComparisonThreshold)
+	fmt.Fprintf(&sb, "%-14s %5s %10s %8s %8s %10s\n", "method", "rate", "precision", "recall", "F1", "time")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%-14s %4.0f%% %10.3f %8.3f %8.3f %10s\n",
+			p.Method, p.Rate*100, p.Metrics.Precision, p.Metrics.Recall,
+			p.Metrics.F1, p.Elapsed.Round(time.Millisecond))
+	}
+	return sb.String()
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+)
+
+// Figure2Cell is one point of Figure 2: RENUVER's averaged metrics for a
+// (dataset, threshold limit, missing rate) combination.
+type Figure2Cell struct {
+	Dataset   string
+	Threshold float64
+	Rate      float64
+	Metrics   eval.Metrics
+}
+
+// Figure2Datasets are the four panels of Figure 2, in the paper's order.
+var Figure2Datasets = []string{"glass", "bridges", "cars", "restaurant"}
+
+// Figure2 regenerates Figure 2: RENUVER's precision, recall, and
+// F1-measure on each dataset, varying the maximum RHS distance threshold
+// and the missing rate, averaged over the per-rate variants.
+func Figure2(env *Env) ([]Figure2Cell, error) {
+	return Figure2For(env, Figure2Datasets)
+}
+
+// Figure2For runs the Figure 2 sweep over a chosen subset of panels.
+func Figure2For(env *Env, names []string) ([]Figure2Cell, error) {
+	var cells []Figure2Cell
+	for _, name := range names {
+		rel, err := env.Dataset(name)
+		if err != nil {
+			return nil, err
+		}
+		validator := Rules(name)
+		variants, err := eval.InjectGrid(rel, env.Scale.Rates, env.Scale.Variants, env.Scale.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, th := range env.Scale.Thresholds {
+			sigma, err := env.Sigma(name, th)
+			if err != nil {
+				return nil, err
+			}
+			byRate := map[float64][]eval.Metrics{}
+			for _, variant := range variants {
+				res, err := core.New(sigma).Impute(variant.Relation)
+				if err != nil {
+					return nil, err
+				}
+				m := eval.Score(res.Relation, variant.Injected, validator)
+				byRate[variant.Rate] = append(byRate[variant.Rate], m)
+			}
+			for _, rate := range env.Scale.Rates {
+				cells = append(cells, Figure2Cell{
+					Dataset:   name,
+					Threshold: th,
+					Rate:      rate,
+					Metrics:   eval.Average(byRate[rate]),
+				})
+			}
+		}
+	}
+	return cells, nil
+}
+
+// RenderFigure2 prints one numeric series per (dataset, metric,
+// threshold): the x axis is the missing rate, matching the paper's
+// twelve sub-plots.
+func RenderFigure2(cells []Figure2Cell, scale Scale) string {
+	var sb strings.Builder
+	metric := []struct {
+		label string
+		get   func(eval.Metrics) float64
+	}{
+		{"Recall", func(m eval.Metrics) float64 { return m.Recall }},
+		{"Precision", func(m eval.Metrics) float64 { return m.Precision }},
+		{"F1", func(m eval.Metrics) float64 { return m.F1 }},
+	}
+	byKey := map[string]eval.Metrics{}
+	var datasets []string
+	seen := map[string]bool{}
+	for _, c := range cells {
+		byKey[fmt.Sprintf("%s|%g|%g", c.Dataset, c.Threshold, c.Rate)] = c.Metrics
+		if !seen[c.Dataset] {
+			seen[c.Dataset] = true
+			datasets = append(datasets, c.Dataset)
+		}
+	}
+	for _, ds := range datasets {
+		for _, met := range metric {
+			fmt.Fprintf(&sb, "%s / %s\n", ds, met.label)
+			fmt.Fprintf(&sb, "  %-8s", "thr\\rate")
+			for _, r := range scale.Rates {
+				fmt.Fprintf(&sb, " %5.0f%%", r*100)
+			}
+			sb.WriteString("\n")
+			for _, th := range scale.Thresholds {
+				fmt.Fprintf(&sb, "  thr=%-4g", th)
+				for _, r := range scale.Rates {
+					m, ok := byKey[fmt.Sprintf("%s|%g|%g", ds, th, r)]
+					if !ok {
+						sb.WriteString("     -")
+						continue
+					}
+					fmt.Fprintf(&sb, " %6.3f", met.get(m))
+				}
+				sb.WriteString("\n")
+			}
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String()
+}

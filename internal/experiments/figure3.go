@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/impute"
+	"repro/internal/impute/derand"
+	"repro/internal/impute/holoclean"
+	"repro/internal/impute/knn"
+)
+
+// relation shortens the adapter signatures below.
+type relation = dataset.Relation
+
+// Figure3Point is one point of Figure 3: a method's averaged metrics on
+// a dataset at one missing rate.
+type Figure3Point struct {
+	Dataset string
+	Method  string
+	Rate    float64
+	Metrics eval.Metrics
+}
+
+// renuverAdapter exposes the core imputer as an impute.ContextMethod.
+type renuverAdapter struct{ im *core.Imputer }
+
+func (r renuverAdapter) Name() string { return "RENUVER" }
+func (r renuverAdapter) Impute(rel *relation) (*relation, error) {
+	res, err := r.im.Impute(rel)
+	if err != nil {
+		return nil, err
+	}
+	return res.Relation, nil
+}
+
+func (r renuverAdapter) ImputeContext(ctx context.Context, rel *relation) (*relation, error) {
+	res, err := r.im.ImputeContext(ctx, rel)
+	if res == nil {
+		return nil, err
+	}
+	return res.Relation, err
+}
+
+// Methods builds the Figure 3 contenders for one dataset: RENUVER and
+// Derand share the same RFDc/DD set (as in the paper), Holoclean gets
+// the discovered DCs, and kNN is added for numeric-only datasets
+// (the paper compares kNN on Glass only).
+func (e *Env) Methods(name string, includeKNN bool) ([]impute.Method, error) {
+	sigma, err := e.Sigma(name, e.Scale.ComparisonThreshold)
+	if err != nil {
+		return nil, err
+	}
+	dcs, err := e.DCs(name)
+	if err != nil {
+		return nil, err
+	}
+	dr, err := derand.New(sigma, derand.Config{Seed: e.Scale.Seed})
+	if err != nil {
+		return nil, err
+	}
+	hc, err := holoclean.New(holoclean.Config{DCs: dcs, Seed: e.Scale.Seed})
+	if err != nil {
+		return nil, err
+	}
+	methods := []impute.Method{
+		renuverAdapter{im: core.New(sigma)},
+		dr,
+		hc,
+	}
+	if includeKNN {
+		kn, err := knn.New(knn.Config{})
+		if err != nil {
+			return nil, err
+		}
+		methods = append(methods, kn)
+	}
+	return methods, nil
+}
+
+// Figure3 regenerates Figure 3: RENUVER vs Derand vs Holoclean on
+// Restaurant (panels a-c) and all four methods on Glass (panels d-f),
+// varying the missing rate, every method seeing the same injected
+// variants.
+func Figure3(env *Env) ([]Figure3Point, error) {
+	var points []Figure3Point
+	for _, panel := range []struct {
+		dataset    string
+		includeKNN bool
+	}{
+		{"restaurant", false},
+		{"glass", true},
+	} {
+		rel, err := env.Dataset(panel.dataset)
+		if err != nil {
+			return nil, err
+		}
+		validator := Rules(panel.dataset)
+		variants, err := eval.InjectGrid(rel, env.Scale.Rates, env.Scale.Variants, env.Scale.Seed)
+		if err != nil {
+			return nil, err
+		}
+		methods, err := env.Methods(panel.dataset, panel.includeKNN)
+		if err != nil {
+			return nil, err
+		}
+		for _, method := range methods {
+			results := eval.RunGrid(method, variants, validator, eval.Budget{})
+			for _, rr := range results {
+				points = append(points, Figure3Point{
+					Dataset: panel.dataset,
+					Method:  method.Name(),
+					Rate:    rr.Rate,
+					Metrics: rr.Metrics,
+				})
+			}
+		}
+	}
+	return points, nil
+}
+
+// RenderFigure3 prints one series per (dataset, metric, method) with the
+// missing rate on the x axis — the six panels of Figure 3.
+func RenderFigure3(points []Figure3Point, scale Scale) string {
+	var sb strings.Builder
+	metric := []struct {
+		label string
+		get   func(eval.Metrics) float64
+	}{
+		{"Recall", func(m eval.Metrics) float64 { return m.Recall }},
+		{"Precision", func(m eval.Metrics) float64 { return m.Precision }},
+		{"F1", func(m eval.Metrics) float64 { return m.F1 }},
+	}
+	byKey := map[string]eval.Metrics{}
+	var datasets, methods []string
+	seenDS, seenM := map[string]bool{}, map[string]bool{}
+	for _, p := range points {
+		byKey[fmt.Sprintf("%s|%s|%g", p.Dataset, p.Method, p.Rate)] = p.Metrics
+		if !seenDS[p.Dataset] {
+			seenDS[p.Dataset] = true
+			datasets = append(datasets, p.Dataset)
+		}
+		if !seenM[p.Method] {
+			seenM[p.Method] = true
+			methods = append(methods, p.Method)
+		}
+	}
+	for _, ds := range datasets {
+		for _, met := range metric {
+			fmt.Fprintf(&sb, "%s / %s\n", ds, met.label)
+			fmt.Fprintf(&sb, "  %-12s", "method\\rate")
+			for _, r := range scale.Rates {
+				fmt.Fprintf(&sb, " %5.0f%%", r*100)
+			}
+			sb.WriteString("\n")
+			for _, m := range methods {
+				if _, ok := byKey[fmt.Sprintf("%s|%s|%g", ds, m, scale.Rates[0])]; !ok {
+					continue // method not run on this panel (kNN on restaurant)
+				}
+				fmt.Fprintf(&sb, "  %-12s", m)
+				for _, r := range scale.Rates {
+					mm := byKey[fmt.Sprintf("%s|%s|%g", ds, m, r)]
+					fmt.Fprintf(&sb, " %6.3f", met.get(mm))
+				}
+				sb.WriteString("\n")
+			}
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,26 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/dc"
+	"repro/internal/impute"
+	"repro/internal/impute/derand"
+	"repro/internal/impute/holoclean"
+	"repro/internal/rfd"
+)
+
+// method shortens the stress-table helper signatures.
+type method = impute.Method
+
+// renuverMethod wraps a fresh RENUVER imputer over Σ as a method.
+func renuverMethod(sigma rfd.Set) method { return renuverAdapter{im: core.New(sigma)} }
+
+// derandMethod builds the Derand contender over the same Σ.
+func derandMethod(sigma rfd.Set, seed int64) (method, error) {
+	return derand.New(sigma, derand.Config{Seed: seed})
+}
+
+// holocleanMethod builds the Holoclean contender over the DC set.
+func holocleanMethod(dcs []*dc.DC, seed int64) (method, error) {
+	return holoclean.New(holoclean.Config{DCs: dcs, Seed: seed})
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/eval"
+)
+
+// Table3Row is one dataset's statistics line of Table 3: shape, RFDc
+// counts per threshold limit, and injected-missing counts per rate.
+type Table3Row struct {
+	Dataset    string
+	Attributes int
+	Tuples     int
+	RFDCounts  []int // aligned with Scale.Thresholds
+	Missing    []int // aligned with Scale.Rates
+}
+
+// Table3 regenerates Table 3 for the four qualitative-evaluation
+// datasets.
+func Table3(env *Env) ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, name := range []string{"restaurant", "cars", "glass", "bridges"} {
+		rel, err := env.Dataset(name)
+		if err != nil {
+			return nil, err
+		}
+		row := Table3Row{
+			Dataset:    name,
+			Attributes: rel.Schema().Len(),
+			Tuples:     rel.Len(),
+		}
+		for _, th := range env.Scale.Thresholds {
+			sigma, err := env.Sigma(name, th)
+			if err != nil {
+				return nil, err
+			}
+			row.RFDCounts = append(row.RFDCounts, len(sigma))
+		}
+		for _, rate := range env.Scale.Rates {
+			_, injected, err := eval.Inject(rel, rate, env.Scale.Seed)
+			if err != nil {
+				return nil, err
+			}
+			row.Missing = append(row.Missing, len(injected))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTable3 prints the rows the way the paper lays Table 3 out.
+func RenderTable3(rows []Table3Row, scale Scale) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %6s %7s |", "Dataset", "Attrs", "Tuples")
+	for _, th := range scale.Thresholds {
+		fmt.Fprintf(&sb, " thr=%-4g", th)
+	}
+	sb.WriteString("|")
+	for _, r := range scale.Rates {
+		fmt.Fprintf(&sb, " %4.0f%%", r*100)
+	}
+	sb.WriteString("\n")
+	for _, row := range rows {
+		fmt.Fprintf(&sb, "%-12s %6d %7d |", row.Dataset, row.Attributes, row.Tuples)
+		for _, c := range row.RFDCounts {
+			fmt.Fprintf(&sb, " %-8d", c)
+		}
+		sb.WriteString("|")
+		for _, m := range row.Missing {
+			fmt.Fprintf(&sb, " %4d ", m)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,332 @@
+package derand
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/rfd"
+)
+
+func table2(t testing.TB) *dataset.Relation {
+	t.Helper()
+	rel, err := dataset.ReadCSVString(`Name,City,Phone,Type,Class
+Granita,Malibu,310/456-0488,Californian,6
+Chinois Main,LA,310-392-9025,French,5
+Citrus,Los Angeles,213/857-0034,Californian,6
+Citrus,Los Angeles,,Californian,6
+Fenix,Hollywood,213/848-6677,,5
+Fenix Argyle,,213/848-6677,French (new),5
+C. Main,Los Angeles,,French,5
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+func figure1DDs(t testing.TB, schema *dataset.Schema) rfd.Set {
+	t.Helper()
+	specs := []string{
+		"Class(<=0) -> Type(<=5)",
+		"City(<=2) -> Phone(<=2)",
+		"Name(<=4) -> Phone(<=1)",
+		"Name(<=8), Phone(<=0) -> City(<=9)",
+		"Name(<=6), City(<=9) -> Phone(<=0)",
+		"Phone(<=1) -> Class(<=0)",
+	}
+	var out rfd.Set
+	for _, s := range specs {
+		out = append(out, rfd.MustParse(s, schema))
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Config{MaxCandidates: -1}); err == nil {
+		t.Error("negative MaxCandidates accepted")
+	}
+	if _, err := New(nil, Config{LookaheadCells: -1}); err == nil {
+		t.Error("negative LookaheadCells accepted")
+	}
+	im, err := New(nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Name() != "Derand" {
+		t.Errorf("Name = %q", im.Name())
+	}
+	rnd, err := New(nil, Config{Mode: Randomized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rnd.Name() != "Round" {
+		t.Errorf("Name = %q", rnd.Name())
+	}
+}
+
+func TestImputesTable2(t *testing.T) {
+	rel := table2(t)
+	im, err := New(figure1DDs(t, rel.Schema()), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := im.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.CountMissing(); got >= rel.CountMissing() {
+		t.Errorf("missing after = %d, before = %d; want progress", got, rel.CountMissing())
+	}
+	// t6[City] has a single DD donor (t5, equal phone): must be Hollywood.
+	city := rel.Schema().MustIndex("City")
+	if got := out.Get(5, city); got.Str() != "Hollywood" {
+		t.Errorf("t6[City] = %q, want Hollywood", got.Str())
+	}
+	// Input untouched.
+	if rel.CountMissing() != 4 {
+		t.Error("input mutated")
+	}
+}
+
+func TestConsistencyRespected(t *testing.T) {
+	// The only candidate value would witness a DD violation: stay missing.
+	rel, err := dataset.ReadCSVString(`A,B,C
+x,b1,1
+x,,9
+y,b1,1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := rel.Schema()
+	dds := rfd.Set{
+		rfd.MustParse("A(<=0) -> B(<=0)", schema),
+		rfd.MustParse("B(<=0) -> C(<=1)", schema),
+	}
+	im, err := New(dds, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := im.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Candidate b1 (via A match with row 0) violates B(<=0)->C(<=1)
+	// against rows 0 and 2 (C gap 8).
+	if !out.Get(1, 1).IsNull() {
+		t.Errorf("row1.B = %v, want missing (inconsistent candidate)", out.Get(1, 1))
+	}
+}
+
+func TestDerandPrefersNonConflictingValue(t *testing.T) {
+	// Two candidate values for cell 1; choosing "v9" would make the later
+	// cell (same attribute) unimputable, so conditional expectation must
+	// pick "v1".
+	rel, err := dataset.ReadCSVString(`K,B,C
+a,v1,c1
+ab,v9,c1
+a,,c1
+zz,v1,qq
+zz,,qq
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := rel.Schema()
+	dds := rfd.Set{
+		rfd.MustParse("K(<=2) -> B(<=100)", schema), // proposes both v1 and v9 for row 2
+		rfd.MustParse("C(<=0) -> B(<=0)", schema),   // same C forces same B
+	}
+	im, err := New(dds, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := im.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 2 shares C=c1 with rows 0 and 1... which already disagree on B
+	// (v1 vs v9 distance > 0), so C(<=0)->B(<=0) is violated on the input
+	// for (0,1); but for row 2 any value conflicts with one of them.
+	// Expectation: row 2 stays missing; row 4 (C=qq, donor row 3 via K)
+	// gets v1.
+	if got := out.Get(4, 1); got.Str() != "v1" {
+		t.Errorf("row4.B = %v, want v1", got)
+	}
+	_ = out.Get(2, 1) // row 2's outcome is unconstrained here; see above.
+}
+
+func TestConditionalExpectationOverridesClosestCandidate(t *testing.T) {
+	// Row 2's candidates: v9 at distance 0 (closest) and v1 at distance
+	// 1, both individually consistent. Fixing v9 would make the later
+	// same-attribute cell (row 4) unimputable through C(<=0) -> B(<=0),
+	// so the derandomized conditional expectation must choose v1 even
+	// though v9 is nearer. The Randomized mode has no lookahead and can
+	// go either way; Derand must be deterministic about it.
+	rel, err := dataset.ReadCSVString(`K,B,C
+ab,v1,c9
+a,v9,c8
+a,,c1
+zy,v1,c5
+zz,,c1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := rel.Schema()
+	dds := rfd.Set{
+		rfd.MustParse("K(<=1) -> B(<=100)", schema),
+		rfd.MustParse("C(<=0) -> B(<=0)", schema),
+	}
+	im, err := New(dds, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := im.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Get(2, 1); got.Str() != "v1" {
+		t.Errorf("row2.B = %v, want v1 (lookahead keeps row4 imputable)", got)
+	}
+	if got := out.Get(4, 1); got.Str() != "v1" {
+		t.Errorf("row4.B = %v, want v1", got)
+	}
+}
+
+func TestLookaheadSetScope(t *testing.T) {
+	// lookaheadSet only returns unfixed cells sharing a row or an
+	// attribute, capped at LookaheadCells.
+	im, err := New(nil, Config{LookaheadCells: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := []cellState{
+		{cell: dataset.Cell{Row: 0, Attr: 1}, values: []dataset.Value{dataset.NewString("x")}},
+		{cell: dataset.Cell{Row: 5, Attr: 1}, values: []dataset.Value{dataset.NewString("x")}}, // same attr
+		{cell: dataset.Cell{Row: 0, Attr: 3}, values: []dataset.Value{dataset.NewString("x")}}, // same row
+		{cell: dataset.Cell{Row: 9, Attr: 9}, values: []dataset.Value{dataset.NewString("x")}}, // unrelated
+		{cell: dataset.Cell{Row: 6, Attr: 1}, values: nil},                                     // no candidates
+	}
+	got := im.lookaheadSet(cells, 0)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("lookaheadSet = %v, want [1] (cap 1, nearest same-attr)", got)
+	}
+	im2, err := New(nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = im2.lookaheadSet(cells, 0)
+	if len(got) != 2 { // same attr + same row; unrelated and empty excluded
+		t.Errorf("lookaheadSet = %v, want 2 neighbours", got)
+	}
+}
+
+func TestGreedyTakesClosestConsistent(t *testing.T) {
+	// Same instance as the conditional-expectation test: Greedy has no
+	// lookahead and must take the closest candidate (v9), sacrificing the
+	// later cell — the myopia Derand's expectation avoids.
+	rel, err := dataset.ReadCSVString(`K,B,C
+ab,v1,c9
+a,v9,c8
+a,,c1
+zy,v1,c5
+zz,,c1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := rel.Schema()
+	dds := rfd.Set{
+		rfd.MustParse("K(<=1) -> B(<=100)", schema),
+		rfd.MustParse("C(<=0) -> B(<=0)", schema),
+	}
+	im, err := New(dds, Config{Mode: Greedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Name() != "Greedy" {
+		t.Errorf("Name = %q", im.Name())
+	}
+	out, err := im.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Get(2, 1); got.Str() != "v9" {
+		t.Errorf("greedy row2.B = %v, want v9 (closest, myopic)", got)
+	}
+	if !out.Get(4, 1).IsNull() {
+		t.Errorf("greedy row4.B = %v, want missing (blocked by v9)", out.Get(4, 1))
+	}
+}
+
+func TestRandomizedSeedDeterminism(t *testing.T) {
+	rel := table2(t)
+	dds := figure1DDs(t, rel.Schema())
+	a, err := New(dds, Config{Mode: Randomized, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(dds, Config{Mode: Randomized, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outA, err := a.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outB, err := b.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outA.Equal(outB) {
+		t.Error("same seed diverged")
+	}
+}
+
+func TestDerandDeterminism(t *testing.T) {
+	rel := table2(t)
+	dds := figure1DDs(t, rel.Schema())
+	im, err := New(dds, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outA, err := im.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outB, err := im.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outA.Equal(outB) {
+		t.Error("Derand must be deterministic")
+	}
+}
+
+func TestNoDDsNoImputation(t *testing.T) {
+	rel := table2(t)
+	im, err := New(nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := im.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CountMissing() != rel.CountMissing() {
+		t.Error("imputed without any DDs")
+	}
+}
+
+func TestMaxCandidatesCap(t *testing.T) {
+	rel := table2(t)
+	dds := figure1DDs(t, rel.Schema())
+	im, err := New(dds, Config{MaxCandidates: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := im.Impute(rel); err != nil {
+		t.Fatal(err)
+	}
+}

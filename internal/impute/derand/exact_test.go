@@ -1,0 +1,134 @@
+package derand
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/rfd"
+)
+
+func newExactForTest(t *testing.T, dds rfd.Set, maxNodes int) *Exact {
+	t.Helper()
+	im, err := New(dds, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewExact(im, maxNodes)
+}
+
+func TestExactImputesTable2(t *testing.T) {
+	rel := table2(t)
+	ex := newExactForTest(t, figure1DDs(t, rel.Schema()), 0)
+	out, err := ex.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CountMissing() >= rel.CountMissing() {
+		t.Errorf("exact search made no progress: %d -> %d",
+			rel.CountMissing(), out.CountMissing())
+	}
+	if ex.Name() != "Derand-Exact" {
+		t.Errorf("Name = %q", ex.Name())
+	}
+}
+
+func TestExactAtLeastAsManyAsDerand(t *testing.T) {
+	// On the same instance and DD set, the exact optimum can never
+	// impute fewer cells than the heuristic.
+	rel := table2(t)
+	dds := figure1DDs(t, rel.Schema())
+	heuristic, err := New(dds, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hOut, err := heuristic.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExact(heuristic, 0)
+	eOut, err := ex.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eOut.CountMissing() > hOut.CountMissing() {
+		t.Errorf("exact left %d missing, heuristic %d",
+			eOut.CountMissing(), hOut.CountMissing())
+	}
+}
+
+func TestExactSolvesForcedTradeoff(t *testing.T) {
+	// Two cells share a constraint: picking the greedy value for cell 1
+	// blocks cell 2, while the optimum imputes both. K rows propose B
+	// values; C(<=0) -> B(<=0) links rows with equal C.
+	rel, err := dataset.ReadCSVString(`K,B,C
+a,v1,c1
+ab,v2,c9
+a,,c1
+ab,,c9
+a,v1,c1
+ab,v2,c9
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := rel.Schema()
+	dds := rfd.Set{
+		rfd.MustParse("K(<=1) -> B(<=100)", schema),
+		rfd.MustParse("C(<=0) -> B(<=0)", schema),
+	}
+	ex := newExactForTest(t, dds, 0)
+	out, err := ex.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both cells are imputable consistently: row2.B = v1 (C group c1),
+	// row3.B = v2 (C group c9).
+	if got := out.Get(2, 1); got.Str() != "v1" {
+		t.Errorf("row2.B = %v, want v1", got)
+	}
+	if got := out.Get(3, 1); got.Str() != "v2" {
+		t.Errorf("row3.B = %v, want v2", got)
+	}
+}
+
+func TestExactNodeBudget(t *testing.T) {
+	rel := table2(t)
+	ex := newExactForTest(t, figure1DDs(t, rel.Schema()), 1)
+	out, err := ex.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With one node nothing can be proven; the method still returns a
+	// well-formed relation.
+	if out.Len() != rel.Len() {
+		t.Errorf("shape changed")
+	}
+}
+
+func TestExactContextCancellation(t *testing.T) {
+	rel := table2(t)
+	ex := newExactForTest(t, figure1DDs(t, rel.Schema()), 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ex.ImputeContext(ctx, rel)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want Canceled", err)
+	}
+}
+
+func TestExactNoMissingCells(t *testing.T) {
+	rel, err := dataset.ReadCSVString("A,B\nx,1\ny,2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := newExactForTest(t, nil, 0)
+	out, err := ex.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(rel) {
+		t.Error("complete instance changed")
+	}
+}

@@ -1,0 +1,377 @@
+// Package holoclean reimplements, in Go and scoped to missing-value
+// imputation, the holistic probabilistic repair approach of Rekatsinas et
+// al. [20] (HoloClean, VLDB 2017) — the machine-learning baseline of the
+// paper's comparative evaluation.
+//
+// The pipeline mirrors HoloClean's imputation path:
+//
+//	domain generation — candidate values for a cell are active-domain
+//	    values of the attribute that co-occur with the tuple's observed
+//	    values, capped to the strongest co-occurrences;
+//	featurization — each (cell, candidate) pair gets co-occurrence,
+//	    frequency-prior, and denial-constraint-violation features;
+//	weight learning — feature weights are learned from the observed
+//	    cells by empirical-risk minimization on a softmax pseudo-
+//	    likelihood (hide an observed cell, make the model rank its true
+//	    value first);
+//	inference — each missing cell takes its MAP candidate, optionally
+//	    abstaining below a confidence threshold.
+package holoclean
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/dc"
+)
+
+// Config tunes the imputer.
+type Config struct {
+	// DCs are the denial constraints whose violations featurize repairs.
+	DCs []*dc.DC
+	// MaxDomain caps each cell's candidate domain. Zero means 20.
+	MaxDomain int
+	// TrainSamples is how many observed cells are hidden to learn the
+	// feature weights. Zero means 200.
+	TrainSamples int
+	// Epochs is the number of SGD passes. Zero means 3.
+	Epochs int
+	// LearningRate for SGD. Zero means 0.1.
+	LearningRate float64
+	// MinConfidence makes inference abstain when the MAP candidate's
+	// softmax probability is below the threshold. Zero imputes always.
+	MinConfidence float64
+	// Seed drives training-cell sampling.
+	Seed int64
+}
+
+const featureCount = 3 // co-occurrence, frequency prior, DC violations
+
+// Imputer is the HoloClean-style method.
+type Imputer struct {
+	cfg Config
+}
+
+// New returns a HoloClean-style imputer.
+func New(cfg Config) (*Imputer, error) {
+	if cfg.MaxDomain == 0 {
+		cfg.MaxDomain = 20
+	}
+	if cfg.MaxDomain < 0 {
+		return nil, fmt.Errorf("holoclean: negative MaxDomain")
+	}
+	if cfg.TrainSamples == 0 {
+		cfg.TrainSamples = 200
+	}
+	if cfg.Epochs == 0 {
+		cfg.Epochs = 3
+	}
+	if cfg.LearningRate == 0 {
+		cfg.LearningRate = 0.1
+	}
+	if cfg.MinConfidence < 0 || cfg.MinConfidence > 1 {
+		return nil, fmt.Errorf("holoclean: MinConfidence %v outside [0,1]", cfg.MinConfidence)
+	}
+	return &Imputer{cfg: cfg}, nil
+}
+
+// Name implements impute.Method.
+func (im *Imputer) Name() string { return "Holoclean" }
+
+// Impute implements impute.Method.
+func (im *Imputer) Impute(rel *dataset.Relation) (*dataset.Relation, error) {
+	return im.ImputeContext(context.Background(), rel)
+}
+
+// ImputeContext implements impute.ContextMethod: the context is checked
+// per inferred cell (training is bounded by TrainSamples and runs
+// uninterrupted).
+func (im *Imputer) ImputeContext(ctx context.Context, rel *dataset.Relation) (*dataset.Relation, error) {
+	out := rel.Clone()
+	stats := buildStats(rel)
+	weights := im.learnWeights(rel, stats)
+
+	for _, cell := range rel.MissingCells() {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		cands := im.domain(rel, stats, cell.Row, cell.Attr)
+		if len(cands) == 0 {
+			continue
+		}
+		value, confidence := im.infer(out, stats, weights, cell, cands)
+		if value.IsNull() {
+			continue
+		}
+		if im.cfg.MinConfidence > 0 && confidence < im.cfg.MinConfidence {
+			continue
+		}
+		out.Set(cell.Row, cell.Attr, value)
+	}
+	return out, nil
+}
+
+// infer scores each candidate with the learned weights and returns the
+// MAP value and its softmax probability.
+func (im *Imputer) infer(work *dataset.Relation, stats *coStats, weights []float64,
+	cell dataset.Cell, cands []dataset.Value) (dataset.Value, float64) {
+
+	scores := make([]float64, len(cands))
+	for i, v := range cands {
+		f := im.features(work, stats, cell, v)
+		for k := 0; k < featureCount; k++ {
+			scores[i] += weights[k] * f[k]
+		}
+	}
+	probs := softmax(scores)
+	best := 0
+	for i := range probs {
+		if probs[i] > probs[best] {
+			best = i
+		}
+	}
+	return cands[best], probs[best]
+}
+
+// features builds the candidate's feature vector at the cell.
+func (im *Imputer) features(work *dataset.Relation, stats *coStats, cell dataset.Cell, v dataset.Value) [featureCount]float64 {
+	var f [featureCount]float64
+	f[0] = stats.coocScore(work.Row(cell.Row), cell.Attr, v)
+	f[1] = stats.frequency(cell.Attr, v)
+	f[2] = im.violationPenalty(work, cell, v)
+	return f
+}
+
+// violationPenalty counts (negated, normalized) the DC violations the
+// assignment would introduce for the cell's tuple.
+func (im *Imputer) violationPenalty(work *dataset.Relation, cell dataset.Cell, v dataset.Value) float64 {
+	if len(im.cfg.DCs) == 0 {
+		return 0
+	}
+	old := work.Get(cell.Row, cell.Attr)
+	work.Set(cell.Row, cell.Attr, v)
+	violations := 0
+	for _, d := range im.cfg.DCs {
+		if !d.InvolvesAttr(cell.Attr) {
+			continue
+		}
+		violations += d.ViolationsInvolving(work, cell.Row)
+	}
+	work.Set(cell.Row, cell.Attr, old)
+	return -float64(violations) / float64(work.Len())
+}
+
+// domain generates the candidate values for a cell: active-domain values
+// of the attribute ranked by their co-occurrence with the tuple's
+// observed cells, falling back to global frequency when the tuple has no
+// informative neighbours.
+func (im *Imputer) domain(rel *dataset.Relation, stats *coStats, row, attr int) []dataset.Value {
+	t := rel.Row(row)
+	type scored struct {
+		v     dataset.Value
+		score float64
+	}
+	var all []scored
+	for _, v := range stats.domains[attr] {
+		s := stats.coocScore(t, attr, v)
+		if s == 0 {
+			s = stats.frequency(attr, v) * 1e-3 // frequency fallback, dominated by any co-occurrence
+		}
+		all = append(all, scored{v: v, score: s})
+	}
+	sort.SliceStable(all, func(a, b int) bool { return all[a].score > all[b].score })
+	if len(all) > im.cfg.MaxDomain {
+		all = all[:im.cfg.MaxDomain]
+	}
+	out := make([]dataset.Value, len(all))
+	for i, s := range all {
+		out[i] = s.v
+	}
+	return out
+}
+
+// learnWeights hides sampled observed cells and fits the softmax weights
+// so the true value ranks first among the cell's candidates.
+func (im *Imputer) learnWeights(rel *dataset.Relation, stats *coStats) []float64 {
+	weights := make([]float64, featureCount)
+	for i := range weights {
+		weights[i] = 1 // co-occurrence, frequency and consistency all start helpful
+	}
+	type example struct {
+		cell  dataset.Cell
+		true_ dataset.Value
+	}
+	rng := rand.New(rand.NewSource(im.cfg.Seed))
+	var observed []dataset.Cell
+	for i := 0; i < rel.Len(); i++ {
+		for j := 0; j < rel.Schema().Len(); j++ {
+			if !rel.Get(i, j).IsNull() {
+				observed = append(observed, dataset.Cell{Row: i, Attr: j})
+			}
+		}
+	}
+	if len(observed) == 0 {
+		return weights
+	}
+	rng.Shuffle(len(observed), func(a, b int) { observed[a], observed[b] = observed[b], observed[a] })
+	if len(observed) > im.cfg.TrainSamples {
+		observed = observed[:im.cfg.TrainSamples]
+	}
+	var examples []example
+	for _, c := range observed {
+		examples = append(examples, example{cell: c, true_: rel.Get(c.Row, c.Attr)})
+	}
+
+	work := rel.Clone()
+	for epoch := 0; epoch < im.cfg.Epochs; epoch++ {
+		for _, ex := range examples {
+			work.Set(ex.cell.Row, ex.cell.Attr, dataset.Null)
+			cands := im.domain(work, stats, ex.cell.Row, ex.cell.Attr)
+			trueIdx := -1
+			for i, v := range cands {
+				if v.Equal(ex.true_) {
+					trueIdx = i
+					break
+				}
+			}
+			if trueIdx >= 0 && len(cands) > 1 {
+				im.sgdStep(work, stats, weights, ex.cell, cands, trueIdx)
+			}
+			work.Set(ex.cell.Row, ex.cell.Attr, ex.true_)
+		}
+	}
+	return weights
+}
+
+// sgdStep applies one softmax cross-entropy gradient step.
+func (im *Imputer) sgdStep(work *dataset.Relation, stats *coStats, weights []float64,
+	cell dataset.Cell, cands []dataset.Value, trueIdx int) {
+
+	feats := make([][featureCount]float64, len(cands))
+	scores := make([]float64, len(cands))
+	for i, v := range cands {
+		feats[i] = im.features(work, stats, cell, v)
+		for k := 0; k < featureCount; k++ {
+			scores[i] += weights[k] * feats[i][k]
+		}
+	}
+	probs := softmax(scores)
+	for k := 0; k < featureCount; k++ {
+		grad := feats[trueIdx][k]
+		for i := range cands {
+			grad -= probs[i] * feats[i][k]
+		}
+		weights[k] += im.cfg.LearningRate * grad
+	}
+}
+
+func softmax(scores []float64) []float64 {
+	max := scores[0]
+	for _, s := range scores[1:] {
+		if s > max {
+			max = s
+		}
+	}
+	sum := 0.0
+	out := make([]float64, len(scores))
+	for i, s := range scores {
+		out[i] = math.Exp(s - max)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// coStats holds the co-occurrence and frequency statistics of the
+// observed data.
+type coStats struct {
+	n       int
+	domains [][]dataset.Value // active domain per attribute
+	// count[A][value] = occurrences of A=value.
+	count []map[string]int
+	// pair[B*m+A]["b\x00a"] = co-occurrences of (B=b, A=a), B != A.
+	pair []map[string]int
+	m    int
+}
+
+func buildStats(rel *dataset.Relation) *coStats {
+	m := rel.Schema().Len()
+	s := &coStats{
+		n:       rel.Len(),
+		domains: make([][]dataset.Value, m),
+		count:   make([]map[string]int, m),
+		pair:    make([]map[string]int, m*m),
+		m:       m,
+	}
+	for a := 0; a < m; a++ {
+		s.domains[a] = rel.ActiveDomain(a)
+		s.count[a] = map[string]int{}
+	}
+	for i := 0; i < rel.Len(); i++ {
+		t := rel.Row(i)
+		for a := 0; a < m; a++ {
+			if t[a].IsNull() {
+				continue
+			}
+			s.count[a][t[a].String()]++
+			for b := 0; b < m; b++ {
+				if b == a || t[b].IsNull() {
+					continue
+				}
+				idx := b*m + a
+				if s.pair[idx] == nil {
+					s.pair[idx] = map[string]int{}
+				}
+				s.pair[idx][t[b].String()+"\x00"+t[a].String()]++
+			}
+		}
+	}
+	return s
+}
+
+// coocScore is the mean over the tuple's observed attributes B of the
+// conditional probability P(A=v | B=t[B]).
+func (s *coStats) coocScore(t dataset.Tuple, attr int, v dataset.Value) float64 {
+	sum, cnt := 0.0, 0
+	vs := v.String()
+	for b := range t {
+		if b == attr || t[b].IsNull() {
+			continue
+		}
+		bs := t[b].String()
+		denom := s.count[b][bs]
+		if denom == 0 {
+			continue
+		}
+		pairs := s.pair[b*s.m+attr]
+		num := 0
+		if pairs != nil {
+			num = pairs[bs+"\x00"+vs]
+		}
+		sum += float64(num) / float64(denom)
+		cnt++
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}
+
+// frequency is the global empirical probability of A=v among observed
+// cells of A.
+func (s *coStats) frequency(attr int, v dataset.Value) float64 {
+	total := 0
+	for _, c := range s.count[attr] {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(s.count[attr][v.String()]) / float64(total)
+}

@@ -1,0 +1,233 @@
+package holoclean
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/dc"
+)
+
+func citySample(t testing.TB) *dataset.Relation {
+	t.Helper()
+	rel, err := dataset.ReadCSVString(`Zip,City,State
+10001,NYC,NY
+10001,NYC,NY
+10001,NYC,NY
+90210,LA,CA
+90210,LA,CA
+10001,,NY
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{MaxDomain: -1}); err == nil {
+		t.Error("negative MaxDomain accepted")
+	}
+	if _, err := New(Config{MinConfidence: 1.5}); err == nil {
+		t.Error("MinConfidence > 1 accepted")
+	}
+	im, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Name() != "Holoclean" {
+		t.Errorf("Name = %q", im.Name())
+	}
+}
+
+func TestImputesFromCooccurrence(t *testing.T) {
+	rel := citySample(t)
+	im, err := New(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := im.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Get(5, 1); got.Str() != "NYC" {
+		t.Errorf("imputed City = %q, want NYC (co-occurs with Zip 10001 and State NY)", got.Str())
+	}
+	if !rel.Get(5, 1).IsNull() {
+		t.Error("input mutated")
+	}
+}
+
+func TestDCsSteerInference(t *testing.T) {
+	// Without DCs the frequency prior favours the majority value "red";
+	// the DC (Key = -> Color !=) forbids disagreeing with the same-Key
+	// row, steering the repair to "blue".
+	rel, err := dataset.ReadCSVString(`Key,Color,Pad
+k1,red,p
+k2,red,p
+k3,red,p
+k4,blue,q
+k4,,q
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dc.MustNew(dc.Predicate{Attr: 0, Op: dc.Eq}, dc.Predicate{Attr: 1, Op: dc.Neq})
+	im, err := New(Config{DCs: []*dc.DC{d}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := im.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Get(4, 1); got.Str() != "blue" {
+		t.Errorf("imputed Color = %q, want blue (DC-consistent)", got.Str())
+	}
+}
+
+func TestMinConfidenceAbstains(t *testing.T) {
+	// Two equally plausible values -> confidence ~0.5; a 0.9 threshold
+	// must abstain.
+	rel, err := dataset.ReadCSVString(`A,B
+x,1
+x,2
+y,1
+y,2
+x,
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := New(Config{MinConfidence: 0.9, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := strict.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Get(4, 1).IsNull() {
+		t.Errorf("imputed %v despite low confidence", out.Get(4, 1))
+	}
+	always, err := New(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := always.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Get(4, 1).IsNull() {
+		t.Error("zero threshold should always impute")
+	}
+}
+
+func TestEmptyDomainLeavesMissing(t *testing.T) {
+	// Attribute B has no observed value at all.
+	rel, err := dataset.ReadCSVString("A,B\nx,\ny,\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := New(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := im.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Get(0, 1).IsNull() || !out.Get(1, 1).IsNull() {
+		t.Error("imputed from an empty domain")
+	}
+}
+
+func TestDeterminismWithFixedSeed(t *testing.T) {
+	rel := citySample(t)
+	im, err := New(Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := im.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := im.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("same-seed runs diverged")
+	}
+}
+
+func TestWeightLearningImprovesSignal(t *testing.T) {
+	// After training on a strongly co-occurring dataset the co-occurrence
+	// weight must stay positive and finite.
+	rel := citySample(t)
+	im, err := New(Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := buildStats(rel)
+	w := im.learnWeights(rel, stats)
+	if len(w) != featureCount {
+		t.Fatalf("weights = %v", w)
+	}
+	for i, wi := range w {
+		if wi != wi || wi > 1e6 || wi < -1e6 { // NaN or exploded
+			t.Errorf("weight %d = %v", i, wi)
+		}
+	}
+}
+
+func TestDomainCapAndRanking(t *testing.T) {
+	rel := citySample(t)
+	im, err := New(Config{MaxDomain: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := buildStats(rel)
+	cands := im.domain(rel, stats, 5, 1)
+	if len(cands) != 1 {
+		t.Fatalf("domain = %v, want 1 candidate", cands)
+	}
+	if cands[0].Str() != "NYC" {
+		t.Errorf("top candidate = %q, want NYC", cands[0].Str())
+	}
+}
+
+func TestCoocScoreAndFrequency(t *testing.T) {
+	rel := citySample(t)
+	stats := buildStats(rel)
+	city := 1
+	nyc := dataset.NewString("NYC")
+	la := dataset.NewString("LA")
+	// Row 5 observes Zip=10001 and State=NY: P(NYC|10001)=3/4 wait — zip
+	// 10001 appears 4 times (rows 0,1,2,5) but row 5's City is null, so
+	// the pair count is 3 and the marginal count of Zip=10001 is 4.
+	s := stats.coocScore(rel.Row(5), city, nyc)
+	if s <= stats.coocScore(rel.Row(5), city, la) {
+		t.Error("NYC must outscore LA for a 10001/NY tuple")
+	}
+	if f := stats.frequency(city, nyc); f != 3.0/5.0 {
+		t.Errorf("frequency(NYC) = %v, want 0.6", f)
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	p := softmax([]float64{0, 0})
+	if p[0] != 0.5 || p[1] != 0.5 {
+		t.Errorf("softmax uniform = %v", p)
+	}
+	p = softmax([]float64{1000, 0})
+	if p[0] < 0.999 {
+		t.Errorf("softmax extreme = %v (overflow?)", p)
+	}
+	sum := 0.0
+	for _, v := range softmax([]float64{1, 2, 3}) {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("softmax sum = %v", sum)
+	}
+}

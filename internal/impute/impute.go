@@ -1,0 +1,31 @@
+// Package impute defines the interface every imputation method in this
+// repository implements — RENUVER itself and the three comparison
+// baselines of Sec. 6.3 (grey-based kNN [14], Derand [23], and the
+// Holoclean-style probabilistic repairer [20]).
+package impute
+
+import (
+	"context"
+
+	"repro/internal/dataset"
+)
+
+// Method fills missing values in a relation instance. Implementations
+// never mutate the input; they return an imputed clone. Cells a method
+// cannot (or refuses to) fill stay null.
+type Method interface {
+	// Name identifies the method in experiment reports.
+	Name() string
+	// Impute returns the imputed clone of rel.
+	Impute(rel *dataset.Relation) (*dataset.Relation, error)
+}
+
+// ContextMethod is optionally implemented by methods that support
+// cooperative cancellation. A cancelled run returns the partial result
+// it had produced together with the context's error; the evaluation
+// harness uses this to enforce time budgets without abandoning
+// goroutines.
+type ContextMethod interface {
+	Method
+	ImputeContext(ctx context.Context, rel *dataset.Relation) (*dataset.Relation, error)
+}

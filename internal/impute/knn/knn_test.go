@@ -1,0 +1,245 @@
+package knn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{K: -1}); err == nil {
+		t.Error("negative K accepted")
+	}
+	if _, err := New(Config{Zeta: 2}); err == nil {
+		t.Error("zeta > 1 accepted")
+	}
+	if _, err := New(Config{Zeta: -0.5}); err == nil {
+		t.Error("negative zeta accepted")
+	}
+	im, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.cfg.K != DefaultK || im.cfg.Zeta != DefaultZeta {
+		t.Errorf("defaults not applied: %+v", im.cfg)
+	}
+	if im.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestNumericImputationNearNeighbours(t *testing.T) {
+	// Rows cluster in two groups by X; the missing Y must be filled from
+	// its own cluster's Y values.
+	rel, err := dataset.ReadCSVString(`X,Y
+1.0,10.0
+1.1,10.2
+1.2,9.8
+9.0,50.0
+9.1,50.4
+9.2,
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := New(Config{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := im.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.Get(5, 1)
+	if got.IsNull() {
+		t.Fatal("Y not imputed")
+	}
+	if got.Float() < 49 || got.Float() > 51 {
+		t.Errorf("imputed Y = %v, want near 50 (same cluster)", got.Float())
+	}
+}
+
+func TestIntAttributeRoundsToInt(t *testing.T) {
+	rel, err := dataset.ReadCSVString(`X,Y
+1,10
+1,11
+1,
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := New(Config{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := im.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.Get(2, 1)
+	if got.Kind() != dataset.KindInt {
+		t.Errorf("imputed kind = %v, want int", got.Kind())
+	}
+	if got.Int() != 10 && got.Int() != 11 {
+		t.Errorf("imputed Y = %v, want 10 or 11", got.Int())
+	}
+}
+
+func TestCategoricalModeImputation(t *testing.T) {
+	rel, err := dataset.ReadCSVString(`Group,Label
+a,red
+a,red
+a,blue
+b,green
+a,
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := New(Config{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := im.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Get(4, 1); got.Str() != "red" {
+		t.Errorf("imputed Label = %q, want red (weighted mode)", got.Str())
+	}
+}
+
+func TestNoDonorsLeavesMissing(t *testing.T) {
+	rel, err := dataset.ReadCSVString(`X,Y
+1,
+2,
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := im.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Get(0, 1).IsNull() || !out.Get(1, 1).IsNull() {
+		t.Error("imputed with no donors available")
+	}
+}
+
+func TestNoOverlapLeavesMissing(t *testing.T) {
+	// The incomplete tuple shares no observed attribute with the donor.
+	rel, err := dataset.ReadCSVString(`A,B,C
+x,,1
+,y,
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := im.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 1's C: only donor is row 0, whose observed attrs are {A, C};
+	// row 1 observes only {B} besides the target -> no overlap.
+	if !out.Get(1, 2).IsNull() {
+		t.Error("imputed despite zero attribute overlap")
+	}
+}
+
+func TestInputNotMutated(t *testing.T) {
+	rel, err := dataset.ReadCSVString("X,Y\n1,10\n1,\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := im.Impute(rel); err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Get(1, 1).IsNull() {
+		t.Error("input mutated")
+	}
+}
+
+func TestGreyGradeProperties(t *testing.T) {
+	rel, err := dataset.ReadCSVString(`X,Y,Z
+0,0,a
+10,10,b
+5,5,c
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := newNormalizer(rel)
+	t0, t1, t2 := rel.Row(0), rel.Row(1), rel.Row(2)
+	// Identical tuples have grade 1 (all deltas 0).
+	g, n := greyGrade(t0, t0, 2, norm, 0.5)
+	if n != 2 || math.Abs(g-1) > 1e-12 {
+		t.Errorf("self grade = %v over %d attrs, want 1 over 2", g, n)
+	}
+	// The far pair must have a lower grade than the near pair.
+	gFar, _ := greyGrade(t0, t1, 2, norm, 0.5)
+	gNear, _ := greyGrade(t0, t2, 2, norm, 0.5)
+	if gFar >= gNear {
+		t.Errorf("grade(far)=%v >= grade(near)=%v", gFar, gNear)
+	}
+	// Grades live in (0, 1].
+	if gFar <= 0 || gFar > 1 || gNear <= 0 || gNear > 1 {
+		t.Errorf("grades out of range: %v %v", gFar, gNear)
+	}
+}
+
+func TestNormalizerStringsAndBools(t *testing.T) {
+	rel, err := dataset.ReadCSVString(`S,B
+abc,true
+abd,false
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := newNormalizer(rel)
+	d := norm.normalizedDistance(0, rel.Get(0, 0), rel.Get(1, 0))
+	if d <= 0 || d > 1 {
+		t.Errorf("string distance = %v", d)
+	}
+	if got := norm.normalizedDistance(1, rel.Get(0, 1), rel.Get(1, 1)); got != 1 {
+		t.Errorf("bool distance = %v, want 1", got)
+	}
+	if got := norm.normalizedDistance(1, rel.Get(0, 1), rel.Get(0, 1)); got != 0 {
+		t.Errorf("bool self distance = %v, want 0", got)
+	}
+}
+
+func TestConstantNumericAttribute(t *testing.T) {
+	// Zero range: distance degenerates to exact-match 0/1 without NaNs.
+	rel, err := dataset.ReadCSVString("X,Y\n5,1\n5,2\n5,\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := im.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.Get(2, 1)
+	if got.IsNull() {
+		t.Fatal("not imputed")
+	}
+	if f := got.Float(); f < 1 || f > 2 {
+		t.Errorf("imputed %v, want within donor range", f)
+	}
+}

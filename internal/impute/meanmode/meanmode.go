@@ -1,0 +1,106 @@
+// Package meanmode implements the classical statistical imputation
+// floor: numeric attributes take the column mean, everything else the
+// column mode. It is the sanity baseline every imputation study keeps
+// around (cf. Batista & Monard [1] in the paper's references) — any
+// method that loses to it is not using the record's context at all.
+package meanmode
+
+import (
+	"context"
+	"math"
+
+	"repro/internal/dataset"
+)
+
+// Imputer fills every missing cell from its column's summary statistic.
+type Imputer struct{}
+
+// New returns the mean/mode imputer.
+func New() *Imputer { return &Imputer{} }
+
+// Name implements impute.Method.
+func (im *Imputer) Name() string { return "Mean/Mode" }
+
+// ImputeContext implements impute.ContextMethod; the method is a single
+// cheap pass, so only an upfront cancellation check is needed.
+func (im *Imputer) ImputeContext(ctx context.Context, rel *dataset.Relation) (*dataset.Relation, error) {
+	if err := ctx.Err(); err != nil {
+		return rel.Clone(), err
+	}
+	return im.Impute(rel)
+}
+
+// Impute implements impute.Method. Column statistics are computed over
+// the observed cells of the input; a column with no observed values
+// stays missing.
+func (im *Imputer) Impute(rel *dataset.Relation) (*dataset.Relation, error) {
+	out := rel.Clone()
+	m := rel.Schema().Len()
+	fills := make([]dataset.Value, m)
+	for a := 0; a < m; a++ {
+		fills[a] = columnFill(rel, a)
+	}
+	for i := 0; i < out.Len(); i++ {
+		for a := 0; a < m; a++ {
+			if out.Get(i, a).IsNull() && !fills[a].IsNull() {
+				out.Set(i, a, fills[a])
+			}
+		}
+	}
+	return out, nil
+}
+
+// columnFill computes the column's fill value: mean for numerics
+// (rounded for int columns), mode for strings and booleans.
+func columnFill(rel *dataset.Relation, attr int) dataset.Value {
+	kind := rel.Schema().Attr(attr).Kind
+	if kind.Numeric() {
+		sum, n := 0.0, 0
+		for i := 0; i < rel.Len(); i++ {
+			v := rel.Get(i, attr)
+			if v.IsNull() {
+				continue
+			}
+			sum += v.Float()
+			n++
+		}
+		if n == 0 {
+			return dataset.Null
+		}
+		mean := sum / float64(n)
+		if kind == dataset.KindInt {
+			return dataset.NewInt(int64(math.Round(mean)))
+		}
+		return dataset.NewFloat(mean)
+	}
+	counts := map[string]int{}
+	first := map[string]int{}
+	var keys []string
+	for i := 0; i < rel.Len(); i++ {
+		v := rel.Get(i, attr)
+		if v.IsNull() {
+			continue
+		}
+		k := v.String()
+		if _, seen := counts[k]; !seen {
+			first[k] = i
+			keys = append(keys, k)
+		}
+		counts[k]++
+	}
+	if len(keys) == 0 {
+		return dataset.Null
+	}
+	best := keys[0]
+	for _, k := range keys[1:] {
+		if counts[k] > counts[best] || (counts[k] == counts[best] && first[k] < first[best]) {
+			best = k
+		}
+	}
+	for i := 0; i < rel.Len(); i++ {
+		if v := rel.Get(i, attr); !v.IsNull() && v.String() == best {
+			return v
+		}
+	}
+	return dataset.Null
+}

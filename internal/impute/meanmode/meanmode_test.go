@@ -1,0 +1,113 @@
+package meanmode
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestMeanForNumeric(t *testing.T) {
+	rel, err := dataset.ReadCSVString("X\n1.0\n2.0\n6.0\n_\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := New().Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Get(3, 0).Float(); got != 3 {
+		t.Errorf("mean fill = %v, want 3", got)
+	}
+}
+
+func TestMeanRoundsForIntColumns(t *testing.T) {
+	rel, err := dataset.ReadCSVString("X\n1\n2\n_\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := New().Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.Get(2, 0)
+	if got.Kind() != dataset.KindInt {
+		t.Errorf("kind = %v, want int", got.Kind())
+	}
+	if got.Int() != 2 { // 1.5 rounds to 2
+		t.Errorf("fill = %v", got.Int())
+	}
+}
+
+func TestModeForStrings(t *testing.T) {
+	rel, err := dataset.ReadCSVString("C\nred\nred\nblue\n_\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := New().Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Get(3, 0).Str(); got != "red" {
+		t.Errorf("mode fill = %q", got)
+	}
+}
+
+func TestModeTieBreaksByFirstAppearance(t *testing.T) {
+	rel, err := dataset.ReadCSVString("C\nb\na\nb\na\n_\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := New().Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Get(4, 0).Str(); got != "b" {
+		t.Errorf("tie fill = %q, want b (first seen)", got)
+	}
+}
+
+func TestEmptyColumnStaysMissing(t *testing.T) {
+	rel, err := dataset.ReadCSVString("A,B\nx,\ny,\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := New().Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Get(0, 1).IsNull() {
+		t.Error("filled from an empty column")
+	}
+}
+
+func TestInputNotMutatedAndName(t *testing.T) {
+	rel, err := dataset.ReadCSVString("X\n1\n_\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := New()
+	if im.Name() == "" {
+		t.Error("empty name")
+	}
+	if _, err := im.Impute(rel); err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Get(1, 0).IsNull() {
+		t.Error("input mutated")
+	}
+}
+
+func TestBooleanMode(t *testing.T) {
+	rel, err := dataset.ReadCSVString("F\ntrue\ntrue\nfalse\n_\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := New().Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.Get(3, 0)
+	if got.Kind() != dataset.KindBool || !got.Bool() {
+		t.Errorf("bool fill = %v", got)
+	}
+}

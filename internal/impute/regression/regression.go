@@ -1,0 +1,232 @@
+// Package regression implements a local linear-regression imputer in the
+// spirit of Zhang et al. [26] ("Learning individual models for
+// imputation", ICDE 2019), the regression class of the paper's related
+// work: instead of one global model, each incomplete tuple gets its own
+// model, fitted by ordinary least squares on the K complete tuples most
+// similar to it. The method addresses the two problems [26] names —
+// sparsity (not enough globally complete tuples) is mitigated by fitting
+// on tuples complete *for the needed attributes* only, and data
+// heterogeneity by the per-tuple locality of the fit.
+//
+// Only numeric attributes are imputable; the predictors are the numeric
+// attributes observed on the incomplete tuple.
+package regression
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// Config tunes the imputer.
+type Config struct {
+	// K is the neighbourhood size each individual model is fitted on.
+	// Zero means 10.
+	K int
+	// Ridge is the L2 regularizer added to the normal equations, keeping
+	// tiny neighbourhoods well-posed. Zero means 1e-6.
+	Ridge float64
+}
+
+// Imputer is the local-regression method.
+type Imputer struct {
+	cfg Config
+}
+
+// New returns a local linear-regression imputer.
+func New(cfg Config) (*Imputer, error) {
+	if cfg.K == 0 {
+		cfg.K = 10
+	}
+	if cfg.K < 2 {
+		return nil, fmt.Errorf("regression: K %d too small to fit a model", cfg.K)
+	}
+	if cfg.Ridge == 0 {
+		cfg.Ridge = 1e-6
+	}
+	if cfg.Ridge < 0 {
+		return nil, fmt.Errorf("regression: negative ridge %v", cfg.Ridge)
+	}
+	return &Imputer{cfg: cfg}, nil
+}
+
+// Name implements impute.Method.
+func (im *Imputer) Name() string { return fmt.Sprintf("LocalLR(k=%d)", im.cfg.K) }
+
+// Impute implements impute.Method.
+func (im *Imputer) Impute(rel *dataset.Relation) (*dataset.Relation, error) {
+	return im.ImputeContext(context.Background(), rel)
+}
+
+// ImputeContext implements impute.ContextMethod: the context is checked
+// per fitted cell.
+func (im *Imputer) ImputeContext(ctx context.Context, rel *dataset.Relation) (*dataset.Relation, error) {
+	out := rel.Clone()
+	m := rel.Schema().Len()
+
+	numeric := make([]bool, m)
+	for a := 0; a < m; a++ {
+		numeric[a] = rel.Schema().Attr(a).Kind.Numeric()
+	}
+
+	for _, cell := range rel.MissingCells() {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		if !numeric[cell.Attr] {
+			continue
+		}
+		t := rel.Row(cell.Row)
+		// Predictors: numeric attributes observed on t, target excluded.
+		var preds []int
+		for a := 0; a < m; a++ {
+			if a != cell.Attr && numeric[a] && !t[a].IsNull() {
+				preds = append(preds, a)
+			}
+		}
+		v, ok := im.fitAndPredict(rel, cell.Row, cell.Attr, preds)
+		if !ok {
+			continue
+		}
+		if rel.Schema().Attr(cell.Attr).Kind == dataset.KindInt {
+			out.Set(cell.Row, cell.Attr, dataset.NewInt(int64(math.Round(v))))
+		} else {
+			out.Set(cell.Row, cell.Attr, dataset.NewFloat(v))
+		}
+	}
+	return out, nil
+}
+
+// fitAndPredict fits the individual model for one cell on its K nearest
+// training tuples and evaluates it at the incomplete tuple.
+func (im *Imputer) fitAndPredict(rel *dataset.Relation, row, target int, preds []int) (float64, bool) {
+	t := rel.Row(row)
+
+	// Training pool: tuples with the target and every predictor present.
+	type cand struct {
+		row  int
+		dist float64
+	}
+	var pool []cand
+	for j := 0; j < rel.Len(); j++ {
+		if j == row {
+			continue
+		}
+		tj := rel.Row(j)
+		if tj[target].IsNull() {
+			continue
+		}
+		usable, dist := true, 0.0
+		for _, a := range preds {
+			if tj[a].IsNull() {
+				usable = false
+				break
+			}
+			d := t[a].Float() - tj[a].Float()
+			dist += d * d
+		}
+		if usable {
+			pool = append(pool, cand{row: j, dist: dist})
+		}
+	}
+	if len(pool) == 0 {
+		return 0, false
+	}
+	sort.Slice(pool, func(a, b int) bool {
+		if pool[a].dist != pool[b].dist {
+			return pool[a].dist < pool[b].dist
+		}
+		return pool[a].row < pool[b].row
+	})
+	if len(pool) > im.cfg.K {
+		pool = pool[:im.cfg.K]
+	}
+
+	// With no predictors the individual model degenerates to the local
+	// mean of the neighbourhood.
+	if len(preds) == 0 {
+		sum := 0.0
+		for _, c := range pool {
+			sum += rel.Get(c.row, target).Float()
+		}
+		return sum / float64(len(pool)), true
+	}
+
+	// OLS with intercept via ridge-stabilized normal equations:
+	// (XᵀX + λI) w = Xᵀy.
+	p := len(preds) + 1
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p)
+	}
+	xty := make([]float64, p)
+	rowVec := make([]float64, p)
+	for _, c := range pool {
+		tj := rel.Row(c.row)
+		rowVec[0] = 1
+		for i, a := range preds {
+			rowVec[i+1] = tj[a].Float()
+		}
+		y := tj[target].Float()
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j++ {
+				xtx[i][j] += rowVec[i] * rowVec[j]
+			}
+			xty[i] += rowVec[i] * y
+		}
+	}
+	for i := 0; i < p; i++ {
+		xtx[i][i] += im.cfg.Ridge
+	}
+	w, ok := solve(xtx, xty)
+	if !ok {
+		return 0, false
+	}
+	pred := w[0]
+	for i, a := range preds {
+		pred += w[i+1] * t[a].Float()
+	}
+	if math.IsNaN(pred) || math.IsInf(pred, 0) {
+		return 0, false
+	}
+	return pred, true
+}
+
+// solve performs Gaussian elimination with partial pivoting on a copy of
+// the system. It reports false on a (numerically) singular matrix.
+func solve(a [][]float64, b []float64) ([]float64, bool) {
+	n := len(b)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64(nil), a[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-12 {
+			return nil, false
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = m[i][n] / m[i][i]
+	}
+	return x, true
+}

@@ -1,0 +1,198 @@
+package regression
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{K: 1}); err == nil {
+		t.Error("K=1 accepted")
+	}
+	if _, err := New(Config{Ridge: -1}); err == nil {
+		t.Error("negative ridge accepted")
+	}
+	im, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.cfg.K != 10 || im.Name() != "LocalLR(k=10)" {
+		t.Errorf("defaults: %+v, name %q", im.cfg, im.Name())
+	}
+}
+
+func TestRecoversExactLinearRelation(t *testing.T) {
+	// y = 3x + 2 exactly: the individual model must recover the missing
+	// y to machine-ish precision.
+	var doc = "X,Y\n"
+	for x := 1; x <= 12; x++ {
+		doc += fmt.Sprintf("%d.0,%d.0\n", x, 3*x+2)
+	}
+	doc += "20.0,\n"
+	rel, err := dataset.ReadCSVString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := New(Config{K: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := im.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.Get(12, 1)
+	if got.IsNull() {
+		t.Fatal("not imputed")
+	}
+	if math.Abs(got.Float()-62) > 0.01 {
+		t.Errorf("y(20) = %v, want 62", got.Float())
+	}
+}
+
+func TestLocalityBeatsGlobalModel(t *testing.T) {
+	// Two regimes (the heterogeneity problem of [26]): y = x for x<10,
+	// y = -x + 100 for x>=90. A tuple near the second regime must be
+	// predicted by its local model, not a global average fit.
+	doc := "X,Y\n"
+	for x := 1; x <= 8; x++ {
+		doc += fmt.Sprintf("%d.0,%d.0\n", x, x)
+	}
+	for x := 90; x <= 97; x++ {
+		doc += fmt.Sprintf("%d.0,%d.0\n", x, 100-x)
+	}
+	doc += "95.0,\n"
+	rel, err := dataset.ReadCSVString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := New(Config{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := im.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.Get(16, 1).Float()
+	if math.Abs(got-5) > 1 {
+		t.Errorf("y(95) = %v, want ≈5 (the local regime)", got)
+	}
+}
+
+func TestMultiPredictor(t *testing.T) {
+	// y = 2a + 3b - 1 with noise-free data and two predictors.
+	rng := rand.New(rand.NewSource(1))
+	doc := "A,B,Y\n"
+	for i := 0; i < 20; i++ {
+		a, b := rng.Float64()*10, rng.Float64()*10
+		doc += fmt.Sprintf("%g,%g,%g\n", a, b, 2*a+3*b-1)
+	}
+	doc += "5.0,5.0,\n"
+	rel, err := dataset.ReadCSVString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := New(Config{K: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := im.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.Get(20, 2).Float()
+	if math.Abs(got-24) > 0.5 {
+		t.Errorf("y(5,5) = %v, want ≈24", got)
+	}
+}
+
+func TestIntTargetRounds(t *testing.T) {
+	rel, err := dataset.ReadCSVString("X,Y\n1.0,10\n2.0,20\n3.0,30\n4.0,\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := New(Config{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := im.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.Get(3, 1)
+	if got.Kind() != dataset.KindInt {
+		t.Errorf("kind = %v", got.Kind())
+	}
+	if got.Int() < 38 || got.Int() > 42 {
+		t.Errorf("y(4) = %v, want ≈40", got.Int())
+	}
+}
+
+func TestStringsAndNoDonorsSkipped(t *testing.T) {
+	rel, err := dataset.ReadCSVString("S,Y\nabc,\nxyz,2.0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := im.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Y row 0: no numeric predictors observed -> local-mean fallback
+	// from the single donor.
+	if out.Get(0, 1).IsNull() {
+		t.Error("local-mean fallback did not fire")
+	}
+	// Missing string cells are not imputable by regression.
+	rel2, err := dataset.ReadCSVString("S,Y\n,1.0\nxyz,2.0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := im.Impute(rel2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out2.Get(0, 0).IsNull() {
+		t.Error("imputed a string cell")
+	}
+}
+
+func TestSolve(t *testing.T) {
+	// 2x2 well-posed system.
+	x, ok := solve([][]float64{{2, 1}, {1, 3}}, []float64{5, 10})
+	if !ok {
+		t.Fatal("solve failed")
+	}
+	if math.Abs(x[0]-1) > 1e-9 || math.Abs(x[1]-3) > 1e-9 {
+		t.Errorf("x = %v, want [1 3]", x)
+	}
+	// Singular system.
+	if _, ok := solve([][]float64{{1, 1}, {1, 1}}, []float64{1, 2}); ok {
+		t.Error("singular system solved")
+	}
+}
+
+func TestInputNotMutated(t *testing.T) {
+	rel, err := dataset.ReadCSVString("X,Y\n1.0,2.0\n2.0,\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := im.Impute(rel); err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Get(1, 1).IsNull() {
+		t.Error("input mutated")
+	}
+}

@@ -1,0 +1,170 @@
+// Package profile computes per-attribute summaries of a relation — the
+// first step of any cleaning workflow and the statistics that inform
+// threshold selection for RFDc discovery (domain width, null rate,
+// distinctness, typical pairwise distance).
+package profile
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/distance"
+)
+
+// ValueCount is one entry of an attribute's top-values list.
+type ValueCount struct {
+	Value string
+	Count int
+}
+
+// AttrProfile summarizes one attribute.
+type AttrProfile struct {
+	Name     string
+	Kind     dataset.Kind
+	Rows     int
+	Nulls    int
+	Distinct int
+	// Min/Max/Mean are populated for numeric attributes only.
+	Min, Max, Mean float64
+	// TopValues lists the most frequent values, ties broken
+	// alphabetically, capped by Options.TopK.
+	TopValues []ValueCount
+	// MeanPairDistance is the mean domain distance over sampled value
+	// pairs — the number a discovery threshold is calibrated against.
+	MeanPairDistance float64
+}
+
+// NullRate is the fraction of missing cells.
+func (p AttrProfile) NullRate() float64 {
+	if p.Rows == 0 {
+		return 0
+	}
+	return float64(p.Nulls) / float64(p.Rows)
+}
+
+// Options tunes profiling.
+type Options struct {
+	// TopK caps the per-attribute top-values list. Zero means 5.
+	TopK int
+	// SamplePairs caps the pairwise-distance sample. Zero means 1000.
+	SamplePairs int
+	// Seed drives pair sampling.
+	Seed int64
+}
+
+// Relation profiles every attribute of the instance.
+func Relation(rel *dataset.Relation, opts Options) []AttrProfile {
+	if opts.TopK == 0 {
+		opts.TopK = 5
+	}
+	if opts.SamplePairs == 0 {
+		opts.SamplePairs = 1000
+	}
+	m := rel.Schema().Len()
+	out := make([]AttrProfile, m)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for a := 0; a < m; a++ {
+		out[a] = profileAttr(rel, a, opts, rng)
+	}
+	return out
+}
+
+func profileAttr(rel *dataset.Relation, attr int, opts Options, rng *rand.Rand) AttrProfile {
+	p := AttrProfile{
+		Name: rel.Schema().Attr(attr).Name,
+		Kind: rel.Schema().Attr(attr).Kind,
+		Rows: rel.Len(),
+		Min:  math.NaN(), Max: math.NaN(), Mean: math.NaN(),
+	}
+	counts := map[string]int{}
+	var observed []dataset.Value
+	sum := 0.0
+	for i := 0; i < rel.Len(); i++ {
+		v := rel.Get(i, attr)
+		if v.IsNull() {
+			p.Nulls++
+			continue
+		}
+		observed = append(observed, v)
+		counts[v.String()]++
+		if p.Kind.Numeric() {
+			f := v.Float()
+			if math.IsNaN(p.Min) || f < p.Min {
+				p.Min = f
+			}
+			if math.IsNaN(p.Max) || f > p.Max {
+				p.Max = f
+			}
+			sum += f
+		}
+	}
+	p.Distinct = len(counts)
+	if p.Kind.Numeric() && len(observed) > 0 {
+		p.Mean = sum / float64(len(observed))
+	}
+
+	type kv struct {
+		k string
+		c int
+	}
+	var tops []kv
+	for k, c := range counts {
+		tops = append(tops, kv{k, c})
+	}
+	sort.Slice(tops, func(i, j int) bool {
+		if tops[i].c != tops[j].c {
+			return tops[i].c > tops[j].c
+		}
+		return tops[i].k < tops[j].k
+	})
+	for i := 0; i < len(tops) && i < opts.TopK; i++ {
+		p.TopValues = append(p.TopValues, ValueCount{Value: tops[i].k, Count: tops[i].c})
+	}
+
+	// Sampled mean pairwise distance.
+	if len(observed) >= 2 {
+		total, n := 0.0, 0
+		for k := 0; k < opts.SamplePairs; k++ {
+			i, j := rng.Intn(len(observed)), rng.Intn(len(observed))
+			if i == j {
+				continue
+			}
+			d := distance.Values(observed[i], observed[j])
+			if !distance.IsMissing(d) {
+				total += d
+				n++
+			}
+		}
+		if n > 0 {
+			p.MeanPairDistance = total / float64(n)
+		}
+	}
+	return p
+}
+
+// Render prints the profiles as an aligned text table.
+func Render(profiles []AttrProfile) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s %-7s %6s %6s %8s %10s %10s %10s %9s  %s\n",
+		"Attribute", "Kind", "Rows", "Nulls", "Distinct", "Min", "Max", "Mean", "PairDist", "Top values")
+	for _, p := range profiles {
+		minS, maxS, meanS := "-", "-", "-"
+		if !math.IsNaN(p.Min) {
+			minS = fmt.Sprintf("%.3g", p.Min)
+			maxS = fmt.Sprintf("%.3g", p.Max)
+			meanS = fmt.Sprintf("%.3g", p.Mean)
+		}
+		var tops []string
+		for _, tv := range p.TopValues {
+			tops = append(tops, fmt.Sprintf("%s(%d)", tv.Value, tv.Count))
+		}
+		fmt.Fprintf(&sb, "%-16s %-7s %6d %6d %8d %10s %10s %10s %9.2f  %s\n",
+			p.Name, p.Kind, p.Rows, p.Nulls, p.Distinct, minS, maxS, meanS,
+			p.MeanPairDistance, strings.Join(tops, " "))
+	}
+	return sb.String()
+}

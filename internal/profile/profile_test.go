@@ -1,0 +1,115 @@
+package profile
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func sample(t testing.TB) *dataset.Relation {
+	t.Helper()
+	rel, err := dataset.ReadCSVString(`City,Score
+LA,1.0
+LA,2.0
+NY,3.0
+NY,
+SF,5.0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+func TestProfileBasics(t *testing.T) {
+	profiles := Relation(sample(t), Options{Seed: 1})
+	if len(profiles) != 2 {
+		t.Fatalf("profiles = %d", len(profiles))
+	}
+	city := profiles[0]
+	if city.Name != "City" || city.Kind != dataset.KindString {
+		t.Errorf("city header = %+v", city)
+	}
+	if city.Rows != 5 || city.Nulls != 0 || city.Distinct != 3 {
+		t.Errorf("city counts = %+v", city)
+	}
+	if !math.IsNaN(city.Min) {
+		t.Error("string attribute has numeric min")
+	}
+	score := profiles[1]
+	if score.Nulls != 1 || score.NullRate() != 0.2 {
+		t.Errorf("score nulls = %d rate %v", score.Nulls, score.NullRate())
+	}
+	if score.Min != 1 || score.Max != 5 {
+		t.Errorf("score range = [%v, %v]", score.Min, score.Max)
+	}
+	if math.Abs(score.Mean-2.75) > 1e-9 {
+		t.Errorf("score mean = %v, want 2.75", score.Mean)
+	}
+}
+
+func TestProfileTopValues(t *testing.T) {
+	profiles := Relation(sample(t), Options{TopK: 2, Seed: 1})
+	city := profiles[0]
+	if len(city.TopValues) != 2 {
+		t.Fatalf("top values = %v", city.TopValues)
+	}
+	// LA and NY both have count 2; alphabetical tie-break puts LA first.
+	if city.TopValues[0].Value != "LA" || city.TopValues[0].Count != 2 {
+		t.Errorf("top value = %+v", city.TopValues[0])
+	}
+	if city.TopValues[1].Value != "NY" {
+		t.Errorf("second value = %+v", city.TopValues[1])
+	}
+}
+
+func TestProfilePairDistance(t *testing.T) {
+	profiles := Relation(sample(t), Options{Seed: 1, SamplePairs: 500})
+	score := profiles[1]
+	// Scores {1,2,3,5}: mean pairwise |diff| is about 1.9-2.2.
+	if score.MeanPairDistance < 1 || score.MeanPairDistance > 3 {
+		t.Errorf("score mean pair distance = %v", score.MeanPairDistance)
+	}
+	city := profiles[0]
+	if city.MeanPairDistance <= 0 {
+		t.Errorf("city mean pair distance = %v", city.MeanPairDistance)
+	}
+}
+
+func TestProfileDegenerate(t *testing.T) {
+	empty := dataset.NewRelation(dataset.NewSchema(
+		dataset.Attribute{Name: "A", Kind: dataset.KindInt}))
+	profiles := Relation(empty, Options{})
+	if profiles[0].Rows != 0 || profiles[0].Distinct != 0 {
+		t.Errorf("empty profile = %+v", profiles[0])
+	}
+	allNull, err := dataset.ReadCSVString("A\n_\n_\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Relation(allNull, Options{})[0]
+	if p.Nulls != 2 || p.NullRate() != 1 || len(p.TopValues) != 0 {
+		t.Errorf("all-null profile = %+v", p)
+	}
+}
+
+func TestRender(t *testing.T) {
+	text := Render(Relation(sample(t), Options{Seed: 1}))
+	for _, want := range []string{"City", "Score", "LA(2)", "Distinct"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render lacks %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestProfileDeterminism(t *testing.T) {
+	a := Relation(sample(t), Options{Seed: 9})
+	b := Relation(sample(t), Options{Seed: 9})
+	for i := range a {
+		if a[i].MeanPairDistance != b[i].MeanPairDistance {
+			t.Fatal("sampled distances nondeterministic")
+		}
+	}
+}

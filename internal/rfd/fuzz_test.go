@@ -1,0 +1,49 @@
+package rfd
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// FuzzParse: arbitrary input never panics; accepted inputs round-trip
+// through Format.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"Name(<=4) -> Phone(<=1)",
+		"Name(<=8), Phone(<=0), Class(<=1) -> Type(<=0)",
+		"City(2) -> Phone(0.5)",
+		"",
+		"->",
+		"Name -> Phone",
+		"Name(<=x) -> Phone(<=1)",
+		"Name(<=1) -> Name(<=1)",
+		"Name((<=1)) -> Phone(<=1)",
+		"Name(<=-3) -> Phone(<=1)",
+		"Name(<=1e300), City(<=0) -> Phone(<=0)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	schema := dataset.NewSchema(
+		dataset.Attribute{Name: "Name", Kind: dataset.KindString},
+		dataset.Attribute{Name: "City", Kind: dataset.KindString},
+		dataset.Attribute{Name: "Phone", Kind: dataset.KindString},
+		dataset.Attribute{Name: "Type", Kind: dataset.KindString},
+		dataset.Attribute{Name: "Class", Kind: dataset.KindInt},
+	)
+	f.Fuzz(func(t *testing.T, input string) {
+		dep, err := Parse(input, schema)
+		if err != nil {
+			return
+		}
+		text := dep.Format(schema)
+		back, err := Parse(text, schema)
+		if err != nil {
+			t.Fatalf("Format output %q does not re-parse: %v", text, err)
+		}
+		if !back.Equal(dep) {
+			t.Fatalf("round trip changed %q -> %q", input, text)
+		}
+	})
+}

@@ -1,0 +1,70 @@
+package rfd
+
+// Implies reports whether phi holding on an instance guarantees psi
+// holds on it, by structural comparison:
+//
+//   - same RHS attribute;
+//   - phi's RHS threshold at most psi's (phi promises a tighter bound);
+//   - phi's LHS attributes a subset of psi's, each with a threshold at
+//     least psi's on the shared attribute (phi's premise is easier to
+//     satisfy, so every pair psi's premise admits is already covered).
+//
+// This is the dependency-implication fragment RENUVER's tooling needs:
+// discovery prunes dominated candidates with it and Minimize computes
+// irredundant covers.
+func Implies(phi, psi *RFD) bool {
+	if phi.RHS.Attr != psi.RHS.Attr || phi.RHS.Threshold > psi.RHS.Threshold {
+		return false
+	}
+	for _, cp := range phi.LHS {
+		found := false
+		for _, cq := range psi.LHS {
+			if cq.Attr == cp.Attr {
+				found = true
+				if cp.Threshold < cq.Threshold {
+					return false
+				}
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Minimize returns an irredundant subset of the set: every dependency
+// structurally implied by another member is dropped, and among mutually
+// implying (equivalent) members the first is kept. The relative order of
+// the survivors is preserved, and the implied-by relation over the
+// survivors is empty.
+func Minimize(set Set) Set {
+	var out Set
+	for i, psi := range set {
+		dropped := false
+		for j, phi := range set {
+			if i == j {
+				continue
+			}
+			if Implies(phi, psi) && !Implies(psi, phi) {
+				dropped = true
+				break
+			}
+		}
+		if dropped {
+			continue
+		}
+		dup := false
+		for _, prev := range out {
+			if Implies(prev, psi) && Implies(psi, prev) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, psi)
+		}
+	}
+	return out
+}

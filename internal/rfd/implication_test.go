@@ -1,0 +1,120 @@
+package rfd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestImpliesBasics(t *testing.T) {
+	rel := table2(t)
+	s := rel.Schema()
+	general := MustParse("Name(<=5) -> Phone(<=1)", s)
+	tighterRHS := MustParse("Name(<=5) -> Phone(<=3)", s)
+	narrowerLHS := MustParse("Name(<=3) -> Phone(<=1)", s)
+	wider := MustParse("Name(<=5), City(<=2) -> Phone(<=1)", s)
+	otherRHS := MustParse("Name(<=5) -> City(<=1)", s)
+	if !Implies(general, tighterRHS) {
+		t.Error("looser RHS should be implied")
+	}
+	if !Implies(general, narrowerLHS) {
+		t.Error("tighter LHS threshold should be implied")
+	}
+	if !Implies(general, wider) {
+		t.Error("superset LHS should be implied")
+	}
+	if Implies(tighterRHS, general) || Implies(wider, general) {
+		t.Error("implication direction reversed")
+	}
+	if Implies(general, otherRHS) || Implies(otherRHS, general) {
+		t.Error("different RHS attributes cannot imply")
+	}
+	if !Implies(general, general) {
+		t.Error("implication must be reflexive")
+	}
+}
+
+// TestImpliesIsSemanticallySound: whenever Implies(phi, psi), any
+// instance where phi holds must also satisfy psi. Checked on random
+// dependency pairs against the Table 2 sample.
+func TestImpliesIsSemanticallySound(t *testing.T) {
+	rel := table2(t)
+	rng := rand.New(rand.NewSource(31))
+	m := rel.Schema().Len()
+	checked := 0
+	for trial := 0; trial < 2000 && checked < 200; trial++ {
+		phi, psi := randomDep(rng, m), randomDep(rng, m)
+		if !Implies(phi, psi) {
+			continue
+		}
+		checked++
+		if phi.HoldsOn(rel) && !psi.HoldsOn(rel) {
+			t.Fatalf("Implies(%s, %s) but the consequence is violated",
+				phi.Format(rel.Schema()), psi.Format(rel.Schema()))
+		}
+	}
+	if checked == 0 {
+		t.Skip("no implying pairs sampled")
+	}
+}
+
+func TestMinimizeDropsImplied(t *testing.T) {
+	rel := table2(t)
+	s := rel.Schema()
+	general := MustParse("Name(<=5) -> Phone(<=1)", s)
+	implied := MustParse("Name(<=3) -> Phone(<=2)", s)
+	unrelated := MustParse("City(<=2) -> Phone(<=1)", s)
+	out := Minimize(Set{implied, general, unrelated})
+	if len(out) != 2 {
+		t.Fatalf("minimized to %d, want 2", len(out))
+	}
+	if !out.Contains(general) || !out.Contains(unrelated) {
+		t.Errorf("survivors wrong: %v", out)
+	}
+}
+
+func TestMinimizeKeepsFirstOfEquivalents(t *testing.T) {
+	rel := table2(t)
+	s := rel.Schema()
+	a := MustParse("Name(<=5) -> Phone(<=1)", s)
+	b := MustParse("Name(<=5) -> Phone(<=1)", s)
+	out := Minimize(Set{a, b})
+	if len(out) != 1 || out[0] != a {
+		t.Errorf("equivalents not deduped to the first: %v", out)
+	}
+}
+
+// TestMinimizeIrredundant: no survivor implies another survivor
+// (strictly), for random sets.
+func TestMinimizeIrredundant(t *testing.T) {
+	rel := table2(t)
+	rng := rand.New(rand.NewSource(32))
+	m := rel.Schema().Len()
+	for trial := 0; trial < 100; trial++ {
+		var set Set
+		for k := 0; k < 2+rng.Intn(10); k++ {
+			set = append(set, randomDep(rng, m))
+		}
+		out := Minimize(set)
+		for i, a := range out {
+			for j, b := range out {
+				if i != j && Implies(a, b) && !Implies(b, a) {
+					t.Fatalf("trial %d: survivor %s strictly implies survivor %s",
+						trial, a.Format(rel.Schema()), b.Format(rel.Schema()))
+				}
+			}
+		}
+		// Everything dropped is implied by some survivor.
+		for _, dep := range set {
+			covered := false
+			for _, s := range out {
+				if Implies(s, dep) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("trial %d: dropped member %s not covered", trial, dep.Format(rel.Schema()))
+			}
+		}
+	}
+}

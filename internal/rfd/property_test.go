@@ -1,0 +1,203 @@
+package rfd
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/distance"
+)
+
+// randomPattern builds a random distance pattern over m attributes with
+// occasional Missing marks.
+func randomPattern(rng *rand.Rand, m int) distance.Pattern {
+	p := make(distance.Pattern, m)
+	for i := range p {
+		if rng.Float64() < 0.2 {
+			p[i] = distance.Missing
+		} else {
+			p[i] = float64(rng.Intn(10))
+		}
+	}
+	return p
+}
+
+// loosen returns a copy of the dependency with every threshold increased
+// by the given amounts (LHS by dl, RHS by dr).
+func loosen(dep *RFD, dl, dr float64) *RFD {
+	lhs := make([]Constraint, len(dep.LHS))
+	for i, c := range dep.LHS {
+		lhs[i] = Constraint{Attr: c.Attr, Threshold: c.Threshold + dl}
+	}
+	return MustNew(lhs, Constraint{Attr: dep.RHS.Attr, Threshold: dep.RHS.Threshold + dr})
+}
+
+func randomDep(rng *rand.Rand, m int) *RFD {
+	rhs := rng.Intn(m)
+	var lhs []Constraint
+	for a := 0; a < m; a++ {
+		if a != rhs && (len(lhs) == 0 || rng.Float64() < 0.5) {
+			lhs = append(lhs, Constraint{Attr: a, Threshold: float64(rng.Intn(6))})
+		}
+	}
+	return MustNew(lhs, Constraint{Attr: rhs, Threshold: float64(rng.Intn(6))})
+}
+
+// TestPropertyLHSSatisfactionMonotone: loosening LHS thresholds never
+// un-satisfies a pattern.
+func TestPropertyLHSSatisfactionMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const m = 4
+	for trial := 0; trial < 500; trial++ {
+		dep := randomDep(rng, m)
+		p := randomPattern(rng, m)
+		if dep.LHSSatisfiedBy(p) && !loosen(dep, float64(rng.Intn(5)), 0).LHSSatisfiedBy(p) {
+			t.Fatalf("trial %d: loosened LHS lost satisfaction", trial)
+		}
+	}
+}
+
+// TestPropertyViolationAntitoneInRHS: loosening the RHS threshold never
+// creates a violation.
+func TestPropertyViolationAntitoneInRHS(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const m = 4
+	for trial := 0; trial < 500; trial++ {
+		dep := randomDep(rng, m)
+		p := randomPattern(rng, m)
+		if !dep.ViolatedBy(p) && loosen(dep, 0, float64(rng.Intn(5))).ViolatedBy(p) {
+			t.Fatalf("trial %d: loosened RHS created a violation", trial)
+		}
+	}
+}
+
+// TestPropertyMissingNeverWitnesses: a pattern with Missing on the RHS
+// attribute can never violate, whatever the thresholds.
+func TestPropertyMissingNeverWitnesses(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const m = 4
+	for trial := 0; trial < 500; trial++ {
+		dep := randomDep(rng, m)
+		p := randomPattern(rng, m)
+		p[dep.RHS.Attr] = distance.Missing
+		if dep.ViolatedBy(p) {
+			t.Fatalf("trial %d: missing RHS witnessed a violation", trial)
+		}
+	}
+}
+
+// TestPropertyKeyAntitoneInLHSThresholds: tightening LHS thresholds can
+// only turn a non-key dependency into a key, never the reverse.
+func TestPropertyKeyAntitoneInLHSThresholds(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	rel := table2(t)
+	m := rel.Schema().Len()
+	for trial := 0; trial < 200; trial++ {
+		dep := randomDep(rng, m)
+		looser := loosen(dep, 1+float64(rng.Intn(4)), 0)
+		if !dep.IsKey(rel) && looser.IsKey(rel) {
+			t.Fatalf("trial %d: loosening LHS made %s key", trial, looser.Format(rel.Schema()))
+		}
+	}
+}
+
+// TestPropertyHoldsMonotoneInRHSThreshold: if φ holds at RHS threshold
+// β, it holds at any larger β.
+func TestPropertyHoldsMonotoneInRHSThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	rel := table2(t)
+	m := rel.Schema().Len()
+	for trial := 0; trial < 200; trial++ {
+		dep := randomDep(rng, m)
+		if dep.HoldsOn(rel) && !loosen(dep, 0, 1+float64(rng.Intn(4))).HoldsOn(rel) {
+			t.Fatalf("trial %d: loosened RHS broke HoldsOn for %s", trial, dep.Format(rel.Schema()))
+		}
+	}
+}
+
+// TestPropertyKeyImpliesHolds: a key dependency holds vacuously.
+func TestPropertyKeyImpliesHolds(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	rel := table2(t)
+	m := rel.Schema().Len()
+	for trial := 0; trial < 200; trial++ {
+		dep := randomDep(rng, m)
+		if dep.IsKey(rel) && !dep.HoldsOn(rel) {
+			t.Fatalf("trial %d: key dependency %s does not hold", trial, dep.Format(rel.Schema()))
+		}
+	}
+}
+
+// TestPropertyFormatParseIdentity: Format∘Parse is the identity on
+// random dependencies.
+func TestPropertyFormatParseIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	rel := table2(t)
+	m := rel.Schema().Len()
+	for trial := 0; trial < 300; trial++ {
+		dep := randomDep(rng, m)
+		back, err := Parse(dep.Format(rel.Schema()), rel.Schema())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !back.Equal(dep) {
+			t.Fatalf("trial %d: round trip changed %s", trial, dep.Format(rel.Schema()))
+		}
+	}
+}
+
+// TestPropertyClusteringPartitions: clustering is a partition — every
+// dependency lands in exactly one cluster, clusters are
+// threshold-sorted, and members match their cluster's threshold.
+func TestPropertyClusteringPartitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	rel := table2(t)
+	m := rel.Schema().Len()
+	for trial := 0; trial < 100; trial++ {
+		var set Set
+		rhs := rng.Intn(m)
+		for k := 0; k < 1+rng.Intn(8); k++ {
+			lhsAttr := (rhs + 1 + rng.Intn(m-1)) % m
+			set = append(set, MustNew(
+				[]Constraint{{Attr: lhsAttr, Threshold: float64(rng.Intn(4))}},
+				Constraint{Attr: rhs, Threshold: float64(rng.Intn(4))},
+			))
+		}
+		clusters := ClusterByRHSThreshold(set)
+		total := 0
+		for i, c := range clusters {
+			if i > 0 && clusters[i-1].Threshold >= c.Threshold {
+				t.Fatalf("trial %d: clusters not strictly ascending", trial)
+			}
+			for _, dep := range c.RFDs {
+				if dep.RHSThreshold() != c.Threshold {
+					t.Fatalf("trial %d: member threshold %v in cluster %v",
+						trial, dep.RHSThreshold(), c.Threshold)
+				}
+			}
+			total += len(c.RFDs)
+		}
+		if total != len(set) {
+			t.Fatalf("trial %d: clustering lost members: %d of %d", trial, total, len(set))
+		}
+	}
+}
+
+// TestPropertyValuePairSymmetry: LHS pair satisfaction is symmetric in
+// the two tuples.
+func TestPropertyValuePairSymmetry(t *testing.T) {
+	rel := table2(t)
+	rng := rand.New(rand.NewSource(14))
+	m := rel.Schema().Len()
+	for trial := 0; trial < 300; trial++ {
+		dep := randomDep(rng, m)
+		i, j := rng.Intn(rel.Len()), rng.Intn(rel.Len())
+		pij := distance.PatternBetween(rel.Row(i), rel.Row(j))
+		pji := distance.PatternBetween(rel.Row(j), rel.Row(i))
+		if dep.LHSSatisfiedBy(pij) != dep.LHSSatisfiedBy(pji) {
+			t.Fatalf("trial %d: asymmetric LHS satisfaction", trial)
+		}
+		if dep.ViolatedBy(pij) != dep.ViolatedBy(pji) {
+			t.Fatalf("trial %d: asymmetric violation", trial)
+		}
+	}
+}

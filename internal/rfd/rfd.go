@@ -1,0 +1,265 @@
+// Package rfd models relaxed functional dependencies with distance
+// constraints (RFDc, Definition 3.2 of the paper): statements
+//
+//	X_Φ1 → A_φ2
+//
+// where every attribute in the LHS set X carries a distance threshold and
+// the single RHS attribute A carries one too. A pair of tuples that is
+// within every LHS threshold must be within the RHS threshold.
+//
+// The package provides the dependency type, a textual codec, satisfaction
+// and violation checks against relation instances, key-RFDc detection
+// (Definition 3.4), and the Σ'_A / Λ clustering machinery of the RFDc
+// selection step (Sec. 5.2).
+package rfd
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/distance"
+)
+
+// Constraint is one φ[B]: a distance threshold on a single attribute with
+// the ≤ operator (the paper fixes the operator to ≤ for RFDc, Sec. 3).
+type Constraint struct {
+	Attr      int     // attribute position in the schema
+	Threshold float64 // inclusive upper bound on the distance
+}
+
+// RFD is one RFDc with a conjunctive LHS and a single-attribute RHS.
+// LHS constraints are kept sorted by attribute position; attributes are
+// unique and never equal to the RHS attribute.
+type RFD struct {
+	LHS []Constraint
+	RHS Constraint
+}
+
+// New builds an RFD, normalizing (sorting, copying) the LHS. It returns
+// an error on an empty LHS, a duplicate LHS attribute, an RHS attribute
+// repeated in the LHS, or a negative threshold.
+func New(lhs []Constraint, rhs Constraint) (*RFD, error) {
+	if len(lhs) == 0 {
+		return nil, fmt.Errorf("rfd: empty LHS")
+	}
+	cp := append([]Constraint(nil), lhs...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i].Attr < cp[j].Attr })
+	for i, c := range cp {
+		if c.Threshold < 0 {
+			return nil, fmt.Errorf("rfd: negative LHS threshold %v on attr %d", c.Threshold, c.Attr)
+		}
+		if i > 0 && cp[i-1].Attr == c.Attr {
+			return nil, fmt.Errorf("rfd: duplicate LHS attribute %d", c.Attr)
+		}
+		if c.Attr == rhs.Attr {
+			return nil, fmt.Errorf("rfd: attribute %d on both sides", c.Attr)
+		}
+	}
+	if rhs.Threshold < 0 {
+		return nil, fmt.Errorf("rfd: negative RHS threshold %v", rhs.Threshold)
+	}
+	return &RFD{LHS: cp, RHS: rhs}, nil
+}
+
+// MustNew is New that panics on error; for literals in tests and examples.
+func MustNew(lhs []Constraint, rhs Constraint) *RFD {
+	r, err := New(lhs, rhs)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// LHSAttrs returns the LHS attribute positions in ascending order.
+// The returned slice aliases the RFD's storage and must not be mutated.
+func (r *RFD) LHSAttrs() []int {
+	attrs := make([]int, len(r.LHS))
+	for i, c := range r.LHS {
+		attrs[i] = c.Attr
+	}
+	return attrs
+}
+
+// HasLHSAttr reports whether the attribute appears on the LHS.
+func (r *RFD) HasLHSAttr(attr int) bool {
+	for _, c := range r.LHS {
+		if c.Attr == attr {
+			return true
+		}
+	}
+	return false
+}
+
+// RHSThreshold returns the RHS distance threshold, RHS_th(φ) in the paper.
+func (r *RFD) RHSThreshold() float64 { return r.RHS.Threshold }
+
+// LHSSatisfiedBy reports whether a distance pattern satisfies every LHS
+// constraint: each component present (not "_") and within its threshold.
+func (r *RFD) LHSSatisfiedBy(p distance.Pattern) bool {
+	for _, c := range r.LHS {
+		if !p.Satisfies(c.Attr, c.Threshold) {
+			return false
+		}
+	}
+	return true
+}
+
+// RHSSatisfiedBy reports whether the pattern satisfies the RHS constraint.
+func (r *RFD) RHSSatisfiedBy(p distance.Pattern) bool {
+	return p.Satisfies(r.RHS.Attr, r.RHS.Threshold)
+}
+
+// ViolatedBy reports whether the tuple pair behind the pattern witnesses
+// a violation: LHS satisfied and the RHS distance present but above the
+// threshold. A missing RHS component ("_") is not a witness — an
+// unjudgeable pair neither satisfies nor violates, otherwise every
+// incomplete instance would trivially violate its own RFDcs and
+// IS_FAULTLESS could never accept an imputation.
+func (r *RFD) ViolatedBy(p distance.Pattern) bool {
+	if !r.LHSSatisfiedBy(p) {
+		return false
+	}
+	d := p[r.RHS.Attr]
+	return !distance.IsMissing(d) && d > r.RHS.Threshold
+}
+
+// lhsPairSatisfied checks the LHS directly on two tuples, short-circuiting
+// per attribute without materializing a full pattern.
+func (r *RFD) lhsPairSatisfied(a, b dataset.Tuple) bool {
+	for _, c := range r.LHS {
+		if !distance.ValuesWithin(a[c.Attr], b[c.Attr], c.Threshold) {
+			return false
+		}
+	}
+	return true
+}
+
+// HoldsOn reports whether the dependency holds on the instance: no pair
+// of distinct tuples witnesses a violation. Pairs with a missing value on
+// an LHS attribute never satisfy that constraint, and pairs with a missing
+// RHS value cannot witness a violation (see ViolatedBy).
+func (r *RFD) HoldsOn(rel *dataset.Relation) bool {
+	n := rel.Len()
+	for i := 0; i < n; i++ {
+		ti := rel.Row(i)
+		for j := i + 1; j < n; j++ {
+			tj := rel.Row(j)
+			if !r.lhsPairSatisfied(ti, tj) {
+				continue
+			}
+			d := distance.Values(ti[r.RHS.Attr], tj[r.RHS.Attr])
+			if !distance.IsMissing(d) && d > r.RHS.Threshold {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsKey reports whether the dependency is a key-RFDc on the instance
+// (Definition 3.4): it holds vacuously because no pair of distinct tuples
+// satisfies all LHS constraints. Key-RFDcs cannot produce candidates and
+// are filtered out in pre-processing (Sec. 5.1).
+func (r *RFD) IsKey(rel *dataset.Relation) bool {
+	n := rel.Len()
+	for i := 0; i < n; i++ {
+		ti := rel.Row(i)
+		for j := i + 1; j < n; j++ {
+			if r.lhsPairSatisfied(ti, rel.Row(j)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Equal reports structural equality of two dependencies.
+func (r *RFD) Equal(o *RFD) bool {
+	if r.RHS != o.RHS || len(r.LHS) != len(o.LHS) {
+		return false
+	}
+	for i := range r.LHS {
+		if r.LHS[i] != o.LHS[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Format renders the dependency with attribute names from the schema,
+// e.g. "Name(<=6.0), City(<=9.0) -> Phone(<=0.0)". The output parses back
+// with Parse.
+func (r *RFD) Format(schema *dataset.Schema) string {
+	var sb strings.Builder
+	for i, c := range r.LHS {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		writeConstraint(&sb, schema, c)
+	}
+	sb.WriteString(" -> ")
+	writeConstraint(&sb, schema, r.RHS)
+	return sb.String()
+}
+
+func writeConstraint(sb *strings.Builder, schema *dataset.Schema, c Constraint) {
+	sb.WriteString(schema.Attr(c.Attr).Name)
+	sb.WriteString("(<=")
+	sb.WriteString(strconv.FormatFloat(c.Threshold, 'g', -1, 64))
+	sb.WriteString(")")
+}
+
+// Parse reads a dependency in the Format textual form. Thresholds accept
+// an optional "<=" prefix; attribute names are resolved in the schema.
+func Parse(s string, schema *dataset.Schema) (*RFD, error) {
+	sides := strings.Split(s, "->")
+	if len(sides) != 2 {
+		return nil, fmt.Errorf("rfd: %q: want exactly one \"->\"", s)
+	}
+	lhsParts := strings.Split(sides[0], ",")
+	lhs := make([]Constraint, 0, len(lhsParts))
+	for _, part := range lhsParts {
+		c, err := parseConstraint(part, schema)
+		if err != nil {
+			return nil, err
+		}
+		lhs = append(lhs, c)
+	}
+	rhs, err := parseConstraint(sides[1], schema)
+	if err != nil {
+		return nil, err
+	}
+	return New(lhs, rhs)
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(s string, schema *dataset.Schema) *RFD {
+	r, err := Parse(s, schema)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func parseConstraint(s string, schema *dataset.Schema) (Constraint, error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return Constraint{}, fmt.Errorf("rfd: constraint %q: want Name(<=threshold)", s)
+	}
+	name := strings.TrimSpace(s[:open])
+	attr, ok := schema.Index(name)
+	if !ok {
+		return Constraint{}, fmt.Errorf("rfd: unknown attribute %q", name)
+	}
+	body := strings.TrimSpace(s[open+1 : len(s)-1])
+	body = strings.TrimSpace(strings.TrimPrefix(body, "<="))
+	th, err := strconv.ParseFloat(body, 64)
+	if err != nil {
+		return Constraint{}, fmt.Errorf("rfd: constraint %q: bad threshold: %w", s, err)
+	}
+	return Constraint{Attr: attr, Threshold: th}, nil
+}

@@ -1,0 +1,73 @@
+package rfd
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSetWriteReadRoundTrip(t *testing.T) {
+	rel := table2(t)
+	sigma := figure1RFDs(t, rel.Schema())
+	var buf bytes.Buffer
+	if err := WriteSet(&buf, sigma, rel.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSet(&buf, rel.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(sigma) {
+		t.Fatalf("round trip %d -> %d RFDs", len(sigma), len(back))
+	}
+	for i := range sigma {
+		if !back[i].Equal(sigma[i]) {
+			t.Errorf("RFD %d changed", i)
+		}
+	}
+}
+
+func TestSetFileRoundTrip(t *testing.T) {
+	rel := table2(t)
+	sigma := figure1RFDs(t, rel.Schema())
+	path := filepath.Join(t.TempDir(), "sigma.rfd")
+	if err := WriteSetFile(path, sigma, rel.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSetFile(path, rel.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(sigma) {
+		t.Errorf("file round trip %d -> %d", len(sigma), len(back))
+	}
+}
+
+func TestReadSetSkipsCommentsAndBlanks(t *testing.T) {
+	rel := table2(t)
+	doc := "# header\n\nName(<=4) -> Phone(<=1)\n  \n# tail\n"
+	set, err := ReadSet(strings.NewReader(doc), rel.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 1 {
+		t.Fatalf("read %d RFDs, want 1", len(set))
+	}
+}
+
+func TestReadSetReportsLineNumber(t *testing.T) {
+	rel := table2(t)
+	doc := "Name(<=4) -> Phone(<=1)\nBOGUS LINE\n"
+	_, err := ReadSet(strings.NewReader(doc), rel.Schema())
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("err = %v, want line 2 mention", err)
+	}
+}
+
+func TestReadSetFileMissing(t *testing.T) {
+	rel := table2(t)
+	if _, err := ReadSetFile(filepath.Join(t.TempDir(), "nope"), rel.Schema()); err == nil {
+		t.Error("want error for missing file")
+	}
+}

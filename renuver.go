@@ -1,0 +1,384 @@
+// Package renuver is the public API of this repository: a Go
+// implementation of RENUVER (Breve, Caruccio, Deufemia, Polese — "RENUVER:
+// A Missing Value Imputation Algorithm based on Relaxed Functional
+// Dependencies", EDBT 2022) together with every substrate the paper's
+// evaluation depends on — a relational engine with typed nulls, RFDc
+// discovery, denial constraints, three comparison baselines (grey-based
+// kNN, Derand, a Holoclean-style probabilistic repairer), missing-value
+// injection, and the paper's rule-based result validator.
+//
+// Quick start:
+//
+//	rel, _ := renuver.LoadCSVFile("restaurant.csv")
+//	sigma, _ := renuver.DiscoverRFDs(rel, renuver.DiscoveryOptions{MaxThreshold: 15})
+//	res, _ := renuver.Impute(rel, sigma)
+//	fmt.Println(res.Stats.Imputed, "cells filled")
+//
+// The exported names are thin aliases over the internal packages, so the
+// full documented behaviour lives with the implementations.
+package renuver
+
+import (
+	"context"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/dc"
+	"repro/internal/discovery"
+	"repro/internal/eval"
+	"repro/internal/impute"
+	"repro/internal/impute/derand"
+	"repro/internal/impute/holoclean"
+	"repro/internal/impute/knn"
+	"repro/internal/impute/meanmode"
+	"repro/internal/impute/regression"
+	"repro/internal/profile"
+	"repro/internal/rfd"
+)
+
+// Relational substrate.
+type (
+	// Relation is a mutable relation instance over a fixed schema.
+	Relation = dataset.Relation
+	// Schema is an ordered attribute list.
+	Schema = dataset.Schema
+	// Attribute is one schema column.
+	Attribute = dataset.Attribute
+	// Tuple is one positional row.
+	Tuple = dataset.Tuple
+	// Value is one typed cell; the zero Value is the missing value.
+	Value = dataset.Value
+	// Cell addresses a (row, attribute) position.
+	Cell = dataset.Cell
+	// Kind enumerates value domains.
+	Kind = dataset.Kind
+)
+
+// Value constructors and kinds, re-exported for building relations
+// programmatically.
+var (
+	NewString = dataset.NewString
+	NewInt    = dataset.NewInt
+	NewFloat  = dataset.NewFloat
+	NewBool   = dataset.NewBool
+	Null      = dataset.Null
+)
+
+// Value kind constants.
+const (
+	KindNull   = dataset.KindNull
+	KindString = dataset.KindString
+	KindInt    = dataset.KindInt
+	KindFloat  = dataset.KindFloat
+	KindBool   = dataset.KindBool
+)
+
+// NewSchema builds a schema from attributes.
+func NewSchema(attrs ...Attribute) *Schema { return dataset.NewSchema(attrs...) }
+
+// NewRelation returns an empty relation over the schema.
+func NewRelation(schema *Schema) *Relation { return dataset.NewRelation(schema) }
+
+// LoadCSV reads a relation from CSV with per-column type inference.
+func LoadCSV(r io.Reader) (*Relation, error) { return dataset.ReadCSV(r) }
+
+// LoadCSVFile is LoadCSV over a file path.
+func LoadCSVFile(path string) (*Relation, error) { return dataset.ReadCSVFile(path) }
+
+// LoadCSVString is LoadCSV over an in-memory document.
+func LoadCSVString(doc string) (*Relation, error) { return dataset.ReadCSVString(doc) }
+
+// SaveCSV writes a relation as CSV.
+func SaveCSV(w io.Writer, rel *Relation) error { return dataset.WriteCSV(w, rel) }
+
+// SaveCSVFile is SaveCSV to a file path.
+func SaveCSVFile(path string, rel *Relation) error { return dataset.WriteCSVFile(path, rel) }
+
+// LoadJSONLines reads a relation from newline-delimited JSON objects
+// (union schema, alphabetical attribute order, JSON null = missing).
+func LoadJSONLines(r io.Reader) (*Relation, error) { return dataset.ReadJSONLines(r) }
+
+// LoadJSONLinesFile is LoadJSONLines over a file path.
+func LoadJSONLinesFile(path string) (*Relation, error) { return dataset.ReadJSONLinesFile(path) }
+
+// SaveJSONLines writes a relation as newline-delimited JSON objects.
+func SaveJSONLines(w io.Writer, rel *Relation) error { return dataset.WriteJSONLines(w, rel) }
+
+// SaveJSONLinesFile is SaveJSONLines to a file path.
+func SaveJSONLinesFile(path string, rel *Relation) error {
+	return dataset.WriteJSONLinesFile(path, rel)
+}
+
+// Relaxed functional dependencies.
+type (
+	// RFD is one RFDc: X_Φ1 → A_φ2 with distance thresholds.
+	RFD = rfd.RFD
+	// RFDSet is a set Σ of RFDcs.
+	RFDSet = rfd.Set
+	// Constraint is one per-attribute distance threshold.
+	Constraint = rfd.Constraint
+)
+
+// ParseRFD reads an RFDc in textual form, e.g.
+// "Name(<=4), City(<=9) -> Phone(<=0)".
+func ParseRFD(s string, schema *Schema) (*RFD, error) { return rfd.Parse(s, schema) }
+
+// LoadRFDs reads an RFDc set written by SaveRFDs (one per line).
+func LoadRFDs(r io.Reader, schema *Schema) (RFDSet, error) { return rfd.ReadSet(r, schema) }
+
+// LoadRFDsFile is LoadRFDs over a file path.
+func LoadRFDsFile(path string, schema *Schema) (RFDSet, error) {
+	return rfd.ReadSetFile(path, schema)
+}
+
+// SaveRFDs writes an RFDc set one dependency per line.
+func SaveRFDs(w io.Writer, sigma RFDSet, schema *Schema) error {
+	return rfd.WriteSet(w, sigma, schema)
+}
+
+// SaveRFDsFile is SaveRFDs to a file path.
+func SaveRFDsFile(path string, sigma RFDSet, schema *Schema) error {
+	return rfd.WriteSetFile(path, sigma, schema)
+}
+
+// DiscoveryOptions tunes RFDc discovery; see the discovery package for
+// field semantics.
+type DiscoveryOptions = discovery.Config
+
+// DiscoverRFDs finds RFDcs holding on the instance under a maximum
+// threshold limit (the paper's {3, 6, 9, 12, 15} sweep).
+func DiscoverRFDs(rel *Relation, opts DiscoveryOptions) (RFDSet, error) {
+	return discovery.Discover(rel, opts)
+}
+
+// AdaptiveThresholdLimits computes per-attribute threshold caps from the
+// attribute's pairwise-distance distribution (the Sec. 7 extension:
+// thresholds with "an upper bound dependent from attribute domains and
+// value distributions"). Feed the result to DiscoveryOptions.AttrLimits.
+func AdaptiveThresholdLimits(rel *Relation, quantile float64, maxPairs int, seed int64) []float64 {
+	return discovery.AdaptiveAttrLimits(rel, quantile, maxPairs, seed)
+}
+
+// The RENUVER imputer.
+type (
+	// Imputer runs RENUVER for one Σ and option set.
+	Imputer = core.Imputer
+	// Result is one imputation run's outcome.
+	Result = core.Result
+	// Imputation records one filled cell with provenance.
+	Imputation = core.Imputation
+	// Stats aggregates run counters.
+	Stats = core.Stats
+	// Option tunes the imputer.
+	Option = core.Option
+	// Stream is the incremental-imputation session of the Sec. 7
+	// extension: tuples are appended one at a time and imputed on
+	// arrival (create one with Imputer.NewStream).
+	Stream = core.Stream
+)
+
+// Imputer options, re-exported from internal/core.
+var (
+	WithClusterOrder       = core.WithClusterOrder
+	WithVerifyMode         = core.WithVerifyMode
+	WithoutClustering      = core.WithoutClustering
+	WithoutRanking         = core.WithoutRanking
+	WithoutKeyReevaluation = core.WithoutKeyReevaluation
+	WithMaxCandidates      = core.WithMaxCandidates
+	WithWorkers            = core.WithWorkers
+)
+
+// Cluster traversal orders and verification modes.
+const (
+	AscendingThreshold  = core.AscendingThreshold
+	DescendingThreshold = core.DescendingThreshold
+	VerifyLHS           = core.VerifyLHS
+	VerifyBothSides     = core.VerifyBothSides
+	VerifyOff           = core.VerifyOff
+)
+
+// NewImputer returns a reusable RENUVER imputer over Σ.
+func NewImputer(sigma RFDSet, opts ...Option) *Imputer { return core.New(sigma, opts...) }
+
+// Impute runs RENUVER once over the instance with the given Σ and
+// options. The input is not mutated.
+func Impute(rel *Relation, sigma RFDSet, opts ...Option) (*Result, error) {
+	return core.New(sigma, opts...).Impute(rel)
+}
+
+// Method is the interface shared by RENUVER and the baselines: impute a
+// clone, never mutate the input.
+type Method = impute.Method
+
+// renuverMethod adapts the RENUVER imputer to the Method interface
+// (including the cooperative-cancellation extension).
+type renuverMethod struct{ im *core.Imputer }
+
+func (r renuverMethod) Name() string { return "RENUVER" }
+func (r renuverMethod) Impute(rel *Relation) (*Relation, error) {
+	res, err := r.im.Impute(rel)
+	if err != nil {
+		return nil, err
+	}
+	return res.Relation, nil
+}
+
+func (r renuverMethod) ImputeContext(ctx context.Context, rel *Relation) (*Relation, error) {
+	res, err := r.im.ImputeContext(ctx, rel)
+	if res == nil {
+		return nil, err
+	}
+	return res.Relation, err
+}
+
+// AsMethod wraps a RENUVER imputer as a Method for side-by-side
+// comparison with the baselines.
+func AsMethod(im *Imputer) Method { return renuverMethod{im: im} }
+
+// Baselines.
+type (
+	// KNNOptions tunes the grey-based kNN baseline [14].
+	KNNOptions = knn.Config
+	// DerandOptions tunes the Derand baseline [23].
+	DerandOptions = derand.Config
+	// HolocleanOptions tunes the Holoclean-style baseline [20].
+	HolocleanOptions = holoclean.Config
+	// DC is one denial constraint.
+	DC = dc.DC
+	// DCDiscoveryOptions tunes denial-constraint discovery.
+	DCDiscoveryOptions = dc.DiscoverConfig
+)
+
+// NewKNN returns the grey-based kNN imputation baseline.
+func NewKNN(opts KNNOptions) (Method, error) { return knn.New(opts) }
+
+// NewDerand returns the Derand baseline guided by a DD set (DDs share the
+// RFDc structure).
+func NewDerand(dds RFDSet, opts DerandOptions) (Method, error) { return derand.New(dds, opts) }
+
+// NewDerandExact returns the bounded exact solver for the maximize-
+// imputed-cells problem Derand approximates (the ILP reference of [23]).
+// maxNodes bounds the branch-and-bound (0 = default budget).
+func NewDerandExact(dds RFDSet, opts DerandOptions, maxNodes int) (Method, error) {
+	im, err := derand.New(dds, opts)
+	if err != nil {
+		return nil, err
+	}
+	return derand.NewExact(im, maxNodes), nil
+}
+
+// NewHoloclean returns the Holoclean-style probabilistic baseline.
+func NewHoloclean(opts HolocleanOptions) (Method, error) { return holoclean.New(opts) }
+
+// RegressionOptions tunes the local linear-regression baseline [26].
+type RegressionOptions = regression.Config
+
+// NewMeanMode returns the statistical floor baseline: column mean for
+// numerics, column mode otherwise.
+func NewMeanMode() Method { return meanmode.New() }
+
+// NewLocalRegression returns the per-tuple linear-regression baseline in
+// the spirit of Zhang et al. [26] (numeric attributes only).
+func NewLocalRegression(opts RegressionOptions) (Method, error) { return regression.New(opts) }
+
+// DiscoverDCs finds denial constraints for the Holoclean baseline.
+func DiscoverDCs(rel *Relation, opts DCDiscoveryOptions) []*DC { return dc.Discover(rel, opts) }
+
+// Evaluation machinery.
+type (
+	// Injected records one artificially removed cell with ground truth.
+	Injected = eval.Injected
+	// Variant is one injected dataset of a (rate, seed) grid.
+	Variant = eval.Variant
+	// Validator is the rule-based result validator (value sets, regexes,
+	// numeric deltas).
+	Validator = eval.Validator
+	// Metrics are precision / recall / F1 per the paper's definitions.
+	Metrics = eval.Metrics
+)
+
+// Inject removes rate·cells values uniformly at random and returns the
+// incomplete clone plus the ground truth.
+func Inject(rel *Relation, rate float64, seed int64) (*Relation, []Injected, error) {
+	return eval.Inject(rel, rate, seed)
+}
+
+// Mechanism names a missingness mechanism for InjectWithMechanism.
+type Mechanism = eval.Mechanism
+
+// The supported missingness mechanisms: the paper's uniform protocol and
+// the two harder standard settings.
+const (
+	MCAR = eval.MCAR
+	MAR  = eval.MAR
+	MNAR = eval.MNAR
+)
+
+// InjectWithMechanism removes values under the chosen missingness
+// mechanism (MCAR = the paper's protocol; MAR and MNAR bias removals by
+// observed data and by the removed values themselves, respectively).
+func InjectWithMechanism(rel *Relation, rate float64, mech Mechanism, seed int64) (*Relation, []Injected, error) {
+	return eval.InjectWithMechanism(rel, rate, mech, seed)
+}
+
+// NewValidator returns a strict-equality validator; add rules with
+// AddValueSet / SetRegex / SetDelta.
+func NewValidator() *Validator { return eval.NewValidator() }
+
+// LoadRules reads a rule file for the validator.
+func LoadRules(r io.Reader) (*Validator, error) { return eval.ReadRules(r) }
+
+// LoadRulesFile is LoadRules over a file path.
+func LoadRulesFile(path string) (*Validator, error) { return eval.ReadRulesFile(path) }
+
+// Score compares an imputed relation against the injected ground truth.
+func Score(imputed *Relation, injected []Injected, v *Validator) Metrics {
+	return eval.Score(imputed, injected, v)
+}
+
+// ScoreByAttribute breaks the evaluation down per attribute.
+func ScoreByAttribute(imputed *Relation, injected []Injected, v *Validator) map[string]Metrics {
+	return eval.ScoreByAttribute(imputed, injected, v)
+}
+
+// ImpliesRFD reports whether phi holding on an instance structurally
+// guarantees psi holds.
+func ImpliesRFD(phi, psi *RFD) bool { return rfd.Implies(phi, psi) }
+
+// MinimizeRFDs returns an irredundant cover of the set (implied members
+// dropped).
+func MinimizeRFDs(sigma RFDSet) RFDSet { return rfd.Minimize(sigma) }
+
+// RFDMaintainer keeps a discovered RFDc set valid as tuples arrive (the
+// incremental-discovery prerequisite of the Sec. 7 streaming extension).
+type RFDMaintainer = discovery.Maintainer
+
+// NewRFDMaintainer starts incremental RFDc maintenance from a base
+// instance and a set holding on it.
+func NewRFDMaintainer(base *Relation, sigma RFDSet) *RFDMaintainer {
+	return discovery.NewMaintainer(base, sigma)
+}
+
+// GenerateDataset synthesizes one of the paper's evaluation datasets
+// ("restaurant", "cars", "glass", "bridges", "physician") at the given
+// size and seed.
+func GenerateDataset(name string, n int, seed int64) (*Relation, error) {
+	return datagen.ByName(name, n, seed)
+}
+
+// DatasetNames lists the available synthetic datasets.
+func DatasetNames() []string { return datagen.Names() }
+
+// AttrProfile is one attribute's summary from Profile.
+type AttrProfile = profile.AttrProfile
+
+// ProfileOptions tunes Profile.
+type ProfileOptions = profile.Options
+
+// Profile computes per-attribute summaries (null rate, distinctness,
+// numeric range, top values, sampled mean pairwise distance).
+func Profile(rel *Relation, opts ProfileOptions) []AttrProfile {
+	return profile.Relation(rel, opts)
+}

@@ -1,0 +1,232 @@
+package renuver
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const table2CSV = `Name,City,Phone,Type,Class
+Granita,Malibu,310/456-0488,Californian,6
+Chinois Main,LA,310-392-9025,French,5
+Citrus,Los Angeles,213/857-0034,Californian,6
+Citrus,Los Angeles,,Californian,6
+Fenix,Hollywood,213/848-6677,,5
+Fenix Argyle,,213/848-6677,French (new),5
+C. Main,Los Angeles,,French,5
+`
+
+func loadTable2(t *testing.T) *Relation {
+	t.Helper()
+	rel, err := LoadCSVString(table2CSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+func figure1Set(t *testing.T, schema *Schema) RFDSet {
+	t.Helper()
+	specs := []string{
+		"Name(<=8), Phone(<=0), Class(<=1) -> Type(<=0)",
+		"Class(<=0) -> Type(<=5)",
+		"City(<=2) -> Phone(<=2)",
+		"Name(<=4) -> Phone(<=1)",
+		"Name(<=8), Phone(<=0) -> City(<=9)",
+		"Name(<=6), City(<=9) -> Phone(<=0)",
+		"Phone(<=1) -> Class(<=0)",
+	}
+	var sigma RFDSet
+	for _, s := range specs {
+		dep, err := ParseRFD(s, schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigma = append(sigma, dep)
+	}
+	return sigma
+}
+
+func TestPublicAPIPaperExample(t *testing.T) {
+	rel := loadTable2(t)
+	res, err := Impute(rel, figure1Set(t, rel.Schema()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Imputed != 4 {
+		t.Fatalf("imputed %d, want 4", res.Stats.Imputed)
+	}
+	phone := rel.Schema().MustIndex("Phone")
+	if got := res.Relation.Get(6, phone).Str(); got != "310-392-9025" {
+		t.Errorf("t7[Phone] = %q", got)
+	}
+}
+
+func TestPublicAPIDiscoverAndImpute(t *testing.T) {
+	rel, err := GenerateDataset("restaurant", 120, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma, err := DiscoverRFDs(rel, DiscoveryOptions{MaxThreshold: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sigma) == 0 {
+		t.Fatal("nothing discovered")
+	}
+	dirty, injected, err := Inject(rel, 0.05, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Impute(dirty, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Score(res.Relation, injected, NewValidator())
+	if m.Imputed == 0 {
+		t.Error("nothing imputed on the synthetic restaurant data")
+	}
+	if m.Precision < 0 || m.Precision > 1 || m.F1 < 0 || m.F1 > 1 {
+		t.Errorf("metrics out of range: %+v", m)
+	}
+}
+
+func TestPublicAPIRFDRoundTripFiles(t *testing.T) {
+	rel := loadTable2(t)
+	sigma := figure1Set(t, rel.Schema())
+	dir := t.TempDir()
+	sigmaPath := filepath.Join(dir, "sigma.rfd")
+	if err := SaveRFDsFile(sigmaPath, sigma, rel.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadRFDsFile(sigmaPath, rel.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(sigma) {
+		t.Errorf("round trip %d -> %d", len(sigma), len(back))
+	}
+	csvPath := filepath.Join(dir, "rel.csv")
+	if err := SaveCSVFile(csvPath, rel); err != nil {
+		t.Fatal(err)
+	}
+	back2, err := LoadCSVFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back2.Equal(rel) {
+		t.Error("csv round trip changed relation")
+	}
+}
+
+func TestPublicAPIBuildRelationProgrammatically(t *testing.T) {
+	schema := NewSchema(
+		Attribute{Name: "K", Kind: KindString},
+		Attribute{Name: "V", Kind: KindInt},
+	)
+	rel := NewRelation(schema)
+	for i, k := range []string{"a", "a", "b"} {
+		if err := rel.Append(Tuple{NewString(k), NewInt(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rel.Set(2, 1, Null)
+	if rel.CountMissing() != 1 {
+		t.Fatal("null not set")
+	}
+	var buf bytes.Buffer
+	if err := SaveCSV(&buf, rel); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "K,V") {
+		t.Errorf("csv = %q", buf.String())
+	}
+}
+
+func TestPublicAPIBaselinesRunnable(t *testing.T) {
+	rel, err := GenerateDataset("glass", 60, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma, err := DiscoverRFDs(rel, DiscoveryOptions{MaxThreshold: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcs := DiscoverDCs(rel, DCDiscoveryOptions{MaxViolationRate: 0.02, MinEvidence: 1})
+	dirty, _, err := Inject(rel, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kn, err := NewKNN(KNNOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := NewDerand(sigma, DerandOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc, err := NewHoloclean(HolocleanOptions{DCs: dcs, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	methods := []Method{AsMethod(NewImputer(sigma)), kn, dr, hc}
+	for _, m := range methods {
+		out, err := m.Impute(dirty)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if out == dirty {
+			t.Fatalf("%s returned the input, want a clone", m.Name())
+		}
+		if out.Len() != dirty.Len() {
+			t.Fatalf("%s changed the row count", m.Name())
+		}
+	}
+}
+
+func TestPublicAPIValidatorRules(t *testing.T) {
+	v, err := LoadRules(strings.NewReader("regex Phone: [0-9]\ndelta Class: 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Correct("Phone", NewString("1/2-3"), NewString("123")) {
+		t.Error("regex rule inactive")
+	}
+	if !v.Correct("Class", NewInt(5), NewInt(6)) {
+		t.Error("delta rule inactive")
+	}
+}
+
+func TestPublicAPIOptionsCompose(t *testing.T) {
+	rel := loadTable2(t)
+	sigma := figure1Set(t, rel.Schema())
+	res, err := Impute(rel, sigma,
+		WithVerifyMode(VerifyBothSides),
+		WithClusterOrder(AscendingThreshold),
+		WithMaxCandidates(3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.MissingCells != 4 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+}
+
+func TestDatasetNamesAndGeneration(t *testing.T) {
+	names := DatasetNames()
+	if len(names) != 5 {
+		t.Fatalf("names = %v", names)
+	}
+	for _, name := range names {
+		rel, err := GenerateDataset(name, 25, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel.Len() != 25 {
+			t.Errorf("%s: %d rows", name, rel.Len())
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package renuver
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestShippedRuleFilesParse loads every rule file under testdata/rules
+// and spot-checks the semantics each encodes.
+func TestShippedRuleFilesParse(t *testing.T) {
+	files, err := filepath.Glob("testdata/rules/*.rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 5 {
+		t.Fatalf("rule files = %v, want one per dataset", files)
+	}
+	for _, f := range files {
+		if _, err := LoadRulesFile(f); err != nil {
+			t.Errorf("%s: %v", f, err)
+		}
+	}
+}
+
+func TestRestaurantRuleFileSemantics(t *testing.T) {
+	v, err := LoadRulesFile("testdata/rules/restaurant.rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Correct("Phone", NewString("310/456-0488"), NewString("310-456-0488")) {
+		t.Error("phone separator variant rejected")
+	}
+	if v.Correct("Phone", NewString("310/456-0488"), NewString("310-456-0489")) {
+		t.Error("different digits accepted")
+	}
+	if !v.Correct("City", NewString("LA"), NewString("Los Angeles")) {
+		t.Error("city alias rejected")
+	}
+	if !v.Correct("Type", NewString("French (new)"), NewString("French")) {
+		t.Error("cuisine variant rejected")
+	}
+}
+
+func TestCarsRuleFileSemantics(t *testing.T) {
+	v, err := LoadRulesFile("testdata/rules/cars.rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Horsepower example: ±25 admissible.
+	if !v.Correct("Horsepower", NewInt(150), NewInt(175)) {
+		t.Error("±25 horsepower rejected")
+	}
+	if v.Correct("Horsepower", NewInt(150), NewInt(180)) {
+		t.Error("out-of-delta horsepower accepted")
+	}
+}
+
+func TestGlassRuleFileSemantics(t *testing.T) {
+	v, err := LoadRulesFile("testdata/rules/glass.rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Correct("Na", NewFloat(13.2), NewFloat(13.7)) {
+		t.Error("within-tolerance Na rejected")
+	}
+	if v.Correct("Na", NewFloat(13.2), NewFloat(14.2)) {
+		t.Error("out-of-tolerance Na accepted")
+	}
+	// Type has no rule: strict equality applies.
+	if v.Correct("Type", NewInt(1), NewInt(2)) {
+		t.Error("Type should be strict")
+	}
+}
