@@ -5,14 +5,21 @@
 // Usage:
 //
 //	renuver -in dirty.csv -out clean.csv [-rfds sigma.rfd] [-threshold 15]
-//	        [-order asc|desc] [-verify lhs|both|off] [-report]
+//	        [-order asc|desc] [-verify lhs|both|off] [-report] [-stats]
+//	renuver serve -metrics-addr 127.0.0.1:8080 -in base.csv [-rfds sigma.rfd]
 //
 // When -rfds is omitted the RFDcs are discovered on the input first
 // (threshold limit -threshold). With -report, per-cell imputation
-// provenance is printed to stderr.
+// provenance is printed to stderr; with -stats, the run's counters and
+// per-phase wall clock are printed as JSON to stderr.
+//
+// The serve form starts a long-lived imputation service: POST a CSV to
+// /impute, read cumulative metrics on /metrics, and profile via
+// /debug/pprof — see serve.go.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +29,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := runServe(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "renuver serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		in        = flag.String("in", "", "input CSV with missing values (required)")
 		out       = flag.String("out", "", "output CSV (default: stdout)")
@@ -31,6 +45,7 @@ func main() {
 		order     = flag.String("order", "asc", "RHS-threshold cluster order: asc (paper prose) or desc (Algorithm 2 literal)")
 		verify    = flag.String("verify", "lhs", "IS_FAULTLESS scope: lhs (Algorithm 4), both, off")
 		report    = flag.Bool("report", false, "print per-cell imputation provenance to stderr")
+		stats     = flag.Bool("stats", false, "print run counters and per-phase wall clock as JSON to stderr")
 		saveRFDs  = flag.String("save-rfds", "", "write the (discovered) RFDc set to this file")
 		workers   = flag.Int("workers", 0, "parallel tuple-scan workers (0 = serial)")
 		donors    = flag.String("donors", "", "comma-separated reference CSVs for the multi-dataset extension")
@@ -40,7 +55,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*in, *out, *rfds, *saveRFDs, *threshold, *maxLHS, *order, *verify, *report, *workers, *donors); err != nil {
+	if err := run(*in, *out, *rfds, *saveRFDs, *threshold, *maxLHS, *order, *verify, *report, *stats, *workers, *donors); err != nil {
 		fmt.Fprintln(os.Stderr, "renuver:", err)
 		os.Exit(1)
 	}
@@ -62,7 +77,7 @@ func saveRelation(path string, rel *renuver.Relation) error {
 	return renuver.SaveCSVFile(path, rel)
 }
 
-func run(in, out, rfds, saveRFDs string, threshold float64, maxLHS int, order, verify string, report bool, workers int, donors string) error {
+func run(in, out, rfds, saveRFDs string, threshold float64, maxLHS int, order, verify string, report, stats bool, workers int, donors string) error {
 	rel, err := loadRelation(in)
 	if err != nil {
 		return err
@@ -135,6 +150,13 @@ func run(in, out, rfds, saveRFDs string, threshold float64, maxLHS int, order, v
 		res.Stats.Imputed, res.Stats.MissingCells, res.Stats.KeyRFDs, res.Stats.VerifyRejections)
 	if report {
 		fmt.Fprint(os.Stderr, res.Report(rel.Schema()))
+	}
+	if stats {
+		doc, err := json.MarshalIndent(res.Stats, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%s\n", doc)
 	}
 
 	if out == "" {

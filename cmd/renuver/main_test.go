@@ -41,7 +41,7 @@ func TestRunWithProvidedRFDs(t *testing.T) {
 	in := writeTemp(t, "dirty.csv", dirtyCSV)
 	rfds := writeTemp(t, "sigma.rfd", sigmaFile)
 	out := filepath.Join(t.TempDir(), "clean.csv")
-	if err := run(in, out, rfds, "", 15, 2, "asc", "lhs", false, 0, ""); err != nil {
+	if err := run(in, out, rfds, "", 15, 2, "asc", "lhs", false, false, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	rel, err := renuver.LoadCSVFile(out)
@@ -61,7 +61,7 @@ func TestRunWithDiscovery(t *testing.T) {
 	in := writeTemp(t, "dirty.csv", dirtyCSV)
 	out := filepath.Join(t.TempDir(), "clean.csv")
 	saved := filepath.Join(t.TempDir(), "sigma.rfd")
-	if err := run(in, out, "", saved, 9, 2, "asc", "both", true, 2, ""); err != nil {
+	if err := run(in, out, "", saved, 9, 2, "asc", "both", true, false, 2, ""); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(out); err != nil {
@@ -79,16 +79,16 @@ func TestRunWithDiscovery(t *testing.T) {
 func TestRunBadFlags(t *testing.T) {
 	in := writeTemp(t, "dirty.csv", dirtyCSV)
 	rfds := writeTemp(t, "sigma.rfd", sigmaFile)
-	if err := run(in, "", rfds, "", 15, 2, "sideways", "lhs", false, 0, ""); err == nil {
+	if err := run(in, "", rfds, "", 15, 2, "sideways", "lhs", false, false, 0, ""); err == nil {
 		t.Error("bad -order accepted")
 	}
-	if err := run(in, "", rfds, "", 15, 2, "asc", "maybe", false, 0, ""); err == nil {
+	if err := run(in, "", rfds, "", 15, 2, "asc", "maybe", false, false, 0, ""); err == nil {
 		t.Error("bad -verify accepted")
 	}
-	if err := run(filepath.Join(t.TempDir(), "missing.csv"), "", "", "", 15, 2, "asc", "lhs", false, 0, ""); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "missing.csv"), "", "", "", 15, 2, "asc", "lhs", false, false, 0, ""); err == nil {
 		t.Error("missing input accepted")
 	}
-	if err := run(in, "", filepath.Join(t.TempDir(), "missing.rfd"), "", 15, 2, "asc", "lhs", false, 0, ""); err == nil {
+	if err := run(in, "", filepath.Join(t.TempDir(), "missing.rfd"), "", 15, 2, "asc", "lhs", false, false, 0, ""); err == nil {
 		t.Error("missing RFD file accepted")
 	}
 }
@@ -100,7 +100,7 @@ func TestRunJSONLinesInAndOut(t *testing.T) {
 `)
 	rfdsFile := writeTemp(t, "sigma.rfd", "A(<=0) -> B(<=0)\n")
 	out := filepath.Join(t.TempDir(), "clean.jsonl")
-	if err := run(in, out, rfdsFile, "", 15, 2, "asc", "lhs", false, 0, ""); err != nil {
+	if err := run(in, out, rfdsFile, "", 15, 2, "asc", "lhs", false, false, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	rel, err := renuver.LoadJSONLinesFile(out)
@@ -122,7 +122,7 @@ func TestRunWithDonorPool(t *testing.T) {
 	donor := writeTemp(t, "donor.csv", "A,B\nx,v1\n")
 	rfds := writeTemp(t, "sigma.rfd", "A(<=0) -> B(<=0)\n")
 	out := filepath.Join(t.TempDir(), "clean.csv")
-	if err := run(in, out, rfds, "", 15, 2, "asc", "lhs", false, 0, donor); err != nil {
+	if err := run(in, out, rfds, "", 15, 2, "asc", "lhs", false, false, 0, donor); err != nil {
 		t.Fatal(err)
 	}
 	rel, err := renuver.LoadCSVFile(out)
@@ -133,7 +133,7 @@ func TestRunWithDonorPool(t *testing.T) {
 		t.Errorf("B = %q, want v1 from the donor file", got)
 	}
 	// A bad donor path must fail loudly.
-	if err := run(in, "", rfds, "", 15, 2, "asc", "lhs", false, 0, "/nonexistent.csv"); err == nil {
+	if err := run(in, "", rfds, "", 15, 2, "asc", "lhs", false, false, 0, "/nonexistent.csv"); err == nil {
 		t.Error("missing donor file accepted")
 	}
 }
@@ -142,7 +142,7 @@ func TestRunDescOrderAndOffVerify(t *testing.T) {
 	in := writeTemp(t, "dirty.csv", dirtyCSV)
 	rfds := writeTemp(t, "sigma.rfd", sigmaFile)
 	out := filepath.Join(t.TempDir(), "clean.csv")
-	if err := run(in, out, rfds, "", 15, 2, "desc", "off", false, 0, ""); err != nil {
+	if err := run(in, out, rfds, "", 15, 2, "desc", "off", false, false, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	rel, err := renuver.LoadCSVFile(out)

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	renuver "repro"
+)
+
+// runServe is the `renuver serve` mode: a long-lived imputation service
+// with first-class observability. Σ is prepared once from the base
+// instance (or loaded from a file); every POST /impute run then records
+// into one process-wide metrics sink, served as a JSON snapshot on
+// /metrics alongside the net/http/pprof endpoints.
+//
+// Endpoints:
+//
+//	POST /impute        CSV in the body -> imputed CSV; the run's
+//	                    Result.Stats come back in the X-Renuver-Stats
+//	                    header as compact JSON.
+//	GET  /metrics       cumulative counters/histograms/phase timings.
+//	GET  /healthz       liveness probe.
+//	GET  /debug/pprof/  CPU/heap/goroutine profiles.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var (
+		addr      = fs.String("metrics-addr", "127.0.0.1:8080", "address to serve /impute, /metrics and /debug/pprof on")
+		in        = fs.String("in", "", "base CSV/JSONL the RFDcs are prepared from (required)")
+		rfds      = fs.String("rfds", "", "RFDc set file; discovered from the base when omitted")
+		threshold = fs.Float64("threshold", 15, "discovery threshold limit when -rfds is omitted")
+		maxLHS    = fs.Int("maxlhs", 2, "discovery LHS size limit when -rfds is omitted")
+		order     = fs.String("order", "asc", "RHS-threshold cluster order: asc or desc")
+		verify    = fs.String("verify", "lhs", "IS_FAULTLESS scope: lhs, both, off")
+		workers   = fs.Int("workers", 0, "parallel tuple-scan workers (0 = serial)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		fs.Usage()
+		return fmt.Errorf("serve: -in is required")
+	}
+
+	base, err := loadRelation(*in)
+	if err != nil {
+		return err
+	}
+	var sigma renuver.RFDSet
+	if *rfds != "" {
+		sigma, err = renuver.LoadRFDsFile(*rfds, base.Schema())
+	} else {
+		sigma, err = renuver.DiscoverRFDs(base, renuver.DiscoveryOptions{
+			MaxThreshold: *threshold, MaxLHS: *maxLHS,
+			Recorder: renuver.GlobalMetrics(),
+		})
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "serve: %d RFDcs over schema %s\n", len(sigma), base.Schema())
+
+	opts, err := imputerOptions(*order, *verify, *workers)
+	if err != nil {
+		return err
+	}
+
+	renuver.SetGlobalMetricsEnabled(true)
+	metrics := renuver.GlobalMetrics()
+	im := renuver.NewImputer(sigma, append(opts, renuver.WithRecorder(metrics))...)
+
+	mux := newServeMux(im, metrics)
+	srv := &http.Server{Addr: *addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	fmt.Fprintf(os.Stderr, "serve: listening on %s\n", *addr)
+	return srv.ListenAndServe()
+}
+
+// imputerOptions translates the shared CLI flags into imputer options.
+func imputerOptions(order, verify string, workers int) ([]renuver.Option, error) {
+	var opts []renuver.Option
+	switch order {
+	case "asc":
+	case "desc":
+		opts = append(opts, renuver.WithClusterOrder(renuver.DescendingThreshold))
+	default:
+		return nil, fmt.Errorf("unknown -order %q", order)
+	}
+	switch verify {
+	case "lhs":
+	case "both":
+		opts = append(opts, renuver.WithVerifyMode(renuver.VerifyBothSides))
+	case "off":
+		opts = append(opts, renuver.WithVerifyMode(renuver.VerifyOff))
+	default:
+		return nil, fmt.Errorf("unknown -verify %q", verify)
+	}
+	if workers > 1 {
+		opts = append(opts, renuver.WithWorkers(workers))
+	}
+	return opts, nil
+}
+
+// newServeMux wires the service endpoints; split out so tests can drive
+// the handlers without binding a port.
+func newServeMux(im *renuver.Imputer, metrics *renuver.MetricsRecorder) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", renuver.MetricsHandler(metrics))
+	renuver.MountDebugHandlers(mux)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/impute", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST a CSV document to impute it", http.StatusMethodNotAllowed)
+			return
+		}
+		rel, err := renuver.LoadCSV(r.Body)
+		if err != nil {
+			http.Error(w, "bad CSV: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, err := im.ImputeContext(r.Context(), rel)
+		if err != nil {
+			http.Error(w, "imputation failed: "+err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "serve: %s\n", statsSummary(res.Stats))
+		stats, err := json.Marshal(res.Stats)
+		if err == nil {
+			// Headers must be single-line; compact JSON is.
+			w.Header().Set("X-Renuver-Stats", string(stats))
+		}
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		if err := renuver.SaveCSV(w, res.Relation); err != nil {
+			// Too late for a status change; the truncated body is the
+			// only signal left.
+			fmt.Fprintf(os.Stderr, "serve: writing response: %v\n", err)
+		}
+	})
+	return mux
+}
+
+// statsSummary renders the headline counters for log lines.
+func statsSummary(s renuver.Stats) string {
+	return strings.TrimSpace(fmt.Sprintf(
+		"imputed %d/%d, %d donors scanned, %d faultless checks, search %s verify %s",
+		s.Imputed, s.MissingCells, s.DonorsScanned, s.FaultlessChecks,
+		s.Phases.CandidateSearch.Round(time.Microsecond),
+		s.Phases.Verify.Round(time.Microsecond)))
+}

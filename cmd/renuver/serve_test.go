@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	renuver "repro"
+)
+
+// paperCSV is the running example of the paper (Figure 1 flavor): the
+// missing City is recoverable from the Name/Phone neighborhood.
+const paperCSV = `Name,City,Phone
+Granita,Malibu,310/456-0488
+Granita,Malibu,310/456-0488
+Granita,,310/456-0488
+Spago,W. Hollywood,310/652-4025
+Spago,W. Hollywood,310/652-4025
+`
+
+func newTestMux(t *testing.T) (*http.ServeMux, *renuver.MetricsRecorder) {
+	t.Helper()
+	base, err := renuver.LoadCSVString(paperCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma, err := renuver.DiscoverRFDs(base, renuver.DiscoveryOptions{MaxThreshold: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sigma) == 0 {
+		t.Fatal("no RFDcs discovered on the base")
+	}
+	metrics := renuver.NewMetricsRecorder()
+	im := renuver.NewImputer(sigma, renuver.WithRecorder(metrics))
+	return newServeMux(im, metrics), metrics
+}
+
+func TestServeImputeEndpoint(t *testing.T) {
+	mux, metrics := newTestMux(t)
+
+	req := httptest.NewRequest("POST", "/impute", strings.NewReader(paperCSV))
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	body := rec.Body.String()
+	if strings.Count(body, "Malibu") != 3 {
+		t.Fatalf("missing City not imputed:\n%s", body)
+	}
+
+	var stats renuver.Stats
+	if err := json.Unmarshal([]byte(rec.Header().Get("X-Renuver-Stats")), &stats); err != nil {
+		t.Fatalf("X-Renuver-Stats not parseable: %v", err)
+	}
+	if stats.Imputed != 1 || stats.FaultlessChecks == 0 || stats.Phases.Total <= 0 {
+		t.Fatalf("stats header = %+v", stats)
+	}
+
+	// The run must have aggregated into the shared recorder.
+	s := metrics.Snapshot()
+	if s.Counters["imputations"] != 1 || s.Counters["faultless_checks"] == 0 {
+		t.Fatalf("metrics after impute = %v", s.Counters)
+	}
+	if s.Phases["total"].Count != 1 {
+		t.Fatalf("total phase = %+v", s.Phases["total"])
+	}
+}
+
+func TestServeMetricsAndHealthEndpoints(t *testing.T) {
+	mux, _ := newTestMux(t)
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ok") {
+		t.Fatalf("healthz = %d %q", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status = %d", rec.Code)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+		Phases   map[string]any   `json:"phases"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if _, ok := snap.Counters["candidates_evaluated"]; !ok {
+		t.Fatalf("metrics missing counters: %v", snap.Counters)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("pprof status = %d", rec.Code)
+	}
+}
+
+func TestServeImputeRejectsBadInput(t *testing.T) {
+	mux, _ := newTestMux(t)
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/impute", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /impute = %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("POST", "/impute", strings.NewReader("A,B\n1\n")))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("ragged CSV = %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestImputerOptionsValidation(t *testing.T) {
+	if _, err := imputerOptions("sideways", "lhs", 0); err == nil {
+		t.Fatal("bad order accepted")
+	}
+	if _, err := imputerOptions("asc", "maybe", 0); err == nil {
+		t.Fatal("bad verify accepted")
+	}
+	opts, err := imputerOptions("desc", "both", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts) != 3 {
+		t.Fatalf("opts = %d, want 3", len(opts))
+	}
+}

@@ -2,8 +2,10 @@ package core
 
 import (
 	"context"
+	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/obs"
 )
 
 // ImputeContext is Impute with cooperative cancellation: the context is
@@ -17,8 +19,11 @@ func (im *Imputer) ImputeContext(ctx context.Context, rel *dataset.Relation) (*R
 	if err := validateSigma(im.sigma, rel.Schema().Len()); err != nil {
 		return nil, err
 	}
+	runStart := time.Now()
 	work := rel.Clone()
 	res := &Result{Relation: work}
+
+	preStart := time.Now()
 	kt := newKeyTrackerParallel(work, im.sigma, im.opts.Workers)
 	res.Stats.KeyRFDs = kt.keys
 	incomplete := work.IncompleteRows()
@@ -28,11 +33,12 @@ func (im *Imputer) ImputeContext(ctx context.Context, rel *dataset.Relation) (*R
 	if !im.opts.NoIndex {
 		idx = newDonorIndex(work, im.sigma)
 	}
+	res.Stats.Phases.Preprocess = time.Since(preStart)
 
 	for _, row := range incomplete {
 		for _, attr := range work.Row(row).MissingAttrs() {
 			if err := ctx.Err(); err != nil {
-				res.finish(work)
+				im.finishRun(res, work, runStart)
 				return res, err
 			}
 			sigmaPrime := kt.nonKeys()
@@ -40,15 +46,29 @@ func (im *Imputer) ImputeContext(ctx context.Context, rel *dataset.Relation) (*R
 			if im.imputeMissingValue(work, row, attr, sigmaPrime, clusters, res, idx) {
 				idx.insert(row, attr, work.Get(row, attr))
 				if !im.opts.NoKeyReevaluation {
+					reevalStart := time.Now()
 					before := kt.keys
 					kt.afterImpute(row, attr)
 					res.Stats.KeyFlips += before - kt.keys
+					res.Stats.Phases.KeyReeval += time.Since(reevalStart)
 				}
 			}
 		}
 	}
-	res.finish(work)
+	im.finishRun(res, work, runStart)
 	return res, nil
+}
+
+// finishRun seals the result (tail counters, total wall clock) and
+// forwards the run to the configured recorder.
+func (im *Imputer) finishRun(res *Result, work *dataset.Relation, runStart time.Time) {
+	res.finish(work)
+	res.Stats.Phases.Total = time.Since(runStart)
+	rec := im.opts.recorder()
+	publishStats(rec, &res.Stats)
+	if rec.Enabled() {
+		rec.Observe(obs.HistImputeMicros, float64(res.Stats.Phases.Total.Microseconds()))
+	}
 }
 
 // finish populates the unimputed list and the tail counters.

@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/distance"
+	"repro/internal/obs"
 	"repro/internal/rfd"
 )
 
@@ -31,12 +33,16 @@ func (im *Imputer) ImputeWithDonors(rel *dataset.Relation, donors []*dataset.Rel
 		return nil, err
 	}
 
+	runStart := time.Now()
 	work := rel.Clone()
 	res := &Result{Relation: work}
+
+	preStart := time.Now()
 	kt := newKeyTrackerWithDonors(work, im.sigma, donors)
 	res.Stats.KeyRFDs = kt.keys
 	incomplete := work.IncompleteRows()
 	res.Stats.MissingCells = work.CountMissing()
+	res.Stats.Phases.Preprocess = time.Since(preStart)
 
 	for _, row := range incomplete {
 		for _, attr := range work.Row(row).MissingAttrs() {
@@ -44,19 +50,17 @@ func (im *Imputer) ImputeWithDonors(rel *dataset.Relation, donors []*dataset.Rel
 			clusters := im.clustersFor(sigmaPrime, attr)
 			if im.imputeWithDonorPool(work, donors, row, attr, sigmaPrime, clusters, res) {
 				if !im.opts.NoKeyReevaluation {
+					reevalStart := time.Now()
 					before := kt.keys
 					kt.afterImpute(row, attr)
 					res.Stats.KeyFlips += before - kt.keys
+					res.Stats.Phases.KeyReeval += time.Since(reevalStart)
 				}
 			}
 		}
 	}
 
-	for _, c := range work.MissingCells() {
-		res.Unimputed = append(res.Unimputed, c)
-	}
-	res.Stats.Imputed = len(res.Imputations)
-	res.Stats.Unimputed = len(res.Unimputed)
+	im.finishRun(res, work, runStart)
 	return res, nil
 }
 
@@ -77,14 +81,27 @@ type donorCandidate struct {
 func (im *Imputer) imputeWithDonorPool(work *dataset.Relation, donors []*dataset.Relation,
 	row, attr int, sigmaPrime rfd.Set, clusters []rfd.Cluster, res *Result) bool {
 
+	rec := im.opts.recorder()
+	poolSize := work.Len() - 1
+	for _, d := range donors {
+		poolSize += d.Len()
+	}
 	for _, cluster := range clusters {
 		res.Stats.ClustersScanned++
+		searchStart := time.Now()
 		cands := findDonorCandidates(work, donors, row, attr, cluster.RFDs)
+		res.Stats.Phases.CandidateSearch += time.Since(searchStart)
+		res.Stats.DonorsScanned += poolSize
 		res.Stats.CandidatesEvaluated += len(cands)
+		if rec.Enabled() {
+			rec.Observe(obs.HistCandidatesPerCell, float64(len(cands)))
+		}
 		if len(cands) == 0 {
 			continue
 		}
 		if !im.opts.NoRanking {
+			res.Stats.DonorsRanked += len(cands)
+			rankStart := time.Now()
 			sort.Slice(cands, func(i, j int) bool {
 				if cands[i].dist != cands[j].dist {
 					return cands[i].dist < cands[j].dist
@@ -94,6 +111,7 @@ func (im *Imputer) imputeWithDonorPool(work *dataset.Relation, donors []*dataset
 				}
 				return cands[i].ref.row < cands[j].ref.row
 			})
+			res.Stats.Phases.Ranking += time.Since(rankStart)
 		}
 		limit := len(cands)
 		if im.opts.MaxCandidates > 0 && im.opts.MaxCandidates < limit {
@@ -109,7 +127,11 @@ func (im *Imputer) imputeWithDonorPool(work *dataset.Relation, donors []*dataset
 			}
 			work.Set(row, attr, value)
 			res.Stats.CandidatesTried++
-			if im.isFaultless(work, row, attr, sigmaPrime) {
+			res.Stats.FaultlessChecks++
+			verifyStart := time.Now()
+			faultless := im.isFaultless(work, row, attr, sigmaPrime)
+			res.Stats.Phases.Verify += time.Since(verifyStart)
+			if faultless {
 				res.Imputations = append(res.Imputations, Imputation{
 					Cell:             dataset.Cell{Row: row, Attr: attr},
 					Value:            value,
@@ -119,6 +141,10 @@ func (im *Imputer) imputeWithDonorPool(work *dataset.Relation, donors []*dataset
 					ClusterThreshold: cluster.Threshold,
 					Attempt:          k + 1,
 				})
+				res.Stats.countImputed(attr, work.Schema().Len())
+				if rec.Enabled() {
+					rec.Observe(obs.HistAttemptsPerImputation, float64(k+1))
+				}
 				return true
 			}
 			res.Stats.VerifyRejections++

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/distance"
+	"repro/internal/obs"
 	"repro/internal/rfd"
 )
 
@@ -41,17 +43,82 @@ type Imputation struct {
 	Attempt          int     // how many ranked candidates were tried (1 = first)
 }
 
+// PhaseTimes breaks one run's wall clock into the pipeline phases the
+// paper's cost model names: candidate retrieval and ranking (Algorithm 3
+// + Eq. 2) and IS_FAULTLESS verification (Algorithm 4), plus the
+// bookkeeping around them. Phases do not sum to Total: the loop glue and
+// result assembly are unattributed.
+type PhaseTimes struct {
+	// Preprocess is key-RFDc detection plus the donor-index build.
+	Preprocess time.Duration
+	// CandidateSearch is the donor scans of Algorithm 3.
+	CandidateSearch time.Duration
+	// Ranking is the distance sort of T_candidate.
+	Ranking time.Duration
+	// Verify is IS_FAULTLESS across all tentative imputations.
+	Verify time.Duration
+	// KeyReeval is the post-imputation key re-evaluation (Alg. 1 l. 14).
+	KeyReeval time.Duration
+	// Total is the whole run, entry to return.
+	Total time.Duration
+}
+
 // Stats aggregates counters over one Impute run.
 type Stats struct {
 	MissingCells        int // cells that were null on input
 	Imputed             int // cells successfully imputed
 	Unimputed           int // cells left null
 	KeyRFDs             int // RFDcs filtered as keys during pre-processing
+	DonorsScanned       int // donor tuples examined during candidate search
 	CandidatesEvaluated int // (tuple, cluster) candidate tuples scored
+	DonorsRanked        int // candidates that entered the distance sort
 	CandidatesTried     int // tentative imputations attempted
+	FaultlessChecks     int // IS_FAULTLESS invocations
 	VerifyRejections    int // tentative imputations rejected by IS_FAULTLESS
 	ClustersScanned     int // clusters examined across all missing values
 	KeyFlips            int // key-RFDcs that became non-key mid-run
+	IndexHits           int // candidate scans answered by the donor index
+	IndexMisses         int // scans that fell back to the full sweep despite an index
+	// ImputedByAttr counts successful imputations per attribute position
+	// (len = schema arity; nil when the run imputed nothing).
+	ImputedByAttr []int
+	// Phases is the per-phase wall-clock breakdown.
+	Phases PhaseTimes
+}
+
+// countImputed attributes one successful imputation to its attribute.
+func (s *Stats) countImputed(attr, arity int) {
+	if s.ImputedByAttr == nil {
+		s.ImputedByAttr = make([]int, arity)
+	}
+	s.ImputedByAttr[attr]++
+}
+
+// publishStats forwards one run's counters and phase timings to a
+// recorder, as a single batch so the hot loops never pay interface
+// dispatch per event.
+func publishStats(rec obs.Recorder, s *Stats) {
+	if rec == nil || !rec.Enabled() {
+		return
+	}
+	rec.Add(obs.CtrMissingCells, int64(s.MissingCells))
+	rec.Add(obs.CtrImputations, int64(s.Imputed))
+	rec.Add(obs.CtrDonorsScanned, int64(s.DonorsScanned))
+	rec.Add(obs.CtrCandidatesEvaluated, int64(s.CandidatesEvaluated))
+	rec.Add(obs.CtrDonorsRanked, int64(s.DonorsRanked))
+	rec.Add(obs.CtrCandidatesTried, int64(s.CandidatesTried))
+	rec.Add(obs.CtrFaultlessChecks, int64(s.FaultlessChecks))
+	rec.Add(obs.CtrFaultlessFailures, int64(s.VerifyRejections))
+	rec.Add(obs.CtrClustersScanned, int64(s.ClustersScanned))
+	rec.Add(obs.CtrKeyFlips, int64(s.KeyFlips))
+	rec.Add(obs.CtrIndexHits, int64(s.IndexHits))
+	rec.Add(obs.CtrIndexMisses, int64(s.IndexMisses))
+	rec.Time(obs.PhasePreprocess, s.Phases.Preprocess)
+	rec.Time(obs.PhaseCandidateSearch, s.Phases.CandidateSearch)
+	rec.Time(obs.PhaseRanking, s.Phases.Ranking)
+	rec.Time(obs.PhaseVerify, s.Phases.Verify)
+	rec.Time(obs.PhaseKeyReeval, s.Phases.KeyReeval)
+	rec.Time(obs.PhaseTotal, s.Phases.Total)
 }
 
 // Result is the outcome of one Impute run.
@@ -143,21 +210,37 @@ type candidate struct {
 func (im *Imputer) imputeMissingValue(work *dataset.Relation, row, attr int,
 	sigmaPrime rfd.Set, clusters []rfd.Cluster, res *Result, idx *donorIndex) bool {
 
+	rec := im.opts.recorder()
 	for _, cluster := range clusters {
 		res.Stats.ClustersScanned++
+		searchStart := time.Now()
 		var cands []candidate
 		if rows, ok := idx.candidateRows(work, row, cluster.RFDs); ok {
+			res.Stats.IndexHits++
+			res.Stats.DonorsScanned += len(rows)
 			cands = findCandidateTuplesIndexed(work, rows, row, attr, cluster.RFDs)
-		} else if im.opts.Workers > 1 {
-			cands = findCandidateTuplesParallel(work, row, attr, cluster.RFDs, im.opts.Workers)
 		} else {
-			cands = findCandidateTuples(work, row, attr, cluster.RFDs)
+			if idx != nil {
+				res.Stats.IndexMisses++
+			}
+			res.Stats.DonorsScanned += work.Len() - 1
+			if im.opts.Workers > 1 {
+				cands = findCandidateTuplesParallel(work, row, attr, cluster.RFDs, im.opts.Workers)
+			} else {
+				cands = findCandidateTuples(work, row, attr, cluster.RFDs)
+			}
 		}
+		res.Stats.Phases.CandidateSearch += time.Since(searchStart)
 		res.Stats.CandidatesEvaluated += len(cands)
+		if rec.Enabled() {
+			rec.Observe(obs.HistCandidatesPerCell, float64(len(cands)))
+		}
 		if len(cands) == 0 {
 			continue
 		}
 		if !im.opts.NoRanking {
+			res.Stats.DonorsRanked += len(cands)
+			rankStart := time.Now()
 			// Ascending dist; ties broken by row index for determinism.
 			sort.Slice(cands, func(i, j int) bool {
 				if cands[i].dist != cands[j].dist {
@@ -165,6 +248,7 @@ func (im *Imputer) imputeMissingValue(work *dataset.Relation, row, attr int,
 				}
 				return cands[i].row < cands[j].row
 			})
+			res.Stats.Phases.Ranking += time.Since(rankStart)
 		}
 		limit := len(cands)
 		if im.opts.MaxCandidates > 0 && im.opts.MaxCandidates < limit {
@@ -175,7 +259,11 @@ func (im *Imputer) imputeMissingValue(work *dataset.Relation, row, attr int,
 			value := work.Get(cand.row, attr)
 			work.Set(row, attr, value) // tentative t[A] <- t_j[A]
 			res.Stats.CandidatesTried++
-			if im.isFaultlessParallel(work, row, attr, sigmaPrime) {
+			res.Stats.FaultlessChecks++
+			verifyStart := time.Now()
+			faultless := im.isFaultlessParallel(work, row, attr, sigmaPrime)
+			res.Stats.Phases.Verify += time.Since(verifyStart)
+			if faultless {
 				res.Imputations = append(res.Imputations, Imputation{
 					Cell:             dataset.Cell{Row: row, Attr: attr},
 					Value:            value,
@@ -185,6 +273,10 @@ func (im *Imputer) imputeMissingValue(work *dataset.Relation, row, attr int,
 					ClusterThreshold: cluster.Threshold,
 					Attempt:          k + 1,
 				})
+				res.Stats.countImputed(attr, work.Schema().Len())
+				if rec.Enabled() {
+					rec.Observe(obs.HistAttemptsPerImputation, float64(k+1))
+				}
 				return true
 			}
 			res.Stats.VerifyRejections++

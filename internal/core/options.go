@@ -14,7 +14,15 @@
 //	    consistent (IS_FAULTLESS); imputed tuples immediately become donors
 //	    for later missing values, and key-RFDcs are re-evaluated after
 //	    every successful imputation (a key can turn non-key, Example 5.1).
+//
+// Observability: every run fills Result.Stats (counters plus per-phase
+// wall clock) unconditionally, and an optional obs.Recorder — see
+// WithRecorder — additionally receives the same events for cross-run
+// aggregation (the `renuver serve -metrics-addr` mode). The default
+// recorder is a no-op, so the hook costs library users nothing.
 package core
+
+import "repro/internal/obs"
 
 // ClusterOrder selects the order in which RHS-threshold clusters are
 // tried for one missing value.
@@ -78,6 +86,18 @@ type Options struct {
 	// candidate generation skip donors that cannot satisfy any premise.
 	// Results are identical either way.
 	NoIndex bool
+	// Recorder receives pipeline events (counters, histograms, phase
+	// timings) across runs. Nil means obs.Nop: Result.Stats is still
+	// filled, but nothing is aggregated process-wide.
+	Recorder obs.Recorder
+}
+
+// recorder returns the configured Recorder, defaulting to the no-op.
+func (o *Options) recorder() obs.Recorder {
+	if o.Recorder == nil {
+		return obs.Nop{}
+	}
+	return o.Recorder
 }
 
 // Option mutates Options; used by New.
@@ -107,3 +127,8 @@ func WithWorkers(n int) Option { return func(op *Options) { op.Workers = n } }
 // WithoutIndex disables the donor index on equality-constrained LHS
 // attributes.
 func WithoutIndex() Option { return func(op *Options) { op.NoIndex = true } }
+
+// WithRecorder aggregates run events into r (typically an *obs.Metrics
+// shared across runs). r must be safe for concurrent use when the same
+// Imputer serves concurrent calls.
+func WithRecorder(r obs.Recorder) Option { return func(op *Options) { op.Recorder = r } }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/distance"
+	"repro/internal/obs"
 )
 
 // Stream is the paper's incremental-scenario extension (Sec. 7: "we
@@ -59,11 +60,13 @@ func (s *Stream) Append(t dataset.Tuple) ([]Imputation, error) {
 	}
 	row := s.work.Len() - 1
 	s.absorbNewRow(row)
+	s.im.opts.recorder().Add(obs.CtrStreamAppends, 1)
 
 	var out []Imputation
 	for _, attr := range s.work.Row(row).MissingAttrs() {
 		s.stats.MissingCells++
 		res := &Result{Relation: s.work}
+		res.Stats.MissingCells = 1
 		sigmaPrime := s.kt.nonKeys()
 		clusters := s.im.clustersFor(sigmaPrime, attr)
 		if s.im.imputeMissingValue(s.work, row, attr, sigmaPrime, clusters, res, nil) {
@@ -71,12 +74,14 @@ func (s *Stream) Append(t dataset.Tuple) ([]Imputation, error) {
 				before := s.kt.keys
 				s.kt.afterImpute(row, attr)
 				s.stats.KeyFlips += before - s.kt.keys
+				res.Stats.KeyFlips = before - s.kt.keys
 			}
 			out = append(out, res.Imputations...)
 			s.stats.Imputed++
 		} else {
 			s.stats.Unimputed++
 		}
+		res.Stats.Imputed = len(res.Imputations)
 		s.accumulate(res.Stats)
 	}
 	return out, nil
@@ -96,11 +101,13 @@ func (s *Stream) RetryMissing() []Imputation {
 				before := s.kt.keys
 				s.kt.afterImpute(cell.Row, cell.Attr)
 				s.stats.KeyFlips += before - s.kt.keys
+				res.Stats.KeyFlips = before - s.kt.keys
 			}
 			out = append(out, res.Imputations...)
 			s.stats.Imputed++
 			s.stats.Unimputed--
 		}
+		res.Stats.Imputed = len(res.Imputations)
 		s.accumulate(res.Stats)
 	}
 	return out
@@ -123,10 +130,26 @@ func (s *Stream) absorbNewRow(row int) {
 	}
 }
 
-// accumulate folds one per-cell run's counters into the stream totals.
+// accumulate folds one per-cell run's counters into the stream totals
+// and forwards them to the configured recorder.
 func (s *Stream) accumulate(st Stats) {
+	s.stats.DonorsScanned += st.DonorsScanned
 	s.stats.CandidatesEvaluated += st.CandidatesEvaluated
+	s.stats.DonorsRanked += st.DonorsRanked
 	s.stats.CandidatesTried += st.CandidatesTried
+	s.stats.FaultlessChecks += st.FaultlessChecks
 	s.stats.VerifyRejections += st.VerifyRejections
 	s.stats.ClustersScanned += st.ClustersScanned
+	s.stats.IndexHits += st.IndexHits
+	s.stats.IndexMisses += st.IndexMisses
+	for attr, n := range st.ImputedByAttr {
+		for i := 0; i < n; i++ {
+			s.stats.countImputed(attr, s.work.Schema().Len())
+		}
+	}
+	s.stats.Phases.CandidateSearch += st.Phases.CandidateSearch
+	s.stats.Phases.Ranking += st.Phases.Ranking
+	s.stats.Phases.Verify += st.Phases.Verify
+	s.stats.Phases.KeyReeval += st.Phases.KeyReeval
+	publishStats(s.im.opts.recorder(), &st)
 }

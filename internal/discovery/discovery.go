@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/distance"
+	"repro/internal/obs"
 	"repro/internal/rfd"
 )
 
@@ -59,6 +60,10 @@ type Config struct {
 	// extension. Nil means MaxThreshold everywhere; otherwise the slice
 	// must cover every attribute.
 	AttrLimits []float64
+	// Recorder receives discovery observability events (patterns
+	// materialized, RFDcs emitted, discovery wall clock). Nil means
+	// no-op.
+	Recorder obs.Recorder
 }
 
 // limitFor returns the effective threshold cap for one attribute.
@@ -97,6 +102,11 @@ func Discover(rel *dataset.Relation, cfg Config) (rfd.Set, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
+	rec := cfg.Recorder
+	if rec == nil {
+		rec = obs.Nop{}
+	}
+	start := obs.Now(rec)
 	m := rel.Schema().Len()
 	if m < 2 || rel.Len() < 2 {
 		return nil, nil
@@ -106,6 +116,7 @@ func Discover(rel *dataset.Relation, cfg Config) (rfd.Set, error) {
 	if len(patterns) == 0 {
 		return nil, nil
 	}
+	rec.Add(obs.CtrDiscoveryPatterns, int64(len(patterns)))
 
 	attrs := make([]int, m)
 	for i := range attrs {
@@ -120,6 +131,8 @@ func Discover(rel *dataset.Relation, cfg Config) (rfd.Set, error) {
 		}
 		out = append(out, candidates...)
 	}
+	rec.Add(obs.CtrDiscoveryRFDs, int64(len(out)))
+	obs.Since(rec, obs.PhaseDiscovery, start)
 	return out, nil
 }
 

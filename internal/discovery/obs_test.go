@@ -1,0 +1,41 @@
+package discovery
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/obs"
+)
+
+// Discovery reports its pattern volume, emitted-RFDc count, and wall
+// clock through the configured Recorder.
+func TestDiscoverRecordsObservability(t *testing.T) {
+	rel, err := dataset.ReadCSVString(
+		"Name,City,Phone\n" +
+			"Granita,Malibu,310/456-0488\n" +
+			"Granita,Malibu,310/456-0488\n" +
+			"Spago,W. Hollywood,310/652-4025\n" +
+			"Spago,W. Hollywood,310/652-4025\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := obs.NewMetrics()
+	sigma, err := Discover(rel, Config{MaxThreshold: 6, Recorder: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sigma) == 0 {
+		t.Fatal("no RFDcs discovered")
+	}
+	s := m.Snapshot()
+	// 4 tuples → 6 pairs, all materialized (no sampling cap).
+	if got := s.Counters["discovery_patterns"]; got != 6 {
+		t.Errorf("discovery_patterns = %d, want 6", got)
+	}
+	if got := s.Counters["discovery_rfds"]; got != int64(len(sigma)) {
+		t.Errorf("discovery_rfds = %d, want %d", got, len(sigma))
+	}
+	if s.Phases["discovery"].Count != 1 || s.Phases["discovery"].Nanos <= 0 {
+		t.Errorf("discovery phase = %+v", s.Phases["discovery"])
+	}
+}

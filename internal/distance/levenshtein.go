@@ -6,7 +6,11 @@
 // where either side is missing.
 package distance
 
-import "unicode/utf8"
+import (
+	"unicode/utf8"
+
+	"repro/internal/obs"
+)
 
 // Levenshtein returns the edit distance (unit-cost insert/delete/
 // substitute) between a and b, computed over runes.
@@ -14,6 +18,7 @@ import "unicode/utf8"
 // The implementation is the classic two-row dynamic program with the
 // shorter string on the columns, so scratch space is O(min(|a|,|b|)).
 func Levenshtein(a, b string) int {
+	obs.GlobalAdd(obs.CtrLevenshteinCalls, 1)
 	if a == b {
 		return 0
 	}
@@ -52,6 +57,7 @@ func Levenshtein(a, b string) int {
 // The candidate-generation hot loop only needs the predicate, not the
 // exact distance, whenever the LHS threshold would be violated anyway.
 func LevenshteinWithin(a, b string, max int) bool {
+	obs.GlobalAdd(obs.CtrLevenshteinCalls, 1)
 	if max < 0 {
 		return false
 	}
@@ -63,6 +69,8 @@ func LevenshteinWithin(a, b string, max int) bool {
 		ra, rb = rb, ra
 	}
 	if len(ra)-len(rb) > max {
+		// Length difference alone exceeds the bound: no DP needed.
+		obs.GlobalAdd(obs.CtrLevenshteinEarlyExits, 1)
 		return false
 	}
 	if len(rb) == 0 {
@@ -101,6 +109,8 @@ func LevenshteinWithin(a, b string, max int) bool {
 			}
 		}
 		if rowMin > max {
+			// Whole DP row above the bound: the distance can only grow.
+			obs.GlobalAdd(obs.CtrLevenshteinEarlyExits, 1)
 			return false
 		}
 	}

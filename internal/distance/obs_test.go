@@ -1,0 +1,45 @@
+package distance
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// The distance layer records into the process-wide obs sink, gated by
+// one atomic bool: nothing is counted while disabled, and both the call
+// counter and the early-exit counter move while enabled.
+func TestLevenshteinGlobalCounters(t *testing.T) {
+	obs.Global().Reset()
+	obs.SetGlobalEnabled(false)
+	Levenshtein("kitten", "sitting")
+	LevenshteinWithin("kitten", "sitting", 1)
+	if got := obs.Global().Counter(obs.CtrLevenshteinCalls); got != 0 {
+		t.Fatalf("disabled sink counted %d calls", got)
+	}
+
+	obs.SetGlobalEnabled(true)
+	defer func() {
+		obs.SetGlobalEnabled(false)
+		obs.Global().Reset()
+	}()
+	Levenshtein("kitten", "sitting")
+	if got := obs.Global().Counter(obs.CtrLevenshteinCalls); got != 1 {
+		t.Fatalf("calls = %d, want 1", got)
+	}
+
+	// Length-difference prune: |"abcdefgh"| - |"a"| = 7 > 2.
+	if LevenshteinWithin("abcdefgh", "a", 2) {
+		t.Fatal("bound should be exceeded")
+	}
+	// Band prune: same lengths, all positions differ, bound 1.
+	if LevenshteinWithin("aaaaaaaa", "bbbbbbbb", 1) {
+		t.Fatal("bound should be exceeded")
+	}
+	if got := obs.Global().Counter(obs.CtrLevenshteinEarlyExits); got != 2 {
+		t.Fatalf("early exits = %d, want 2", got)
+	}
+	if got := obs.Global().Counter(obs.CtrLevenshteinCalls); got != 3 {
+		t.Fatalf("calls = %d, want 3", got)
+	}
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the Table 4 golden file from the current output")
+
+// normalizeStressLines strips the nondeterministic Time and Mem columns
+// from RenderStress output, keeping the deterministic quality columns
+// and the TL/ML markers, so the golden comparison only fails on real
+// accuracy drift.
+func normalizeStressLines(text string) []string {
+	var out []string
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		f := strings.Fields(line)
+		if len(f) == 0 {
+			continue
+		}
+		if f[0] == "Dataset" { // header
+			out = append(out, "Dataset Method Param Recall Precision F1 Marker")
+			continue
+		}
+		// Data rows: Dataset Method Param Recall Precision F1 Time Mem[2] [Marker].
+		// Budget-hit backfill rows render every numeric column as "-"
+		// (9 fields); normal rows have a two-field Mem ("4.75 MB").
+		if len(f) < 8 {
+			continue
+		}
+		marker := ""
+		if last := f[len(f)-1]; last == "TL" || last == "ML" {
+			marker = " " + last
+		}
+		out = append(out, strings.Join(f[:6], " ")+marker)
+	}
+	return out
+}
+
+// diffLines renders a readable per-line diff for golden mismatches.
+func diffLines(want, got []string) string {
+	var sb strings.Builder
+	n := len(want)
+	if len(got) > n {
+		n = len(got)
+	}
+	for i := 0; i < n; i++ {
+		w, g := "<missing>", "<missing>"
+		if i < len(want) {
+			w = want[i]
+		}
+		if i < len(got) {
+			g = got[i]
+		}
+		if w == g {
+			continue
+		}
+		fmt.Fprintf(&sb, "line %d:\n  golden: %s\n  got:    %s\n", i+1, w, g)
+	}
+	return sb.String()
+}
+
+// TestTable4Golden reproduces the committed Table 4 output at bench
+// scale and fails with a readable diff when the accuracy columns drift.
+// Regenerate with:
+//
+//	go test ./internal/experiments -run TestTable4Golden -update
+func TestTable4Golden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress sweep in -short mode")
+	}
+	rows, err := Table4(benchEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := normalizeStressLines(RenderStress(rows))
+	path := filepath.Join("testdata", "table4_bench.golden")
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(strings.Join(got, "\n")+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden rewritten: %s", path)
+		return
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	want := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if diff := diffLines(want, got); diff != "" {
+		t.Errorf("Table 4 accuracy drift against %s:\n%s", path, diff)
+	}
+}
+
+// TestTable4GoldenFull compares a freshly regenerated full-scale Table 4
+// against the committed full_table4.txt transcript. The full sweep takes
+// ~15 minutes, so the test only runs when RENUVER_FULL_GOLDEN=1.
+func TestTable4GoldenFull(t *testing.T) {
+	if os.Getenv("RENUVER_FULL_GOLDEN") == "" {
+		t.Skip("full-scale sweep; set RENUVER_FULL_GOLDEN=1 to run (~15 min)")
+	}
+	raw, err := os.ReadFile(filepath.Join("..", "..", "full_table4.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extract the table body between the section header and the footer.
+	var section []string
+	in := false
+	for _, line := range strings.Split(string(raw), "\n") {
+		switch {
+		case strings.HasPrefix(line, "== table4 =="):
+			in = true
+		case in && (strings.HasPrefix(line, "(table4") || strings.HasPrefix(line, "==")):
+			in = false
+		case in:
+			section = append(section, line)
+		}
+	}
+	want := normalizeStressLines(strings.Join(section, "\n"))
+
+	rows, err := Table4(NewEnv(FullScale()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := normalizeStressLines(RenderStress(rows))
+	if diff := diffLines(want, got); diff != "" {
+		t.Errorf("full-scale Table 4 drift against full_table4.txt:\n%s", diff)
+	}
+}

@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the concrete Recorder: a fixed block of atomics, one slot
+// per counter / phase / histogram bucket. It has no locks; every record
+// operation is a single atomic RMW (histograms add one more for the sum),
+// so it is safe to share across goroutines and across concurrent Impute
+// runs.
+type Metrics struct {
+	counters [numCounters]atomic.Int64
+	// phases hold total nanoseconds and event counts.
+	phaseNanos [numPhases]atomic.Int64
+	phaseCount [numPhases]atomic.Int64
+	// histograms: per-histogram bucket counts (len(bounds)+1 with the
+	// +Inf overflow), a total count, and a float sum stored as bits.
+	histBuckets [numHists][]atomic.Int64
+	histCount   [numHists]atomic.Int64
+	histSumBits [numHists]atomic.Uint64
+}
+
+// NewMetrics returns an empty Metrics sink.
+func NewMetrics() *Metrics {
+	m := &Metrics{}
+	for h := 0; h < numHists; h++ {
+		m.histBuckets[h] = make([]atomic.Int64, len(histBounds[h])+1)
+	}
+	return m
+}
+
+// Add implements Recorder.
+func (m *Metrics) Add(c Counter, delta int64) {
+	if c >= 0 && int(c) < numCounters {
+		m.counters[c].Add(delta)
+	}
+}
+
+// Counter returns a counter's current value.
+func (m *Metrics) Counter(c Counter) int64 {
+	if c < 0 || int(c) >= numCounters {
+		return 0
+	}
+	return m.counters[c].Load()
+}
+
+// Time implements Recorder.
+func (m *Metrics) Time(p Phase, d time.Duration) {
+	if p >= 0 && int(p) < numPhases {
+		m.phaseNanos[p].Add(int64(d))
+		m.phaseCount[p].Add(1)
+	}
+}
+
+// PhaseNanos returns the nanoseconds accumulated by a phase.
+func (m *Metrics) PhaseNanos(p Phase) int64 {
+	if p < 0 || int(p) >= numPhases {
+		return 0
+	}
+	return m.phaseNanos[p].Load()
+}
+
+// Observe implements Recorder.
+func (m *Metrics) Observe(h Hist, v float64) {
+	if h < 0 || int(h) >= numHists {
+		return
+	}
+	bounds := histBounds[h]
+	// sort.SearchFloat64s finds the first bound >= v (bounds are upper
+	// inclusive bounds, Prometheus-style "le").
+	i := sort.SearchFloat64s(bounds, v)
+	m.histBuckets[h][i].Add(1)
+	m.histCount[h].Add(1)
+	for {
+		old := m.histSumBits[h].Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if m.histSumBits[h].CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Enabled implements Recorder.
+func (m *Metrics) Enabled() bool { return true }
+
+// Reset zeroes every counter, phase, and histogram.
+func (m *Metrics) Reset() {
+	for i := range m.counters {
+		m.counters[i].Store(0)
+	}
+	for i := 0; i < numPhases; i++ {
+		m.phaseNanos[i].Store(0)
+		m.phaseCount[i].Store(0)
+	}
+	for h := 0; h < numHists; h++ {
+		for i := range m.histBuckets[h] {
+			m.histBuckets[h][i].Store(0)
+		}
+		m.histCount[h].Store(0)
+		m.histSumBits[h].Store(0)
+	}
+}
+
+// PhaseSnapshot is one phase's accumulated wall clock.
+type PhaseSnapshot struct {
+	Nanos int64 `json:"ns"`
+	Count int64 `json:"count"`
+}
+
+// BucketSnapshot is one histogram bucket: the count of samples ≤ the
+// upper bound. The overflow bucket has UpperBound = +Inf, serialized as
+// the string "+Inf".
+type BucketSnapshot struct {
+	UpperBound float64 `json:"-"`
+	Count      int64   `json:"n"`
+}
+
+// MarshalJSON emits {"le": bound, "n": count} with "+Inf" for the
+// overflow bucket (JSON has no infinity literal).
+func (b BucketSnapshot) MarshalJSON() ([]byte, error) {
+	type alias struct {
+		Le any   `json:"le"`
+		N  int64 `json:"n"`
+	}
+	le := any(b.UpperBound)
+	if math.IsInf(b.UpperBound, 1) {
+		le = "+Inf"
+	}
+	return json.Marshal(alias{Le: le, N: b.Count})
+}
+
+// HistSnapshot is one histogram's state.
+type HistSnapshot struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Buckets []BucketSnapshot `json:"buckets"`
+}
+
+// Snapshot is a consistent-enough point-in-time copy of a Metrics: each
+// slot is read atomically, though the set of slots is not read under a
+// global lock (a snapshot taken mid-run can be off by in-flight events,
+// which is the standard expvar/Prometheus trade-off).
+type Snapshot struct {
+	Counters   map[string]int64         `json:"counters"`
+	Phases     map[string]PhaseSnapshot `json:"phases"`
+	Histograms map[string]HistSnapshot  `json:"histograms"`
+}
+
+// Snapshot copies the current state.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]int64, numCounters),
+		Phases:     make(map[string]PhaseSnapshot, numPhases),
+		Histograms: make(map[string]HistSnapshot, numHists),
+	}
+	for c := 0; c < numCounters; c++ {
+		s.Counters[Counter(c).String()] = m.counters[c].Load()
+	}
+	for p := 0; p < numPhases; p++ {
+		s.Phases[Phase(p).String()] = PhaseSnapshot{
+			Nanos: m.phaseNanos[p].Load(),
+			Count: m.phaseCount[p].Load(),
+		}
+	}
+	for h := 0; h < numHists; h++ {
+		bounds := histBounds[h]
+		hs := HistSnapshot{
+			Count:   m.histCount[h].Load(),
+			Sum:     math.Float64frombits(m.histSumBits[h].Load()),
+			Buckets: make([]BucketSnapshot, len(bounds)+1),
+		}
+		for i := range bounds {
+			hs.Buckets[i] = BucketSnapshot{UpperBound: bounds[i], Count: m.histBuckets[h][i].Load()}
+		}
+		hs.Buckets[len(bounds)] = BucketSnapshot{
+			UpperBound: math.Inf(1), Count: m.histBuckets[h][len(bounds)].Load(),
+		}
+		s.Histograms[Hist(h).String()] = hs
+	}
+	return s
+}
+
+// MarshalJSON serializes the live state (expvar-style).
+func (m *Metrics) MarshalJSON() ([]byte, error) {
+	return json.Marshal(m.Snapshot())
+}
+
+// ---- global distance-layer gate -----------------------------------------
+
+// The distance package sits below every pipeline layer and its hot
+// functions (Levenshtein and the bounded predicate) are called from deep
+// inside per-pair loops where threading a Recorder through every frame
+// would distort the measurement it enables. Instead the package records
+// into this process-wide sink, gated by one atomic bool so the disabled
+// path costs a single atomic load.
+
+var (
+	globalEnabled atomic.Bool
+	global        = NewMetrics()
+)
+
+// Global returns the process-wide metrics sink.
+func Global() *Metrics { return global }
+
+// SetGlobalEnabled turns the process-wide sink on or off. It is off by
+// default so library users pay nothing; `renuver serve` turns it on.
+func SetGlobalEnabled(on bool) { globalEnabled.Store(on) }
+
+// GlobalEnabled reports whether the process-wide sink is recording.
+func GlobalEnabled() bool { return globalEnabled.Load() }
+
+// GlobalAdd increments a counter on the process-wide sink when enabled.
+func GlobalAdd(c Counter, delta int64) {
+	if globalEnabled.Load() {
+		global.Add(c, delta)
+	}
+}

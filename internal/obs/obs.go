@@ -1,0 +1,228 @@
+// Package obs is the dependency-free observability layer of the
+// imputation pipeline: atomic counters, fixed-bound histograms, and
+// per-phase wall-clock accounting, behind a Recorder interface that the
+// hot paths can call unconditionally.
+//
+// The package exists because the RENUVER cost model is dominated by two
+// phases the paper calls out explicitly — candidate retrieval/ranking by
+// mean LHS distance (Algorithm 3 + Eq. 2) and per-imputation
+// IS_FAULTLESS verification (Algorithm 4) — and no scaling work can be
+// judged without per-phase visibility into them.
+//
+// Design rules:
+//
+//   - Zero external dependencies; nothing beyond the standard library.
+//   - The disabled path is as close to free as possible: Nop methods are
+//     empty and Enabled() lets callers skip time.Now() calls; the global
+//     distance-layer counters cost one atomic load when disabled and one
+//     atomic add when enabled.
+//   - Metrics is safe for concurrent use by any number of imputation
+//     runs; all state is atomic, there are no locks on the record path.
+package obs
+
+import "time"
+
+// Counter enumerates the monotone event counters of the pipeline.
+type Counter int
+
+const (
+	// CtrMissingCells counts cells that were null on input.
+	CtrMissingCells Counter = iota
+	// CtrImputations counts successfully imputed cells.
+	CtrImputations
+	// CtrDonorsScanned counts donor tuples examined during candidate
+	// generation (Algorithm 3), before LHS filtering.
+	CtrDonorsScanned
+	// CtrCandidatesEvaluated counts (tuple, cluster) candidates that
+	// survived LHS filtering and were scored with Eq. 2.
+	CtrCandidatesEvaluated
+	// CtrDonorsRanked counts candidates that entered the distance sort.
+	CtrDonorsRanked
+	// CtrCandidatesTried counts tentative imputations attempted.
+	CtrCandidatesTried
+	// CtrFaultlessChecks counts IS_FAULTLESS invocations (Algorithm 4).
+	CtrFaultlessChecks
+	// CtrFaultlessFailures counts IS_FAULTLESS rejections.
+	CtrFaultlessFailures
+	// CtrClustersScanned counts RHS-threshold clusters examined.
+	CtrClustersScanned
+	// CtrKeyFlips counts key-RFDcs that became non-key mid-run.
+	CtrKeyFlips
+	// CtrIndexHits counts candidate scans answered by the donor index.
+	CtrIndexHits
+	// CtrIndexMisses counts candidate scans that needed the full sweep.
+	CtrIndexMisses
+	// CtrStreamAppends counts tuples absorbed by incremental sessions.
+	CtrStreamAppends
+	// CtrDiscoveryPatterns counts tuple-pair distance patterns
+	// materialized during RFDc discovery.
+	CtrDiscoveryPatterns
+	// CtrDiscoveryRFDs counts RFDcs emitted by discovery.
+	CtrDiscoveryRFDs
+	// CtrLevenshteinCalls counts exact edit-distance computations.
+	CtrLevenshteinCalls
+	// CtrLevenshteinEarlyExits counts bounded-predicate calls that
+	// short-circuited before completing the full dynamic program.
+	CtrLevenshteinEarlyExits
+
+	numCounters int = iota
+)
+
+var counterNames = [...]string{
+	CtrMissingCells:          "missing_cells",
+	CtrImputations:           "imputations",
+	CtrDonorsScanned:         "donors_scanned",
+	CtrCandidatesEvaluated:   "candidates_evaluated",
+	CtrDonorsRanked:          "donors_ranked",
+	CtrCandidatesTried:       "candidates_tried",
+	CtrFaultlessChecks:       "faultless_checks",
+	CtrFaultlessFailures:     "faultless_failures",
+	CtrClustersScanned:       "clusters_scanned",
+	CtrKeyFlips:              "key_flips",
+	CtrIndexHits:             "index_hits",
+	CtrIndexMisses:           "index_misses",
+	CtrStreamAppends:         "stream_appends",
+	CtrDiscoveryPatterns:     "discovery_patterns",
+	CtrDiscoveryRFDs:         "discovery_rfds",
+	CtrLevenshteinCalls:      "levenshtein_calls",
+	CtrLevenshteinEarlyExits: "levenshtein_early_exits",
+}
+
+// String returns the snake_case name used in snapshots.
+func (c Counter) String() string {
+	if c < 0 || int(c) >= numCounters {
+		return "unknown_counter"
+	}
+	return counterNames[c]
+}
+
+// Phase enumerates the pipeline phases whose wall clock is accounted.
+type Phase int
+
+const (
+	// PhasePreprocess covers key-RFDc detection and donor-index build.
+	PhasePreprocess Phase = iota
+	// PhaseCandidateSearch covers Algorithm 3 (donor scans + Eq. 2).
+	PhaseCandidateSearch
+	// PhaseRanking covers the T_candidate distance sort.
+	PhaseRanking
+	// PhaseVerify covers IS_FAULTLESS (Algorithm 4).
+	PhaseVerify
+	// PhaseKeyReeval covers the per-imputation key re-evaluation
+	// (Algorithm 1 line 14).
+	PhaseKeyReeval
+	// PhaseDiscovery covers RFDc discovery end to end.
+	PhaseDiscovery
+	// PhaseTotal covers one whole Impute run.
+	PhaseTotal
+
+	numPhases int = iota
+)
+
+var phaseNames = [...]string{
+	PhasePreprocess:      "preprocess",
+	PhaseCandidateSearch: "candidate_search",
+	PhaseRanking:         "ranking",
+	PhaseVerify:          "verify",
+	PhaseKeyReeval:       "key_reeval",
+	PhaseDiscovery:       "discovery",
+	PhaseTotal:           "total",
+}
+
+// String returns the snake_case name used in snapshots.
+func (p Phase) String() string {
+	if p < 0 || int(p) >= numPhases {
+		return "unknown_phase"
+	}
+	return phaseNames[p]
+}
+
+// Hist enumerates the distribution metrics.
+type Hist int
+
+const (
+	// HistCandidatesPerCell is |T_candidate| per (missing value, cluster).
+	HistCandidatesPerCell Hist = iota
+	// HistAttemptsPerImputation is how many ranked candidates were tried
+	// before one passed verification.
+	HistAttemptsPerImputation
+	// HistImputeMicros is the per-run Impute latency in microseconds.
+	HistImputeMicros
+
+	numHists int = iota
+)
+
+var histNames = [...]string{
+	HistCandidatesPerCell:     "candidates_per_cell",
+	HistAttemptsPerImputation: "attempts_per_imputation",
+	HistImputeMicros:          "impute_micros",
+}
+
+// String returns the snake_case name used in snapshots.
+func (h Hist) String() string {
+	if h < 0 || int(h) >= numHists {
+		return "unknown_hist"
+	}
+	return histNames[h]
+}
+
+// histBounds are the fixed upper bucket bounds per histogram; every
+// histogram gets an implicit +Inf overflow bucket on top.
+var histBounds = [numHists][]float64{
+	HistCandidatesPerCell:     {0, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000},
+	HistAttemptsPerImputation: {1, 2, 3, 5, 10, 20, 50},
+	HistImputeMicros:          {100, 1000, 10_000, 100_000, 1e6, 10e6, 100e6},
+}
+
+// Bounds returns the histogram's upper bucket bounds (without the
+// implicit +Inf bucket). Callers must not mutate the result.
+func (h Hist) Bounds() []float64 { return histBounds[h] }
+
+// Recorder receives pipeline events. Implementations must be safe for
+// concurrent use: the parallel scan workers and concurrent Impute runs
+// all record into the same instance.
+type Recorder interface {
+	// Add increments a counter by delta.
+	Add(c Counter, delta int64)
+	// Observe records one sample into a histogram.
+	Observe(h Hist, v float64)
+	// Time accounts wall clock to a phase.
+	Time(p Phase, d time.Duration)
+	// Enabled reports whether recording has any effect; callers use it
+	// to skip sample preparation (e.g. time.Now) on the disabled path.
+	Enabled() bool
+}
+
+// Nop is the disabled Recorder: every method is an empty body the
+// compiler can inline away.
+type Nop struct{}
+
+// Add implements Recorder.
+func (Nop) Add(Counter, int64) {}
+
+// Observe implements Recorder.
+func (Nop) Observe(Hist, float64) {}
+
+// Time implements Recorder.
+func (Nop) Time(Phase, time.Duration) {}
+
+// Enabled implements Recorder.
+func (Nop) Enabled() bool { return false }
+
+// Since is a convenience for phase accounting: it records the elapsed
+// time from start when the recorder is enabled. Pair it with a start
+// captured via Now(r).
+func Since(r Recorder, p Phase, start time.Time) {
+	if r != nil && r.Enabled() {
+		r.Time(p, time.Since(start))
+	}
+}
+
+// Now returns the current time when the recorder is enabled and the
+// zero time otherwise, so the disabled path skips the clock read.
+func Now(r Recorder) time.Time {
+	if r != nil && r.Enabled() {
+		return time.Now()
+	}
+	return time.Time{}
+}

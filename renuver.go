@@ -21,6 +21,7 @@ package renuver
 import (
 	"context"
 	"io"
+	"net/http"
 
 	"repro/internal/core"
 	"repro/internal/datagen"
@@ -34,6 +35,7 @@ import (
 	"repro/internal/impute/knn"
 	"repro/internal/impute/meanmode"
 	"repro/internal/impute/regression"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/rfd"
 )
@@ -171,6 +173,8 @@ type (
 	Imputation = core.Imputation
 	// Stats aggregates run counters.
 	Stats = core.Stats
+	// PhaseTimes is the per-phase wall-clock breakdown in Stats.Phases.
+	PhaseTimes = core.PhaseTimes
 	// Option tunes the imputer.
 	Option = core.Option
 	// Stream is the incremental-imputation session of the Sec. 7
@@ -188,7 +192,41 @@ var (
 	WithoutKeyReevaluation = core.WithoutKeyReevaluation
 	WithMaxCandidates      = core.WithMaxCandidates
 	WithWorkers            = core.WithWorkers
+	WithRecorder           = core.WithRecorder
 )
+
+// Observability. Every Impute* call fills Result.Stats unconditionally;
+// a Recorder additionally aggregates counters, histograms, and phase
+// timings across runs (see the README's "Observability" section).
+type (
+	// Recorder receives pipeline events; pass one with WithRecorder.
+	Recorder = obs.Recorder
+	// MetricsRecorder is the concrete lock-free Recorder: atomic
+	// counters, fixed-bound histograms, and per-phase wall clock.
+	MetricsRecorder = obs.Metrics
+	// MetricsSnapshot is a point-in-time copy of a MetricsRecorder.
+	MetricsSnapshot = obs.Snapshot
+)
+
+// NewMetricsRecorder returns an empty metrics sink, safe for concurrent
+// runs.
+func NewMetricsRecorder() *MetricsRecorder { return obs.NewMetrics() }
+
+// GlobalMetrics returns the process-wide sink that the distance layer
+// (Levenshtein calls and early-exit hits) records into when enabled via
+// SetGlobalMetricsEnabled. `renuver serve` uses it as its one sink.
+func GlobalMetrics() *MetricsRecorder { return obs.Global() }
+
+// SetGlobalMetricsEnabled turns the process-wide sink on or off. Off by
+// default: the disabled hot path costs a single atomic load.
+func SetGlobalMetricsEnabled(on bool) { obs.SetGlobalEnabled(on) }
+
+// MetricsHandler serves a JSON snapshot of the recorder (expvar-style).
+func MetricsHandler(m *MetricsRecorder) http.Handler { return obs.Handler(m) }
+
+// MountDebugHandlers attaches the net/http/pprof endpoints under
+// /debug/pprof/ on the mux.
+func MountDebugHandlers(mux *http.ServeMux) { obs.MountDebug(mux) }
 
 // Cluster traversal orders and verification modes.
 const (
