@@ -1,0 +1,37 @@
+# Tier-1 entrypoint: `make check` is the gate every change must pass —
+# formatting, vet, a full build, and the full test suite.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench golden
+
+check: fmt vet build test
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-sensitive packages (parallel imputation, the lock-free
+# metrics sink, the trace ring) under the race detector, with tracing
+# exercised at 100% sampling by the stress tests.
+race:
+	$(GO) test -race ./internal/core/... ./internal/obs/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./internal/core/...
+
+# Regenerate the golden files (trace JSONL schema) after an intentional
+# schema change; diff the result before committing.
+golden:
+	$(GO) test ./internal/core/ -run Golden -update-golden

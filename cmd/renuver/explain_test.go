@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestExplainCellText(t *testing.T) {
+	in := writeTemp(t, "dirty.csv", dirtyCSV)
+	rfds := writeTemp(t, "sigma.rfd", sigmaFile)
+	var out strings.Builder
+	err := explainCell(explainConfig{
+		in: in, rfds: rfds, order: "asc", verify: "lhs",
+		row: 7, attr: "Phone", logger: quietLogger(),
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	// Example 5.9: t3's phone is closest but violates Phone->Class; the
+	// trace must show the veto and the eventual resolution from t2.
+	for _, want := range []string{
+		"cell (row 7, Phone)", "cluster threshold", "candidate row",
+		"violates", "resolved", "310-392-9025",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("explain output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestExplainCellJSON(t *testing.T) {
+	in := writeTemp(t, "dirty.csv", dirtyCSV)
+	rfds := writeTemp(t, "sigma.rfd", sigmaFile)
+	var out strings.Builder
+	err := explainCell(explainConfig{
+		in: in, rfds: rfds, order: "asc", verify: "lhs",
+		row: 7, attr: "Phone", asJSON: true, logger: quietLogger(),
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(out.String()))
+	var kinds []string
+	for sc.Scan() {
+		var ev struct {
+			Kind string `json:"kind"`
+			Row  int    `json:"row"`
+			Attr int    `json:"attr"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		if ev.Row != 6 || ev.Attr != 2 {
+			t.Errorf("event for cell (%d,%d), want (6,2)", ev.Row, ev.Attr)
+		}
+		kinds = append(kinds, ev.Kind)
+	}
+	if len(kinds) == 0 || kinds[0] != "cell_started" || kinds[len(kinds)-1] != "cell_resolved" {
+		t.Errorf("event kinds = %v", kinds)
+	}
+}
+
+func TestExplainCellErrors(t *testing.T) {
+	in := writeTemp(t, "dirty.csv", dirtyCSV)
+	rfds := writeTemp(t, "sigma.rfd", sigmaFile)
+	var out strings.Builder
+
+	// Non-missing cell: nothing to explain.
+	err := explainCell(explainConfig{
+		in: in, rfds: rfds, order: "asc", verify: "lhs",
+		row: 1, attr: "Phone", logger: quietLogger(),
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "not missing") {
+		t.Errorf("non-missing cell error = %v", err)
+	}
+
+	// Unknown attribute.
+	err = explainCell(explainConfig{
+		in: in, rfds: rfds, order: "asc", verify: "lhs",
+		row: 7, attr: "Nope", logger: quietLogger(),
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "unknown attribute") {
+		t.Errorf("unknown attribute error = %v", err)
+	}
+
+	// Row out of range.
+	err = explainCell(explainConfig{
+		in: in, rfds: rfds, order: "asc", verify: "lhs",
+		row: 99, attr: "Phone", logger: quietLogger(),
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("out-of-range error = %v", err)
+	}
+
+	// Missing input file.
+	err = explainCell(explainConfig{
+		in: filepath.Join(t.TempDir(), "gone.csv"), order: "asc", verify: "lhs",
+		row: 1, attr: "Phone", logger: quietLogger(),
+	}, &out)
+	if err == nil {
+		t.Error("missing input accepted")
+	}
+}
+
+func TestExplainPositionalAttr(t *testing.T) {
+	// -attr also accepts a 1-based position: Phone is column 3.
+	in := writeTemp(t, "dirty.csv", dirtyCSV)
+	rfds := writeTemp(t, "sigma.rfd", sigmaFile)
+	var out strings.Builder
+	err := explainCell(explainConfig{
+		in: in, rfds: rfds, order: "asc", verify: "lhs",
+		row: 4, attr: "3", logger: quietLogger(),
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "cell (row 4, Phone)") {
+		t.Errorf("positional attr output:\n%s", out.String())
+	}
+}

@@ -6,22 +6,32 @@
 //
 //	renuver -in dirty.csv -out clean.csv [-rfds sigma.rfd] [-threshold 15]
 //	        [-order asc|desc] [-verify lhs|both|off] [-report] [-stats]
+//	renuver explain -in dirty.csv -row 7 -attr Phone [-rfds sigma.rfd]
 //	renuver serve -metrics-addr 127.0.0.1:8080 -in base.csv [-rfds sigma.rfd]
 //
 // When -rfds is omitted the RFDcs are discovered on the input first
 // (threshold limit -threshold). With -report, per-cell imputation
 // provenance is printed to stderr; with -stats, the run's counters and
-// per-phase wall clock are printed as JSON to stderr.
+// per-phase wall clock are printed as JSON to stderr. Progress goes to
+// stderr as structured log lines (-log-json switches them to JSON).
+//
+// The explain form re-runs imputation with the provenance tracer focused
+// on one cell and prints its full decision trace — which RFDc clusters
+// applied, which donors were considered at what Eq. 2 distance, which
+// candidate a dependency vetoed (and the witness tuple), and how the
+// cell resolved. See explain.go.
 //
 // The serve form starts a long-lived imputation service: POST a CSV to
-// /impute, read cumulative metrics on /metrics, and profile via
-// /debug/pprof — see serve.go.
+// /impute, read cumulative metrics on /metrics (JSON, or Prometheus text
+// format via Accept), fetch the latest decision trace on /trace/last,
+// and profile via /debug/pprof — see serve.go.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
@@ -29,36 +39,57 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "serve" {
-		if err := runServe(os.Args[2:]); err != nil {
-			fmt.Fprintln(os.Stderr, "renuver serve:", err)
-			os.Exit(1)
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			if err := runServe(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "renuver serve:", err)
+				os.Exit(1)
+			}
+			return
+		case "explain":
+			if err := runExplain(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "renuver explain:", err)
+				os.Exit(1)
+			}
+			return
 		}
-		return
 	}
-	var (
-		in        = flag.String("in", "", "input CSV with missing values (required)")
-		out       = flag.String("out", "", "output CSV (default: stdout)")
-		rfds      = flag.String("rfds", "", "RFDc set file; discovered from the input when omitted")
-		threshold = flag.Float64("threshold", 15, "discovery threshold limit when -rfds is omitted")
-		maxLHS    = flag.Int("maxlhs", 2, "discovery LHS size limit when -rfds is omitted")
-		order     = flag.String("order", "asc", "RHS-threshold cluster order: asc (paper prose) or desc (Algorithm 2 literal)")
-		verify    = flag.String("verify", "lhs", "IS_FAULTLESS scope: lhs (Algorithm 4), both, off")
-		report    = flag.Bool("report", false, "print per-cell imputation provenance to stderr")
-		stats     = flag.Bool("stats", false, "print run counters and per-phase wall clock as JSON to stderr")
-		saveRFDs  = flag.String("save-rfds", "", "write the (discovered) RFDc set to this file")
-		workers   = flag.Int("workers", 0, "parallel tuple-scan workers (0 = serial)")
-		donors    = flag.String("donors", "", "comma-separated reference CSVs for the multi-dataset extension")
-	)
+	var cfg runConfig
+	var logJSON bool
+	flag.StringVar(&cfg.in, "in", "", "input CSV with missing values (required)")
+	flag.StringVar(&cfg.out, "out", "", "output CSV (default: stdout)")
+	flag.StringVar(&cfg.rfds, "rfds", "", "RFDc set file; discovered from the input when omitted")
+	flag.Float64Var(&cfg.threshold, "threshold", 15, "discovery threshold limit when -rfds is omitted")
+	flag.IntVar(&cfg.maxLHS, "maxlhs", 2, "discovery LHS size limit when -rfds is omitted")
+	flag.StringVar(&cfg.order, "order", "asc", "RHS-threshold cluster order: asc (paper prose) or desc (Algorithm 2 literal)")
+	flag.StringVar(&cfg.verify, "verify", "lhs", "IS_FAULTLESS scope: lhs (Algorithm 4), both, off")
+	flag.BoolVar(&cfg.report, "report", false, "print per-cell imputation provenance to stderr")
+	flag.BoolVar(&cfg.stats, "stats", false, "print run counters and per-phase wall clock as JSON to stderr")
+	flag.StringVar(&cfg.saveRFDs, "save-rfds", "", "write the (discovered) RFDc set to this file")
+	flag.IntVar(&cfg.workers, "workers", 0, "parallel tuple-scan workers (0 = serial)")
+	flag.StringVar(&cfg.donors, "donors", "", "comma-separated reference CSVs for the multi-dataset extension")
+	flag.BoolVar(&logJSON, "log-json", false, "emit progress logs as JSON lines")
 	flag.Parse()
-	if *in == "" {
+	if cfg.in == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*in, *out, *rfds, *saveRFDs, *threshold, *maxLHS, *order, *verify, *report, *stats, *workers, *donors); err != nil {
+	cfg.logger = newLogger(logJSON)
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "renuver:", err)
 		os.Exit(1)
 	}
+}
+
+// newLogger builds the progress logger: human-readable key=value lines
+// by default, one JSON object per line under -log-json. Both go to
+// stderr so stdout stays reserved for the imputed relation.
+func newLogger(jsonLines bool) *slog.Logger {
+	if jsonLines {
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
 }
 
 // loadRelation reads CSV or (by .jsonl/.ndjson extension) JSON lines.
@@ -77,62 +108,72 @@ func saveRelation(path string, rel *renuver.Relation) error {
 	return renuver.SaveCSVFile(path, rel)
 }
 
-func run(in, out, rfds, saveRFDs string, threshold float64, maxLHS int, order, verify string, report, stats bool, workers int, donors string) error {
-	rel, err := loadRelation(in)
+// runConfig carries the one-shot imputation flags.
+type runConfig struct {
+	in, out   string
+	rfds      string
+	saveRFDs  string
+	threshold float64
+	maxLHS    int
+	order     string
+	verify    string
+	report    bool
+	stats     bool
+	workers   int
+	donors    string
+	logger    *slog.Logger
+}
+
+// prepareSigma loads Σ from cfg.rfds or discovers it on the input.
+func prepareSigma(cfg *runConfig, rel *renuver.Relation) (renuver.RFDSet, error) {
+	if cfg.rfds != "" {
+		sigma, err := renuver.LoadRFDsFile(cfg.rfds, rel.Schema())
+		if err != nil {
+			return nil, err
+		}
+		cfg.logger.Info("loaded RFDcs", "count", len(sigma), "path", cfg.rfds)
+		return sigma, nil
+	}
+	sigma, err := renuver.DiscoverRFDs(rel, renuver.DiscoveryOptions{
+		MaxThreshold: cfg.threshold, MaxLHS: cfg.maxLHS,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg.logger.Info("discovered RFDcs", "count", len(sigma), "threshold_limit", cfg.threshold)
+	return sigma, nil
+}
+
+func run(cfg runConfig) error {
+	if cfg.logger == nil {
+		cfg.logger = newLogger(false)
+	}
+	rel, err := loadRelation(cfg.in)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "loaded %d tuples x %d attributes, %d missing cells\n",
-		rel.Len(), rel.Schema().Len(), rel.CountMissing())
+	cfg.logger.Info("loaded input",
+		"tuples", rel.Len(), "attributes", rel.Schema().Len(), "missing_cells", rel.CountMissing())
 
-	var sigma renuver.RFDSet
-	if rfds != "" {
-		sigma, err = renuver.LoadRFDsFile(rfds, rel.Schema())
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "loaded %d RFDcs from %s\n", len(sigma), rfds)
-	} else {
-		sigma, err = renuver.DiscoverRFDs(rel, renuver.DiscoveryOptions{
-			MaxThreshold: threshold, MaxLHS: maxLHS,
-		})
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "discovered %d RFDcs (threshold limit %g)\n", len(sigma), threshold)
+	sigma, err := prepareSigma(&cfg, rel)
+	if err != nil {
+		return err
 	}
-	if saveRFDs != "" {
-		if err := renuver.SaveRFDsFile(saveRFDs, sigma, rel.Schema()); err != nil {
+	if cfg.saveRFDs != "" {
+		if err := renuver.SaveRFDsFile(cfg.saveRFDs, sigma, rel.Schema()); err != nil {
 			return err
 		}
 	}
 
-	var opts []renuver.Option
-	switch order {
-	case "asc":
-	case "desc":
-		opts = append(opts, renuver.WithClusterOrder(renuver.DescendingThreshold))
-	default:
-		return fmt.Errorf("unknown -order %q", order)
-	}
-	switch verify {
-	case "lhs":
-	case "both":
-		opts = append(opts, renuver.WithVerifyMode(renuver.VerifyBothSides))
-	case "off":
-		opts = append(opts, renuver.WithVerifyMode(renuver.VerifyOff))
-	default:
-		return fmt.Errorf("unknown -verify %q", verify)
-	}
-
-	if workers > 1 {
-		opts = append(opts, renuver.WithWorkers(workers))
+	opts, err := imputerOptions(cfg.order, cfg.verify, cfg.workers)
+	if err != nil {
+		return err
 	}
 
 	var res *renuver.Result
-	if donors != "" {
+	if cfg.donors != "" {
 		var pool []*renuver.Relation
-		for _, path := range strings.Split(donors, ",") {
+		for _, path := range strings.Split(cfg.donors, ",") {
 			donor, err := loadRelation(strings.TrimSpace(path))
 			if err != nil {
 				return err
@@ -146,12 +187,13 @@ func run(in, out, rfds, saveRFDs string, threshold float64, maxLHS int, order, v
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "imputed %d/%d cells (%d key-RFDcs filtered, %d verify rejections)\n",
-		res.Stats.Imputed, res.Stats.MissingCells, res.Stats.KeyRFDs, res.Stats.VerifyRejections)
-	if report {
+	cfg.logger.Info("imputation done",
+		"imputed", res.Stats.Imputed, "missing", res.Stats.MissingCells,
+		"key_rfds_filtered", res.Stats.KeyRFDs, "verify_rejections", res.Stats.VerifyRejections)
+	if cfg.report {
 		fmt.Fprint(os.Stderr, res.Report(rel.Schema()))
 	}
-	if stats {
+	if cfg.stats {
 		doc, err := json.MarshalIndent(res.Stats, "", "  ")
 		if err != nil {
 			return err
@@ -159,8 +201,8 @@ func run(in, out, rfds, saveRFDs string, threshold float64, maxLHS int, order, v
 		fmt.Fprintf(os.Stderr, "%s\n", doc)
 	}
 
-	if out == "" {
+	if cfg.out == "" {
 		return renuver.SaveCSV(os.Stdout, res.Relation)
 	}
-	return saveRelation(out, res.Relation)
+	return saveRelation(cfg.out, res.Relation)
 }

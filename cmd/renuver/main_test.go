@@ -1,6 +1,8 @@
 package main
 
 import (
+	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -37,11 +39,27 @@ func writeTemp(t *testing.T, name, content string) string {
 	return path
 }
 
+// quietLogger keeps test output free of progress lines.
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// testRun adapts the old positional signature to runConfig.
+func testRun(in, out, rfds, saveRFDs string, threshold float64, maxLHS int,
+	order, verify string, report, stats bool, workers int, donors string) error {
+	return run(runConfig{
+		in: in, out: out, rfds: rfds, saveRFDs: saveRFDs,
+		threshold: threshold, maxLHS: maxLHS, order: order, verify: verify,
+		report: report, stats: stats, workers: workers, donors: donors,
+		logger: quietLogger(),
+	})
+}
+
 func TestRunWithProvidedRFDs(t *testing.T) {
 	in := writeTemp(t, "dirty.csv", dirtyCSV)
 	rfds := writeTemp(t, "sigma.rfd", sigmaFile)
 	out := filepath.Join(t.TempDir(), "clean.csv")
-	if err := run(in, out, rfds, "", 15, 2, "asc", "lhs", false, false, 0, ""); err != nil {
+	if err := testRun(in, out, rfds, "", 15, 2, "asc", "lhs", false, false, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	rel, err := renuver.LoadCSVFile(out)
@@ -61,7 +79,7 @@ func TestRunWithDiscovery(t *testing.T) {
 	in := writeTemp(t, "dirty.csv", dirtyCSV)
 	out := filepath.Join(t.TempDir(), "clean.csv")
 	saved := filepath.Join(t.TempDir(), "sigma.rfd")
-	if err := run(in, out, "", saved, 9, 2, "asc", "both", true, false, 2, ""); err != nil {
+	if err := testRun(in, out, "", saved, 9, 2, "asc", "both", true, false, 2, ""); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(out); err != nil {
@@ -79,16 +97,16 @@ func TestRunWithDiscovery(t *testing.T) {
 func TestRunBadFlags(t *testing.T) {
 	in := writeTemp(t, "dirty.csv", dirtyCSV)
 	rfds := writeTemp(t, "sigma.rfd", sigmaFile)
-	if err := run(in, "", rfds, "", 15, 2, "sideways", "lhs", false, false, 0, ""); err == nil {
+	if err := testRun(in, "", rfds, "", 15, 2, "sideways", "lhs", false, false, 0, ""); err == nil {
 		t.Error("bad -order accepted")
 	}
-	if err := run(in, "", rfds, "", 15, 2, "asc", "maybe", false, false, 0, ""); err == nil {
+	if err := testRun(in, "", rfds, "", 15, 2, "asc", "maybe", false, false, 0, ""); err == nil {
 		t.Error("bad -verify accepted")
 	}
-	if err := run(filepath.Join(t.TempDir(), "missing.csv"), "", "", "", 15, 2, "asc", "lhs", false, false, 0, ""); err == nil {
+	if err := testRun(filepath.Join(t.TempDir(), "missing.csv"), "", "", "", 15, 2, "asc", "lhs", false, false, 0, ""); err == nil {
 		t.Error("missing input accepted")
 	}
-	if err := run(in, "", filepath.Join(t.TempDir(), "missing.rfd"), "", 15, 2, "asc", "lhs", false, false, 0, ""); err == nil {
+	if err := testRun(in, "", filepath.Join(t.TempDir(), "missing.rfd"), "", 15, 2, "asc", "lhs", false, false, 0, ""); err == nil {
 		t.Error("missing RFD file accepted")
 	}
 }
@@ -100,7 +118,7 @@ func TestRunJSONLinesInAndOut(t *testing.T) {
 `)
 	rfdsFile := writeTemp(t, "sigma.rfd", "A(<=0) -> B(<=0)\n")
 	out := filepath.Join(t.TempDir(), "clean.jsonl")
-	if err := run(in, out, rfdsFile, "", 15, 2, "asc", "lhs", false, false, 0, ""); err != nil {
+	if err := testRun(in, out, rfdsFile, "", 15, 2, "asc", "lhs", false, false, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	rel, err := renuver.LoadJSONLinesFile(out)
@@ -122,7 +140,7 @@ func TestRunWithDonorPool(t *testing.T) {
 	donor := writeTemp(t, "donor.csv", "A,B\nx,v1\n")
 	rfds := writeTemp(t, "sigma.rfd", "A(<=0) -> B(<=0)\n")
 	out := filepath.Join(t.TempDir(), "clean.csv")
-	if err := run(in, out, rfds, "", 15, 2, "asc", "lhs", false, false, 0, donor); err != nil {
+	if err := testRun(in, out, rfds, "", 15, 2, "asc", "lhs", false, false, 0, donor); err != nil {
 		t.Fatal(err)
 	}
 	rel, err := renuver.LoadCSVFile(out)
@@ -133,7 +151,7 @@ func TestRunWithDonorPool(t *testing.T) {
 		t.Errorf("B = %q, want v1 from the donor file", got)
 	}
 	// A bad donor path must fail loudly.
-	if err := run(in, "", rfds, "", 15, 2, "asc", "lhs", false, false, 0, "/nonexistent.csv"); err == nil {
+	if err := testRun(in, "", rfds, "", 15, 2, "asc", "lhs", false, false, 0, "/nonexistent.csv"); err == nil {
 		t.Error("missing donor file accepted")
 	}
 }
@@ -142,7 +160,7 @@ func TestRunDescOrderAndOffVerify(t *testing.T) {
 	in := writeTemp(t, "dirty.csv", dirtyCSV)
 	rfds := writeTemp(t, "sigma.rfd", sigmaFile)
 	out := filepath.Join(t.TempDir(), "clean.csv")
-	if err := run(in, out, rfds, "", 15, 2, "desc", "off", false, false, 0, ""); err != nil {
+	if err := testRun(in, out, rfds, "", 15, 2, "desc", "off", false, false, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	rel, err := renuver.LoadCSVFile(out)

@@ -4,9 +4,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
+	"mime"
 	"net/http"
-	"os"
-	"strings"
 	"time"
 
 	renuver "repro"
@@ -15,28 +15,37 @@ import (
 // runServe is the `renuver serve` mode: a long-lived imputation service
 // with first-class observability. Σ is prepared once from the base
 // instance (or loaded from a file); every POST /impute run then records
-// into one process-wide metrics sink, served as a JSON snapshot on
-// /metrics alongside the net/http/pprof endpoints.
+// into one process-wide metrics sink, served on /metrics, and — when
+// tracing is on — per-cell decision traces land in a bounded ring
+// served on /trace/last.
 //
 // Endpoints:
 //
 //	POST /impute        CSV in the body -> imputed CSV; the run's
 //	                    Result.Stats come back in the X-Renuver-Stats
-//	                    header as compact JSON.
-//	GET  /metrics       cumulative counters/histograms/phase timings.
+//	                    header as compact JSON. Non-POST methods get 405
+//	                    with an Allow header; non-CSV content types 415.
+//	GET  /metrics       cumulative counters/histograms/phase timings —
+//	                    JSON by default, Prometheus text exposition
+//	                    format when the Accept header asks for it.
+//	GET  /trace/last    the most recent sampled cell's decision trace as
+//	                    a JSON event array (404 when tracing is off).
 //	GET  /healthz       liveness probe.
 //	GET  /debug/pprof/  CPU/heap/goroutine profiles.
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	var (
-		addr      = fs.String("metrics-addr", "127.0.0.1:8080", "address to serve /impute, /metrics and /debug/pprof on")
-		in        = fs.String("in", "", "base CSV/JSONL the RFDcs are prepared from (required)")
-		rfds      = fs.String("rfds", "", "RFDc set file; discovered from the base when omitted")
-		threshold = fs.Float64("threshold", 15, "discovery threshold limit when -rfds is omitted")
-		maxLHS    = fs.Int("maxlhs", 2, "discovery LHS size limit when -rfds is omitted")
-		order     = fs.String("order", "asc", "RHS-threshold cluster order: asc or desc")
-		verify    = fs.String("verify", "lhs", "IS_FAULTLESS scope: lhs, both, off")
-		workers   = fs.Int("workers", 0, "parallel tuple-scan workers (0 = serial)")
+		addr        = fs.String("metrics-addr", "127.0.0.1:8080", "address to serve /impute, /metrics and /debug/pprof on")
+		in          = fs.String("in", "", "base CSV/JSONL the RFDcs are prepared from (required)")
+		rfds        = fs.String("rfds", "", "RFDc set file; discovered from the base when omitted")
+		threshold   = fs.Float64("threshold", 15, "discovery threshold limit when -rfds is omitted")
+		maxLHS      = fs.Int("maxlhs", 2, "discovery LHS size limit when -rfds is omitted")
+		order       = fs.String("order", "asc", "RHS-threshold cluster order: asc or desc")
+		verify      = fs.String("verify", "lhs", "IS_FAULTLESS scope: lhs, both, off")
+		workers     = fs.Int("workers", 0, "parallel tuple-scan workers (0 = serial)")
+		traceSample = fs.Int("trace-sample", 0, "trace every Nth cell's imputation decisions (0 = tracing off, 1 = every cell)")
+		traceCells  = fs.Int("trace-cells", 0, "cell traces retained in the ring (0 = default 256)")
+		logJSON     = fs.Bool("log-json", false, "emit request logs as JSON lines")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -45,6 +54,7 @@ func runServe(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("serve: -in is required")
 	}
+	logger := newLogger(*logJSON)
 
 	base, err := loadRelation(*in)
 	if err != nil {
@@ -62,7 +72,7 @@ func runServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "serve: %d RFDcs over schema %s\n", len(sigma), base.Schema())
+	logger.Info("sigma ready", "rfds", len(sigma), "schema", base.Schema().String())
 
 	opts, err := imputerOptions(*order, *verify, *workers)
 	if err != nil {
@@ -71,11 +81,18 @@ func runServe(args []string) error {
 
 	renuver.SetGlobalMetricsEnabled(true)
 	metrics := renuver.GlobalMetrics()
-	im := renuver.NewImputer(sigma, append(opts, renuver.WithRecorder(metrics))...)
+	opts = append(opts, renuver.WithRecorder(metrics))
 
-	mux := newServeMux(im, metrics)
+	var tracer *renuver.RingTracer
+	if *traceSample > 0 {
+		tracer = renuver.NewRingTracer(*traceCells, *traceSample)
+		opts = append(opts, renuver.WithTracer(tracer))
+	}
+	im := renuver.NewImputer(sigma, opts...)
+
+	mux := newServeMux(im, metrics, tracer, logger)
 	srv := &http.Server{Addr: *addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
-	fmt.Fprintf(os.Stderr, "serve: listening on %s\n", *addr)
+	logger.Info("listening", "addr", *addr, "tracing", *traceSample > 0)
 	return srv.ListenAndServe()
 }
 
@@ -104,18 +121,48 @@ func imputerOptions(order, verify string, workers int) ([]renuver.Option, error)
 	return opts, nil
 }
 
+// csvContentType reports whether the request's Content-Type, when
+// present, declares a CSV (or generic text/octet) body. An absent
+// header is accepted: curl-style clients rarely set one.
+func csvContentType(header string) bool {
+	if header == "" {
+		return true
+	}
+	mt, _, err := mime.ParseMediaType(header)
+	if err != nil {
+		return false
+	}
+	switch mt {
+	case "text/csv", "application/csv", "text/plain", "application/octet-stream":
+		return true
+	}
+	return false
+}
+
 // newServeMux wires the service endpoints; split out so tests can drive
-// the handlers without binding a port.
-func newServeMux(im *renuver.Imputer, metrics *renuver.MetricsRecorder) *http.ServeMux {
+// the handlers without binding a port. tracer may be nil (tracing off).
+func newServeMux(im *renuver.Imputer, metrics *renuver.MetricsRecorder,
+	tracer *renuver.RingTracer, logger *slog.Logger) *http.ServeMux {
+
+	if logger == nil {
+		logger = newLogger(false)
+	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", renuver.MetricsHandler(metrics))
+	mux.Handle("/trace/last", renuver.TraceHandler(tracer))
 	renuver.MountDebugHandlers(mux)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/impute", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
 			http.Error(w, "POST a CSV document to impute it", http.StatusMethodNotAllowed)
+			return
+		}
+		if ct := r.Header.Get("Content-Type"); !csvContentType(ct) {
+			http.Error(w, fmt.Sprintf("unsupported Content-Type %q: POST CSV (text/csv)", ct),
+				http.StatusUnsupportedMediaType)
 			return
 		}
 		rel, err := renuver.LoadCSV(r.Body)
@@ -123,12 +170,18 @@ func newServeMux(im *renuver.Imputer, metrics *renuver.MetricsRecorder) *http.Se
 			http.Error(w, "bad CSV: "+err.Error(), http.StatusBadRequest)
 			return
 		}
+		start := time.Now()
 		res, err := im.ImputeContext(r.Context(), rel)
 		if err != nil {
+			logger.Error("imputation failed", "error", err)
 			http.Error(w, "imputation failed: "+err.Error(), http.StatusUnprocessableEntity)
 			return
 		}
-		fmt.Fprintf(os.Stderr, "serve: %s\n", statsSummary(res.Stats))
+		logger.Info("imputed",
+			"imputed", res.Stats.Imputed, "missing", res.Stats.MissingCells,
+			"donors_scanned", res.Stats.DonorsScanned,
+			"faultless_checks", res.Stats.FaultlessChecks,
+			"elapsed", time.Since(start).Round(time.Microsecond).String())
 		stats, err := json.Marshal(res.Stats)
 		if err == nil {
 			// Headers must be single-line; compact JSON is.
@@ -138,17 +191,8 @@ func newServeMux(im *renuver.Imputer, metrics *renuver.MetricsRecorder) *http.Se
 		if err := renuver.SaveCSV(w, res.Relation); err != nil {
 			// Too late for a status change; the truncated body is the
 			// only signal left.
-			fmt.Fprintf(os.Stderr, "serve: writing response: %v\n", err)
+			logger.Error("writing response", "error", err)
 		}
 	})
 	return mux
-}
-
-// statsSummary renders the headline counters for log lines.
-func statsSummary(s renuver.Stats) string {
-	return strings.TrimSpace(fmt.Sprintf(
-		"imputed %d/%d, %d donors scanned, %d faultless checks, search %s verify %s",
-		s.Imputed, s.MissingCells, s.DonorsScanned, s.FaultlessChecks,
-		s.Phases.CandidateSearch.Round(time.Microsecond),
-		s.Phases.Verify.Round(time.Microsecond)))
 }

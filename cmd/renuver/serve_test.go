@@ -35,7 +35,7 @@ func newTestMux(t *testing.T) (*http.ServeMux, *renuver.MetricsRecorder) {
 	}
 	metrics := renuver.NewMetricsRecorder()
 	im := renuver.NewImputer(sigma, renuver.WithRecorder(metrics))
-	return newServeMux(im, metrics), metrics
+	return newServeMux(im, metrics, nil, quietLogger()), metrics
 }
 
 func TestServeImputeEndpoint(t *testing.T) {
@@ -110,11 +110,112 @@ func TestServeImputeRejectsBadInput(t *testing.T) {
 	if rec.Code != http.StatusMethodNotAllowed {
 		t.Fatalf("GET /impute = %d", rec.Code)
 	}
+	if allow := rec.Header().Get("Allow"); allow != http.MethodPost {
+		t.Fatalf("405 Allow header = %q, want POST", allow)
+	}
 
 	rec = httptest.NewRecorder()
 	mux.ServeHTTP(rec, httptest.NewRequest("POST", "/impute", strings.NewReader("A,B\n1\n")))
 	if rec.Code != http.StatusBadRequest {
 		t.Fatalf("ragged CSV = %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestServeImputeContentTypes(t *testing.T) {
+	mux, _ := newTestMux(t)
+
+	// Declared non-CSV bodies are refused up front.
+	for _, ct := range []string{"application/json", "multipart/form-data; boundary=x", "garbage/;;"} {
+		req := httptest.NewRequest("POST", "/impute", strings.NewReader(paperCSV))
+		req.Header.Set("Content-Type", ct)
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		if rec.Code != http.StatusUnsupportedMediaType {
+			t.Errorf("Content-Type %q = %d, want 415", ct, rec.Code)
+		}
+	}
+
+	// CSV declarations (and none at all) go through.
+	for _, ct := range []string{"", "text/csv", "text/csv; charset=utf-8", "application/csv", "text/plain"} {
+		req := httptest.NewRequest("POST", "/impute", strings.NewReader(paperCSV))
+		if ct != "" {
+			req.Header.Set("Content-Type", ct)
+		}
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Errorf("Content-Type %q = %d, want 200: %s", ct, rec.Code, rec.Body.String())
+		}
+	}
+}
+
+func TestServeMetricsPrometheusNegotiation(t *testing.T) {
+	mux, _ := newTestMux(t)
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "text/plain;version=0.0.4")
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("negotiated Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "# TYPE renuver_") {
+		t.Fatalf("body not Prometheus exposition:\n%s", rec.Body.String())
+	}
+}
+
+func TestServeTraceLastEndpoint(t *testing.T) {
+	base, err := renuver.LoadCSVString(paperCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma, err := renuver.DiscoverRFDs(base, renuver.DiscoveryOptions{MaxThreshold: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := renuver.NewMetricsRecorder()
+	tracer := renuver.NewRingTracer(0, 1)
+	im := renuver.NewImputer(sigma, renuver.WithRecorder(metrics), renuver.WithTracer(tracer))
+	mux := newServeMux(im, metrics, tracer, quietLogger())
+
+	// Before any run: an empty array, not an error.
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/trace/last", nil))
+	if rec.Code != http.StatusOK || strings.TrimSpace(rec.Body.String()) != "[]" {
+		t.Fatalf("empty trace = %d %q", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("POST", "/impute", strings.NewReader(paperCSV)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("impute = %d: %s", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/trace/last", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("trace/last = %d", rec.Code)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &events); err != nil {
+		t.Fatalf("trace not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(events) == 0 || events[0]["kind"] != "cell_started" {
+		t.Fatalf("trace events = %v", events)
+	}
+	last := events[len(events)-1]["kind"]
+	if last != "cell_resolved" && last != "cell_abandoned" {
+		t.Fatalf("trace ends with %v", last)
+	}
+
+	// Tracing off: the endpoint 404s instead of lying with [].
+	muxOff := newServeMux(im, metrics, nil, quietLogger())
+	rec = httptest.NewRecorder()
+	muxOff.ServeHTTP(rec, httptest.NewRequest("GET", "/trace/last", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("trace/last without tracer = %d, want 404", rec.Code)
 	}
 }
 

@@ -82,12 +82,21 @@ func (im *Imputer) imputeWithDonorPool(work *dataset.Relation, donors []*dataset
 	row, attr int, sigmaPrime rfd.Set, clusters []rfd.Cluster, res *Result) bool {
 
 	rec := im.opts.recorder()
+	ct := obs.StartCell(im.opts.Tracer, row, attr)
+	if ct != nil {
+		ct.Add(obs.CellStarted(len(clusters)))
+		defer res.addTrace(dataset.Cell{Row: row, Attr: attr}, ct)
+	}
+	anyCandidate := false
 	poolSize := work.Len() - 1
 	for _, d := range donors {
 		poolSize += d.Len()
 	}
 	for _, cluster := range clusters {
 		res.Stats.ClustersScanned++
+		if ct != nil {
+			ct.Add(obs.RuleSelected(cluster.Threshold, formatRules(cluster.RFDs, work.Schema())))
+		}
 		searchStart := time.Now()
 		cands := findDonorCandidates(work, donors, row, attr, cluster.RFDs)
 		res.Stats.Phases.CandidateSearch += time.Since(searchStart)
@@ -99,6 +108,7 @@ func (im *Imputer) imputeWithDonorPool(work *dataset.Relation, donors []*dataset
 		if len(cands) == 0 {
 			continue
 		}
+		anyCandidate = true
 		if !im.opts.NoRanking {
 			res.Stats.DonorsRanked += len(cands)
 			rankStart := time.Now()
@@ -113,6 +123,14 @@ func (im *Imputer) imputeWithDonorPool(work *dataset.Relation, donors []*dataset
 			})
 			res.Stats.Phases.Ranking += time.Since(rankStart)
 		}
+		traceDonorEvents(ct, work, row, cluster.RFDs, len(cands),
+			func(k int) (dataset.Tuple, int, int, float64) {
+				c := cands[k]
+				if c.ref.source < 0 {
+					return work.Row(c.ref.row), c.ref.row, -1, c.dist
+				}
+				return donors[c.ref.source].Row(c.ref.row), c.ref.row, c.ref.source, c.dist
+			})
 		limit := len(cands)
 		if im.opts.MaxCandidates > 0 && im.opts.MaxCandidates < limit {
 			limit = im.opts.MaxCandidates
@@ -129,8 +147,15 @@ func (im *Imputer) imputeWithDonorPool(work *dataset.Relation, donors []*dataset
 			res.Stats.CandidatesTried++
 			res.Stats.FaultlessChecks++
 			verifyStart := time.Now()
-			faultless := im.isFaultless(work, row, attr, sigmaPrime)
+			faultless, violated, witness := im.isFaultlessWitness(work, row, attr, sigmaPrime)
 			res.Stats.Phases.Verify += time.Since(verifyStart)
+			if ct != nil {
+				ct.Add(obs.FaultlessVerdict(cand.ref.row, k+1, faultless))
+				if !faultless {
+					ct.Add(obs.CandidateRejected(cand.ref.row, cand.ref.source, k+1,
+						violated.Format(work.Schema()), witness))
+				}
+			}
 			if faultless {
 				res.Imputations = append(res.Imputations, Imputation{
 					Cell:             dataset.Cell{Row: row, Attr: attr},
@@ -145,11 +170,19 @@ func (im *Imputer) imputeWithDonorPool(work *dataset.Relation, donors []*dataset
 				if rec.Enabled() {
 					rec.Observe(obs.HistAttemptsPerImputation, float64(k+1))
 				}
+				ct.Add(obs.CellResolved(cand.ref.row, cand.ref.source, value.String(), cand.dist, k+1))
 				return true
 			}
 			res.Stats.VerifyRejections++
 			work.Set(row, attr, dataset.Null)
 		}
+	}
+	if ct != nil {
+		note := "no plausible candidate tuple in any cluster"
+		if anyCandidate {
+			note = "every ranked candidate failed IS_FAULTLESS"
+		}
+		ct.Add(obs.CellAbandoned(note))
 	}
 	return false
 }

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/obs"
+	"repro/internal/rfd"
+)
+
+// assertWellFormed checks the trace invariants promised by Explain: the
+// sequence opens with CellStarted, closes with CellResolved or
+// CellAbandoned, carries uniform cell coordinates, and its Seq numbers
+// are the positions — i.e. no foreign events interleaved.
+func assertWellFormed(t *testing.T, evs []obs.TraceEvent, row, attr int) {
+	t.Helper()
+	if len(evs) == 0 {
+		t.Fatalf("cell (%d,%d): empty trace", row, attr)
+	}
+	if evs[0].Kind != obs.EvCellStarted {
+		t.Errorf("cell (%d,%d): first event %v, want cell_started", row, attr, evs[0].Kind)
+	}
+	last := evs[len(evs)-1].Kind
+	if last != obs.EvCellResolved && last != obs.EvCellAbandoned {
+		t.Errorf("cell (%d,%d): last event %v, want cell_resolved or cell_abandoned", row, attr, last)
+	}
+	for i, ev := range evs {
+		if ev.Row != row || ev.Attr != attr {
+			t.Errorf("cell (%d,%d): event %d belongs to (%d,%d)", row, attr, i, ev.Row, ev.Attr)
+		}
+		if ev.Seq != i {
+			t.Errorf("cell (%d,%d): event %d has Seq %d", row, attr, i, ev.Seq)
+		}
+	}
+}
+
+// TestExplainPaperExample runs the Figure 1 walk-through with tracing at
+// 100%% sampling and checks every imputed cell yields a well-ordered
+// explain sequence (the PR's acceptance criterion).
+func TestExplainPaperExample(t *testing.T) {
+	rel := table2(t)
+	tr := obs.NewRingTracer(0, 1)
+	im := New(figure1Sigma(t, rel.Schema()), WithTracer(tr))
+	res, err := im.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Imputations) == 0 {
+		t.Fatal("no imputations")
+	}
+	for _, imp := range res.Imputations {
+		evs := res.Explain(imp.Cell.Row, imp.Cell.Attr)
+		assertWellFormed(t, evs, imp.Cell.Row, imp.Cell.Attr)
+		final := evs[len(evs)-1]
+		if final.Kind != obs.EvCellResolved {
+			t.Errorf("imputed cell %v trace ends with %v", imp.Cell, final.Kind)
+		}
+		if final.Donor != imp.Donor || final.Value != imp.Value.String() || final.Attempt != imp.Attempt {
+			t.Errorf("cell %v resolved event (donor %d, %q, attempt %d) disagrees with Imputation (%d, %q, %d)",
+				imp.Cell, final.Donor, final.Value, final.Attempt, imp.Donor, imp.Value.String(), imp.Attempt)
+		}
+		// A resolved cell must have considered at least one donor and
+		// received a faultless verdict for the winning attempt.
+		var sawDonor, sawVerdict bool
+		for _, ev := range evs {
+			if ev.Kind == obs.EvDonorConsidered {
+				sawDonor = true
+			}
+			if ev.Kind == obs.EvFaultlessVerdict && ev.OK && ev.Attempt == imp.Attempt {
+				sawVerdict = true
+			}
+		}
+		if !sawDonor || !sawVerdict {
+			t.Errorf("cell %v trace missing donor_considered (%v) or faultless verdict (%v)",
+				imp.Cell, sawDonor, sawVerdict)
+		}
+	}
+	// The ring saw the same cells, delivered atomically.
+	if tr.Len() != len(res.Traces) {
+		t.Errorf("ring holds %d cells, result holds %d", tr.Len(), len(res.Traces))
+	}
+}
+
+// TestExplainRecordsRejection replays Example 5.9: for t7[Phone] the
+// closest candidate t3 violates φ7 (Phone(<=1) -> Class(<=0)) and must
+// appear in the trace as a rejected attempt before t2 wins.
+func TestExplainRecordsRejection(t *testing.T) {
+	rel := table2(t)
+	tr := obs.NewRingTracer(0, 1)
+	im := New(figure1Sigma(t, rel.Schema()), WithTracer(tr))
+	res, err := im.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phone := rel.Schema().MustIndex("Phone")
+	evs := res.Explain(6, phone)
+	assertWellFormed(t, evs, 6, phone)
+
+	var rejected *obs.TraceEvent
+	for i := range evs {
+		if evs[i].Kind == obs.EvCandidateRejected {
+			rejected = &evs[i]
+			break
+		}
+	}
+	if rejected == nil {
+		t.Fatal("t7[Phone] trace has no candidate_rejected event")
+	}
+	if rejected.Donor != 2 {
+		t.Errorf("rejected donor row = %d, want 2 (t3)", rejected.Donor)
+	}
+	if len(rejected.Rules) != 1 || !strings.Contains(rejected.Rules[0], "Class") {
+		t.Errorf("violated rule = %v, want the Phone->Class RFDc", rejected.Rules)
+	}
+	if rejected.Witness < 0 {
+		t.Errorf("rejection carries no witness row: %+v", rejected)
+	}
+
+	text := res.ExplainText(rel.Schema(), 6, phone)
+	for _, want := range []string{"cell (row 7, Phone)", "violates", "resolved", "310-392-9025"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("ExplainText missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestExplainAbandonedCell traces a cell with no plausible candidate.
+func TestExplainAbandonedCell(t *testing.T) {
+	rel, err := dataset.ReadCSVString(`A,B
+x,
+y,v2
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewRingTracer(0, 1)
+	sigma := rfd.Set{rfd.MustParse("A(<=0) -> B(<=0)", rel.Schema())}
+	res, err := New(sigma, WithTracer(tr)).Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := res.Explain(0, 1)
+	assertWellFormed(t, evs, 0, 1)
+	final := evs[len(evs)-1]
+	if final.Kind != obs.EvCellAbandoned {
+		t.Fatalf("trace ends with %v, want cell_abandoned", final.Kind)
+	}
+	if !strings.Contains(final.Note, "no plausible candidate") {
+		t.Errorf("abandon note = %q", final.Note)
+	}
+}
+
+// TestExplainDonorPoolProvenance checks ImputeWithDonors traces carry the
+// donor-dataset source index.
+func TestExplainDonorPoolProvenance(t *testing.T) {
+	target, err := dataset.ReadCSVString(`A,B
+x,
+y,v2
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	donor, err := dataset.ReadCSVString(`A,B
+x,v1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewRingTracer(0, 1)
+	sigma := rfd.Set{rfd.MustParse("A(<=0) -> B(<=0)", target.Schema())}
+	res, err := New(sigma, WithTracer(tr)).ImputeWithDonors(target, []*dataset.Relation{donor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := res.Explain(0, 1)
+	assertWellFormed(t, evs, 0, 1)
+	final := evs[len(evs)-1]
+	if final.Kind != obs.EvCellResolved || final.Source != 0 || final.Value != "v1" {
+		t.Fatalf("resolved event = %+v, want source 0 value v1", final)
+	}
+	text := res.ExplainText(target.Schema(), 0, 1)
+	if !strings.Contains(text, "donor dataset 0") {
+		t.Errorf("ExplainText missing donor-pool provenance:\n%s", text)
+	}
+}
+
+// TestExplainWithoutTracer: no tracer means no traces, nil Explain, and
+// empty ExplainText — the zero-cost default.
+func TestExplainWithoutTracer(t *testing.T) {
+	rel := table2(t)
+	res, err := New(figure1Sigma(t, rel.Schema())).Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Traces != nil {
+		t.Errorf("untraced run has Traces: %v", res.Traces)
+	}
+	if evs := res.Explain(3, rel.Schema().MustIndex("Phone")); evs != nil {
+		t.Errorf("Explain on untraced run = %v", evs)
+	}
+	if s := res.ExplainText(rel.Schema(), 3, 2); s != "" {
+		t.Errorf("ExplainText on untraced run = %q", s)
+	}
+}
+
+// TestExplainSampling: with sampling every-Nth, only sampled cells carry
+// traces, and unsampled cells impute identically.
+func TestExplainSampling(t *testing.T) {
+	rel := table2(t)
+	full, err := New(figure1Sigma(t, rel.Schema())).Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewRingTracer(0, 3)
+	res, err := New(figure1Sigma(t, rel.Schema()), WithTracer(tr)).Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Imputations) != len(full.Imputations) {
+		t.Fatalf("sampled tracing changed imputations: %d vs %d",
+			len(res.Imputations), len(full.Imputations))
+	}
+	for cell, evs := range res.Traces {
+		if !tr.Sample(cell.Row, cell.Attr) {
+			t.Errorf("cell %v traced but not in sample", cell)
+		}
+		assertWellFormed(t, evs, cell.Row, cell.Attr)
+	}
+}
+
+// TestStreamImputerTraces: the streaming path shares imputeMissingValue;
+// each appended tuple's traced cells land in the ring, well-formed.
+func TestStreamImputerTraces(t *testing.T) {
+	rel, err := dataset.ReadCSVString(`A,B
+k1,v1
+k2,v2
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := rfd.Set{rfd.MustParse("A(<=0) -> B(<=0)", rel.Schema())}
+	tr := obs.NewRingTracer(0, 1)
+	st := New(sigma, WithTracer(tr)).NewStream(rel)
+	if _, err := st.Append(dataset.Tuple{dataset.NewString("k1"), dataset.Null}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append(dataset.Tuple{dataset.NewString("k9"), dataset.Null}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("stream run produced no traces")
+	}
+	for _, evs := range tr.Cells() {
+		assertWellFormed(t, evs, evs[0].Row, evs[0].Attr)
+	}
+}

@@ -132,6 +132,10 @@ type Result struct {
 	Unimputed []dataset.Cell
 	// Stats carries the run counters.
 	Stats Stats
+	// Traces holds the per-cell decision traces collected for the cells
+	// the run's Tracer sampled (nil without WithTracer). Query with
+	// Explain / ExplainText.
+	Traces map[dataset.Cell][]obs.TraceEvent
 }
 
 // ImputedValue returns the imputation record for a cell, if that cell was
@@ -211,8 +215,17 @@ func (im *Imputer) imputeMissingValue(work *dataset.Relation, row, attr int,
 	sigmaPrime rfd.Set, clusters []rfd.Cluster, res *Result, idx *donorIndex) bool {
 
 	rec := im.opts.recorder()
+	ct := obs.StartCell(im.opts.Tracer, row, attr)
+	if ct != nil {
+		ct.Add(obs.CellStarted(len(clusters)))
+		defer res.addTrace(dataset.Cell{Row: row, Attr: attr}, ct)
+	}
+	anyCandidate := false
 	for _, cluster := range clusters {
 		res.Stats.ClustersScanned++
+		if ct != nil {
+			ct.Add(obs.RuleSelected(cluster.Threshold, formatRules(cluster.RFDs, work.Schema())))
+		}
 		searchStart := time.Now()
 		var cands []candidate
 		if rows, ok := idx.candidateRows(work, row, cluster.RFDs); ok {
@@ -238,6 +251,7 @@ func (im *Imputer) imputeMissingValue(work *dataset.Relation, row, attr int,
 		if len(cands) == 0 {
 			continue
 		}
+		anyCandidate = true
 		if !im.opts.NoRanking {
 			res.Stats.DonorsRanked += len(cands)
 			rankStart := time.Now()
@@ -250,6 +264,10 @@ func (im *Imputer) imputeMissingValue(work *dataset.Relation, row, attr int,
 			})
 			res.Stats.Phases.Ranking += time.Since(rankStart)
 		}
+		traceDonorEvents(ct, work, row, cluster.RFDs, len(cands),
+			func(k int) (dataset.Tuple, int, int, float64) {
+				return work.Row(cands[k].row), cands[k].row, -1, cands[k].dist
+			})
 		limit := len(cands)
 		if im.opts.MaxCandidates > 0 && im.opts.MaxCandidates < limit {
 			limit = im.opts.MaxCandidates
@@ -261,7 +279,22 @@ func (im *Imputer) imputeMissingValue(work *dataset.Relation, row, attr int,
 			res.Stats.CandidatesTried++
 			res.Stats.FaultlessChecks++
 			verifyStart := time.Now()
-			faultless := im.isFaultlessParallel(work, row, attr, sigmaPrime)
+			var faultless bool
+			if ct != nil {
+				// Traced cells take the serial witness-reporting verifier:
+				// the violated RFDc and witness row are part of the trace,
+				// and per-cell serial verification keeps the event order
+				// deterministic. Sampling keeps this affordable.
+				ok, violated, witness := im.isFaultlessWitness(work, row, attr, sigmaPrime)
+				faultless = ok
+				ct.Add(obs.FaultlessVerdict(cand.row, k+1, ok))
+				if !ok {
+					ct.Add(obs.CandidateRejected(cand.row, -1, k+1,
+						violated.Format(work.Schema()), witness))
+				}
+			} else {
+				faultless = im.isFaultlessParallel(work, row, attr, sigmaPrime)
+			}
 			res.Stats.Phases.Verify += time.Since(verifyStart)
 			if faultless {
 				res.Imputations = append(res.Imputations, Imputation{
@@ -277,11 +310,19 @@ func (im *Imputer) imputeMissingValue(work *dataset.Relation, row, attr int,
 				if rec.Enabled() {
 					rec.Observe(obs.HistAttemptsPerImputation, float64(k+1))
 				}
+				ct.Add(obs.CellResolved(cand.row, -1, value.String(), cand.dist, k+1))
 				return true
 			}
 			res.Stats.VerifyRejections++
 			work.Set(row, attr, dataset.Null) // revert
 		}
+	}
+	if ct != nil {
+		note := "no plausible candidate tuple in any cluster"
+		if anyCandidate {
+			note = "every ranked candidate failed IS_FAULTLESS"
+		}
+		ct.Add(obs.CellAbandoned(note))
 	}
 	return false
 }
@@ -345,8 +386,16 @@ func findCandidateTuples(work *dataset.Relation, row, attr int, deps rfd.Set) []
 // A on the LHS are re-checked; VerifyBothSides also re-checks RFDcs with
 // A as RHS attribute, giving the full Definition 4.3 guarantee.
 func (im *Imputer) isFaultless(work *dataset.Relation, row, attr int, sigmaPrime rfd.Set) bool {
+	ok, _, _ := im.isFaultlessWitness(work, row, attr, sigmaPrime)
+	return ok
+}
+
+// isFaultlessWitness is isFaultless with provenance: on rejection it also
+// returns the violated dependency and the row of the witness tuple t_i —
+// the two facts a decision trace needs to justify a CandidateRejected.
+func (im *Imputer) isFaultlessWitness(work *dataset.Relation, row, attr int, sigmaPrime rfd.Set) (bool, *rfd.RFD, int) {
 	if im.opts.Verify == VerifyOff {
-		return true
+		return true, nil, -1
 	}
 	var relevant rfd.Set
 	for _, dep := range sigmaPrime {
@@ -355,7 +404,7 @@ func (im *Imputer) isFaultless(work *dataset.Relation, row, attr int, sigmaPrime
 		}
 	}
 	if len(relevant) == 0 {
-		return true
+		return true, nil, -1
 	}
 	// Only the LHS and RHS attributes of the relevant dependencies are
 	// ever read from the pattern.
@@ -386,9 +435,9 @@ func (im *Imputer) isFaultless(work *dataset.Relation, row, attr int, sigmaPrime
 		}
 		for _, dep := range relevant {
 			if dep.ViolatedBy(p) {
-				return false
+				return false, dep, i
 			}
 		}
 	}
-	return true
+	return true, nil, -1
 }

@@ -109,10 +109,14 @@ func TestParallelImputeRaceStress(t *testing.T) {
 	rel := table2(t)
 	sigma := figure1Sigma(t, rel.Schema())
 	m := obs.NewMetrics()
-	im := New(sigma, WithRecorder(m), WithWorkers(4))
-
+	// A shared sampling tracer at 100%: every concurrent run's every cell
+	// delivers its full event sequence into one ring. The capacity covers
+	// all traces, so none is evicted and all can be audited afterwards.
 	const goroutines = 8
 	const iterations = 5
+	tr := obs.NewRingTracer(goroutines*iterations*4, 1)
+	im := New(sigma, WithRecorder(m), WithWorkers(4), WithTracer(tr))
+
 	var wg sync.WaitGroup
 	errs := make(chan error, goroutines*iterations)
 	for g := 0; g < goroutines; g++ {
@@ -144,6 +148,83 @@ func TestParallelImputeRaceStress(t *testing.T) {
 	}
 	if got := s.Phases["total"].Count; got != goroutines*iterations {
 		t.Errorf("shared recorder total-phase count = %d, want %d", got, goroutines*iterations)
+	}
+
+	// Every traced cell's sequence must be well-formed and free of
+	// foreign events: concurrent runs deliver whole cells atomically, so
+	// no interleaving is possible.
+	cells := tr.Cells()
+	if len(cells) != goroutines*iterations*4 {
+		t.Fatalf("ring holds %d cell traces, want %d (evicted %d)",
+			len(cells), goroutines*iterations*4, tr.Evicted())
+	}
+	for _, evs := range cells {
+		if len(evs) == 0 {
+			t.Fatal("empty cell trace in ring")
+		}
+		row, attr := evs[0].Row, evs[0].Attr
+		if evs[0].Kind != obs.EvCellStarted {
+			t.Errorf("cell (%d,%d): first event %v, want cell_started", row, attr, evs[0].Kind)
+		}
+		last := evs[len(evs)-1].Kind
+		if last != obs.EvCellResolved && last != obs.EvCellAbandoned {
+			t.Errorf("cell (%d,%d): last event %v, want terminal", row, attr, last)
+		}
+		for i, ev := range evs {
+			if ev.Row != row || ev.Attr != attr {
+				t.Errorf("cell (%d,%d): foreign event for (%d,%d) interleaved at %d",
+					row, attr, ev.Row, ev.Attr, i)
+			}
+			if ev.Seq != i {
+				t.Errorf("cell (%d,%d): event %d has Seq %d", row, attr, i, ev.Seq)
+			}
+		}
+	}
+}
+
+// TestParallelImputeSampledTracer is the stress shape users actually
+// run: a small ring with every-Nth sampling under concurrency. Traces
+// may be evicted, but the retained ones must still be whole.
+func TestParallelImputeSampledTracer(t *testing.T) {
+	rel := table2(t)
+	sigma := figure1Sigma(t, rel.Schema())
+	tr := obs.NewRingTracer(4, 2)
+	im := New(sigma, WithWorkers(4), WithTracer(tr))
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				if _, err := im.ImputeContext(context.Background(), rel); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if tr.Len() == 0 {
+		t.Fatal("sampled tracer retained nothing")
+	}
+	for _, evs := range tr.Cells() {
+		if !tr.Sample(evs[0].Row, evs[0].Attr) {
+			t.Errorf("cell (%d,%d) traced but outside the sample", evs[0].Row, evs[0].Attr)
+		}
+		if evs[0].Kind != obs.EvCellStarted {
+			t.Errorf("trace starts with %v", evs[0].Kind)
+		}
+		last := evs[len(evs)-1].Kind
+		if last != obs.EvCellResolved && last != obs.EvCellAbandoned {
+			t.Errorf("trace ends with %v", last)
+		}
+		for i, ev := range evs {
+			if ev.Row != evs[0].Row || ev.Attr != evs[0].Attr || ev.Seq != i {
+				t.Errorf("malformed event %d: %+v", i, ev)
+			}
+		}
 	}
 }
 

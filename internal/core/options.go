@@ -90,6 +90,11 @@ type Options struct {
 	// timings) across runs. Nil means obs.Nop: Result.Stats is still
 	// filled, but nothing is aggregated process-wide.
 	Recorder obs.Recorder
+	// Tracer receives per-cell decision traces (which donors were
+	// considered, which RFDc vetoed a candidate, why a cell resolved the
+	// way it did). Sampled cells also land in Result.Traces, queryable
+	// with Result.Explain. Nil disables tracing entirely.
+	Tracer obs.Tracer
 }
 
 // recorder returns the configured Recorder, defaulting to the no-op.
@@ -132,3 +137,9 @@ func WithoutIndex() Option { return func(op *Options) { op.NoIndex = true } }
 // shared across runs). r must be safe for concurrent use when the same
 // Imputer serves concurrent calls.
 func WithRecorder(r obs.Recorder) Option { return func(op *Options) { op.Recorder = r } }
+
+// WithTracer records per-cell decision traces into t (typically an
+// *obs.RingTracer). Sampled cells additionally land in Result.Traces for
+// Result.Explain. t must be safe for concurrent use when the same
+// Imputer serves concurrent calls.
+func WithTracer(t obs.Tracer) Option { return func(op *Options) { op.Tracer = t } }

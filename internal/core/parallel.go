@@ -32,7 +32,11 @@ func chunkRanges(n, workers int) [][2]int {
 // findCandidateTuplesParallel computes the same candidate list as
 // findCandidateTuples, chunking the donor scan across workers. Chunks
 // are contiguous row ranges concatenated in order, so the output is
-// bit-identical to the serial scan.
+// bit-identical to the serial scan. Trace emission happens strictly
+// after this merge (and traced cells verify with the serial
+// witness-reporting path), so a cell's DonorConsidered events are in
+// deterministic ranked order regardless of worker count, and a cell's
+// whole event sequence reaches the Tracer in one atomic EmitCell.
 func findCandidateTuplesParallel(work *dataset.Relation, row, attr int, deps rfd.Set, workers int) []candidate {
 	n := work.Len()
 	if workers <= 1 || n < 2*workers {

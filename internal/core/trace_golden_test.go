@@ -1,0 +1,56 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// TestTraceJSONLGolden pins the exported JSONL trace schema: the paper's
+// Table 2 run is fully deterministic, so — after normalizing wall-clock
+// timestamps — the serialized trace must match testdata byte for byte.
+// Any field rename, reorder, or kind change shows up as a diff here.
+// Regenerate intentionally with: go test ./internal/core/ -run Golden -update-golden
+func TestTraceJSONLGolden(t *testing.T) {
+	rel := table2(t)
+	tr := obs.NewRingTracer(0, 1)
+	if _, err := New(figure1Sigma(t, rel.Schema()), WithTracer(tr)).Impute(rel); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, cell := range tr.Cells() {
+		for _, ev := range cell {
+			ev.UnixNano = 0 // wall clock is the only nondeterministic field
+			if err := enc.Encode(ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	golden := filepath.Join("testdata", "trace_table2.jsonl")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file missing (regenerate with -update-golden): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace JSONL schema drifted from golden.\n--- got ---\n%s\n--- want ---\n%s",
+			buf.Bytes(), want)
+	}
+}

@@ -64,6 +64,11 @@ type Config struct {
 	// materialized, RFDcs emitted, discovery wall clock). Nil means
 	// no-op.
 	Recorder obs.Recorder
+	// Tracer receives one RuleEmitted event per discovered RFDc, carrying
+	// the rendered rule, its RHS threshold, and its pattern support (how
+	// many sampled pairs satisfy the LHS — the generating minima of the
+	// greedy search). Nil disables rule provenance.
+	Tracer obs.Tracer
 }
 
 // limitFor returns the effective threshold cap for one attribute.
@@ -132,8 +137,25 @@ func Discover(rel *dataset.Relation, cfg Config) (rfd.Set, error) {
 		out = append(out, candidates...)
 	}
 	rec.Add(obs.CtrDiscoveryRFDs, int64(len(out)))
+	if cfg.Tracer != nil && cfg.Tracer.Enabled() {
+		emitRuleProvenance(cfg.Tracer, rel.Schema(), patterns, out)
+	}
 	obs.Since(rec, obs.PhaseDiscovery, start)
 	return out, nil
+}
+
+// emitRuleProvenance reports each surviving RFDc with its pattern
+// support, recomputed once per rule over the sampled patterns.
+func emitRuleProvenance(t obs.Tracer, schema *dataset.Schema, patterns []distance.Pattern, out rfd.Set) {
+	for _, dep := range out {
+		lhs := make([]int, len(dep.LHS))
+		th := make([]float64, len(dep.LHS))
+		for i, c := range dep.LHS {
+			lhs[i], th[i] = c.Attr, c.Threshold
+		}
+		t.EmitEvent(obs.RuleEmitted(dep.RHS.Attr, dep.Format(schema),
+			dep.RHS.Threshold, support(patterns, lhs, th)))
+	}
 }
 
 // samplePatterns materializes distance patterns for up to maxPairs tuple

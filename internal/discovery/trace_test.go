@@ -1,0 +1,69 @@
+package discovery
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestDiscoverEmitsRuleProvenance: with a tracer configured, every
+// discovered RFDc is reported exactly once, with a positive support and
+// its own rendered rule text.
+func TestDiscoverEmitsRuleProvenance(t *testing.T) {
+	rel := table2(t)
+	tr := obs.NewRingTracer(0, 1)
+	sigma, err := Discover(rel, Config{MaxThreshold: 6, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sigma) == 0 {
+		t.Fatal("no RFDcs discovered")
+	}
+
+	var events []obs.TraceEvent
+	for _, cell := range tr.Cells() {
+		events = append(events, cell...)
+	}
+	if len(events) != len(sigma) {
+		t.Fatalf("emitted %d rule events for %d discovered RFDcs", len(events), len(sigma))
+	}
+	seen := make(map[string]bool)
+	for i, ev := range events {
+		if ev.Kind != obs.EvRuleEmitted {
+			t.Fatalf("event %d kind %v, want rule_emitted", i, ev.Kind)
+		}
+		if len(ev.Rules) != 1 || ev.Rules[0] == "" {
+			t.Errorf("event %d carries no rule text: %+v", i, ev)
+		}
+		if ev.N < 1 {
+			t.Errorf("rule %q support %d, want >= MinSupport", ev.Rules[0], ev.N)
+		}
+		if seen[ev.Rules[0]] {
+			t.Errorf("rule %q reported twice", ev.Rules[0])
+		}
+		seen[ev.Rules[0]] = true
+	}
+	for _, dep := range sigma {
+		if !seen[dep.Format(rel.Schema())] {
+			t.Errorf("discovered %s never reported", dep.Format(rel.Schema()))
+		}
+	}
+}
+
+// TestDiscoverNoTracerNoEvents: discovery without a tracer behaves as
+// before and emits nothing.
+func TestDiscoverNoTracerNoEvents(t *testing.T) {
+	rel := table2(t)
+	with, err := Discover(rel, Config{MaxThreshold: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewRingTracer(0, 1)
+	traced, err := Discover(rel, Config{MaxThreshold: 6, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(with) != len(traced) {
+		t.Errorf("tracer changed discovery: %d vs %d RFDcs", len(with), len(traced))
+	}
+}

@@ -4,17 +4,41 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 )
 
-// Handler serves the metrics as a JSON snapshot (expvar-style: one
-// document, pretty-printed, no content negotiation).
+// Handler serves the metrics. The default representation is the JSON
+// snapshot (expvar-style, pretty-printed); a client whose Accept header
+// asks for text/plain — the Prometheus scraper convention — gets the
+// text exposition format instead.
 func Handler(m *Metrics) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if acceptsPrometheus(r.Header.Get("Accept")) {
+			w.Header().Set("Content-Type", PrometheusContentType)
+			_ = m.WritePrometheus(w)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(m.Snapshot())
 	})
+}
+
+// acceptsPrometheus reports whether the Accept header prefers the text
+// exposition format over JSON. JSON stays the default: only an explicit
+// text/plain (or OpenMetrics) ask flips the representation.
+func acceptsPrometheus(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mediaType := strings.TrimSpace(strings.SplitN(part, ";", 2)[0])
+		switch mediaType {
+		case "application/json":
+			return false
+		case "text/plain", "application/openmetrics-text":
+			return true
+		}
+	}
+	return false
 }
 
 // MountDebug attaches the net/http/pprof handlers to the mux under

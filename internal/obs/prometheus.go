@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the exposition-format content type served
+// when a scraper negotiates text format.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName prefixes a metric name into the renuver namespace.
+func promName(name string) string { return "renuver_" + name }
+
+// promFloat renders a float the way Prometheus expects ("+Inf" for the
+// overflow bound, shortest round-trip form otherwise).
+func promFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the metrics in the Prometheus text exposition
+// format (version 0.0.4): counters as renuver_<name>_total, phase wall
+// clock as renuver_phase_seconds_total / renuver_phase_events_total
+// labelled by phase, and histograms with cumulative le buckets. The
+// output order is fixed (enum order), so scrapes diff cleanly.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	var sb strings.Builder
+	for c := 0; c < numCounters; c++ {
+		name := promName(Counter(c).String()) + "_total"
+		fmt.Fprintf(&sb, "# TYPE %s counter\n%s %d\n", name, name, m.counters[c].Load())
+	}
+
+	fmt.Fprintf(&sb, "# TYPE %s counter\n", promName("phase_seconds_total"))
+	for p := 0; p < numPhases; p++ {
+		fmt.Fprintf(&sb, "%s{phase=%q} %s\n", promName("phase_seconds_total"),
+			Phase(p).String(), promFloat(float64(m.phaseNanos[p].Load())/1e9))
+	}
+	fmt.Fprintf(&sb, "# TYPE %s counter\n", promName("phase_events_total"))
+	for p := 0; p < numPhases; p++ {
+		fmt.Fprintf(&sb, "%s{phase=%q} %d\n", promName("phase_events_total"),
+			Phase(p).String(), m.phaseCount[p].Load())
+	}
+
+	for h := 0; h < numHists; h++ {
+		name := promName(Hist(h).String())
+		fmt.Fprintf(&sb, "# TYPE %s histogram\n", name)
+		bounds := histBounds[h]
+		cum := int64(0)
+		for i := range bounds {
+			cum += m.histBuckets[h][i].Load()
+			fmt.Fprintf(&sb, "%s_bucket{le=%q} %d\n", name, promFloat(bounds[i]), cum)
+		}
+		cum += m.histBuckets[h][len(bounds)].Load()
+		fmt.Fprintf(&sb, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(&sb, "%s_sum %s\n", name, promFloat(math.Float64frombits(m.histSumBits[h].Load())))
+		fmt.Fprintf(&sb, "%s_count %d\n", name, m.histCount[h].Load())
+	}
+
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,505 @@
+package obs
+
+// This file is the decision-trace layer: where metrics.go answers "how
+// much work happened", the Tracer answers "which decision happened and
+// why" at the granularity of a single cell. The vocabulary follows the
+// paper's imputation loop: a cell's trace opens with CellStarted, walks
+// the RHS-threshold clusters (RuleSelected), the ranked donors with
+// their per-attribute LHS distances and Eq. 2 score (DonorConsidered),
+// every IS_FAULTLESS verdict (FaultlessVerdict) with the violated RFDc
+// and witness tuple on rejection (CandidateRejected), and closes with
+// CellResolved or CellAbandoned. RFDc discovery emits one standalone
+// RuleEmitted event per dependency.
+//
+// Design rules match the metrics layer: zero external dependencies, a
+// no-op default, and a bounded concrete implementation (RingTracer) so
+// full tracing stays safe at bench scale. A cell's events are buffered
+// in a CellTrace and handed to the Tracer as one atomic, ordered batch —
+// concurrent runs and parallel scan workers can therefore never
+// interleave one cell's events with another's.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// EventKind enumerates the typed trace events.
+type EventKind int
+
+const (
+	// EvCellStarted opens a cell's trace; N carries the cluster count.
+	EvCellStarted EventKind = iota
+	// EvRuleSelected records one RHS-threshold cluster being entered,
+	// with the cluster threshold and its RFDcs.
+	EvRuleSelected
+	// EvDonorConsidered records one ranked candidate: donor row, source,
+	// per-attribute LHS distances, and the Eq. 2 mean LHS distance.
+	EvDonorConsidered
+	// EvCandidateRejected records an IS_FAULTLESS rejection with the
+	// violated RFDc and the witness tuple's row.
+	EvCandidateRejected
+	// EvFaultlessVerdict records one IS_FAULTLESS invocation's outcome.
+	EvFaultlessVerdict
+	// EvCellResolved closes a trace: the cell was imputed.
+	EvCellResolved
+	// EvCellAbandoned closes a trace: no candidate passed.
+	EvCellAbandoned
+	// EvRuleEmitted is a standalone discovery event: one RFDc entered Σ;
+	// N carries its support (sampled pairs satisfying the LHS).
+	EvRuleEmitted
+	// EvTraceTruncated marks events elided by the per-cell budget.
+	EvTraceTruncated
+
+	numEventKinds int = iota
+)
+
+var eventKindNames = [...]string{
+	EvCellStarted:       "cell_started",
+	EvRuleSelected:      "rule_selected",
+	EvDonorConsidered:   "donor_considered",
+	EvCandidateRejected: "candidate_rejected",
+	EvFaultlessVerdict:  "faultless_verdict",
+	EvCellResolved:      "cell_resolved",
+	EvCellAbandoned:     "cell_abandoned",
+	EvRuleEmitted:       "rule_emitted",
+	EvTraceTruncated:    "trace_truncated",
+}
+
+// String returns the snake_case name used in exports.
+func (k EventKind) String() string {
+	if k < 0 || int(k) >= numEventKinds {
+		return "unknown_event"
+	}
+	return eventKindNames[k]
+}
+
+// MarshalJSON serializes the kind as its snake_case name.
+func (k EventKind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// AttrDist is one attribute's contribution to a donor's LHS distance
+// pattern.
+type AttrDist struct {
+	Attr int     `json:"attr"`
+	Name string  `json:"name,omitempty"`
+	Dist float64 `json:"dist"`
+}
+
+// TraceEvent is one step of a decision trace. Fields beyond Kind, Seq,
+// Row, and Attr are meaningful only for the kinds that set them; the
+// JSONL export includes only each kind's own fields.
+type TraceEvent struct {
+	Kind EventKind
+	// Seq is the event's position within its cell's sequence (0-based).
+	Seq int
+	// Row and Attr address the cell (Row is -1 for standalone discovery
+	// events; Attr then carries the RHS attribute).
+	Row  int
+	Attr int
+	// UnixNano is the wall-clock stamp of CellStarted / CellResolved /
+	// CellAbandoned events, zero elsewhere.
+	UnixNano int64
+	// Threshold is the cluster's RHS threshold (RuleSelected) or the
+	// emitted dependency's RHS threshold (RuleEmitted).
+	Threshold float64
+	// Rules are rendered RFDcs: the cluster's members (RuleSelected), or
+	// a single dependency (CandidateRejected: the violated one;
+	// RuleEmitted: the discovered one).
+	Rules []string
+	// Donor is the candidate's row, -1 when the event concerns no donor.
+	Donor int
+	// Source locates the donor: -1 the target instance, 0.. the donor
+	// pool of ImputeWithDonors.
+	Source int
+	// Dists are the donor's per-attribute LHS distances (DonorConsidered).
+	Dists []AttrDist
+	// Score is the Eq. 2 mean LHS distance (DonorConsidered, CellResolved).
+	Score float64
+	// Witness is the row of the tuple witnessing the violation
+	// (CandidateRejected), -1 elsewhere.
+	Witness int
+	// OK is the IS_FAULTLESS outcome (FaultlessVerdict).
+	OK bool
+	// Value is the imputed value (CellResolved).
+	Value string
+	// Attempt is the 1-based rank of the candidate being tried
+	// (FaultlessVerdict, CandidateRejected, CellResolved).
+	Attempt int
+	// N is a kind-specific count: clusters available (CellStarted),
+	// support pairs (RuleEmitted), elided events (EvTraceTruncated).
+	N int
+	// Note carries free-text detail (abandon reason, truncation info).
+	Note string
+}
+
+// MarshalJSON emits only the fields meaningful for the event's kind,
+// with deterministic (alphabetical) key order, so the JSONL schema stays
+// golden-testable.
+func (e TraceEvent) MarshalJSON() ([]byte, error) {
+	doc := map[string]any{
+		"kind": e.Kind.String(),
+		"seq":  e.Seq,
+		"row":  e.Row,
+		"attr": e.Attr,
+	}
+	switch e.Kind {
+	case EvCellStarted:
+		doc["t"] = e.UnixNano
+		doc["n"] = e.N
+	case EvRuleSelected:
+		doc["threshold"] = e.Threshold
+		doc["rules"] = e.Rules
+	case EvDonorConsidered:
+		doc["donor"] = e.Donor
+		doc["source"] = e.Source
+		doc["dists"] = e.Dists
+		doc["score"] = e.Score
+	case EvCandidateRejected:
+		doc["donor"] = e.Donor
+		doc["source"] = e.Source
+		doc["attempt"] = e.Attempt
+		doc["rules"] = e.Rules
+		doc["witness"] = e.Witness
+	case EvFaultlessVerdict:
+		doc["donor"] = e.Donor
+		doc["attempt"] = e.Attempt
+		doc["ok"] = e.OK
+	case EvCellResolved:
+		doc["t"] = e.UnixNano
+		doc["donor"] = e.Donor
+		doc["source"] = e.Source
+		doc["score"] = e.Score
+		doc["value"] = e.Value
+		doc["attempt"] = e.Attempt
+	case EvCellAbandoned:
+		doc["t"] = e.UnixNano
+		doc["note"] = e.Note
+	case EvRuleEmitted:
+		doc["threshold"] = e.Threshold
+		doc["rules"] = e.Rules
+		doc["n"] = e.N
+	case EvTraceTruncated:
+		doc["n"] = e.N
+		doc["note"] = e.Note
+	}
+	return json.Marshal(doc)
+}
+
+// Event constructors. Core and discovery build events through these so
+// the per-kind field conventions live in one place; Row, Attr, and Seq
+// are filled in by CellTrace.Add.
+
+// CellStarted opens a cell trace over the given cluster count.
+func CellStarted(clusters int) TraceEvent {
+	return TraceEvent{Kind: EvCellStarted, UnixNano: time.Now().UnixNano(),
+		N: clusters, Donor: -1, Source: -1, Witness: -1}
+}
+
+// RuleSelected records entering one RHS-threshold cluster.
+func RuleSelected(threshold float64, rules []string) TraceEvent {
+	return TraceEvent{Kind: EvRuleSelected, Threshold: threshold, Rules: rules,
+		Donor: -1, Source: -1, Witness: -1}
+}
+
+// DonorConsidered records one ranked candidate with its Eq. 2 score.
+func DonorConsidered(donor, source int, dists []AttrDist, score float64) TraceEvent {
+	return TraceEvent{Kind: EvDonorConsidered, Donor: donor, Source: source,
+		Dists: dists, Score: score, Witness: -1}
+}
+
+// CandidateRejected records an IS_FAULTLESS rejection: the violated RFDc
+// and the witness tuple's row.
+func CandidateRejected(donor, source, attempt int, rule string, witness int) TraceEvent {
+	return TraceEvent{Kind: EvCandidateRejected, Donor: donor, Source: source,
+		Attempt: attempt, Rules: []string{rule}, Witness: witness}
+}
+
+// FaultlessVerdict records one IS_FAULTLESS invocation's outcome.
+func FaultlessVerdict(donor, attempt int, ok bool) TraceEvent {
+	return TraceEvent{Kind: EvFaultlessVerdict, Donor: donor, Source: -1,
+		Attempt: attempt, OK: ok, Witness: -1}
+}
+
+// CellResolved closes a trace with the winning imputation.
+func CellResolved(donor, source int, value string, score float64, attempt int) TraceEvent {
+	return TraceEvent{Kind: EvCellResolved, UnixNano: time.Now().UnixNano(),
+		Donor: donor, Source: source, Value: value, Score: score, Attempt: attempt, Witness: -1}
+}
+
+// CellAbandoned closes a trace without an imputation.
+func CellAbandoned(note string) TraceEvent {
+	return TraceEvent{Kind: EvCellAbandoned, UnixNano: time.Now().UnixNano(),
+		Note: note, Donor: -1, Source: -1, Witness: -1}
+}
+
+// RuleEmitted is the standalone discovery event: one RFDc entered Σ with
+// the given support (sampled pairs satisfying its LHS).
+func RuleEmitted(rhsAttr int, rule string, threshold float64, support int) TraceEvent {
+	return TraceEvent{Kind: EvRuleEmitted, Row: -1, Attr: rhsAttr,
+		Rules: []string{rule}, Threshold: threshold, N: support,
+		Donor: -1, Source: -1, Witness: -1}
+}
+
+// TraceTruncated marks n elided events.
+func TraceTruncated(n int, note string) TraceEvent {
+	return TraceEvent{Kind: EvTraceTruncated, N: n, Note: note,
+		Donor: -1, Source: -1, Witness: -1}
+}
+
+// Tracer receives decision traces. Implementations must be safe for
+// concurrent use: parallel Impute runs deliver completed cell traces
+// from their own goroutines.
+type Tracer interface {
+	// Enabled reports whether tracing has any effect; callers skip event
+	// construction entirely when false.
+	Enabled() bool
+	// Sample decides whether the cell should be traced. It must be
+	// deterministic for a (row, attr) pair within one run.
+	Sample(row, attr int) bool
+	// EmitCell receives one cell's complete event sequence, already
+	// ordered by Seq. The implementation must not mutate the slice.
+	EmitCell(events []TraceEvent)
+	// EmitEvent receives a standalone event (discovery's RuleEmitted).
+	EmitEvent(ev TraceEvent)
+}
+
+// NopTracer is the disabled Tracer.
+type NopTracer struct{}
+
+// Enabled implements Tracer.
+func (NopTracer) Enabled() bool { return false }
+
+// Sample implements Tracer.
+func (NopTracer) Sample(int, int) bool { return false }
+
+// EmitCell implements Tracer.
+func (NopTracer) EmitCell([]TraceEvent) {}
+
+// EmitEvent implements Tracer.
+func (NopTracer) EmitEvent(TraceEvent) {}
+
+// maxEventsPerCell bounds one cell's trace; a pathological cell (huge
+// candidate lists, many rejections) cannot blow up memory. Terminal
+// events are exempt so every trace still ends well-formed.
+const maxEventsPerCell = 4096
+
+// CellTrace buffers one cell's events and delivers them to the Tracer as
+// one atomic batch on Close. A nil *CellTrace is valid and inert, so the
+// hot path can thread it unconditionally. CellTrace is not safe for
+// concurrent use — parallel scan workers collect locally and the merged,
+// deterministic order is appended by the coordinating goroutine.
+type CellTrace struct {
+	sink      Tracer
+	row, attr int
+	events    []TraceEvent
+	dropped   int
+}
+
+// StartCell opens a collector for the cell, or returns nil when the
+// tracer is off or the cell is not sampled.
+func StartCell(t Tracer, row, attr int) *CellTrace {
+	if t == nil || !t.Enabled() || !t.Sample(row, attr) {
+		return nil
+	}
+	return &CellTrace{sink: t, row: row, attr: attr}
+}
+
+// terminalKind reports whether the kind closes a trace.
+func terminalKind(k EventKind) bool { return k == EvCellResolved || k == EvCellAbandoned }
+
+// Add appends one event, stamping its Seq, Row, and Attr. Safe on nil.
+func (ct *CellTrace) Add(ev TraceEvent) {
+	if ct == nil {
+		return
+	}
+	if len(ct.events) >= maxEventsPerCell && !terminalKind(ev.Kind) {
+		ct.dropped++
+		return
+	}
+	if ct.dropped > 0 && terminalKind(ev.Kind) {
+		marker := TraceTruncated(ct.dropped, "per-cell event budget exhausted")
+		marker.Seq, marker.Row, marker.Attr = len(ct.events), ct.row, ct.attr
+		ct.events = append(ct.events, marker)
+	}
+	ev.Seq, ev.Row, ev.Attr = len(ct.events), ct.row, ct.attr
+	ct.events = append(ct.events, ev)
+}
+
+// Close delivers the buffered sequence to the tracer and returns it.
+// Safe on nil (returns nil).
+func (ct *CellTrace) Close() []TraceEvent {
+	if ct == nil {
+		return nil
+	}
+	ct.sink.EmitCell(ct.events)
+	return ct.events
+}
+
+// RingTracer is the concrete Tracer: a bounded ring of completed cell
+// traces with deterministic 1-in-n cell sampling. When the ring is full
+// the oldest trace is evicted, so a long-lived server always holds the
+// most recent decisions. All methods are safe for concurrent use.
+type RingTracer struct {
+	mu       sync.Mutex
+	cells    [][]TraceEvent
+	start    int // index of the oldest entry
+	count    int
+	sample   int
+	only     bool
+	onlyCell [2]int
+	evicted  uint64
+}
+
+// DefaultTraceCells is the ring capacity when NewRingTracer gets <= 0.
+const DefaultTraceCells = 256
+
+// NewRingTracer returns a tracer retaining up to capacity cell traces
+// (<= 0 means DefaultTraceCells), sampling one cell in `sample`
+// (<= 1 traces every cell).
+func NewRingTracer(capacity, sample int) *RingTracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCells
+	}
+	if sample < 1 {
+		sample = 1
+	}
+	return &RingTracer{cells: make([][]TraceEvent, capacity), sample: sample}
+}
+
+// Only restricts sampling to a single cell — the `renuver explain` mode,
+// where tracing any other cell is wasted work.
+func (t *RingTracer) Only(row, attr int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.only = true
+	t.onlyCell = [2]int{row, attr}
+}
+
+// Enabled implements Tracer.
+func (t *RingTracer) Enabled() bool { return true }
+
+// Sample implements Tracer: deterministic per (row, attr), so repeated
+// runs trace the same cells.
+func (t *RingTracer) Sample(row, attr int) bool {
+	t.mu.Lock()
+	only, cell, sample := t.only, t.onlyCell, t.sample
+	t.mu.Unlock()
+	if only {
+		return row == cell[0] && attr == cell[1]
+	}
+	if sample <= 1 {
+		return true
+	}
+	h := uint64(row)*0x9E3779B97F4A7C15 + uint64(attr)*0x85EBCA77C2B2AE63
+	h ^= h >> 33
+	return h%uint64(sample) == 0
+}
+
+// EmitCell implements Tracer.
+func (t *RingTracer) EmitCell(events []TraceEvent) {
+	if len(events) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.count < len(t.cells) {
+		t.cells[(t.start+t.count)%len(t.cells)] = events
+		t.count++
+		return
+	}
+	t.cells[t.start] = events
+	t.start = (t.start + 1) % len(t.cells)
+	t.evicted++
+}
+
+// EmitEvent implements Tracer: a standalone event is stored as its own
+// single-event sequence.
+func (t *RingTracer) EmitEvent(ev TraceEvent) {
+	t.EmitCell([]TraceEvent{ev})
+}
+
+// Len returns the number of retained traces.
+func (t *RingTracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count
+}
+
+// Evicted returns how many traces the ring has dropped.
+func (t *RingTracer) Evicted() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.evicted
+}
+
+// Last returns the most recently completed trace, nil when empty.
+func (t *RingTracer) Last() []TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.count == 0 {
+		return nil
+	}
+	return t.cells[(t.start+t.count-1)%len(t.cells)]
+}
+
+// Cells returns the retained traces, oldest first.
+func (t *RingTracer) Cells() [][]TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([][]TraceEvent, 0, t.count)
+	for i := 0; i < t.count; i++ {
+		out = append(out, t.cells[(t.start+i)%len(t.cells)])
+	}
+	return out
+}
+
+// Reset drops every retained trace.
+func (t *RingTracer) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.cells {
+		t.cells[i] = nil
+	}
+	t.start, t.count, t.evicted = 0, 0, 0
+}
+
+// WriteJSONL exports every retained trace, oldest cell first, one event
+// per line.
+func (t *RingTracer) WriteJSONL(w io.Writer) error {
+	for _, cell := range t.Cells() {
+		for _, ev := range cell {
+			doc, err := json.Marshal(ev)
+			if err != nil {
+				return err
+			}
+			if _, err := w.Write(append(doc, '\n')); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// TraceHandler serves the most recent trace as a JSON array — the
+// `/trace/last` endpoint of `renuver serve`. A nil tracer yields 404s so
+// the endpoint can be mounted unconditionally.
+func TraceHandler(t *RingTracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if t == nil {
+			http.Error(w, "tracing disabled; restart with -trace-sample", http.StatusNotFound)
+			return
+		}
+		last := t.Last()
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if last == nil {
+			fmt.Fprintln(w, "[]")
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(last)
+	})
+}

@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// closedCell builds one well-formed two-event trace for a cell.
+func closedCell(t *testing.T, tr *RingTracer, row, attr int) []TraceEvent {
+	t.Helper()
+	ct := StartCell(tr, row, attr)
+	if ct == nil {
+		t.Fatalf("cell (%d,%d) not sampled", row, attr)
+	}
+	ct.Add(CellStarted(1))
+	ct.Add(CellAbandoned("test"))
+	return ct.Close()
+}
+
+func TestCellTraceSequencing(t *testing.T) {
+	tr := NewRingTracer(4, 1)
+	ct := StartCell(tr, 7, 2)
+	ct.Add(CellStarted(3))
+	ct.Add(RuleSelected(0, []string{"A(<=0) -> B(<=0)"}))
+	ct.Add(DonorConsidered(5, -1, []AttrDist{{Attr: 0, Name: "A", Dist: 2}}, 2))
+	ct.Add(FaultlessVerdict(5, 1, false))
+	ct.Add(CandidateRejected(5, -1, 1, "A(<=0) -> B(<=0)", 3))
+	ct.Add(CellResolved(6, -1, "v", 1.5, 2))
+	evs := ct.Close()
+
+	if len(evs) != 6 {
+		t.Fatalf("events = %d, want 6", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != i {
+			t.Errorf("event %d Seq = %d", i, ev.Seq)
+		}
+		if ev.Row != 7 || ev.Attr != 2 {
+			t.Errorf("event %d cell = (%d,%d), want (7,2)", i, ev.Row, ev.Attr)
+		}
+	}
+	if evs[0].Kind != EvCellStarted || evs[len(evs)-1].Kind != EvCellResolved {
+		t.Errorf("trace not bracketed: first %v last %v", evs[0].Kind, evs[len(evs)-1].Kind)
+	}
+	if got := tr.Last(); len(got) != 6 {
+		t.Fatalf("ring did not receive the cell: %d events", len(got))
+	}
+}
+
+func TestNilCellTraceIsInert(t *testing.T) {
+	var ct *CellTrace
+	ct.Add(CellStarted(1)) // must not panic
+	if got := ct.Close(); got != nil {
+		t.Fatalf("nil Close = %v", got)
+	}
+	if StartCell(nil, 0, 0) != nil {
+		t.Fatal("StartCell(nil tracer) != nil")
+	}
+	if StartCell(NopTracer{}, 0, 0) != nil {
+		t.Fatal("StartCell(NopTracer) != nil")
+	}
+}
+
+func TestCellTraceEventBudget(t *testing.T) {
+	tr := NewRingTracer(2, 1)
+	ct := StartCell(tr, 0, 0)
+	ct.Add(CellStarted(1))
+	for i := 0; i < maxEventsPerCell+50; i++ {
+		ct.Add(DonorConsidered(i, -1, nil, 0))
+	}
+	ct.Add(CellResolved(1, -1, "v", 0, 1))
+	evs := ct.Close()
+	if len(evs) != maxEventsPerCell+2 {
+		t.Fatalf("events = %d, want cap %d + truncation marker + terminal", len(evs), maxEventsPerCell)
+	}
+	last, marker := evs[len(evs)-1], evs[len(evs)-2]
+	if last.Kind != EvCellResolved {
+		t.Errorf("terminal survived as %v", last.Kind)
+	}
+	if marker.Kind != EvTraceTruncated || marker.N != 51 {
+		t.Errorf("truncation marker = %+v", marker)
+	}
+}
+
+func TestRingTracerEviction(t *testing.T) {
+	tr := NewRingTracer(2, 1)
+	for row := 0; row < 5; row++ {
+		closedCell(t, tr, row, 0)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+	if tr.Evicted() != 3 {
+		t.Errorf("Evicted = %d, want 3", tr.Evicted())
+	}
+	cells := tr.Cells()
+	if cells[0][0].Row != 3 || cells[1][0].Row != 4 {
+		t.Errorf("ring holds rows %d,%d, want oldest 3 then 4", cells[0][0].Row, cells[1][0].Row)
+	}
+	if last := tr.Last(); last[0].Row != 4 {
+		t.Errorf("Last row = %d, want 4", last[0].Row)
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Last() != nil {
+		t.Error("Reset did not clear the ring")
+	}
+}
+
+func TestRingTracerSamplingDeterministic(t *testing.T) {
+	tr := NewRingTracer(8, 3)
+	sampled := 0
+	for row := 0; row < 300; row++ {
+		a := tr.Sample(row, 1)
+		b := tr.Sample(row, 1)
+		if a != b {
+			t.Fatalf("Sample(%d,1) not deterministic", row)
+		}
+		if a {
+			sampled++
+		}
+	}
+	// A 1-in-3 hash sample over 300 cells lands near 100; the exact
+	// value only needs to be stable and non-degenerate.
+	if sampled == 0 || sampled == 300 {
+		t.Fatalf("sampled %d of 300 cells at 1-in-3", sampled)
+	}
+}
+
+func TestRingTracerOnly(t *testing.T) {
+	tr := NewRingTracer(8, 1)
+	tr.Only(4, 2)
+	if tr.Sample(4, 2) != true {
+		t.Error("target cell not sampled")
+	}
+	if tr.Sample(4, 1) || tr.Sample(3, 2) {
+		t.Error("non-target cell sampled under Only")
+	}
+}
+
+func TestRingTracerConcurrentEmit(t *testing.T) {
+	tr := NewRingTracer(64, 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				ct := StartCell(tr, g, i%3)
+				ct.Add(CellStarted(1))
+				ct.Add(CellResolved(0, -1, "v", 0, 1))
+				ct.Close()
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Every retained trace must be intact — no interleaving of cells.
+	for _, cell := range tr.Cells() {
+		if len(cell) != 2 || cell[0].Kind != EvCellStarted || cell[1].Kind != EvCellResolved {
+			t.Fatalf("mangled trace: %+v", cell)
+		}
+		if cell[0].Row != cell[1].Row || cell[0].Attr != cell[1].Attr {
+			t.Fatalf("foreign events interleaved: %+v", cell)
+		}
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := NewRingTracer(4, 1)
+	closedCell(t, tr, 1, 0)
+	tr.EmitEvent(RuleEmitted(2, "A(<=0) -> B(<=0)", 0, 5))
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var doc map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &doc); err != nil {
+			t.Fatalf("line not JSON: %v: %s", err, sc.Text())
+		}
+		kinds = append(kinds, doc["kind"].(string))
+		for _, key := range []string{"kind", "seq", "row", "attr"} {
+			if _, ok := doc[key]; !ok {
+				t.Errorf("line missing %q: %s", key, sc.Text())
+			}
+		}
+	}
+	want := []string{"cell_started", "cell_abandoned", "rule_emitted"}
+	if len(kinds) != len(want) {
+		t.Fatalf("lines = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("line %d kind = %s, want %s", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestTraceEventKindSpecificJSON(t *testing.T) {
+	doc, err := json.Marshal(DonorConsidered(3, -1, []AttrDist{{Attr: 1, Name: "City", Dist: 2}}, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(doc)
+	for _, want := range []string{`"donor":3`, `"source":-1`, `"score":2`, `"City"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("donor_considered JSON missing %s: %s", want, s)
+		}
+	}
+	// Fields of other kinds must not leak in.
+	for _, reject := range []string{`"ok"`, `"value"`, `"witness"`, `"t"`} {
+		if strings.Contains(s, reject) {
+			t.Errorf("donor_considered JSON leaks %s: %s", reject, s)
+		}
+	}
+}
+
+func TestTraceHandler(t *testing.T) {
+	rec := httptest.NewRecorder()
+	TraceHandler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/trace/last", nil))
+	if rec.Code != 404 {
+		t.Fatalf("nil tracer status = %d, want 404", rec.Code)
+	}
+
+	tr := NewRingTracer(4, 1)
+	rec = httptest.NewRecorder()
+	TraceHandler(tr).ServeHTTP(rec, httptest.NewRequest("GET", "/trace/last", nil))
+	if rec.Code != 200 || strings.TrimSpace(rec.Body.String()) != "[]" {
+		t.Fatalf("empty tracer = %d %q", rec.Code, rec.Body.String())
+	}
+
+	closedCell(t, tr, 2, 1)
+	rec = httptest.NewRecorder()
+	TraceHandler(tr).ServeHTTP(rec, httptest.NewRequest("GET", "/trace/last", nil))
+	var evs []map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &evs); err != nil {
+		t.Fatalf("trace not JSON: %v", err)
+	}
+	if len(evs) != 2 || evs[0]["kind"] != "cell_started" {
+		t.Fatalf("trace/last = %v", evs)
+	}
+}

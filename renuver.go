@@ -193,6 +193,7 @@ var (
 	WithMaxCandidates      = core.WithMaxCandidates
 	WithWorkers            = core.WithWorkers
 	WithRecorder           = core.WithRecorder
+	WithTracer             = core.WithTracer
 )
 
 // Observability. Every Impute* call fills Result.Stats unconditionally;
@@ -207,6 +208,48 @@ type (
 	// MetricsSnapshot is a point-in-time copy of a MetricsRecorder.
 	MetricsSnapshot = obs.Snapshot
 )
+
+// Provenance tracing. A Tracer records per-cell decision traces —
+// which donors were considered at what Eq. 2 distance, which RFDc vetoed
+// a candidate (with the witness tuple), and why each cell resolved the
+// way it did. Pass one with WithTracer; query traced cells on the Result
+// with Result.Explain / Result.ExplainText.
+type (
+	// Tracer receives per-cell decision traces; pass one with WithTracer.
+	Tracer = obs.Tracer
+	// TraceEvent is one step of a cell's decision trace.
+	TraceEvent = obs.TraceEvent
+	// TraceEventKind enumerates trace event types.
+	TraceEventKind = obs.EventKind
+	// AttrDist is one per-attribute distance inside a DonorConsidered
+	// event.
+	AttrDist = obs.AttrDist
+	// RingTracer is the concrete bounded Tracer: last-N cell traces with
+	// deterministic every-Nth sampling, JSONL export, and an HTTP view.
+	RingTracer = obs.RingTracer
+)
+
+// Trace event kinds.
+const (
+	EvCellStarted       = obs.EvCellStarted
+	EvRuleSelected      = obs.EvRuleSelected
+	EvDonorConsidered   = obs.EvDonorConsidered
+	EvCandidateRejected = obs.EvCandidateRejected
+	EvFaultlessVerdict  = obs.EvFaultlessVerdict
+	EvCellResolved      = obs.EvCellResolved
+	EvCellAbandoned     = obs.EvCellAbandoned
+	EvRuleEmitted       = obs.EvRuleEmitted
+	EvTraceTruncated    = obs.EvTraceTruncated
+)
+
+// NewRingTracer returns a bounded tracer retaining the last `capacity`
+// cell traces (0 = default 256) and sampling every `sample`-th cell
+// deterministically (<=1 = every cell).
+func NewRingTracer(capacity, sample int) *RingTracer { return obs.NewRingTracer(capacity, sample) }
+
+// TraceHandler serves the most recent cell trace as a JSON array — the
+// `/trace/last` endpoint of `renuver serve`.
+func TraceHandler(t *RingTracer) http.Handler { return obs.TraceHandler(t) }
 
 // NewMetricsRecorder returns an empty metrics sink, safe for concurrent
 // runs.
