@@ -26,7 +26,7 @@ test:
 # metrics sink, the trace ring) under the race detector, with tracing
 # exercised at 100% sampling by the stress tests.
 race:
-	$(GO) test -race ./internal/core/... ./internal/obs/...
+	$(GO) test -race ./internal/core/... ./internal/engine/... ./internal/obs/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/core/...

@@ -291,7 +291,7 @@ func BenchmarkDistancePattern(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	p := make(distance.Pattern, rel.Schema().Len())
+	p := distance.NewPattern(rel.Schema().Len())
 	t0, t1 := rel.Row(0), rel.Row(1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

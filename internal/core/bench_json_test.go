@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/distance"
+	"repro/internal/engine"
 )
 
 // BenchRecord is one benchmark's figures as serialized to BENCH_OUT.
@@ -84,8 +85,9 @@ func TestBenchJSON(t *testing.T) {
 		})),
 		record("findCandidateTuplesParallel", testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
+			bigView := engine.Compile(big)
 			for i := 0; i < b.N; i++ {
-				findCandidateTuplesParallel(big, 3, phone, deps, 4)
+				findCandidateTuplesParallel(bigView, 3, phone, deps, 4)
 			}
 		})),
 		record("Levenshtein", testing.Benchmark(func(b *testing.B) {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/obs"
 )
 
@@ -24,27 +25,28 @@ func (im *Imputer) ImputeContext(ctx context.Context, rel *dataset.Relation) (*R
 	res := &Result{Relation: work}
 
 	preStart := time.Now()
-	kt := newKeyTrackerParallel(work, im.sigma, im.opts.Workers)
+	eng := engine.Compile(work)
+	kt := newKeyTrackerParallel(eng, im.sigma, im.opts.Workers)
 	res.Stats.KeyRFDs = kt.keys
 	incomplete := work.IncompleteRows()
 	res.Stats.MissingCells = work.CountMissing()
 
-	var idx *donorIndex
+	var idx *engine.Index
 	if !im.opts.NoIndex {
-		idx = newDonorIndex(work, im.sigma)
+		idx = engine.NewIndex(eng, im.sigma)
 	}
 	res.Stats.Phases.Preprocess = time.Since(preStart)
 
 	for _, row := range incomplete {
 		for _, attr := range work.Row(row).MissingAttrs() {
 			if err := ctx.Err(); err != nil {
-				im.finishRun(res, work, runStart)
+				im.finishRun(res, eng, idx, runStart)
 				return res, err
 			}
 			sigmaPrime := kt.nonKeys()
 			clusters := im.clustersFor(sigmaPrime, attr)
-			if im.imputeMissingValue(work, row, attr, sigmaPrime, clusters, res, idx) {
-				idx.insert(row, attr, work.Get(row, attr))
+			if im.imputeMissingValue(eng, row, attr, sigmaPrime, clusters, res, idx) {
+				idx.Insert(row, attr)
 				if !im.opts.NoKeyReevaluation {
 					reevalStart := time.Now()
 					before := kt.keys
@@ -55,14 +57,19 @@ func (im *Imputer) ImputeContext(ctx context.Context, rel *dataset.Relation) (*R
 			}
 		}
 	}
-	im.finishRun(res, work, runStart)
+	im.finishRun(res, eng, idx, runStart)
 	return res, nil
 }
 
-// finishRun seals the result (tail counters, total wall clock) and
-// forwards the run to the configured recorder.
-func (im *Imputer) finishRun(res *Result, work *dataset.Relation, runStart time.Time) {
-	res.finish(work)
+// finishRun seals the result (tail counters, engine cache/index
+// counters, total wall clock) and forwards the run to the configured
+// recorder.
+func (im *Imputer) finishRun(res *Result, eng *engine.View, idx *engine.Index, runStart time.Time) {
+	res.finish(eng.Relation())
+	hits, misses := eng.CacheStats()
+	res.Stats.EngineCacheHits = int(hits)
+	res.Stats.EngineCacheMisses = int(misses)
+	res.Stats.EngineIndexProbes = int(idx.Probes())
 	res.Stats.Phases.Total = time.Since(runStart)
 	rec := im.opts.recorder()
 	publishStats(rec, &res.Stats)

@@ -6,7 +6,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
-	"repro/internal/distance"
+	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/rfd"
 )
@@ -22,6 +22,10 @@ import (
 // (semantic consistency per Definition 4.3 concerns the target
 // instance), and never affect key-RFDc status (Definition 3.4 is defined
 // on the target instance). Donor schemas must match the target's.
+//
+// The combined search space is one engine view: target rows first, then
+// each donor relation's rows, so candidate flat indices order by
+// (source, row) exactly as the ranking tiebreak requires.
 func (im *Imputer) ImputeWithDonors(rel *dataset.Relation, donors []*dataset.Relation) (*Result, error) {
 	for i, d := range donors {
 		if !d.Schema().Equal(rel.Schema()) {
@@ -38,7 +42,8 @@ func (im *Imputer) ImputeWithDonors(rel *dataset.Relation, donors []*dataset.Rel
 	res := &Result{Relation: work}
 
 	preStart := time.Now()
-	kt := newKeyTrackerWithDonors(work, im.sigma, donors)
+	eng := engine.CompileWithDonors(work, donors)
+	kt := newKeyTracker(eng, im.sigma)
 	res.Stats.KeyRFDs = kt.keys
 	incomplete := work.IncompleteRows()
 	res.Stats.MissingCells = work.CountMissing()
@@ -48,7 +53,7 @@ func (im *Imputer) ImputeWithDonors(rel *dataset.Relation, donors []*dataset.Rel
 		for _, attr := range work.Row(row).MissingAttrs() {
 			sigmaPrime := kt.nonKeys()
 			clusters := im.clustersFor(sigmaPrime, attr)
-			if im.imputeWithDonorPool(work, donors, row, attr, sigmaPrime, clusters, res) {
+			if im.imputeWithDonorPool(eng, row, attr, sigmaPrime, clusters, res) {
 				if !im.opts.NoKeyReevaluation {
 					reevalStart := time.Now()
 					before := kt.keys
@@ -60,45 +65,30 @@ func (im *Imputer) ImputeWithDonors(rel *dataset.Relation, donors []*dataset.Rel
 		}
 	}
 
-	im.finishRun(res, work, runStart)
+	im.finishRun(res, eng, nil, runStart)
 	return res, nil
 }
 
-// donorRef addresses a candidate tuple in the combined search space:
-// source -1 is the target instance, 0.. indexes the donor pool.
-type donorRef struct {
-	source int
-	row    int
-}
-
-// donorCandidate extends candidate with its provenance.
-type donorCandidate struct {
-	ref  donorRef
-	dist float64
-}
-
 // imputeWithDonorPool is Algorithm 2 over the combined candidate space.
-func (im *Imputer) imputeWithDonorPool(work *dataset.Relation, donors []*dataset.Relation,
-	row, attr int, sigmaPrime rfd.Set, clusters []rfd.Cluster, res *Result) bool {
+func (im *Imputer) imputeWithDonorPool(eng *engine.View, row, attr int,
+	sigmaPrime rfd.Set, clusters []rfd.Cluster, res *Result) bool {
 
 	rec := im.opts.recorder()
+	work := eng.Relation()
 	ct := obs.StartCell(im.opts.Tracer, row, attr)
 	if ct != nil {
 		ct.Add(obs.CellStarted(len(clusters)))
 		defer res.addTrace(dataset.Cell{Row: row, Attr: attr}, ct)
 	}
 	anyCandidate := false
-	poolSize := work.Len() - 1
-	for _, d := range donors {
-		poolSize += d.Len()
-	}
+	poolSize := eng.Len() - 1
 	for _, cluster := range clusters {
 		res.Stats.ClustersScanned++
 		if ct != nil {
 			ct.Add(obs.RuleSelected(cluster.Threshold, formatRules(cluster.RFDs, work.Schema())))
 		}
 		searchStart := time.Now()
-		cands := findDonorCandidates(work, donors, row, attr, cluster.RFDs)
+		cands := findCandidateTuples(eng, row, attr, cluster.RFDs)
 		res.Stats.Phases.CandidateSearch += time.Since(searchStart)
 		res.Stats.DonorsScanned += poolSize
 		res.Stats.CandidatesEvaluated += len(cands)
@@ -112,24 +102,19 @@ func (im *Imputer) imputeWithDonorPool(work *dataset.Relation, donors []*dataset
 		if !im.opts.NoRanking {
 			res.Stats.DonorsRanked += len(cands)
 			rankStart := time.Now()
+			// Flat index order is (source, row) order: target rows come
+			// before every donor pool's rows.
 			sort.Slice(cands, func(i, j int) bool {
 				if cands[i].dist != cands[j].dist {
 					return cands[i].dist < cands[j].dist
 				}
-				if cands[i].ref.source != cands[j].ref.source {
-					return cands[i].ref.source < cands[j].ref.source
-				}
-				return cands[i].ref.row < cands[j].ref.row
+				return cands[i].row < cands[j].row
 			})
 			res.Stats.Phases.Ranking += time.Since(rankStart)
 		}
-		traceDonorEvents(ct, work, row, cluster.RFDs, len(cands),
-			func(k int) (dataset.Tuple, int, int, float64) {
-				c := cands[k]
-				if c.ref.source < 0 {
-					return work.Row(c.ref.row), c.ref.row, -1, c.dist
-				}
-				return donors[c.ref.source].Row(c.ref.row), c.ref.row, c.ref.source, c.dist
+		traceDonorEvents(ct, eng, row, cluster.RFDs, len(cands),
+			func(k int) (int, float64) {
+				return cands[k].row, cands[k].dist
 			})
 		limit := len(cands)
 		if im.opts.MaxCandidates > 0 && im.opts.MaxCandidates < limit {
@@ -137,22 +122,18 @@ func (im *Imputer) imputeWithDonorPool(work *dataset.Relation, donors []*dataset
 		}
 		for k := 0; k < limit; k++ {
 			cand := cands[k]
-			var value dataset.Value
-			if cand.ref.source < 0 {
-				value = work.Get(cand.ref.row, attr)
-			} else {
-				value = donors[cand.ref.source].Get(cand.ref.row, attr)
-			}
-			work.Set(row, attr, value)
+			source, donorRow := eng.SourceOf(cand.row)
+			value := eng.Value(cand.row, attr)
+			eng.Set(row, attr, value)
 			res.Stats.CandidatesTried++
 			res.Stats.FaultlessChecks++
 			verifyStart := time.Now()
-			faultless, violated, witness := im.isFaultlessWitness(work, row, attr, sigmaPrime)
+			faultless, violated, witness := im.isFaultlessWitness(eng, row, attr, sigmaPrime)
 			res.Stats.Phases.Verify += time.Since(verifyStart)
 			if ct != nil {
-				ct.Add(obs.FaultlessVerdict(cand.ref.row, k+1, faultless))
+				ct.Add(obs.FaultlessVerdict(donorRow, k+1, faultless))
 				if !faultless {
-					ct.Add(obs.CandidateRejected(cand.ref.row, cand.ref.source, k+1,
+					ct.Add(obs.CandidateRejected(donorRow, source, k+1,
 						violated.Format(work.Schema()), witness))
 				}
 			}
@@ -160,8 +141,8 @@ func (im *Imputer) imputeWithDonorPool(work *dataset.Relation, donors []*dataset
 				res.Imputations = append(res.Imputations, Imputation{
 					Cell:             dataset.Cell{Row: row, Attr: attr},
 					Value:            value,
-					Donor:            cand.ref.row,
-					DonorSource:      cand.ref.source,
+					Donor:            donorRow,
+					DonorSource:      source,
 					Distance:         cand.dist,
 					ClusterThreshold: cluster.Threshold,
 					Attempt:          k + 1,
@@ -170,11 +151,11 @@ func (im *Imputer) imputeWithDonorPool(work *dataset.Relation, donors []*dataset
 				if rec.Enabled() {
 					rec.Observe(obs.HistAttemptsPerImputation, float64(k+1))
 				}
-				ct.Add(obs.CellResolved(cand.ref.row, cand.ref.source, value.String(), cand.dist, k+1))
+				ct.Add(obs.CellResolved(donorRow, source, value.String(), cand.dist, k+1))
 				return true
 			}
 			res.Stats.VerifyRejections++
-			work.Set(row, attr, dataset.Null)
+			eng.Set(row, attr, dataset.Null)
 		}
 	}
 	if ct != nil {
@@ -185,63 +166,4 @@ func (im *Imputer) imputeWithDonorPool(work *dataset.Relation, donors []*dataset
 		ct.Add(obs.CellAbandoned(note))
 	}
 	return false
-}
-
-// findDonorCandidates is Algorithm 3 over the target plus the donor
-// pool.
-func findDonorCandidates(work *dataset.Relation, donors []*dataset.Relation,
-	row, attr int, deps rfd.Set) []donorCandidate {
-
-	m := work.Schema().Len()
-	needed := make([]int, 0, m)
-	seen := make([]bool, m)
-	for _, dep := range deps {
-		for _, c := range dep.LHS {
-			if !seen[c.Attr] {
-				seen[c.Attr] = true
-				needed = append(needed, c.Attr)
-			}
-		}
-	}
-	t := work.Row(row)
-	p := make(distance.Pattern, m)
-	var cands []donorCandidate
-
-	score := func(tj dataset.Tuple, ref donorRef) {
-		if tj[attr].IsNull() {
-			return
-		}
-		for _, a := range needed {
-			p[a] = distance.Values(t[a], tj[a])
-		}
-		distMin, found := 0.0, false
-		for _, dep := range deps {
-			if !dep.LHSSatisfiedBy(p) {
-				continue
-			}
-			d, ok := p.MeanOver(dep.LHSAttrs())
-			if !ok {
-				continue
-			}
-			if !found || d < distMin {
-				distMin, found = d, true
-			}
-		}
-		if found {
-			cands = append(cands, donorCandidate{ref: ref, dist: distMin})
-		}
-	}
-
-	for j := 0; j < work.Len(); j++ {
-		if j == row {
-			continue
-		}
-		score(work.Row(j), donorRef{source: -1, row: j})
-	}
-	for s, donor := range donors {
-		for j := 0; j < donor.Len(); j++ {
-			score(donor.Row(j), donorRef{source: s, row: j})
-		}
-	}
-	return cands
 }

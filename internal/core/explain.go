@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/distance"
+	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/rfd"
 )
@@ -119,27 +120,29 @@ func formatRules(deps rfd.Set, schema *dataset.Schema) []string {
 const maxDonorTraces = 16
 
 // traceDonorEvents emits DonorConsidered events for the first
-// (ranked-best) candidates, recomputing each donor's per-attribute LHS
-// distances against the incomplete tuple. The recompute runs only for
-// traced cells, keeping the untraced hot path untouched.
-func traceDonorEvents(ct *obs.CellTrace, work *dataset.Relation, row int, deps rfd.Set,
-	n int, at func(k int) (tj dataset.Tuple, donor, source int, score float64)) {
+// (ranked-best) candidates with each donor's per-attribute LHS
+// distances against the incomplete tuple. The lookups go through the
+// engine's memoized distance cache, so for traced cells the
+// per-attribute breakdown is a cache read of the distances the ranking
+// already computed, not a second Levenshtein pass.
+func traceDonorEvents(ct *obs.CellTrace, v *engine.View, row int, deps rfd.Set,
+	n int, at func(k int) (flat int, score float64)) {
 
 	if ct == nil || n == 0 {
 		return
 	}
-	schema := work.Schema()
+	schema := v.Relation().Schema()
 	needed := unionLHSAttrs(deps, schema.Len())
-	t := work.Row(row)
 	shown := n
 	if shown > maxDonorTraces {
 		shown = maxDonorTraces
 	}
 	for k := 0; k < shown; k++ {
-		tj, donor, source, score := at(k)
+		flat, score := at(k)
+		source, donor := v.SourceOf(flat)
 		dists := make([]obs.AttrDist, 0, len(needed))
 		for _, a := range needed {
-			d := distance.Values(t[a], tj[a])
+			d := v.Distance(a, row, flat)
 			if !distance.IsMissing(d) {
 				dists = append(dists, obs.AttrDist{Attr: a, Name: schema.Attr(a).Name, Dist: d})
 			}

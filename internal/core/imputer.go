@@ -7,7 +7,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
-	"repro/internal/distance"
+	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/rfd"
 )
@@ -79,6 +79,9 @@ type Stats struct {
 	KeyFlips            int // key-RFDcs that became non-key mid-run
 	IndexHits           int // candidate scans answered by the donor index
 	IndexMisses         int // scans that fell back to the full sweep despite an index
+	EngineCacheHits     int // engine distance-cache lookups answered from memo
+	EngineCacheMisses   int // engine distance-cache lookups that computed fresh
+	EngineIndexProbes   int // engine candidate-index probes issued
 	// ImputedByAttr counts successful imputations per attribute position
 	// (len = schema arity; nil when the run imputed nothing).
 	ImputedByAttr []int
@@ -113,6 +116,9 @@ func publishStats(rec obs.Recorder, s *Stats) {
 	rec.Add(obs.CtrKeyFlips, int64(s.KeyFlips))
 	rec.Add(obs.CtrIndexHits, int64(s.IndexHits))
 	rec.Add(obs.CtrIndexMisses, int64(s.IndexMisses))
+	rec.Add(obs.CtrEngineCacheHits, int64(s.EngineCacheHits))
+	rec.Add(obs.CtrEngineCacheMisses, int64(s.EngineCacheMisses))
+	rec.Add(obs.CtrEngineIndexProbes, int64(s.EngineIndexProbes))
 	rec.Time(obs.PhasePreprocess, s.Phases.Preprocess)
 	rec.Time(obs.PhaseCandidateSearch, s.Phases.CandidateSearch)
 	rec.Time(obs.PhaseRanking, s.Phases.Ranking)
@@ -210,11 +216,14 @@ type candidate struct {
 }
 
 // imputeMissingValue is Algorithm 2. It returns true when the cell was
-// imputed. idx may be nil (no donor index available).
-func (im *Imputer) imputeMissingValue(work *dataset.Relation, row, attr int,
-	sigmaPrime rfd.Set, clusters []rfd.Cluster, res *Result, idx *donorIndex) bool {
+// imputed. idx may be nil (no donor index available). eng is the
+// compiled view of the working relation (plus, for the multi-dataset
+// extension, the donor pool): candidate rows are flat view indices.
+func (im *Imputer) imputeMissingValue(eng *engine.View, row, attr int,
+	sigmaPrime rfd.Set, clusters []rfd.Cluster, res *Result, idx *engine.Index) bool {
 
 	rec := im.opts.recorder()
+	work := eng.Relation()
 	ct := obs.StartCell(im.opts.Tracer, row, attr)
 	if ct != nil {
 		ct.Add(obs.CellStarted(len(clusters)))
@@ -228,19 +237,19 @@ func (im *Imputer) imputeMissingValue(work *dataset.Relation, row, attr int,
 		}
 		searchStart := time.Now()
 		var cands []candidate
-		if rows, ok := idx.candidateRows(work, row, cluster.RFDs); ok {
+		if rows, ok := idx.CandidateRows(row, cluster.RFDs); ok {
 			res.Stats.IndexHits++
 			res.Stats.DonorsScanned += len(rows)
-			cands = findCandidateTuplesIndexed(work, rows, row, attr, cluster.RFDs)
+			cands = findCandidateTuplesIndexed(eng, rows, row, attr, cluster.RFDs)
 		} else {
 			if idx != nil {
 				res.Stats.IndexMisses++
 			}
-			res.Stats.DonorsScanned += work.Len() - 1
+			res.Stats.DonorsScanned += eng.Len() - 1
 			if im.opts.Workers > 1 {
-				cands = findCandidateTuplesParallel(work, row, attr, cluster.RFDs, im.opts.Workers)
+				cands = findCandidateTuplesParallel(eng, row, attr, cluster.RFDs, im.opts.Workers)
 			} else {
-				cands = findCandidateTuples(work, row, attr, cluster.RFDs)
+				cands = findCandidateTuples(eng, row, attr, cluster.RFDs)
 			}
 		}
 		res.Stats.Phases.CandidateSearch += time.Since(searchStart)
@@ -255,7 +264,9 @@ func (im *Imputer) imputeMissingValue(work *dataset.Relation, row, attr int,
 		if !im.opts.NoRanking {
 			res.Stats.DonorsRanked += len(cands)
 			rankStart := time.Now()
-			// Ascending dist; ties broken by row index for determinism.
+			// Ascending dist; ties broken by flat row index, which orders
+			// target rows before donor-pool rows — the same (source, row)
+			// tiebreak as before.
 			sort.Slice(cands, func(i, j int) bool {
 				if cands[i].dist != cands[j].dist {
 					return cands[i].dist < cands[j].dist
@@ -264,9 +275,9 @@ func (im *Imputer) imputeMissingValue(work *dataset.Relation, row, attr int,
 			})
 			res.Stats.Phases.Ranking += time.Since(rankStart)
 		}
-		traceDonorEvents(ct, work, row, cluster.RFDs, len(cands),
-			func(k int) (dataset.Tuple, int, int, float64) {
-				return work.Row(cands[k].row), cands[k].row, -1, cands[k].dist
+		traceDonorEvents(ct, eng, row, cluster.RFDs, len(cands),
+			func(k int) (int, float64) {
+				return cands[k].row, cands[k].dist
 			})
 		limit := len(cands)
 		if im.opts.MaxCandidates > 0 && im.opts.MaxCandidates < limit {
@@ -274,8 +285,9 @@ func (im *Imputer) imputeMissingValue(work *dataset.Relation, row, attr int,
 		}
 		for k := 0; k < limit; k++ {
 			cand := cands[k]
-			value := work.Get(cand.row, attr)
-			work.Set(row, attr, value) // tentative t[A] <- t_j[A]
+			source, donorRow := eng.SourceOf(cand.row)
+			value := eng.Value(cand.row, attr)
+			eng.Set(row, attr, value) // tentative t[A] <- t_j[A]
 			res.Stats.CandidatesTried++
 			res.Stats.FaultlessChecks++
 			verifyStart := time.Now()
@@ -285,23 +297,23 @@ func (im *Imputer) imputeMissingValue(work *dataset.Relation, row, attr int,
 				// the violated RFDc and witness row are part of the trace,
 				// and per-cell serial verification keeps the event order
 				// deterministic. Sampling keeps this affordable.
-				ok, violated, witness := im.isFaultlessWitness(work, row, attr, sigmaPrime)
+				ok, violated, witness := im.isFaultlessWitness(eng, row, attr, sigmaPrime)
 				faultless = ok
-				ct.Add(obs.FaultlessVerdict(cand.row, k+1, ok))
+				ct.Add(obs.FaultlessVerdict(donorRow, k+1, ok))
 				if !ok {
-					ct.Add(obs.CandidateRejected(cand.row, -1, k+1,
+					ct.Add(obs.CandidateRejected(donorRow, source, k+1,
 						violated.Format(work.Schema()), witness))
 				}
 			} else {
-				faultless = im.isFaultlessParallel(work, row, attr, sigmaPrime)
+				faultless = im.isFaultlessParallel(eng, row, attr, sigmaPrime)
 			}
 			res.Stats.Phases.Verify += time.Since(verifyStart)
 			if faultless {
 				res.Imputations = append(res.Imputations, Imputation{
 					Cell:             dataset.Cell{Row: row, Attr: attr},
 					Value:            value,
-					Donor:            cand.row,
-					DonorSource:      -1,
+					Donor:            donorRow,
+					DonorSource:      source,
 					Distance:         cand.dist,
 					ClusterThreshold: cluster.Threshold,
 					Attempt:          k + 1,
@@ -310,11 +322,11 @@ func (im *Imputer) imputeMissingValue(work *dataset.Relation, row, attr int,
 				if rec.Enabled() {
 					rec.Observe(obs.HistAttemptsPerImputation, float64(k+1))
 				}
-				ct.Add(obs.CellResolved(cand.row, -1, value.String(), cand.dist, k+1))
+				ct.Add(obs.CellResolved(donorRow, source, value.String(), cand.dist, k+1))
 				return true
 			}
 			res.Stats.VerifyRejections++
-			work.Set(row, attr, dataset.Null) // revert
+			eng.Set(row, attr, dataset.Null) // revert
 		}
 	}
 	if ct != nil {
@@ -330,51 +342,36 @@ func (im *Imputer) imputeMissingValue(work *dataset.Relation, row, attr int,
 // findCandidateTuples is Algorithm 3: every tuple t_j ≠ t with a value on
 // A whose distance pattern against t satisfies the LHS of at least one
 // RFDc in the cluster becomes a candidate, scored with the minimum mean
-// LHS distance (Eq. 2) over the matching RFDcs.
-func findCandidateTuples(work *dataset.Relation, row, attr int, deps rfd.Set) []candidate {
-	// Only the union of LHS attributes is ever read from the pattern, so
-	// compute just those components.
-	m := work.Schema().Len()
-	needed := make([]int, 0, m)
-	seen := make([]bool, m)
-	for _, dep := range deps {
-		for _, c := range dep.LHS {
-			if !seen[c.Attr] {
-				seen[c.Attr] = true
-				needed = append(needed, c.Attr)
-			}
-		}
-	}
-
-	t := work.Row(row)
-	p := make(distance.Pattern, m)
+// LHS distance (Eq. 2) over the matching RFDcs. The scan covers every
+// flat row of the view — the working relation plus, in the
+// multi-dataset extension, the donor pool.
+func findCandidateTuples(v *engine.View, row, attr int, deps rfd.Set) []candidate {
 	var cands []candidate
-	for j := 0; j < work.Len(); j++ {
+	for j := 0; j < v.Len(); j++ {
 		if j == row {
 			continue
 		}
-		tj := work.Row(j)
-		if tj[attr].IsNull() {
+		if v.IsNull(j, attr) {
 			continue
 		}
-		for _, a := range needed {
-			p[a] = distance.Values(t[a], tj[a])
+		if d, ok := v.DistMin(deps, row, j); ok {
+			cands = append(cands, candidate{row: j, dist: d})
 		}
-		distMin, found := 0.0, false
-		for _, dep := range deps {
-			if !dep.LHSSatisfiedBy(p) {
-				continue
-			}
-			d, ok := p.MeanOver(dep.LHSAttrs())
-			if !ok {
-				continue
-			}
-			if !found || d < distMin {
-				distMin, found = d, true
-			}
+	}
+	return cands
+}
+
+// findCandidateTuplesIndexed is findCandidateTuples restricted to the
+// index-provided row set. Results are identical to the full scan because
+// every donor outside the set fails all premises.
+func findCandidateTuplesIndexed(v *engine.View, rows []int, row, attr int, deps rfd.Set) []candidate {
+	var cands []candidate
+	for _, j := range rows {
+		if v.IsNull(j, attr) {
+			continue
 		}
-		if found {
-			cands = append(cands, candidate{row: j, dist: distMin})
+		if d, ok := v.DistMin(deps, row, j); ok {
+			cands = append(cands, candidate{row: j, dist: d})
 		}
 	}
 	return cands
@@ -385,59 +382,46 @@ func findCandidateTuples(work *dataset.Relation, row, attr int, deps rfd.Set) []
 // constrains A. Under VerifyLHS (the literal Algorithm 4) only RFDcs with
 // A on the LHS are re-checked; VerifyBothSides also re-checks RFDcs with
 // A as RHS attribute, giving the full Definition 4.3 guarantee.
-func (im *Imputer) isFaultless(work *dataset.Relation, row, attr int, sigmaPrime rfd.Set) bool {
-	ok, _, _ := im.isFaultlessWitness(work, row, attr, sigmaPrime)
+func (im *Imputer) isFaultless(v *engine.View, row, attr int, sigmaPrime rfd.Set) bool {
+	ok, _, _ := im.isFaultlessWitness(v, row, attr, sigmaPrime)
 	return ok
 }
 
 // isFaultlessWitness is isFaultless with provenance: on rejection it also
 // returns the violated dependency and the row of the witness tuple t_i —
 // the two facts a decision trace needs to justify a CandidateRejected.
-func (im *Imputer) isFaultlessWitness(work *dataset.Relation, row, attr int, sigmaPrime rfd.Set) (bool, *rfd.RFD, int) {
+// Verification scans only the target rows of the view: semantic
+// consistency per Definition 4.3 concerns the target instance, never the
+// donor pool.
+func (im *Imputer) isFaultlessWitness(v *engine.View, row, attr int, sigmaPrime rfd.Set) (bool, *rfd.RFD, int) {
 	if im.opts.Verify == VerifyOff {
 		return true, nil, -1
 	}
+	relevant := im.relevantForVerify(sigmaPrime, attr)
+	if len(relevant) == 0 {
+		return true, nil, -1
+	}
+	for i := 0; i < v.TargetLen(); i++ {
+		if i == row {
+			continue
+		}
+		for _, dep := range relevant {
+			if v.Violates(dep, row, i) {
+				return false, dep, i
+			}
+		}
+	}
+	return true, nil, -1
+}
+
+// relevantForVerify selects the dependencies IS_FAULTLESS must re-check
+// after imputing attr, per the configured verification mode.
+func (im *Imputer) relevantForVerify(sigmaPrime rfd.Set, attr int) rfd.Set {
 	var relevant rfd.Set
 	for _, dep := range sigmaPrime {
 		if dep.HasLHSAttr(attr) || (im.opts.Verify == VerifyBothSides && dep.RHS.Attr == attr) {
 			relevant = append(relevant, dep)
 		}
 	}
-	if len(relevant) == 0 {
-		return true, nil, -1
-	}
-	// Only the LHS and RHS attributes of the relevant dependencies are
-	// ever read from the pattern.
-	m := work.Schema().Len()
-	needed := make([]int, 0, m)
-	seen := make([]bool, m)
-	mark := func(a int) {
-		if !seen[a] {
-			seen[a] = true
-			needed = append(needed, a)
-		}
-	}
-	for _, dep := range relevant {
-		for _, c := range dep.LHS {
-			mark(c.Attr)
-		}
-		mark(dep.RHS.Attr)
-	}
-	t := work.Row(row)
-	p := make(distance.Pattern, m)
-	for i := 0; i < work.Len(); i++ {
-		if i == row {
-			continue
-		}
-		ti := work.Row(i)
-		for _, a := range needed {
-			p[a] = distance.Values(t[a], ti[a])
-		}
-		for _, dep := range relevant {
-			if dep.ViolatedBy(p) {
-				return false, dep, i
-			}
-		}
-	}
-	return true, nil, -1
+	return relevant
 }

@@ -4,61 +4,100 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/rfd"
 )
 
-func TestDonorIndexNilSafety(t *testing.T) {
-	var idx *donorIndex
-	if _, ok := idx.lookup(0, dataset.NewString("x")); ok {
-		t.Error("nil index claimed a lookup")
-	}
-	if _, ok := idx.candidateRows(nil, 0, nil); ok {
+func TestCandidateIndexNilSafety(t *testing.T) {
+	var idx *engine.Index
+	if _, ok := idx.CandidateRows(0, nil); ok {
 		t.Error("nil index claimed candidate rows")
 	}
-	idx.insert(0, 0, dataset.NewString("x")) // must not panic
+	idx.Insert(0, 0) // must not panic
+	if idx.Probes() != 0 {
+		t.Error("nil index reported probes")
+	}
 }
 
-func TestDonorIndexOnlyEqualityAttrsIndexed(t *testing.T) {
+func TestCandidateIndexEqualityProbe(t *testing.T) {
 	rel := table2(t)
-	sigma := figure1Sigma(t, rel.Schema())
-	idx := newDonorIndex(rel, sigma)
+	// Cluster with a single equality-using dependency: φ5's premise needs
+	// Phone(<=0), so only equal-phone donors are worth scanning.
+	sigma := rfd.Set{rfd.MustParse("Name(<=8), Phone(<=0) -> City(<=9)", rel.Schema())}
+	idx := engine.NewIndex(engine.Compile(rel), sigma)
 	if idx == nil {
-		t.Fatal("index not built despite threshold-0 constraints (Phone in φ1, φ5)")
+		t.Fatal("index not built")
 	}
-	phone := rel.Schema().MustIndex("Phone")
+	// t6 (row 5) has phone 213/848-6677 -> candidate rows must be {4}.
+	rows, ok := idx.CandidateRows(5, sigma)
+	if !ok {
+		t.Fatal("index did not cover the cluster")
+	}
+	if len(rows) != 1 || rows[0] != 4 {
+		t.Errorf("candidate rows = %v, want [4]", rows)
+	}
+	// A tuple with a missing value on an LHS attribute contributes
+	// nothing for that dependency (premise unsatisfiable).
+	rows, ok = idx.CandidateRows(3, sigma) // t4's phone is missing
+	if !ok || len(rows) != 0 {
+		t.Errorf("unsatisfiable premise: rows = %v, ok = %v", rows, ok)
+	}
+}
+
+// TestCandidateIndexThresholdProbe: unlike the retired threshold-0-only
+// donor index, the generalized index also answers positive-threshold
+// constraints (here via string length buckets), returning a sound
+// superset of the rows that can satisfy the probed constraint.
+func TestCandidateIndexThresholdProbe(t *testing.T) {
+	rel := table2(t)
+	sigma := rfd.Set{rfd.MustParse("Name(<=1) -> Phone(<=1)", rel.Schema())}
+	v := engine.Compile(rel)
+	idx := engine.NewIndex(v, sigma)
+	if idx == nil {
+		t.Fatal("index not built for threshold-only sigma")
+	}
 	name := rel.Schema().MustIndex("Name")
-	if idx.rows[phone] == nil {
-		t.Error("Phone (threshold 0 in φ1/φ5) not indexed")
-	}
-	if idx.rows[name] != nil {
-		t.Error("Name (never threshold 0) indexed")
-	}
-	// Lookup correctness: the shared Fenix phone maps to rows 4 and 5.
-	rows, ok := idx.lookup(phone, dataset.NewString("213/848-6677"))
-	if !ok || len(rows) != 2 || rows[0] != 4 || rows[1] != 5 {
-		t.Errorf("lookup = %v, %v", rows, ok)
+	for row := 0; row < rel.Len(); row++ {
+		rows, ok := idx.CandidateRows(row, sigma)
+		if !ok {
+			continue // selectivity fallback is allowed, never wrong
+		}
+		member := make(map[int]bool, len(rows))
+		for _, r := range rows {
+			if r == row {
+				t.Fatalf("row %d: candidate set contains the query row", row)
+			}
+			member[r] = true
+		}
+		// Soundness: every row satisfying the constraint is in the set.
+		for j := 0; j < rel.Len(); j++ {
+			if j == row {
+				continue
+			}
+			if v.Within(name, row, j, 1) && !member[j] {
+				t.Errorf("row %d: satisfying row %d missing from probe result", row, j)
+			}
+		}
 	}
 }
 
-func TestDonorIndexNoEqualityConstraints(t *testing.T) {
+// TestCandidateIndexInsert: a committed imputation becomes probeable.
+func TestCandidateIndexInsert(t *testing.T) {
 	rel := table2(t)
-	sigma := rfd.Set{rfd.MustParse("Name(<=4) -> Phone(<=1)", rel.Schema())}
-	if idx := newDonorIndex(rel, sigma); idx != nil {
-		t.Error("index built with no threshold-0 constraint")
-	}
-}
-
-func TestDonorIndexInsertKeepsOrder(t *testing.T) {
-	rel := table2(t)
-	sigma := figure1Sigma(t, rel.Schema())
-	idx := newDonorIndex(rel, sigma)
+	sigma := rfd.Set{rfd.MustParse("Name(<=8), Phone(<=0) -> City(<=9)", rel.Schema())}
+	v := engine.Compile(rel)
+	idx := engine.NewIndex(v, sigma)
 	phone := rel.Schema().MustIndex("Phone")
-	// Insert a row out of order (smaller index than existing entries).
-	idx.insert(1, phone, dataset.NewString("213/848-6677"))
-	rows, _ := idx.lookup(phone, dataset.NewString("213/848-6677"))
-	if len(rows) != 3 || rows[0] != 1 || rows[1] != 4 || rows[2] != 5 {
-		t.Errorf("rows after insert = %v", rows)
+	// Give t4 (row 3, missing phone) the shared Fenix phone; after Insert
+	// it must show up in the equality probe from row 5.
+	v.Set(3, phone, rel.Get(4, phone))
+	idx.Insert(3, phone)
+	rows, ok := idx.CandidateRows(5, sigma)
+	if !ok {
+		t.Fatal("index did not cover the cluster")
+	}
+	if len(rows) != 2 || rows[0] != 3 || rows[1] != 4 {
+		t.Errorf("candidate rows after insert = %v, want [3 4]", rows)
 	}
 }
 
@@ -104,33 +143,5 @@ func TestIndexedImputeEquivalence(t *testing.T) {
 					trial, i, a.Imputations[i], b.Imputations[i])
 			}
 		}
-	}
-}
-
-func TestCandidateRowsSemantics(t *testing.T) {
-	rel := table2(t)
-	// Cluster with a single equality-using dependency: φ5's premise needs
-	// Phone(<=0), so only equal-phone donors are worth scanning.
-	sigma := rfd.Set{rfd.MustParse("Name(<=8), Phone(<=0) -> City(<=9)", rel.Schema())}
-	idx := newDonorIndex(rel, sigma)
-	// t6 (row 5) has phone 213/848-6677 -> candidate rows must be {4}.
-	rows, ok := idx.candidateRows(rel, 5, sigma)
-	if !ok {
-		t.Fatal("index did not cover the cluster")
-	}
-	if len(rows) != 1 || rows[0] != 4 {
-		t.Errorf("candidate rows = %v, want [4]", rows)
-	}
-	// A cluster containing a dependency without equality constraints
-	// forces the full sweep.
-	mixed := rfd.Set{sigma[0], rfd.MustParse("Name(<=4) -> City(<=9)", rel.Schema())}
-	if _, ok := idx.candidateRows(rel, 5, mixed); ok {
-		t.Error("cluster with non-equality dependency should fall back")
-	}
-	// A tuple with a missing value on the equality attribute contributes
-	// nothing for that dependency (premise unsatisfiable).
-	rows, ok = idx.candidateRows(rel, 3, sigma) // t4's phone is missing
-	if !ok || len(rows) != 0 {
-		t.Errorf("unsatisfiable premise: rows = %v, ok = %v", rows, ok)
 	}
 }

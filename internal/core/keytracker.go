@@ -1,8 +1,7 @@
 package core
 
 import (
-	"repro/internal/dataset"
-	"repro/internal/distance"
+	"repro/internal/engine"
 	"repro/internal/rfd"
 )
 
@@ -15,56 +14,43 @@ import (
 // cell (row, attr) only the still-key RFDcs with attr on their LHS can
 // flip, and only via pairs involving that row — which keeps the
 // re-evaluation far below the naive O(|Σ|·n²) full rescan.
+//
+// The tracker evaluates pairs through the engine view, whose flat rows
+// cover the target instance and, in the multi-dataset extension, the
+// donor pool: a dependency is useful — non-key for our purposes — as
+// soon as some pair of one target tuple and any tuple in the search
+// space satisfies its LHS.
 type keyTracker struct {
-	rel   *dataset.Relation
+	v     *engine.View
 	sigma rfd.Set
-	// donors optionally extends the candidate search space (the
-	// multi-dataset extension): a dependency is useful — non-key for our
-	// purposes — as soon as some pair of one target tuple and any tuple
-	// in the search space satisfies its LHS.
-	donors []*dataset.Relation
-	isKey  []bool
-	keys   int // number of true entries in isKey
+	isKey []bool
+	keys  int // number of true entries in isKey
 }
 
 // newKeyTracker computes the initial key status of every RFDc with one
-// shared pass over the tuple pairs: each pair's distance pattern is
-// computed once and tested against every RFDc still marked key.
-func newKeyTracker(rel *dataset.Relation, sigma rfd.Set) *keyTracker {
-	return newKeyTrackerWithDonors(rel, sigma, nil)
-}
-
-// newKeyTrackerWithDonors additionally absorbs target×donor pairs.
-func newKeyTrackerWithDonors(rel *dataset.Relation, sigma rfd.Set, donors []*dataset.Relation) *keyTracker {
-	kt := &keyTracker{rel: rel, sigma: sigma, donors: donors,
+// shared pass over the tuple pairs: target×target pairs plus
+// target×donor pairs (j ranges over every flat row after i, and only
+// target rows are taken as i, so donor×donor pairs are never absorbed).
+func newKeyTracker(v *engine.View, sigma rfd.Set) *keyTracker {
+	kt := &keyTracker{v: v, sigma: sigma,
 		isKey: make([]bool, len(sigma)), keys: len(sigma)}
 	for i := range kt.isKey {
 		kt.isKey[i] = true
 	}
-	n := rel.Len()
-	m := rel.Schema().Len()
-	p := make(distance.Pattern, m)
+	n := v.TargetLen()
 	for i := 0; i < n && kt.keys > 0; i++ {
-		ti := rel.Row(i)
-		for j := i + 1; j < n && kt.keys > 0; j++ {
-			distance.PatternInto(p, ti, rel.Row(j))
-			kt.absorb(p)
-		}
-		for _, donor := range kt.donors {
-			for j := 0; j < donor.Len() && kt.keys > 0; j++ {
-				distance.PatternInto(p, ti, donor.Row(j))
-				kt.absorb(p)
-			}
+		for j := i + 1; j < v.Len() && kt.keys > 0; j++ {
+			kt.absorbPair(i, j)
 		}
 	}
 	return kt
 }
 
-// absorb marks non-key every still-key RFDc whose LHS the pattern
+// absorbPair marks non-key every still-key RFDc whose LHS the pair
 // satisfies.
-func (kt *keyTracker) absorb(p distance.Pattern) {
+func (kt *keyTracker) absorbPair(i, j int) {
 	for s, dep := range kt.sigma {
-		if kt.isKey[s] && dep.LHSSatisfiedBy(p) {
+		if kt.isKey[s] && kt.v.MatchesLHS(dep, i, j) {
 			kt.isKey[s] = false
 			kt.keys--
 		}
@@ -88,28 +74,15 @@ func (kt *keyTracker) afterImpute(row, attr int) {
 	if !affected {
 		return
 	}
-	n := kt.rel.Len()
-	m := kt.rel.Schema().Len()
-	p := make(distance.Pattern, m)
-	t := kt.rel.Row(row)
-	check := func(other dataset.Tuple) {
-		distance.PatternInto(p, t, other)
-		for s, dep := range kt.sigma {
-			if kt.isKey[s] && dep.HasLHSAttr(attr) && dep.LHSSatisfiedBy(p) {
-				kt.isKey[s] = false
-				kt.keys--
-			}
-		}
-	}
-	for j := 0; j < n && kt.keys > 0; j++ {
+	for j := 0; j < kt.v.Len() && kt.keys > 0; j++ {
 		if j == row {
 			continue
 		}
-		check(kt.rel.Row(j))
-	}
-	for _, donor := range kt.donors {
-		for j := 0; j < donor.Len() && kt.keys > 0; j++ {
-			check(donor.Row(j))
+		for s, dep := range kt.sigma {
+			if kt.isKey[s] && dep.HasLHSAttr(attr) && kt.v.MatchesLHS(dep, row, j) {
+				kt.isKey[s] = false
+				kt.keys--
+			}
 		}
 	}
 }

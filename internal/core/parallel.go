@@ -4,8 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/dataset"
-	"repro/internal/distance"
+	"repro/internal/engine"
 	"repro/internal/rfd"
 )
 
@@ -32,28 +31,18 @@ func chunkRanges(n, workers int) [][2]int {
 // findCandidateTuplesParallel computes the same candidate list as
 // findCandidateTuples, chunking the donor scan across workers. Chunks
 // are contiguous row ranges concatenated in order, so the output is
-// bit-identical to the serial scan. Trace emission happens strictly
-// after this merge (and traced cells verify with the serial
-// witness-reporting path), so a cell's DonorConsidered events are in
-// deterministic ranked order regardless of worker count, and a cell's
-// whole event sequence reaches the Tracer in one atomic EmitCell.
-func findCandidateTuplesParallel(work *dataset.Relation, row, attr int, deps rfd.Set, workers int) []candidate {
-	n := work.Len()
+// bit-identical to the serial scan. The workers read the view
+// concurrently; the sharded distance cache makes that safe. Trace
+// emission happens strictly after this merge (and traced cells verify
+// with the serial witness-reporting path), so a cell's DonorConsidered
+// events are in deterministic ranked order regardless of worker count,
+// and a cell's whole event sequence reaches the Tracer in one atomic
+// EmitCell.
+func findCandidateTuplesParallel(v *engine.View, row, attr int, deps rfd.Set, workers int) []candidate {
+	n := v.Len()
 	if workers <= 1 || n < 2*workers {
-		return findCandidateTuples(work, row, attr, deps)
+		return findCandidateTuples(v, row, attr, deps)
 	}
-	m := work.Schema().Len()
-	needed := make([]int, 0, m)
-	seen := make([]bool, m)
-	for _, dep := range deps {
-		for _, c := range dep.LHS {
-			if !seen[c.Attr] {
-				seen[c.Attr] = true
-				needed = append(needed, c.Attr)
-			}
-		}
-	}
-	t := work.Row(row)
 	ranges := chunkRanges(n, workers)
 	parts := make([][]candidate, len(ranges))
 	var wg sync.WaitGroup
@@ -61,34 +50,16 @@ func findCandidateTuplesParallel(work *dataset.Relation, row, attr int, deps rfd
 		wg.Add(1)
 		go func(ci int, lo, hi int) {
 			defer wg.Done()
-			p := make(distance.Pattern, m)
 			var local []candidate
 			for j := lo; j < hi; j++ {
 				if j == row {
 					continue
 				}
-				tj := work.Row(j)
-				if tj[attr].IsNull() {
+				if v.IsNull(j, attr) {
 					continue
 				}
-				for _, a := range needed {
-					p[a] = distance.Values(t[a], tj[a])
-				}
-				distMin, found := 0.0, false
-				for _, dep := range deps {
-					if !dep.LHSSatisfiedBy(p) {
-						continue
-					}
-					d, ok := p.MeanOver(dep.LHSAttrs())
-					if !ok {
-						continue
-					}
-					if !found || d < distMin {
-						distMin, found = d, true
-					}
-				}
-				if found {
-					local = append(local, candidate{row: j, dist: distMin})
+				if d, ok := v.DistMin(deps, row, j); ok {
+					local = append(local, candidate{row: j, dist: d})
 				}
 			}
 			parts[ci] = local
@@ -102,49 +73,27 @@ func findCandidateTuplesParallel(work *dataset.Relation, row, attr int, deps rfd
 	return out
 }
 
-// isFaultlessParallel mirrors isFaultless with a chunked scan; the first
-// violation found anywhere flips a shared flag and stops the other
-// workers at their next check.
-func (im *Imputer) isFaultlessParallel(work *dataset.Relation, row, attr int, sigmaPrime rfd.Set) bool {
+// isFaultlessParallel mirrors isFaultless with a chunked scan over the
+// target rows; the first violation found anywhere flips a shared flag
+// and stops the other workers at their next check.
+func (im *Imputer) isFaultlessParallel(v *engine.View, row, attr int, sigmaPrime rfd.Set) bool {
 	if im.opts.Verify == VerifyOff {
 		return true
 	}
-	var relevant rfd.Set
-	for _, dep := range sigmaPrime {
-		if dep.HasLHSAttr(attr) || (im.opts.Verify == VerifyBothSides && dep.RHS.Attr == attr) {
-			relevant = append(relevant, dep)
-		}
-	}
+	relevant := im.relevantForVerify(sigmaPrime, attr)
 	if len(relevant) == 0 {
 		return true
 	}
-	n := work.Len()
+	n := v.TargetLen()
 	if im.opts.Workers <= 1 || n < 2*im.opts.Workers {
-		return im.isFaultless(work, row, attr, sigmaPrime)
+		return im.isFaultless(v, row, attr, sigmaPrime)
 	}
-	m := work.Schema().Len()
-	needed := make([]int, 0, m)
-	seen := make([]bool, m)
-	mark := func(a int) {
-		if !seen[a] {
-			seen[a] = true
-			needed = append(needed, a)
-		}
-	}
-	for _, dep := range relevant {
-		for _, c := range dep.LHS {
-			mark(c.Attr)
-		}
-		mark(dep.RHS.Attr)
-	}
-	t := work.Row(row)
 	var violated atomic.Bool
 	var wg sync.WaitGroup
 	for _, rg := range chunkRanges(n, im.opts.Workers) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			p := make(distance.Pattern, m)
 			for i := lo; i < hi; i++ {
 				if i == row {
 					continue
@@ -152,12 +101,8 @@ func (im *Imputer) isFaultlessParallel(work *dataset.Relation, row, attr int, si
 				if violated.Load() {
 					return
 				}
-				ti := work.Row(i)
-				for _, a := range needed {
-					p[a] = distance.Values(t[a], ti[a])
-				}
 				for _, dep := range relevant {
-					if dep.ViolatedBy(p) {
+					if v.Violates(dep, row, i) {
 						violated.Store(true)
 						return
 					}
@@ -173,12 +118,12 @@ func (im *Imputer) isFaultlessParallel(work *dataset.Relation, row, attr int, si
 // scan chunked over the first index. Each dependency's status is an
 // atomic flag: a stale read only causes redundant work, never a wrong
 // verdict, because absorb-marking is monotone.
-func newKeyTrackerParallel(rel *dataset.Relation, sigma rfd.Set, workers int) *keyTracker {
-	n := rel.Len()
+func newKeyTrackerParallel(v *engine.View, sigma rfd.Set, workers int) *keyTracker {
+	n := v.TargetLen()
 	if workers <= 1 || n < 2*workers || len(sigma) == 0 {
-		return newKeyTracker(rel, sigma)
+		return newKeyTracker(v, sigma)
 	}
-	kt := &keyTracker{rel: rel, sigma: sigma, isKey: make([]bool, len(sigma))}
+	kt := &keyTracker{v: v, sigma: sigma, isKey: make([]bool, len(sigma))}
 	flags := make([]atomic.Bool, len(sigma)) // true = still key
 	for i := range flags {
 		flags[i].Store(true)
@@ -186,22 +131,18 @@ func newKeyTrackerParallel(rel *dataset.Relation, sigma rfd.Set, workers int) *k
 	var remaining atomic.Int64
 	remaining.Store(int64(len(sigma)))
 
-	m := rel.Schema().Len()
 	var wg sync.WaitGroup
 	for _, rg := range chunkRanges(n, workers) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			p := make(distance.Pattern, m)
 			for i := lo; i < hi; i++ {
 				if remaining.Load() == 0 {
 					return
 				}
-				ti := rel.Row(i)
-				for j := i + 1; j < n; j++ {
-					distance.PatternInto(p, ti, rel.Row(j))
+				for j := i + 1; j < v.Len(); j++ {
 					for s, dep := range sigma {
-						if flags[s].Load() && dep.LHSSatisfiedBy(p) {
+						if flags[s].Load() && v.MatchesLHS(dep, i, j) {
 							if flags[s].CompareAndSwap(true, false) {
 								remaining.Add(-1)
 							}

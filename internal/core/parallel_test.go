@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/rfd"
 )
 
@@ -95,9 +96,9 @@ func TestParallelKeyTrackerAgreesWithSerial(t *testing.T) {
 	for trial := 0; trial < 60; trial++ {
 		rel := randomInstance(rng)
 		sigma := randomSigma(rng, rel.Schema().Len())
-		serial := newKeyTracker(rel, sigma)
+		serial := newKeyTracker(engine.Compile(rel), sigma)
 		for _, workers := range []int{2, 5} {
-			par := newKeyTrackerParallel(rel, sigma, workers)
+			par := newKeyTrackerParallel(engine.Compile(rel), sigma, workers)
 			if par.keys != serial.keys {
 				t.Fatalf("trial %d: key counts %d vs %d", trial, par.keys, serial.keys)
 			}
@@ -126,8 +127,9 @@ func TestParallelCandidateScanEquivalence(t *testing.T) {
 			continue
 		}
 		row := rng.Intn(rel.Len())
-		serial := findCandidateTuples(rel, row, attr, deps)
-		par := findCandidateTuplesParallel(rel, row, attr, deps, 3)
+		v := engine.Compile(rel)
+		serial := findCandidateTuples(v, row, attr, deps)
+		par := findCandidateTuplesParallel(v, row, attr, deps, 3)
 		if len(serial) != len(par) {
 			t.Fatalf("trial %d: candidate counts %d vs %d", trial, len(serial), len(par))
 		}

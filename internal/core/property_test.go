@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/rfd"
 )
 
@@ -204,7 +205,7 @@ func TestPropertyKeyTrackerAgreesWithDefinition(t *testing.T) {
 	for trial := 0; trial < 120; trial++ {
 		rel := randomInstance(rng)
 		sigma := randomSigma(rng, rel.Schema().Len())
-		kt := newKeyTracker(rel, sigma)
+		kt := newKeyTracker(engine.Compile(rel), sigma)
 		for s, dep := range sigma {
 			if kt.isKey[s] != dep.IsKey(rel) {
 				t.Fatalf("trial %d: tracker says key=%v, definition says %v for dep %d",

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dataset"
-	"repro/internal/distance"
+	"repro/internal/engine"
 	"repro/internal/obs"
 )
 
@@ -21,28 +21,35 @@ import (
 //   - an arriving tuple immediately becomes a donor for later arrivals,
 //     and earlier cells that stayed missing can be retried with
 //     RetryMissing once new donors have accumulated.
+//
+// The session owns one engine view for its whole lifetime, so the
+// memoized distances survive across arrivals: a value pair compared when
+// tuple t arrived is a cache hit when tuple t' repeats it.
 type Stream struct {
-	im   *Imputer
-	work *dataset.Relation
-	kt   *keyTracker
+	im *Imputer
+	v  *engine.View
+	kt *keyTracker
 	// stats accumulates over the stream's lifetime.
 	stats Stats
+	// cacheHits/cacheMisses checkpoint the view's cache counters so each
+	// per-cell Stats carries only that cell's delta.
+	cacheHits, cacheMisses int64
 }
 
 // NewStream starts an incremental session seeded with the base instance
 // (which is cloned; missing values in the base are NOT imputed — call
 // RetryMissing for that).
 func (im *Imputer) NewStream(base *dataset.Relation) *Stream {
-	work := base.Clone()
+	v := engine.Compile(base.Clone())
 	return &Stream{
-		im:   im,
-		work: work,
-		kt:   newKeyTracker(work, im.sigma),
+		im: im,
+		v:  v,
+		kt: newKeyTracker(v, im.sigma),
 	}
 }
 
 // Relation exposes the accumulated instance. Callers must not mutate it.
-func (s *Stream) Relation() *dataset.Relation { return s.work }
+func (s *Stream) Relation() *dataset.Relation { return s.v.Relation() }
 
 // Stats returns the counters accumulated so far.
 func (s *Stream) Stats() Stats { return s.stats }
@@ -51,25 +58,26 @@ func (s *Stream) Stats() Stats { return s.stats }
 // and imputes the tuple's missing values against the accumulated
 // instance. It returns the imputations performed for this tuple.
 func (s *Stream) Append(t dataset.Tuple) ([]Imputation, error) {
-	if len(t) != s.work.Schema().Len() {
+	work := s.v.Relation()
+	if len(t) != work.Schema().Len() {
 		return nil, fmt.Errorf("core: stream tuple arity %d != schema arity %d",
-			len(t), s.work.Schema().Len())
+			len(t), work.Schema().Len())
 	}
-	if err := s.work.Append(t.Clone()); err != nil {
+	if err := s.v.Append(t.Clone()); err != nil {
 		return nil, err
 	}
-	row := s.work.Len() - 1
+	row := work.Len() - 1
 	s.absorbNewRow(row)
 	s.im.opts.recorder().Add(obs.CtrStreamAppends, 1)
 
 	var out []Imputation
-	for _, attr := range s.work.Row(row).MissingAttrs() {
+	for _, attr := range work.Row(row).MissingAttrs() {
 		s.stats.MissingCells++
-		res := &Result{Relation: s.work}
+		res := &Result{Relation: work}
 		res.Stats.MissingCells = 1
 		sigmaPrime := s.kt.nonKeys()
 		clusters := s.im.clustersFor(sigmaPrime, attr)
-		if s.im.imputeMissingValue(s.work, row, attr, sigmaPrime, clusters, res, nil) {
+		if s.im.imputeMissingValue(s.v, row, attr, sigmaPrime, clusters, res, nil) {
 			if !s.im.opts.NoKeyReevaluation {
 				before := s.kt.keys
 				s.kt.afterImpute(row, attr)
@@ -82,7 +90,7 @@ func (s *Stream) Append(t dataset.Tuple) ([]Imputation, error) {
 			s.stats.Unimputed++
 		}
 		res.Stats.Imputed = len(res.Imputations)
-		s.accumulate(res.Stats)
+		s.accumulate(res)
 	}
 	return out, nil
 }
@@ -91,12 +99,13 @@ func (s *Stream) Append(t dataset.Tuple) ([]Imputation, error) {
 // instance — earlier arrivals may have become imputable as donors and
 // freed key-RFDcs accumulated. It returns the new imputations.
 func (s *Stream) RetryMissing() []Imputation {
+	work := s.v.Relation()
 	var out []Imputation
-	for _, cell := range s.work.MissingCells() {
-		res := &Result{Relation: s.work}
+	for _, cell := range work.MissingCells() {
+		res := &Result{Relation: work}
 		sigmaPrime := s.kt.nonKeys()
 		clusters := s.im.clustersFor(sigmaPrime, cell.Attr)
-		if s.im.imputeMissingValue(s.work, cell.Row, cell.Attr, sigmaPrime, clusters, res, nil) {
+		if s.im.imputeMissingValue(s.v, cell.Row, cell.Attr, sigmaPrime, clusters, res, nil) {
 			if !s.im.opts.NoKeyReevaluation {
 				before := s.kt.keys
 				s.kt.afterImpute(cell.Row, cell.Attr)
@@ -108,31 +117,32 @@ func (s *Stream) RetryMissing() []Imputation {
 			s.stats.Unimputed--
 		}
 		res.Stats.Imputed = len(res.Imputations)
-		s.accumulate(res.Stats)
+		s.accumulate(res)
 	}
 	return out
 }
 
 // absorbNewRow updates key status with the pairs the new row introduces.
 func (s *Stream) absorbNewRow(row int) {
-	if s.kt.keys == 0 {
-		return
-	}
-	m := s.work.Schema().Len()
-	p := make(distance.Pattern, m)
-	t := s.work.Row(row)
-	for j := 0; j < s.work.Len() && s.kt.keys > 0; j++ {
+	for j := 0; j < s.v.Len() && s.kt.keys > 0; j++ {
 		if j == row {
 			continue
 		}
-		distance.PatternInto(p, t, s.work.Row(j))
-		s.kt.absorb(p)
+		s.kt.absorbPair(j, row)
 	}
 }
 
 // accumulate folds one per-cell run's counters into the stream totals
-// and forwards them to the configured recorder.
-func (s *Stream) accumulate(st Stats) {
+// and forwards them to the configured recorder. The engine cache
+// counters are deltas against the previous checkpoint, since the view
+// (and its cache) is shared across the stream's lifetime.
+func (s *Stream) accumulate(res *Result) {
+	hits, misses := s.v.CacheStats()
+	res.Stats.EngineCacheHits = int(hits - s.cacheHits)
+	res.Stats.EngineCacheMisses = int(misses - s.cacheMisses)
+	s.cacheHits, s.cacheMisses = hits, misses
+
+	st := res.Stats
 	s.stats.DonorsScanned += st.DonorsScanned
 	s.stats.CandidatesEvaluated += st.CandidatesEvaluated
 	s.stats.DonorsRanked += st.DonorsRanked
@@ -142,9 +152,11 @@ func (s *Stream) accumulate(st Stats) {
 	s.stats.ClustersScanned += st.ClustersScanned
 	s.stats.IndexHits += st.IndexHits
 	s.stats.IndexMisses += st.IndexMisses
+	s.stats.EngineCacheHits += st.EngineCacheHits
+	s.stats.EngineCacheMisses += st.EngineCacheMisses
 	for attr, n := range st.ImputedByAttr {
 		for i := 0; i < n; i++ {
-			s.stats.countImputed(attr, s.work.Schema().Len())
+			s.stats.countImputed(attr, s.v.Arity())
 		}
 	}
 	s.stats.Phases.CandidateSearch += st.Phases.CandidateSearch

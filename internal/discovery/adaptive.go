@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/distance"
+	"repro/internal/engine"
 )
 
 // AdaptiveAttrLimits is the paper's threshold-bounding extension (Sec. 7:
@@ -36,11 +37,11 @@ func AdaptiveAttrLimits(rel *dataset.Relation, quantile float64, maxPairs int, s
 		return limits
 	}
 
+	v := engine.Compile(rel)
 	samples := make([][]float64, m)
 	record := func(i, j int) {
-		ti, tj := rel.Row(i), rel.Row(j)
 		for a := 0; a < m; a++ {
-			d := distance.Values(ti[a], tj[a])
+			d := v.Distance(a, i, j)
 			if !distance.IsMissing(d) && d > 0 {
 				samples[a] = append(samples[a], d)
 			}

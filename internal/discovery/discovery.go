@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/distance"
+	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/rfd"
 )
@@ -117,11 +118,15 @@ func Discover(rel *dataset.Relation, cfg Config) (rfd.Set, error) {
 		return nil, nil
 	}
 
-	patterns := samplePatterns(rel, cfg.MaxPairs, cfg.Seed)
+	v := engine.Compile(rel)
+	patterns := samplePatterns(v, cfg.MaxPairs, cfg.Seed)
 	if len(patterns) == 0 {
 		return nil, nil
 	}
 	rec.Add(obs.CtrDiscoveryPatterns, int64(len(patterns)))
+	hits, misses := v.CacheStats()
+	rec.Add(obs.CtrEngineCacheHits, hits)
+	rec.Add(obs.CtrEngineCacheMisses, misses)
 
 	attrs := make([]int, m)
 	for i := range attrs {
@@ -159,17 +164,19 @@ func emitRuleProvenance(t obs.Tracer, schema *dataset.Schema, patterns []distanc
 }
 
 // samplePatterns materializes distance patterns for up to maxPairs tuple
-// pairs. With maxPairs == 0 or enough room, all n(n-1)/2 pairs are used;
-// otherwise a uniform sample without replacement is drawn.
-func samplePatterns(rel *dataset.Relation, maxPairs int, seed int64) []distance.Pattern {
-	n := rel.Len()
+// pairs through the engine view, so repeated value pairs (the common
+// case on real instances with skewed domains) hit the memoized distance
+// cache instead of re-running Levenshtein. With maxPairs == 0 or enough
+// room, all n(n-1)/2 pairs are used; otherwise a uniform sample without
+// replacement is drawn.
+func samplePatterns(v *engine.View, maxPairs int, seed int64) []distance.Pattern {
+	n := v.Len()
 	total := n * (n - 1) / 2
 	if maxPairs <= 0 || maxPairs >= total {
 		out := make([]distance.Pattern, 0, total)
 		for i := 0; i < n; i++ {
-			ti := rel.Row(i)
 			for j := i + 1; j < n; j++ {
-				out = append(out, distance.PatternBetween(ti, rel.Row(j)))
+				out = append(out, v.PatternBetween(i, j))
 			}
 		}
 		return out
@@ -191,7 +198,7 @@ func samplePatterns(rel *dataset.Relation, maxPairs int, seed int64) []distance.
 			continue
 		}
 		seen[key] = true
-		out = append(out, distance.PatternBetween(rel.Row(i), rel.Row(j)))
+		out = append(out, v.PatternBetween(i, j))
 	}
 	return out
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/distance"
+	"repro/internal/engine"
 	"repro/internal/rfd"
 )
 
@@ -23,7 +24,7 @@ import (
 //     restrictive and the maintained set always holds on the instance
 //     seen so far.
 type Maintainer struct {
-	rel   *dataset.Relation
+	v     *engine.View
 	sigma rfd.Set
 	// counters
 	dropped   int
@@ -32,14 +33,16 @@ type Maintainer struct {
 
 // NewMaintainer starts incremental maintenance from a base instance and
 // a set holding on it. The base is cloned; Σ is deep-copied so repairs
-// never mutate the caller's dependencies.
+// never mutate the caller's dependencies. The session owns one engine
+// view, so distances compared against earlier arrivals stay memoized for
+// later ones.
 func NewMaintainer(base *dataset.Relation, sigma rfd.Set) *Maintainer {
 	cp := make(rfd.Set, len(sigma))
 	for i, dep := range sigma {
 		lhs := append([]rfd.Constraint(nil), dep.LHS...)
 		cp[i] = rfd.MustNew(lhs, dep.RHS)
 	}
-	return &Maintainer{rel: base.Clone(), sigma: cp}
+	return &Maintainer{v: engine.Compile(base.Clone()), sigma: cp}
 }
 
 // Sigma returns the currently maintained set. The returned slice is the
@@ -47,7 +50,7 @@ func NewMaintainer(base *dataset.Relation, sigma rfd.Set) *Maintainer {
 func (mt *Maintainer) Sigma() rfd.Set { return mt.sigma }
 
 // Relation exposes the accumulated instance.
-func (mt *Maintainer) Relation() *dataset.Relation { return mt.rel }
+func (mt *Maintainer) Relation() *dataset.Relation { return mt.v.Relation() }
 
 // Stats returns how many dependencies were dropped and how many repair
 // tightenings were applied so far.
@@ -57,16 +60,14 @@ func (mt *Maintainer) Stats() (dropped, tightened int) { return mt.dropped, mt.t
 // returns the number of dependencies dropped and tightened by this
 // arrival.
 func (mt *Maintainer) Append(t dataset.Tuple) (dropped, tightened int, err error) {
-	if err := mt.rel.Append(t.Clone()); err != nil {
+	if err := mt.v.Append(t.Clone()); err != nil {
 		return 0, 0, err
 	}
-	row := mt.rel.Len() - 1
-	m := mt.rel.Schema().Len()
-	p := make(distance.Pattern, m)
-	tNew := mt.rel.Row(row)
+	row := mt.v.Len() - 1
+	p := distance.NewPattern(mt.v.Arity())
 
 	for j := 0; j < row; j++ {
-		distance.PatternInto(p, tNew, mt.rel.Row(j))
+		mt.v.PatternInto(p, row, j)
 		var kept rfd.Set
 		for _, dep := range mt.sigma {
 			repaired, ok := repairAgainst(dep, p)

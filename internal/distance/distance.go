@@ -68,6 +68,10 @@ func ValuesWithin(a, b dataset.Value, max float64) bool {
 // attribute, Missing where either tuple is null on that attribute.
 type Pattern []float64
 
+// NewPattern returns a zeroed pattern with one component per attribute,
+// for callers that fill components selectively (e.g. via PatternInto).
+func NewPattern(m int) Pattern { return make(Pattern, m) }
+
 // PatternBetween computes the distance pattern for a tuple pair.
 func PatternBetween(a, b dataset.Tuple) Pattern {
 	p := make(Pattern, len(a))

@@ -22,7 +22,18 @@ func Levenshtein(a, b string) int {
 	if a == b {
 		return 0
 	}
-	ra, rb := toRunes(a), toRunes(b)
+	return levRunes(toRunes(a), toRunes(b))
+}
+
+// LevenshteinRunes is Levenshtein over pre-decoded symbol slices (see
+// Runes) — the engine's compiled view interns each string's runes once
+// and reuses them across every pairwise computation.
+func LevenshteinRunes(ra, rb []rune) int {
+	obs.GlobalAdd(obs.CtrLevenshteinCalls, 1)
+	return levRunes(ra, rb)
+}
+
+func levRunes(ra, rb []rune) int {
 	if len(ra) == 0 {
 		return len(rb)
 	}
@@ -64,7 +75,20 @@ func LevenshteinWithin(a, b string, max int) bool {
 	if a == b {
 		return true
 	}
-	ra, rb := toRunes(a), toRunes(b)
+	return levRunesWithin(toRunes(a), toRunes(b), max)
+}
+
+// LevenshteinRunesWithin is LevenshteinWithin over pre-decoded symbol
+// slices, exported for the engine's banded early-exit path.
+func LevenshteinRunesWithin(ra, rb []rune, max int) bool {
+	obs.GlobalAdd(obs.CtrLevenshteinCalls, 1)
+	if max < 0 {
+		return false
+	}
+	return levRunesWithin(ra, rb, max)
+}
+
+func levRunesWithin(ra, rb []rune, max int) bool {
 	if len(ra) < len(rb) {
 		ra, rb = rb, ra
 	}
@@ -129,10 +153,13 @@ func NormalizedLevenshtein(a, b string) float64 {
 	return 2 * gld / (float64(la+lb) + gld)
 }
 
-// toRunes decodes the comparison symbols of a string: runes for valid
+// Runes decodes the comparison symbols of a string: runes for valid
 // UTF-8, raw bytes otherwise. The byte fallback keeps the identity
 // property (distance 0 iff equal) for arbitrary binary data — decoding
-// invalid sequences would collapse distinct bytes onto U+FFFD.
+// invalid sequences would collapse distinct bytes onto U+FFFD. It is
+// exported so the engine can decode each interned string once.
+func Runes(s string) []rune { return toRunes(s) }
+
 func toRunes(s string) []rune {
 	// Fast path for ASCII, the overwhelmingly common case in the datasets.
 	ascii := true

@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// numShards bounds lock contention: pairwise lookups from the parallel
+// scan workers hash across independent RWMutex-guarded maps.
+const numShards = 64
+
+// cacheKey identifies one memoized pair: the attribute and the two
+// interned value ids in canonical (lo <= hi) order, so (a, b) and
+// (b, a) share one entry.
+type cacheKey struct {
+	attr, lo, hi int32
+}
+
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[cacheKey]int32
+}
+
+// distCache memoizes exact string edit distances per (attr, value
+// pair). Only strings are cached: numeric and boolean distances are a
+// subtraction, cheaper than any lookup.
+type distCache struct {
+	shards [numShards]cacheShard
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+func newDistCache() *distCache { return &distCache{} }
+
+func (c *distCache) shardOf(k cacheKey) *cacheShard {
+	h := uint32(k.attr)*0x9E3779B1 ^ uint32(k.lo)*0x85EBCA6B ^ uint32(k.hi)*0xC2B2AE35
+	return &c.shards[h%numShards]
+}
+
+// get returns the memoized distance for the pair, counting a hit when
+// present. The ids may be passed in either order.
+func (c *distCache) get(attr int, a, b int32) (int32, bool) {
+	if a > b {
+		a, b = b, a
+	}
+	k := cacheKey{attr: int32(attr), lo: a, hi: b}
+	sh := c.shardOf(k)
+	sh.mu.RLock()
+	d, ok := sh.m[k]
+	sh.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	}
+	return d, ok
+}
+
+// put memoizes a freshly computed distance, counting a miss. Concurrent
+// writers of the same key store the same value (the distance function
+// is pure), so last-write-wins is harmless.
+func (c *distCache) put(attr int, a, b int32, d int32) {
+	if a > b {
+		a, b = b, a
+	}
+	k := cacheKey{attr: int32(attr), lo: a, hi: b}
+	sh := c.shardOf(k)
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[cacheKey]int32)
+	}
+	sh.m[k] = d
+	sh.mu.Unlock()
+	c.misses.Add(1)
+}
+
+func (c *distCache) stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/distance"
+)
+
+// FuzzDistanceCache drives the memoized string-distance path with
+// arbitrary values under concurrent readers: every cached answer must
+// equal a fresh distance.Values computation, in both orientations, and
+// threshold checks must agree with ValuesWithin. Run under -race (the
+// race target includes this package) it also exercises the shard
+// locking.
+func FuzzDistanceCache(f *testing.F) {
+	f.Add("granita", "granite", "fenix", 1.0)
+	f.Add("", "a", "ab", 0.0)
+	f.Add("höllywood", "hollywood", "hollywood", 2.5)
+	f.Add("310/456-0488", "310-392-9025", "213/848-6677", 3.0)
+	f.Fuzz(func(t *testing.T, a, b, c string, th float64) {
+		schema := dataset.NewSchema(
+			dataset.Attribute{Name: "S", Kind: dataset.KindString},
+			dataset.Attribute{Name: "T", Kind: dataset.KindString},
+		)
+		rel := dataset.NewRelation(schema)
+		for _, s := range []string{a, b, c, a} {
+			rel.MustAppend(dataset.Tuple{dataset.NewString(s), dataset.NewString(s + b)})
+		}
+		v := Compile(rel)
+		var wg sync.WaitGroup
+		fail := make(chan string, 4)
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for rep := 0; rep < 2; rep++ {
+					for i := 0; i < rel.Len(); i++ {
+						for j := 0; j < rel.Len(); j++ {
+							for attr := 0; attr < 2; attr++ {
+								got := v.Distance(attr, i, j)
+								want := distance.Values(rel.Get(i, attr), rel.Get(j, attr))
+								if got != want {
+									select {
+									case fail <- "cached distance diverged from fresh computation":
+									default:
+									}
+									return
+								}
+								if v.Within(attr, i, j, th) != distance.ValuesWithin(rel.Get(i, attr), rel.Get(j, attr), th) {
+									select {
+									case fail <- "Within diverged from ValuesWithin":
+									default:
+									}
+									return
+								}
+							}
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		select {
+		case msg := <-fail:
+			t.Fatal(msg)
+		default:
+		}
+		hits, misses := v.CacheStats()
+		if hits < 0 || misses < 0 {
+			t.Fatalf("negative cache stats: %d/%d", hits, misses)
+		}
+	})
+}

@@ -1,0 +1,363 @@
+// Package engine is the shared evaluation layer under imputation,
+// verification, and discovery. Every consumer that used to hand-roll a
+// distance-pattern loop — candidate search (Alg. 3), IS_FAULTLESS
+// (Alg. 4), key-RFDc tracking, streaming maintenance, discovery — now
+// evaluates tuple pairs through one compiled View:
+//
+//   - a columnar compiled form of the relation(s): per-attribute typed
+//     columns with interned string values and pre-decoded rune slices,
+//     so equal interned values short-circuit to distance 0 and the
+//     banded Levenshtein kernel early-exits on length difference;
+//   - a memoized pairwise distance cache keyed on (attr, interned value
+//     pair), sharded for concurrent use from the parallel scans;
+//   - one Matcher API (Distance / Within / MatchesLHS / Violates /
+//     DistMin / PatternBetween) plus a generalized candidate Index.
+//
+// A View addresses rows by flat index: the target relation's rows come
+// first ([0, TargetLen)), then each donor relation's rows in pool
+// order. Single-relation views have Len() == TargetLen().
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/distance"
+	"repro/internal/rfd"
+)
+
+// col is one attribute's columnar storage across all flat rows.
+// Strings are represented by interned ids (sid); numerics and booleans
+// by their float payload (num). Exactly one of the two is meaningful
+// per cell, per kind.
+type col struct {
+	kind []dataset.Kind
+	num  []float64
+	sid  []int32
+}
+
+// interner assigns dense ids to the distinct string values of one
+// attribute and pre-decodes each value's comparison symbols once.
+type interner struct {
+	ids   map[string]int32
+	strs  []string
+	runes [][]rune
+	lens  []int
+}
+
+func (in *interner) intern(s string) int32 {
+	if id, ok := in.ids[s]; ok {
+		return id
+	}
+	if in.ids == nil {
+		in.ids = make(map[string]int32)
+	}
+	id := int32(len(in.strs))
+	in.ids[s] = id
+	r := distance.Runes(s)
+	in.strs = append(in.strs, s)
+	in.runes = append(in.runes, r)
+	in.lens = append(in.lens, len(r))
+	return id
+}
+
+// View is the compiled evaluation form of a target relation plus an
+// optional donor pool. Reads (Distance, Within, MatchesLHS, ...) are
+// safe for concurrent use; writes (Set, Append) must not race with
+// reads — the imputation loop mutates only between scans, exactly as
+// it did against the raw relation.
+type View struct {
+	rels    []*dataset.Relation // rels[0] is the target
+	offsets []int               // offsets[s] = flat index of rels[s]'s row 0
+	n       int                 // total flat rows
+	m       int                 // arity
+	cols    []col
+	interns []*interner
+	cache   *distCache
+}
+
+// Compile builds a single-relation view. The relation is referenced,
+// not copied: Set and Append write through to it.
+func Compile(rel *dataset.Relation) *View {
+	return CompileWithDonors(rel, nil)
+}
+
+// CompileWithDonors builds a view over the target relation followed by
+// the donor pool. Donor schemas must have the target's arity (the
+// caller validates full schema compatibility).
+func CompileWithDonors(rel *dataset.Relation, donors []*dataset.Relation) *View {
+	m := rel.Schema().Len()
+	v := &View{
+		rels:    append([]*dataset.Relation{rel}, donors...),
+		m:       m,
+		cols:    make([]col, m),
+		interns: make([]*interner, m),
+		cache:   newDistCache(),
+	}
+	v.offsets = make([]int, len(v.rels))
+	for s, r := range v.rels {
+		v.offsets[s] = v.n
+		v.n += r.Len()
+	}
+	for a := 0; a < m; a++ {
+		v.interns[a] = &interner{}
+		v.cols[a] = col{
+			kind: make([]dataset.Kind, v.n),
+			num:  make([]float64, v.n),
+			sid:  make([]int32, v.n),
+		}
+	}
+	flat := 0
+	for _, r := range v.rels {
+		for i := 0; i < r.Len(); i++ {
+			t := r.Row(i)
+			for a := 0; a < m; a++ {
+				v.setCell(flat, a, t[a])
+			}
+			flat++
+		}
+	}
+	return v
+}
+
+// setCell writes one cell into the columnar form.
+func (v *View) setCell(flat, attr int, val dataset.Value) {
+	c := &v.cols[attr]
+	k := val.Kind()
+	c.kind[flat] = k
+	switch k {
+	case dataset.KindString:
+		c.sid[flat] = v.interns[attr].intern(val.Str())
+		c.num[flat] = 0
+	case dataset.KindNull:
+		c.sid[flat] = -1
+		c.num[flat] = 0
+	default:
+		c.num[flat] = val.Float()
+		c.sid[flat] = -1
+	}
+}
+
+// Arity returns the schema arity.
+func (v *View) Arity() int { return v.m }
+
+// Len returns the total number of flat rows (target + donors).
+func (v *View) Len() int { return v.n }
+
+// TargetLen returns the number of target-relation rows.
+func (v *View) TargetLen() int { return v.rels[0].Len() }
+
+// Relation returns the target relation the view compiles.
+func (v *View) Relation() *dataset.Relation { return v.rels[0] }
+
+// SourceOf resolves a flat row index to (source, row): source -1 is the
+// target relation, 0.. indexes the donor pool.
+func (v *View) SourceOf(flat int) (source, row int) {
+	for s := len(v.offsets) - 1; s >= 0; s-- {
+		if flat >= v.offsets[s] {
+			return s - 1, flat - v.offsets[s]
+		}
+	}
+	return -1, flat
+}
+
+// IsNull reports whether the cell at (flat, attr) is missing.
+func (v *View) IsNull(flat, attr int) bool {
+	return v.cols[attr].kind[flat] == dataset.KindNull
+}
+
+// Value returns the cell at (flat, attr).
+func (v *View) Value(flat, attr int) dataset.Value {
+	s, row := v.SourceOf(flat)
+	return v.rels[s+1].Get(row, attr)
+}
+
+// Set writes a target-relation cell through to both the relation and
+// the columnar form, so tentative imputations are immediately visible
+// to every evaluation.
+func (v *View) Set(row, attr int, val dataset.Value) {
+	v.rels[0].Set(row, attr, val)
+	v.setCell(row, attr, val)
+}
+
+// Append adds one tuple to a single-relation view (the incremental
+// consumers: streams and maintainers), keeping relation and columns in
+// step. It fails on multi-source views, where flat indices of later
+// sources would shift.
+func (v *View) Append(t dataset.Tuple) error {
+	if len(v.rels) != 1 {
+		return fmt.Errorf("engine: Append on a multi-source view")
+	}
+	if err := v.rels[0].Append(t); err != nil {
+		return err
+	}
+	flat := v.n
+	v.n++
+	for a := 0; a < v.m; a++ {
+		c := &v.cols[a]
+		c.kind = append(c.kind, dataset.KindNull)
+		c.num = append(c.num, 0)
+		c.sid = append(c.sid, -1)
+		v.setCell(flat, a, t[a])
+	}
+	return nil
+}
+
+// Distance returns the domain-appropriate distance between the cells at
+// (i, attr) and (j, attr), mirroring distance.Values exactly: Missing
+// when either side is null or the kinds are incomparable. Equal
+// interned strings short-circuit to 0; distinct pairs are answered by
+// the memoized cache.
+func (v *View) Distance(attr, i, j int) float64 {
+	c := &v.cols[attr]
+	ki, kj := c.kind[i], c.kind[j]
+	if ki == dataset.KindNull || kj == dataset.KindNull {
+		return distance.Missing
+	}
+	switch {
+	case ki == dataset.KindString && kj == dataset.KindString:
+		a, b := c.sid[i], c.sid[j]
+		if a == b {
+			return 0
+		}
+		return v.stringDistance(attr, a, b)
+	case ki.Numeric() && kj.Numeric():
+		return math.Abs(c.num[i] - c.num[j])
+	case ki == dataset.KindBool && kj == dataset.KindBool:
+		if c.num[i] == c.num[j] {
+			return 0
+		}
+		return 1
+	default:
+		return distance.Missing
+	}
+}
+
+// stringDistance answers a distinct interned pair from the cache,
+// computing and memoizing on miss.
+func (v *View) stringDistance(attr int, a, b int32) float64 {
+	if d, ok := v.cache.get(attr, a, b); ok {
+		return float64(d)
+	}
+	in := v.interns[attr]
+	d := int32(distance.LevenshteinRunes(in.runes[a], in.runes[b]))
+	v.cache.put(attr, a, b, d)
+	return float64(d)
+}
+
+// Within reports whether Distance(attr, i, j) <= max, mirroring
+// distance.ValuesWithin: false when either side is null or the kinds
+// are incomparable. For strings it consults the cache first and falls
+// back to the banded early-exit kernel without storing, so a failed
+// threshold check never pays for an exact distance.
+func (v *View) Within(attr, i, j int, max float64) bool {
+	c := &v.cols[attr]
+	ki, kj := c.kind[i], c.kind[j]
+	if ki == dataset.KindNull || kj == dataset.KindNull {
+		return false
+	}
+	switch {
+	case ki == dataset.KindString && kj == dataset.KindString:
+		// The integer bound is taken before the equality fast path so
+		// out-of-range thresholds convert exactly as LevenshteinWithin's.
+		bound := int(math.Floor(max))
+		if bound < 0 {
+			return false
+		}
+		a, b := c.sid[i], c.sid[j]
+		if a == b {
+			return true
+		}
+		in := v.interns[attr]
+		if abs(in.lens[a]-in.lens[b]) > bound {
+			// Edit distance is at least the length difference.
+			return false
+		}
+		if d, ok := v.cache.get(attr, a, b); ok {
+			return int(d) <= bound
+		}
+		return distance.LevenshteinRunesWithin(in.runes[a], in.runes[b], bound)
+	case ki.Numeric() && kj.Numeric():
+		return math.Abs(c.num[i]-c.num[j]) <= max
+	case ki == dataset.KindBool && kj == dataset.KindBool:
+		d := 1.0
+		if c.num[i] == c.num[j] {
+			d = 0
+		}
+		return d <= max
+	default:
+		return false
+	}
+}
+
+// MatchesLHS reports whether the pair (i, j) satisfies every LHS
+// constraint of the dependency, early-exiting on the first failed
+// attribute — the threshold-aware form of LHSSatisfiedBy.
+func (v *View) MatchesLHS(dep *rfd.RFD, i, j int) bool {
+	for _, c := range dep.LHS {
+		if !v.Within(c.Attr, i, j, c.Threshold) {
+			return false
+		}
+	}
+	return true
+}
+
+// Violates reports whether the pair (i, j) witnesses a violation of the
+// dependency: LHS satisfied and the RHS distance present but above the
+// threshold (a missing RHS component is not a witness).
+func (v *View) Violates(dep *rfd.RFD, i, j int) bool {
+	if !v.MatchesLHS(dep, i, j) {
+		return false
+	}
+	d := v.Distance(dep.RHS.Attr, i, j)
+	return !distance.IsMissing(d) && d > dep.RHS.Threshold
+}
+
+// DistMin scores the pair (i, j) with Eq. 2: the minimum, over the
+// dependencies whose LHS the pair satisfies, of the mean LHS distance.
+// The summation runs in LHS attribute order, so results are
+// bit-identical to Pattern.MeanOver over LHSAttrs.
+func (v *View) DistMin(deps rfd.Set, i, j int) (float64, bool) {
+	distMin, found := 0.0, false
+	for _, dep := range deps {
+		if !v.MatchesLHS(dep, i, j) {
+			continue
+		}
+		sum := 0.0
+		for _, c := range dep.LHS {
+			sum += v.Distance(c.Attr, i, j)
+		}
+		d := sum / float64(len(dep.LHS))
+		if !found || d < distMin {
+			distMin, found = d, true
+		}
+	}
+	return distMin, found
+}
+
+// PatternInto fills p with the full distance pattern of the pair
+// (i, j). The slice must have len == Arity().
+func (v *View) PatternInto(p distance.Pattern, i, j int) {
+	for a := 0; a < v.m; a++ {
+		p[a] = v.Distance(a, i, j)
+	}
+}
+
+// PatternBetween returns the distance pattern of the pair (i, j).
+func (v *View) PatternBetween(i, j int) distance.Pattern {
+	p := distance.NewPattern(v.m)
+	v.PatternInto(p, i, j)
+	return p
+}
+
+// CacheStats returns the distance cache's cumulative hit and miss
+// counts.
+func (v *View) CacheStats() (hits, misses int64) { return v.cache.stats() }
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

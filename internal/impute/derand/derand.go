@@ -169,7 +169,7 @@ func (im *Imputer) candidates(work *dataset.Relation, row, attr int) []dataset.V
 	}
 	m := work.Schema().Len()
 	t := work.Row(row)
-	p := make(distance.Pattern, m)
+	p := distance.NewPattern(m)
 
 	type scored struct {
 		value dataset.Value
@@ -250,7 +250,7 @@ func (im *Imputer) valueConsistent(work *dataset.Relation, cell dataset.Cell, v 
 	}
 	m := work.Schema().Len()
 	t := work.Row(cell.Row)
-	p := make(distance.Pattern, m)
+	p := distance.NewPattern(m)
 	for i := 0; i < work.Len(); i++ {
 		if i == cell.Row {
 			continue

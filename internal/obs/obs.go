@@ -64,6 +64,15 @@ const (
 	// CtrLevenshteinEarlyExits counts bounded-predicate calls that
 	// short-circuited before completing the full dynamic program.
 	CtrLevenshteinEarlyExits
+	// CtrEngineCacheHits counts pairwise distance lookups answered by the
+	// evaluation engine's memoized cache.
+	CtrEngineCacheHits
+	// CtrEngineCacheMisses counts pairwise distance lookups the engine
+	// had to compute and store.
+	CtrEngineCacheMisses
+	// CtrEngineIndexProbes counts candidate-index probes (equality
+	// bucket, numeric range, or length bucket) answered by the engine.
+	CtrEngineIndexProbes
 
 	numCounters int = iota
 )
@@ -86,6 +95,9 @@ var counterNames = [...]string{
 	CtrDiscoveryRFDs:         "discovery_rfds",
 	CtrLevenshteinCalls:      "levenshtein_calls",
 	CtrLevenshteinEarlyExits: "levenshtein_early_exits",
+	CtrEngineCacheHits:       "engine_cache_hits",
+	CtrEngineCacheMisses:     "engine_cache_misses",
+	CtrEngineIndexProbes:     "engine_index_probes",
 }
 
 // String returns the snake_case name used in snapshots.

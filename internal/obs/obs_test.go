@@ -19,9 +19,18 @@ func TestCounterAddAndSnapshot(t *testing.T) {
 	if got := m.Counter(CtrCandidatesEvaluated); got != 7 {
 		t.Fatalf("counter = %d, want 7", got)
 	}
+	m.Add(CtrEngineCacheHits, 9)
+	m.Add(CtrEngineCacheMisses, 4)
+	m.Add(CtrEngineIndexProbes, 2)
 	s := m.Snapshot()
 	if s.Counters["candidates_evaluated"] != 7 || s.Counters["faultless_checks"] != 1 {
 		t.Fatalf("snapshot counters = %v", s.Counters)
+	}
+	// The engine counters flow into the snapshot under their wire names.
+	if s.Counters["engine_cache_hits"] != 9 ||
+		s.Counters["engine_cache_misses"] != 4 ||
+		s.Counters["engine_index_probes"] != 2 {
+		t.Fatalf("snapshot engine counters = %v", s.Counters)
 	}
 	// Every counter name must be present, even untouched ones.
 	if len(s.Counters) != numCounters {

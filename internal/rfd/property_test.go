@@ -10,7 +10,7 @@ import (
 // randomPattern builds a random distance pattern over m attributes with
 // occasional Missing marks.
 func randomPattern(rng *rand.Rand, m int) distance.Pattern {
-	p := make(distance.Pattern, m)
+	p := distance.NewPattern(m)
 	for i := range p {
 		if rng.Float64() < 0.2 {
 			p[i] = distance.Missing
