@@ -22,14 +22,15 @@ build:
 test:
 	$(GO) test ./...
 
-# The concurrency-sensitive packages (parallel imputation, the lock-free
-# metrics sink, the trace ring) under the race detector, with tracing
-# exercised at 100% sampling by the stress tests.
+# The concurrency-sensitive packages (parallel imputation, parallel
+# discovery, the lock-free metrics sink, the trace ring) under the race
+# detector, with tracing exercised at 100% sampling by the stress tests
+# and concurrent Discover runs sharing one engine view/cache.
 race:
-	$(GO) test -race ./internal/core/... ./internal/engine/... ./internal/obs/...
+	$(GO) test -race ./internal/core/... ./internal/discovery/... ./internal/engine/... ./internal/obs/...
 
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ ./internal/core/...
+	$(GO) test -bench=. -benchmem -run=^$$ ./internal/core/... ./internal/discovery/...
 
 # Regenerate the golden files (trace JSONL schema) after an intentional
 # schema change; diff the result before committing.

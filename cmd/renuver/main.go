@@ -67,7 +67,7 @@ func main() {
 	flag.BoolVar(&cfg.report, "report", false, "print per-cell imputation provenance to stderr")
 	flag.BoolVar(&cfg.stats, "stats", false, "print run counters and per-phase wall clock as JSON to stderr")
 	flag.StringVar(&cfg.saveRFDs, "save-rfds", "", "write the (discovered) RFDc set to this file")
-	flag.IntVar(&cfg.workers, "workers", 0, "parallel tuple-scan workers (0 = serial)")
+	flag.IntVar(&cfg.workers, "workers", 0, "parallel workers: tuple scans (0 = serial) and discovery (0 = all CPUs; output identical)")
 	flag.StringVar(&cfg.donors, "donors", "", "comma-separated reference CSVs for the multi-dataset extension")
 	flag.BoolVar(&logJSON, "log-json", false, "emit progress logs as JSON lines")
 	flag.Parse()
@@ -135,7 +135,7 @@ func prepareSigma(cfg *runConfig, rel *renuver.Relation) (renuver.RFDSet, error)
 		return sigma, nil
 	}
 	sigma, err := renuver.DiscoverRFDs(rel, renuver.DiscoveryOptions{
-		MaxThreshold: cfg.threshold, MaxLHS: cfg.maxLHS,
+		MaxThreshold: cfg.threshold, MaxLHS: cfg.maxLHS, Workers: cfg.workers,
 	})
 	if err != nil {
 		return nil, err

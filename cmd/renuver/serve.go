@@ -65,7 +65,7 @@ func runServe(args []string) error {
 		sigma, err = renuver.LoadRFDsFile(*rfds, base.Schema())
 	} else {
 		sigma, err = renuver.DiscoverRFDs(base, renuver.DiscoveryOptions{
-			MaxThreshold: *threshold, MaxLHS: *maxLHS,
+			MaxThreshold: *threshold, MaxLHS: *maxLHS, Workers: *workers,
 			Recorder: renuver.GlobalMetrics(),
 		})
 	}

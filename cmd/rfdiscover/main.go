@@ -4,7 +4,7 @@
 // Usage:
 //
 //	rfdiscover -in data.csv [-threshold 15] [-maxlhs 2] [-out sigma.rfd]
-//	           [-max-pairs 0] [-keep-dominated] [-adaptive 0.25]
+//	           [-max-pairs 0] [-keep-dominated] [-adaptive 0.25] [-workers 0]
 //
 // With -adaptive q, per-attribute threshold caps are derived from the
 // q-quantile of each attribute's distance distribution (the paper's
@@ -29,6 +29,7 @@ type options struct {
 	keepDominated bool
 	minSupport    int
 	adaptive      float64
+	workers       int
 }
 
 func main() {
@@ -42,6 +43,7 @@ func main() {
 	flag.BoolVar(&opts.keepDominated, "keep-dominated", false, "keep dependencies implied by more general ones")
 	flag.IntVar(&opts.minSupport, "min-support", 1, "minimum satisfying pairs per dependency")
 	flag.Float64Var(&opts.adaptive, "adaptive", 0, "quantile for per-attribute adaptive threshold caps (0 = off)")
+	flag.IntVar(&opts.workers, "workers", 0, "discovery worker goroutines (0 = all CPUs, 1 = serial); output is identical either way")
 	flag.Parse()
 	if opts.in == "" {
 		flag.Usage()
@@ -65,9 +67,10 @@ func run(opts options, stdout io.Writer) error {
 		Seed:          opts.seed,
 		KeepDominated: opts.keepDominated,
 		MinSupport:    opts.minSupport,
+		Workers:       opts.workers,
 	}
 	if opts.adaptive > 0 {
-		cfg.AttrLimits = renuver.AdaptiveThresholdLimits(rel, opts.adaptive, opts.maxPairs, opts.seed)
+		cfg.AttrLimits = renuver.AdaptiveThresholdLimitsWorkers(rel, opts.adaptive, opts.maxPairs, opts.seed, opts.workers)
 	}
 	sigma, err := renuver.DiscoverRFDs(rel, cfg)
 	if err != nil {

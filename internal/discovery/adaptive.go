@@ -3,6 +3,7 @@ package discovery
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 
 	"repro/internal/dataset"
@@ -24,11 +25,24 @@ import (
 // mode the paper observed on Glass ("the RFDc threshold values do not
 // capture the correlation among data").
 func AdaptiveAttrLimits(rel *dataset.Relation, quantile float64, maxPairs int, seed int64) []float64 {
+	return AdaptiveAttrLimitsWorkers(rel, quantile, maxPairs, seed, 1)
+}
+
+// AdaptiveAttrLimitsWorkers is AdaptiveAttrLimits with the exhaustive
+// pair scan chunked across workers (0 means runtime.NumCPU()). The
+// per-attribute distance multiset is identical however it is collected
+// and gets sorted before the quantile is read, so the caps are
+// worker-count independent. The sampled path (maxPairs set) keeps its
+// single rng sequence and stays serial.
+func AdaptiveAttrLimitsWorkers(rel *dataset.Relation, quantile float64, maxPairs int, seed int64, workers int) []float64 {
 	if quantile <= 0 {
 		quantile = 0.25
 	}
 	if quantile > 1 {
 		quantile = 1
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
 	}
 	m := rel.Schema().Len()
 	n := rel.Len()
@@ -38,8 +52,7 @@ func AdaptiveAttrLimits(rel *dataset.Relation, quantile float64, maxPairs int, s
 	}
 
 	v := engine.Compile(rel)
-	samples := make([][]float64, m)
-	record := func(i, j int) {
+	recordInto := func(samples [][]float64, i, j int) {
 		for a := 0; a < m; a++ {
 			d := v.Distance(a, i, j)
 			if !distance.IsMissing(d) && d > 0 {
@@ -47,19 +60,40 @@ func AdaptiveAttrLimits(rel *dataset.Relation, quantile float64, maxPairs int, s
 			}
 		}
 	}
+
+	var samples [][]float64
 	total := n * (n - 1) / 2
 	if maxPairs <= 0 || maxPairs >= total {
-		for i := 0; i < n; i++ {
-			for j := i + 1; j < n; j++ {
-				record(i, j)
+		// Chunk the flat pair-index range; each worker collects into its
+		// own sample set, merged in chunk order below.
+		ranges := chunkRanges(total, workers)
+		parts := make([][][]float64, len(ranges))
+		runChunks(workers, total, func(ci, lo, hi int) {
+			local := make([][]float64, m)
+			i, j := pairAt(n, lo)
+			for k := lo; k < hi; k++ {
+				recordInto(local, i, j)
+				j++
+				if j == n {
+					i++
+					j = i + 1
+				}
+			}
+			parts[ci] = local
+		})
+		samples = make([][]float64, m)
+		for _, local := range parts {
+			for a := 0; a < m; a++ {
+				samples[a] = append(samples[a], local[a]...)
 			}
 		}
 	} else {
+		samples = make([][]float64, m)
 		rng := rand.New(rand.NewSource(seed))
 		for k := 0; k < maxPairs; k++ {
 			i, j := rng.Intn(n), rng.Intn(n)
 			if i != j {
-				record(i, j)
+				recordInto(samples, i, j)
 			}
 		}
 	}

@@ -1,0 +1,162 @@
+package discovery
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// benchStringsRelation replicates Table 2 into a larger deterministic
+// instance (the strings-heavy discovery workload: Levenshtein-dominated
+// pattern materialization over repeated values, so the engine cache has
+// real reuse). Block suffixes keep Name values distinct across blocks.
+func benchStringsRelation(tb testing.TB, blocks int) *dataset.Relation {
+	tb.Helper()
+	base := []string{
+		"Granita %d,Malibu,310/456-0488,Californian,6",
+		"Chinois Main %d,LA,310-392-9025,French,5",
+		"Citrus %d,Los Angeles,213/857-0034,Californian,6",
+		"Citrus %d,Los Angeles,213/857-0035,Californian,6",
+		"Fenix %d,Hollywood,213/848-6677,French,5",
+	}
+	var sb strings.Builder
+	sb.WriteString("Name,City,Phone,Type,Class\n")
+	for b := 0; b < blocks; b++ {
+		for _, row := range base {
+			fmt.Fprintf(&sb, row+"\n", b)
+		}
+	}
+	rel, err := dataset.ReadCSVString(sb.String())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return rel
+}
+
+// benchNumericRelation builds a numeric workload: four correlated
+// integer attributes, so the lattice search is dominated by range
+// comparisons rather than string distances.
+func benchNumericRelation(tb testing.TB, n int) *dataset.Relation {
+	tb.Helper()
+	var sb strings.Builder
+	sb.WriteString("A,B,C,D\n")
+	for i := 0; i < n; i++ {
+		a := i % 17
+		fmt.Fprintf(&sb, "%d,%d,%d,%d\n", a, a*2+i%3, a+i%5, i%11)
+	}
+	rel, err := dataset.ReadCSVString(sb.String())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return rel
+}
+
+// benchConfig is the shared discovery configuration of the benchmarks:
+// the Table 3 mid-grid threshold with the default MaxLHS of 2.
+func benchConfig(workers int) Config {
+	return Config{MaxThreshold: 6, Workers: workers}
+}
+
+// BenchmarkDiscover measures end-to-end discovery on the two workload
+// shapes at worker counts 1/2/4/8 (1 is the serial path). The output is
+// byte-identical across worker counts, so the benchmark isolates pure
+// pipeline cost.
+func BenchmarkDiscover(b *testing.B) {
+	workloads := []struct {
+		name string
+		rel  *dataset.Relation
+	}{
+		{"strings", benchStringsRelation(b, 24)},  // 120 tuples, 7140 pairs
+		{"numeric", benchNumericRelation(b, 160)}, // 160 tuples, 12720 pairs
+	}
+	for _, wl := range workloads {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", wl.name, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := Discover(wl.rel, benchConfig(workers)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// benchRecord is one benchmark's figures as serialized to
+// BENCH_DISCOVERY_OUT (the shape BENCH_core.json uses).
+type benchRecord struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// TestBenchDiscoveryJSON emits the discovery benchmark figures (both
+// workloads, workers 1/2/4/8) plus the host's CPU budget as JSON — the
+// BENCH_discovery.json regression record:
+//
+//	BENCH_DISCOVERY_OUT=BENCH_discovery.json go test ./internal/discovery -run TestBenchDiscoveryJSON
+//
+// Without BENCH_DISCOVERY_OUT the test is skipped, so the suite stays
+// fast. GOMAXPROCS is recorded because wall-clock speedup from workers
+// can only materialize when the host exposes more than one CPU; the
+// allocs/op reductions are host-independent.
+func TestBenchDiscoveryJSON(t *testing.T) {
+	out := os.Getenv("BENCH_DISCOVERY_OUT")
+	if out == "" {
+		t.Skip("set BENCH_DISCOVERY_OUT=<file> to emit benchmark JSON")
+	}
+
+	workloads := []struct {
+		name string
+		rel  *dataset.Relation
+	}{
+		{"strings", benchStringsRelation(t, 24)},
+		{"numeric", benchNumericRelation(t, 160)},
+	}
+	var records []benchRecord
+	for _, wl := range workloads {
+		for _, workers := range []int{1, 2, 4, 8} {
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := Discover(wl.rel, benchConfig(workers)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			records = append(records, benchRecord{
+				Name:        fmt.Sprintf("Discover/%s/workers=%d", wl.name, workers),
+				Iterations:  r.N,
+				NsPerOp:     float64(r.NsPerOp()),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+			})
+		}
+	}
+
+	doc, err := json.MarshalIndent(struct {
+		Package    string        `json:"package"`
+		GOMAXPROCS int           `json:"gomaxprocs"`
+		Benchmarks []benchRecord `json:"benchmarks"`
+	}{Package: "repro/internal/discovery", GOMAXPROCS: runtime.GOMAXPROCS(0), Benchmarks: records}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(doc, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+	for _, r := range records {
+		if r.NsPerOp <= 0 || r.Iterations == 0 {
+			t.Errorf("suspicious benchmark record: %+v", r)
+		}
+	}
+}

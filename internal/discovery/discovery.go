@@ -16,12 +16,21 @@
 //     pairs suffices.
 //  3. Candidates that end up vacuous (key-like: no sampled pair satisfies
 //     the LHS) or dominated by a more general discovered RFDc are pruned.
+//
+// Both expensive steps run on a worker pool (Config.Workers) with a
+// deterministic merge, so the discovered set is byte-identical for every
+// worker count: pattern materialization writes pre-sized slab rows in
+// place (ordering is positional, not merge-dependent), and the
+// per-(RHS, β, LHS subset) candidate derivations fan out over an
+// explicitly ordered job list whose results are collected by job index
+// before the per-RHS dominance pruning runs. See parallel.go.
 package discovery
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 
 	"repro/internal/dataset"
@@ -61,6 +70,11 @@ type Config struct {
 	// extension. Nil means MaxThreshold everywhere; otherwise the slice
 	// must cover every attribute.
 	AttrLimits []float64
+	// Workers sets the number of goroutines used for pattern-space
+	// materialization and the per-candidate lattice search. 0 means
+	// runtime.NumCPU(); 1 forces the serial path. The discovered set is
+	// byte-identical for every worker count.
+	Workers int
 	// Recorder receives discovery observability events (patterns
 	// materialized, RFDcs emitted, discovery wall clock). Nil means
 	// no-op.
@@ -90,6 +104,9 @@ func (c *Config) normalize() error {
 	if c.MaxLHS < 0 {
 		return fmt.Errorf("discovery: negative MaxLHS %d", c.MaxLHS)
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("discovery: negative Workers %d", c.Workers)
+	}
 	if len(c.RHSGrid) == 0 {
 		for b := 0.0; b <= c.MaxThreshold; b++ {
 			c.RHSGrid = append(c.RHSGrid, b)
@@ -102,9 +119,27 @@ func (c *Config) normalize() error {
 	return nil
 }
 
+// effectiveWorkers resolves the Workers field: 0 means all CPUs.
+func (c *Config) effectiveWorkers() int {
+	if c.Workers <= 0 {
+		return runtime.NumCPU()
+	}
+	return c.Workers
+}
+
 // Discover returns the RFDcs found on the instance under the config.
-// The result is deterministic for a fixed (instance, config, seed).
+// The result is deterministic for a fixed (instance, config, seed),
+// independent of the worker count.
 func Discover(rel *dataset.Relation, cfg Config) (rfd.Set, error) {
+	return DiscoverView(engine.Compile(rel), cfg)
+}
+
+// DiscoverView runs discovery over an already-compiled engine view, so
+// callers that evaluate the same instance repeatedly (or concurrently)
+// share one columnar form and one memoized distance cache. View reads
+// are safe for concurrent use, so any number of DiscoverView calls may
+// run against the same view at once.
+func DiscoverView(v *engine.View, cfg Config) (rfd.Set, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
@@ -113,13 +148,16 @@ func Discover(rel *dataset.Relation, cfg Config) (rfd.Set, error) {
 		rec = obs.Nop{}
 	}
 	start := obs.Now(rec)
-	m := rel.Schema().Len()
-	if m < 2 || rel.Len() < 2 {
+	m := v.Arity()
+	if m < 2 || v.Len() < 2 {
 		return nil, nil
 	}
+	workers := cfg.effectiveWorkers()
+	rec.Add(obs.CtrDiscoveryWorkers, int64(workers))
 
-	v := engine.Compile(rel)
-	patterns := samplePatterns(v, cfg.MaxPairs, cfg.Seed)
+	matStart := obs.Now(rec)
+	patterns := samplePatterns(v, cfg.MaxPairs, cfg.Seed, workers, rec)
+	obs.Since(rec, obs.PhaseDiscoveryMaterialize, matStart)
 	if len(patterns) == 0 {
 		return nil, nil
 	}
@@ -128,29 +166,22 @@ func Discover(rel *dataset.Relation, cfg Config) (rfd.Set, error) {
 	rec.Add(obs.CtrEngineCacheHits, hits)
 	rec.Add(obs.CtrEngineCacheMisses, misses)
 
-	attrs := make([]int, m)
-	for i := range attrs {
-		attrs[i] = i
-	}
+	searchStart := obs.Now(rec)
+	out := searchCandidates(patterns, &cfg, m, workers)
+	obs.Since(rec, obs.PhaseDiscoverySearch, searchStart)
 
-	var out rfd.Set
-	for rhs := 0; rhs < m; rhs++ {
-		candidates := discoverForRHS(patterns, attrs, rhs, cfg)
-		if !cfg.KeepDominated {
-			candidates = rfd.Minimize(candidates)
-		}
-		out = append(out, candidates...)
-	}
 	rec.Add(obs.CtrDiscoveryRFDs, int64(len(out)))
 	if cfg.Tracer != nil && cfg.Tracer.Enabled() {
-		emitRuleProvenance(cfg.Tracer, rel.Schema(), patterns, out)
+		emitRuleProvenance(cfg.Tracer, v.Relation().Schema(), patterns, out)
 	}
 	obs.Since(rec, obs.PhaseDiscovery, start)
 	return out, nil
 }
 
 // emitRuleProvenance reports each surviving RFDc with its pattern
-// support, recomputed once per rule over the sampled patterns.
+// support, recomputed once per rule over the sampled patterns. It runs
+// strictly after the deterministic merge, so the event order is the set
+// order regardless of worker count.
 func emitRuleProvenance(t obs.Tracer, schema *dataset.Schema, patterns []distance.Pattern, out rfd.Set) {
 	for _, dep := range out {
 		lhs := make([]int, len(dep.LHS))
@@ -168,22 +199,26 @@ func emitRuleProvenance(t obs.Tracer, schema *dataset.Schema, patterns []distanc
 // case on real instances with skewed domains) hit the memoized distance
 // cache instead of re-running Levenshtein. With maxPairs == 0 or enough
 // room, all n(n-1)/2 pairs are used; otherwise a uniform sample without
-// replacement is drawn.
-func samplePatterns(v *engine.View, maxPairs int, seed int64) []distance.Pattern {
+// replacement is drawn. Pair selection is always serial (one rng
+// sequence), so the sampled pair list — and hence the pattern order —
+// is independent of the worker count; only the materialization of the
+// selected pairs is chunked across workers.
+func samplePatterns(v *engine.View, maxPairs int, seed int64, workers int, rec obs.Recorder) []distance.Pattern {
 	n := v.Len()
 	total := n * (n - 1) / 2
-	if maxPairs <= 0 || maxPairs >= total {
-		out := make([]distance.Pattern, 0, total)
-		for i := 0; i < n; i++ {
-			for j := i + 1; j < n; j++ {
-				out = append(out, v.PatternBetween(i, j))
-			}
-		}
-		return out
+	if maxPairs > 0 && maxPairs < total {
+		return materializePairs(v, samplePairs(n, maxPairs, seed), workers, rec)
 	}
+	return materializeAllPairs(v, workers, rec)
+}
+
+// samplePairs draws maxPairs distinct (i, j) pairs without replacement,
+// i < j, in rng draw order — exactly the sequence the serial sampler
+// has always produced for a given seed.
+func samplePairs(n, maxPairs int, seed int64) [][2]int {
 	rng := rand.New(rand.NewSource(seed))
 	seen := make(map[[2]int]bool, maxPairs)
-	out := make([]distance.Pattern, 0, maxPairs)
+	out := make([][2]int, 0, maxPairs)
 	for len(out) < maxPairs {
 		i := rng.Intn(n)
 		j := rng.Intn(n)
@@ -198,82 +233,24 @@ func samplePatterns(v *engine.View, maxPairs int, seed int64) []distance.Pattern
 			continue
 		}
 		seen[key] = true
-		out = append(out, v.PatternBetween(i, j))
+		out = append(out, key)
 	}
 	return out
 }
 
-// discoverForRHS emits every surviving candidate with the given RHS
-// attribute.
-func discoverForRHS(patterns []distance.Pattern, attrs []int, rhs int, cfg Config) rfd.Set {
-	lhsPool := make([]int, 0, len(attrs)-1)
-	for _, a := range attrs {
-		if a != rhs {
-			lhsPool = append(lhsPool, a)
-		}
-	}
-
-	// Violating pairs per β never include patterns whose RHS component is
-	// missing (they cannot witness). Sort pattern indices by RHS distance
-	// descending so each β's violating set is a prefix.
-	order := make([]int, 0, len(patterns))
-	for idx, p := range patterns {
-		if !distance.IsMissing(p[rhs]) {
-			order = append(order, idx)
-		}
-	}
-	sort.Slice(order, func(a, b int) bool {
-		return patterns[order[a]][rhs] > patterns[order[b]][rhs]
-	})
-
-	var out rfd.Set
-	subsets := enumerateSubsets(lhsPool, cfg.MaxLHS)
-	rhsLimit := cfg.limitFor(rhs)
-	for _, beta := range cfg.RHSGrid {
-		if beta > rhsLimit {
-			continue
-		}
-		// Violating prefix: d_rhs > beta.
-		cut := sort.Search(len(order), func(k int) bool {
-			return patterns[order[k]][rhs] <= beta
-		})
-		violating := order[:cut]
-		for _, lhs := range subsets {
-			caps := make([]float64, len(lhs))
-			for i, a := range lhs {
-				caps[i] = cfg.limitFor(a)
-			}
-			cand := greedyThresholds(patterns, violating, lhs, caps)
-			if cand == nil {
-				continue
-			}
-			if support(patterns, lhs, cand) < cfg.MinSupport {
-				continue
-			}
-			constraints := make([]rfd.Constraint, len(lhs))
-			for i, a := range lhs {
-				constraints[i] = rfd.Constraint{Attr: a, Threshold: cand[i]}
-			}
-			dep, err := rfd.New(constraints, rfd.Constraint{Attr: rhs, Threshold: beta})
-			if err != nil {
-				continue
-			}
-			out = append(out, dep)
-		}
-	}
-	return out
-}
-
-// greedyThresholds computes maximal per-attribute LHS thresholds under
-// the per-attribute caps such that every violating pattern fails at
-// least one constraint. It returns nil when no threshold vector works
-// (some violating pair is identical on every LHS attribute).
+// greedyAdvance folds a batch of violating patterns into the running
+// threshold vector th (len(lhs)): every violating pattern must fail at
+// least one LHS constraint, and the cheapest cut (the attribute with
+// the largest distance) is taken each time. It returns false when no
+// threshold vector works (some violating pair is identical on every
+// LHS attribute).
 //
-// Because thresholds only ever decrease, a pattern that fails the current
-// constraints also fails all later ones, so a single pass is exact.
-func greedyThresholds(patterns []distance.Pattern, violating []int, lhs []int, caps []float64) []float64 {
-	th := make([]float64, len(lhs))
-	copy(th, caps)
+// Because thresholds only ever decrease, a pattern that fails the
+// current constraints also fails all later ones, so a single pass is
+// exact — and the fold can be resumed: feeding order[prev:cut] batches
+// for descending β yields, at each boundary, exactly the vector a
+// from-scratch pass over order[:cut] would produce (see deriveSubset).
+func greedyAdvance(patterns []distance.Pattern, violating []int, lhs []int, th []float64) bool {
 	for _, idx := range violating {
 		p := patterns[idx]
 		satisfied := true
@@ -296,7 +273,7 @@ func greedyThresholds(patterns []distance.Pattern, violating []int, lhs []int, c
 			}
 		}
 		if bestD <= 0 {
-			return nil // identical on all LHS attributes yet violating
+			return false // identical on all LHS attributes yet violating
 		}
 		// Largest integer grid value strictly below bestD.
 		next := math.Ceil(bestD) - 1
@@ -304,11 +281,11 @@ func greedyThresholds(patterns []distance.Pattern, violating []int, lhs []int, c
 			next = bestD - 1
 		}
 		if next < 0 {
-			return nil
+			return false
 		}
 		th[best] = next
 	}
-	return th
+	return true
 }
 
 // support counts the sampled patterns satisfying every LHS constraint —
@@ -329,6 +306,36 @@ func support(patterns []distance.Pattern, lhs []int, th []float64) int {
 		}
 	}
 	return count
+}
+
+// supportAtLeast reports whether at least min sampled patterns satisfy
+// every LHS constraint, stopping at the min-th witness. The lattice
+// search only needs the MinSupport comparison, not the exact count, so
+// this early exit replaces a full pattern sweep per candidate (the
+// exact count is still computed — once per surviving rule — for the
+// rule_emitted provenance events).
+func supportAtLeast(patterns []distance.Pattern, lhs []int, th []float64, min int) bool {
+	if min <= 0 {
+		return true
+	}
+	count := 0
+	for _, p := range patterns {
+		ok := true
+		for i, a := range lhs {
+			d := p[a]
+			if distance.IsMissing(d) || d > th[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			count++
+			if count >= min {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // enumerateSubsets lists the non-empty subsets of pool with at most k

@@ -2,6 +2,7 @@ package discovery
 
 import (
 	"math"
+	"runtime"
 
 	"repro/internal/dataset"
 	"repro/internal/distance"
@@ -24,8 +25,14 @@ import (
 //     restrictive and the maintained set always holds on the instance
 //     seen so far.
 type Maintainer struct {
-	v     *engine.View
-	sigma rfd.Set
+	v       *engine.View
+	sigma   rfd.Set
+	workers int
+	// one is the serial-path pattern scratch, reused across appends.
+	one distance.Pattern
+	// pats is the parallel-path pattern slab (one row per earlier
+	// tuple), grown as the instance grows and reused across appends.
+	pats []distance.Pattern
 	// counters
 	dropped   int
 	tightened int
@@ -37,12 +44,23 @@ type Maintainer struct {
 // view, so distances compared against earlier arrivals stay memoized for
 // later ones.
 func NewMaintainer(base *dataset.Relation, sigma rfd.Set) *Maintainer {
+	return NewMaintainerWorkers(base, sigma, 1)
+}
+
+// NewMaintainerWorkers is NewMaintainer with the per-arrival pattern
+// materialization chunked across workers (0 means runtime.NumCPU(), 1
+// the serial path). Repairs are applied serially in pair order either
+// way, so the maintained set is identical for every worker count.
+func NewMaintainerWorkers(base *dataset.Relation, sigma rfd.Set, workers int) *Maintainer {
 	cp := make(rfd.Set, len(sigma))
 	for i, dep := range sigma {
 		lhs := append([]rfd.Constraint(nil), dep.LHS...)
 		cp[i] = rfd.MustNew(lhs, dep.RHS)
 	}
-	return &Maintainer{v: engine.Compile(base.Clone()), sigma: cp}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Maintainer{v: engine.Compile(base.Clone()), sigma: cp, workers: workers}
 }
 
 // Sigma returns the currently maintained set. The returned slice is the
@@ -64,11 +82,12 @@ func (mt *Maintainer) Append(t dataset.Tuple) (dropped, tightened int, err error
 		return 0, 0, err
 	}
 	row := mt.v.Len() - 1
-	p := distance.NewPattern(mt.v.Arity())
 
-	for j := 0; j < row; j++ {
-		mt.v.PatternInto(p, row, j)
-		var kept rfd.Set
+	repair := func(p distance.Pattern) {
+		// In-place compaction: the write index never passes the read
+		// index, so filtering reuses the working set's backing array
+		// instead of allocating a fresh slice per pair.
+		kept := mt.sigma[:0]
 		for _, dep := range mt.sigma {
 			repaired, ok := repairAgainst(dep, p)
 			if !ok {
@@ -82,9 +101,43 @@ func (mt *Maintainer) Append(t dataset.Tuple) (dropped, tightened int, err error
 		}
 		mt.sigma = kept
 	}
+
+	if mt.workers <= 1 || row < 2*mt.workers {
+		if mt.one == nil {
+			mt.one = distance.NewPattern(mt.v.Arity())
+		}
+		for j := 0; j < row; j++ {
+			mt.v.PatternInto(mt.one, row, j)
+			repair(mt.one)
+		}
+	} else {
+		// Materialize the new tuple's patterns against every earlier row
+		// concurrently (view reads are safe), then apply repairs serially
+		// in pair order — identical to the serial sweep.
+		pats := mt.patternsAgainst(row)
+		for j := 0; j < row; j++ {
+			repair(pats[j])
+		}
+	}
 	mt.dropped += dropped
 	mt.tightened += tightened
 	return dropped, tightened, nil
+}
+
+// patternsAgainst fills (and, when needed, grows) the reusable slab with
+// the distance patterns between row and every earlier row, chunked
+// across the maintainer's workers.
+func (mt *Maintainer) patternsAgainst(row int) []distance.Pattern {
+	if len(mt.pats) < row {
+		grown := patternSlab(row*2, mt.v.Arity())
+		mt.pats = grown
+	}
+	runChunks(mt.workers, row, func(_, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			mt.v.PatternInto(mt.pats[j], row, j)
+		}
+	})
+	return mt.pats[:row]
 }
 
 // repairAgainst returns the dependency unchanged when the pattern does

@@ -1,0 +1,298 @@
+package discovery
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/distance"
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/rfd"
+)
+
+// chunkRanges splits [0, n) into at most workers contiguous ranges.
+func chunkRanges(n, workers int) [][2]int {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var out [][2]int
+	size := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// runChunks splits [0, n) across the workers and runs fn once per
+// chunk, inline when only one chunk results (the serial path spawns no
+// goroutines). It returns the number of chunks. fn receives the chunk
+// index so callers can keep per-worker state without sharing.
+func runChunks(workers, n int, fn func(chunk, lo, hi int)) int {
+	ranges := chunkRanges(n, workers)
+	if len(ranges) == 1 {
+		fn(0, ranges[0][0], ranges[0][1])
+		return 1
+	}
+	var wg sync.WaitGroup
+	for ci, rg := range ranges {
+		wg.Add(1)
+		go func(ci, lo, hi int) {
+			defer wg.Done()
+			fn(ci, lo, hi)
+		}(ci, rg[0], rg[1])
+	}
+	wg.Wait()
+	return len(ranges)
+}
+
+// patternSlab pre-sizes count patterns of arity m over one flat backing
+// array: a single allocation instead of one per pair, and positional
+// writes so concurrent fillers never contend or reorder.
+func patternSlab(count, m int) []distance.Pattern {
+	flat := make([]float64, count*m)
+	out := make([]distance.Pattern, count)
+	for k := range out {
+		out[k] = distance.Pattern(flat[k*m : (k+1)*m : (k+1)*m])
+	}
+	return out
+}
+
+// pairAt decodes a flat pair index k into the (i, j) tuple pair, i < j,
+// under the row-major enumeration (0,1), (0,2), ..., (1,2), ... that the
+// serial sampler has always used. Each worker decodes its chunk's first
+// index once and advances incrementally from there.
+func pairAt(n, k int) (int, int) {
+	i, rowStart := 0, 0
+	for {
+		rowLen := n - 1 - i
+		if k < rowStart+rowLen {
+			return i, i + 1 + (k - rowStart)
+		}
+		rowStart += rowLen
+		i++
+	}
+}
+
+// materializeAllPairs fills the full n(n-1)/2 pattern space, chunking
+// the flat pair-index range across the workers. Row order is positional
+// (identical to the serial double loop), and the sharded engine cache
+// makes the concurrent distance reads safe.
+func materializeAllPairs(v *engine.View, workers int, rec obs.Recorder) []distance.Pattern {
+	n := v.Len()
+	total := n * (n - 1) / 2
+	out := patternSlab(total, v.Arity())
+	chunks := runChunks(workers, total, func(_, lo, hi int) {
+		i, j := pairAt(n, lo)
+		for k := lo; k < hi; k++ {
+			v.PatternInto(out[k], i, j)
+			j++
+			if j == n {
+				i++
+				j = i + 1
+			}
+		}
+	})
+	rec.Add(obs.CtrDiscoveryPatternChunks, int64(chunks))
+	return out
+}
+
+// materializePairs fills patterns for an explicit pair list (the sampled
+// path), chunked across the workers with positional writes.
+func materializePairs(v *engine.View, pairs [][2]int, workers int, rec obs.Recorder) []distance.Pattern {
+	out := patternSlab(len(pairs), v.Arity())
+	chunks := runChunks(workers, len(pairs), func(_, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			v.PatternInto(out[k], pairs[k][0], pairs[k][1])
+		}
+	})
+	rec.Add(obs.CtrDiscoveryPatternChunks, int64(chunks))
+	return out
+}
+
+// searchJob is one independent derivation unit: a (RHS attribute, LHS
+// subset) pair, covering every β of that RHS's grid in one incremental
+// greedy pass. res is where the job's per-β results go in the flat
+// result slab (stride = the RHS's subset count, so a linear walk of the
+// slab visits candidates in the serial order: β-major, subset-minor).
+type searchJob struct {
+	rhs int
+	lhs []int
+	res int
+}
+
+// rhsPlan is the shared per-RHS search state: the β grid entries under
+// the RHS cap (ascending, like Config.RHSGrid), the violating-prefix
+// length per β, the job and result ranges, and the subset count (the
+// result-slab stride).
+type rhsPlan struct {
+	betas    []float64
+	cuts     []int
+	resStart int
+	resEnd   int
+	stride   int
+}
+
+// searchCandidates runs the greedy lattice search over every RHS
+// attribute. Jobs are (RHS, LHS subset) pairs in the serial enumeration
+// order; workers fill a positional result slab, and the merge walks it
+// linearly, so the output is byte-identical for any worker count. Each
+// worker reuses one caps/thresholds scratch pair across all its jobs.
+//
+// Within one job the β grid is processed by a single incremental pass:
+// the grid is ascending, so each smaller β's violating prefix extends
+// the previous one, and the greedy fold's state at each cut boundary is
+// exactly the threshold vector a from-scratch pass for that β would
+// produce. This turns Σ_β |prefix(β)| greedy work into max_β |prefix(β)|.
+func searchCandidates(patterns []distance.Pattern, cfg *Config, m, workers int) rfd.Set {
+	// Per-RHS pattern order by descending RHS distance, built
+	// concurrently across RHS attributes: each β's violating set is then
+	// a prefix.
+	orders := make([][]int, m)
+	runChunks(workers, m, func(_, lo, hi int) {
+		for rhs := lo; rhs < hi; rhs++ {
+			orders[rhs] = rhsOrder(patterns, rhs)
+		}
+	})
+
+	jobs, plans, resLen := buildJobs(patterns, orders, cfg, m)
+
+	results := make([]*rfd.RFD, resLen)
+	maxW := cfg.MaxLHS
+	if maxW > m-1 {
+		maxW = m - 1
+	}
+	runChunks(workers, len(jobs), func(_, lo, hi int) {
+		caps := make([]float64, maxW)
+		th := make([]float64, maxW)
+		for k := lo; k < hi; k++ {
+			job := jobs[k]
+			plan := &plans[job.rhs]
+			deriveSubset(patterns, orders[job.rhs], plan, job, caps, th, results, cfg)
+		}
+	})
+
+	var out rfd.Set
+	for rhs := 0; rhs < m; rhs++ {
+		var cands rfd.Set
+		for k := plans[rhs].resStart; k < plans[rhs].resEnd; k++ {
+			if results[k] != nil {
+				cands = append(cands, results[k])
+			}
+		}
+		if !cfg.KeepDominated {
+			cands = rfd.Minimize(cands)
+		}
+		out = append(out, cands...)
+	}
+	return out
+}
+
+// rhsOrder sorts the indices of patterns whose RHS component is present
+// by descending RHS distance (missing components cannot witness a
+// violation). sort.Slice on the same input yields the same permutation
+// every run, so the order — and the greedy pass that consumes it — is
+// deterministic.
+func rhsOrder(patterns []distance.Pattern, rhs int) []int {
+	order := make([]int, 0, len(patterns))
+	for idx, p := range patterns {
+		if !distance.IsMissing(p[rhs]) {
+			order = append(order, idx)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return patterns[order[a]][rhs] > patterns[order[b]][rhs]
+	})
+	return order
+}
+
+// buildJobs enumerates every (RHS, LHS subset) derivation unit under
+// the config's limits, RHS-major with subsets in enumeration order, and
+// returns the job list, the per-RHS plans (β grid, violating-prefix
+// cuts, result ranges), and the total result-slab length.
+func buildJobs(patterns []distance.Pattern, orders [][]int, cfg *Config, m int) ([]searchJob, []rhsPlan, int) {
+	var jobs []searchJob
+	plans := make([]rhsPlan, m)
+	pool := make([]int, 0, m-1)
+	resLen := 0
+	for rhs := 0; rhs < m; rhs++ {
+		pool = pool[:0]
+		for a := 0; a < m; a++ {
+			if a != rhs {
+				pool = append(pool, a)
+			}
+		}
+		subsets := enumerateSubsets(pool, cfg.MaxLHS)
+		order := orders[rhs]
+		rhsLimit := cfg.limitFor(rhs)
+		plan := &plans[rhs]
+		for _, beta := range cfg.RHSGrid {
+			if beta > rhsLimit {
+				continue
+			}
+			plan.betas = append(plan.betas, beta)
+			// Violating prefix: d_rhs > beta.
+			plan.cuts = append(plan.cuts, sort.Search(len(order), func(k int) bool {
+				return patterns[order[k]][rhs] <= beta
+			}))
+		}
+		plan.resStart = resLen
+		plan.stride = len(subsets)
+		resLen += len(plan.betas) * len(subsets)
+		plan.resEnd = resLen
+		for si, lhs := range subsets {
+			jobs = append(jobs, searchJob{rhs: rhs, lhs: lhs, res: plan.resStart + si})
+		}
+	}
+	return jobs, plans, resLen
+}
+
+// deriveSubset runs one job: a single incremental greedy fold over the
+// RHS's pattern order, snapshotting a candidate at every β cut
+// boundary, each gated by the MinSupport check. Results land at
+// results[job.res + βindex*stride]. caps and th are per-worker scratch
+// buffers (cap >= len(job.lhs)); nothing escapes them except the
+// constraints of kept candidates.
+//
+// The grid is ascending, so cuts descend with β: walking β from largest
+// to smallest only ever extends the processed prefix, and the fold
+// state at each boundary equals a from-scratch greedy pass for that β.
+// Once the fold fails (a violating pair identical on every LHS
+// attribute), every smaller β shares that pair and fails too.
+func deriveSubset(patterns []distance.Pattern, order []int, plan *rhsPlan, job searchJob, caps, th []float64, results []*rfd.RFD, cfg *Config) {
+	lhs := job.lhs
+	caps = caps[:len(lhs)]
+	th = th[:len(lhs)]
+	for i, a := range lhs {
+		caps[i] = cfg.limitFor(a)
+	}
+	copy(th, caps)
+	prev := 0
+	for bi := len(plan.betas) - 1; bi >= 0; bi-- {
+		cut := plan.cuts[bi]
+		if cut > prev {
+			if !greedyAdvance(patterns, order[prev:cut], lhs, th) {
+				return // this β and every smaller one fail
+			}
+			prev = cut
+		}
+		if !supportAtLeast(patterns, lhs, th, cfg.MinSupport) {
+			continue
+		}
+		constraints := make([]rfd.Constraint, len(lhs))
+		for i, a := range lhs {
+			constraints[i] = rfd.Constraint{Attr: a, Threshold: th[i]}
+		}
+		dep, err := rfd.New(constraints, rfd.Constraint{Attr: job.rhs, Threshold: plan.betas[bi]})
+		if err != nil {
+			continue
+		}
+		results[job.res+bi*plan.stride] = dep
+	}
+}

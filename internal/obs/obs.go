@@ -59,6 +59,12 @@ const (
 	CtrDiscoveryPatterns
 	// CtrDiscoveryRFDs counts RFDcs emitted by discovery.
 	CtrDiscoveryRFDs
+	// CtrDiscoveryWorkers accumulates the effective worker count of each
+	// discovery run (Config.Workers with 0 resolved to runtime.NumCPU()).
+	CtrDiscoveryWorkers
+	// CtrDiscoveryPatternChunks counts the chunks the discovery
+	// pattern-space materialization was split into across workers.
+	CtrDiscoveryPatternChunks
 	// CtrLevenshteinCalls counts exact edit-distance computations.
 	CtrLevenshteinCalls
 	// CtrLevenshteinEarlyExits counts bounded-predicate calls that
@@ -78,26 +84,28 @@ const (
 )
 
 var counterNames = [...]string{
-	CtrMissingCells:          "missing_cells",
-	CtrImputations:           "imputations",
-	CtrDonorsScanned:         "donors_scanned",
-	CtrCandidatesEvaluated:   "candidates_evaluated",
-	CtrDonorsRanked:          "donors_ranked",
-	CtrCandidatesTried:       "candidates_tried",
-	CtrFaultlessChecks:       "faultless_checks",
-	CtrFaultlessFailures:     "faultless_failures",
-	CtrClustersScanned:       "clusters_scanned",
-	CtrKeyFlips:              "key_flips",
-	CtrIndexHits:             "index_hits",
-	CtrIndexMisses:           "index_misses",
-	CtrStreamAppends:         "stream_appends",
-	CtrDiscoveryPatterns:     "discovery_patterns",
-	CtrDiscoveryRFDs:         "discovery_rfds",
-	CtrLevenshteinCalls:      "levenshtein_calls",
-	CtrLevenshteinEarlyExits: "levenshtein_early_exits",
-	CtrEngineCacheHits:       "engine_cache_hits",
-	CtrEngineCacheMisses:     "engine_cache_misses",
-	CtrEngineIndexProbes:     "engine_index_probes",
+	CtrMissingCells:           "missing_cells",
+	CtrImputations:            "imputations",
+	CtrDonorsScanned:          "donors_scanned",
+	CtrCandidatesEvaluated:    "candidates_evaluated",
+	CtrDonorsRanked:           "donors_ranked",
+	CtrCandidatesTried:        "candidates_tried",
+	CtrFaultlessChecks:        "faultless_checks",
+	CtrFaultlessFailures:      "faultless_failures",
+	CtrClustersScanned:        "clusters_scanned",
+	CtrKeyFlips:               "key_flips",
+	CtrIndexHits:              "index_hits",
+	CtrIndexMisses:            "index_misses",
+	CtrStreamAppends:          "stream_appends",
+	CtrDiscoveryPatterns:      "discovery_patterns",
+	CtrDiscoveryRFDs:          "discovery_rfds",
+	CtrDiscoveryWorkers:       "discovery_workers",
+	CtrDiscoveryPatternChunks: "discovery_pattern_chunks",
+	CtrLevenshteinCalls:       "levenshtein_calls",
+	CtrLevenshteinEarlyExits:  "levenshtein_early_exits",
+	CtrEngineCacheHits:        "engine_cache_hits",
+	CtrEngineCacheMisses:      "engine_cache_misses",
+	CtrEngineIndexProbes:      "engine_index_probes",
 }
 
 // String returns the snake_case name used in snapshots.
@@ -125,6 +133,12 @@ const (
 	PhaseKeyReeval
 	// PhaseDiscovery covers RFDc discovery end to end.
 	PhaseDiscovery
+	// PhaseDiscoveryMaterialize covers the O(n²) distance-pattern
+	// materialization inside discovery.
+	PhaseDiscoveryMaterialize
+	// PhaseDiscoverySearch covers the greedy lattice search and
+	// dominance pruning inside discovery.
+	PhaseDiscoverySearch
 	// PhaseTotal covers one whole Impute run.
 	PhaseTotal
 
@@ -132,13 +146,15 @@ const (
 )
 
 var phaseNames = [...]string{
-	PhasePreprocess:      "preprocess",
-	PhaseCandidateSearch: "candidate_search",
-	PhaseRanking:         "ranking",
-	PhaseVerify:          "verify",
-	PhaseKeyReeval:       "key_reeval",
-	PhaseDiscovery:       "discovery",
-	PhaseTotal:           "total",
+	PhasePreprocess:           "preprocess",
+	PhaseCandidateSearch:      "candidate_search",
+	PhaseRanking:              "ranking",
+	PhaseVerify:               "verify",
+	PhaseKeyReeval:            "key_reeval",
+	PhaseDiscovery:            "discovery",
+	PhaseDiscoveryMaterialize: "discovery_materialize",
+	PhaseDiscoverySearch:      "discovery_search",
+	PhaseTotal:                "total",
 }
 
 // String returns the snake_case name used in snapshots.

@@ -163,6 +163,13 @@ func AdaptiveThresholdLimits(rel *Relation, quantile float64, maxPairs int, seed
 	return discovery.AdaptiveAttrLimits(rel, quantile, maxPairs, seed)
 }
 
+// AdaptiveThresholdLimitsWorkers is AdaptiveThresholdLimits with the
+// exhaustive pair scan chunked across workers (0 = all CPUs). The caps
+// are identical for every worker count.
+func AdaptiveThresholdLimitsWorkers(rel *Relation, quantile float64, maxPairs int, seed int64, workers int) []float64 {
+	return discovery.AdaptiveAttrLimitsWorkers(rel, quantile, maxPairs, seed, workers)
+}
+
 // The RENUVER imputer.
 type (
 	// Imputer runs RENUVER for one Σ and option set.
