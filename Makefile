@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench golden
+.PHONY: check fmt vet vet-ctx build test race bench golden smoke
 
-check: fmt vet build test
+check: fmt vet vet-ctx build test
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -15,6 +15,12 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Context-hygiene passes for the Session API: lostcancel catches leaked
+# context.CancelFuncs, httpresponse catches deferring Body.Close before
+# the error check in serve-mode clients/tests.
+vet-ctx:
+	$(GO) vet -lostcancel -httpresponse ./...
 
 build:
 	$(GO) build ./...
@@ -36,3 +42,8 @@ bench:
 # schema change; diff the result before committing.
 golden:
 	$(GO) test ./internal/core/ -run Golden -update-golden
+
+# End-to-end smoke: boot `renuver serve` on a loopback port, drive the
+# /v1 surface concurrently, and verify a clean SIGTERM drain.
+smoke:
+	RENUVER_SMOKE=1 $(GO) test ./cmd/renuver/ -run TestServeSmoke -count=1 -v

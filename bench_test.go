@@ -9,6 +9,7 @@
 package renuver
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -234,7 +235,7 @@ func BenchmarkDerandExactVsHeuristic(b *testing.B) {
 	b.ResetTimer()
 	var filled int
 	for i := 0; i < b.N; i++ {
-		out, err := ex.Impute(dirty)
+		out, err := ex.Impute(context.Background(), dirty)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,51 +1,71 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"mime"
+	"net"
 	"net/http"
+	"os/signal"
+	"runtime"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	renuver "repro"
 )
 
 // runServe is the `renuver serve` mode: a long-lived imputation service
-// with first-class observability. Σ is prepared once from the base
-// instance (or loaded from a file); every POST /impute run then records
-// into one process-wide metrics sink, served on /metrics, and — when
-// tracing is on — per-cell decision traces land in a bounded ring
-// served on /trace/last.
+// built on a renuver.Session. The base instance is compiled once at
+// startup (columnar form, interning tables, shared distance cache); Σ is
+// discovered on the compiled base (or loaded from a file); every request
+// then serves against those read-only artifacts with per-request state
+// only. A bounded admission gate caps concurrent runs at -pool-size and
+// sheds load with 429 once -queue-depth requests are already waiting;
+// each admitted request runs under the -request-timeout deadline, and
+// SIGTERM/SIGINT drains in-flight runs for up to -drain-timeout before
+// exiting.
 //
-// Endpoints:
+// Endpoints (all available both under /v1/ and at the unversioned root):
 //
-//	POST /impute        CSV in the body -> imputed CSV; the run's
+//	POST /v1/impute     CSV in the body -> imputed CSV; the run's
 //	                    Result.Stats come back in the X-Renuver-Stats
-//	                    header as compact JSON. Non-POST methods get 405
-//	                    with an Allow header; non-CSV content types 415.
-//	GET  /metrics       cumulative counters/histograms/phase timings —
+//	                    header as compact JSON. Errors are a JSON
+//	                    envelope {"error","code"}: 405 on non-POST, 415
+//	                    on non-CSV content types, 429 when the queue is
+//	                    full, 504 when the deadline expires mid-run.
+//	GET  /v1/metrics    cumulative counters/histograms/phase timings —
 //	                    JSON by default, Prometheus text exposition
 //	                    format when the Accept header asks for it.
-//	GET  /trace/last    the most recent sampled cell's decision trace as
+//	GET  /v1/trace/last the most recent sampled cell's decision trace as
 //	                    a JSON event array (404 when tracing is off).
 //	GET  /healthz       liveness probe.
 //	GET  /debug/pprof/  CPU/heap/goroutine profiles.
+//
+// Flag defaulting follows the repository rule: the zero value picks the
+// documented default, negatives are rejected at flag-parse time.
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	var (
-		addr        = fs.String("metrics-addr", "127.0.0.1:8080", "address to serve /impute, /metrics and /debug/pprof on")
-		in          = fs.String("in", "", "base CSV/JSONL the RFDcs are prepared from (required)")
-		rfds        = fs.String("rfds", "", "RFDc set file; discovered from the base when omitted")
-		threshold   = fs.Float64("threshold", 15, "discovery threshold limit when -rfds is omitted")
-		maxLHS      = fs.Int("maxlhs", 2, "discovery LHS size limit when -rfds is omitted")
-		order       = fs.String("order", "asc", "RHS-threshold cluster order: asc or desc")
-		verify      = fs.String("verify", "lhs", "IS_FAULTLESS scope: lhs, both, off")
-		workers     = fs.Int("workers", 0, "parallel tuple-scan workers (0 = serial)")
-		traceSample = fs.Int("trace-sample", 0, "trace every Nth cell's imputation decisions (0 = tracing off, 1 = every cell)")
-		traceCells  = fs.Int("trace-cells", 0, "cell traces retained in the ring (0 = default 256)")
-		logJSON     = fs.Bool("log-json", false, "emit request logs as JSON lines")
+		addr         = fs.String("metrics-addr", "127.0.0.1:8080", "address to serve /impute, /metrics and /debug/pprof on")
+		in           = fs.String("in", "", "base CSV/JSONL compiled into the session at startup (required)")
+		rfds         = fs.String("rfds", "", "RFDc set file; discovered from the base when omitted")
+		threshold    = fs.Float64("threshold", 15, "discovery threshold limit when -rfds is omitted")
+		maxLHS       = fs.Int("maxlhs", 2, "discovery LHS size limit when -rfds is omitted")
+		order        = fs.String("order", "asc", "RHS-threshold cluster order: asc or desc")
+		verify       = fs.String("verify", "lhs", "IS_FAULTLESS scope: lhs, both, off")
+		workers      = fs.Int("workers", 0, "parallel workers for discovery and imputation tuple scans (0 = serial imputation, all CPUs for discovery)")
+		traceSample  = fs.Int("trace-sample", 0, "trace every Nth cell's imputation decisions (0 = tracing off, 1 = every cell)")
+		traceCells   = fs.Int("trace-cells", 0, "cell traces retained in the ring (0 = default 256)")
+		poolSize     = fs.Int("pool-size", 0, "concurrent imputation runs (0 = number of CPUs)")
+		queueDepth   = fs.Int("queue-depth", 0, "requests allowed to wait for a pool slot before 429 (0 = 2x pool size)")
+		reqTimeout   = fs.Duration("request-timeout", 30*time.Second, "per-request deadline (0 = none)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "grace for in-flight runs on SIGTERM before the server exits")
+		logJSON      = fs.Bool("log-json", false, "emit request logs as JSON lines")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,9 +74,40 @@ func runServe(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("serve: -in is required")
 	}
+	for name, v := range map[string]int{
+		"-workers": *workers, "-pool-size": *poolSize, "-queue-depth": *queueDepth,
+		"-trace-sample": *traceSample, "-trace-cells": *traceCells,
+	} {
+		if v < 0 {
+			return fmt.Errorf("serve: %s must be >= 0, got %d", name, v)
+		}
+	}
+	if *reqTimeout < 0 || *drainTimeout < 0 {
+		return fmt.Errorf("serve: timeouts must be >= 0")
+	}
 	logger := newLogger(*logJSON)
 
 	base, err := loadRelation(*in)
+	if err != nil {
+		return err
+	}
+	opts, err := imputerOptions(*order, *verify, *workers)
+	if err != nil {
+		return err
+	}
+	renuver.SetGlobalMetricsEnabled(true)
+	metrics := renuver.GlobalMetrics()
+	opts = append(opts, renuver.WithRecorder(metrics))
+	var tracer *renuver.RingTracer
+	if *traceSample > 0 {
+		tracer = renuver.NewRingTracer(*traceCells, *traceSample)
+		opts = append(opts, renuver.WithTracer(tracer))
+	}
+
+	// Compile the base once; Σ either loads from a file or is mined from
+	// the compiled view (which also warms the shared distance cache the
+	// requests will read).
+	sess, err := renuver.NewSession(base, nil, opts...)
 	if err != nil {
 		return err
 	}
@@ -64,39 +115,59 @@ func runServe(args []string) error {
 	if *rfds != "" {
 		sigma, err = renuver.LoadRFDsFile(*rfds, base.Schema())
 	} else {
-		sigma, err = renuver.DiscoverRFDs(base, renuver.DiscoveryOptions{
+		sigma, err = sess.Discover(context.Background(), renuver.DiscoveryOptions{
 			MaxThreshold: *threshold, MaxLHS: *maxLHS, Workers: *workers,
-			Recorder: renuver.GlobalMetrics(),
+			Recorder: metrics,
 		})
 	}
 	if err != nil {
 		return err
 	}
-	logger.Info("sigma ready", "rfds", len(sigma), "schema", base.Schema().String())
+	if sess, err = sess.WithSigma(sigma); err != nil {
+		return err
+	}
+	logger.Info("session ready", "rfds", len(sigma), "base_tuples", base.Len(),
+		"schema", base.Schema().String())
 
-	opts, err := imputerOptions(*order, *verify, *workers)
+	limits := serveLimits{
+		pool:           *poolSize,
+		queue:          *queueDepth,
+		requestTimeout: *reqTimeout,
+	}
+	mux, _ := newServeMux(sess, metrics, tracer, logger, limits)
+
+	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	logger.Info("listening", "addr", ln.Addr().String(), "tracing", *traceSample > 0,
+		"pool", limits.poolSize(), "queue", limits.queueDepth())
 
-	renuver.SetGlobalMetricsEnabled(true)
-	metrics := renuver.GlobalMetrics()
-	opts = append(opts, renuver.WithRecorder(metrics))
-
-	var tracer *renuver.RingTracer
-	if *traceSample > 0 {
-		tracer = renuver.NewRingTracer(*traceCells, *traceSample)
-		opts = append(opts, renuver.WithTracer(tracer))
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		stop()
+		logger.Info("signal received, draining", "timeout", drainTimeout.String())
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return fmt.Errorf("serve: drain: %w", err)
+		}
+		logger.Info("drained, exiting")
+		return nil
 	}
-	im := renuver.NewImputer(sigma, opts...)
-
-	mux := newServeMux(im, metrics, tracer, logger)
-	srv := &http.Server{Addr: *addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
-	logger.Info("listening", "addr", *addr, "tracing", *traceSample > 0)
-	return srv.ListenAndServe()
 }
 
 // imputerOptions translates the shared CLI flags into imputer options.
+// workers follows the uniform defaulting rule — 0 means the default
+// (serial tuple scans), negatives are rejected here so both the one-shot
+// and serve entry points refuse them before any work starts.
 func imputerOptions(order, verify string, workers int) ([]renuver.Option, error) {
 	var opts []renuver.Option
 	switch order {
@@ -115,10 +186,91 @@ func imputerOptions(order, verify string, workers int) ([]renuver.Option, error)
 	default:
 		return nil, fmt.Errorf("unknown -verify %q", verify)
 	}
+	if workers < 0 {
+		return nil, fmt.Errorf("-workers must be >= 0, got %d", workers)
+	}
 	if workers > 1 {
 		opts = append(opts, renuver.WithWorkers(workers))
 	}
 	return opts, nil
+}
+
+// serveLimits is the serve-mode capacity configuration. Zero fields pick
+// the documented defaults.
+type serveLimits struct {
+	pool           int // concurrent runs; 0 = NumCPU
+	queue          int // waiting requests before 429; 0 = 2*pool
+	requestTimeout time.Duration
+}
+
+func (l serveLimits) poolSize() int {
+	if l.pool > 0 {
+		return l.pool
+	}
+	return runtime.NumCPU()
+}
+
+func (l serveLimits) queueDepth() int {
+	if l.queue > 0 {
+		return l.queue
+	}
+	return 2 * l.poolSize()
+}
+
+// errQueueFull is the admission gate's shed signal.
+var errQueueFull = errors.New("admission queue full")
+
+// gate is the bounded admission control: at most pool requests run at
+// once, at most depth more wait for a slot, everything beyond that is
+// shed immediately with errQueueFull. The waiting count at each arrival
+// is recorded into the queue-depth histogram, so the metrics surface
+// shows how close the service runs to shedding.
+type gate struct {
+	slots   chan struct{}
+	waiting atomic.Int64
+	depth   int64
+	metrics *renuver.MetricsRecorder
+}
+
+func newGate(limits serveLimits, metrics *renuver.MetricsRecorder) *gate {
+	return &gate{
+		slots:   make(chan struct{}, limits.poolSize()),
+		depth:   int64(limits.queueDepth()),
+		metrics: metrics,
+	}
+}
+
+// acquire admits the request or reports why it cannot: errQueueFull when
+// the queue is over depth, the context's error when the client gave up
+// while queued. On success the returned release function must be called
+// exactly once.
+func (g *gate) acquire(ctx context.Context) (release func(), err error) {
+	w := g.waiting.Add(1)
+	g.metrics.Observe(renuver.HistServeQueueDepth, float64(w-1))
+	defer g.waiting.Add(-1)
+	if w > g.depth {
+		// Fast path first: a free slot admits even a nominally-full queue,
+		// since the request would not actually wait.
+		select {
+		case g.slots <- struct{}{}:
+			return func() { <-g.slots }, nil
+		default:
+			return nil, errQueueFull
+		}
+	}
+	select {
+	case g.slots <- struct{}{}:
+		return func() { <-g.slots }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// writeError emits the uniform JSON error envelope every 4xx/5xx uses.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg, "code": code})
 }
 
 // csvContentType reports whether the request's Content-Type, when
@@ -139,42 +291,92 @@ func csvContentType(header string) bool {
 	return false
 }
 
-// newServeMux wires the service endpoints; split out so tests can drive
-// the handlers without binding a port. tracer may be nil (tracing off).
-func newServeMux(im *renuver.Imputer, metrics *renuver.MetricsRecorder,
-	tracer *renuver.RingTracer, logger *slog.Logger) *http.ServeMux {
+// handleBoth registers the handler under /v1/<path> and its unversioned
+// alias /<path>.
+func handleBoth(mux *http.ServeMux, path string, h http.Handler) {
+	mux.Handle("/v1"+path, h)
+	mux.Handle(path, h)
+}
+
+// newServeMux wires the service endpoints over the session; split out so
+// tests can drive the handlers without binding a port. The returned gate
+// is the handler's admission control (tests saturate it to provoke
+// load-shedding). tracer may be nil (tracing off).
+func newServeMux(sess *renuver.Session, metrics *renuver.MetricsRecorder,
+	tracer *renuver.RingTracer, logger *slog.Logger, limits serveLimits) (http.Handler, *gate) {
 
 	if logger == nil {
 		logger = newLogger(false)
 	}
+	g := newGate(limits, metrics)
+
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", renuver.MetricsHandler(metrics))
-	mux.Handle("/trace/last", renuver.TraceHandler(tracer))
+	handleBoth(mux, "/metrics", renuver.MetricsHandler(metrics))
+	handleBoth(mux, "/trace/last", renuver.TraceHandler(tracer))
 	renuver.MountDebugHandlers(mux)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	handleBoth(mux, "/healthz", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("/impute", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	handleBoth(mux, "/impute", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			w.Header().Set("Allow", http.MethodPost)
-			http.Error(w, "POST a CSV document to impute it", http.StatusMethodNotAllowed)
+			writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+				"POST a CSV document to impute it")
 			return
 		}
 		if ct := r.Header.Get("Content-Type"); !csvContentType(ct) {
-			http.Error(w, fmt.Sprintf("unsupported Content-Type %q: POST CSV (text/csv)", ct),
-				http.StatusUnsupportedMediaType)
+			writeError(w, http.StatusUnsupportedMediaType, "unsupported_media_type",
+				fmt.Sprintf("unsupported Content-Type %q: POST CSV (text/csv)", ct))
 			return
 		}
+
+		// Admission before parsing: an overloaded server sheds without
+		// buffering the body of work it will not do.
+		release, err := g.acquire(r.Context())
+		if err != nil {
+			if errors.Is(err, errQueueFull) {
+				metrics.Add(renuver.CtrServeRejected, 1)
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusTooManyRequests, "queue_full",
+					"admission queue full; retry later")
+				return
+			}
+			// The client gave up while queued; nobody is listening, but the
+			// envelope keeps intermediaries informed.
+			metrics.Add(renuver.CtrServeTimeouts, 1)
+			writeError(w, http.StatusServiceUnavailable, "canceled",
+				"request abandoned while queued")
+			return
+		}
+		defer release()
+		metrics.Add(renuver.CtrServeAccepted, 1)
+
+		ctx := r.Context()
+		if limits.requestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, limits.requestTimeout)
+			defer cancel()
+		}
+
 		rel, err := renuver.LoadCSV(r.Body)
 		if err != nil {
-			http.Error(w, "bad CSV: "+err.Error(), http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, "bad_request", "bad CSV: "+err.Error())
 			return
 		}
 		start := time.Now()
-		res, err := im.ImputeContext(r.Context(), rel)
+		res, err := sess.Impute(ctx, rel)
 		if err != nil {
+			if errors.Is(err, renuver.ErrCanceled) {
+				metrics.Add(renuver.CtrServeTimeouts, 1)
+				logger.Warn("request deadline exceeded",
+					"missing", rel.CountMissing(), "elapsed", time.Since(start).String())
+				writeError(w, http.StatusGatewayTimeout, "timeout",
+					"request deadline exceeded; partial work discarded")
+				return
+			}
 			logger.Error("imputation failed", "error", err)
-			http.Error(w, "imputation failed: "+err.Error(), http.StatusUnprocessableEntity)
+			writeError(w, http.StatusUnprocessableEntity, "unprocessable",
+				"imputation failed: "+err.Error())
 			return
 		}
 		logger.Info("imputed",
@@ -193,6 +395,22 @@ func newServeMux(im *renuver.Imputer, metrics *renuver.MetricsRecorder,
 			// only signal left.
 			logger.Error("writing response", "error", err)
 		}
+	}))
+	return recoverPanics(mux, metrics, logger), g
+}
+
+// recoverPanics isolates handler panics: one poisoned request answers
+// 500 with the error envelope instead of tearing the whole process (and
+// every other in-flight request) down.
+func recoverPanics(next http.Handler, metrics *renuver.MetricsRecorder, logger *slog.Logger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				metrics.Add(renuver.CtrServePanics, 1)
+				logger.Error("handler panic", "panic", fmt.Sprint(p), "path", r.URL.Path)
+				writeError(w, http.StatusInternalServerError, "internal", "internal error")
+			}
+		}()
+		next.ServeHTTP(w, r)
 	})
-	return mux
 }

@@ -5,7 +5,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	renuver "repro"
 )
@@ -20,7 +22,7 @@ Spago,W. Hollywood,310/652-4025
 Spago,W. Hollywood,310/652-4025
 `
 
-func newTestMux(t *testing.T) (*http.ServeMux, *renuver.MetricsRecorder) {
+func testSession(t *testing.T, metrics *renuver.MetricsRecorder) *renuver.Session {
 	t.Helper()
 	base, err := renuver.LoadCSVString(paperCSV)
 	if err != nil {
@@ -33,9 +35,19 @@ func newTestMux(t *testing.T) (*http.ServeMux, *renuver.MetricsRecorder) {
 	if len(sigma) == 0 {
 		t.Fatal("no RFDcs discovered on the base")
 	}
+	sess, err := renuver.NewSession(nil, sigma, renuver.WithRecorder(metrics))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess
+}
+
+func newTestMux(t *testing.T) (http.Handler, *renuver.MetricsRecorder) {
+	t.Helper()
 	metrics := renuver.NewMetricsRecorder()
-	im := renuver.NewImputer(sigma, renuver.WithRecorder(metrics))
-	return newServeMux(im, metrics, nil, quietLogger()), metrics
+	sess := testSession(t, metrics)
+	mux, _ := newServeMux(sess, metrics, nil, quietLogger(), serveLimits{})
+	return mux, metrics
 }
 
 func TestServeImputeEndpoint(t *testing.T) {
@@ -60,14 +72,54 @@ func TestServeImputeEndpoint(t *testing.T) {
 		t.Fatalf("stats header = %+v", stats)
 	}
 
-	// The run must have aggregated into the shared recorder.
+	// The run must have aggregated into the shared recorder, and the gate
+	// must have admitted it.
 	s := metrics.Snapshot()
 	if s.Counters["imputations"] != 1 || s.Counters["faultless_checks"] == 0 {
 		t.Fatalf("metrics after impute = %v", s.Counters)
 	}
+	if s.Counters["serve_accepted"] != 1 || s.Counters["serve_rejected"] != 0 {
+		t.Fatalf("gate counters = %v", s.Counters)
+	}
 	if s.Phases["total"].Count != 1 {
 		t.Fatalf("total phase = %+v", s.Phases["total"])
 	}
+}
+
+func TestServeVersionedRoutes(t *testing.T) {
+	mux, _ := newTestMux(t)
+
+	// Every endpoint answers identically under /v1/ and unversioned.
+	for _, path := range []string{"/v1/impute", "/impute"} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("POST", path, strings.NewReader(paperCSV)))
+		if rec.Code != http.StatusOK {
+			t.Errorf("POST %s = %d: %s", path, rec.Code, rec.Body.String())
+		}
+	}
+	for _, path := range []string{"/v1/metrics", "/metrics", "/v1/healthz", "/healthz"} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("GET %s = %d", path, rec.Code)
+		}
+	}
+}
+
+// decodeEnvelope parses the JSON error body every 4xx/5xx must carry.
+func decodeEnvelope(t *testing.T, rec *httptest.ResponseRecorder) (errMsg, code string) {
+	t.Helper()
+	var env struct {
+		Error string `json:"error"`
+		Code  string `json:"code"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatalf("error body not the JSON envelope: %v\n%s", err, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("error Content-Type = %q, want application/json", ct)
+	}
+	return env.Error, env.Code
 }
 
 func TestServeMetricsAndHealthEndpoints(t *testing.T) {
@@ -113,11 +165,17 @@ func TestServeImputeRejectsBadInput(t *testing.T) {
 	if allow := rec.Header().Get("Allow"); allow != http.MethodPost {
 		t.Fatalf("405 Allow header = %q, want POST", allow)
 	}
+	if _, code := decodeEnvelope(t, rec); code != "method_not_allowed" {
+		t.Fatalf("405 code = %q", code)
+	}
 
 	rec = httptest.NewRecorder()
 	mux.ServeHTTP(rec, httptest.NewRequest("POST", "/impute", strings.NewReader("A,B\n1\n")))
 	if rec.Code != http.StatusBadRequest {
 		t.Fatalf("ragged CSV = %d: %s", rec.Code, rec.Body.String())
+	}
+	if msg, code := decodeEnvelope(t, rec); code != "bad_request" || msg == "" {
+		t.Fatalf("400 envelope = (%q, %q)", msg, code)
 	}
 }
 
@@ -133,6 +191,9 @@ func TestServeImputeContentTypes(t *testing.T) {
 		if rec.Code != http.StatusUnsupportedMediaType {
 			t.Errorf("Content-Type %q = %d, want 415", ct, rec.Code)
 		}
+		if _, code := decodeEnvelope(t, rec); code != "unsupported_media_type" {
+			t.Errorf("Content-Type %q envelope code = %q", ct, code)
+		}
 	}
 
 	// CSV declarations (and none at all) go through.
@@ -146,6 +207,123 @@ func TestServeImputeContentTypes(t *testing.T) {
 		if rec.Code != http.StatusOK {
 			t.Errorf("Content-Type %q = %d, want 200: %s", ct, rec.Code, rec.Body.String())
 		}
+	}
+}
+
+// TestServeBackpressure saturates a 1-slot pool with a held slot and a
+// full queue, then asserts the next request is shed with 429 and the
+// envelope — without blocking.
+func TestServeBackpressure(t *testing.T) {
+	metrics := renuver.NewMetricsRecorder()
+	limits := serveLimits{pool: 1, queue: 1}
+	g := newGate(limits, metrics)
+
+	// Occupy the only slot.
+	release, err := g.acquire(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill the queue with one waiter.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	waiterIn := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		close(waiterIn)
+		rel, err := g.acquire(t.Context())
+		if err != nil {
+			t.Errorf("queued acquire failed: %v", err)
+			return
+		}
+		rel()
+	}()
+	<-waiterIn
+	// Give the waiter a moment to enter the queue.
+	deadline := time.Now().Add(time.Second)
+	for g.waiting.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Queue full: the next arrival must shed immediately.
+	if _, err := g.acquire(t.Context()); err != errQueueFull {
+		t.Fatalf("overflow acquire = %v, want errQueueFull", err)
+	}
+
+	release()
+	wg.Wait()
+
+	// End to end: a mux whose pool is saturated answers 429 + envelope.
+	sess := testSession(t, metrics)
+	mux, muxGate := newServeMux(sess, metrics, nil, quietLogger(), limits)
+	hold, err := muxGate.acquire(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	muxGate.waiting.Add(int64(limits.queueDepth())) // simulate a full queue
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("POST", "/impute", strings.NewReader(paperCSV)))
+	muxGate.waiting.Add(-int64(limits.queueDepth()))
+	hold()
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated POST = %d: %s", rec.Code, rec.Body.String())
+	}
+	if _, code := decodeEnvelope(t, rec); code != "queue_full" {
+		t.Fatalf("429 code = %q", code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if metrics.Counter(renuver.CtrServeRejected) == 0 {
+		t.Error("serve_rejected not counted")
+	}
+}
+
+func TestServeRequestTimeout(t *testing.T) {
+	metrics := renuver.NewMetricsRecorder()
+	sess := testSession(t, metrics)
+	// A 1ns deadline expires before the run starts; the session's O(1)
+	// fast path turns it into an immediate 504.
+	mux, _ := newServeMux(sess, metrics, nil, quietLogger(), serveLimits{requestTimeout: time.Nanosecond})
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("POST", "/impute", strings.NewReader(paperCSV)))
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("expired deadline = %d: %s", rec.Code, rec.Body.String())
+	}
+	if _, code := decodeEnvelope(t, rec); code != "timeout" {
+		t.Fatalf("504 code = %q", code)
+	}
+	if metrics.Counter(renuver.CtrServeTimeouts) == 0 {
+		t.Error("serve_timeouts not counted")
+	}
+}
+
+// panicHandler stands in for a handler bug; the recovery middleware must
+// contain it to the one request.
+func TestServePanicIsolation(t *testing.T) {
+	metrics := renuver.NewMetricsRecorder()
+	inner := http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("handler bug")
+	})
+	h := recoverPanics(inner, metrics, quietLogger())
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/impute", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicked handler = %d", rec.Code)
+	}
+	if _, code := decodeEnvelope(t, rec); code != "internal" {
+		t.Fatalf("500 code = %q", code)
+	}
+	if metrics.Counter(renuver.CtrServePanics) != 1 {
+		t.Errorf("serve_panics = %d", metrics.Counter(renuver.CtrServePanics))
+	}
+	// The next request on the same handler chain still works.
+	rec = httptest.NewRecorder()
+	recoverPanics(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}), metrics, quietLogger()).ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("follow-up request = %d", rec.Code)
 	}
 }
 
@@ -177,8 +355,12 @@ func TestServeTraceLastEndpoint(t *testing.T) {
 	}
 	metrics := renuver.NewMetricsRecorder()
 	tracer := renuver.NewRingTracer(0, 1)
-	im := renuver.NewImputer(sigma, renuver.WithRecorder(metrics), renuver.WithTracer(tracer))
-	mux := newServeMux(im, metrics, tracer, quietLogger())
+	sess, err := renuver.NewSession(nil, sigma,
+		renuver.WithRecorder(metrics), renuver.WithTracer(tracer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux, _ := newServeMux(sess, metrics, tracer, quietLogger(), serveLimits{})
 
 	// Before any run: an empty array, not an error.
 	rec := httptest.NewRecorder()
@@ -211,7 +393,7 @@ func TestServeTraceLastEndpoint(t *testing.T) {
 	}
 
 	// Tracing off: the endpoint 404s instead of lying with [].
-	muxOff := newServeMux(im, metrics, nil, quietLogger())
+	muxOff, _ := newServeMux(sess, metrics, nil, quietLogger(), serveLimits{})
 	rec = httptest.NewRecorder()
 	muxOff.ServeHTTP(rec, httptest.NewRequest("GET", "/trace/last", nil))
 	if rec.Code != http.StatusNotFound {
@@ -225,6 +407,9 @@ func TestImputerOptionsValidation(t *testing.T) {
 	}
 	if _, err := imputerOptions("asc", "maybe", 0); err == nil {
 		t.Fatal("bad verify accepted")
+	}
+	if _, err := imputerOptions("asc", "lhs", -1); err == nil {
+		t.Fatal("negative workers accepted")
 	}
 	opts, err := imputerOptions("desc", "both", 4)
 	if err != nil {

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeSmoke is the end-to-end boot test behind `make smoke`: it
+// builds the real binary, starts `renuver serve` on a loopback port,
+// drives the /v1 surface with concurrent requests, and verifies a clean
+// SIGTERM drain (exit 0). Gated behind RENUVER_SMOKE=1 because it
+// compiles the binary and forks a server.
+func TestServeSmoke(t *testing.T) {
+	if os.Getenv("RENUVER_SMOKE") == "" {
+		t.Skip("set RENUVER_SMOKE=1 (or run `make smoke`) to exercise the serve boot path")
+	}
+
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "renuver")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	basePath := filepath.Join(dir, "base.csv")
+	if err := os.WriteFile(basePath, []byte(paperCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := exec.Command(bin, "serve",
+		"-in", basePath,
+		"-metrics-addr", "127.0.0.1:0",
+		"-log-json",
+		"-pool-size", "2",
+		"-queue-depth", "4",
+		"-request-timeout", "10s",
+		"-drain-timeout", "10s",
+	)
+	stderr, err := srv.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Process.Kill() // no-op after a clean Wait
+
+	// The "listening" log line carries the resolved port; keep draining
+	// stderr afterwards so the child never blocks on a full pipe.
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			var line struct {
+				Msg  string `json:"msg"`
+				Addr string `json:"addr"`
+			}
+			if json.Unmarshal(sc.Bytes(), &line) == nil && line.Msg == "listening" {
+				select {
+				case addrCh <- line.Addr:
+				default:
+				}
+			}
+		}
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not report a listening address within 30s")
+	}
+	baseURL := "http://" + addr
+
+	get := func(path string) (*http.Response, error) { return http.Get(baseURL + path) }
+	for _, path := range []string{"/healthz", "/v1/healthz", "/metrics", "/v1/metrics"} {
+		resp, err := get(path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+
+	// Concurrent imputation requests against the shared session.
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(baseURL+"/v1/impute", "text/csv", strings.NewReader(paperCSV))
+			if err != nil {
+				errs <- err
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("POST /v1/impute = %d: %s", resp.StatusCode, body)
+				return
+			}
+			if !strings.Contains(string(body), "Malibu") {
+				errs <- fmt.Errorf("imputed CSV missing expected value:\n%s", body)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Graceful drain: SIGTERM must produce exit code 0.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("server exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not drain within 30s of SIGTERM")
+	}
+}

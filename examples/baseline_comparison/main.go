@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -64,7 +65,7 @@ func main() {
 			log.Fatal(err)
 		}
 		for _, m := range methods {
-			out, err := m.Impute(dirty)
+			out, err := m.Impute(context.Background(), dirty)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -69,7 +70,7 @@ delta Fe: 0.1
 		log.Fatal(err)
 	}
 	start = time.Now()
-	knnOut, err := kn.Impute(dirty)
+	knnOut, err := kn.Impute(context.Background(), dirty)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,6 +3,7 @@ package renuver
 import (
 	"bytes"
 	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -103,7 +104,7 @@ func TestFacadeExtraBaselines(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, m := range []Method{mm, lr, ex} {
-		out, err := m.Impute(dirty)
+		out, err := m.Impute(context.Background(), dirty)
 		if err != nil {
 			t.Fatalf("%s: %v", m.Name(), err)
 		}
@@ -128,24 +129,21 @@ func TestFacadeMethodContextPath(t *testing.T) {
 	if m.Name() != "RENUVER" {
 		t.Errorf("Name = %q", m.Name())
 	}
-	cm, ok := m.(interface {
-		ImputeContext(context.Context, *Relation) (*Relation, error)
-	})
-	if !ok {
-		t.Fatal("facade method does not support contexts")
-	}
-	out, err := cm.ImputeContext(context.Background(), rel)
+	out, err := m.Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if out.CountMissing() != 0 {
 		t.Errorf("%d cells left", out.CountMissing())
 	}
-	// Cancelled context surfaces the error and the partial clone.
+	// A cancelled context surfaces an error matching both the exported
+	// sentinel and the context's own error.
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := cm.ImputeContext(ctx, rel); err == nil {
+	if _, err := m.Impute(ctx, rel); err == nil {
 		t.Error("cancelled context not surfaced")
+	} else if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want ErrCanceled and context.Canceled", err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package renuver
 
 import (
+	"context"
 	"fmt"
 	"testing"
 )
@@ -35,7 +36,7 @@ func TestMethodDatasetMatrix(t *testing.T) {
 				m := m
 				t.Run(m.Name(), func(t *testing.T) {
 					before := dirty.CountMissing()
-					out, err := m.Impute(dirty)
+					out, err := m.Impute(context.Background(), dirty)
 					if err != nil {
 						t.Fatal(err)
 					}

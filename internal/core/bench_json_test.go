@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -87,7 +88,7 @@ func TestBenchJSON(t *testing.T) {
 			b.ReportAllocs()
 			bigView := engine.Compile(big)
 			for i := 0; i < b.N; i++ {
-				findCandidateTuplesParallel(bigView, 3, phone, deps, 4)
+				findCandidateTuplesParallel(context.Background(), bigView, 3, phone, deps, 4)
 			}
 		})),
 		record("Levenshtein", testing.Benchmark(func(b *testing.B) {

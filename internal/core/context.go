@@ -10,42 +10,60 @@ import (
 )
 
 // ImputeContext is Impute with cooperative cancellation: the context is
-// checked between missing values, so a cancelled or deadline-exceeded
-// run stops promptly and returns the partially imputed result alongside
-// the context's error. The partial result is well-formed — every cell
-// already imputed passed verification — which makes time-bounded
-// best-effort imputation a first-class mode rather than an abandoned
-// goroutine.
+// checked between missing values and inside the donor-scan and
+// verification loops, so a cancelled or deadline-exceeded run stops
+// promptly and returns the partially imputed result alongside a typed
+// engine.ErrCanceled (which also matches the context's own error under
+// errors.Is). The partial result is well-formed — every cell already
+// imputed passed verification — which makes time-bounded best-effort
+// imputation a first-class mode rather than an abandoned goroutine.
+//
+// Deprecated semantics note: this used to be the one ad-hoc
+// context-aware entry point. It is now a thin wrapper over an ephemeral
+// Session; long-lived callers should construct a Session once and call
+// Session.Impute per request instead.
 func (im *Imputer) ImputeContext(ctx context.Context, rel *dataset.Relation) (*Result, error) {
-	if err := validateSigma(im.sigma, rel.Schema().Len()); err != nil {
-		return nil, err
-	}
+	s := &Session{im: im}
+	return s.Impute(ctx, rel)
+}
+
+// runImpute is Algorithm 1 over an already-compiled view: key-RFDc
+// detection, optional donor-index build, then the per-cell imputation
+// loop with cancellation checkpoints. work must be the relation the
+// view compiles (a private clone of the caller's input). It returns the
+// (possibly partial) result and engine.ErrCanceled when the context
+// expired mid-run.
+func (im *Imputer) runImpute(ctx context.Context, work *dataset.Relation, eng *engine.View, useIndex bool) (*Result, error) {
 	runStart := time.Now()
-	work := rel.Clone()
 	res := &Result{Relation: work}
 
 	preStart := time.Now()
-	eng := engine.Compile(work)
-	kt := newKeyTrackerParallel(eng, im.sigma, im.opts.Workers)
+	kt := newKeyTrackerParallel(ctx, eng, im.sigma, im.opts.Workers)
 	res.Stats.KeyRFDs = kt.keys
 	incomplete := work.IncompleteRows()
 	res.Stats.MissingCells = work.CountMissing()
 
 	var idx *engine.Index
-	if !im.opts.NoIndex {
+	if useIndex {
 		idx = engine.NewIndex(eng, im.sigma)
 	}
 	res.Stats.Phases.Preprocess = time.Since(preStart)
+	if ctx.Err() != nil {
+		// The key tracker may be incomplete; impute nothing from it.
+		im.finishRun(res, eng, idx, runStart)
+		return res, engine.Canceled(ctx)
+	}
 
 	for _, row := range incomplete {
 		for _, attr := range work.Row(row).MissingAttrs() {
-			if err := ctx.Err(); err != nil {
+			if ctx.Err() != nil {
 				im.finishRun(res, eng, idx, runStart)
-				return res, err
+				return res, engine.Canceled(ctx)
 			}
 			sigmaPrime := kt.nonKeys()
 			clusters := im.clustersFor(sigmaPrime, attr)
-			if im.imputeMissingValue(eng, row, attr, sigmaPrime, clusters, res, idx) {
+			imputed, err := im.imputeMissingValue(ctx, eng, row, attr, sigmaPrime, clusters, res, idx)
+			if imputed {
 				idx.Insert(row, attr)
 				if !im.opts.NoKeyReevaluation {
 					reevalStart := time.Now()
@@ -54,6 +72,10 @@ func (im *Imputer) ImputeContext(ctx context.Context, rel *dataset.Relation) (*R
 					res.Stats.KeyFlips += before - kt.keys
 					res.Stats.Phases.KeyReeval += time.Since(reevalStart)
 				}
+			}
+			if err != nil {
+				im.finishRun(res, eng, idx, runStart)
+				return res, err
 			}
 		}
 	}

@@ -1,14 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"sort"
-	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/engine"
-	"repro/internal/obs"
-	"repro/internal/rfd"
 )
 
 // ImputeWithDonors is the paper's first future-work extension (Sec. 7):
@@ -27,6 +24,15 @@ import (
 // each donor relation's rows, so candidate flat indices order by
 // (source, row) exactly as the ranking tiebreak requires.
 func (im *Imputer) ImputeWithDonors(rel *dataset.Relation, donors []*dataset.Relation) (*Result, error) {
+	return im.ImputeWithDonorsContext(context.Background(), rel, donors)
+}
+
+// ImputeWithDonorsContext is ImputeWithDonors with cooperative
+// cancellation, under the same contract as ImputeContext: an expired
+// context returns the partial well-formed result and a typed
+// engine.ErrCanceled. Callers imputing many requests against the same
+// donor pool should precompile it once via NewSession instead.
+func (im *Imputer) ImputeWithDonorsContext(ctx context.Context, rel *dataset.Relation, donors []*dataset.Relation) (*Result, error) {
 	for i, d := range donors {
 		if !d.Schema().Equal(rel.Schema()) {
 			return nil, fmt.Errorf("core: donor %d schema %q incompatible with target %q",
@@ -36,134 +42,14 @@ func (im *Imputer) ImputeWithDonors(rel *dataset.Relation, donors []*dataset.Rel
 	if err := validateSigma(im.sigma, rel.Schema().Len()); err != nil {
 		return nil, err
 	}
-
-	runStart := time.Now()
+	if ctx.Err() != nil {
+		return &Result{}, engine.Canceled(ctx)
+	}
 	work := rel.Clone()
-	res := &Result{Relation: work}
-
-	preStart := time.Now()
 	eng := engine.CompileWithDonors(work, donors)
-	kt := newKeyTracker(eng, im.sigma)
-	res.Stats.KeyRFDs = kt.keys
-	incomplete := work.IncompleteRows()
-	res.Stats.MissingCells = work.CountMissing()
-	res.Stats.Phases.Preprocess = time.Since(preStart)
-
-	for _, row := range incomplete {
-		for _, attr := range work.Row(row).MissingAttrs() {
-			sigmaPrime := kt.nonKeys()
-			clusters := im.clustersFor(sigmaPrime, attr)
-			if im.imputeWithDonorPool(eng, row, attr, sigmaPrime, clusters, res) {
-				if !im.opts.NoKeyReevaluation {
-					reevalStart := time.Now()
-					before := kt.keys
-					kt.afterImpute(row, attr)
-					res.Stats.KeyFlips += before - kt.keys
-					res.Stats.Phases.KeyReeval += time.Since(reevalStart)
-				}
-			}
-		}
-	}
-
-	im.finishRun(res, eng, nil, runStart)
-	return res, nil
-}
-
-// imputeWithDonorPool is Algorithm 2 over the combined candidate space.
-func (im *Imputer) imputeWithDonorPool(eng *engine.View, row, attr int,
-	sigmaPrime rfd.Set, clusters []rfd.Cluster, res *Result) bool {
-
-	rec := im.opts.recorder()
-	work := eng.Relation()
-	ct := obs.StartCell(im.opts.Tracer, row, attr)
-	if ct != nil {
-		ct.Add(obs.CellStarted(len(clusters)))
-		defer res.addTrace(dataset.Cell{Row: row, Attr: attr}, ct)
-	}
-	anyCandidate := false
-	poolSize := eng.Len() - 1
-	for _, cluster := range clusters {
-		res.Stats.ClustersScanned++
-		if ct != nil {
-			ct.Add(obs.RuleSelected(cluster.Threshold, formatRules(cluster.RFDs, work.Schema())))
-		}
-		searchStart := time.Now()
-		cands := findCandidateTuples(eng, row, attr, cluster.RFDs)
-		res.Stats.Phases.CandidateSearch += time.Since(searchStart)
-		res.Stats.DonorsScanned += poolSize
-		res.Stats.CandidatesEvaluated += len(cands)
-		if rec.Enabled() {
-			rec.Observe(obs.HistCandidatesPerCell, float64(len(cands)))
-		}
-		if len(cands) == 0 {
-			continue
-		}
-		anyCandidate = true
-		if !im.opts.NoRanking {
-			res.Stats.DonorsRanked += len(cands)
-			rankStart := time.Now()
-			// Flat index order is (source, row) order: target rows come
-			// before every donor pool's rows.
-			sort.Slice(cands, func(i, j int) bool {
-				if cands[i].dist != cands[j].dist {
-					return cands[i].dist < cands[j].dist
-				}
-				return cands[i].row < cands[j].row
-			})
-			res.Stats.Phases.Ranking += time.Since(rankStart)
-		}
-		traceDonorEvents(ct, eng, row, cluster.RFDs, len(cands),
-			func(k int) (int, float64) {
-				return cands[k].row, cands[k].dist
-			})
-		limit := len(cands)
-		if im.opts.MaxCandidates > 0 && im.opts.MaxCandidates < limit {
-			limit = im.opts.MaxCandidates
-		}
-		for k := 0; k < limit; k++ {
-			cand := cands[k]
-			source, donorRow := eng.SourceOf(cand.row)
-			value := eng.Value(cand.row, attr)
-			eng.Set(row, attr, value)
-			res.Stats.CandidatesTried++
-			res.Stats.FaultlessChecks++
-			verifyStart := time.Now()
-			faultless, violated, witness := im.isFaultlessWitness(eng, row, attr, sigmaPrime)
-			res.Stats.Phases.Verify += time.Since(verifyStart)
-			if ct != nil {
-				ct.Add(obs.FaultlessVerdict(donorRow, k+1, faultless))
-				if !faultless {
-					ct.Add(obs.CandidateRejected(donorRow, source, k+1,
-						violated.Format(work.Schema()), witness))
-				}
-			}
-			if faultless {
-				res.Imputations = append(res.Imputations, Imputation{
-					Cell:             dataset.Cell{Row: row, Attr: attr},
-					Value:            value,
-					Donor:            donorRow,
-					DonorSource:      source,
-					Distance:         cand.dist,
-					ClusterThreshold: cluster.Threshold,
-					Attempt:          k + 1,
-				})
-				res.Stats.countImputed(attr, work.Schema().Len())
-				if rec.Enabled() {
-					rec.Observe(obs.HistAttemptsPerImputation, float64(k+1))
-				}
-				ct.Add(obs.CellResolved(donorRow, source, value.String(), cand.dist, k+1))
-				return true
-			}
-			res.Stats.VerifyRejections++
-			eng.Set(row, attr, dataset.Null)
-		}
-	}
-	if ct != nil {
-		note := "no plausible candidate tuple in any cluster"
-		if anyCandidate {
-			note = "every ranked candidate failed IS_FAULTLESS"
-		}
-		ct.Add(obs.CellAbandoned(note))
-	}
-	return false
+	// No donor index: probe results over the combined space would mix
+	// target and pool rows per bucket, and the historical donor-pool path
+	// has always run the plain scan. Σ' selection, ranking, and
+	// verification are shared with the single-instance path via runImpute.
+	return im.runImpute(ctx, work, eng, false)
 }

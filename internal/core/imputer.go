@@ -216,11 +216,14 @@ type candidate struct {
 }
 
 // imputeMissingValue is Algorithm 2. It returns true when the cell was
-// imputed. idx may be nil (no donor index available). eng is the
-// compiled view of the working relation (plus, for the multi-dataset
-// extension, the donor pool): candidate rows are flat view indices.
-func (im *Imputer) imputeMissingValue(eng *engine.View, row, attr int,
-	sigmaPrime rfd.Set, clusters []rfd.Cluster, res *Result, idx *engine.Index) bool {
+// imputed, and a non-nil error when the context expired mid-cell — the
+// working relation is then left consistent (any tentative value was
+// reverted) but the cell unresolved. idx may be nil (no donor index
+// available). eng is the compiled view of the working relation (plus,
+// for the multi-dataset extension, the donor pool): candidate rows are
+// flat view indices.
+func (im *Imputer) imputeMissingValue(ctx context.Context, eng *engine.View, row, attr int,
+	sigmaPrime rfd.Set, clusters []rfd.Cluster, res *Result, idx *engine.Index) (bool, error) {
 
 	rec := im.opts.recorder()
 	work := eng.Relation()
@@ -231,6 +234,9 @@ func (im *Imputer) imputeMissingValue(eng *engine.View, row, attr int,
 	}
 	anyCandidate := false
 	for _, cluster := range clusters {
+		if ctx.Err() != nil {
+			return false, engine.Canceled(ctx)
+		}
 		res.Stats.ClustersScanned++
 		if ct != nil {
 			ct.Add(obs.RuleSelected(cluster.Threshold, formatRules(cluster.RFDs, work.Schema())))
@@ -240,19 +246,24 @@ func (im *Imputer) imputeMissingValue(eng *engine.View, row, attr int,
 		if rows, ok := idx.CandidateRows(row, cluster.RFDs); ok {
 			res.Stats.IndexHits++
 			res.Stats.DonorsScanned += len(rows)
-			cands = findCandidateTuplesIndexed(eng, rows, row, attr, cluster.RFDs)
+			cands = findCandidateTuplesIndexed(ctx, eng, rows, row, attr, cluster.RFDs)
 		} else {
 			if idx != nil {
 				res.Stats.IndexMisses++
 			}
 			res.Stats.DonorsScanned += eng.Len() - 1
 			if im.opts.Workers > 1 {
-				cands = findCandidateTuplesParallel(eng, row, attr, cluster.RFDs, im.opts.Workers)
+				cands = findCandidateTuplesParallel(ctx, eng, row, attr, cluster.RFDs, im.opts.Workers)
 			} else {
-				cands = findCandidateTuples(eng, row, attr, cluster.RFDs)
+				cands = findCandidateTuples(ctx, eng, row, attr, cluster.RFDs)
 			}
 		}
 		res.Stats.Phases.CandidateSearch += time.Since(searchStart)
+		if ctx.Err() != nil {
+			// The scan may have returned early with a partial candidate
+			// list; drop it rather than rank and impute from it.
+			return false, engine.Canceled(ctx)
+		}
 		res.Stats.CandidatesEvaluated += len(cands)
 		if rec.Enabled() {
 			rec.Observe(obs.HistCandidatesPerCell, float64(len(cands)))
@@ -284,6 +295,9 @@ func (im *Imputer) imputeMissingValue(eng *engine.View, row, attr int,
 			limit = im.opts.MaxCandidates
 		}
 		for k := 0; k < limit; k++ {
+			if ctx.Err() != nil {
+				return false, engine.Canceled(ctx)
+			}
 			cand := cands[k]
 			source, donorRow := eng.SourceOf(cand.row)
 			value := eng.Value(cand.row, attr)
@@ -297,17 +311,26 @@ func (im *Imputer) imputeMissingValue(eng *engine.View, row, attr int,
 				// the violated RFDc and witness row are part of the trace,
 				// and per-cell serial verification keeps the event order
 				// deterministic. Sampling keeps this affordable.
-				ok, violated, witness := im.isFaultlessWitness(eng, row, attr, sigmaPrime)
+				ok, violated, witness := im.isFaultlessWitness(ctx, eng, row, attr, sigmaPrime)
 				faultless = ok
 				ct.Add(obs.FaultlessVerdict(donorRow, k+1, ok))
-				if !ok {
+				if !ok && violated != nil {
+					// violated is nil when the verifier was aborted by an
+					// expired context: no witness to report, and the
+					// ctx check below discards the attempt anyway.
 					ct.Add(obs.CandidateRejected(donorRow, source, k+1,
 						violated.Format(work.Schema()), witness))
 				}
 			} else {
-				faultless = im.isFaultlessParallel(eng, row, attr, sigmaPrime)
+				faultless = im.isFaultlessParallel(ctx, eng, row, attr, sigmaPrime)
 			}
 			res.Stats.Phases.Verify += time.Since(verifyStart)
+			if ctx.Err() != nil {
+				// A verdict reached under an expired context is not
+				// trusted: revert the tentative value and bail.
+				eng.Set(row, attr, dataset.Null)
+				return false, engine.Canceled(ctx)
+			}
 			if faultless {
 				res.Imputations = append(res.Imputations, Imputation{
 					Cell:             dataset.Cell{Row: row, Attr: attr},
@@ -323,7 +346,7 @@ func (im *Imputer) imputeMissingValue(eng *engine.View, row, attr int,
 					rec.Observe(obs.HistAttemptsPerImputation, float64(k+1))
 				}
 				ct.Add(obs.CellResolved(donorRow, source, value.String(), cand.dist, k+1))
-				return true
+				return true, nil
 			}
 			res.Stats.VerifyRejections++
 			eng.Set(row, attr, dataset.Null) // revert
@@ -336,7 +359,7 @@ func (im *Imputer) imputeMissingValue(eng *engine.View, row, attr int,
 		}
 		ct.Add(obs.CellAbandoned(note))
 	}
-	return false
+	return false, nil
 }
 
 // findCandidateTuples is Algorithm 3: every tuple t_j ≠ t with a value on
@@ -344,10 +367,15 @@ func (im *Imputer) imputeMissingValue(eng *engine.View, row, attr int,
 // RFDc in the cluster becomes a candidate, scored with the minimum mean
 // LHS distance (Eq. 2) over the matching RFDcs. The scan covers every
 // flat row of the view — the working relation plus, in the
-// multi-dataset extension, the donor pool.
-func findCandidateTuples(v *engine.View, row, attr int, deps rfd.Set) []candidate {
+// multi-dataset extension, the donor pool. The context is checked every
+// engine.CheckEvery rows; an expired context makes the scan return
+// early with a partial list the caller must discard.
+func findCandidateTuples(ctx context.Context, v *engine.View, row, attr int, deps rfd.Set) []candidate {
 	var cands []candidate
 	for j := 0; j < v.Len(); j++ {
+		if j%engine.CheckEvery == 0 && ctx.Err() != nil {
+			return cands
+		}
 		if j == row {
 			continue
 		}
@@ -364,9 +392,12 @@ func findCandidateTuples(v *engine.View, row, attr int, deps rfd.Set) []candidat
 // findCandidateTuplesIndexed is findCandidateTuples restricted to the
 // index-provided row set. Results are identical to the full scan because
 // every donor outside the set fails all premises.
-func findCandidateTuplesIndexed(v *engine.View, rows []int, row, attr int, deps rfd.Set) []candidate {
+func findCandidateTuplesIndexed(ctx context.Context, v *engine.View, rows []int, row, attr int, deps rfd.Set) []candidate {
 	var cands []candidate
-	for _, j := range rows {
+	for k, j := range rows {
+		if k%engine.CheckEvery == 0 && ctx.Err() != nil {
+			return cands
+		}
 		if v.IsNull(j, attr) {
 			continue
 		}
@@ -382,8 +413,8 @@ func findCandidateTuplesIndexed(v *engine.View, rows []int, row, attr int, deps 
 // constrains A. Under VerifyLHS (the literal Algorithm 4) only RFDcs with
 // A on the LHS are re-checked; VerifyBothSides also re-checks RFDcs with
 // A as RHS attribute, giving the full Definition 4.3 guarantee.
-func (im *Imputer) isFaultless(v *engine.View, row, attr int, sigmaPrime rfd.Set) bool {
-	ok, _, _ := im.isFaultlessWitness(v, row, attr, sigmaPrime)
+func (im *Imputer) isFaultless(ctx context.Context, v *engine.View, row, attr int, sigmaPrime rfd.Set) bool {
+	ok, _, _ := im.isFaultlessWitness(ctx, v, row, attr, sigmaPrime)
 	return ok
 }
 
@@ -393,7 +424,7 @@ func (im *Imputer) isFaultless(v *engine.View, row, attr int, sigmaPrime rfd.Set
 // Verification scans only the target rows of the view: semantic
 // consistency per Definition 4.3 concerns the target instance, never the
 // donor pool.
-func (im *Imputer) isFaultlessWitness(v *engine.View, row, attr int, sigmaPrime rfd.Set) (bool, *rfd.RFD, int) {
+func (im *Imputer) isFaultlessWitness(ctx context.Context, v *engine.View, row, attr int, sigmaPrime rfd.Set) (bool, *rfd.RFD, int) {
 	if im.opts.Verify == VerifyOff {
 		return true, nil, -1
 	}
@@ -402,6 +433,11 @@ func (im *Imputer) isFaultlessWitness(v *engine.View, row, attr int, sigmaPrime 
 		return true, nil, -1
 	}
 	for i := 0; i < v.TargetLen(); i++ {
+		if i%engine.CheckEvery == 0 && ctx.Err() != nil {
+			// No verdict under an expired context; the caller re-checks
+			// ctx and discards whatever this returns.
+			return false, nil, -1
+		}
 		if i == row {
 			continue
 		}

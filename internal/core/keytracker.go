@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/engine"
 	"repro/internal/rfd"
 )
@@ -31,7 +33,9 @@ type keyTracker struct {
 // shared pass over the tuple pairs: target×target pairs plus
 // target×donor pairs (j ranges over every flat row after i, and only
 // target rows are taken as i, so donor×donor pairs are never absorbed).
-func newKeyTracker(v *engine.View, sigma rfd.Set) *keyTracker {
+// An expired context stops the pass early; the caller must then abandon
+// the (incomplete) tracker.
+func newKeyTracker(ctx context.Context, v *engine.View, sigma rfd.Set) *keyTracker {
 	kt := &keyTracker{v: v, sigma: sigma,
 		isKey: make([]bool, len(sigma)), keys: len(sigma)}
 	for i := range kt.isKey {
@@ -39,6 +43,11 @@ func newKeyTracker(v *engine.View, sigma rfd.Set) *keyTracker {
 	}
 	n := v.TargetLen()
 	for i := 0; i < n && kt.keys > 0; i++ {
+		// The inner loop is O(Len) work, so one check per outer row keeps
+		// cancellation latency bounded at a single row scan.
+		if ctx.Err() != nil {
+			return kt
+		}
 		for j := i + 1; j < v.Len() && kt.keys > 0; j++ {
 			kt.absorbPair(i, j)
 		}

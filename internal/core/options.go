@@ -22,7 +22,11 @@
 // recorder is a no-op, so the hook costs library users nothing.
 package core
 
-import "repro/internal/obs"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // ClusterOrder selects the order in which RHS-threshold clusters are
 // tried for one missing value.
@@ -55,8 +59,14 @@ const (
 	VerifyOff
 )
 
-// Options tunes the imputer. The zero value is the paper-faithful
-// configuration.
+// Options tunes the imputer.
+//
+// Defaulting rule (uniform across Options, discovery.Config, and the
+// serve flags): the zero value of every field is the paper-faithful
+// default, zero numeric values mean "pick the default" (serial scans,
+// unlimited candidates), and negative numeric values are invalid —
+// rejected by Validate and therefore by NewSession and the CLI at
+// construction time, never silently clamped mid-run.
 type Options struct {
 	// ClusterOrder is the order RHS-threshold clusters are tried in.
 	ClusterOrder ClusterOrder
@@ -95,6 +105,25 @@ type Options struct {
 	// way it did). Sampled cells also land in Result.Traces, queryable
 	// with Result.Explain. Nil disables tracing entirely.
 	Tracer obs.Tracer
+}
+
+// Validate rejects option values outside their documented domains, per
+// the package defaulting rule: zero means default, negative is an
+// error. Enum fields are checked against their defined values.
+func (o *Options) Validate() error {
+	if o.Workers < 0 {
+		return fmt.Errorf("core: Workers must be >= 0, got %d", o.Workers)
+	}
+	if o.MaxCandidates < 0 {
+		return fmt.Errorf("core: MaxCandidates must be >= 0, got %d", o.MaxCandidates)
+	}
+	if o.ClusterOrder != AscendingThreshold && o.ClusterOrder != DescendingThreshold {
+		return fmt.Errorf("core: unknown ClusterOrder %d", o.ClusterOrder)
+	}
+	if o.Verify != VerifyLHS && o.Verify != VerifyBothSides && o.Verify != VerifyOff {
+		return fmt.Errorf("core: unknown VerifyMode %d", o.Verify)
+	}
+	return nil
 }
 
 // recorder returns the configured Recorder, defaulting to the no-op.

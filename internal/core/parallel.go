@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -38,10 +39,14 @@ func chunkRanges(n, workers int) [][2]int {
 // events are in deterministic ranked order regardless of worker count,
 // and a cell's whole event sequence reaches the Tracer in one atomic
 // EmitCell.
-func findCandidateTuplesParallel(v *engine.View, row, attr int, deps rfd.Set, workers int) []candidate {
+//
+// Cancellation: each worker checks the context every engine.CheckEvery
+// rows and returns early; the merged result is then partial and the
+// caller (which re-checks ctx after the scan) must discard it.
+func findCandidateTuplesParallel(ctx context.Context, v *engine.View, row, attr int, deps rfd.Set, workers int) []candidate {
 	n := v.Len()
 	if workers <= 1 || n < 2*workers {
-		return findCandidateTuples(v, row, attr, deps)
+		return findCandidateTuples(ctx, v, row, attr, deps)
 	}
 	ranges := chunkRanges(n, workers)
 	parts := make([][]candidate, len(ranges))
@@ -52,6 +57,9 @@ func findCandidateTuplesParallel(v *engine.View, row, attr int, deps rfd.Set, wo
 			defer wg.Done()
 			var local []candidate
 			for j := lo; j < hi; j++ {
+				if (j-lo)%engine.CheckEvery == 0 && ctx.Err() != nil {
+					break
+				}
 				if j == row {
 					continue
 				}
@@ -76,7 +84,7 @@ func findCandidateTuplesParallel(v *engine.View, row, attr int, deps rfd.Set, wo
 // isFaultlessParallel mirrors isFaultless with a chunked scan over the
 // target rows; the first violation found anywhere flips a shared flag
 // and stops the other workers at their next check.
-func (im *Imputer) isFaultlessParallel(v *engine.View, row, attr int, sigmaPrime rfd.Set) bool {
+func (im *Imputer) isFaultlessParallel(ctx context.Context, v *engine.View, row, attr int, sigmaPrime rfd.Set) bool {
 	if im.opts.Verify == VerifyOff {
 		return true
 	}
@@ -86,7 +94,7 @@ func (im *Imputer) isFaultlessParallel(v *engine.View, row, attr int, sigmaPrime
 	}
 	n := v.TargetLen()
 	if im.opts.Workers <= 1 || n < 2*im.opts.Workers {
-		return im.isFaultless(v, row, attr, sigmaPrime)
+		return im.isFaultless(ctx, v, row, attr, sigmaPrime)
 	}
 	var violated atomic.Bool
 	var wg sync.WaitGroup
@@ -95,6 +103,9 @@ func (im *Imputer) isFaultlessParallel(v *engine.View, row, attr int, sigmaPrime
 		go func(lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
+				if (i-lo)%engine.CheckEvery == 0 && ctx.Err() != nil {
+					return
+				}
 				if i == row {
 					continue
 				}
@@ -118,10 +129,10 @@ func (im *Imputer) isFaultlessParallel(v *engine.View, row, attr int, sigmaPrime
 // scan chunked over the first index. Each dependency's status is an
 // atomic flag: a stale read only causes redundant work, never a wrong
 // verdict, because absorb-marking is monotone.
-func newKeyTrackerParallel(v *engine.View, sigma rfd.Set, workers int) *keyTracker {
+func newKeyTrackerParallel(ctx context.Context, v *engine.View, sigma rfd.Set, workers int) *keyTracker {
 	n := v.TargetLen()
 	if workers <= 1 || n < 2*workers || len(sigma) == 0 {
-		return newKeyTracker(v, sigma)
+		return newKeyTracker(ctx, v, sigma)
 	}
 	kt := &keyTracker{v: v, sigma: sigma, isKey: make([]bool, len(sigma))}
 	flags := make([]atomic.Bool, len(sigma)) // true = still key
@@ -137,7 +148,7 @@ func newKeyTrackerParallel(v *engine.View, sigma rfd.Set, workers int) *keyTrack
 		go func(lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
-				if remaining.Load() == 0 {
+				if remaining.Load() == 0 || ctx.Err() != nil {
 					return
 				}
 				for j := i + 1; j < v.Len(); j++ {

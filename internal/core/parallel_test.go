@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -96,9 +97,9 @@ func TestParallelKeyTrackerAgreesWithSerial(t *testing.T) {
 	for trial := 0; trial < 60; trial++ {
 		rel := randomInstance(rng)
 		sigma := randomSigma(rng, rel.Schema().Len())
-		serial := newKeyTracker(engine.Compile(rel), sigma)
+		serial := newKeyTracker(context.Background(), engine.Compile(rel), sigma)
 		for _, workers := range []int{2, 5} {
-			par := newKeyTrackerParallel(engine.Compile(rel), sigma, workers)
+			par := newKeyTrackerParallel(context.Background(), engine.Compile(rel), sigma, workers)
 			if par.keys != serial.keys {
 				t.Fatalf("trial %d: key counts %d vs %d", trial, par.keys, serial.keys)
 			}
@@ -128,8 +129,8 @@ func TestParallelCandidateScanEquivalence(t *testing.T) {
 		}
 		row := rng.Intn(rel.Len())
 		v := engine.Compile(rel)
-		serial := findCandidateTuples(v, row, attr, deps)
-		par := findCandidateTuplesParallel(v, row, attr, deps, 3)
+		serial := findCandidateTuples(context.Background(), v, row, attr, deps)
+		par := findCandidateTuplesParallel(context.Background(), v, row, attr, deps, 3)
 		if len(serial) != len(par) {
 			t.Fatalf("trial %d: candidate counts %d vs %d", trial, len(serial), len(par))
 		}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/discovery"
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/rfd"
+)
+
+// Session is the compile-once serve-many form of the imputer: one
+// NewSession call validates Σ and the options and — when a base
+// instance is supplied — precompiles it into a shared engine artifact
+// (columnar form, interning tables, memoized distance cache). Every
+// subsequent Impute call then serves against those read-only artifacts
+// with only per-request state (a clone of the request relation, a
+// request-local column/interner tier, a request-local distance cache),
+// so concurrent calls never contend and per-call cost is O(request),
+// not O(request + base).
+//
+// The two base modes:
+//
+//   - base != nil: the base acts as the donor pool of every request
+//     (the multi-dataset extension, ImputeWithDonors semantics): its
+//     tuples contribute candidate values but are never imputed, never
+//     verified against, and donate pairs to key-RFDc detection.
+//   - base == nil: each request is self-contained — identical semantics
+//     to Imputer.Impute, with the per-request donor index enabled. This
+//     is the ephemeral mode the free functions wrap.
+//
+// A Session is immutable after construction and safe for any number of
+// concurrent Impute / Explain calls.
+type Session struct {
+	im     *Imputer
+	shared *engine.Shared // nil in self-contained mode
+}
+
+// NewSession builds a Session over Σ. base may be nil (self-contained
+// mode). A non-nil base is cloned, so later caller-side mutation of the
+// original cannot corrupt the compiled artifacts. Option values are
+// validated here — once — rather than on every request.
+func NewSession(base *dataset.Relation, sigma rfd.Set, opts ...Option) (*Session, error) {
+	im := New(sigma, opts...)
+	if err := im.opts.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Session{im: im}
+	if base != nil {
+		if err := validateSigma(sigma, base.Schema().Len()); err != nil {
+			return nil, err
+		}
+		s.shared = engine.Precompile(base.Clone())
+	}
+	return s, nil
+}
+
+// WithSigma derives a Session serving a different Σ against the same
+// precompiled base — the serve-mode flow (precompile the base, discover
+// Σ from it, then serve with the discovered Σ) without a second compile
+// of the base. The receiver's options carry over.
+func (s *Session) WithSigma(sigma rfd.Set) (*Session, error) {
+	if s.shared != nil {
+		if err := validateSigma(sigma, s.shared.Arity()); err != nil {
+			return nil, err
+		}
+	}
+	return &Session{im: &Imputer{sigma: sigma, opts: s.im.opts}, shared: s.shared}, nil
+}
+
+// Sigma returns the session's dependency set. Callers must not mutate
+// it.
+func (s *Session) Sigma() rfd.Set { return s.im.sigma }
+
+// BaseView returns a frozen read-only view over the precompiled base —
+// the input for running discovery against the base without recompiling
+// it — or nil in self-contained mode. Reads through it warm the shared
+// distance cache for every future Impute call.
+func (s *Session) BaseView() *engine.View {
+	if s.shared == nil {
+		return nil
+	}
+	return s.shared.View()
+}
+
+// Discover mines RFDcs from the session's precompiled base without
+// recompiling it; the pairwise distances it computes land in the shared
+// cache, so a Discover-then-serve flow starts Impute calls warm. Pair it
+// with WithSigma to serve the discovered set. Self-contained sessions
+// (nil base) have no instance to mine and return an error.
+func (s *Session) Discover(ctx context.Context, cfg discovery.Config) (rfd.Set, error) {
+	if s.shared == nil {
+		return nil, fmt.Errorf("core: session has no base instance to discover from")
+	}
+	return discovery.DiscoverViewContext(ctx, s.shared.View(), cfg)
+}
+
+// Impute runs RENUVER on the request relation against the session's
+// compiled artifacts. The input is never mutated. An expired context is
+// rejected in O(1) — before any clone or compile — with a non-nil empty
+// Result and engine.ErrCanceled; mid-run expiry returns the partial
+// well-formed result the cancellation checkpoints produced.
+func (s *Session) Impute(ctx context.Context, rel *dataset.Relation) (*Result, error) {
+	if ctx.Err() != nil {
+		return &Result{}, engine.Canceled(ctx)
+	}
+	if s.shared != nil && !rel.Schema().Equal(s.shared.Relation().Schema()) {
+		return nil, fmt.Errorf("core: request schema %q incompatible with session base %q",
+			rel.Schema(), s.shared.Relation().Schema())
+	}
+	if err := validateSigma(s.im.sigma, rel.Schema().Len()); err != nil {
+		return nil, err
+	}
+	work := rel.Clone()
+	var eng *engine.View
+	useIndex := !s.im.opts.NoIndex
+	if s.shared != nil {
+		// Donor-pool mode: only the request rows are compiled; the base
+		// tier is shared. No per-request donor index — building one would
+		// rescan every base row and forfeit the O(request) per-call cost.
+		eng = s.shared.Extend(work)
+		useIndex = false
+	} else {
+		eng = engine.Compile(work)
+	}
+	return s.im.runImpute(ctx, work, eng, useIndex)
+}
+
+// Explain reruns the request with a tracer pinned to one cell and
+// renders the decision tree for it: which clusters applied, which
+// donors ranked where, which RFDc vetoed a candidate, and why the cell
+// resolved (or didn't). It returns "" when the cell was not missing in
+// the request.
+func (s *Session) Explain(ctx context.Context, rel *dataset.Relation, row, attr int) (string, error) {
+	if ctx.Err() != nil {
+		return "", engine.Canceled(ctx)
+	}
+	if row < 0 || row >= rel.Len() || attr < 0 || attr >= rel.Schema().Len() {
+		return "", fmt.Errorf("core: cell (row %d, attr %d) outside a %dx%d relation",
+			row, attr, rel.Len(), rel.Schema().Len())
+	}
+	tr := obs.NewRingTracer(1, 1)
+	tr.Only(row, attr)
+	traced := &Imputer{sigma: s.im.sigma, opts: s.im.opts}
+	traced.opts.Tracer = tr
+	res, err := (&Session{im: traced, shared: s.shared}).Impute(ctx, rel)
+	if err != nil {
+		return "", err
+	}
+	return res.ExplainText(rel.Schema(), row, attr), nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dataset"
@@ -44,7 +45,7 @@ func (im *Imputer) NewStream(base *dataset.Relation) *Stream {
 	return &Stream{
 		im: im,
 		v:  v,
-		kt: newKeyTracker(v, im.sigma),
+		kt: newKeyTracker(context.Background(), v, im.sigma),
 	}
 }
 
@@ -77,7 +78,7 @@ func (s *Stream) Append(t dataset.Tuple) ([]Imputation, error) {
 		res.Stats.MissingCells = 1
 		sigmaPrime := s.kt.nonKeys()
 		clusters := s.im.clustersFor(sigmaPrime, attr)
-		if s.im.imputeMissingValue(s.v, row, attr, sigmaPrime, clusters, res, nil) {
+		if ok, _ := s.im.imputeMissingValue(context.Background(), s.v, row, attr, sigmaPrime, clusters, res, nil); ok {
 			if !s.im.opts.NoKeyReevaluation {
 				before := s.kt.keys
 				s.kt.afterImpute(row, attr)
@@ -105,7 +106,7 @@ func (s *Stream) RetryMissing() []Imputation {
 		res := &Result{Relation: work}
 		sigmaPrime := s.kt.nonKeys()
 		clusters := s.im.clustersFor(sigmaPrime, cell.Attr)
-		if s.im.imputeMissingValue(s.v, cell.Row, cell.Attr, sigmaPrime, clusters, res, nil) {
+		if ok, _ := s.im.imputeMissingValue(context.Background(), s.v, cell.Row, cell.Attr, sigmaPrime, clusters, res, nil); ok {
 			if !s.im.opts.NoKeyReevaluation {
 				before := s.kt.keys
 				s.kt.afterImpute(cell.Row, cell.Attr)

@@ -27,6 +27,7 @@
 package discovery
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -134,14 +135,32 @@ func Discover(rel *dataset.Relation, cfg Config) (rfd.Set, error) {
 	return DiscoverView(engine.Compile(rel), cfg)
 }
 
+// DiscoverContext is Discover with cooperative cancellation: both
+// expensive phases (pattern materialization and the lattice search)
+// carry checkpoints, and an expired context aborts the run with a typed
+// engine.ErrCanceled. Discovery has no partial-result contract — a
+// canceled run returns a nil set.
+func DiscoverContext(ctx context.Context, rel *dataset.Relation, cfg Config) (rfd.Set, error) {
+	return DiscoverViewContext(ctx, engine.Compile(rel), cfg)
+}
+
 // DiscoverView runs discovery over an already-compiled engine view, so
 // callers that evaluate the same instance repeatedly (or concurrently)
 // share one columnar form and one memoized distance cache. View reads
 // are safe for concurrent use, so any number of DiscoverView calls may
 // run against the same view at once.
 func DiscoverView(v *engine.View, cfg Config) (rfd.Set, error) {
+	return DiscoverViewContext(context.Background(), v, cfg)
+}
+
+// DiscoverViewContext is DiscoverView with cooperative cancellation,
+// under the DiscoverContext contract.
+func DiscoverViewContext(ctx context.Context, v *engine.View, cfg Config) (rfd.Set, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
+	}
+	if ctx.Err() != nil {
+		return nil, engine.Canceled(ctx)
 	}
 	rec := cfg.Recorder
 	if rec == nil {
@@ -156,8 +175,12 @@ func DiscoverView(v *engine.View, cfg Config) (rfd.Set, error) {
 	rec.Add(obs.CtrDiscoveryWorkers, int64(workers))
 
 	matStart := obs.Now(rec)
-	patterns := samplePatterns(v, cfg.MaxPairs, cfg.Seed, workers, rec)
+	patterns := samplePatterns(ctx, v, cfg.MaxPairs, cfg.Seed, workers, rec)
 	obs.Since(rec, obs.PhaseDiscoveryMaterialize, matStart)
+	if ctx.Err() != nil {
+		// The slab may hold unmaterialized rows; never derive from it.
+		return nil, engine.Canceled(ctx)
+	}
 	if len(patterns) == 0 {
 		return nil, nil
 	}
@@ -167,8 +190,13 @@ func DiscoverView(v *engine.View, cfg Config) (rfd.Set, error) {
 	rec.Add(obs.CtrEngineCacheMisses, misses)
 
 	searchStart := obs.Now(rec)
-	out := searchCandidates(patterns, &cfg, m, workers)
+	out := searchCandidates(ctx, patterns, &cfg, m, workers)
 	obs.Since(rec, obs.PhaseDiscoverySearch, searchStart)
+	if ctx.Err() != nil {
+		// Jobs skipped by the cancellation checkpoints leave holes in the
+		// result slab; the merged set would silently miss rules.
+		return nil, engine.Canceled(ctx)
+	}
 
 	rec.Add(obs.CtrDiscoveryRFDs, int64(len(out)))
 	if cfg.Tracer != nil && cfg.Tracer.Enabled() {
@@ -203,13 +231,13 @@ func emitRuleProvenance(t obs.Tracer, schema *dataset.Schema, patterns []distanc
 // sequence), so the sampled pair list — and hence the pattern order —
 // is independent of the worker count; only the materialization of the
 // selected pairs is chunked across workers.
-func samplePatterns(v *engine.View, maxPairs int, seed int64, workers int, rec obs.Recorder) []distance.Pattern {
+func samplePatterns(ctx context.Context, v *engine.View, maxPairs int, seed int64, workers int, rec obs.Recorder) []distance.Pattern {
 	n := v.Len()
 	total := n * (n - 1) / 2
 	if maxPairs > 0 && maxPairs < total {
-		return materializePairs(v, samplePairs(n, maxPairs, seed), workers, rec)
+		return materializePairs(ctx, v, samplePairs(n, maxPairs, seed), workers, rec)
 	}
-	return materializeAllPairs(v, workers, rec)
+	return materializeAllPairs(ctx, v, workers, rec)
 }
 
 // samplePairs draws maxPairs distinct (i, j) pairs without replacement,

@@ -1,6 +1,7 @@
 package discovery
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -83,14 +84,19 @@ func pairAt(n, k int) (int, int) {
 // materializeAllPairs fills the full n(n-1)/2 pattern space, chunking
 // the flat pair-index range across the workers. Row order is positional
 // (identical to the serial double loop), and the sharded engine cache
-// makes the concurrent distance reads safe.
-func materializeAllPairs(v *engine.View, workers int, rec obs.Recorder) []distance.Pattern {
+// makes the concurrent distance reads safe. Workers check the context
+// every engine.CheckEvery pairs; the caller must discard the slab when
+// the context expired mid-fill.
+func materializeAllPairs(ctx context.Context, v *engine.View, workers int, rec obs.Recorder) []distance.Pattern {
 	n := v.Len()
 	total := n * (n - 1) / 2
 	out := patternSlab(total, v.Arity())
 	chunks := runChunks(workers, total, func(_, lo, hi int) {
 		i, j := pairAt(n, lo)
 		for k := lo; k < hi; k++ {
+			if (k-lo)%engine.CheckEvery == 0 && ctx.Err() != nil {
+				return
+			}
 			v.PatternInto(out[k], i, j)
 			j++
 			if j == n {
@@ -104,11 +110,15 @@ func materializeAllPairs(v *engine.View, workers int, rec obs.Recorder) []distan
 }
 
 // materializePairs fills patterns for an explicit pair list (the sampled
-// path), chunked across the workers with positional writes.
-func materializePairs(v *engine.View, pairs [][2]int, workers int, rec obs.Recorder) []distance.Pattern {
+// path), chunked across the workers with positional writes, under the
+// same cancellation contract as materializeAllPairs.
+func materializePairs(ctx context.Context, v *engine.View, pairs [][2]int, workers int, rec obs.Recorder) []distance.Pattern {
 	out := patternSlab(len(pairs), v.Arity())
 	chunks := runChunks(workers, len(pairs), func(_, lo, hi int) {
 		for k := lo; k < hi; k++ {
+			if (k-lo)%engine.CheckEvery == 0 && ctx.Err() != nil {
+				return
+			}
 			v.PatternInto(out[k], pairs[k][0], pairs[k][1])
 		}
 	})
@@ -150,7 +160,7 @@ type rhsPlan struct {
 // the previous one, and the greedy fold's state at each cut boundary is
 // exactly the threshold vector a from-scratch pass for that β would
 // produce. This turns Σ_β |prefix(β)| greedy work into max_β |prefix(β)|.
-func searchCandidates(patterns []distance.Pattern, cfg *Config, m, workers int) rfd.Set {
+func searchCandidates(ctx context.Context, patterns []distance.Pattern, cfg *Config, m, workers int) rfd.Set {
 	// Per-RHS pattern order by descending RHS distance, built
 	// concurrently across RHS attributes: each β's violating set is then
 	// a prefix.
@@ -172,6 +182,11 @@ func searchCandidates(patterns []distance.Pattern, cfg *Config, m, workers int) 
 		caps := make([]float64, maxW)
 		th := make([]float64, maxW)
 		for k := lo; k < hi; k++ {
+			// One derivation unit per check: each job is a full greedy
+			// fold, so the checkpoint granularity is already coarse work.
+			if ctx.Err() != nil {
+				return
+			}
 			job := jobs[k]
 			plan := &plans[job.rhs]
 			deriveSubset(patterns, orders[job.rhs], plan, job, caps, th, results, cfg)

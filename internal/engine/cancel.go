@@ -1,0 +1,40 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrCanceled is the typed error every cancellable run in this
+// repository returns when its context expires mid-run: imputation
+// (core), discovery, and the serve-mode request handlers. It wraps the
+// context's own error, so all three of these hold for a canceled run:
+//
+//	errors.Is(err, engine.ErrCanceled)
+//	errors.Is(err, context.Canceled)          // when the client canceled
+//	errors.Is(err, context.DeadlineExceeded)  // when the deadline passed
+//
+// It lives in the engine package — the one evaluation layer under both
+// imputation and discovery — so the two pipelines share a single
+// sentinel without an import cycle.
+var ErrCanceled = errors.New("run canceled")
+
+// canceledError carries the context cause behind ErrCanceled.
+type canceledError struct{ cause error }
+
+func (e *canceledError) Error() string        { return fmt.Sprintf("run canceled: %v", e.cause) }
+func (e *canceledError) Unwrap() error        { return e.cause }
+func (e *canceledError) Is(target error) bool { return target == ErrCanceled }
+
+// Canceled wraps the context's error as an ErrCanceled. Call it only
+// when ctx.Err() != nil.
+func Canceled(ctx context.Context) error {
+	return &canceledError{cause: context.Cause(ctx)}
+}
+
+// CheckEvery is the cancellation-checkpoint stride of the hot loops:
+// ctx.Err() is consulted once per this many iterations, keeping the
+// overhead of cooperative cancellation under measurement noise while
+// bounding the latency between a cancel and the loop noticing it.
+const CheckEvery = 1024

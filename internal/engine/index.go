@@ -52,16 +52,16 @@ const (
 // eqKeyFor returns the bucket key for a flat cell, or ok=false for a
 // null cell.
 func (ix *Index) eqKeyFor(flat, attr int) (eqKey, bool) {
-	c := &ix.v.cols[attr]
-	switch k := c.kind[flat]; {
+	c, r := ix.v.colAt(attr, flat)
+	switch k := c.kind[r]; {
 	case k == dataset.KindNull:
 		return eqKey{}, false
 	case k == dataset.KindString:
-		return eqKey{cls: clsString, bits: uint64(c.sid[flat])}, true
+		return eqKey{cls: clsString, bits: uint64(c.sid[r])}, true
 	case k == dataset.KindBool:
-		return eqKey{cls: clsBool, bits: uint64(c.num[flat])}, true
+		return eqKey{cls: clsBool, bits: uint64(c.num[r])}, true
 	default:
-		f := c.num[flat]
+		f := c.num[r]
 		if f == 0 {
 			f = 0 // canonicalize -0
 		}
@@ -113,13 +113,13 @@ func NewIndex(v *View, sigma rfd.Set) *Index {
 				continue
 			}
 			ix.eq[a][key] = append(ix.eq[a][key], flat)
-			c := &v.cols[a]
-			switch c.kind[flat] {
+			c, r := v.colAt(a, flat)
+			switch c.kind[r] {
 			case dataset.KindString:
-				l := v.interns[a].lens[c.sid[flat]]
+				l := v.interns[a].lenOf(c.sid[r])
 				ix.lens[a][l] = append(ix.lens[a][l], flat)
 			case dataset.KindInt, dataset.KindFloat:
-				ix.numV[a] = append(ix.numV[a], c.num[flat])
+				ix.numV[a] = append(ix.numV[a], c.num[r])
 				ix.numR[a] = append(ix.numR[a], flat)
 			}
 		}
@@ -167,13 +167,13 @@ func (ix *Index) add(flat, attr int) {
 		return
 	}
 	ix.eq[attr][key] = insertRow(ix.eq[attr][key], flat)
-	c := &ix.v.cols[attr]
-	switch c.kind[flat] {
+	c, r := ix.v.colAt(attr, flat)
+	switch c.kind[r] {
 	case dataset.KindString:
-		l := ix.v.interns[attr].lens[c.sid[flat]]
+		l := ix.v.interns[attr].lenOf(c.sid[r])
 		ix.lens[attr][l] = insertRow(ix.lens[attr][l], flat)
 	case dataset.KindInt, dataset.KindFloat:
-		val := c.num[flat]
+		val := c.num[r]
 		pos := sort.SearchFloat64s(ix.numV[attr], val)
 		// Among equal values, keep rows ascending.
 		for pos < len(ix.numV[attr]) && ix.numV[attr][pos] == val && ix.numR[attr][pos] < flat {
@@ -229,8 +229,8 @@ type probe struct {
 func (ix *Index) probeFor(row int, c rfd.Constraint) (probe, bool) {
 	v := ix.v
 	attr := c.Attr
-	cl := &v.cols[attr]
-	kind := cl.kind[row]
+	cl, rr := v.colAt(attr, row)
+	kind := cl.kind[rr]
 	if c.Threshold == 0 {
 		key, ok := ix.eqKeyFor(row, attr)
 		if !ok {
@@ -243,7 +243,7 @@ func (ix *Index) probeFor(row int, c rfd.Constraint) (probe, bool) {
 	}
 	switch {
 	case kind == dataset.KindString:
-		l := v.interns[attr].lens[cl.sid[row]]
+		l := v.interns[attr].lenOf(cl.sid[rr])
 		bound := int(math.Floor(c.Threshold))
 		est := 0
 		for d := l - bound; d <= l+bound; d++ {
@@ -256,7 +256,7 @@ func (ix *Index) probeFor(row int, c rfd.Constraint) (probe, bool) {
 			return out
 		}}, true
 	case kind.Numeric():
-		val := cl.num[row]
+		val := cl.num[rr]
 		lo := sort.SearchFloat64s(ix.numV[attr], val-c.Threshold)
 		hi := sort.Search(len(ix.numV[attr]), func(k int) bool {
 			return ix.numV[attr][k] > val+c.Threshold
@@ -272,7 +272,7 @@ func (ix *Index) probeFor(row int, c rfd.Constraint) (probe, bool) {
 				return append(append(out, t...), f...)
 			}}, true
 		}
-		rows := ix.eq[attr][eqKey{cls: clsBool, bits: uint64(cl.num[row])}]
+		rows := ix.eq[attr][eqKey{cls: clsBool, bits: uint64(cl.num[rr])}]
 		return probe{est: len(rows), collect: func(out []int) []int {
 			return append(out, rows...)
 		}}, true

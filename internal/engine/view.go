@@ -38,8 +38,14 @@ type col struct {
 }
 
 // interner assigns dense ids to the distinct string values of one
-// attribute and pre-decodes each value's comparison symbols once.
+// attribute and pre-decodes each value's comparison symbols once. An
+// interner may sit on top of a frozen lower tier (Shared.Extend):
+// ids [0, nb) resolve through the base read-only, ids >= nb are local.
+// The base tier is never written, so any number of upper tiers can
+// share it concurrently.
 type interner struct {
+	base  *interner // frozen lower tier; nil for a root interner
+	nb    int32     // number of ids owned by the base tier
 	ids   map[string]int32
 	strs  []string
 	runes [][]rune
@@ -47,19 +53,40 @@ type interner struct {
 }
 
 func (in *interner) intern(s string) int32 {
+	if in.base != nil {
+		if id, ok := in.base.ids[s]; ok {
+			return id
+		}
+	}
 	if id, ok := in.ids[s]; ok {
 		return id
 	}
 	if in.ids == nil {
 		in.ids = make(map[string]int32)
 	}
-	id := int32(len(in.strs))
+	id := in.nb + int32(len(in.strs))
 	in.ids[s] = id
 	r := distance.Runes(s)
 	in.strs = append(in.strs, s)
 	in.runes = append(in.runes, r)
 	in.lens = append(in.lens, len(r))
 	return id
+}
+
+// runesOf resolves an id to its pre-decoded comparison symbols.
+func (in *interner) runesOf(id int32) []rune {
+	if id < in.nb {
+		return in.base.runes[id]
+	}
+	return in.runes[id-in.nb]
+}
+
+// lenOf resolves an id to its symbol count.
+func (in *interner) lenOf(id int32) int {
+	if id < in.nb {
+		return in.base.lens[id]
+	}
+	return in.lens[id-in.nb]
 }
 
 // View is the compiled evaluation form of a target relation plus an
@@ -75,6 +102,28 @@ type View struct {
 	cols    []col
 	interns []*interner
 	cache   *distCache
+
+	// Two-tier views (Shared.Extend): flat rows >= baseOff resolve into
+	// the shared base columns; cols above holds only the target segment.
+	base    *Shared
+	baseOff int
+	// Shared-cache checkpoint taken at Extend time, so CacheStats can
+	// report this view's own share of the shared traffic (approximate
+	// when views run concurrently).
+	baseHits0, baseMisses0 int64
+
+	// frozen marks a read-only view over a Shared base: Set and Append
+	// panic instead of corrupting state other views share.
+	frozen bool
+}
+
+// colAt resolves a flat row to the columnar segment holding it and the
+// row's index within that segment.
+func (v *View) colAt(attr, flat int) (*col, int) {
+	if v.base != nil && flat >= v.baseOff {
+		return &v.base.cols[attr], flat - v.baseOff
+	}
+	return &v.cols[attr], flat
 }
 
 // Compile builds a single-relation view. The relation is referenced,
@@ -164,7 +213,8 @@ func (v *View) SourceOf(flat int) (source, row int) {
 
 // IsNull reports whether the cell at (flat, attr) is missing.
 func (v *View) IsNull(flat, attr int) bool {
-	return v.cols[attr].kind[flat] == dataset.KindNull
+	c, r := v.colAt(attr, flat)
+	return c.kind[r] == dataset.KindNull
 }
 
 // Value returns the cell at (flat, attr).
@@ -175,8 +225,12 @@ func (v *View) Value(flat, attr int) dataset.Value {
 
 // Set writes a target-relation cell through to both the relation and
 // the columnar form, so tentative imputations are immediately visible
-// to every evaluation.
+// to every evaluation. Frozen views (Shared.View) panic: their storage
+// is shared with every other view derived from the same base.
 func (v *View) Set(row, attr int, val dataset.Value) {
+	if v.frozen {
+		panic("engine: Set on a frozen shared view")
+	}
 	v.rels[0].Set(row, attr, val)
 	v.setCell(row, attr, val)
 }
@@ -188,6 +242,9 @@ func (v *View) Set(row, attr int, val dataset.Value) {
 func (v *View) Append(t dataset.Tuple) error {
 	if len(v.rels) != 1 {
 		return fmt.Errorf("engine: Append on a multi-source view")
+	}
+	if v.frozen {
+		return fmt.Errorf("engine: Append on a frozen shared view")
 	}
 	if err := v.rels[0].Append(t); err != nil {
 		return err
@@ -210,22 +267,23 @@ func (v *View) Append(t dataset.Tuple) error {
 // interned strings short-circuit to 0; distinct pairs are answered by
 // the memoized cache.
 func (v *View) Distance(attr, i, j int) float64 {
-	c := &v.cols[attr]
-	ki, kj := c.kind[i], c.kind[j]
+	ci, ri := v.colAt(attr, i)
+	cj, rj := v.colAt(attr, j)
+	ki, kj := ci.kind[ri], cj.kind[rj]
 	if ki == dataset.KindNull || kj == dataset.KindNull {
 		return distance.Missing
 	}
 	switch {
 	case ki == dataset.KindString && kj == dataset.KindString:
-		a, b := c.sid[i], c.sid[j]
+		a, b := ci.sid[ri], cj.sid[rj]
 		if a == b {
 			return 0
 		}
 		return v.stringDistance(attr, a, b)
 	case ki.Numeric() && kj.Numeric():
-		return math.Abs(c.num[i] - c.num[j])
+		return math.Abs(ci.num[ri] - cj.num[rj])
 	case ki == dataset.KindBool && kj == dataset.KindBool:
-		if c.num[i] == c.num[j] {
+		if ci.num[ri] == cj.num[rj] {
 			return 0
 		}
 		return 1
@@ -234,15 +292,29 @@ func (v *View) Distance(attr, i, j int) float64 {
 	}
 }
 
+// cacheOf routes an interned pair to the cache tier that owns it: pairs
+// of base-tier ids go to the shared base cache (so the memo carries
+// across every view of the same Shared), pairs involving a request-local
+// id stay in the view's own cache and die with it.
+func (v *View) cacheOf(attr int, a, b int32) *distCache {
+	if v.base != nil {
+		if nb := v.interns[attr].nb; a < nb && b < nb {
+			return v.base.cache
+		}
+	}
+	return v.cache
+}
+
 // stringDistance answers a distinct interned pair from the cache,
 // computing and memoizing on miss.
 func (v *View) stringDistance(attr int, a, b int32) float64 {
-	if d, ok := v.cache.get(attr, a, b); ok {
+	cache := v.cacheOf(attr, a, b)
+	if d, ok := cache.get(attr, a, b); ok {
 		return float64(d)
 	}
 	in := v.interns[attr]
-	d := int32(distance.LevenshteinRunes(in.runes[a], in.runes[b]))
-	v.cache.put(attr, a, b, d)
+	d := int32(distance.LevenshteinRunes(in.runesOf(a), in.runesOf(b)))
+	cache.put(attr, a, b, d)
 	return float64(d)
 }
 
@@ -252,8 +324,9 @@ func (v *View) stringDistance(attr int, a, b int32) float64 {
 // back to the banded early-exit kernel without storing, so a failed
 // threshold check never pays for an exact distance.
 func (v *View) Within(attr, i, j int, max float64) bool {
-	c := &v.cols[attr]
-	ki, kj := c.kind[i], c.kind[j]
+	ci, ri := v.colAt(attr, i)
+	cj, rj := v.colAt(attr, j)
+	ki, kj := ci.kind[ri], cj.kind[rj]
 	if ki == dataset.KindNull || kj == dataset.KindNull {
 		return false
 	}
@@ -265,24 +338,24 @@ func (v *View) Within(attr, i, j int, max float64) bool {
 		if bound < 0 {
 			return false
 		}
-		a, b := c.sid[i], c.sid[j]
+		a, b := ci.sid[ri], cj.sid[rj]
 		if a == b {
 			return true
 		}
 		in := v.interns[attr]
-		if abs(in.lens[a]-in.lens[b]) > bound {
+		if abs(in.lenOf(a)-in.lenOf(b)) > bound {
 			// Edit distance is at least the length difference.
 			return false
 		}
-		if d, ok := v.cache.get(attr, a, b); ok {
+		if d, ok := v.cacheOf(attr, a, b).get(attr, a, b); ok {
 			return int(d) <= bound
 		}
-		return distance.LevenshteinRunesWithin(in.runes[a], in.runes[b], bound)
+		return distance.LevenshteinRunesWithin(in.runesOf(a), in.runesOf(b), bound)
 	case ki.Numeric() && kj.Numeric():
-		return math.Abs(c.num[i]-c.num[j]) <= max
+		return math.Abs(ci.num[ri]-cj.num[rj]) <= max
 	case ki == dataset.KindBool && kj == dataset.KindBool:
 		d := 1.0
-		if c.num[i] == c.num[j] {
+		if ci.num[ri] == cj.num[rj] {
 			d = 0
 		}
 		return d <= max
@@ -352,8 +425,18 @@ func (v *View) PatternBetween(i, j int) distance.Pattern {
 }
 
 // CacheStats returns the distance cache's cumulative hit and miss
-// counts.
-func (v *View) CacheStats() (hits, misses int64) { return v.cache.stats() }
+// counts. For two-tier views this is the view's local traffic plus its
+// share of the shared base cache since the view was created (the share
+// is approximate when sibling views run concurrently).
+func (v *View) CacheStats() (hits, misses int64) {
+	hits, misses = v.cache.stats()
+	if v.base != nil {
+		bh, bm := v.base.cache.stats()
+		hits += bh - v.baseHits0
+		misses += bm - v.baseMisses0
+	}
+	return hits, misses
+}
 
 func abs(x int) int {
 	if x < 0 {

@@ -15,10 +15,7 @@ type slowCtxMethod struct {
 }
 
 func (s slowCtxMethod) Name() string { return "slow-ctx" }
-func (s slowCtxMethod) Impute(rel *dataset.Relation) (*dataset.Relation, error) {
-	return s.ImputeContext(context.Background(), rel)
-}
-func (s slowCtxMethod) ImputeContext(ctx context.Context, rel *dataset.Relation) (*dataset.Relation, error) {
+func (s slowCtxMethod) Impute(ctx context.Context, rel *dataset.Relation) (*dataset.Relation, error) {
 	out := rel.Clone()
 	for _, cell := range rel.MissingCells() {
 		if err := ctx.Err(); err != nil {

@@ -49,14 +49,21 @@ func (r RunResult) Marker() string {
 	}
 }
 
+// cancelGrace is how long Run waits past the time limit for a method to
+// notice its expired context and return. Well-behaved methods come back
+// within one cancellation-checkpoint stride; a method that ignores the
+// context is abandoned after the grace (its goroutine is left to finish
+// in the background and its result discarded), so TL rows never block
+// the grid.
+const cancelGrace = 100 * time.Millisecond
+
 // Run executes the method on the injected variant, scores it against the
 // ground truth, and samples the heap while it runs. With a zero Budget
 // the run is unbounded.
 //
-// Methods implementing impute.ContextMethod get a cooperative deadline:
-// they observe the budget themselves and stop promptly, so no goroutine
-// outlives a TL run. Plain methods fall back to a watchdog that marks TL
-// and abandons the still-running goroutine (its result is discarded).
+// The budget's time limit becomes the context deadline the method
+// receives: methods observe it cooperatively and stop promptly, so no
+// goroutine outlives a TL run by more than cancelGrace.
 func Run(method impute.Method, variant Variant, v *Validator, budget Budget) RunResult {
 	res := RunResult{Method: method.Name()}
 
@@ -88,29 +95,30 @@ func Run(method impute.Method, variant Variant, v *Validator, budget Budget) Run
 	}()
 
 	start := time.Now()
+	ctx := context.Background()
+	cancel := context.CancelFunc(func() {})
+	if budget.TimeLimit > 0 {
+		ctx, cancel = context.WithTimeout(ctx, budget.TimeLimit)
+	}
+	defer cancel()
+
 	var out outcome
-	if ctxMethod, ok := method.(impute.ContextMethod); ok && budget.TimeLimit > 0 {
-		ctx, cancel := context.WithTimeout(context.Background(), budget.TimeLimit)
-		out.rel, out.err = ctxMethod.ImputeContext(ctx, variant.Relation)
-		cancel()
-		if errors.Is(out.err, context.DeadlineExceeded) {
+	go func() {
+		rel, err := method.Impute(ctx, variant.Relation)
+		done <- outcome{rel: rel, err: err}
+	}()
+	if budget.TimeLimit > 0 {
+		select {
+		case out = <-done:
+			if errors.Is(out.err, context.DeadlineExceeded) || errors.Is(out.err, context.Canceled) {
+				res.TimedOut = true
+				out = outcome{}
+			}
+		case <-time.After(budget.TimeLimit + cancelGrace):
 			res.TimedOut = true
-			out = outcome{}
 		}
 	} else {
-		go func() {
-			rel, err := method.Impute(variant.Relation)
-			done <- outcome{rel: rel, err: err}
-		}()
-		if budget.TimeLimit > 0 {
-			select {
-			case out = <-done:
-			case <-time.After(budget.TimeLimit):
-				res.TimedOut = true
-			}
-		} else {
-			out = <-done
-		}
+		out = <-done
 	}
 	res.Elapsed = time.Since(start)
 	close(stopSampling)

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"errors"
 	"math"
 	"strings"
@@ -115,7 +116,10 @@ type sleepMethod struct {
 }
 
 func (s sleepMethod) Name() string { return "sleepy" }
-func (s sleepMethod) Impute(rel *dataset.Relation) (*dataset.Relation, error) {
+
+// Impute deliberately ignores ctx — it stands in for a method that does
+// not cooperate, exercising Run's abandon-after-grace watchdog.
+func (s sleepMethod) Impute(_ context.Context, rel *dataset.Relation) (*dataset.Relation, error) {
 	if s.fail {
 		return nil, errors.New("boom")
 	}

@@ -26,19 +26,11 @@ type Figure3Point struct {
 	Metrics eval.Metrics
 }
 
-// renuverAdapter exposes the core imputer as an impute.ContextMethod.
+// renuverAdapter exposes the core imputer as an impute.Method.
 type renuverAdapter struct{ im *core.Imputer }
 
 func (r renuverAdapter) Name() string { return "RENUVER" }
-func (r renuverAdapter) Impute(rel *relation) (*relation, error) {
-	res, err := r.im.Impute(rel)
-	if err != nil {
-		return nil, err
-	}
-	return res.Relation, nil
-}
-
-func (r renuverAdapter) ImputeContext(ctx context.Context, rel *relation) (*relation, error) {
+func (r renuverAdapter) Impute(ctx context.Context, rel *relation) (*relation, error) {
 	res, err := r.im.ImputeContext(ctx, rel)
 	if res == nil {
 		return nil, err

@@ -108,14 +108,9 @@ type cellState struct {
 	fixed  bool
 }
 
-// Impute implements impute.Method.
-func (im *Imputer) Impute(rel *dataset.Relation) (*dataset.Relation, error) {
-	return im.ImputeContext(context.Background(), rel)
-}
-
-// ImputeContext implements impute.ContextMethod: the context is checked
+// Impute implements impute.Method: the context is checked
 // before each cell is fixed.
-func (im *Imputer) ImputeContext(ctx context.Context, rel *dataset.Relation) (*dataset.Relation, error) {
+func (im *Imputer) Impute(ctx context.Context, rel *dataset.Relation) (*dataset.Relation, error) {
 	work := rel.Clone()
 	cells := im.collectCells(work)
 	rng := rand.New(rand.NewSource(im.cfg.Seed))

@@ -1,6 +1,7 @@
 package derand
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/dataset"
@@ -70,7 +71,7 @@ func TestImputesTable2(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := im.Impute(rel)
+	out, err := im.Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ y,b1,1
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := im.Impute(rel)
+	out, err := im.Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ zz,,qq
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := im.Impute(rel)
+	out, err := im.Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ zz,,c1
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := im.Impute(rel)
+	out, err := im.Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +249,7 @@ zz,,c1
 	if im.Name() != "Greedy" {
 		t.Errorf("Name = %q", im.Name())
 	}
-	out, err := im.Impute(rel)
+	out, err := im.Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,11 +272,11 @@ func TestRandomizedSeedDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	outA, err := a.Impute(rel)
+	outA, err := a.Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}
-	outB, err := b.Impute(rel)
+	outB, err := b.Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,11 +292,11 @@ func TestDerandDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	outA, err := im.Impute(rel)
+	outA, err := im.Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}
-	outB, err := im.Impute(rel)
+	outB, err := im.Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,7 +311,7 @@ func TestNoDDsNoImputation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := im.Impute(rel)
+	out, err := im.Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +327,7 @@ func TestMaxCandidatesCap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := im.Impute(rel); err != nil {
+	if _, err := im.Impute(context.Background(), rel); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -37,12 +37,7 @@ func NewExact(im *Imputer, maxNodes int) *Exact {
 func (e *Exact) Name() string { return "Derand-Exact" }
 
 // Impute implements impute.Method.
-func (e *Exact) Impute(rel *dataset.Relation) (*dataset.Relation, error) {
-	return e.ImputeContext(context.Background(), rel)
-}
-
-// ImputeContext implements impute.ContextMethod.
-func (e *Exact) ImputeContext(ctx context.Context, rel *dataset.Relation) (*dataset.Relation, error) {
+func (e *Exact) Impute(ctx context.Context, rel *dataset.Relation) (*dataset.Relation, error) {
 	work := rel.Clone()
 	cells := e.im.collectCells(work)
 	if len(cells) == 0 {

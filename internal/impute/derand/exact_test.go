@@ -21,7 +21,7 @@ func newExactForTest(t *testing.T, dds rfd.Set, maxNodes int) *Exact {
 func TestExactImputesTable2(t *testing.T) {
 	rel := table2(t)
 	ex := newExactForTest(t, figure1DDs(t, rel.Schema()), 0)
-	out, err := ex.Impute(rel)
+	out, err := ex.Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,12 +43,12 @@ func TestExactAtLeastAsManyAsDerand(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hOut, err := heuristic.Impute(rel)
+	hOut, err := heuristic.Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ex := NewExact(heuristic, 0)
-	eOut, err := ex.Impute(rel)
+	eOut, err := ex.Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ ab,v2,c9
 		rfd.MustParse("C(<=0) -> B(<=0)", schema),
 	}
 	ex := newExactForTest(t, dds, 0)
-	out, err := ex.Impute(rel)
+	out, err := ex.Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ ab,v2,c9
 func TestExactNodeBudget(t *testing.T) {
 	rel := table2(t)
 	ex := newExactForTest(t, figure1DDs(t, rel.Schema()), 1)
-	out, err := ex.Impute(rel)
+	out, err := ex.Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +112,7 @@ func TestExactContextCancellation(t *testing.T) {
 	ex := newExactForTest(t, figure1DDs(t, rel.Schema()), 0)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err := ex.ImputeContext(ctx, rel)
+	_, err := ex.Impute(ctx, rel)
 	if !errors.Is(err, context.Canceled) {
 		t.Errorf("err = %v, want Canceled", err)
 	}
@@ -124,7 +124,7 @@ func TestExactNoMissingCells(t *testing.T) {
 		t.Fatal(err)
 	}
 	ex := newExactForTest(t, nil, 0)
-	out, err := ex.Impute(rel)
+	out, err := ex.Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}

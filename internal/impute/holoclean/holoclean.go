@@ -82,15 +82,10 @@ func New(cfg Config) (*Imputer, error) {
 // Name implements impute.Method.
 func (im *Imputer) Name() string { return "Holoclean" }
 
-// Impute implements impute.Method.
-func (im *Imputer) Impute(rel *dataset.Relation) (*dataset.Relation, error) {
-	return im.ImputeContext(context.Background(), rel)
-}
-
-// ImputeContext implements impute.ContextMethod: the context is checked
+// Impute implements impute.Method: the context is checked
 // per inferred cell (training is bounded by TrainSamples and runs
 // uninterrupted).
-func (im *Imputer) ImputeContext(ctx context.Context, rel *dataset.Relation) (*dataset.Relation, error) {
+func (im *Imputer) Impute(ctx context.Context, rel *dataset.Relation) (*dataset.Relation, error) {
 	out := rel.Clone()
 	stats := buildStats(rel)
 	weights := im.learnWeights(rel, stats)

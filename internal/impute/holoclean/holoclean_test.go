@@ -1,6 +1,7 @@
 package holoclean
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/dataset"
@@ -45,7 +46,7 @@ func TestImputesFromCooccurrence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := im.Impute(rel)
+	out, err := im.Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ k4,,q
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := im.Impute(rel)
+	out, err := im.Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ x,
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := strict.Impute(rel)
+	out, err := strict.Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ x,
 	if err != nil {
 		t.Fatal(err)
 	}
-	out2, err := always.Impute(rel)
+	out2, err := always.Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestEmptyDomainLeavesMissing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := im.Impute(rel)
+	out, err := im.Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,11 +148,11 @@ func TestDeterminismWithFixedSeed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := im.Impute(rel)
+	a, err := im.Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := im.Impute(rel)
+	b, err := im.Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}

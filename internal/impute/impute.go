@@ -13,19 +13,18 @@ import (
 // Method fills missing values in a relation instance. Implementations
 // never mutate the input; they return an imputed clone. Cells a method
 // cannot (or refuses to) fill stay null.
+//
+// Every method takes a context uniformly (callers with no deadline pass
+// context.Background()): a cancelled or deadline-exceeded run stops
+// promptly and returns the partial result it had produced together with
+// a non-nil error matching the context's error under errors.Is. The
+// evaluation harness uses this to enforce time budgets without
+// abandoning goroutines. This replaces the former optional
+// ContextMethod extension interface — cancellation is part of the
+// contract, not an upgrade.
 type Method interface {
 	// Name identifies the method in experiment reports.
 	Name() string
 	// Impute returns the imputed clone of rel.
-	Impute(rel *dataset.Relation) (*dataset.Relation, error)
-}
-
-// ContextMethod is optionally implemented by methods that support
-// cooperative cancellation. A cancelled run returns the partial result
-// it had produced together with the context's error; the evaluation
-// harness uses this to enforce time budgets without abandoning
-// goroutines.
-type ContextMethod interface {
-	Method
-	ImputeContext(ctx context.Context, rel *dataset.Relation) (*dataset.Relation, error)
+	Impute(ctx context.Context, rel *dataset.Relation) (*dataset.Relation, error)
 }

@@ -71,14 +71,10 @@ func (im *Imputer) Name() string { return fmt.Sprintf("kNN(k=%d)", im.cfg.K) }
 // Impute implements impute.Method. Donors are drawn from the tuples that
 // have a value on the target attribute; the original (pre-run) values are
 // used for similarity so that fill order does not matter.
-func (im *Imputer) Impute(rel *dataset.Relation) (*dataset.Relation, error) {
-	return im.ImputeContext(context.Background(), rel)
-}
-
-// ImputeContext implements impute.ContextMethod: the context is checked
+// Impute implements impute.Method: the context is checked
 // per incomplete tuple, and cancellation returns the partial result with
 // the context's error.
-func (im *Imputer) ImputeContext(ctx context.Context, rel *dataset.Relation) (*dataset.Relation, error) {
+func (im *Imputer) Impute(ctx context.Context, rel *dataset.Relation) (*dataset.Relation, error) {
 	out := rel.Clone()
 	m := rel.Schema().Len()
 

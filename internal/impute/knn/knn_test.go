@@ -1,6 +1,7 @@
 package knn
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -47,7 +48,7 @@ func TestNumericImputationNearNeighbours(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := im.Impute(rel)
+	out, err := im.Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestIntAttributeRoundsToInt(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := im.Impute(rel)
+	out, err := im.Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ a,
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := im.Impute(rel)
+	out, err := im.Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestNoDonorsLeavesMissing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := im.Impute(rel)
+	out, err := im.Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ x,,1
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := im.Impute(rel)
+	out, err := im.Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestInputNotMutated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := im.Impute(rel); err != nil {
+	if _, err := im.Impute(context.Background(), rel); err != nil {
 		t.Fatal(err)
 	}
 	if !rel.Get(1, 1).IsNull() {
@@ -231,7 +232,7 @@ func TestConstantNumericAttribute(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := im.Impute(rel)
+	out, err := im.Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,19 +21,14 @@ func New() *Imputer { return &Imputer{} }
 // Name implements impute.Method.
 func (im *Imputer) Name() string { return "Mean/Mode" }
 
-// ImputeContext implements impute.ContextMethod; the method is a single
-// cheap pass, so only an upfront cancellation check is needed.
-func (im *Imputer) ImputeContext(ctx context.Context, rel *dataset.Relation) (*dataset.Relation, error) {
+// Impute implements impute.Method. Column statistics are computed over
+// the observed cells of the input; a column with no observed values
+// stays missing. The method is a single cheap pass, so only an upfront
+// cancellation check is needed.
+func (im *Imputer) Impute(ctx context.Context, rel *dataset.Relation) (*dataset.Relation, error) {
 	if err := ctx.Err(); err != nil {
 		return rel.Clone(), err
 	}
-	return im.Impute(rel)
-}
-
-// Impute implements impute.Method. Column statistics are computed over
-// the observed cells of the input; a column with no observed values
-// stays missing.
-func (im *Imputer) Impute(rel *dataset.Relation) (*dataset.Relation, error) {
 	out := rel.Clone()
 	m := rel.Schema().Len()
 	fills := make([]dataset.Value, m)

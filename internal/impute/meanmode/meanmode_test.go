@@ -1,6 +1,7 @@
 package meanmode
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/dataset"
@@ -11,7 +12,7 @@ func TestMeanForNumeric(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := New().Impute(rel)
+	out, err := New().Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +26,7 @@ func TestMeanRoundsForIntColumns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := New().Impute(rel)
+	out, err := New().Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func TestModeForStrings(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := New().Impute(rel)
+	out, err := New().Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestModeTieBreaksByFirstAppearance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := New().Impute(rel)
+	out, err := New().Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestEmptyColumnStaysMissing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := New().Impute(rel)
+	out, err := New().Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestInputNotMutatedAndName(t *testing.T) {
 	if im.Name() == "" {
 		t.Error("empty name")
 	}
-	if _, err := im.Impute(rel); err != nil {
+	if _, err := im.Impute(context.Background(), rel); err != nil {
 		t.Fatal(err)
 	}
 	if !rel.Get(1, 0).IsNull() {
@@ -102,7 +103,7 @@ func TestBooleanMode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := New().Impute(rel)
+	out, err := New().Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}

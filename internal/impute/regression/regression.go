@@ -56,14 +56,9 @@ func New(cfg Config) (*Imputer, error) {
 // Name implements impute.Method.
 func (im *Imputer) Name() string { return fmt.Sprintf("LocalLR(k=%d)", im.cfg.K) }
 
-// Impute implements impute.Method.
-func (im *Imputer) Impute(rel *dataset.Relation) (*dataset.Relation, error) {
-	return im.ImputeContext(context.Background(), rel)
-}
-
-// ImputeContext implements impute.ContextMethod: the context is checked
+// Impute implements impute.Method: the context is checked
 // per fitted cell.
-func (im *Imputer) ImputeContext(ctx context.Context, rel *dataset.Relation) (*dataset.Relation, error) {
+func (im *Imputer) Impute(ctx context.Context, rel *dataset.Relation) (*dataset.Relation, error) {
 	out := rel.Clone()
 	m := rel.Schema().Len()
 

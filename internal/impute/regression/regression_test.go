@@ -1,6 +1,7 @@
 package regression
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -41,7 +42,7 @@ func TestRecoversExactLinearRelation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := im.Impute(rel)
+	out, err := im.Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestLocalityBeatsGlobalModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := im.Impute(rel)
+	out, err := im.Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestMultiPredictor(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := im.Impute(rel)
+	out, err := im.Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestIntTargetRounds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := im.Impute(rel)
+	out, err := im.Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestStringsAndNoDonorsSkipped(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := im.Impute(rel)
+	out, err := im.Impute(context.Background(), rel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestStringsAndNoDonorsSkipped(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out2, err := im.Impute(rel2)
+	out2, err := im.Impute(context.Background(), rel2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestInputNotMutated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := im.Impute(rel); err != nil {
+	if _, err := im.Impute(context.Background(), rel); err != nil {
 		t.Fatal(err)
 	}
 	if !rel.Get(1, 1).IsNull() {

@@ -79,6 +79,16 @@ const (
 	// CtrEngineIndexProbes counts candidate-index probes (equality
 	// bucket, numeric range, or length bucket) answered by the engine.
 	CtrEngineIndexProbes
+	// CtrServeAccepted counts requests admitted by the serve-mode gate.
+	CtrServeAccepted
+	// CtrServeRejected counts requests shed with 429 because the
+	// serve-mode admission queue was full.
+	CtrServeRejected
+	// CtrServeTimeouts counts serve-mode requests aborted by the
+	// per-request deadline or a client disconnect.
+	CtrServeTimeouts
+	// CtrServePanics counts handler panics recovered in serve mode.
+	CtrServePanics
 
 	numCounters int = iota
 )
@@ -106,6 +116,10 @@ var counterNames = [...]string{
 	CtrEngineCacheHits:        "engine_cache_hits",
 	CtrEngineCacheMisses:      "engine_cache_misses",
 	CtrEngineIndexProbes:      "engine_index_probes",
+	CtrServeAccepted:          "serve_accepted",
+	CtrServeRejected:          "serve_rejected",
+	CtrServeTimeouts:          "serve_timeouts",
+	CtrServePanics:            "serve_panics",
 }
 
 // String returns the snake_case name used in snapshots.
@@ -176,6 +190,9 @@ const (
 	HistAttemptsPerImputation
 	// HistImputeMicros is the per-run Impute latency in microseconds.
 	HistImputeMicros
+	// HistServeQueueDepth is how many requests were already waiting for a
+	// pool slot when each serve-mode request arrived.
+	HistServeQueueDepth
 
 	numHists int = iota
 )
@@ -184,6 +201,7 @@ var histNames = [...]string{
 	HistCandidatesPerCell:     "candidates_per_cell",
 	HistAttemptsPerImputation: "attempts_per_imputation",
 	HistImputeMicros:          "impute_micros",
+	HistServeQueueDepth:       "serve_queue_depth",
 }
 
 // String returns the snake_case name used in snapshots.
@@ -200,6 +218,7 @@ var histBounds = [numHists][]float64{
 	HistCandidatesPerCell:     {0, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000},
 	HistAttemptsPerImputation: {1, 2, 3, 5, 10, 20, 50},
 	HistImputeMicros:          {100, 1000, 10_000, 100_000, 1e6, 10e6, 100e6},
+	HistServeQueueDepth:       {0, 1, 2, 4, 8, 16, 32, 64, 128},
 }
 
 // Bounds returns the histogram's upper bucket bounds (without the

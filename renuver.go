@@ -28,6 +28,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/dc"
 	"repro/internal/discovery"
+	"repro/internal/engine"
 	"repro/internal/eval"
 	"repro/internal/impute"
 	"repro/internal/impute/derand"
@@ -155,6 +156,13 @@ func DiscoverRFDs(rel *Relation, opts DiscoveryOptions) (RFDSet, error) {
 	return discovery.Discover(rel, opts)
 }
 
+// DiscoverRFDsContext is DiscoverRFDs under a context. Discovery is
+// abort-and-discard: a cancelled run returns a nil set and an error
+// matching ErrCanceled, never a partial set.
+func DiscoverRFDsContext(ctx context.Context, rel *Relation, opts DiscoveryOptions) (RFDSet, error) {
+	return discovery.DiscoverContext(ctx, rel, opts)
+}
+
 // AdaptiveThresholdLimits computes per-attribute threshold caps from the
 // attribute's pairwise-distance distribution (the Sec. 7 extension:
 // thresholds with "an upper bound dependent from attribute domains and
@@ -214,6 +222,20 @@ type (
 	MetricsRecorder = obs.Metrics
 	// MetricsSnapshot is a point-in-time copy of a MetricsRecorder.
 	MetricsSnapshot = obs.Snapshot
+	// Counter identifies one aggregate counter of a MetricsRecorder.
+	Counter = obs.Counter
+	// Histogram identifies one distribution metric of a MetricsRecorder.
+	Histogram = obs.Hist
+)
+
+// Serve-mode metrics: the admission-gate counters and the queue-depth
+// distribution `renuver serve` records into its recorder.
+const (
+	CtrServeAccepted    = obs.CtrServeAccepted
+	CtrServeRejected    = obs.CtrServeRejected
+	CtrServeTimeouts    = obs.CtrServeTimeouts
+	CtrServePanics      = obs.CtrServePanics
+	HistServeQueueDepth = obs.HistServeQueueDepth
 )
 
 // Provenance tracing. A Tracer records per-cell decision traces —
@@ -290,30 +312,51 @@ const (
 // NewImputer returns a reusable RENUVER imputer over Σ.
 func NewImputer(sigma RFDSet, opts ...Option) *Imputer { return core.New(sigma, opts...) }
 
+// Session is the compile-once serve-many form of the imputer: construct
+// it once over a base instance (compiling columnar form, interning
+// tables, and the memoized distance cache up front), then serve any
+// number of concurrent Impute / Explain / Discover calls against the
+// shared read-only artifacts. See internal/core.Session for the full
+// contract.
+type Session = core.Session
+
+// NewSession builds a Session over Σ. A non-nil base becomes the donor
+// pool of every request (its tuples are compiled once and shared); a nil
+// base makes every request self-contained. Options are validated here,
+// once, instead of on every request.
+func NewSession(base *Relation, sigma RFDSet, opts ...Option) (*Session, error) {
+	return core.NewSession(base, sigma, opts...)
+}
+
+// ErrCanceled is the sentinel every context-aware entry point wraps when
+// a run stops because its context expired. errors.Is matches both this
+// sentinel and the context's own error (context.Canceled or
+// context.DeadlineExceeded) on the returned error.
+var ErrCanceled = engine.ErrCanceled
+
 // Impute runs RENUVER once over the instance with the given Σ and
-// options. The input is not mutated.
+// options. The input is not mutated. It is ImputeContext with a
+// background context.
 func Impute(rel *Relation, sigma RFDSet, opts ...Option) (*Result, error) {
-	return core.New(sigma, opts...).Impute(rel)
+	return ImputeContext(context.Background(), rel, sigma, opts...)
+}
+
+// ImputeContext is Impute under a context: a one-shot ephemeral Session.
+// A cancelled run returns the well-formed partial Result produced so far
+// together with an error matching ErrCanceled and the context's error.
+func ImputeContext(ctx context.Context, rel *Relation, sigma RFDSet, opts ...Option) (*Result, error) {
+	return core.New(sigma, opts...).ImputeContext(ctx, rel)
 }
 
 // Method is the interface shared by RENUVER and the baselines: impute a
-// clone, never mutate the input.
+// clone under a context, never mutate the input.
 type Method = impute.Method
 
-// renuverMethod adapts the RENUVER imputer to the Method interface
-// (including the cooperative-cancellation extension).
+// renuverMethod adapts the RENUVER imputer to the Method interface.
 type renuverMethod struct{ im *core.Imputer }
 
 func (r renuverMethod) Name() string { return "RENUVER" }
-func (r renuverMethod) Impute(rel *Relation) (*Relation, error) {
-	res, err := r.im.Impute(rel)
-	if err != nil {
-		return nil, err
-	}
-	return res.Relation, nil
-}
-
-func (r renuverMethod) ImputeContext(ctx context.Context, rel *Relation) (*Relation, error) {
+func (r renuverMethod) Impute(ctx context.Context, rel *Relation) (*Relation, error) {
 	res, err := r.im.ImputeContext(ctx, rel)
 	if res == nil {
 		return nil, err

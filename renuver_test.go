@@ -2,6 +2,7 @@ package renuver
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -173,7 +174,7 @@ func TestPublicAPIBaselinesRunnable(t *testing.T) {
 	}
 	methods := []Method{AsMethod(NewImputer(sigma)), kn, dr, hc}
 	for _, m := range methods {
-		out, err := m.Impute(dirty)
+		out, err := m.Impute(context.Background(), dirty)
 		if err != nil {
 			t.Fatalf("%s: %v", m.Name(), err)
 		}
