@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet vet-ctx build test race bench golden smoke
+.PHONY: check fmt vet vet-ctx build test kernels race bench bench-dist golden smoke
 
-check: fmt vet vet-ctx build test
+check: fmt vet vet-ctx build kernels test
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -28,6 +28,13 @@ build:
 test:
 	$(GO) test ./...
 
+# Kernel-agreement gate: the exhaustive small-alphabet enumeration and
+# the differential random sweep prove the Myers bit-parallel kernel, the
+# banded DP, and the automatic dispatch byte-identical to the naive
+# oracle. Short mode keeps it fast enough to run before the full suite.
+kernels:
+	$(GO) test -short -count=1 -run 'TestExhaustiveKernelAgreement|TestKernelDifferentialRandom' ./internal/distance/
+
 # The concurrency-sensitive packages (parallel imputation, parallel
 # discovery, the lock-free metrics sink, the trace ring) under the race
 # detector, with tracing exercised at 100% sampling by the stress tests
@@ -37,6 +44,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/core/... ./internal/discovery/...
+
+# String-kernel microbenchmarks: per-kernel exact distance and the
+# bounded predicate's pre-filter paths, with allocation counts (which
+# must stay at zero).
+bench-dist:
+	$(GO) test -bench 'BenchmarkKernels|BenchmarkWithinPrefilter' -benchmem -run=^$$ ./internal/distance/
 
 # Regenerate the golden files (trace JSONL schema) after an intentional
 # schema change; diff the result before committing.

@@ -37,6 +37,11 @@ func (im *Imputer) runImpute(ctx context.Context, work *dataset.Relation, eng *e
 	runStart := time.Now()
 	res := &Result{Relation: work}
 
+	// One kernel arena for the run goroutine: every serial scan below
+	// evaluates through it, so the string kernels never allocate.
+	// Parallel scans give each worker its own.
+	m := eng.Matcher()
+
 	preStart := time.Now()
 	kt := newKeyTrackerParallel(ctx, eng, im.sigma, im.opts.Workers)
 	res.Stats.KeyRFDs = kt.keys
@@ -62,7 +67,7 @@ func (im *Imputer) runImpute(ctx context.Context, work *dataset.Relation, eng *e
 			}
 			sigmaPrime := kt.nonKeys()
 			clusters := im.clustersFor(sigmaPrime, attr)
-			imputed, err := im.imputeMissingValue(ctx, eng, row, attr, sigmaPrime, clusters, res, idx)
+			imputed, err := im.imputeMissingValue(ctx, m, row, attr, sigmaPrime, clusters, res, idx)
 			if imputed {
 				idx.Insert(row, attr)
 				if !im.opts.NoKeyReevaluation {

@@ -219,13 +219,14 @@ type candidate struct {
 // imputed, and a non-nil error when the context expired mid-cell — the
 // working relation is then left consistent (any tentative value was
 // reverted) but the cell unresolved. idx may be nil (no donor index
-// available). eng is the compiled view of the working relation (plus,
-// for the multi-dataset extension, the donor pool): candidate rows are
-// flat view indices.
-func (im *Imputer) imputeMissingValue(ctx context.Context, eng *engine.View, row, attr int,
+// available). m is the run goroutine's matcher over the compiled view
+// of the working relation (plus, for the multi-dataset extension, the
+// donor pool): candidate rows are flat view indices.
+func (im *Imputer) imputeMissingValue(ctx context.Context, m *engine.Matcher, row, attr int,
 	sigmaPrime rfd.Set, clusters []rfd.Cluster, res *Result, idx *engine.Index) (bool, error) {
 
 	rec := im.opts.recorder()
+	eng := m.View()
 	work := eng.Relation()
 	ct := obs.StartCell(im.opts.Tracer, row, attr)
 	if ct != nil {
@@ -246,16 +247,16 @@ func (im *Imputer) imputeMissingValue(ctx context.Context, eng *engine.View, row
 		if rows, ok := idx.CandidateRows(row, cluster.RFDs); ok {
 			res.Stats.IndexHits++
 			res.Stats.DonorsScanned += len(rows)
-			cands = findCandidateTuplesIndexed(ctx, eng, rows, row, attr, cluster.RFDs)
+			cands = findCandidateTuplesIndexed(ctx, m, rows, row, attr, cluster.RFDs)
 		} else {
 			if idx != nil {
 				res.Stats.IndexMisses++
 			}
 			res.Stats.DonorsScanned += eng.Len() - 1
 			if im.opts.Workers > 1 {
-				cands = findCandidateTuplesParallel(ctx, eng, row, attr, cluster.RFDs, im.opts.Workers)
+				cands = findCandidateTuplesParallel(ctx, m, row, attr, cluster.RFDs, im.opts.Workers)
 			} else {
-				cands = findCandidateTuples(ctx, eng, row, attr, cluster.RFDs)
+				cands = findCandidateTuples(ctx, m, row, attr, cluster.RFDs)
 			}
 		}
 		res.Stats.Phases.CandidateSearch += time.Since(searchStart)
@@ -311,7 +312,7 @@ func (im *Imputer) imputeMissingValue(ctx context.Context, eng *engine.View, row
 				// the violated RFDc and witness row are part of the trace,
 				// and per-cell serial verification keeps the event order
 				// deterministic. Sampling keeps this affordable.
-				ok, violated, witness := im.isFaultlessWitness(ctx, eng, row, attr, sigmaPrime)
+				ok, violated, witness := im.isFaultlessWitness(ctx, m, row, attr, sigmaPrime)
 				faultless = ok
 				ct.Add(obs.FaultlessVerdict(donorRow, k+1, ok))
 				if !ok && violated != nil {
@@ -322,7 +323,7 @@ func (im *Imputer) imputeMissingValue(ctx context.Context, eng *engine.View, row
 						violated.Format(work.Schema()), witness))
 				}
 			} else {
-				faultless = im.isFaultlessParallel(ctx, eng, row, attr, sigmaPrime)
+				faultless = im.isFaultlessParallel(ctx, m, row, attr, sigmaPrime)
 			}
 			res.Stats.Phases.Verify += time.Since(verifyStart)
 			if ctx.Err() != nil {
@@ -370,7 +371,8 @@ func (im *Imputer) imputeMissingValue(ctx context.Context, eng *engine.View, row
 // multi-dataset extension, the donor pool. The context is checked every
 // engine.CheckEvery rows; an expired context makes the scan return
 // early with a partial list the caller must discard.
-func findCandidateTuples(ctx context.Context, v *engine.View, row, attr int, deps rfd.Set) []candidate {
+func findCandidateTuples(ctx context.Context, m *engine.Matcher, row, attr int, deps rfd.Set) []candidate {
+	v := m.View()
 	var cands []candidate
 	for j := 0; j < v.Len(); j++ {
 		if j%engine.CheckEvery == 0 && ctx.Err() != nil {
@@ -382,7 +384,7 @@ func findCandidateTuples(ctx context.Context, v *engine.View, row, attr int, dep
 		if v.IsNull(j, attr) {
 			continue
 		}
-		if d, ok := v.DistMin(deps, row, j); ok {
+		if d, ok := m.DistMin(deps, row, j); ok {
 			cands = append(cands, candidate{row: j, dist: d})
 		}
 	}
@@ -392,7 +394,8 @@ func findCandidateTuples(ctx context.Context, v *engine.View, row, attr int, dep
 // findCandidateTuplesIndexed is findCandidateTuples restricted to the
 // index-provided row set. Results are identical to the full scan because
 // every donor outside the set fails all premises.
-func findCandidateTuplesIndexed(ctx context.Context, v *engine.View, rows []int, row, attr int, deps rfd.Set) []candidate {
+func findCandidateTuplesIndexed(ctx context.Context, m *engine.Matcher, rows []int, row, attr int, deps rfd.Set) []candidate {
+	v := m.View()
 	var cands []candidate
 	for k, j := range rows {
 		if k%engine.CheckEvery == 0 && ctx.Err() != nil {
@@ -401,7 +404,7 @@ func findCandidateTuplesIndexed(ctx context.Context, v *engine.View, rows []int,
 		if v.IsNull(j, attr) {
 			continue
 		}
-		if d, ok := v.DistMin(deps, row, j); ok {
+		if d, ok := m.DistMin(deps, row, j); ok {
 			cands = append(cands, candidate{row: j, dist: d})
 		}
 	}
@@ -413,8 +416,8 @@ func findCandidateTuplesIndexed(ctx context.Context, v *engine.View, rows []int,
 // constrains A. Under VerifyLHS (the literal Algorithm 4) only RFDcs with
 // A on the LHS are re-checked; VerifyBothSides also re-checks RFDcs with
 // A as RHS attribute, giving the full Definition 4.3 guarantee.
-func (im *Imputer) isFaultless(ctx context.Context, v *engine.View, row, attr int, sigmaPrime rfd.Set) bool {
-	ok, _, _ := im.isFaultlessWitness(ctx, v, row, attr, sigmaPrime)
+func (im *Imputer) isFaultless(ctx context.Context, m *engine.Matcher, row, attr int, sigmaPrime rfd.Set) bool {
+	ok, _, _ := im.isFaultlessWitness(ctx, m, row, attr, sigmaPrime)
 	return ok
 }
 
@@ -424,7 +427,7 @@ func (im *Imputer) isFaultless(ctx context.Context, v *engine.View, row, attr in
 // Verification scans only the target rows of the view: semantic
 // consistency per Definition 4.3 concerns the target instance, never the
 // donor pool.
-func (im *Imputer) isFaultlessWitness(ctx context.Context, v *engine.View, row, attr int, sigmaPrime rfd.Set) (bool, *rfd.RFD, int) {
+func (im *Imputer) isFaultlessWitness(ctx context.Context, m *engine.Matcher, row, attr int, sigmaPrime rfd.Set) (bool, *rfd.RFD, int) {
 	if im.opts.Verify == VerifyOff {
 		return true, nil, -1
 	}
@@ -432,7 +435,7 @@ func (im *Imputer) isFaultlessWitness(ctx context.Context, v *engine.View, row, 
 	if len(relevant) == 0 {
 		return true, nil, -1
 	}
-	for i := 0; i < v.TargetLen(); i++ {
+	for i := 0; i < m.View().TargetLen(); i++ {
 		if i%engine.CheckEvery == 0 && ctx.Err() != nil {
 			// No verdict under an expired context; the caller re-checks
 			// ctx and discards whatever this returns.
@@ -442,7 +445,7 @@ func (im *Imputer) isFaultlessWitness(ctx context.Context, v *engine.View, row, 
 			continue
 		}
 		for _, dep := range relevant {
-			if v.Violates(dep, row, i) {
+			if m.Violates(dep, row, i) {
 				return false, dep, i
 			}
 		}

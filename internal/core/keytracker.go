@@ -24,6 +24,7 @@ import (
 // space satisfies its LHS.
 type keyTracker struct {
 	v     *engine.View
+	m     *engine.Matcher // the owning goroutine's kernel arena over v
 	sigma rfd.Set
 	isKey []bool
 	keys  int // number of true entries in isKey
@@ -36,7 +37,7 @@ type keyTracker struct {
 // An expired context stops the pass early; the caller must then abandon
 // the (incomplete) tracker.
 func newKeyTracker(ctx context.Context, v *engine.View, sigma rfd.Set) *keyTracker {
-	kt := &keyTracker{v: v, sigma: sigma,
+	kt := &keyTracker{v: v, m: v.Matcher(), sigma: sigma,
 		isKey: make([]bool, len(sigma)), keys: len(sigma)}
 	for i := range kt.isKey {
 		kt.isKey[i] = true
@@ -59,7 +60,7 @@ func newKeyTracker(ctx context.Context, v *engine.View, sigma rfd.Set) *keyTrack
 // satisfies.
 func (kt *keyTracker) absorbPair(i, j int) {
 	for s, dep := range kt.sigma {
-		if kt.isKey[s] && kt.v.MatchesLHS(dep, i, j) {
+		if kt.isKey[s] && kt.m.MatchesLHS(dep, i, j) {
 			kt.isKey[s] = false
 			kt.keys--
 		}
@@ -88,7 +89,7 @@ func (kt *keyTracker) afterImpute(row, attr int) {
 			continue
 		}
 		for s, dep := range kt.sigma {
-			if kt.isKey[s] && dep.HasLHSAttr(attr) && kt.v.MatchesLHS(dep, row, j) {
+			if kt.isKey[s] && dep.HasLHSAttr(attr) && kt.m.MatchesLHS(dep, row, j) {
 				kt.isKey[s] = false
 				kt.keys--
 			}

@@ -43,10 +43,15 @@ func chunkRanges(n, workers int) [][2]int {
 // Cancellation: each worker checks the context every engine.CheckEvery
 // rows and returns early; the merged result is then partial and the
 // caller (which re-checks ctx after the scan) must discard it.
-func findCandidateTuplesParallel(ctx context.Context, v *engine.View, row, attr int, deps rfd.Set, workers int) []candidate {
+//
+// m is the run goroutine's matcher (used directly on the serial
+// fallback); each worker goroutine evaluates through a matcher of its
+// own, so the kernel arenas are never shared across goroutines.
+func findCandidateTuplesParallel(ctx context.Context, m *engine.Matcher, row, attr int, deps rfd.Set, workers int) []candidate {
+	v := m.View()
 	n := v.Len()
 	if workers <= 1 || n < 2*workers {
-		return findCandidateTuples(ctx, v, row, attr, deps)
+		return findCandidateTuples(ctx, m, row, attr, deps)
 	}
 	ranges := chunkRanges(n, workers)
 	parts := make([][]candidate, len(ranges))
@@ -55,6 +60,7 @@ func findCandidateTuplesParallel(ctx context.Context, v *engine.View, row, attr 
 		wg.Add(1)
 		go func(ci int, lo, hi int) {
 			defer wg.Done()
+			wm := v.Matcher()
 			var local []candidate
 			for j := lo; j < hi; j++ {
 				if (j-lo)%engine.CheckEvery == 0 && ctx.Err() != nil {
@@ -66,7 +72,7 @@ func findCandidateTuplesParallel(ctx context.Context, v *engine.View, row, attr 
 				if v.IsNull(j, attr) {
 					continue
 				}
-				if d, ok := v.DistMin(deps, row, j); ok {
+				if d, ok := wm.DistMin(deps, row, j); ok {
 					local = append(local, candidate{row: j, dist: d})
 				}
 			}
@@ -84,7 +90,7 @@ func findCandidateTuplesParallel(ctx context.Context, v *engine.View, row, attr 
 // isFaultlessParallel mirrors isFaultless with a chunked scan over the
 // target rows; the first violation found anywhere flips a shared flag
 // and stops the other workers at their next check.
-func (im *Imputer) isFaultlessParallel(ctx context.Context, v *engine.View, row, attr int, sigmaPrime rfd.Set) bool {
+func (im *Imputer) isFaultlessParallel(ctx context.Context, m *engine.Matcher, row, attr int, sigmaPrime rfd.Set) bool {
 	if im.opts.Verify == VerifyOff {
 		return true
 	}
@@ -92,9 +98,10 @@ func (im *Imputer) isFaultlessParallel(ctx context.Context, v *engine.View, row,
 	if len(relevant) == 0 {
 		return true
 	}
+	v := m.View()
 	n := v.TargetLen()
 	if im.opts.Workers <= 1 || n < 2*im.opts.Workers {
-		return im.isFaultless(ctx, v, row, attr, sigmaPrime)
+		return im.isFaultless(ctx, m, row, attr, sigmaPrime)
 	}
 	var violated atomic.Bool
 	var wg sync.WaitGroup
@@ -102,6 +109,7 @@ func (im *Imputer) isFaultlessParallel(ctx context.Context, v *engine.View, row,
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			wm := v.Matcher()
 			for i := lo; i < hi; i++ {
 				if (i-lo)%engine.CheckEvery == 0 && ctx.Err() != nil {
 					return
@@ -113,7 +121,7 @@ func (im *Imputer) isFaultlessParallel(ctx context.Context, v *engine.View, row,
 					return
 				}
 				for _, dep := range relevant {
-					if v.Violates(dep, row, i) {
+					if wm.Violates(dep, row, i) {
 						violated.Store(true)
 						return
 					}
@@ -134,7 +142,7 @@ func newKeyTrackerParallel(ctx context.Context, v *engine.View, sigma rfd.Set, w
 	if workers <= 1 || n < 2*workers || len(sigma) == 0 {
 		return newKeyTracker(ctx, v, sigma)
 	}
-	kt := &keyTracker{v: v, sigma: sigma, isKey: make([]bool, len(sigma))}
+	kt := &keyTracker{v: v, m: v.Matcher(), sigma: sigma, isKey: make([]bool, len(sigma))}
 	flags := make([]atomic.Bool, len(sigma)) // true = still key
 	for i := range flags {
 		flags[i].Store(true)
@@ -147,13 +155,14 @@ func newKeyTrackerParallel(ctx context.Context, v *engine.View, sigma rfd.Set, w
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			wm := v.Matcher()
 			for i := lo; i < hi; i++ {
 				if remaining.Load() == 0 || ctx.Err() != nil {
 					return
 				}
 				for j := i + 1; j < v.Len(); j++ {
 					for s, dep := range sigma {
-						if flags[s].Load() && v.MatchesLHS(dep, i, j) {
+						if flags[s].Load() && wm.MatchesLHS(dep, i, j) {
 							if flags[s].CompareAndSwap(true, false) {
 								remaining.Add(-1)
 							}

@@ -128,9 +128,9 @@ func TestParallelCandidateScanEquivalence(t *testing.T) {
 			continue
 		}
 		row := rng.Intn(rel.Len())
-		v := engine.Compile(rel)
-		serial := findCandidateTuples(context.Background(), v, row, attr, deps)
-		par := findCandidateTuplesParallel(context.Background(), v, row, attr, deps, 3)
+		m := engine.Compile(rel).Matcher()
+		serial := findCandidateTuples(context.Background(), m, row, attr, deps)
+		par := findCandidateTuplesParallel(context.Background(), m, row, attr, deps, 3)
 		if len(serial) != len(par) {
 			t.Fatalf("trial %d: candidate counts %d vs %d", trial, len(serial), len(par))
 		}

@@ -29,6 +29,7 @@ import (
 type Stream struct {
 	im *Imputer
 	v  *engine.View
+	m  *engine.Matcher // stream-goroutine kernel arena over v
 	kt *keyTracker
 	// stats accumulates over the stream's lifetime.
 	stats Stats
@@ -45,6 +46,7 @@ func (im *Imputer) NewStream(base *dataset.Relation) *Stream {
 	return &Stream{
 		im: im,
 		v:  v,
+		m:  v.Matcher(),
 		kt: newKeyTracker(context.Background(), v, im.sigma),
 	}
 }
@@ -78,7 +80,7 @@ func (s *Stream) Append(t dataset.Tuple) ([]Imputation, error) {
 		res.Stats.MissingCells = 1
 		sigmaPrime := s.kt.nonKeys()
 		clusters := s.im.clustersFor(sigmaPrime, attr)
-		if ok, _ := s.im.imputeMissingValue(context.Background(), s.v, row, attr, sigmaPrime, clusters, res, nil); ok {
+		if ok, _ := s.im.imputeMissingValue(context.Background(), s.m, row, attr, sigmaPrime, clusters, res, nil); ok {
 			if !s.im.opts.NoKeyReevaluation {
 				before := s.kt.keys
 				s.kt.afterImpute(row, attr)
@@ -106,7 +108,7 @@ func (s *Stream) RetryMissing() []Imputation {
 		res := &Result{Relation: work}
 		sigmaPrime := s.kt.nonKeys()
 		clusters := s.im.clustersFor(sigmaPrime, cell.Attr)
-		if ok, _ := s.im.imputeMissingValue(context.Background(), s.v, cell.Row, cell.Attr, sigmaPrime, clusters, res, nil); ok {
+		if ok, _ := s.im.imputeMissingValue(context.Background(), s.m, cell.Row, cell.Attr, sigmaPrime, clusters, res, nil); ok {
 			if !s.im.opts.NoKeyReevaluation {
 				before := s.kt.keys
 				s.kt.afterImpute(cell.Row, cell.Attr)

@@ -52,9 +52,9 @@ func AdaptiveAttrLimitsWorkers(rel *dataset.Relation, quantile float64, maxPairs
 	}
 
 	v := engine.Compile(rel)
-	recordInto := func(samples [][]float64, i, j int) {
+	recordInto := func(em *engine.Matcher, samples [][]float64, i, j int) {
 		for a := 0; a < m; a++ {
-			d := v.Distance(a, i, j)
+			d := em.Distance(a, i, j)
 			if !distance.IsMissing(d) && d > 0 {
 				samples[a] = append(samples[a], d)
 			}
@@ -69,10 +69,11 @@ func AdaptiveAttrLimitsWorkers(rel *dataset.Relation, quantile float64, maxPairs
 		ranges := chunkRanges(total, workers)
 		parts := make([][][]float64, len(ranges))
 		runChunks(workers, total, func(ci, lo, hi int) {
+			em := v.Matcher() // per-chunk kernel arena
 			local := make([][]float64, m)
 			i, j := pairAt(n, lo)
 			for k := lo; k < hi; k++ {
-				recordInto(local, i, j)
+				recordInto(em, local, i, j)
 				j++
 				if j == n {
 					i++
@@ -89,11 +90,12 @@ func AdaptiveAttrLimitsWorkers(rel *dataset.Relation, quantile float64, maxPairs
 		}
 	} else {
 		samples = make([][]float64, m)
+		em := v.Matcher()
 		rng := rand.New(rand.NewSource(seed))
 		for k := 0; k < maxPairs; k++ {
 			i, j := rng.Intn(n), rng.Intn(n)
 			if i != j {
-				recordInto(samples, i, j)
+				recordInto(em, samples, i, j)
 			}
 		}
 	}

@@ -26,6 +26,7 @@ import (
 //     seen so far.
 type Maintainer struct {
 	v       *engine.View
+	m       *engine.Matcher // serial-path kernel arena over v
 	sigma   rfd.Set
 	workers int
 	// one is the serial-path pattern scratch, reused across appends.
@@ -60,7 +61,8 @@ func NewMaintainerWorkers(base *dataset.Relation, sigma rfd.Set, workers int) *M
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	return &Maintainer{v: engine.Compile(base.Clone()), sigma: cp, workers: workers}
+	v := engine.Compile(base.Clone())
+	return &Maintainer{v: v, m: v.Matcher(), sigma: cp, workers: workers}
 }
 
 // Sigma returns the currently maintained set. The returned slice is the
@@ -107,7 +109,7 @@ func (mt *Maintainer) Append(t dataset.Tuple) (dropped, tightened int, err error
 			mt.one = distance.NewPattern(mt.v.Arity())
 		}
 		for j := 0; j < row; j++ {
-			mt.v.PatternInto(mt.one, row, j)
+			mt.m.PatternInto(mt.one, row, j)
 			repair(mt.one)
 		}
 	} else {
@@ -133,8 +135,9 @@ func (mt *Maintainer) patternsAgainst(row int) []distance.Pattern {
 		mt.pats = grown
 	}
 	runChunks(mt.workers, row, func(_, lo, hi int) {
+		wm := mt.v.Matcher() // per-chunk kernel arena
 		for j := lo; j < hi; j++ {
-			mt.v.PatternInto(mt.pats[j], row, j)
+			wm.PatternInto(mt.pats[j], row, j)
 		}
 	})
 	return mt.pats[:row]

@@ -92,12 +92,13 @@ func materializeAllPairs(ctx context.Context, v *engine.View, workers int, rec o
 	total := n * (n - 1) / 2
 	out := patternSlab(total, v.Arity())
 	chunks := runChunks(workers, total, func(_, lo, hi int) {
+		m := v.Matcher() // per-chunk kernel arena
 		i, j := pairAt(n, lo)
 		for k := lo; k < hi; k++ {
 			if (k-lo)%engine.CheckEvery == 0 && ctx.Err() != nil {
 				return
 			}
-			v.PatternInto(out[k], i, j)
+			m.PatternInto(out[k], i, j)
 			j++
 			if j == n {
 				i++
@@ -115,11 +116,12 @@ func materializeAllPairs(ctx context.Context, v *engine.View, workers int, rec o
 func materializePairs(ctx context.Context, v *engine.View, pairs [][2]int, workers int, rec obs.Recorder) []distance.Pattern {
 	out := patternSlab(len(pairs), v.Arity())
 	chunks := runChunks(workers, len(pairs), func(_, lo, hi int) {
+		m := v.Matcher() // per-chunk kernel arena
 		for k := lo; k < hi; k++ {
 			if (k-lo)%engine.CheckEvery == 0 && ctx.Err() != nil {
 				return
 			}
-			v.PatternInto(out[k], pairs[k][0], pairs[k][1])
+			m.PatternInto(out[k], pairs[k][0], pairs[k][1])
 		}
 	})
 	rec.Add(obs.CtrDiscoveryPatternChunks, int64(chunks))

@@ -1,9 +1,60 @@
 package distance
 
 import (
+	"strings"
 	"testing"
 	"unicode/utf8"
 )
+
+// FuzzLevenshteinKernels is the differential fuzz target of the kernel
+// harness: for arbitrary UTF-8 (and invalid-UTF-8) inputs, the Myers
+// bit-parallel kernel, the banded DP, and the automatic dispatch must
+// all return exactly the naive O(nm) oracle's distance, and the bounded
+// predicate must agree with the oracle at the threshold boundary
+// (d == th and d == th±1) under every kernel. Inputs are capped just
+// above the 64-rune word boundary so the Myers/fallback seam stays in
+// scope without making the oracle quadratic-slow.
+func FuzzLevenshteinKernels(f *testing.F) {
+	f.Add("kitten", "sitting")
+	f.Add("", "")
+	f.Add("a", "")
+	f.Add("héllo", "hello")
+	f.Add("café", "café") // combining mark vs precomposed
+	f.Add("日本語のテキスト", "日本语のテキスト")
+	f.Add("\xc3\x28", "\xc3\xa9") // invalid UTF-8
+	f.Add(strings.Repeat("a", 63), strings.Repeat("a", 63)+"b")
+	f.Add(strings.Repeat("a", 64), strings.Repeat("a", 63)+"b")
+	f.Add(strings.Repeat("a", 65), strings.Repeat("a", 64))
+	f.Add(strings.Repeat("α", 64), strings.Repeat("α", 63)+"β")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		// Keep the naive oracle affordable while straddling the 64-rune
+		// word boundary.
+		const maxRunes = 72
+		ra, rb := Runes(a), Runes(b)
+		if len(ra) > maxRunes {
+			ra = ra[:maxRunes]
+		}
+		if len(rb) > maxRunes {
+			rb = rb[:maxRunes]
+		}
+		d, _ := naiveLevenshtein(ra, rb, nil)
+		sc := NewScratch()
+		for _, cfg := range kernelsUnderTest {
+			SetKernel(cfg.k)
+			if got := sc.LevenshteinRunes(ra, rb); got != d {
+				t.Errorf("%s: distance %d, oracle %d (%q vs %q)",
+					cfg.name, got, d, string(ra), string(rb))
+			}
+			for _, th := range []int{d - 1, d, d + 1} {
+				if got, want := sc.WithinRunes(ra, rb, th), d <= th; got != want {
+					t.Errorf("%s: Within(th=%d) = %v, exact %d (%q vs %q)",
+						cfg.name, th, got, d, string(ra), string(rb))
+				}
+			}
+		}
+		SetKernel(KernelAuto)
+	})
+}
 
 // FuzzLevenshteinMetric: the metric axioms hold for arbitrary inputs,
 // and the bounded predicate agrees with the exact distance.

@@ -4,141 +4,72 @@
 // booleans. It also provides the distance pattern of Definition 5.4 —
 // the per-attribute distance vector between two tuples with "_" marks
 // where either side is missing.
+//
+// The string kernels are bit-parallel: Myers' algorithm packs the DP
+// column into one uint64 whenever the shorter string is at most 64
+// runes (the overwhelmingly common case in the datasets), with the
+// banded dynamic program as the long-string fallback, and the bounded
+// predicate rejects most pairs on a length or alphabet-mask pre-filter
+// before touching any DP. All kernels run out of per-worker Scratch
+// arenas (see Scratch); the package-level entry points below borrow an
+// arena from an internal pool, so they allocate nothing per call
+// either. The differential harness in kernels_test.go and
+// FuzzLevenshteinKernels proves every kernel agrees with a naive
+// reference oracle.
 package distance
 
-import (
-	"unicode/utf8"
-
-	"repro/internal/obs"
-)
+import "unicode/utf8"
 
 // Levenshtein returns the edit distance (unit-cost insert/delete/
 // substitute) between a and b, computed over runes.
-//
-// The implementation is the classic two-row dynamic program with the
-// shorter string on the columns, so scratch space is O(min(|a|,|b|)).
 func Levenshtein(a, b string) int {
-	obs.GlobalAdd(obs.CtrLevenshteinCalls, 1)
-	if a == b {
-		return 0
-	}
-	return levRunes(toRunes(a), toRunes(b))
+	sc := getScratch()
+	d := sc.Levenshtein(a, b)
+	putScratch(sc)
+	return d
 }
 
 // LevenshteinRunes is Levenshtein over pre-decoded symbol slices (see
 // Runes) — the engine's compiled view interns each string's runes once
 // and reuses them across every pairwise computation.
 func LevenshteinRunes(ra, rb []rune) int {
-	obs.GlobalAdd(obs.CtrLevenshteinCalls, 1)
-	return levRunes(ra, rb)
-}
-
-func levRunes(ra, rb []rune) int {
-	if len(ra) == 0 {
-		return len(rb)
-	}
-	if len(rb) == 0 {
-		return len(ra)
-	}
-	if len(ra) < len(rb) {
-		ra, rb = rb, ra
-	}
-	prev := make([]int, len(rb)+1)
-	for j := range prev {
-		prev[j] = j
-	}
-	for i := 1; i <= len(ra); i++ {
-		diag := prev[0] // prev[i-1][j-1]
-		prev[0] = i
-		for j := 1; j <= len(rb); j++ {
-			cost := 0
-			if ra[i-1] != rb[j-1] {
-				cost = 1
-			}
-			next := min3(prev[j]+1, prev[j-1]+1, diag+cost)
-			diag = prev[j]
-			prev[j] = next
-		}
-	}
-	return prev[len(rb)]
+	sc := getScratch()
+	d := sc.LevenshteinRunes(ra, rb)
+	putScratch(sc)
+	return d
 }
 
 // LevenshteinWithin reports whether the edit distance between a and b is
-// at most max, short-circuiting as soon as the bound is provably exceeded.
-// The candidate-generation hot loop only needs the predicate, not the
-// exact distance, whenever the LHS threshold would be violated anyway.
+// at most max, short-circuiting as soon as the bound is provably exceeded
+// (length difference, alphabet-mask lower bound, or a DP column proven
+// above the bound). The candidate-generation hot loop only needs the
+// predicate, not the exact distance, whenever the LHS threshold would be
+// violated anyway.
 func LevenshteinWithin(a, b string, max int) bool {
-	obs.GlobalAdd(obs.CtrLevenshteinCalls, 1)
-	if max < 0 {
-		return false
-	}
-	if a == b {
-		return true
-	}
-	return levRunesWithin(toRunes(a), toRunes(b), max)
+	sc := getScratch()
+	ok := sc.Within(a, b, max)
+	putScratch(sc)
+	return ok
 }
 
 // LevenshteinRunesWithin is LevenshteinWithin over pre-decoded symbol
-// slices, exported for the engine's banded early-exit path.
+// slices, exported for the engine's threshold-aware path.
 func LevenshteinRunesWithin(ra, rb []rune, max int) bool {
-	obs.GlobalAdd(obs.CtrLevenshteinCalls, 1)
-	if max < 0 {
-		return false
-	}
-	return levRunesWithin(ra, rb, max)
+	sc := getScratch()
+	ok := sc.WithinRunes(ra, rb, max)
+	putScratch(sc)
+	return ok
 }
 
-func levRunesWithin(ra, rb []rune, max int) bool {
-	if len(ra) < len(rb) {
-		ra, rb = rb, ra
-	}
-	if len(ra)-len(rb) > max {
-		// Length difference alone exceeds the bound: no DP needed.
-		obs.GlobalAdd(obs.CtrLevenshteinEarlyExits, 1)
-		return false
-	}
-	if len(rb) == 0 {
-		return len(ra) <= max
-	}
-	const inf = 1 << 30
-	prev := make([]int, len(rb)+1)
-	for j := range prev {
-		if j <= max {
-			prev[j] = j
-		} else {
-			prev[j] = inf
-		}
-	}
-	for i := 1; i <= len(ra); i++ {
-		diag := prev[0]
-		if i <= max {
-			prev[0] = i
-		} else {
-			prev[0] = inf
-		}
-		rowMin := prev[0]
-		for j := 1; j <= len(rb); j++ {
-			cost := 0
-			if ra[i-1] != rb[j-1] {
-				cost = 1
-			}
-			next := min3(prev[j]+1, prev[j-1]+1, diag+cost)
-			if next > inf {
-				next = inf
-			}
-			diag = prev[j]
-			prev[j] = next
-			if next < rowMin {
-				rowMin = next
-			}
-		}
-		if rowMin > max {
-			// Whole DP row above the bound: the distance can only grow.
-			obs.GlobalAdd(obs.CtrLevenshteinEarlyExits, 1)
-			return false
-		}
-	}
-	return prev[len(rb)] <= max
+// LevenshteinRunesWithinMasked is LevenshteinRunesWithin with
+// caller-supplied alphabet signatures (RuneMask) — the engine interns
+// each string's mask once and hands it down so the pre-filter never
+// rescans the runes.
+func LevenshteinRunesWithinMasked(ra, rb []rune, ma, mb uint64, max int) bool {
+	sc := getScratch()
+	ok := sc.WithinRunesMasked(ra, rb, ma, mb, max)
+	putScratch(sc)
+	return ok
 }
 
 // NormalizedLevenshtein returns the normalized edit distance of Yujian &

@@ -50,6 +50,7 @@ type interner struct {
 	strs  []string
 	runes [][]rune
 	lens  []int
+	masks []uint64 // alphabet signatures (distance.RuneMask), one per id
 }
 
 func (in *interner) intern(s string) int32 {
@@ -70,6 +71,7 @@ func (in *interner) intern(s string) int32 {
 	in.strs = append(in.strs, s)
 	in.runes = append(in.runes, r)
 	in.lens = append(in.lens, len(r))
+	in.masks = append(in.masks, distance.RuneMask(r))
 	return id
 }
 
@@ -87,6 +89,16 @@ func (in *interner) lenOf(id int32) int {
 		return in.base.lens[id]
 	}
 	return in.lens[id-in.nb]
+}
+
+// maskOf resolves an id to its alphabet signature, computed once at
+// intern time — the bounded predicate's pre-filter reads it instead of
+// rescanning the runes.
+func (in *interner) maskOf(id int32) uint64 {
+	if id < in.nb {
+		return in.base.masks[id]
+	}
+	return in.masks[id-in.nb]
 }
 
 // View is the compiled evaluation form of a target relation plus an
@@ -267,6 +279,13 @@ func (v *View) Append(t dataset.Tuple) error {
 // interned strings short-circuit to 0; distinct pairs are answered by
 // the memoized cache.
 func (v *View) Distance(attr, i, j int) float64 {
+	return v.distanceSC(nil, attr, i, j)
+}
+
+// distanceSC is Distance with an optional per-worker kernel arena: nil
+// borrows one from the distance package's pool on the (rare) compute
+// path, a Matcher passes its own.
+func (v *View) distanceSC(sc *distance.Scratch, attr, i, j int) float64 {
 	ci, ri := v.colAt(attr, i)
 	cj, rj := v.colAt(attr, j)
 	ki, kj := ci.kind[ri], cj.kind[rj]
@@ -279,7 +298,7 @@ func (v *View) Distance(attr, i, j int) float64 {
 		if a == b {
 			return 0
 		}
-		return v.stringDistance(attr, a, b)
+		return v.stringDistance(sc, attr, a, b)
 	case ki.Numeric() && kj.Numeric():
 		return math.Abs(ci.num[ri] - cj.num[rj])
 	case ki == dataset.KindBool && kj == dataset.KindBool:
@@ -306,14 +325,20 @@ func (v *View) cacheOf(attr int, a, b int32) *distCache {
 }
 
 // stringDistance answers a distinct interned pair from the cache,
-// computing and memoizing on miss.
-func (v *View) stringDistance(attr int, a, b int32) float64 {
+// computing and memoizing on miss (through the caller's arena when one
+// is threaded in).
+func (v *View) stringDistance(sc *distance.Scratch, attr int, a, b int32) float64 {
 	cache := v.cacheOf(attr, a, b)
 	if d, ok := cache.get(attr, a, b); ok {
 		return float64(d)
 	}
 	in := v.interns[attr]
-	d := int32(distance.LevenshteinRunes(in.runesOf(a), in.runesOf(b)))
+	var d int32
+	if sc != nil {
+		d = int32(sc.LevenshteinRunes(in.runesOf(a), in.runesOf(b)))
+	} else {
+		d = int32(distance.LevenshteinRunes(in.runesOf(a), in.runesOf(b)))
+	}
 	cache.put(attr, a, b, d)
 	return float64(d)
 }
@@ -321,9 +346,15 @@ func (v *View) stringDistance(attr int, a, b int32) float64 {
 // Within reports whether Distance(attr, i, j) <= max, mirroring
 // distance.ValuesWithin: false when either side is null or the kinds
 // are incomparable. For strings it consults the cache first and falls
-// back to the banded early-exit kernel without storing, so a failed
-// threshold check never pays for an exact distance.
+// back to the bounded kernel — behind its length and alphabet-mask
+// pre-filters — without storing, so a failed threshold check never pays
+// for an exact distance.
 func (v *View) Within(attr, i, j int, max float64) bool {
+	return v.withinSC(nil, attr, i, j, max)
+}
+
+// withinSC is Within with an optional per-worker kernel arena.
+func (v *View) withinSC(sc *distance.Scratch, attr, i, j int, max float64) bool {
 	ci, ri := v.colAt(attr, i)
 	cj, rj := v.colAt(attr, j)
 	ki, kj := ci.kind[ri], cj.kind[rj]
@@ -350,7 +381,13 @@ func (v *View) Within(attr, i, j int, max float64) bool {
 		if d, ok := v.cacheOf(attr, a, b).get(attr, a, b); ok {
 			return int(d) <= bound
 		}
-		return distance.LevenshteinRunesWithin(in.runesOf(a), in.runesOf(b), bound)
+		// Miss: run the bounded kernel with the interned alphabet
+		// signatures, so the mask pre-filter costs two loads, not a
+		// rune scan.
+		if sc != nil {
+			return sc.WithinRunesMasked(in.runesOf(a), in.runesOf(b), in.maskOf(a), in.maskOf(b), bound)
+		}
+		return distance.LevenshteinRunesWithinMasked(in.runesOf(a), in.runesOf(b), in.maskOf(a), in.maskOf(b), bound)
 	case ki.Numeric() && kj.Numeric():
 		return math.Abs(ci.num[ri]-cj.num[rj]) <= max
 	case ki == dataset.KindBool && kj == dataset.KindBool:
@@ -368,8 +405,12 @@ func (v *View) Within(attr, i, j int, max float64) bool {
 // constraint of the dependency, early-exiting on the first failed
 // attribute — the threshold-aware form of LHSSatisfiedBy.
 func (v *View) MatchesLHS(dep *rfd.RFD, i, j int) bool {
+	return v.matchesLHSSC(nil, dep, i, j)
+}
+
+func (v *View) matchesLHSSC(sc *distance.Scratch, dep *rfd.RFD, i, j int) bool {
 	for _, c := range dep.LHS {
-		if !v.Within(c.Attr, i, j, c.Threshold) {
+		if !v.withinSC(sc, c.Attr, i, j, c.Threshold) {
 			return false
 		}
 	}
@@ -380,10 +421,14 @@ func (v *View) MatchesLHS(dep *rfd.RFD, i, j int) bool {
 // dependency: LHS satisfied and the RHS distance present but above the
 // threshold (a missing RHS component is not a witness).
 func (v *View) Violates(dep *rfd.RFD, i, j int) bool {
-	if !v.MatchesLHS(dep, i, j) {
+	return v.violatesSC(nil, dep, i, j)
+}
+
+func (v *View) violatesSC(sc *distance.Scratch, dep *rfd.RFD, i, j int) bool {
+	if !v.matchesLHSSC(sc, dep, i, j) {
 		return false
 	}
-	d := v.Distance(dep.RHS.Attr, i, j)
+	d := v.distanceSC(sc, dep.RHS.Attr, i, j)
 	return !distance.IsMissing(d) && d > dep.RHS.Threshold
 }
 
@@ -392,14 +437,18 @@ func (v *View) Violates(dep *rfd.RFD, i, j int) bool {
 // The summation runs in LHS attribute order, so results are
 // bit-identical to Pattern.MeanOver over LHSAttrs.
 func (v *View) DistMin(deps rfd.Set, i, j int) (float64, bool) {
+	return v.distMinSC(nil, deps, i, j)
+}
+
+func (v *View) distMinSC(sc *distance.Scratch, deps rfd.Set, i, j int) (float64, bool) {
 	distMin, found := 0.0, false
 	for _, dep := range deps {
-		if !v.MatchesLHS(dep, i, j) {
+		if !v.matchesLHSSC(sc, dep, i, j) {
 			continue
 		}
 		sum := 0.0
 		for _, c := range dep.LHS {
-			sum += v.Distance(c.Attr, i, j)
+			sum += v.distanceSC(sc, c.Attr, i, j)
 		}
 		d := sum / float64(len(dep.LHS))
 		if !found || d < distMin {
@@ -412,8 +461,12 @@ func (v *View) DistMin(deps rfd.Set, i, j int) (float64, bool) {
 // PatternInto fills p with the full distance pattern of the pair
 // (i, j). The slice must have len == Arity().
 func (v *View) PatternInto(p distance.Pattern, i, j int) {
+	v.patternIntoSC(nil, p, i, j)
+}
+
+func (v *View) patternIntoSC(sc *distance.Scratch, p distance.Pattern, i, j int) {
 	for a := 0; a < v.m; a++ {
-		p[a] = v.Distance(a, i, j)
+		p[a] = v.distanceSC(sc, a, i, j)
 	}
 }
 

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/distance"
+	"repro/internal/eval"
+)
+
+// TestTable4KernelParity guards the bit-parallel string kernels on the
+// Table 4 workload: RENUVER on the injected Restaurant dataset must
+// impute byte-identically whether the edit distances come from the
+// Myers bit-parallel kernel, the banded-DP reference, or the automatic
+// dispatch — same imputations, same final relation, same accuracy.
+func TestTable4KernelParity(t *testing.T) {
+	env := benchEnv()
+	rel, err := env.Dataset("restaurant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma, err := env.SigmaFor(rel, env.Scale.Thresholds[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rate := range []float64{0.10, 0.30} {
+		injRel, _, err := eval.Inject(rel, rate, env.Scale.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(k distance.Kernel) *core.Result {
+			prev := distance.SetKernel(k)
+			defer distance.SetKernel(prev)
+			res, err := core.New(sigma).Impute(injRel)
+			if err != nil {
+				t.Fatalf("rate %.0f%%: %v", rate*100, err)
+			}
+			return res
+		}
+		ref := run(distance.KernelAuto)
+		for name, k := range map[string]distance.Kernel{
+			"myers": distance.KernelMyers, "banded": distance.KernelBanded,
+		} {
+			res := run(k)
+			if !ref.Relation.Equal(res.Relation) {
+				t.Errorf("rate %.0f%% %s: imputed relation diverged", rate*100, name)
+			}
+			if len(ref.Imputations) != len(res.Imputations) {
+				t.Fatalf("rate %.0f%% %s: %d imputations vs %d",
+					rate*100, name, len(res.Imputations), len(ref.Imputations))
+			}
+			for i := range ref.Imputations {
+				if ref.Imputations[i] != res.Imputations[i] {
+					t.Errorf("rate %.0f%% %s: imputation %d differs:\n%+v\n%+v",
+						rate*100, name, i, res.Imputations[i], ref.Imputations[i])
+				}
+			}
+			if ref.Stats.Imputed != res.Stats.Imputed || ref.Stats.Unimputed != res.Stats.Unimputed {
+				t.Errorf("rate %.0f%% %s: imputed/unimputed %d/%d, want %d/%d", rate*100, name,
+					res.Stats.Imputed, res.Stats.Unimputed, ref.Stats.Imputed, ref.Stats.Unimputed)
+			}
+		}
+	}
+}

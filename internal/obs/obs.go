@@ -68,8 +68,20 @@ const (
 	// CtrLevenshteinCalls counts exact edit-distance computations.
 	CtrLevenshteinCalls
 	// CtrLevenshteinEarlyExits counts bounded-predicate calls that
-	// short-circuited before completing the full dynamic program.
+	// short-circuited before completing the full dynamic program
+	// (length pre-filter, alphabet-mask pre-filter, or an aborted DP).
 	CtrLevenshteinEarlyExits
+	// CtrLevenshteinMyers counts edit-distance computations answered by
+	// the bit-parallel Myers kernel.
+	CtrLevenshteinMyers
+	// CtrLevenshteinBanded counts edit-distance computations that ran
+	// the banded dynamic program (patterns over 64 runes, or the forced
+	// reference kernel).
+	CtrLevenshteinBanded
+	// CtrLevenshteinMaskRejects counts bounded-predicate calls rejected
+	// by the alphabet-mask pre-filter alone (also counted as early
+	// exits).
+	CtrLevenshteinMaskRejects
 	// CtrEngineCacheHits counts pairwise distance lookups answered by the
 	// evaluation engine's memoized cache.
 	CtrEngineCacheHits
@@ -113,6 +125,9 @@ var counterNames = [...]string{
 	CtrDiscoveryPatternChunks: "discovery_pattern_chunks",
 	CtrLevenshteinCalls:       "levenshtein_calls",
 	CtrLevenshteinEarlyExits:  "levenshtein_early_exits",
+	CtrLevenshteinMyers:       "levenshtein_myers",
+	CtrLevenshteinBanded:      "levenshtein_banded",
+	CtrLevenshteinMaskRejects: "levenshtein_mask_rejects",
 	CtrEngineCacheHits:        "engine_cache_hits",
 	CtrEngineCacheMisses:      "engine_cache_misses",
 	CtrEngineIndexProbes:      "engine_index_probes",
