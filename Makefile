@@ -3,9 +3,14 @@
 
 GO ?= go
 
-.PHONY: check fmt vet vet-ctx build test kernels race bench bench-dist golden smoke
+# Scratch directory for freshly measured benchmark JSON; the committed
+# BENCH_*.json files in the repo root are the baselines benchdiff gates
+# against.
+BENCHTMP := .bench-tmp
 
-check: fmt vet vet-ctx build kernels test
+.PHONY: check fmt vet vet-ctx build test kernels race bench bench-dist bench-json bench-check bench-update golden smoke
+
+check: fmt vet vet-ctx build kernels test bench-check
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -50,6 +55,31 @@ bench:
 # must stay at zero).
 bench-dist:
 	$(GO) test -bench 'BenchmarkKernels|BenchmarkWithinPrefilter' -benchmem -run=^$$ ./internal/distance/
+
+# Measure the four benchmark JSON documents (core, engine, session,
+# discovery) into $(BENCHTMP) via the env-gated TestBench*JSON emitters.
+bench-json:
+	@mkdir -p $(BENCHTMP)
+	BENCH_OUT=$(abspath $(BENCHTMP))/BENCH_core.json $(GO) test -run TestBenchJSON -count=1 ./internal/core/
+	BENCH_ENGINE_OUT=$(abspath $(BENCHTMP))/BENCH_engine.json $(GO) test -run TestBenchEngineJSON -count=1 ./internal/core/
+	BENCH_SESSION_OUT=$(abspath $(BENCHTMP))/BENCH_session.json $(GO) test -run TestBenchSessionJSON -count=1 ./internal/core/
+	BENCH_DISCOVERY_OUT=$(abspath $(BENCHTMP))/BENCH_discovery.json $(GO) test -run TestBenchDiscoveryJSON -count=1 ./internal/discovery/
+
+# The perf-regression gate: fresh measurements against the committed
+# baselines. Wall clock gets a wide band (noisy hosts); allocation
+# counts a tight one (deterministic). Fails the build on regression.
+bench-check: bench-json
+	$(GO) run ./cmd/benchdiff \
+	  BENCH_core.json $(BENCHTMP)/BENCH_core.json \
+	  BENCH_engine.json $(BENCHTMP)/BENCH_engine.json \
+	  BENCH_session.json $(BENCHTMP)/BENCH_session.json \
+	  BENCH_discovery.json $(BENCHTMP)/BENCH_discovery.json
+
+# Bless the current figures as the new committed baselines after an
+# intentional performance change; diff the result before committing.
+bench-update: bench-json
+	cp $(BENCHTMP)/BENCH_core.json $(BENCHTMP)/BENCH_engine.json \
+	   $(BENCHTMP)/BENCH_session.json $(BENCHTMP)/BENCH_discovery.json .
 
 # Regenerate the golden files (trace JSONL schema) after an intentional
 # schema change; diff the result before committing.

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const baselineDoc = `{
+  "package": "repro/internal/core",
+  "benchmarks": [
+    {"name": "Impute", "iterations": 1000, "ns_per_op": 40000, "allocs_per_op": 300, "bytes_per_op": 24000},
+    {"name": "Levenshtein", "iterations": 100000, "ns_per_op": 100, "allocs_per_op": 0, "bytes_per_op": 0}
+  ]
+}`
+
+func TestParseRecordsFlat(t *testing.T) {
+	recs, err := parseRecords([]byte(baselineDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2", len(recs))
+	}
+	imp := recs["Impute"]
+	if imp.NsPerOp != 40000 || imp.AllocsPerOp != 300 || imp.BytesPerOp != 24000 || imp.Iterations != 1000 {
+		t.Fatalf("Impute record = %+v", imp)
+	}
+}
+
+// The engine/session/discovery documents nest their records beside
+// extra envelope fields; the walker must find them all, and a
+// before/after pair with colliding names must resolve deterministically
+// to the "after" (current) figures — keys are walked sorted, first
+// occurrence wins.
+func TestParseRecordsNested(t *testing.T) {
+	doc := `{
+	  "host": {"gomaxprocs": 1, "note": "x"},
+	  "before": {"benchmarks": [{"name": "Discover/strings", "ns_per_op": 200, "allocs_per_op": 9}]},
+	  "after":  {"benchmarks": [{"name": "Discover/strings", "ns_per_op": 100, "allocs_per_op": 5}]},
+	  "session_speedup": 1.9
+	}`
+	recs, err := parseRecords([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := recs["Discover/strings"]
+	if !ok || r.NsPerOp != 100 || r.AllocsPerOp != 5 {
+		t.Fatalf("nested record = %+v (ok=%v), want the later occurrence", r, ok)
+	}
+}
+
+func TestParseRecordsEmpty(t *testing.T) {
+	if _, err := parseRecords([]byte(`{"benchmarks": []}`)); err == nil {
+		t.Fatal("empty document accepted")
+	}
+}
+
+// TestCommittedBaselinesParse keeps the repo's BENCH_*.json files
+// loadable by the gate — a baseline the gate cannot read is a gate that
+// silently stopped gating.
+func TestCommittedBaselinesParse(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Skip("no committed baselines")
+	}
+	for _, path := range matches {
+		doc, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := parseRecords(doc)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		for name, r := range recs {
+			if r.NsPerOp <= 0 {
+				t.Errorf("%s: %s has ns_per_op %v", path, name, r.NsPerOp)
+			}
+		}
+	}
+}
+
+func defaultTol() Tolerance {
+	return Tolerance{Time: 0.50, Allocs: 0.02, AllocsSlack: 2, Bytes: 0.50}
+}
+
+// TestCompareWithinTolerance: jitter inside the bands passes.
+func TestCompareWithinTolerance(t *testing.T) {
+	base := map[string]Record{"Impute": {Name: "Impute", NsPerOp: 40000, AllocsPerOp: 300, BytesPerOp: 24000}}
+	curr := map[string]Record{"Impute": {Name: "Impute", NsPerOp: 55000, AllocsPerOp: 302, BytesPerOp: 30000}}
+	if _, failed := compare(base, curr, defaultTol()); failed {
+		t.Fatal("in-band jitter flagged as regression")
+	}
+}
+
+// TestCompareSyntheticRegression proves the gate actually fails: a
+// doubled ns/op, an allocation growth past the slack, and a vanished
+// benchmark must each trip it.
+func TestCompareSyntheticRegression(t *testing.T) {
+	base := map[string]Record{
+		"Impute":      {Name: "Impute", NsPerOp: 40000, AllocsPerOp: 300, BytesPerOp: 24000},
+		"Levenshtein": {Name: "Levenshtein", NsPerOp: 100, AllocsPerOp: 0, BytesPerOp: 0},
+	}
+
+	slow := map[string]Record{
+		"Impute":      {Name: "Impute", NsPerOp: 80000, AllocsPerOp: 300, BytesPerOp: 24000},
+		"Levenshtein": base["Levenshtein"],
+	}
+	report, failed := compare(base, slow, defaultTol())
+	if !failed {
+		t.Fatal("2x ns/op not flagged")
+	}
+	if !strings.Contains(strings.Join(report, "\n"), "REGRESSION") {
+		t.Fatalf("report lacks REGRESSION marker:\n%s", strings.Join(report, "\n"))
+	}
+
+	leaky := map[string]Record{
+		"Impute":      {Name: "Impute", NsPerOp: 40000, AllocsPerOp: 309, BytesPerOp: 24000},
+		"Levenshtein": base["Levenshtein"],
+	}
+	if _, failed := compare(base, leaky, defaultTol()); !failed {
+		t.Fatal("allocs/op past the band not flagged")
+	}
+
+	// The zero-alloc kernel growing any allocation at all clears the
+	// absolute slack only; 3 allocs must fail against a 0 baseline.
+	hot := map[string]Record{
+		"Impute":      base["Impute"],
+		"Levenshtein": {Name: "Levenshtein", NsPerOp: 100, AllocsPerOp: 3, BytesPerOp: 48},
+	}
+	if _, failed := compare(base, hot, defaultTol()); !failed {
+		t.Fatal("zero-alloc kernel growing 3 allocs/op not flagged")
+	}
+
+	missing := map[string]Record{"Impute": base["Impute"]}
+	report, failed = compare(base, missing, defaultTol())
+	if !failed {
+		t.Fatal("vanished benchmark not flagged")
+	}
+	if !strings.Contains(strings.Join(report, "\n"), "MISSING") {
+		t.Fatalf("report lacks MISSING marker:\n%s", strings.Join(report, "\n"))
+	}
+}
+
+// TestCompareImprovementPasses: faster/leaner figures never fail; the
+// new-benchmark case is reported but non-fatal.
+func TestCompareImprovementPasses(t *testing.T) {
+	base := map[string]Record{"Impute": {Name: "Impute", NsPerOp: 40000, AllocsPerOp: 300, BytesPerOp: 24000}}
+	curr := map[string]Record{
+		"Impute": {Name: "Impute", NsPerOp: 20000, AllocsPerOp: 150, BytesPerOp: 12000},
+		"New":    {Name: "New", NsPerOp: 10},
+	}
+	report, failed := compare(base, curr, defaultTol())
+	if failed {
+		t.Fatal("improvement flagged as regression")
+	}
+	joined := strings.Join(report, "\n")
+	if !strings.Contains(joined, "improved") || !strings.Contains(joined, "new benchmark") {
+		t.Fatalf("report:\n%s", joined)
+	}
+}
+
+// TestRunEndToEnd drives the CLI surface over temp files: exit-worthy
+// regression on one pair, clean pass on identical figures, usage error
+// on an odd argument count.
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(basePath, []byte(baselineDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	slowPath := filepath.Join(dir, "slow.json")
+	slowDoc := strings.Replace(baselineDoc, `"ns_per_op": 40000`, `"ns_per_op": 90000`, 1)
+	if err := os.WriteFile(slowPath, []byte(slowDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	failed, err := run([]string{basePath, basePath})
+	if err != nil || failed {
+		t.Fatalf("identical pair: failed=%v err=%v", failed, err)
+	}
+	failed, err = run([]string{basePath, slowPath})
+	if err != nil || !failed {
+		t.Fatalf("regressed pair: failed=%v err=%v", failed, err)
+	}
+	if _, err := run([]string{basePath}); err == nil {
+		t.Fatal("odd argument count accepted")
+	}
+	if failed, err := run([]string{basePath, filepath.Join(dir, "absent.json")}); err == nil || !failed {
+		t.Fatal("unreadable current file accepted")
+	}
+}

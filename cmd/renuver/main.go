@@ -33,14 +33,24 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"runtime"
 	"strings"
 
 	renuver "repro"
 )
 
+// version identifies the build; override it at link time with
+// `-ldflags "-X main.version=v1.2.3"`. It is reported by -version and
+// exported as the renuver_build_info metric of `renuver serve`.
+var version = "dev"
+
 func main() {
 	if len(os.Args) > 1 {
 		switch os.Args[1] {
+		case "-version", "--version", "version":
+			fmt.Printf("renuver %s %s levenshtein_kernel=%s\n",
+				version, runtime.Version(), renuver.ActiveKernelName())
+			return
 		case "serve":
 			if err := runServe(os.Args[2:]); err != nil {
 				fmt.Fprintln(os.Stderr, "renuver serve:", err)

@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"os/signal"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -43,6 +44,12 @@ import (
 //	                    format when the Accept header asks for it.
 //	GET  /v1/trace/last the most recent sampled cell's decision trace as
 //	                    a JSON event array (404 when tracing is off).
+//	GET  /debug/spans   the last -span-ring completed request span trees
+//	                    as JSON (404 when -span-ring is 0). Every request
+//	                    runs under a span trace: a valid inbound W3C
+//	                    traceparent is joined, the response carries
+//	                    X-Request-Id and a traceparent, and per-phase
+//	                    child spans record the run's internals.
 //	GET  /healthz       liveness probe.
 //	GET  /debug/pprof/  CPU/heap/goroutine profiles.
 //
@@ -65,6 +72,7 @@ func runServe(args []string) error {
 		queueDepth   = fs.Int("queue-depth", 0, "requests allowed to wait for a pool slot before 429 (0 = 2x pool size)")
 		reqTimeout   = fs.Duration("request-timeout", 30*time.Second, "per-request deadline (0 = none)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "grace for in-flight runs on SIGTERM before the server exits")
+		spanRing     = fs.Int("span-ring", 64, "completed request span traces retained for /debug/spans (0 = disable the endpoint)")
 		logJSON      = fs.Bool("log-json", false, "emit request logs as JSON lines")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -76,7 +84,7 @@ func runServe(args []string) error {
 	}
 	for name, v := range map[string]int{
 		"-workers": *workers, "-pool-size": *poolSize, "-queue-depth": *queueDepth,
-		"-trace-sample": *traceSample, "-trace-cells": *traceCells,
+		"-trace-sample": *traceSample, "-trace-cells": *traceCells, "-span-ring": *spanRing,
 	} {
 		if v < 0 {
 			return fmt.Errorf("serve: %s must be >= 0, got %d", name, v)
@@ -134,7 +142,11 @@ func runServe(args []string) error {
 		queue:          *queueDepth,
 		requestTimeout: *reqTimeout,
 	}
-	mux, _ := newServeMux(sess, metrics, tracer, logger, limits)
+	var ring *renuver.SpanRing
+	if *spanRing > 0 {
+		ring = renuver.NewSpanRing(*spanRing)
+	}
+	mux, _ := newServeMux(sess, metrics, tracer, ring, logger, limits)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -243,24 +255,32 @@ func newGate(limits serveLimits, metrics *renuver.MetricsRecorder) *gate {
 // acquire admits the request or reports why it cannot: errQueueFull when
 // the queue is over depth, the context's error when the client gave up
 // while queued. On success the returned release function must be called
-// exactly once.
+// exactly once. Every admitted request records how long it waited for
+// its slot (the SLO-facing queue-wait distribution); shed and abandoned
+// requests do not — they never got a slot to wait for.
 func (g *gate) acquire(ctx context.Context) (release func(), err error) {
+	enqueued := time.Now()
 	w := g.waiting.Add(1)
 	g.metrics.Observe(renuver.HistServeQueueDepth, float64(w-1))
 	defer g.waiting.Add(-1)
+	admitted := func() func() {
+		g.metrics.Observe(renuver.HistServeQueueWaitMicros,
+			float64(time.Since(enqueued).Microseconds()))
+		return func() { <-g.slots }
+	}
 	if w > g.depth {
 		// Fast path first: a free slot admits even a nominally-full queue,
 		// since the request would not actually wait.
 		select {
 		case g.slots <- struct{}{}:
-			return func() { <-g.slots }, nil
+			return admitted(), nil
 		default:
 			return nil, errQueueFull
 		}
 	}
 	select {
 	case g.slots <- struct{}{}:
-		return func() { <-g.slots }, nil
+		return admitted(), nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
@@ -298,21 +318,148 @@ func handleBoth(mux *http.ServeMux, path string, h http.Handler) {
 	mux.Handle(path, h)
 }
 
+// serveRoutes is the fixed label set of the per-route latency histogram;
+// routeLabel folds both the /v1 and unversioned aliases onto one label
+// and everything unrecognized onto "other", so the family's cardinality
+// is bounded no matter what paths clients probe.
+var serveRoutes = []string{
+	"/impute", "/metrics", "/trace/last", "/healthz", "/debug/spans", "/debug/pprof", "other",
+}
+
+func routeLabel(path string) string {
+	p := strings.TrimPrefix(path, "/v1")
+	switch p {
+	case "/impute", "/metrics", "/trace/last", "/healthz", "/debug/spans":
+		return p
+	}
+	if strings.HasPrefix(p, "/debug/pprof") {
+		return "/debug/pprof"
+	}
+	return "other"
+}
+
+// httpLatencyBounds are the per-route latency buckets, in microseconds:
+// 100µs to 60s, the range between a /healthz probe and a request-timeout
+// imputation.
+var httpLatencyBounds = []float64{100, 1_000, 10_000, 100_000, 1e6, 10e6, 60e6}
+
+// loggerKey carries the request-scoped logger (request id and route
+// pre-attached) through the context; reqLogger falls back to the service
+// logger for contexts the middleware never saw (tests driving handlers
+// directly).
+type loggerKey struct{}
+
+func reqLogger(ctx context.Context, fallback *slog.Logger) *slog.Logger {
+	if lg, ok := ctx.Value(loggerKey{}).(*slog.Logger); ok {
+		return lg
+	}
+	return fallback
+}
+
+// statusWriter captures the response status for the root span and the
+// latency histogram.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// telemetry is the outermost middleware: it opens the request trace
+// (joining an upstream W3C traceparent when the client sent a valid
+// one), threads the span and a request-scoped logger through the
+// context, answers with the request's identity (X-Request-Id and a
+// response traceparent), and on completion finishes the trace into the
+// ring and records the route's latency.
+func telemetry(next http.Handler, ring *renuver.SpanRing, latency *renuver.HistVec,
+	logger *slog.Logger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		route := routeLabel(r.URL.Path)
+		parent, _ := renuver.ParseTraceparent(r.Header.Get("traceparent"))
+		ctx, trace := renuver.StartRequest(r.Context(), ring, r.Method+" "+route, parent)
+		sc := trace.Context()
+		requestID := sc.TraceID.String()
+		w.Header().Set("X-Request-Id", requestID)
+		w.Header().Set("traceparent", sc.Traceparent())
+		ctx = context.WithValue(ctx, loggerKey{},
+			logger.With("request_id", requestID, "route", route))
+
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		root := trace.Root()
+		root.Str("route", route)
+		root.Int("status", int64(status))
+		trace.Finish()
+		latency.ObserveLabel(route, float64(time.Since(start).Microseconds()))
+	})
+}
+
+// newServeRegistry composes the serve-mode /metrics surface: the shared
+// recorder, the per-route latency family, the build-info gauge, and —
+// when the session holds a precompiled base — the shared distance
+// cache's per-shard counters.
+func newServeRegistry(sess *renuver.Session, metrics *renuver.MetricsRecorder) (*renuver.MetricsRegistry, *renuver.HistVec) {
+	latency := renuver.NewHistVec("http_request_micros",
+		"HTTP request latency per route, microseconds.",
+		"route", serveRoutes, httpLatencyBounds)
+	reg := renuver.NewMetricsRegistry(metrics)
+	reg.Register(latency, renuver.NewConstGauge("build_info",
+		"Build and runtime identity; the payload is in the labels.", 1,
+		renuver.MetricLabel{Key: "version", Value: version},
+		renuver.MetricLabel{Key: "go_version", Value: runtime.Version()},
+		renuver.MetricLabel{Key: "levenshtein_kernel", Value: renuver.ActiveKernelName()},
+	))
+	if sess.CacheShardStats() != nil {
+		reg.Register(renuver.NewShardStatsCollector("engine_cache_shard", func() []renuver.ShardStat {
+			stats := sess.CacheShardStats()
+			out := make([]renuver.ShardStat, len(stats))
+			for i, s := range stats {
+				out[i] = renuver.ShardStat{Hits: s.Hits, Misses: s.Misses, Merges: s.Merges}
+			}
+			return out
+		}))
+	}
+	return reg, latency
+}
+
 // newServeMux wires the service endpoints over the session; split out so
 // tests can drive the handlers without binding a port. The returned gate
 // is the handler's admission control (tests saturate it to provoke
-// load-shedding). tracer may be nil (tracing off).
+// load-shedding). tracer may be nil (tracing off); ring may be nil
+// (request-span retention off — /debug/spans then 404s, but requests
+// still carry ids and spans for the duration of their run).
 func newServeMux(sess *renuver.Session, metrics *renuver.MetricsRecorder,
-	tracer *renuver.RingTracer, logger *slog.Logger, limits serveLimits) (http.Handler, *gate) {
+	tracer *renuver.RingTracer, ring *renuver.SpanRing,
+	logger *slog.Logger, limits serveLimits) (http.Handler, *gate) {
 
 	if logger == nil {
 		logger = newLogger(false)
 	}
 	g := newGate(limits, metrics)
+	registry, latency := newServeRegistry(sess, metrics)
 
 	mux := http.NewServeMux()
-	handleBoth(mux, "/metrics", renuver.MetricsHandler(metrics))
+	handleBoth(mux, "/metrics", registry.Handler())
 	handleBoth(mux, "/trace/last", renuver.TraceHandler(tracer))
+	handleBoth(mux, "/debug/spans", renuver.SpansHandler(ring))
 	renuver.MountDebugHandlers(mux)
 	handleBoth(mux, "/healthz", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -350,6 +497,7 @@ func newServeMux(sess *renuver.Session, metrics *renuver.MetricsRecorder,
 		}
 		defer release()
 		metrics.Add(renuver.CtrServeAccepted, 1)
+		lg := reqLogger(r.Context(), logger)
 
 		ctx := r.Context()
 		if limits.requestTimeout > 0 {
@@ -368,18 +516,18 @@ func newServeMux(sess *renuver.Session, metrics *renuver.MetricsRecorder,
 		if err != nil {
 			if errors.Is(err, renuver.ErrCanceled) {
 				metrics.Add(renuver.CtrServeTimeouts, 1)
-				logger.Warn("request deadline exceeded",
+				lg.Warn("request deadline exceeded",
 					"missing", rel.CountMissing(), "elapsed", time.Since(start).String())
 				writeError(w, http.StatusGatewayTimeout, "timeout",
 					"request deadline exceeded; partial work discarded")
 				return
 			}
-			logger.Error("imputation failed", "error", err)
+			lg.Error("imputation failed", "error", err)
 			writeError(w, http.StatusUnprocessableEntity, "unprocessable",
 				"imputation failed: "+err.Error())
 			return
 		}
-		logger.Info("imputed",
+		lg.Info("imputed",
 			"imputed", res.Stats.Imputed, "missing", res.Stats.MissingCells,
 			"donors_scanned", res.Stats.DonorsScanned,
 			"faultless_checks", res.Stats.FaultlessChecks,
@@ -393,10 +541,12 @@ func newServeMux(sess *renuver.Session, metrics *renuver.MetricsRecorder,
 		if err := renuver.SaveCSV(w, res.Relation); err != nil {
 			// Too late for a status change; the truncated body is the
 			// only signal left.
-			logger.Error("writing response", "error", err)
+			lg.Error("writing response", "error", err)
 		}
 	}))
-	return recoverPanics(mux, metrics, logger), g
+	// telemetry sits outermost so panics recover inside the request
+	// trace: a 500 still finishes its trace and lands in the histogram.
+	return telemetry(recoverPanics(mux, metrics, logger), ring, latency, logger), g
 }
 
 // recoverPanics isolates handler panics: one poisoned request answers

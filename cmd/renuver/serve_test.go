@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -46,7 +47,7 @@ func newTestMux(t *testing.T) (http.Handler, *renuver.MetricsRecorder) {
 	t.Helper()
 	metrics := renuver.NewMetricsRecorder()
 	sess := testSession(t, metrics)
-	mux, _ := newServeMux(sess, metrics, nil, quietLogger(), serveLimits{})
+	mux, _ := newServeMux(sess, metrics, nil, renuver.NewSpanRing(8), quietLogger(), serveLimits{})
 	return mux, metrics
 }
 
@@ -253,9 +254,15 @@ func TestServeBackpressure(t *testing.T) {
 	release()
 	wg.Wait()
 
+	// Both admitted acquires (the slot holder and the queued waiter)
+	// recorded their queue wait; the shed arrival must not have.
+	if got := metrics.Hist(renuver.HistServeQueueWaitMicros).Count; got != 2 {
+		t.Errorf("queue-wait observations = %d, want 2 (admitted requests only)", got)
+	}
+
 	// End to end: a mux whose pool is saturated answers 429 + envelope.
 	sess := testSession(t, metrics)
-	mux, muxGate := newServeMux(sess, metrics, nil, quietLogger(), limits)
+	mux, muxGate := newServeMux(sess, metrics, nil, nil, quietLogger(), limits)
 	hold, err := muxGate.acquire(t.Context())
 	if err != nil {
 		t.Fatal(err)
@@ -277,6 +284,11 @@ func TestServeBackpressure(t *testing.T) {
 	if metrics.Counter(renuver.CtrServeRejected) == 0 {
 		t.Error("serve_rejected not counted")
 	}
+	// The held mux slot is the only further admission; the shed POST
+	// added nothing to the queue-wait distribution.
+	if got := metrics.Hist(renuver.HistServeQueueWaitMicros).Count; got != 3 {
+		t.Errorf("queue-wait observations after shed = %d, want 3", got)
+	}
 }
 
 func TestServeRequestTimeout(t *testing.T) {
@@ -284,7 +296,7 @@ func TestServeRequestTimeout(t *testing.T) {
 	sess := testSession(t, metrics)
 	// A 1ns deadline expires before the run starts; the session's O(1)
 	// fast path turns it into an immediate 504.
-	mux, _ := newServeMux(sess, metrics, nil, quietLogger(), serveLimits{requestTimeout: time.Nanosecond})
+	mux, _ := newServeMux(sess, metrics, nil, nil, quietLogger(), serveLimits{requestTimeout: time.Nanosecond})
 	rec := httptest.NewRecorder()
 	mux.ServeHTTP(rec, httptest.NewRequest("POST", "/impute", strings.NewReader(paperCSV)))
 	if rec.Code != http.StatusGatewayTimeout {
@@ -360,7 +372,7 @@ func TestServeTraceLastEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mux, _ := newServeMux(sess, metrics, tracer, quietLogger(), serveLimits{})
+	mux, _ := newServeMux(sess, metrics, tracer, nil, quietLogger(), serveLimits{})
 
 	// Before any run: an empty array, not an error.
 	rec := httptest.NewRecorder()
@@ -393,11 +405,244 @@ func TestServeTraceLastEndpoint(t *testing.T) {
 	}
 
 	// Tracing off: the endpoint 404s instead of lying with [].
-	muxOff, _ := newServeMux(sess, metrics, nil, quietLogger(), serveLimits{})
+	muxOff, _ := newServeMux(sess, metrics, nil, nil, quietLogger(), serveLimits{})
 	rec = httptest.NewRecorder()
 	muxOff.ServeHTTP(rec, httptest.NewRequest("GET", "/trace/last", nil))
 	if rec.Code != http.StatusNotFound {
 		t.Fatalf("trace/last without tracer = %d, want 404", rec.Code)
+	}
+}
+
+// TestServeSpanTelemetry drives a traced request end to end: the
+// response must identify the request (X-Request-Id, a traceparent
+// continuing the inbound trace with this server's span id), and
+// /debug/spans must return its full span tree down to the per-cell
+// candidate_search / ranking / verify phases.
+func TestServeSpanTelemetry(t *testing.T) {
+	mux, _ := newTestMux(t)
+	const (
+		traceID    = "0123456789abcdef0123456789abcdef"
+		upstreamID = "00f067aa0ba902b7"
+	)
+	req := httptest.NewRequest("POST", "/v1/impute", strings.NewReader(paperCSV))
+	req.Header.Set("traceparent", "00-"+traceID+"-"+upstreamID+"-01")
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("impute = %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("X-Request-Id"); got != traceID {
+		t.Errorf("X-Request-Id = %q, want the upstream trace id %q", got, traceID)
+	}
+	tp := rec.Header().Get("traceparent")
+	if !strings.HasPrefix(tp, "00-"+traceID+"-") {
+		t.Errorf("response traceparent %q does not continue the upstream trace", tp)
+	}
+	if strings.Contains(tp, upstreamID) {
+		t.Errorf("response traceparent %q echoes the upstream span id instead of this server's", tp)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/spans", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/spans = %d: %s", rec.Code, rec.Body.String())
+	}
+	var trees []*renuver.SpanNode
+	if err := json.Unmarshal(rec.Body.Bytes(), &trees); err != nil {
+		t.Fatalf("/debug/spans not JSON: %v\n%s", err, rec.Body.String())
+	}
+	var root *renuver.SpanNode
+	for _, tr := range trees {
+		if tr.TraceID == traceID {
+			root = tr
+		}
+	}
+	if root == nil {
+		t.Fatalf("no trace %s in /debug/spans:\n%s", traceID, rec.Body.String())
+	}
+	if root.Name != "POST /impute" {
+		t.Errorf("root span name = %q, want POST /impute", root.Name)
+	}
+	if root.ParentID != upstreamID {
+		t.Errorf("root parent = %q, want the upstream span id %q", root.ParentID, upstreamID)
+	}
+	// JSON numbers decode as float64.
+	if root.Attrs["route"] != "/impute" || root.Attrs["status"] != float64(http.StatusOK) {
+		t.Errorf("root attrs = %v, want route=/impute status=200", root.Attrs)
+	}
+	var impute *renuver.SpanNode
+	for _, c := range root.Children {
+		if c.Name == "impute" {
+			impute = c
+		}
+	}
+	if impute == nil {
+		t.Fatalf("request trace has no impute child: %+v", root.Children)
+	}
+	phases := map[string]int{}
+	cells := 0
+	for _, c := range impute.Children {
+		if c.Name == "cell" {
+			cells++
+			for _, p := range c.Children {
+				phases[p.Name]++
+			}
+		}
+	}
+	if cells == 0 {
+		t.Fatal("impute span has no cell children")
+	}
+	for _, want := range []string{"candidate_search", "ranking", "verify"} {
+		if phases[want] == 0 {
+			t.Errorf("no %s span under any cell: %v", want, phases)
+		}
+	}
+
+	// A request without a span ring still gets its identity headers,
+	// but /debug/spans is an honest 404.
+	metrics := renuver.NewMetricsRecorder()
+	muxOff, _ := newServeMux(testSession(t, metrics), metrics, nil, nil, quietLogger(), serveLimits{})
+	rec = httptest.NewRecorder()
+	muxOff.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Header().Get("X-Request-Id") == "" || rec.Header().Get("traceparent") == "" {
+		t.Error("ring-less request missing identity headers")
+	}
+	rec = httptest.NewRecorder()
+	muxOff.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/spans", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("/debug/spans without a ring = %d, want 404", rec.Code)
+	}
+}
+
+// TestServeMetricsRegistryExposition pins the composed /metrics surface:
+// per-route latency and queue-wait histograms with HELP/TYPE preambles,
+// the build-info gauge, and the labeled families in the JSON snapshot's
+// extra section.
+func TestServeMetricsRegistryExposition(t *testing.T) {
+	mux, _ := newTestMux(t)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("POST", "/impute", strings.NewReader(paperCSV)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("impute = %d: %s", rec.Code, rec.Body.String())
+	}
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "text/plain;version=0.0.4")
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# HELP renuver_http_request_micros ",
+		"# TYPE renuver_http_request_micros histogram",
+		`renuver_http_request_micros_bucket{route="/impute",le="+Inf"} 1`,
+		"# HELP renuver_serve_queue_wait_micros ",
+		"renuver_serve_queue_wait_micros_count 1",
+		"# HELP renuver_build_info ",
+		`renuver_build_info{version="dev",go_version="` + runtime.Version() +
+			`",levenshtein_kernel="` + renuver.ActiveKernelName() + `"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	var snap struct {
+		Histograms map[string]renuver.HistogramSnapshot `json:"histograms"`
+		Extra      map[string]json.RawMessage           `json:"extra"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if snap.Histograms["serve_queue_wait_micros"].Count != 1 {
+		t.Errorf("queue-wait snapshot = %+v", snap.Histograms["serve_queue_wait_micros"])
+	}
+	for _, key := range []string{"http_request_micros", "build_info"} {
+		if _, ok := snap.Extra[key]; !ok {
+			t.Errorf("JSON snapshot extra missing %q: %v", key, snap.Extra)
+		}
+	}
+	var routes map[string]renuver.HistogramSnapshot
+	if err := json.Unmarshal(snap.Extra["http_request_micros"], &routes); err != nil {
+		t.Fatalf("http_request_micros extra: %v", err)
+	}
+	if routes["/impute"].Count != 1 {
+		t.Errorf("/impute latency series = %+v", routes["/impute"])
+	}
+}
+
+// TestServeShardStatsExposed drives a base-backed session (the only
+// mode with a long-lived shared cache) and asserts the per-shard
+// hit/miss/merge counters reach the exposition and the JSON snapshot.
+func TestServeShardStatsExposed(t *testing.T) {
+	base, err := renuver.LoadCSVString(paperCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma, err := renuver.DiscoverRFDs(base, renuver.DiscoveryOptions{MaxThreshold: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := renuver.NewMetricsRecorder()
+	sess, err := renuver.NewSession(base, sigma, renuver.WithRecorder(metrics))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The serve startup flow: discovery over the compiled base warms the
+	// shared distance cache the requests then read.
+	if _, err := sess.Discover(t.Context(), renuver.DiscoveryOptions{MaxThreshold: 6}); err != nil {
+		t.Fatal(err)
+	}
+	mux, _ := newServeMux(sess, metrics, nil, nil, quietLogger(), serveLimits{})
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("POST", "/impute", strings.NewReader(paperCSV)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("impute = %d: %s", rec.Code, rec.Body.String())
+	}
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "text/plain;version=0.0.4")
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# HELP renuver_engine_cache_shard_hits_total ",
+		"# TYPE renuver_engine_cache_shard_hits_total counter",
+		`renuver_engine_cache_shard_hits_total{shard="0"} `,
+		`renuver_engine_cache_shard_misses_total{shard="0"} `,
+		`renuver_engine_cache_shard_merges_total{shard="0"} `,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	var snap struct {
+		Extra map[string]json.RawMessage `json:"extra"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	var shards []renuver.ShardStat
+	if err := json.Unmarshal(snap.Extra["engine_cache_shards"], &shards); err != nil {
+		t.Fatalf("engine_cache_shards extra: %v", err)
+	}
+	if len(shards) == 0 {
+		t.Fatal("no shard stats in JSON snapshot")
+	}
+	var total int64
+	for _, s := range shards {
+		total += s.Hits + s.Misses
+	}
+	if total == 0 {
+		t.Error("shard stats all zero after an imputation against the shared cache")
 	}
 }
 

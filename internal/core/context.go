@@ -37,12 +37,20 @@ func (im *Imputer) runImpute(ctx context.Context, work *dataset.Relation, eng *e
 	runStart := time.Now()
 	res := &Result{Relation: work}
 
+	// One context lookup per run, not per cell: the request span (when
+	// serve-mode middleware installed one) parents the whole run; a plain
+	// context yields the zero span and every Child/End below is an inert
+	// nil check.
+	sp := obs.SpanFromContext(ctx).Child("impute")
+	defer sp.End()
+
 	// One kernel arena for the run goroutine: every serial scan below
 	// evaluates through it, so the string kernels never allocate.
 	// Parallel scans give each worker its own.
 	m := eng.Matcher()
 
 	preStart := time.Now()
+	preSpan := sp.Child("preprocess")
 	kt := newKeyTrackerParallel(ctx, eng, im.sigma, im.opts.Workers)
 	res.Stats.KeyRFDs = kt.keys
 	incomplete := work.IncompleteRows()
@@ -52,52 +60,86 @@ func (im *Imputer) runImpute(ctx context.Context, work *dataset.Relation, eng *e
 	if useIndex {
 		idx = engine.NewIndex(eng, im.sigma)
 	}
+	if preSpan.Enabled() {
+		preSpan.Int("key_rfds", int64(kt.keys))
+		preSpan.Int("missing_cells", int64(res.Stats.MissingCells))
+		preSpan.End()
+	}
 	res.Stats.Phases.Preprocess = time.Since(preStart)
 	if ctx.Err() != nil {
 		// The key tracker may be incomplete; impute nothing from it.
-		im.finishRun(res, eng, idx, runStart)
+		im.finishRun(res, eng, idx, runStart, sp)
 		return res, engine.Canceled(ctx)
 	}
 
+	schema := work.Schema()
 	for _, row := range incomplete {
 		for _, attr := range work.Row(row).MissingAttrs() {
 			if ctx.Err() != nil {
-				im.finishRun(res, eng, idx, runStart)
+				im.finishRun(res, eng, idx, runStart, sp)
 				return res, engine.Canceled(ctx)
 			}
 			sigmaPrime := kt.nonKeys()
 			clusters := im.clustersFor(sigmaPrime, attr)
-			imputed, err := im.imputeMissingValue(ctx, m, row, attr, sigmaPrime, clusters, res, idx)
+			cell := sp.Child("cell")
+			var hits0, misses0 int64
+			if cell.Enabled() {
+				cell.Int("row", int64(row))
+				cell.Str("attr", schema.Attr(attr).Name)
+				hits0, misses0 = eng.CacheStats()
+			}
+			imputed, err := im.imputeMissingValue(ctx, m, row, attr, sigmaPrime, clusters, res, idx, cell)
+			if cell.Enabled() {
+				hits1, misses1 := eng.CacheStats()
+				cell.Int("cache_hit_delta", hits1-hits0)
+				cell.Int("cache_miss_delta", misses1-misses0)
+				if imputed {
+					cell.Int("imputed", 1)
+				} else {
+					cell.Int("imputed", 0)
+				}
+			}
+			cell.End()
 			if imputed {
 				idx.Insert(row, attr)
 				if !im.opts.NoKeyReevaluation {
 					reevalStart := time.Now()
+					krSpan := sp.Child("key_reeval")
 					before := kt.keys
 					kt.afterImpute(row, attr)
 					res.Stats.KeyFlips += before - kt.keys
+					if krSpan.Enabled() {
+						krSpan.Int("key_flips", int64(before-kt.keys))
+						krSpan.End()
+					}
 					res.Stats.Phases.KeyReeval += time.Since(reevalStart)
 				}
 			}
 			if err != nil {
-				im.finishRun(res, eng, idx, runStart)
+				im.finishRun(res, eng, idx, runStart, sp)
 				return res, err
 			}
 		}
 	}
-	im.finishRun(res, eng, idx, runStart)
+	im.finishRun(res, eng, idx, runStart, sp)
 	return res, nil
 }
 
 // finishRun seals the result (tail counters, engine cache/index
 // counters, total wall clock) and forwards the run to the configured
-// recorder.
-func (im *Imputer) finishRun(res *Result, eng *engine.View, idx *engine.Index, runStart time.Time) {
+// recorder and the run span.
+func (im *Imputer) finishRun(res *Result, eng *engine.View, idx *engine.Index, runStart time.Time, sp obs.Span) {
 	res.finish(eng.Relation())
 	hits, misses := eng.CacheStats()
 	res.Stats.EngineCacheHits = int(hits)
 	res.Stats.EngineCacheMisses = int(misses)
 	res.Stats.EngineIndexProbes = int(idx.Probes())
 	res.Stats.Phases.Total = time.Since(runStart)
+	if sp.Enabled() {
+		sp.Int("missing_cells", int64(res.Stats.MissingCells))
+		sp.Int("imputed", int64(res.Stats.Imputed))
+		sp.Int("unimputed", int64(res.Stats.Unimputed))
+	}
 	rec := im.opts.recorder()
 	publishStats(rec, &res.Stats)
 	if rec.Enabled() {

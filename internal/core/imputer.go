@@ -223,7 +223,7 @@ type candidate struct {
 // of the working relation (plus, for the multi-dataset extension, the
 // donor pool): candidate rows are flat view indices.
 func (im *Imputer) imputeMissingValue(ctx context.Context, m *engine.Matcher, row, attr int,
-	sigmaPrime rfd.Set, clusters []rfd.Cluster, res *Result, idx *engine.Index) (bool, error) {
+	sigmaPrime rfd.Set, clusters []rfd.Cluster, res *Result, idx *engine.Index, cell obs.Span) (bool, error) {
 
 	rec := im.opts.recorder()
 	eng := m.View()
@@ -243,21 +243,30 @@ func (im *Imputer) imputeMissingValue(ctx context.Context, m *engine.Matcher, ro
 			ct.Add(obs.RuleSelected(cluster.Threshold, formatRules(cluster.RFDs, work.Schema())))
 		}
 		searchStart := time.Now()
+		searchSpan := cell.Child("candidate_search")
+		var donorPool int
 		var cands []candidate
 		if rows, ok := idx.CandidateRows(row, cluster.RFDs); ok {
 			res.Stats.IndexHits++
 			res.Stats.DonorsScanned += len(rows)
+			donorPool = len(rows)
 			cands = findCandidateTuplesIndexed(ctx, m, rows, row, attr, cluster.RFDs)
 		} else {
 			if idx != nil {
 				res.Stats.IndexMisses++
 			}
 			res.Stats.DonorsScanned += eng.Len() - 1
+			donorPool = eng.Len() - 1
 			if im.opts.Workers > 1 {
 				cands = findCandidateTuplesParallel(ctx, m, row, attr, cluster.RFDs, im.opts.Workers)
 			} else {
 				cands = findCandidateTuples(ctx, m, row, attr, cluster.RFDs)
 			}
+		}
+		if searchSpan.Enabled() {
+			searchSpan.Int("donor_pool", int64(donorPool))
+			searchSpan.Int("candidates", int64(len(cands)))
+			searchSpan.End()
 		}
 		res.Stats.Phases.CandidateSearch += time.Since(searchStart)
 		if ctx.Err() != nil {
@@ -276,6 +285,7 @@ func (im *Imputer) imputeMissingValue(ctx context.Context, m *engine.Matcher, ro
 		if !im.opts.NoRanking {
 			res.Stats.DonorsRanked += len(cands)
 			rankStart := time.Now()
+			rankSpan := cell.Child("ranking")
 			// Ascending dist; ties broken by flat row index, which orders
 			// target rows before donor-pool rows — the same (source, row)
 			// tiebreak as before.
@@ -285,6 +295,10 @@ func (im *Imputer) imputeMissingValue(ctx context.Context, m *engine.Matcher, ro
 				}
 				return cands[i].row < cands[j].row
 			})
+			if rankSpan.Enabled() {
+				rankSpan.Int("ranked", int64(len(cands)))
+				rankSpan.End()
+			}
 			res.Stats.Phases.Ranking += time.Since(rankStart)
 		}
 		traceDonorEvents(ct, eng, row, cluster.RFDs, len(cands),
@@ -295,8 +309,10 @@ func (im *Imputer) imputeMissingValue(ctx context.Context, m *engine.Matcher, ro
 		if im.opts.MaxCandidates > 0 && im.opts.MaxCandidates < limit {
 			limit = im.opts.MaxCandidates
 		}
+		verifySpan := cell.Child("verify")
 		for k := 0; k < limit; k++ {
 			if ctx.Err() != nil {
+				verifySpan.End()
 				return false, engine.Canceled(ctx)
 			}
 			cand := cands[k]
@@ -330,6 +346,7 @@ func (im *Imputer) imputeMissingValue(ctx context.Context, m *engine.Matcher, ro
 				// A verdict reached under an expired context is not
 				// trusted: revert the tentative value and bail.
 				eng.Set(row, attr, dataset.Null)
+				verifySpan.End()
 				return false, engine.Canceled(ctx)
 			}
 			if faultless {
@@ -347,11 +364,21 @@ func (im *Imputer) imputeMissingValue(ctx context.Context, m *engine.Matcher, ro
 					rec.Observe(obs.HistAttemptsPerImputation, float64(k+1))
 				}
 				ct.Add(obs.CellResolved(donorRow, source, value.String(), cand.dist, k+1))
+				if verifySpan.Enabled() {
+					verifySpan.Int("attempts", int64(k+1))
+					verifySpan.Int("faultless", 1)
+				}
+				verifySpan.End()
 				return true, nil
 			}
 			res.Stats.VerifyRejections++
 			eng.Set(row, attr, dataset.Null) // revert
 		}
+		if verifySpan.Enabled() {
+			verifySpan.Int("attempts", int64(limit))
+			verifySpan.Int("faultless", 0)
+		}
+		verifySpan.End()
 	}
 	if ct != nil {
 		note := "no plausible candidate tuple in any cluster"

@@ -85,6 +85,17 @@ func (s *Session) BaseView() *engine.View {
 	return s.shared.View()
 }
 
+// CacheShardStats returns the per-shard hit / miss / merge counters of
+// the session's shared distance cache, or nil in self-contained mode
+// (ephemeral caches die with their request; there is nothing long-lived
+// to inspect).
+func (s *Session) CacheShardStats() []engine.CacheShardStat {
+	if s.shared == nil {
+		return nil
+	}
+	return s.shared.CacheShardStats()
+}
+
 // Discover mines RFDcs from the session's precompiled base without
 // recompiling it; the pairwise distances it computes land in the shared
 // cache, so a Discover-then-serve flow starts Impute calls warm. Pair it
@@ -93,6 +104,13 @@ func (s *Session) BaseView() *engine.View {
 func (s *Session) Discover(ctx context.Context, cfg discovery.Config) (rfd.Set, error) {
 	if s.shared == nil {
 		return nil, fmt.Errorf("core: session has no base instance to discover from")
+	}
+	if sp := obs.SpanFromContext(ctx).Child("discover"); sp.Enabled() {
+		// Re-anchor the context so the discovery phases nest under this
+		// span; the rewrite (one allocation) happens only when a request
+		// trace is live.
+		defer sp.End()
+		ctx = obs.ContextWithSpan(ctx, sp)
 	}
 	return discovery.DiscoverViewContext(ctx, s.shared.View(), cfg)
 }
@@ -140,6 +158,12 @@ func (s *Session) Explain(ctx context.Context, rel *dataset.Relation, row, attr 
 	if row < 0 || row >= rel.Len() || attr < 0 || attr >= rel.Schema().Len() {
 		return "", fmt.Errorf("core: cell (row %d, attr %d) outside a %dx%d relation",
 			row, attr, rel.Len(), rel.Schema().Len())
+	}
+	if sp := obs.SpanFromContext(ctx).Child("explain"); sp.Enabled() {
+		sp.Int("row", int64(row))
+		sp.Int("attr", int64(attr))
+		defer sp.End()
+		ctx = obs.ContextWithSpan(ctx, sp)
 	}
 	tr := obs.NewRingTracer(1, 1)
 	tr.Only(row, attr)

@@ -80,7 +80,7 @@ func (s *Stream) Append(t dataset.Tuple) ([]Imputation, error) {
 		res.Stats.MissingCells = 1
 		sigmaPrime := s.kt.nonKeys()
 		clusters := s.im.clustersFor(sigmaPrime, attr)
-		if ok, _ := s.im.imputeMissingValue(context.Background(), s.m, row, attr, sigmaPrime, clusters, res, nil); ok {
+		if ok, _ := s.im.imputeMissingValue(context.Background(), s.m, row, attr, sigmaPrime, clusters, res, nil, obs.Span{}); ok {
 			if !s.im.opts.NoKeyReevaluation {
 				before := s.kt.keys
 				s.kt.afterImpute(row, attr)
@@ -108,7 +108,7 @@ func (s *Stream) RetryMissing() []Imputation {
 		res := &Result{Relation: work}
 		sigmaPrime := s.kt.nonKeys()
 		clusters := s.im.clustersFor(sigmaPrime, cell.Attr)
-		if ok, _ := s.im.imputeMissingValue(context.Background(), s.m, cell.Row, cell.Attr, sigmaPrime, clusters, res, nil); ok {
+		if ok, _ := s.im.imputeMissingValue(context.Background(), s.m, cell.Row, cell.Attr, sigmaPrime, clusters, res, nil, obs.Span{}); ok {
 			if !s.im.opts.NoKeyReevaluation {
 				before := s.kt.keys
 				s.kt.afterImpute(cell.Row, cell.Attr)

@@ -173,9 +173,16 @@ func DiscoverViewContext(ctx context.Context, v *engine.View, cfg Config) (rfd.S
 	}
 	workers := cfg.effectiveWorkers()
 	rec.Add(obs.CtrDiscoveryWorkers, int64(workers))
+	sp := obs.SpanFromContext(ctx)
 
 	matStart := obs.Now(rec)
+	matSpan := sp.Child("discovery_materialize")
 	patterns := samplePatterns(ctx, v, cfg.MaxPairs, cfg.Seed, workers, rec)
+	if matSpan.Enabled() {
+		matSpan.Int("patterns", int64(len(patterns)))
+		matSpan.Int("workers", int64(workers))
+		matSpan.End()
+	}
 	obs.Since(rec, obs.PhaseDiscoveryMaterialize, matStart)
 	if ctx.Err() != nil {
 		// The slab may hold unmaterialized rows; never derive from it.
@@ -190,7 +197,12 @@ func DiscoverViewContext(ctx context.Context, v *engine.View, cfg Config) (rfd.S
 	rec.Add(obs.CtrEngineCacheMisses, misses)
 
 	searchStart := obs.Now(rec)
+	searchSpan := sp.Child("discovery_search")
 	out := searchCandidates(ctx, patterns, &cfg, m, workers)
+	if searchSpan.Enabled() {
+		searchSpan.Int("rules", int64(len(out)))
+		searchSpan.End()
+	}
 	obs.Since(rec, obs.PhaseDiscoverySearch, searchStart)
 	if ctx.Err() != nil {
 		// Jobs skipped by the cancellation checkpoints leave holes in the

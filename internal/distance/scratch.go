@@ -42,6 +42,18 @@ func SetKernel(k Kernel) Kernel {
 // ActiveKernel returns the current process-wide kernel selection.
 func ActiveKernel() Kernel { return Kernel(forcedKernel.Load()) }
 
+// String names the kernel for logs and the build-info metric.
+func (k Kernel) String() string {
+	switch k {
+	case KernelMyers:
+		return "myers"
+	case KernelBanded:
+		return "banded"
+	default:
+		return "auto"
+	}
+}
+
 // asciiPeq bounds the directly indexed region of the Myers
 // pattern-equality table; runes past it go to the small spill list.
 const asciiPeq = 128

@@ -37,9 +37,10 @@ type cacheShard struct {
 	over   map[cacheKey]int32
 	hits   atomic.Int64
 	misses atomic.Int64
+	merges atomic.Int64
 	// pad spaces shards a cache line apart so the per-shard counters
 	// and mutexes of neighbors never false-share.
-	_ [24]byte
+	_ [16]byte
 }
 
 // mergeFloor is the minimum overflow size that triggers a merge into
@@ -121,6 +122,7 @@ func (c *distCache) put(attr int, a, b int32, d int32) {
 		}
 		sh.frozen.Store(&merged)
 		sh.over = make(map[cacheKey]int32)
+		sh.merges.Add(1)
 	}
 	sh.mu.Unlock()
 	sh.misses.Add(1)
@@ -132,4 +134,29 @@ func (c *distCache) stats() (hits, misses int64) {
 		misses += c.shards[i].misses.Load()
 	}
 	return hits, misses
+}
+
+// CacheShardStat is one shard's counters: lookups answered, lookups
+// computed, and overflow-tier merges into the frozen tier. The obs
+// package mirrors this struct; engine stays below obs in the dependency
+// order, so the two cannot share a definition.
+type CacheShardStat struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Merges int64 `json:"merges"`
+}
+
+// shardStats snapshots every shard's counters, in shard order. The
+// per-shard view exposes what the summed stats hide: hash skew (one hot
+// shard serializing its neighbors) and merge churn.
+func (c *distCache) shardStats() []CacheShardStat {
+	out := make([]CacheShardStat, numShards)
+	for i := range c.shards {
+		out[i] = CacheShardStat{
+			Hits:   c.shards[i].hits.Load(),
+			Misses: c.shards[i].misses.Load(),
+			Merges: c.shards[i].merges.Load(),
+		}
+	}
+	return out
 }

@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestShardStatsSumToGlobals(t *testing.T) {
+	c := newDistCache()
+	// Distinct (attr, lo, hi) triples spread across shards.
+	for i := int32(0); i < 500; i++ {
+		c.put(int(i%7), i, i+1, i%5)
+	}
+	hits := 0
+	for i := int32(0); i < 500; i++ {
+		if _, ok := c.get(int(i%7), i, i+1); ok {
+			hits++
+		}
+	}
+	if hits != 500 {
+		t.Fatalf("got %d hits, want 500", hits)
+	}
+	gh, gm := c.stats()
+	shards := c.shardStats()
+	if len(shards) != numShards {
+		t.Fatalf("shardStats returned %d shards, want %d", len(shards), numShards)
+	}
+	var sh, sm int64
+	for _, s := range shards {
+		sh += s.Hits
+		sm += s.Misses
+	}
+	if sh != gh || sm != gm {
+		t.Fatalf("shard sums (%d, %d) != global stats (%d, %d)", sh, sm, gh, gm)
+	}
+	if gh != 500 || gm != 500 {
+		t.Fatalf("global stats = (%d, %d), want (500, 500)", gh, gm)
+	}
+}
+
+func TestShardMergeCounter(t *testing.T) {
+	c := newDistCache()
+	// Enough inserts that shards cross mergeFloor and fold their
+	// overflow tiers into frozen maps.
+	total := numShards * mergeFloor * 4
+	for i := 0; i < total; i++ {
+		c.put(1, int32(i), int32(i)+100_000, 1)
+	}
+	var merges int64
+	for _, s := range c.shardStats() {
+		merges += s.Merges
+	}
+	if merges == 0 {
+		t.Fatalf("no shard merged after %d inserts (mergeFloor %d)", total, mergeFloor)
+	}
+	// Merged entries must remain readable through the frozen tier.
+	if d, ok := c.get(1, 0, 100_000); !ok || d != 1 {
+		t.Fatalf("entry lost after merge: d=%d ok=%v", d, ok)
+	}
+}
+
+func TestSharedCacheShardStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	shared := Precompile(randomMixedRelation(rng, 30))
+	v := shared.View()
+	// String-column distances populate the shared cache; repeated reads
+	// hit it.
+	const stringAttr = 0
+	for i := 0; i < 30; i++ {
+		for j := i + 1; j < 30; j++ {
+			v.Distance(stringAttr, i, j)
+			v.Distance(stringAttr, i, j)
+		}
+	}
+	stats := shared.CacheShardStats()
+	if len(stats) != numShards {
+		t.Fatalf("got %d shards", len(stats))
+	}
+	var hits, misses int64
+	for _, s := range stats {
+		hits += s.Hits
+		misses += s.Misses
+	}
+	gh, gm := shared.CacheStats()
+	if hits != gh || misses != gm {
+		t.Fatalf("shard sums (%d, %d) != CacheStats (%d, %d)", hits, misses, gh, gm)
+	}
+	if misses == 0 || hits == 0 {
+		t.Fatalf("expected both hits and misses, got (%d, %d)", hits, misses)
+	}
+}

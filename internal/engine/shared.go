@@ -54,6 +54,10 @@ func (s *Shared) Arity() int { return s.m }
 // miss counts (across every view ever derived from this Shared).
 func (s *Shared) CacheStats() (hits, misses int64) { return s.cache.stats() }
 
+// CacheShardStats returns the shared distance cache's per-shard hit /
+// miss / merge counters, in shard order.
+func (s *Shared) CacheShardStats() []CacheShardStat { return s.cache.shardStats() }
+
 // View returns a frozen single-relation view over the base: reads are
 // safe for any number of concurrent users and hit the shared cache;
 // Set and Append panic — the base is immutable by contract.

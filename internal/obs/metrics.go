@@ -8,6 +8,65 @@ import (
 	"time"
 )
 
+// histogram is one lock-free fixed-bound histogram: bucket counts (one
+// extra slot for the +Inf overflow), a total count, and a float sum
+// stored as bits behind a CAS loop. It is the shared machinery under
+// both the enum histograms of Metrics and the labeled HistVec series.
+type histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1; last is the +Inf overflow
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+func (h *histogram) init(bounds []float64) {
+	h.bounds = bounds
+	h.buckets = make([]atomic.Int64, len(bounds)+1)
+}
+
+// observe records one sample: two atomic adds plus the sum CAS.
+func (h *histogram) observe(v float64) {
+	// sort.SearchFloat64s finds the first bound >= v (bounds are upper
+	// inclusive bounds, Prometheus-style "le").
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (h *histogram) reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sumBits.Store(0)
+}
+
+// snapshot copies the histogram's state and derives its p50/p95/p99.
+func (h *histogram) snapshot() HistSnapshot {
+	hs := HistSnapshot{
+		Count:   h.count.Load(),
+		Sum:     math.Float64frombits(h.sumBits.Load()),
+		Buckets: make([]BucketSnapshot, len(h.bounds)+1),
+	}
+	for i := range h.bounds {
+		hs.Buckets[i] = BucketSnapshot{UpperBound: h.bounds[i], Count: h.buckets[i].Load()}
+	}
+	hs.Buckets[len(h.bounds)] = BucketSnapshot{
+		UpperBound: math.Inf(1), Count: h.buckets[len(h.bounds)].Load(),
+	}
+	hs.P50 = hs.Quantile(0.50)
+	hs.P95 = hs.Quantile(0.95)
+	hs.P99 = hs.Quantile(0.99)
+	return hs
+}
+
 // Metrics is the concrete Recorder: a fixed block of atomics, one slot
 // per counter / phase / histogram bucket. It has no locks; every record
 // operation is a single atomic RMW (histograms add one more for the sum),
@@ -18,18 +77,14 @@ type Metrics struct {
 	// phases hold total nanoseconds and event counts.
 	phaseNanos [numPhases]atomic.Int64
 	phaseCount [numPhases]atomic.Int64
-	// histograms: per-histogram bucket counts (len(bounds)+1 with the
-	// +Inf overflow), a total count, and a float sum stored as bits.
-	histBuckets [numHists][]atomic.Int64
-	histCount   [numHists]atomic.Int64
-	histSumBits [numHists]atomic.Uint64
+	hists      [numHists]histogram
 }
 
 // NewMetrics returns an empty Metrics sink.
 func NewMetrics() *Metrics {
 	m := &Metrics{}
 	for h := 0; h < numHists; h++ {
-		m.histBuckets[h] = make([]atomic.Int64, len(histBounds[h])+1)
+		m.hists[h].init(histBounds[h])
 	}
 	return m
 }
@@ -67,22 +122,17 @@ func (m *Metrics) PhaseNanos(p Phase) int64 {
 
 // Observe implements Recorder.
 func (m *Metrics) Observe(h Hist, v float64) {
+	if h >= 0 && int(h) < numHists {
+		m.hists[h].observe(v)
+	}
+}
+
+// Hist returns one histogram's snapshot (with derived quantiles).
+func (m *Metrics) Hist(h Hist) HistSnapshot {
 	if h < 0 || int(h) >= numHists {
-		return
+		return HistSnapshot{}
 	}
-	bounds := histBounds[h]
-	// sort.SearchFloat64s finds the first bound >= v (bounds are upper
-	// inclusive bounds, Prometheus-style "le").
-	i := sort.SearchFloat64s(bounds, v)
-	m.histBuckets[h][i].Add(1)
-	m.histCount[h].Add(1)
-	for {
-		old := m.histSumBits[h].Load()
-		next := math.Float64bits(math.Float64frombits(old) + v)
-		if m.histSumBits[h].CompareAndSwap(old, next) {
-			return
-		}
-	}
+	return m.hists[h].snapshot()
 }
 
 // Enabled implements Recorder.
@@ -98,11 +148,7 @@ func (m *Metrics) Reset() {
 		m.phaseCount[i].Store(0)
 	}
 	for h := 0; h < numHists; h++ {
-		for i := range m.histBuckets[h] {
-			m.histBuckets[h][i].Store(0)
-		}
-		m.histCount[h].Store(0)
-		m.histSumBits[h].Store(0)
+		m.hists[h].reset()
 	}
 }
 
@@ -134,11 +180,50 @@ func (b BucketSnapshot) MarshalJSON() ([]byte, error) {
 	return json.Marshal(alias{Le: le, N: b.Count})
 }
 
-// HistSnapshot is one histogram's state.
+// HistSnapshot is one histogram's state. P50/P95/P99 are estimated at
+// snapshot time by linear interpolation within the owning bucket — the
+// standard histogram_quantile trade-off: the estimate's resolution is
+// the bucket grid, not the raw samples.
 type HistSnapshot struct {
 	Count   int64            `json:"count"`
 	Sum     float64          `json:"sum"`
+	P50     float64          `json:"p50"`
+	P95     float64          `json:"p95"`
+	P99     float64          `json:"p99"`
 	Buckets []BucketSnapshot `json:"buckets"`
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket
+// counts, interpolating linearly within the bucket holding the target
+// rank. A rank landing in the +Inf overflow bucket reports the highest
+// finite bound — the histogram cannot see beyond its grid.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	lower := 0.0
+	if len(s.Buckets) > 0 && s.Buckets[0].UpperBound < 0 {
+		// Negative-bound grids would need a different floor; none of the
+		// pipeline's histograms use one.
+		lower = s.Buckets[0].UpperBound
+	}
+	for _, b := range s.Buckets {
+		next := cum + b.Count
+		if float64(next) >= rank && b.Count > 0 {
+			if math.IsInf(b.UpperBound, 1) {
+				return lower
+			}
+			frac := (rank - float64(cum)) / float64(b.Count)
+			return lower + (b.UpperBound-lower)*frac
+		}
+		cum = next
+		if !math.IsInf(b.UpperBound, 1) {
+			lower = b.UpperBound
+		}
+	}
+	return lower
 }
 
 // Snapshot is a consistent-enough point-in-time copy of a Metrics: each
@@ -168,19 +253,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		}
 	}
 	for h := 0; h < numHists; h++ {
-		bounds := histBounds[h]
-		hs := HistSnapshot{
-			Count:   m.histCount[h].Load(),
-			Sum:     math.Float64frombits(m.histSumBits[h].Load()),
-			Buckets: make([]BucketSnapshot, len(bounds)+1),
-		}
-		for i := range bounds {
-			hs.Buckets[i] = BucketSnapshot{UpperBound: bounds[i], Count: m.histBuckets[h][i].Load()}
-		}
-		hs.Buckets[len(bounds)] = BucketSnapshot{
-			UpperBound: math.Inf(1), Count: m.histBuckets[h][len(bounds)].Load(),
-		}
-		s.Histograms[Hist(h).String()] = hs
+		s.Histograms[Hist(h).String()] = m.hists[h].snapshot()
 	}
 	return s
 }

@@ -208,6 +208,9 @@ const (
 	// HistServeQueueDepth is how many requests were already waiting for a
 	// pool slot when each serve-mode request arrived.
 	HistServeQueueDepth
+	// HistServeQueueWaitMicros is how long each admitted serve-mode
+	// request waited in the admission queue before getting a pool slot.
+	HistServeQueueWaitMicros
 
 	numHists int = iota
 )
@@ -217,6 +220,7 @@ var histNames = [...]string{
 	HistAttemptsPerImputation: "attempts_per_imputation",
 	HistImputeMicros:          "impute_micros",
 	HistServeQueueDepth:       "serve_queue_depth",
+	HistServeQueueWaitMicros:  "serve_queue_wait_micros",
 }
 
 // String returns the snake_case name used in snapshots.
@@ -234,11 +238,71 @@ var histBounds = [numHists][]float64{
 	HistAttemptsPerImputation: {1, 2, 3, 5, 10, 20, 50},
 	HistImputeMicros:          {100, 1000, 10_000, 100_000, 1e6, 10e6, 100e6},
 	HistServeQueueDepth:       {0, 1, 2, 4, 8, 16, 32, 64, 128},
+	HistServeQueueWaitMicros:  {10, 100, 1000, 10_000, 100_000, 1e6, 10e6},
 }
 
 // Bounds returns the histogram's upper bucket bounds (without the
 // implicit +Inf bucket). Callers must not mutate the result.
 func (h Hist) Bounds() []float64 { return histBounds[h] }
+
+// counterHelp is the HELP text of each counter in the Prometheus
+// exposition — one sentence, mirroring the enum doc comments.
+var counterHelp = [...]string{
+	CtrMissingCells:           "Cells that were null on input.",
+	CtrImputations:            "Successfully imputed cells.",
+	CtrDonorsScanned:          "Donor tuples examined during candidate generation, before LHS filtering.",
+	CtrCandidatesEvaluated:    "Candidates that survived LHS filtering and were scored with Eq. 2.",
+	CtrDonorsRanked:           "Candidates that entered the distance sort.",
+	CtrCandidatesTried:        "Tentative imputations attempted.",
+	CtrFaultlessChecks:        "IS_FAULTLESS invocations (Algorithm 4).",
+	CtrFaultlessFailures:      "IS_FAULTLESS rejections.",
+	CtrClustersScanned:        "RHS-threshold clusters examined.",
+	CtrKeyFlips:               "Key-RFDcs that became non-key mid-run.",
+	CtrIndexHits:              "Candidate scans answered by the donor index.",
+	CtrIndexMisses:            "Candidate scans that needed the full sweep.",
+	CtrStreamAppends:          "Tuples absorbed by incremental sessions.",
+	CtrDiscoveryPatterns:      "Tuple-pair distance patterns materialized during RFDc discovery.",
+	CtrDiscoveryRFDs:          "RFDcs emitted by discovery.",
+	CtrDiscoveryWorkers:       "Accumulated effective worker count across discovery runs.",
+	CtrDiscoveryPatternChunks: "Chunks the discovery pattern-space materialization was split into.",
+	CtrLevenshteinCalls:       "Exact edit-distance computations.",
+	CtrLevenshteinEarlyExits:  "Bounded-predicate calls that short-circuited before the full dynamic program.",
+	CtrLevenshteinMyers:       "Edit-distance computations answered by the bit-parallel Myers kernel.",
+	CtrLevenshteinBanded:      "Edit-distance computations that ran the banded dynamic program.",
+	CtrLevenshteinMaskRejects: "Bounded-predicate calls rejected by the alphabet-mask pre-filter alone.",
+	CtrEngineCacheHits:        "Pairwise distance lookups answered by the engine's memoized cache.",
+	CtrEngineCacheMisses:      "Pairwise distance lookups the engine had to compute and store.",
+	CtrEngineIndexProbes:      "Candidate-index probes answered by the engine.",
+	CtrServeAccepted:          "Requests admitted by the serve-mode gate.",
+	CtrServeRejected:          "Requests shed with 429 because the admission queue was full.",
+	CtrServeTimeouts:          "Serve-mode requests aborted by the per-request deadline or a client disconnect.",
+	CtrServePanics:            "Handler panics recovered in serve mode.",
+}
+
+// Help returns the Prometheus HELP text for the counter.
+func (c Counter) Help() string {
+	if c < 0 || int(c) >= numCounters {
+		return "Unknown counter."
+	}
+	return counterHelp[c]
+}
+
+// histHelp is the HELP text of each histogram.
+var histHelp = [...]string{
+	HistCandidatesPerCell:     "Candidate count per (missing value, cluster).",
+	HistAttemptsPerImputation: "Ranked candidates tried before one passed verification.",
+	HistImputeMicros:          "Per-run Impute latency in microseconds.",
+	HistServeQueueDepth:       "Requests already waiting for a pool slot at arrival.",
+	HistServeQueueWaitMicros:  "Admission-queue wait of admitted requests in microseconds.",
+}
+
+// Help returns the Prometheus HELP text for the histogram.
+func (h Hist) Help() string {
+	if h < 0 || int(h) >= numHists {
+		return "Unknown histogram."
+	}
+	return histHelp[h]
+}
 
 // Recorder receives pipeline events. Implementations must be safe for
 // concurrent use: the parallel scan workers and concurrent Impute runs

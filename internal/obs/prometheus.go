@@ -24,44 +24,73 @@ func promFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// promEscapeHelp escapes HELP text per the exposition format (backslash
+// and newline only; HELP text is not quoted).
+func promEscapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// promHeader writes the # HELP / # TYPE preamble of one metric family.
+func promHeader(sb *strings.Builder, name, typ, help string) {
+	fmt.Fprintf(sb, "# HELP %s %s\n# TYPE %s %s\n", name, promEscapeHelp(help), name, typ)
+}
+
+// appendHistogramSeries writes one histogram series from a snapshot.
+// labels, when non-empty, is a rendered `key="value"` list (with
+// trailing comma) spliced before the le label and appended bare to the
+// _sum/_count lines — how a HistVec emits one series per label under a
+// single family header.
+func appendHistogramSeries(sb *strings.Builder, name, labels string, hs HistSnapshot) {
+	cum := int64(0)
+	for _, b := range hs.Buckets {
+		cum += b.Count
+		fmt.Fprintf(sb, "%s_bucket{%sle=%q} %d\n", name, labels, promFloat(b.UpperBound), cum)
+	}
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + strings.TrimSuffix(labels, ",") + "}"
+	}
+	fmt.Fprintf(sb, "%s_sum%s %s\n", name, suffix, promFloat(hs.Sum))
+	fmt.Fprintf(sb, "%s_count%s %d\n", name, suffix, hs.Count)
+}
+
 // WritePrometheus renders the metrics in the Prometheus text exposition
 // format (version 0.0.4): counters as renuver_<name>_total, phase wall
 // clock as renuver_phase_seconds_total / renuver_phase_events_total
-// labelled by phase, and histograms with cumulative le buckets. The
-// output order is fixed (enum order), so scrapes diff cleanly.
+// labelled by phase, and histograms with cumulative le buckets. Every
+// family carries # HELP and # TYPE lines, and the output order is fixed
+// (enum order), so scrapes diff cleanly and strict parsers are happy.
 func (m *Metrics) WritePrometheus(w io.Writer) error {
 	var sb strings.Builder
+	m.appendPrometheus(&sb)
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func (m *Metrics) appendPrometheus(sb *strings.Builder) {
 	for c := 0; c < numCounters; c++ {
 		name := promName(Counter(c).String()) + "_total"
-		fmt.Fprintf(&sb, "# TYPE %s counter\n%s %d\n", name, name, m.counters[c].Load())
+		promHeader(sb, name, "counter", Counter(c).Help())
+		fmt.Fprintf(sb, "%s %d\n", name, m.counters[c].Load())
 	}
 
-	fmt.Fprintf(&sb, "# TYPE %s counter\n", promName("phase_seconds_total"))
+	promHeader(sb, promName("phase_seconds_total"), "counter",
+		"Wall clock accumulated per pipeline phase, in seconds.")
 	for p := 0; p < numPhases; p++ {
-		fmt.Fprintf(&sb, "%s{phase=%q} %s\n", promName("phase_seconds_total"),
+		fmt.Fprintf(sb, "%s{phase=%q} %s\n", promName("phase_seconds_total"),
 			Phase(p).String(), promFloat(float64(m.phaseNanos[p].Load())/1e9))
 	}
-	fmt.Fprintf(&sb, "# TYPE %s counter\n", promName("phase_events_total"))
+	promHeader(sb, promName("phase_events_total"), "counter",
+		"Timing events accumulated per pipeline phase.")
 	for p := 0; p < numPhases; p++ {
-		fmt.Fprintf(&sb, "%s{phase=%q} %d\n", promName("phase_events_total"),
+		fmt.Fprintf(sb, "%s{phase=%q} %d\n", promName("phase_events_total"),
 			Phase(p).String(), m.phaseCount[p].Load())
 	}
 
 	for h := 0; h < numHists; h++ {
 		name := promName(Hist(h).String())
-		fmt.Fprintf(&sb, "# TYPE %s histogram\n", name)
-		bounds := histBounds[h]
-		cum := int64(0)
-		for i := range bounds {
-			cum += m.histBuckets[h][i].Load()
-			fmt.Fprintf(&sb, "%s_bucket{le=%q} %d\n", name, promFloat(bounds[i]), cum)
-		}
-		cum += m.histBuckets[h][len(bounds)].Load()
-		fmt.Fprintf(&sb, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-		fmt.Fprintf(&sb, "%s_sum %s\n", name, promFloat(math.Float64frombits(m.histSumBits[h].Load())))
-		fmt.Fprintf(&sb, "%s_count %d\n", name, m.histCount[h].Load())
+		promHeader(sb, name, "histogram", Hist(h).Help())
+		appendHistogramSeries(sb, name, "", m.hists[h].snapshot())
 	}
-
-	_, err := io.WriteString(w, sb.String())
-	return err
 }

@@ -28,6 +28,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/dc"
 	"repro/internal/discovery"
+	"repro/internal/distance"
 	"repro/internal/engine"
 	"repro/internal/eval"
 	"repro/internal/impute"
@@ -228,15 +229,116 @@ type (
 	Histogram = obs.Hist
 )
 
-// Serve-mode metrics: the admission-gate counters and the queue-depth
-// distribution `renuver serve` records into its recorder.
+// Serve-mode metrics: the admission-gate counters and the queue
+// distributions `renuver serve` records into its recorder.
 const (
-	CtrServeAccepted    = obs.CtrServeAccepted
-	CtrServeRejected    = obs.CtrServeRejected
-	CtrServeTimeouts    = obs.CtrServeTimeouts
-	CtrServePanics      = obs.CtrServePanics
-	HistServeQueueDepth = obs.HistServeQueueDepth
+	CtrServeAccepted         = obs.CtrServeAccepted
+	CtrServeRejected         = obs.CtrServeRejected
+	CtrServeTimeouts         = obs.CtrServeTimeouts
+	CtrServePanics           = obs.CtrServePanics
+	HistServeQueueDepth      = obs.HistServeQueueDepth
+	HistServeQueueWaitMicros = obs.HistServeQueueWaitMicros
 )
+
+// HistogramSnapshot is one histogram's point-in-time state, including
+// the derived p50/p95/p99 estimates.
+type HistogramSnapshot = obs.HistSnapshot
+
+// Request-scoped span telemetry. A serve-mode middleware (or any caller)
+// opens a RequestTrace with StartRequest; spans started from the
+// returned context nest under it, and finished traces land in a bounded
+// SpanRing served by SpansHandler (`/debug/spans`). On a context without
+// a trace every span operation is an inert nil check — the disabled
+// path allocates nothing.
+type (
+	// Span is one timed operation inside a RequestTrace. The zero Span is
+	// valid and disabled.
+	Span = obs.Span
+	// SpanContext is the W3C trace-context identity of a span
+	// (traceparent form via its Traceparent method).
+	SpanContext = obs.SpanContext
+	// RequestTrace is one request's span tree.
+	RequestTrace = obs.Trace
+	// SpanRing retains the last N completed request traces.
+	SpanRing = obs.SpanRing
+	// SpanNode is one node of an exported span tree.
+	SpanNode = obs.SpanNode
+)
+
+// ParseTraceparent parses a W3C traceparent header value, reporting
+// ok=false on malformed input (callers then mint a fresh trace).
+func ParseTraceparent(s string) (SpanContext, bool) { return obs.ParseTraceparent(s) }
+
+// NewSpanRing returns a ring retaining the last `capacity` completed
+// request traces (<=0 = default 64).
+func NewSpanRing(capacity int) *SpanRing { return obs.NewSpanRing(capacity) }
+
+// StartRequest opens a request trace (optionally linked under an
+// upstream traceparent), registers it with the ring (nil = no
+// retention), and returns a derived context whose spans nest under it.
+// Call Finish on the returned trace when the request completes.
+func StartRequest(ctx context.Context, ring *SpanRing, name string, parent SpanContext) (context.Context, *RequestTrace) {
+	return obs.StartRequest(ctx, ring, name, parent)
+}
+
+// SpanFromContext returns the context's current span, or the zero
+// (disabled) Span. The lookup never allocates.
+func SpanFromContext(ctx context.Context) Span { return obs.SpanFromContext(ctx) }
+
+// ContextWithSpan re-anchors the context on a span, nesting later
+// spans under it.
+func ContextWithSpan(ctx context.Context, s Span) context.Context {
+	return obs.ContextWithSpan(ctx, s)
+}
+
+// SpansHandler serves the ring's retained traces as JSON span trees —
+// the `/debug/spans` endpoint of `renuver serve` (404 on a nil ring).
+func SpansHandler(ring *SpanRing) http.Handler { return obs.SpansHandler(ring) }
+
+// Labeled metric families and the registry composing them with a
+// MetricsRecorder into one /metrics surface (JSON and Prometheus).
+type (
+	// MetricsRegistry composes a MetricsRecorder with labeled collectors.
+	MetricsRegistry = obs.Registry
+	// MetricsCollector is one extra family in a MetricsRegistry.
+	MetricsCollector = obs.Collector
+	// HistVec is a fixed-label-set histogram family (per-route latency).
+	HistVec = obs.HistVec
+	// ConstGauge is a constant info gauge (renuver_build_info).
+	ConstGauge = obs.ConstGauge
+	// MetricLabel is one key/value pair on a ConstGauge.
+	MetricLabel = obs.Label
+	// ShardStat is one cache shard's counters as exposed on /metrics.
+	ShardStat = obs.ShardStat
+	// CacheShardStat is the engine-side form of ShardStat, returned by
+	// Session.CacheShardStats.
+	CacheShardStat = engine.CacheShardStat
+)
+
+// NewMetricsRegistry wraps a MetricsRecorder (nil = a fresh one).
+func NewMetricsRegistry(m *MetricsRecorder) *MetricsRegistry { return obs.NewRegistry(m) }
+
+// NewHistVec builds a histogram family with one series per label value;
+// the label set is frozen at construction.
+func NewHistVec(name, help, labelKey string, labels []string, bounds []float64) *HistVec {
+	return obs.NewHistVec(name, help, labelKey, labels, bounds)
+}
+
+// NewConstGauge builds a constant gauge whose payload is its labels.
+func NewConstGauge(name, help string, value float64, labels ...MetricLabel) *ConstGauge {
+	return obs.NewConstGauge(name, help, value, labels...)
+}
+
+// NewShardStatsCollector exposes a sharded cache's per-shard counters,
+// labeled by shard index, under renuver_<name>_{hits,misses,merges}_total.
+func NewShardStatsCollector(name string, fn func() []ShardStat) *obs.ShardStatsCollector {
+	return obs.NewShardStatsCollector(name, fn)
+}
+
+// ActiveKernelName names the Levenshtein kernel currently selected
+// process-wide ("auto", "myers", "banded") — the build-info metric's
+// kernel label.
+func ActiveKernelName() string { return distance.ActiveKernel().String() }
 
 // Provenance tracing. A Tracer records per-cell decision traces —
 // which donors were considered at what Eq. 2 distance, which RFDc vetoed
