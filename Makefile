@@ -8,9 +8,9 @@ GO ?= go
 # against.
 BENCHTMP := .bench-tmp
 
-.PHONY: check fmt vet vet-ctx build test kernels race bench bench-dist bench-json bench-check bench-update golden smoke
+.PHONY: check fmt vet vet-ctx build test kernels race bench bench-dist bench-json bench-check bench-update golden smoke artifact-roundtrip
 
-check: fmt vet vet-ctx build kernels test bench-check
+check: fmt vet vet-ctx build kernels test artifact-roundtrip bench-check
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -80,6 +80,15 @@ bench-check: bench-json
 bench-update: bench-json
 	cp $(BENCHTMP)/BENCH_core.json $(BENCHTMP)/BENCH_engine.json \
 	   $(BENCHTMP)/BENCH_session.json $(BENCHTMP)/BENCH_discovery.json .
+
+# Artifact-layer gate: deterministic encoding (double-compile is
+# byte-identical, the committed golden checksum still matches), full
+# round-trip parity against from-scratch sessions, the decoder's typed
+# errors under corruption, and the compile -> serve -artifact CLI path.
+artifact-roundtrip:
+	$(GO) test -count=1 \
+	  -run 'TestArtifact|TestCompileServeArtifactRoundTrip|TestDeterministic|TestDecode|TestRoundTrip|TestSharedRoundTrip|TestIndex.*RoundTrip' \
+	  ./internal/artifact/ ./internal/engine/ ./internal/core/ ./cmd/renuver/
 
 # Regenerate the golden files (trace JSONL schema) after an intentional
 # schema change; diff the result before committing.

@@ -7,7 +7,9 @@
 //	renuver -in dirty.csv -out clean.csv [-rfds sigma.rfd] [-threshold 15]
 //	        [-order asc|desc] [-verify lhs|both|off] [-report] [-stats]
 //	renuver explain -in dirty.csv -row 7 -attr Phone [-rfds sigma.rfd]
+//	renuver compile -in base.csv -out base.rnv [-rfds sigma.rfd]
 //	renuver serve -metrics-addr 127.0.0.1:8080 -in base.csv [-rfds sigma.rfd]
+//	renuver serve -metrics-addr 127.0.0.1:8080 -artifact base.rnv
 //
 // When -rfds is omitted the RFDcs are discovered on the input first
 // (threshold limit -threshold). With -report, per-cell imputation
@@ -21,10 +23,14 @@
 // candidate a dependency vetoed (and the witness tuple), and how the
 // cell resolved. See explain.go.
 //
-// The serve form starts a long-lived imputation service: POST a CSV to
-// /impute, read cumulative metrics on /metrics (JSON, or Prometheus text
-// format via Accept), fetch the latest decision trace on /trace/last,
-// and profile via /debug/pprof — see serve.go.
+// The compile form precompiles a base instance plus its (discovered or
+// loaded) RFDc set into a versioned binary session artifact — see
+// compile.go. The serve form starts a long-lived imputation service:
+// POST a CSV (or a JSON tuple batch) to /impute, read cumulative
+// metrics on /metrics (JSON, or Prometheus text format via Accept),
+// fetch the latest decision trace on /trace/last, and profile via
+// /debug/pprof — see serve.go. With -artifact it boots from a compiled
+// artifact near-instantly, skipping discovery and compilation.
 package main
 
 import (
@@ -48,8 +54,14 @@ func main() {
 	if len(os.Args) > 1 {
 		switch os.Args[1] {
 		case "-version", "--version", "version":
-			fmt.Printf("renuver %s %s levenshtein_kernel=%s\n",
-				version, runtime.Version(), renuver.ActiveKernelName())
+			fmt.Printf("renuver %s %s levenshtein_kernel=%s artifact_format=v%d\n",
+				version, runtime.Version(), renuver.ActiveKernelName(), renuver.ArtifactFormatVersion)
+			return
+		case "compile":
+			if err := runCompile(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "renuver compile:", err)
+				os.Exit(1)
+			}
 			return
 		case "serve":
 			if err := runServe(os.Args[2:]); err != nil {

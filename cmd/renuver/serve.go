@@ -39,6 +39,11 @@ import (
 //	                    envelope {"error","code"}: 405 on non-POST, 415
 //	                    on non-CSV content types, 429 when the queue is
 //	                    full, 504 when the deadline expires mid-run.
+//	                    With Content-Type: application/json the same
+//	                    endpoint runs in batch mode — many independent
+//	                    tuples in one request, admitted once and traced
+//	                    as per-tuple child spans, with per-tuple error
+//	                    envelopes inside a 200 — see serve_batch.go.
 //	GET  /v1/metrics    cumulative counters/histograms/phase timings —
 //	                    JSON by default, Prometheus text exposition
 //	                    format when the Accept header asks for it.
@@ -59,7 +64,8 @@ func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	var (
 		addr         = fs.String("metrics-addr", "127.0.0.1:8080", "address to serve /impute, /metrics and /debug/pprof on")
-		in           = fs.String("in", "", "base CSV/JSONL compiled into the session at startup (required)")
+		in           = fs.String("in", "", "base CSV/JSONL compiled into the session at startup (required unless -artifact)")
+		artifactPath = fs.String("artifact", "", "compiled session artifact (renuver compile output) to boot from instead of -in")
 		rfds         = fs.String("rfds", "", "RFDc set file; discovered from the base when omitted")
 		threshold    = fs.Float64("threshold", 15, "discovery threshold limit when -rfds is omitted")
 		maxLHS       = fs.Int("maxlhs", 2, "discovery LHS size limit when -rfds is omitted")
@@ -78,9 +84,14 @@ func runServe(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *in == "" {
+	if *artifactPath == "" && *in == "" {
 		fs.Usage()
-		return fmt.Errorf("serve: -in is required")
+		return fmt.Errorf("serve: -in or -artifact is required")
+	}
+	if *artifactPath != "" && (*in != "" || *rfds != "") {
+		// The artifact already carries the compiled base and Σ; mixing in
+		// a second source would silently serve something else.
+		return fmt.Errorf("serve: -artifact is exclusive with -in and -rfds")
 	}
 	for name, v := range map[string]int{
 		"-workers": *workers, "-pool-size": *poolSize, "-queue-depth": *queueDepth,
@@ -95,10 +106,6 @@ func runServe(args []string) error {
 	}
 	logger := newLogger(*logJSON)
 
-	base, err := loadRelation(*in)
-	if err != nil {
-		return err
-	}
 	opts, err := imputerOptions(*order, *verify, *workers)
 	if err != nil {
 		return err
@@ -112,30 +119,51 @@ func runServe(args []string) error {
 		opts = append(opts, renuver.WithTracer(tracer))
 	}
 
-	// Compile the base once; Σ either loads from a file or is mined from
-	// the compiled view (which also warms the shared distance cache the
-	// requests will read).
-	sess, err := renuver.NewSession(base, nil, opts...)
-	if err != nil {
-		return err
-	}
-	var sigma renuver.RFDSet
-	if *rfds != "" {
-		sigma, err = renuver.LoadRFDsFile(*rfds, base.Schema())
+	var sess *renuver.Session
+	if *artifactPath != "" {
+		// Instant boot: the compiled base, candidate index, and Σ decode
+		// straight from the artifact's flat slabs — no discovery, no
+		// compile. This is what lets N stateless replicas come up behind
+		// a load balancer in milliseconds.
+		bootStart := time.Now()
+		if sess, err = renuver.LoadSession(*artifactPath, opts...); err != nil {
+			return err
+		}
+		ai := sess.Artifact()
+		logger.Info("session ready", "source", "artifact", "path", *artifactPath,
+			"format_version", ai.FormatVersion,
+			"checksum", fmt.Sprintf("%016x", ai.Checksum),
+			"rfds", ai.Rules, "base_tuples", ai.Tuples,
+			"boot", time.Since(bootStart).Round(time.Microsecond).String())
 	} else {
-		sigma, err = sess.Discover(context.Background(), renuver.DiscoveryOptions{
-			MaxThreshold: *threshold, MaxLHS: *maxLHS, Workers: *workers,
-			Recorder: metrics,
-		})
+		base, err := loadRelation(*in)
+		if err != nil {
+			return err
+		}
+		// Compile the base once; Σ either loads from a file or is mined
+		// from the compiled view (which also warms the shared distance
+		// cache the requests will read).
+		if sess, err = renuver.NewSession(base, nil, opts...); err != nil {
+			return err
+		}
+		var sigma renuver.RFDSet
+		if *rfds != "" {
+			sigma, err = renuver.LoadRFDsFile(*rfds, base.Schema())
+		} else {
+			sigma, err = sess.Discover(context.Background(), renuver.DiscoveryOptions{
+				MaxThreshold: *threshold, MaxLHS: *maxLHS, Workers: *workers,
+				Recorder: metrics,
+			})
+		}
+		if err != nil {
+			return err
+		}
+		if sess, err = sess.WithSigma(sigma); err != nil {
+			return err
+		}
+		logger.Info("session ready", "source", "compile", "rfds", len(sigma),
+			"base_tuples", base.Len(), "schema", base.Schema().String())
 	}
-	if err != nil {
-		return err
-	}
-	if sess, err = sess.WithSigma(sigma); err != nil {
-		return err
-	}
-	logger.Info("session ready", "rfds", len(sigma), "base_tuples", base.Len(),
-		"schema", base.Schema().String())
 
 	limits := serveLimits{
 		pool:           *poolSize,
@@ -427,6 +455,18 @@ func newServeRegistry(sess *renuver.Session, metrics *renuver.MetricsRecorder) (
 		renuver.MetricLabel{Key: "go_version", Value: runtime.Version()},
 		renuver.MetricLabel{Key: "levenshtein_kernel", Value: renuver.ActiveKernelName()},
 	))
+	if ai := sess.Artifact(); ai != nil {
+		// The artifact identity the replica serves: the checksum label is
+		// what lets a fleet dashboard prove every replica loaded the same
+		// compiled session.
+		reg.Register(renuver.NewConstGauge("artifact_info",
+			"Compiled-session artifact identity; the payload is in the labels.", 1,
+			renuver.MetricLabel{Key: "format_version", Value: fmt.Sprintf("v%d", ai.FormatVersion)},
+			renuver.MetricLabel{Key: "checksum", Value: fmt.Sprintf("%016x", ai.Checksum)},
+			renuver.MetricLabel{Key: "tuples", Value: fmt.Sprintf("%d", ai.Tuples)},
+			renuver.MetricLabel{Key: "sigma_rules", Value: fmt.Sprintf("%d", ai.Rules)},
+		))
+	}
 	if sess.CacheShardStats() != nil {
 		reg.Register(renuver.NewShardStatsCollector("engine_cache_shard", func() []renuver.ShardStat {
 			stats := sess.CacheShardStats()
@@ -471,9 +511,16 @@ func newServeMux(sess *renuver.Session, metrics *renuver.MetricsRecorder,
 				"POST a CSV document to impute it")
 			return
 		}
-		if ct := r.Header.Get("Content-Type"); !csvContentType(ct) {
+		ct := r.Header.Get("Content-Type")
+		if jsonContentType(ct) {
+			// Batch mode: a JSON body of many tuples, one admission for
+			// the whole batch — see serve_batch.go.
+			handleBatchImpute(w, r, sess, g, metrics, limits, logger)
+			return
+		}
+		if !csvContentType(ct) {
 			writeError(w, http.StatusUnsupportedMediaType, "unsupported_media_type",
-				fmt.Sprintf("unsupported Content-Type %q: POST CSV (text/csv)", ct))
+				fmt.Sprintf("unsupported Content-Type %q: POST CSV (text/csv) or a JSON batch (application/json)", ct))
 			return
 		}
 

@@ -183,8 +183,9 @@ func TestServeImputeRejectsBadInput(t *testing.T) {
 func TestServeImputeContentTypes(t *testing.T) {
 	mux, _ := newTestMux(t)
 
-	// Declared non-CSV bodies are refused up front.
-	for _, ct := range []string{"application/json", "multipart/form-data; boundary=x", "garbage/;;"} {
+	// Declared non-CSV, non-JSON bodies are refused up front
+	// (application/json now routes to batch mode — see serve_batch_test.go).
+	for _, ct := range []string{"application/xml", "multipart/form-data; boundary=x", "garbage/;;"} {
 		req := httptest.NewRequest("POST", "/impute", strings.NewReader(paperCSV))
 		req.Header.Set("Content-Type", ct)
 		rec := httptest.NewRecorder()

@@ -1,0 +1,252 @@
+package artifact
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc64"
+	"math"
+	"testing"
+)
+
+// buildSample assembles a two-section artifact exercising every slab
+// writer.
+func buildSample() []byte {
+	b := NewBuilder()
+	b.Begin(SecMeta)
+	b.Uint8(7)
+	b.Uint32(42)
+	b.Uint64(1 << 40)
+	b.Float64(3.5)
+	b.String("hello, artifact")
+	b.Begin(SecColumns)
+	b.Bytes([]byte{1, 2, 3})
+	b.Uint8s([]uint8{9, 8})
+	b.Uint32s([]uint32{10, 20, 30})
+	b.Int32s([]int32{-1, 0, 5})
+	b.Runes([]rune("héllo"))
+	b.Uint64s([]uint64{math.MaxUint64})
+	b.Float64s([]float64{0, -1.25, math.Inf(1)})
+	return b.Finish()
+}
+
+func TestRoundTrip(t *testing.T) {
+	data := buildSample()
+	r, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Version() != FormatVersion {
+		t.Errorf("version = %d, want %d", r.Version(), FormatVersion)
+	}
+	if r.Size() != len(data) {
+		t.Errorf("size = %d, want %d", r.Size(), len(data))
+	}
+
+	c, ok := r.Section(SecMeta)
+	if !ok {
+		t.Fatal("meta section missing")
+	}
+	if v := c.Uint8(); v != 7 {
+		t.Errorf("Uint8 = %d", v)
+	}
+	if v := c.Uint32(); v != 42 {
+		t.Errorf("Uint32 = %d", v)
+	}
+	if v := c.Uint64(); v != 1<<40 {
+		t.Errorf("Uint64 = %d", v)
+	}
+	if v := c.Float64(); v != 3.5 {
+		t.Errorf("Float64 = %v", v)
+	}
+	if v := c.String(); v != "hello, artifact" {
+		t.Errorf("String = %q", v)
+	}
+	if c.Err() != nil {
+		t.Fatalf("meta cursor: %v", c.Err())
+	}
+	if c.Remaining() != 0 {
+		t.Errorf("meta has %d unread bytes", c.Remaining())
+	}
+
+	c, ok = r.Section(SecColumns)
+	if !ok {
+		t.Fatal("columns section missing")
+	}
+	if v := c.Bytes(); !bytes.Equal(v, []byte{1, 2, 3}) {
+		t.Errorf("Bytes = %v", v)
+	}
+	if v := c.Uint8s(); !bytes.Equal(v, []uint8{9, 8}) {
+		t.Errorf("Uint8s = %v", v)
+	}
+	if v := c.Uint32s(); len(v) != 3 || v[2] != 30 {
+		t.Errorf("Uint32s = %v", v)
+	}
+	if v := c.Int32s(); len(v) != 3 || v[0] != -1 || v[2] != 5 {
+		t.Errorf("Int32s = %v", v)
+	}
+	if v := c.Runes(); string(v) != "héllo" {
+		t.Errorf("Runes = %q", string(v))
+	}
+	if v := c.Uint64s(); len(v) != 1 || v[0] != math.MaxUint64 {
+		t.Errorf("Uint64s = %v", v)
+	}
+	if v := c.Float64s(); len(v) != 3 || v[1] != -1.25 || !math.IsInf(v[2], 1) {
+		t.Errorf("Float64s = %v", v)
+	}
+	if c.Err() != nil {
+		t.Fatalf("columns cursor: %v", c.Err())
+	}
+
+	if _, ok := r.Section(SecSigma); ok {
+		t.Error("absent section reported present")
+	}
+}
+
+// TestDeterministicEncoding: the same build sequence yields the same
+// bytes.
+func TestDeterministicEncoding(t *testing.T) {
+	if !bytes.Equal(buildSample(), buildSample()) {
+		t.Fatal("two identical builds produced different bytes")
+	}
+}
+
+// TestSectionAlignment: every section payload starts on an 8-byte
+// boundary, the property that keeps the slabs directly addressable in
+// an mmap.
+func TestSectionAlignment(t *testing.T) {
+	data := buildSample()
+	count := binary.LittleEndian.Uint32(data[8:])
+	for i := uint32(0); i < count; i++ {
+		e := headerLen + int(i)*tableEntryLen
+		off := binary.LittleEndian.Uint64(data[e+8:])
+		if off%8 != 0 {
+			t.Errorf("section %d at unaligned offset %d", i, off)
+		}
+	}
+	if len(data)%8 != 0 {
+		t.Errorf("total size %d not 8-byte aligned", len(data))
+	}
+}
+
+// reseal recomputes the declared-size and checksum trailer after a
+// test mutates the body, so the mutation reaches the layer under
+// verification instead of tripping the checksum first.
+func reseal(data []byte) []byte {
+	binary.LittleEndian.PutUint64(data[12:], uint64(len(data)))
+	sum := crc64.Checksum(data[:len(data)-trailerLen], crcTable)
+	binary.LittleEndian.PutUint64(data[len(data)-trailerLen:], sum)
+	return data
+}
+
+func TestDecodeTypedErrors(t *testing.T) {
+	good := buildSample()
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+		want error
+	}{
+		{"empty", func(d []byte) []byte { return nil }, ErrTruncated},
+		{"short magic", func(d []byte) []byte { return d[:3] }, ErrTruncated},
+		{"bad magic", func(d []byte) []byte { d[0] = 'X'; return d }, ErrBadMagic},
+		{"header only", func(d []byte) []byte { return d[:headerLen-1] }, ErrTruncated},
+		{"version skew", func(d []byte) []byte {
+			binary.LittleEndian.PutUint16(d[4:], FormatVersion+1)
+			return d
+		}, ErrVersion},
+		{"big endian", func(d []byte) []byte {
+			d[6] = 2
+			return reseal(d)
+		}, ErrCorrupt},
+		{"truncated tail", func(d []byte) []byte { return d[:len(d)-9] }, ErrTruncated},
+		{"flipped payload bit", func(d []byte) []byte {
+			d[headerLen+2*tableEntryLen+1] ^= 0x10
+			return d
+		}, ErrChecksum},
+		{"flipped checksum bit", func(d []byte) []byte {
+			d[len(d)-1] ^= 0x01
+			return d
+		}, ErrChecksum},
+		{"section past payload", func(d []byte) []byte {
+			binary.LittleEndian.PutUint64(d[headerLen+16:], uint64(len(d)))
+			return reseal(d)
+		}, ErrCorrupt},
+		{"table past payload", func(d []byte) []byte {
+			binary.LittleEndian.PutUint32(d[8:], 1<<20)
+			return reseal(d)
+		}, ErrCorrupt},
+		{"duplicate section", func(d []byte) []byte {
+			id := binary.LittleEndian.Uint32(d[headerLen:])
+			binary.LittleEndian.PutUint32(d[headerLen+tableEntryLen:], id)
+			return reseal(d)
+		}, ErrCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := tc.mut(append([]byte(nil), good...))
+			_, err := Decode(data)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Decode = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestCursorOverAllocationGuard: a slab whose declared count exceeds
+// the remaining bytes fails with ErrTruncated before any allocation of
+// that size could happen.
+func TestCursorOverAllocationGuard(t *testing.T) {
+	b := NewBuilder()
+	b.Begin(SecMeta)
+	b.Uint32(0xFFFFFF00) // a count with no bytes behind it
+	data := b.Finish()
+	r, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := r.Section(SecMeta)
+	if v := c.Uint64s(); v != nil {
+		t.Errorf("Uint64s = %v, want nil", v)
+	}
+	if !errors.Is(c.Err(), ErrTruncated) {
+		t.Errorf("Err = %v, want ErrTruncated", c.Err())
+	}
+}
+
+// TestCursorStickyError: after the first failure every read returns
+// zero values and the original error is preserved.
+func TestCursorStickyError(t *testing.T) {
+	b := NewBuilder()
+	b.Begin(SecMeta)
+	b.Uint8(1)
+	data := b.Finish()
+	r, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := r.Section(SecMeta)
+	c.Uint8()
+	if c.Uint64() != 0 || c.Err() == nil {
+		t.Fatal("expected failure reading past the section")
+	}
+	first := c.Err()
+	if c.Uint32() != 0 || c.String() != "" || c.Float64s() != nil {
+		t.Error("reads after failure returned non-zero values")
+	}
+	if c.Err() != first {
+		t.Errorf("sticky error replaced: %v -> %v", first, c.Err())
+	}
+}
+
+// TestDuplicateBeginPanics: section ids are the decoder's lookup key,
+// so the builder refuses duplicates loudly.
+func TestDuplicateBeginPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Begin did not panic")
+		}
+	}()
+	b := NewBuilder()
+	b.Begin(SecMeta)
+	b.Begin(SecMeta)
+}

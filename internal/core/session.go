@@ -36,6 +36,16 @@ import (
 type Session struct {
 	im     *Imputer
 	shared *engine.Shared // nil in self-contained mode
+
+	// baseIndex is the candidate index over the base's Σ-LHS attributes
+	// decoded from a compiled-session artifact (nil otherwise). It is
+	// retained for artifact round-trips and future index-accelerated
+	// donor scans; the Impute hot path does not consult it, so loaded
+	// and freshly compiled sessions stay byte-identical.
+	baseIndex *engine.Index
+	// art is the metadata of the artifact this session was loaded from
+	// or last encoded to; nil for sessions that never touched one.
+	art *ArtifactInfo
 }
 
 // NewSession builds a Session over Σ. base may be nil (self-contained
@@ -67,6 +77,8 @@ func (s *Session) WithSigma(sigma rfd.Set) (*Session, error) {
 			return nil, err
 		}
 	}
+	// The decoded candidate index and artifact metadata do not carry
+	// over: both are bound to the Σ they were compiled with.
 	return &Session{im: &Imputer{sigma: sigma, opts: s.im.opts}, shared: s.shared}, nil
 }
 

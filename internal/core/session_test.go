@@ -417,6 +417,61 @@ func BenchmarkOneShotImputeWithDonors(b *testing.B) {
 	}
 }
 
+// BenchmarkSessionCompile measures the serve compile-on-boot path: each
+// iteration compiles the base from scratch and mines Σ on it — the full
+// cost every replica pays at startup without an artifact.
+func BenchmarkSessionCompile(b *testing.B) {
+	base := benchRelation(b, 40) // 200 tuples
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess, err := NewSession(base, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sigma, err := sess.Discover(context.Background(), discovery.Config{
+			MaxThreshold: 6, MaxLHS: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sess.WithSigma(sigma); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionFromArtifact measures the serve -artifact boot path
+// over the same base: each iteration reconstructs the full serving
+// session (view, interners, index, Σ) from pre-encoded artifact bytes.
+func BenchmarkSessionFromArtifact(b *testing.B) {
+	base := benchRelation(b, 40)
+	sess, err := NewSession(base, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sigma, err := sess.Discover(context.Background(), discovery.Config{
+		MaxThreshold: 6, MaxLHS: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if sess, err = sess.WithSigma(sigma); err != nil {
+		b.Fatal(err)
+	}
+	data, err := sess.EncodeArtifact()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewSessionFromArtifact(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // TestBenchSessionJSON records the amortization evidence: with
 // BENCH_SESSION_OUT set it runs both benchmarks via testing.Benchmark
 // and writes their figures (plus the speedup ratio) as JSON.
@@ -429,19 +484,25 @@ func TestBenchSessionJSON(t *testing.T) {
 	}
 	session := testing.Benchmark(BenchmarkSessionImpute)
 	oneShot := testing.Benchmark(BenchmarkOneShotImputeWithDonors)
+	compile := testing.Benchmark(BenchmarkSessionCompile)
+	fromArtifact := testing.Benchmark(BenchmarkSessionFromArtifact)
 	doc, err := json.MarshalIndent(struct {
-		Package    string        `json:"package"`
-		Workload   string        `json:"workload"`
-		Benchmarks []BenchRecord `json:"benchmarks"`
-		Speedup    float64       `json:"session_speedup"`
+		Package     string        `json:"package"`
+		Workload    string        `json:"workload"`
+		Benchmarks  []BenchRecord `json:"benchmarks"`
+		Speedup     float64       `json:"session_speedup"`
+		BootSpeedup float64       `json:"artifact_boot_speedup"`
 	}{
 		Package:  "repro/internal/core",
-		Workload: "1000-tuple donor pool, 4-tuple request with 2 missing cells",
+		Workload: "1000-tuple donor pool, 4-tuple request with 2 missing cells; 200-tuple base for the boot pair",
 		Benchmarks: []BenchRecord{
 			record("SessionImpute", session),
 			record("OneShotImputeWithDonors", oneShot),
+			record("SessionCompile", compile),
+			record("SessionFromArtifact", fromArtifact),
 		},
-		Speedup: float64(oneShot.NsPerOp()) / float64(session.NsPerOp()),
+		Speedup:     float64(oneShot.NsPerOp()) / float64(session.NsPerOp()),
+		BootSpeedup: float64(compile.NsPerOp()) / float64(fromArtifact.NsPerOp()),
 	}, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -452,5 +513,12 @@ func TestBenchSessionJSON(t *testing.T) {
 	if session.NsPerOp() >= oneShot.NsPerOp() {
 		t.Errorf("session (%d ns/op) did not beat one-shot (%d ns/op)",
 			session.NsPerOp(), oneShot.NsPerOp())
+	}
+	// The acceptance bar for the artifact layer: booting from the
+	// compiled artifact must be at least 10x faster than compiling (and
+	// mining Σ on) the same base from scratch.
+	if speedup := float64(compile.NsPerOp()) / float64(fromArtifact.NsPerOp()); speedup < 10 {
+		t.Errorf("artifact boot speedup = %.1fx (compile %d ns/op, from-artifact %d ns/op), want >= 10x",
+			speedup, compile.NsPerOp(), fromArtifact.NsPerOp())
 	}
 }

@@ -1,0 +1,491 @@
+package engine
+
+// Artifact codec for the compiled engine state: the columnar View form
+// of the base relation, the per-attribute interning tables (string
+// blobs, pre-decoded rune slabs, rune lengths, alphabet masks), and the
+// candidate Index buckets. Everything is written as flat count-prefixed
+// slabs with offset-based references — string i of an interner is the
+// blob window [offsets[i], offsets[i+1]), its runes the window of the
+// flat rune slab starting at the running sum of lens — so a decode
+// reconstructs the pointer graph from integers without chasing any
+// serialized pointers, and map-backed structures are written in sorted
+// key order so the encoding is deterministic.
+//
+// The distance cache is deliberately not serialized: it is a pure memo,
+// so a freshly loaded Shared starts cold and converges to the same
+// contents — and identical results — as a freshly compiled one.
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/artifact"
+	"repro/internal/dataset"
+)
+
+// EncodeTo writes the compiled base state — schema, columns, interning
+// tables — into the builder as the SecSchema, SecColumns, and
+// SecInterners sections.
+func (s *Shared) EncodeTo(b *artifact.Builder) {
+	b.Begin(artifact.SecSchema)
+	sch := s.rel.Schema()
+	b.Uint32(uint32(sch.Len()))
+	for a := 0; a < sch.Len(); a++ {
+		at := sch.Attr(a)
+		b.String(at.Name)
+		b.Uint8(uint8(at.Kind))
+	}
+
+	b.Begin(artifact.SecColumns)
+	b.Uint64(uint64(s.n))
+	b.Uint32(uint32(s.m))
+	for a := 0; a < s.m; a++ {
+		c := &s.cols[a]
+		kinds := make([]uint8, s.n)
+		for i, k := range c.kind {
+			kinds[i] = uint8(k)
+		}
+		b.Uint8s(kinds)
+		b.Float64s(c.num)
+		b.Int32s(c.sid)
+	}
+
+	b.Begin(artifact.SecInterners)
+	b.Uint32(uint32(s.m))
+	for a := 0; a < s.m; a++ {
+		encodeInterner(b, s.interns[a])
+	}
+}
+
+// encodeInterner writes one interning table as five slabs: the
+// concatenated string blob, the blob offset table (count+1 entries),
+// the rune lengths, the alphabet masks, and one flat rune slab holding
+// every value's pre-decoded runes back to back.
+func encodeInterner(b *artifact.Builder, in *interner) {
+	var blob []byte
+	offsets := make([]uint32, len(in.strs)+1)
+	for i, s := range in.strs {
+		blob = append(blob, s...)
+		offsets[i+1] = uint32(len(blob))
+	}
+	lens := make([]int32, len(in.lens))
+	total := 0
+	for i, l := range in.lens {
+		lens[i] = int32(l)
+		total += l
+	}
+	flat := make([]rune, 0, total)
+	for _, r := range in.runes {
+		flat = append(flat, r...)
+	}
+	b.Bytes(blob)
+	b.Uint32s(offsets)
+	b.Int32s(lens)
+	b.Uint64s(in.masks)
+	b.Runes(flat)
+}
+
+// decodeInterner reads one interning table. The string blob is
+// converted to a Go string once; every interned value is a substring
+// window into it, and every rune slice a window into the one flat rune
+// slab — the same single-arena shape the encoder flattened.
+func decodeInterner(c *artifact.Cursor) (*interner, error) {
+	blobBytes := c.Bytes()
+	offsets := c.Uint32s()
+	lens32 := c.Int32s()
+	masks := c.Uint64s()
+	flat := c.Runes()
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	if len(offsets) == 0 {
+		return nil, artifact.Corruptf("interner: empty offset table")
+	}
+	count := len(offsets) - 1
+	if len(lens32) != count || len(masks) != count {
+		return nil, artifact.Corruptf("interner: %d offsets but %d lens, %d masks", count, len(lens32), len(masks))
+	}
+	if offsets[0] != 0 || offsets[count] != uint32(len(blobBytes)) {
+		return nil, artifact.Corruptf("interner: offset table does not span the %d-byte blob", len(blobBytes))
+	}
+	if count == 0 {
+		if len(flat) != 0 {
+			return nil, artifact.Corruptf("interner: %d runes behind zero values", len(flat))
+		}
+		// Match a freshly compiled empty interner exactly (nil slabs,
+		// ids map allocated lazily on first intern).
+		return &interner{}, nil
+	}
+	blob := string(blobBytes)
+	in := &interner{
+		ids:   make(map[string]int32, count),
+		strs:  make([]string, count),
+		runes: make([][]rune, count),
+		lens:  make([]int, count),
+		masks: masks,
+	}
+	pos := 0
+	for i := 0; i < count; i++ {
+		if offsets[i+1] < offsets[i] {
+			return nil, artifact.Corruptf("interner: offset table not monotonic at %d", i)
+		}
+		s := blob[offsets[i]:offsets[i+1]]
+		if _, dup := in.ids[s]; dup {
+			return nil, artifact.Corruptf("interner: duplicate value %q", s)
+		}
+		in.ids[s] = int32(i)
+		in.strs[i] = s
+		l := int(lens32[i])
+		if l < 0 || pos+l > len(flat) {
+			return nil, artifact.Corruptf("interner: rune window %d+%d exceeds slab of %d", pos, l, len(flat))
+		}
+		in.runes[i] = flat[pos : pos+l : pos+l]
+		in.lens[i] = l
+		pos += l
+	}
+	if pos != len(flat) {
+		return nil, artifact.Corruptf("interner: %d runes consumed of %d in slab", pos, len(flat))
+	}
+	return in, nil
+}
+
+// DecodeShared reconstructs a compiled base — columns, interning
+// tables, and the backing relation — from an artifact's SecSchema,
+// SecColumns, and SecInterners sections. The distance cache starts
+// cold. Every structural cross-reference (kinds, interned ids, slab
+// lengths) is validated, so a checksum-valid but semantically corrupt
+// artifact fails with a typed error instead of compiling an
+// inconsistent engine.
+func DecodeShared(r *artifact.Reader) (*Shared, error) {
+	sc, ok := r.Section(artifact.SecSchema)
+	if !ok {
+		return nil, artifact.Corruptf("missing schema section")
+	}
+	m := int(sc.Uint32())
+	if sc.Err() != nil {
+		return nil, sc.Err()
+	}
+	if m < 0 || m > sc.Remaining() {
+		return nil, artifact.Corruptf("schema: arity %d exceeds section", m)
+	}
+	attrs := make([]dataset.Attribute, m)
+	seen := make(map[string]bool, m)
+	for a := 0; a < m; a++ {
+		name := sc.String()
+		kind := dataset.Kind(sc.Uint8())
+		if sc.Err() != nil {
+			return nil, sc.Err()
+		}
+		if name == "" || seen[name] {
+			return nil, artifact.Corruptf("schema: empty or duplicate attribute %q", name)
+		}
+		if kind > dataset.KindBool {
+			return nil, artifact.Corruptf("schema: attribute %q has unknown kind %d", name, kind)
+		}
+		seen[name] = true
+		attrs[a] = dataset.Attribute{Name: name, Kind: kind}
+	}
+	schema := dataset.NewSchema(attrs...)
+
+	cc, ok := r.Section(artifact.SecColumns)
+	if !ok {
+		return nil, artifact.Corruptf("missing columns section")
+	}
+	n := int(cc.Uint64())
+	if int(cc.Uint32()) != m || cc.Err() != nil {
+		if cc.Err() != nil {
+			return nil, cc.Err()
+		}
+		return nil, artifact.Corruptf("columns: arity disagrees with schema")
+	}
+	if n < 0 || n > cc.Remaining() {
+		return nil, artifact.Corruptf("columns: row count %d exceeds section", n)
+	}
+	cols := make([]col, m)
+	for a := 0; a < m; a++ {
+		kinds := cc.Uint8s()
+		num := cc.Float64s()
+		sid := cc.Int32s()
+		if err := cc.Err(); err != nil {
+			return nil, err
+		}
+		if len(kinds) != n || len(num) != n || len(sid) != n {
+			return nil, artifact.Corruptf("columns: attr %d slabs disagree with row count %d", a, n)
+		}
+		ck := make([]dataset.Kind, n)
+		for i, k := range kinds {
+			ck[i] = dataset.Kind(k)
+		}
+		cols[a] = col{kind: ck, num: num, sid: sid}
+	}
+
+	ic, ok := r.Section(artifact.SecInterners)
+	if !ok {
+		return nil, artifact.Corruptf("missing interners section")
+	}
+	if int(ic.Uint32()) != m {
+		if ic.Err() != nil {
+			return nil, ic.Err()
+		}
+		return nil, artifact.Corruptf("interners: arity disagrees with schema")
+	}
+	interns := make([]*interner, m)
+	for a := 0; a < m; a++ {
+		in, err := decodeInterner(ic)
+		if err != nil {
+			return nil, err
+		}
+		interns[a] = in
+	}
+
+	// The relation is rebuilt cell by cell through Set rather than
+	// Append: Append enforces schema kinds, but a live base may carry
+	// cross-kind cells written through View.Set (imputations from
+	// cross-typed donors), and the decode must reproduce the encoded
+	// state exactly.
+	rel := dataset.NewRelation(schema)
+	for i := 0; i < n; i++ {
+		if err := rel.Append(make(dataset.Tuple, m)); err != nil {
+			return nil, artifact.Corruptf("row %d: %v", i, err)
+		}
+		for a := 0; a < m; a++ {
+			v, err := cellValue(&cols[a], interns[a], i, a)
+			if err != nil {
+				return nil, err
+			}
+			rel.Set(i, a, v)
+		}
+	}
+	return &Shared{rel: rel, n: n, m: m, cols: cols, interns: interns, cache: newDistCache()}, nil
+}
+
+// cellValue reconstructs the dataset.Value behind one columnar cell,
+// validating that the cell is expressible — the decoded relation must
+// re-compile to exactly these columns.
+func cellValue(c *col, in *interner, row, attr int) (dataset.Value, error) {
+	switch k := c.kind[row]; k {
+	case dataset.KindNull:
+		return dataset.Null, nil
+	case dataset.KindString:
+		sid := c.sid[row]
+		if sid < 0 || int(sid) >= len(in.strs) {
+			return dataset.Value{}, artifact.Corruptf("cell (%d, %d): string id %d of %d", row, attr, sid, len(in.strs))
+		}
+		return dataset.NewString(in.strs[sid]), nil
+	case dataset.KindInt:
+		f := c.num[row]
+		if f != math.Trunc(f) || math.Abs(f) >= 1<<63 {
+			return dataset.Value{}, artifact.Corruptf("cell (%d, %d): non-integral int payload %v", row, attr, f)
+		}
+		return dataset.NewInt(int64(f)), nil
+	case dataset.KindFloat:
+		f := c.num[row]
+		if math.IsNaN(f) {
+			return dataset.Value{}, artifact.Corruptf("cell (%d, %d): NaN float payload", row, attr)
+		}
+		return dataset.NewFloat(f), nil
+	case dataset.KindBool:
+		f := c.num[row]
+		if f != 0 && f != 1 {
+			return dataset.Value{}, artifact.Corruptf("cell (%d, %d): bool payload %v", row, attr, f)
+		}
+		return dataset.NewBool(f == 1), nil
+	default:
+		return dataset.Value{}, artifact.Corruptf("cell (%d, %d): unknown kind %d", row, attr, k)
+	}
+}
+
+// EncodeTo writes the candidate index — LHS attribute set, equality
+// buckets, sorted numeric range columns, string length buckets — as the
+// SecIndex section. Map buckets are written in sorted key order
+// (equality keys by (class, payload), length buckets by length), so
+// encoding the same index twice is byte-identical. Nil-safe: a nil
+// index (empty Σ LHS) writes a presence byte of 0.
+func (ix *Index) EncodeTo(b *artifact.Builder) {
+	b.Begin(artifact.SecIndex)
+	if ix == nil {
+		b.Uint8(0)
+		return
+	}
+	b.Uint8(1)
+	m := len(ix.lhs)
+	b.Uint32(uint32(m))
+	flags := make([]uint8, m)
+	for a, on := range ix.lhs {
+		if on {
+			flags[a] = 1
+		}
+	}
+	b.Uint8s(flags)
+	for a := 0; a < m; a++ {
+		if !ix.lhs[a] {
+			continue
+		}
+		keys := make([]eqKey, 0, len(ix.eq[a]))
+		for k := range ix.eq[a] {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].cls != keys[j].cls {
+				return keys[i].cls < keys[j].cls
+			}
+			return keys[i].bits < keys[j].bits
+		})
+		b.Uint32(uint32(len(keys)))
+		for _, k := range keys {
+			b.Uint8(k.cls)
+			b.Uint64(k.bits)
+			encodeRows(b, ix.eq[a][k])
+		}
+
+		b.Float64s(ix.numV[a])
+		encodeRows(b, ix.numR[a])
+
+		lenKeys := make([]int, 0, len(ix.lens[a]))
+		for l := range ix.lens[a] {
+			lenKeys = append(lenKeys, l)
+		}
+		sort.Ints(lenKeys)
+		b.Uint32(uint32(len(lenKeys)))
+		for _, l := range lenKeys {
+			b.Uint32(uint32(l))
+			encodeRows(b, ix.lens[a][l])
+		}
+	}
+}
+
+// encodeRows writes a flat row list as a uint32 slab.
+func encodeRows(b *artifact.Builder, rows []int) {
+	v := make([]uint32, len(rows))
+	for i, r := range rows {
+		v[i] = uint32(r)
+	}
+	b.Uint32s(v)
+}
+
+// decodeRows reads a flat row list, validating every row against the
+// view size.
+func decodeRows(c *artifact.Cursor, n int) ([]int, error) {
+	v := c.Uint32s()
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	if len(v) == 0 {
+		// nil, not an empty slice: the from-scratch builder leaves
+		// never-appended lists nil, and round-trip tests compare deeply.
+		return nil, nil
+	}
+	rows := make([]int, len(v))
+	for i, r := range v {
+		if int(r) >= n {
+			return nil, artifact.Corruptf("index: row %d of %d view rows", r, n)
+		}
+		rows[i] = int(r)
+	}
+	return rows, nil
+}
+
+// DecodeIndex reconstructs the candidate index from an artifact's
+// SecIndex section, bound to the given view (normally the frozen view
+// of the Shared decoded from the same artifact). Returns (nil, nil)
+// when the artifact recorded an absent index.
+func DecodeIndex(r *artifact.Reader, v *View) (*Index, error) {
+	c, ok := r.Section(artifact.SecIndex)
+	if !ok {
+		return nil, artifact.Corruptf("missing index section")
+	}
+	present := c.Uint8()
+	if c.Err() != nil {
+		return nil, c.Err()
+	}
+	if present == 0 {
+		return nil, nil
+	}
+	m := int(c.Uint32())
+	flags := c.Uint8s()
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	if m != v.Arity() || len(flags) != m {
+		return nil, artifact.Corruptf("index: arity %d disagrees with view arity %d", m, v.Arity())
+	}
+	ix := &Index{
+		v:    v,
+		lhs:  make([]bool, m),
+		eq:   make([]map[eqKey][]int, m),
+		numV: make([][]float64, m),
+		numR: make([][]int, m),
+		lens: make([]map[int][]int, m),
+	}
+	n := v.Len()
+	for a := 0; a < m; a++ {
+		if flags[a] == 0 {
+			continue
+		}
+		ix.lhs[a] = true
+		nk := int(c.Uint32())
+		if c.Err() != nil {
+			return nil, c.Err()
+		}
+		if nk < 0 || nk > c.Remaining() {
+			return nil, artifact.Corruptf("index: %d equality keys exceed section", nk)
+		}
+		ix.eq[a] = make(map[eqKey][]int, nk)
+		for k := 0; k < nk; k++ {
+			key := eqKey{cls: c.Uint8(), bits: c.Uint64()}
+			rows, err := decodeRows(c, n)
+			if err != nil {
+				return nil, err
+			}
+			if key.cls > clsBool {
+				return nil, artifact.Corruptf("index: unknown value class %d", key.cls)
+			}
+			if _, dup := ix.eq[a][key]; dup {
+				return nil, artifact.Corruptf("index: duplicate equality key")
+			}
+			ix.eq[a][key] = rows
+		}
+
+		numV := c.Float64s()
+		if len(numV) == 0 {
+			numV = nil
+		}
+		numR, err := decodeRows(c, n)
+		if err != nil {
+			return nil, err
+		}
+		if len(numV) != len(numR) {
+			return nil, artifact.Corruptf("index: numeric columns disagree (%d values, %d rows)", len(numV), len(numR))
+		}
+		for k := 1; k < len(numV); k++ {
+			if numV[k] < numV[k-1] {
+				return nil, artifact.Corruptf("index: numeric column not sorted at %d", k)
+			}
+		}
+		ix.numV[a], ix.numR[a] = numV, numR
+
+		nl := int(c.Uint32())
+		if c.Err() != nil {
+			return nil, c.Err()
+		}
+		if nl < 0 || nl > c.Remaining() {
+			return nil, artifact.Corruptf("index: %d length buckets exceed section", nl)
+		}
+		ix.lens[a] = make(map[int][]int, nl)
+		for k := 0; k < nl; k++ {
+			l := int(c.Uint32())
+			rows, err := decodeRows(c, n)
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := ix.lens[a][l]; dup {
+				return nil, artifact.Corruptf("index: duplicate length bucket %d", l)
+			}
+			ix.lens[a][l] = rows
+		}
+	}
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}

@@ -23,6 +23,7 @@ import (
 	"io"
 	"net/http"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/dataset"
@@ -428,6 +429,30 @@ type Session = core.Session
 // once, instead of on every request.
 func NewSession(base *Relation, sigma RFDSet, opts ...Option) (*Session, error) {
 	return core.NewSession(base, sigma, opts...)
+}
+
+// ArtifactInfo summarizes a compiled-session artifact: format version,
+// whole-file checksum, tuple count, arity, |Σ|, and encoded size. A
+// session loaded from (or saved to) an artifact reports it via
+// Session.Artifact.
+type ArtifactInfo = core.ArtifactInfo
+
+// ArtifactFormatVersion is the compiled-session artifact layout version
+// this build writes and accepts.
+const ArtifactFormatVersion = artifact.FormatVersion
+
+// LoadSession reconstructs a serving Session from a compiled-session
+// artifact file (the output of `renuver compile`), skipping RFD
+// discovery and engine compilation entirely — the replica boot path
+// behind `renuver serve -artifact`.
+func LoadSession(path string, opts ...Option) (*Session, error) {
+	return core.LoadSession(path, opts...)
+}
+
+// NewSessionFromArtifact is LoadSession over in-memory artifact bytes
+// (e.g. an mmap'ed file); the data is not retained after decode.
+func NewSessionFromArtifact(data []byte, opts ...Option) (*Session, error) {
+	return core.NewSessionFromArtifact(data, opts...)
 }
 
 // ErrCanceled is the sentinel every context-aware entry point wraps when
