@@ -27,6 +27,7 @@ func runCompile(args []string) error {
 		threshold = fs.Float64("threshold", 15, "discovery threshold limit when -rfds is omitted")
 		maxLHS    = fs.Int("maxlhs", 2, "discovery LHS size limit when -rfds is omitted")
 		workers   = fs.Int("workers", 0, "parallel discovery workers (0 = all CPUs; output identical)")
+		shards    = fs.Int("shards", 0, "discovery pattern shards (0 = unsharded; output identical for any value)")
 		saveRFDs  = fs.String("save-rfds", "", "also write the (discovered) RFDc set to this file")
 		logJSON   = fs.Bool("log-json", false, "emit progress logs as JSON lines")
 	)
@@ -37,8 +38,11 @@ func runCompile(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("compile: -in and -out are required")
 	}
-	if *workers < 0 {
-		return fmt.Errorf("compile: -workers must be >= 0, got %d", *workers)
+	if err := validateParallelism("-workers", *workers); err != nil {
+		return fmt.Errorf("compile: %w", err)
+	}
+	if err := validateParallelism("-shards", *shards); err != nil {
+		return fmt.Errorf("compile: %w", err)
 	}
 	logger := newLogger(*logJSON)
 
@@ -63,6 +67,7 @@ func runCompile(args []string) error {
 	} else {
 		sigma, err = sess.Discover(context.Background(), renuver.DiscoveryOptions{
 			MaxThreshold: *threshold, MaxLHS: *maxLHS, Workers: *workers,
+			Shards: *shards,
 		})
 		if err != nil {
 			return err

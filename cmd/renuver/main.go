@@ -90,11 +90,20 @@ func main() {
 	flag.BoolVar(&cfg.stats, "stats", false, "print run counters and per-phase wall clock as JSON to stderr")
 	flag.StringVar(&cfg.saveRFDs, "save-rfds", "", "write the (discovered) RFDc set to this file")
 	flag.IntVar(&cfg.workers, "workers", 0, "parallel workers: tuple scans (0 = serial) and discovery (0 = all CPUs; output identical)")
+	flag.IntVar(&cfg.shards, "shards", 0, "discovery pattern shards and donor-pool sub-indexes (0 = unsharded; output identical for any value)")
 	flag.StringVar(&cfg.donors, "donors", "", "comma-separated reference CSVs for the multi-dataset extension")
 	flag.BoolVar(&logJSON, "log-json", false, "emit progress logs as JSON lines")
 	flag.Parse()
 	if cfg.in == "" {
 		flag.Usage()
+		os.Exit(2)
+	}
+	if err := validateParallelism("-workers", cfg.workers); err != nil {
+		fmt.Fprintln(os.Stderr, "renuver:", err)
+		os.Exit(2)
+	}
+	if err := validateParallelism("-shards", cfg.shards); err != nil {
+		fmt.Fprintln(os.Stderr, "renuver:", err)
 		os.Exit(2)
 	}
 	cfg.logger = newLogger(logJSON)
@@ -142,6 +151,7 @@ type runConfig struct {
 	report    bool
 	stats     bool
 	workers   int
+	shards    int
 	donors    string
 	logger    *slog.Logger
 }
@@ -158,6 +168,7 @@ func prepareSigma(cfg *runConfig, rel *renuver.Relation) (renuver.RFDSet, error)
 	}
 	sigma, err := renuver.DiscoverRFDs(rel, renuver.DiscoveryOptions{
 		MaxThreshold: cfg.threshold, MaxLHS: cfg.maxLHS, Workers: cfg.workers,
+		Shards: cfg.shards,
 	})
 	if err != nil {
 		return nil, err
@@ -187,7 +198,7 @@ func run(cfg runConfig) error {
 		}
 	}
 
-	opts, err := imputerOptions(cfg.order, cfg.verify, cfg.workers)
+	opts, err := imputerOptions(cfg.order, cfg.verify, cfg.workers, cfg.shards)
 	if err != nil {
 		return err
 	}

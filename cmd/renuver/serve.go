@@ -72,6 +72,7 @@ func runServe(args []string) error {
 		order        = fs.String("order", "asc", "RHS-threshold cluster order: asc or desc")
 		verify       = fs.String("verify", "lhs", "IS_FAULTLESS scope: lhs, both, off")
 		workers      = fs.Int("workers", 0, "parallel workers for discovery and imputation tuple scans (0 = serial imputation, all CPUs for discovery)")
+		shards       = fs.Int("shards", 0, "discovery pattern shards and donor-pool sub-indexes (0 = unsharded; output identical for any value)")
 		traceSample  = fs.Int("trace-sample", 0, "trace every Nth cell's imputation decisions (0 = tracing off, 1 = every cell)")
 		traceCells   = fs.Int("trace-cells", 0, "cell traces retained in the ring (0 = default 256)")
 		poolSize     = fs.Int("pool-size", 0, "concurrent imputation runs (0 = number of CPUs)")
@@ -94,19 +95,25 @@ func runServe(args []string) error {
 		return fmt.Errorf("serve: -artifact is exclusive with -in and -rfds")
 	}
 	for name, v := range map[string]int{
-		"-workers": *workers, "-pool-size": *poolSize, "-queue-depth": *queueDepth,
+		"-pool-size": *poolSize, "-queue-depth": *queueDepth,
 		"-trace-sample": *traceSample, "-trace-cells": *traceCells, "-span-ring": *spanRing,
 	} {
 		if v < 0 {
 			return fmt.Errorf("serve: %s must be >= 0, got %d", name, v)
 		}
 	}
+	if err := validateParallelism("-workers", *workers); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	if err := validateParallelism("-shards", *shards); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
 	if *reqTimeout < 0 || *drainTimeout < 0 {
 		return fmt.Errorf("serve: timeouts must be >= 0")
 	}
 	logger := newLogger(*logJSON)
 
-	opts, err := imputerOptions(*order, *verify, *workers)
+	opts, err := imputerOptions(*order, *verify, *workers, *shards)
 	if err != nil {
 		return err
 	}
@@ -152,7 +159,7 @@ func runServe(args []string) error {
 		} else {
 			sigma, err = sess.Discover(context.Background(), renuver.DiscoveryOptions{
 				MaxThreshold: *threshold, MaxLHS: *maxLHS, Workers: *workers,
-				Recorder: metrics,
+				Shards: *shards, Recorder: metrics,
 			})
 		}
 		if err != nil {
@@ -204,11 +211,30 @@ func runServe(args []string) error {
 	}
 }
 
+// maxParallelFlag bounds the -workers and -shards flags: a value beyond
+// it is almost certainly a typo (nobody runs 10k workers on one box),
+// and catching it at flag parse beats spawning a goroutine storm.
+const maxParallelFlag = 1024
+
+// validateParallelism enforces the CLI rule for parallelism-shaped
+// flags: 0 means the documented default, negatives and absurdly large
+// values are rejected before any work starts.
+func validateParallelism(name string, v int) error {
+	if v < 0 {
+		return fmt.Errorf("%s must be >= 0, got %d", name, v)
+	}
+	if v > maxParallelFlag {
+		return fmt.Errorf("%s must be <= %d, got %d", name, maxParallelFlag, v)
+	}
+	return nil
+}
+
 // imputerOptions translates the shared CLI flags into imputer options.
-// workers follows the uniform defaulting rule — 0 means the default
-// (serial tuple scans), negatives are rejected here so both the one-shot
-// and serve entry points refuse them before any work starts.
-func imputerOptions(order, verify string, workers int) ([]renuver.Option, error) {
+// workers and shards follow the uniform defaulting rule — 0 means the
+// default (serial tuple scans, unsharded donor search), negatives are
+// rejected here so both the one-shot and serve entry points refuse them
+// before any work starts.
+func imputerOptions(order, verify string, workers, shards int) ([]renuver.Option, error) {
 	var opts []renuver.Option
 	switch order {
 	case "asc":
@@ -231,6 +257,12 @@ func imputerOptions(order, verify string, workers int) ([]renuver.Option, error)
 	}
 	if workers > 1 {
 		opts = append(opts, renuver.WithWorkers(workers))
+	}
+	if shards < 0 {
+		return nil, fmt.Errorf("-shards must be >= 0, got %d", shards)
+	}
+	if shards > 1 {
+		opts = append(opts, renuver.WithDonorShards(shards))
 	}
 	return opts, nil
 }
@@ -475,6 +507,13 @@ func newServeRegistry(sess *renuver.Session, metrics *renuver.MetricsRecorder) (
 				out[i] = renuver.ShardStat{Hits: s.Hits, Misses: s.Misses, Merges: s.Merges}
 			}
 			return out
+		}))
+	}
+	if sess.DonorShardStats() != nil {
+		// The scatter-gather donor sweep's per-sub-pool skew view; absent
+		// unless the session was built with -shards > 1.
+		reg.Register(renuver.NewDonorShardStatsCollector("donor_shard", func() []renuver.DonorShardStat {
+			return sess.DonorShardStats()
 		}))
 	}
 	return reg, latency

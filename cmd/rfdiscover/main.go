@@ -5,6 +5,7 @@
 //
 //	rfdiscover -in data.csv [-threshold 15] [-maxlhs 2] [-out sigma.rfd]
 //	           [-max-pairs 0] [-keep-dominated] [-adaptive 0.25] [-workers 0]
+//	           [-shards 0]
 //
 // With -adaptive q, per-attribute threshold caps are derived from the
 // q-quantile of each attribute's distance distribution (the paper's
@@ -30,6 +31,25 @@ type options struct {
 	minSupport    int
 	adaptive      float64
 	workers       int
+	shards        int
+}
+
+// maxParallelFlag bounds -workers and -shards: a value beyond it is
+// almost certainly a typo, and catching it at flag parse beats
+// spawning a goroutine storm.
+const maxParallelFlag = 1024
+
+// validateParallelism enforces the CLI rule for parallelism-shaped
+// flags: 0 means the documented default, negatives and absurdly large
+// values are rejected before any work starts.
+func validateParallelism(name string, v int) error {
+	if v < 0 {
+		return fmt.Errorf("%s must be >= 0, got %d", name, v)
+	}
+	if v > maxParallelFlag {
+		return fmt.Errorf("%s must be <= %d, got %d", name, maxParallelFlag, v)
+	}
+	return nil
 }
 
 func main() {
@@ -44,9 +64,18 @@ func main() {
 	flag.IntVar(&opts.minSupport, "min-support", 1, "minimum satisfying pairs per dependency")
 	flag.Float64Var(&opts.adaptive, "adaptive", 0, "quantile for per-attribute adaptive threshold caps (0 = off)")
 	flag.IntVar(&opts.workers, "workers", 0, "discovery worker goroutines (0 = all CPUs, 1 = serial); output is identical either way")
+	flag.IntVar(&opts.shards, "shards", 0, "pattern materialization shards bounding peak memory (0 = unsharded; output identical for any value)")
 	flag.Parse()
 	if opts.in == "" {
 		flag.Usage()
+		os.Exit(2)
+	}
+	if err := validateParallelism("-workers", opts.workers); err != nil {
+		fmt.Fprintln(os.Stderr, "rfdiscover:", err)
+		os.Exit(2)
+	}
+	if err := validateParallelism("-shards", opts.shards); err != nil {
+		fmt.Fprintln(os.Stderr, "rfdiscover:", err)
 		os.Exit(2)
 	}
 	if err := run(opts, os.Stdout); err != nil {
@@ -68,6 +97,7 @@ func run(opts options, stdout io.Writer) error {
 		KeepDominated: opts.keepDominated,
 		MinSupport:    opts.minSupport,
 		Workers:       opts.workers,
+		Shards:        opts.shards,
 	}
 	if opts.adaptive > 0 {
 		cfg.AttrLimits = renuver.AdaptiveThresholdLimitsWorkers(rel, opts.adaptive, opts.maxPairs, opts.seed, opts.workers)

@@ -246,6 +246,7 @@ func NewSessionFromArtifact(data []byte, opts ...Option) (*Session, error) {
 	if err := im.opts.Validate(); err != nil {
 		return nil, err
 	}
+	im.attachDonorStats()
 	return &Session{
 		im:        im,
 		shared:    shared,

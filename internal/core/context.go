@@ -56,9 +56,9 @@ func (im *Imputer) runImpute(ctx context.Context, work *dataset.Relation, eng *e
 	incomplete := work.IncompleteRows()
 	res.Stats.MissingCells = work.CountMissing()
 
-	var idx *engine.Index
+	var idx donorIndex
 	if useIndex {
-		idx = engine.NewIndex(eng, im.sigma)
+		idx = newDonorIndex(eng, im.sigma, im.opts.DonorShards)
 	}
 	if preSpan.Enabled() {
 		preSpan.Int("key_rfds", int64(kt.keys))
@@ -101,7 +101,9 @@ func (im *Imputer) runImpute(ctx context.Context, work *dataset.Relation, eng *e
 			}
 			cell.End()
 			if imputed {
-				idx.Insert(row, attr)
+				if idx != nil {
+					idx.Insert(row, attr)
+				}
 				if !im.opts.NoKeyReevaluation {
 					reevalStart := time.Now()
 					krSpan := sp.Child("key_reeval")
@@ -128,12 +130,14 @@ func (im *Imputer) runImpute(ctx context.Context, work *dataset.Relation, eng *e
 // finishRun seals the result (tail counters, engine cache/index
 // counters, total wall clock) and forwards the run to the configured
 // recorder and the run span.
-func (im *Imputer) finishRun(res *Result, eng *engine.View, idx *engine.Index, runStart time.Time, sp obs.Span) {
+func (im *Imputer) finishRun(res *Result, eng *engine.View, idx donorIndex, runStart time.Time, sp obs.Span) {
 	res.finish(eng.Relation())
 	hits, misses := eng.CacheStats()
 	res.Stats.EngineCacheHits = int(hits)
 	res.Stats.EngineCacheMisses = int(misses)
-	res.Stats.EngineIndexProbes = int(idx.Probes())
+	if idx != nil {
+		res.Stats.EngineIndexProbes = int(idx.Probes())
+	}
 	res.Stats.Phases.Total = time.Since(runStart)
 	if sp.Enabled() {
 		sp.Int("missing_cells", int64(res.Stats.MissingCells))

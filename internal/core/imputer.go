@@ -223,7 +223,7 @@ type candidate struct {
 // of the working relation (plus, for the multi-dataset extension, the
 // donor pool): candidate rows are flat view indices.
 func (im *Imputer) imputeMissingValue(ctx context.Context, m *engine.Matcher, row, attr int,
-	sigmaPrime rfd.Set, clusters []rfd.Cluster, res *Result, idx *engine.Index, cell obs.Span) (bool, error) {
+	sigmaPrime rfd.Set, clusters []rfd.Cluster, res *Result, idx donorIndex, cell obs.Span) (bool, error) {
 
 	rec := im.opts.recorder()
 	eng := m.View()
@@ -246,7 +246,7 @@ func (im *Imputer) imputeMissingValue(ctx context.Context, m *engine.Matcher, ro
 		searchSpan := cell.Child("candidate_search")
 		var donorPool int
 		var cands []candidate
-		if rows, ok := idx.CandidateRows(row, cluster.RFDs); ok {
+		if rows, ok := candidateRowsOf(idx, row, cluster.RFDs); ok {
 			res.Stats.IndexHits++
 			res.Stats.DonorsScanned += len(rows)
 			donorPool = len(rows)
@@ -257,9 +257,13 @@ func (im *Imputer) imputeMissingValue(ctx context.Context, m *engine.Matcher, ro
 			}
 			res.Stats.DonorsScanned += eng.Len() - 1
 			donorPool = eng.Len() - 1
-			if im.opts.Workers > 1 {
+			switch {
+			case im.opts.DonorShards > 1:
+				cands = findCandidateTuplesSharded(ctx, m, row, attr, cluster.RFDs,
+					im.opts.DonorShards, im.opts.donorStats, rec)
+			case im.opts.Workers > 1:
 				cands = findCandidateTuplesParallel(ctx, m, row, attr, cluster.RFDs, im.opts.Workers)
-			} else {
+			default:
 				cands = findCandidateTuples(ctx, m, row, attr, cluster.RFDs)
 			}
 		}

@@ -96,6 +96,14 @@ type Options struct {
 	// candidate generation skip donors that cannot satisfy any premise.
 	// Results are identical either way.
 	NoIndex bool
+	// DonorShards, when above 1, splits the donor pool into that many
+	// independent sub-pools: the candidate index becomes a scatter-gather
+	// over per-band sub-indexes, and full donor sweeps scan the bands
+	// concurrently and concatenate in band order. Imputations, Stats, and
+	// traces are byte-identical to the unsharded run for any shard count;
+	// only the per-shard obs counters (donor_shard_* on /metrics) see the
+	// partitioning. 0 or 1 means the single-pool path.
+	DonorShards int
 	// Recorder receives pipeline events (counters, histograms, phase
 	// timings) across runs. Nil means obs.Nop: Result.Stats is still
 	// filled, but nothing is aggregated process-wide.
@@ -105,6 +113,12 @@ type Options struct {
 	// way it did). Sampled cells also land in Result.Traces, queryable
 	// with Result.Explain. Nil disables tracing entirely.
 	Tracer obs.Tracer
+
+	// donorStats accumulates per-sub-pool scatter-gather counters across
+	// runs when DonorShards > 1. Attached by NewSession (so derived
+	// sessions and Explain reruns feed the same accumulator) and surfaced
+	// via Session.DonorShardStats; nil means no accumulation.
+	donorStats *donorShardStats
 }
 
 // Validate rejects option values outside their documented domains, per
@@ -116,6 +130,9 @@ func (o *Options) Validate() error {
 	}
 	if o.MaxCandidates < 0 {
 		return fmt.Errorf("core: MaxCandidates must be >= 0, got %d", o.MaxCandidates)
+	}
+	if o.DonorShards < 0 {
+		return fmt.Errorf("core: DonorShards must be >= 0, got %d", o.DonorShards)
 	}
 	if o.ClusterOrder != AscendingThreshold && o.ClusterOrder != DescendingThreshold {
 		return fmt.Errorf("core: unknown ClusterOrder %d", o.ClusterOrder)
@@ -161,6 +178,11 @@ func WithWorkers(n int) Option { return func(op *Options) { op.Workers = n } }
 // WithoutIndex disables the donor index on equality-constrained LHS
 // attributes.
 func WithoutIndex() Option { return func(op *Options) { op.NoIndex = true } }
+
+// WithDonorShards splits the donor pool into n independent sub-pools
+// for scatter-gather candidate search. Results are byte-identical to
+// the single-pool run.
+func WithDonorShards(n int) Option { return func(op *Options) { op.DonorShards = n } }
 
 // WithRecorder aggregates run events into r (typically an *obs.Metrics
 // shared across runs). r must be safe for concurrent use when the same

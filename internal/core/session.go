@@ -57,6 +57,7 @@ func NewSession(base *dataset.Relation, sigma rfd.Set, opts ...Option) (*Session
 	if err := im.opts.Validate(); err != nil {
 		return nil, err
 	}
+	im.attachDonorStats()
 	s := &Session{im: im}
 	if base != nil {
 		if err := validateSigma(sigma, base.Schema().Len()); err != nil {
@@ -65,6 +66,16 @@ func NewSession(base *dataset.Relation, sigma rfd.Set, opts ...Option) (*Session
 		s.shared = engine.Precompile(base.Clone())
 	}
 	return s, nil
+}
+
+// attachDonorStats installs the session-lifetime scatter-gather
+// accumulator when donor sharding is on. One accumulator per session:
+// WithSigma-derived sessions and Explain reruns copy the options and
+// keep feeding it.
+func (im *Imputer) attachDonorStats() {
+	if im.opts.DonorShards > 1 {
+		im.opts.donorStats = newDonorShardStats(im.opts.DonorShards)
+	}
 }
 
 // WithSigma derives a Session serving a different Σ against the same
@@ -106,6 +117,14 @@ func (s *Session) CacheShardStats() []engine.CacheShardStat {
 		return nil
 	}
 	return s.shared.CacheShardStats()
+}
+
+// DonorShardStats returns the accumulated per-sub-pool scatter-gather
+// counters of the session's sharded donor sweeps, or nil when the
+// session was not built with WithDonorShards > 1 (there is no
+// partitioning to report then).
+func (s *Session) DonorShardStats() []obs.DonorShardStat {
+	return s.im.opts.donorStats.snapshot()
 }
 
 // Discover mines RFDcs from the session's precompiled base without

@@ -1,0 +1,132 @@
+package discovery
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// shardBenchConfig is the sharded-discovery benchmark configuration:
+// the shared mid-grid threshold at a fixed worker fan-out, so the only
+// variable across runs is the shard count.
+func shardBenchConfig(shards int) Config {
+	return Config{MaxThreshold: 6, Workers: 4, Shards: shards}
+}
+
+// patternPeakBytes runs one discovery and reads back the
+// deterministically recorded peak pattern-storage footprint (the
+// transient band slab plus the compact store; the whole flat slab when
+// unsharded). Host-independent, unlike allocator figures.
+func patternPeakBytes(tb testing.TB, shards int) int64 {
+	tb.Helper()
+	m := obs.NewMetrics()
+	cfg := shardBenchConfig(shards)
+	cfg.Recorder = m
+	if _, err := Discover(benchStringsRelation(tb, 24), cfg); err != nil {
+		tb.Fatal(err)
+	}
+	peak := m.Counter(obs.CtrDiscoveryPatternPeakBytes)
+	if peak <= 0 {
+		tb.Fatalf("shards=%d recorded peak pattern bytes %d", shards, peak)
+	}
+	return peak
+}
+
+// BenchmarkDiscoverSharded measures end-to-end discovery on the
+// strings workload across shard counts (1 is the legacy flat slab).
+// The output is byte-identical across shard counts, so the benchmark
+// isolates the cost of the bounded-memory partition pipeline.
+func BenchmarkDiscoverSharded(b *testing.B) {
+	rel := benchStringsRelation(b, 24)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("strings/shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Discover(rel, shardBenchConfig(shards)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// shardBenchRecord extends the shared benchmark record with the
+// deterministic peak pattern footprint. benchdiff gates the ns/alloc
+// figures and ignores the extra key.
+type shardBenchRecord struct {
+	benchRecord
+	PatternPeakBytes int64 `json:"pattern_peak_bytes"`
+}
+
+// TestBenchShardJSON emits the sharded-discovery figures (shards
+// 1/2/4/8 on the strings workload) plus each run's recorded peak
+// pattern bytes as JSON — the BENCH_shard.json regression record:
+//
+//	BENCH_SHARD_OUT=BENCH_shard.json go test ./internal/discovery -run TestBenchShardJSON
+//
+// Without BENCH_SHARD_OUT the test is skipped. Independent of the
+// emission, the acceptance bound is asserted whenever the test runs
+// with the env set: four shards must at most halve the unsharded peak.
+func TestBenchShardJSON(t *testing.T) {
+	out := os.Getenv("BENCH_SHARD_OUT")
+	if out == "" {
+		t.Skip("set BENCH_SHARD_OUT=<file> to emit benchmark JSON")
+	}
+
+	rel := benchStringsRelation(t, 24)
+	var records []shardBenchRecord
+	for _, shards := range []int{1, 2, 4, 8} {
+		shards := shards
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Discover(rel, shardBenchConfig(shards)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		records = append(records, shardBenchRecord{
+			benchRecord: benchRecord{
+				Name:        fmt.Sprintf("DiscoverSharded/strings/shards=%d", shards),
+				Iterations:  r.N,
+				NsPerOp:     float64(r.NsPerOp()),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+			},
+			PatternPeakBytes: patternPeakBytes(t, shards),
+		})
+	}
+
+	unsharded := records[0].PatternPeakBytes
+	for _, rec := range records[1:] {
+		if rec.PatternPeakBytes >= unsharded {
+			t.Errorf("%s peak %d bytes, want below unsharded %d", rec.Name, rec.PatternPeakBytes, unsharded)
+		}
+	}
+	// The acceptance bound: four shards at most halve the unsharded peak.
+	if quad := records[2].PatternPeakBytes; quad*2 > unsharded {
+		t.Errorf("shards=4 peak %d bytes, want <= half of unsharded %d", quad, unsharded)
+	}
+
+	doc, err := json.MarshalIndent(struct {
+		Package    string             `json:"package"`
+		GOMAXPROCS int                `json:"gomaxprocs"`
+		Benchmarks []shardBenchRecord `json:"benchmarks"`
+	}{Package: "repro/internal/discovery", GOMAXPROCS: runtime.GOMAXPROCS(0), Benchmarks: records}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(doc, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+	for _, r := range records {
+		if r.NsPerOp <= 0 || r.Iterations == 0 {
+			t.Errorf("suspicious benchmark record: %+v", r)
+		}
+	}
+}

@@ -76,6 +76,16 @@ type Config struct {
 	// runtime.NumCPU(); 1 forces the serial path. The discovered set is
 	// byte-identical for every worker count.
 	Workers int
+	// Shards splits pattern materialization into that many contiguous
+	// pair bands, each filled into one reused transient slab and folded
+	// into a lossless compact column store before the next band starts,
+	// bounding peak pattern memory to one band's slab plus the compact
+	// store. The lattice search itself stays global — the greedy fold is
+	// not confluent across pattern partitions — and reads patterns
+	// through a value-exact accessor, so the discovered set is
+	// byte-identical for every shard count. 0 or 1 means the unsharded
+	// flat slab (the historical path).
+	Shards int
 	// Recorder receives discovery observability events (patterns
 	// materialized, RFDcs emitted, discovery wall clock). Nil means
 	// no-op.
@@ -108,6 +118,9 @@ func (c *Config) normalize() error {
 	if c.Workers < 0 {
 		return fmt.Errorf("discovery: negative Workers %d", c.Workers)
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("discovery: negative Shards %d", c.Shards)
+	}
 	if len(c.RHSGrid) == 0 {
 		for b := 0.0; b <= c.MaxThreshold; b++ {
 			c.RHSGrid = append(c.RHSGrid, b)
@@ -126,6 +139,14 @@ func (c *Config) effectiveWorkers() int {
 		return runtime.NumCPU()
 	}
 	return c.Workers
+}
+
+// effectiveShards resolves the Shards field: 0 means unsharded.
+func (c *Config) effectiveShards() int {
+	if c.Shards <= 0 {
+		return 1
+	}
+	return c.Shards
 }
 
 // Discover returns the RFDcs found on the instance under the config.
@@ -172,15 +193,28 @@ func DiscoverViewContext(ctx context.Context, v *engine.View, cfg Config) (rfd.S
 		return nil, nil
 	}
 	workers := cfg.effectiveWorkers()
+	shards := cfg.effectiveShards()
 	rec.Add(obs.CtrDiscoveryWorkers, int64(workers))
+	rec.Add(obs.CtrDiscoveryShards, int64(shards))
 	sp := obs.SpanFromContext(ctx)
 
 	matStart := obs.Now(rec)
 	matSpan := sp.Child("discovery_materialize")
-	patterns := samplePatterns(ctx, v, cfg.MaxPairs, cfg.Seed, workers, rec)
+	var st *patStore
+	if shards > 1 {
+		st = shardedPatterns(ctx, v, &cfg, shards, workers, rec)
+	} else {
+		st = flatStore(samplePatterns(ctx, v, cfg.MaxPairs, cfg.Seed, workers, rec), m)
+		rec.Add(obs.CtrDiscoveryShardSlabBytes, st.peakBytes)
+	}
+	npat := 0
+	if st != nil {
+		npat = st.n
+	}
 	if matSpan.Enabled() {
-		matSpan.Int("patterns", int64(len(patterns)))
+		matSpan.Int("patterns", int64(npat))
 		matSpan.Int("workers", int64(workers))
+		matSpan.Int("shards", int64(shards))
 		matSpan.End()
 	}
 	obs.Since(rec, obs.PhaseDiscoveryMaterialize, matStart)
@@ -188,17 +222,18 @@ func DiscoverViewContext(ctx context.Context, v *engine.View, cfg Config) (rfd.S
 		// The slab may hold unmaterialized rows; never derive from it.
 		return nil, engine.Canceled(ctx)
 	}
-	if len(patterns) == 0 {
+	if npat == 0 {
 		return nil, nil
 	}
-	rec.Add(obs.CtrDiscoveryPatterns, int64(len(patterns)))
+	rec.Add(obs.CtrDiscoveryPatterns, int64(npat))
+	rec.Add(obs.CtrDiscoveryPatternPeakBytes, st.peakBytes)
 	hits, misses := v.CacheStats()
 	rec.Add(obs.CtrEngineCacheHits, hits)
 	rec.Add(obs.CtrEngineCacheMisses, misses)
 
 	searchStart := obs.Now(rec)
 	searchSpan := sp.Child("discovery_search")
-	out := searchCandidates(ctx, patterns, &cfg, m, workers)
+	out := searchCandidates(ctx, st, &cfg, m, workers)
 	if searchSpan.Enabled() {
 		searchSpan.Int("rules", int64(len(out)))
 		searchSpan.End()
@@ -212,7 +247,7 @@ func DiscoverViewContext(ctx context.Context, v *engine.View, cfg Config) (rfd.S
 
 	rec.Add(obs.CtrDiscoveryRFDs, int64(len(out)))
 	if cfg.Tracer != nil && cfg.Tracer.Enabled() {
-		emitRuleProvenance(cfg.Tracer, v.Relation().Schema(), patterns, out)
+		emitRuleProvenance(cfg.Tracer, v.Relation().Schema(), st, out)
 	}
 	obs.Since(rec, obs.PhaseDiscovery, start)
 	return out, nil
@@ -222,7 +257,7 @@ func DiscoverViewContext(ctx context.Context, v *engine.View, cfg Config) (rfd.S
 // support, recomputed once per rule over the sampled patterns. It runs
 // strictly after the deterministic merge, so the event order is the set
 // order regardless of worker count.
-func emitRuleProvenance(t obs.Tracer, schema *dataset.Schema, patterns []distance.Pattern, out rfd.Set) {
+func emitRuleProvenance(t obs.Tracer, schema *dataset.Schema, st *patStore, out rfd.Set) {
 	for _, dep := range out {
 		lhs := make([]int, len(dep.LHS))
 		th := make([]float64, len(dep.LHS))
@@ -230,7 +265,7 @@ func emitRuleProvenance(t obs.Tracer, schema *dataset.Schema, patterns []distanc
 			lhs[i], th[i] = c.Attr, c.Threshold
 		}
 		t.EmitEvent(obs.RuleEmitted(dep.RHS.Attr, dep.Format(schema),
-			dep.RHS.Threshold, support(patterns, lhs, th)))
+			dep.RHS.Threshold, support(st, lhs, th)))
 	}
 }
 
@@ -290,12 +325,11 @@ func samplePairs(n, maxPairs int, seed int64) [][2]int {
 // exact — and the fold can be resumed: feeding order[prev:cut] batches
 // for descending β yields, at each boundary, exactly the vector a
 // from-scratch pass over order[:cut] would produce (see deriveSubset).
-func greedyAdvance(patterns []distance.Pattern, violating []int, lhs []int, th []float64) bool {
+func greedyAdvance(st *patStore, violating []int, lhs []int, th []float64) bool {
 	for _, idx := range violating {
-		p := patterns[idx]
 		satisfied := true
 		for i, a := range lhs {
-			d := p[a]
+			d := st.at(idx, a)
 			if distance.IsMissing(d) || d > th[i] {
 				satisfied = false
 				break
@@ -308,7 +342,7 @@ func greedyAdvance(patterns []distance.Pattern, violating []int, lhs []int, th [
 		// cheapest cut, keeping the other thresholds as loose as possible.
 		best, bestD := -1, -1.0
 		for i, a := range lhs {
-			if d := p[a]; d > bestD {
+			if d := st.at(idx, a); d > bestD {
 				best, bestD = i, d
 			}
 		}
@@ -330,12 +364,12 @@ func greedyAdvance(patterns []distance.Pattern, violating []int, lhs []int, th [
 
 // support counts the sampled patterns satisfying every LHS constraint —
 // the witness count for the non-key requirement.
-func support(patterns []distance.Pattern, lhs []int, th []float64) int {
+func support(st *patStore, lhs []int, th []float64) int {
 	count := 0
-	for _, p := range patterns {
+	for k := 0; k < st.n; k++ {
 		ok := true
 		for i, a := range lhs {
-			d := p[a]
+			d := st.at(k, a)
 			if distance.IsMissing(d) || d > th[i] {
 				ok = false
 				break
@@ -354,15 +388,15 @@ func support(patterns []distance.Pattern, lhs []int, th []float64) int {
 // this early exit replaces a full pattern sweep per candidate (the
 // exact count is still computed — once per surviving rule — for the
 // rule_emitted provenance events).
-func supportAtLeast(patterns []distance.Pattern, lhs []int, th []float64, min int) bool {
+func supportAtLeast(st *patStore, lhs []int, th []float64, min int) bool {
 	if min <= 0 {
 		return true
 	}
 	count := 0
-	for _, p := range patterns {
+	for k := 0; k < st.n; k++ {
 		ok := true
 		for i, a := range lhs {
-			d := p[a]
+			d := st.at(k, a)
 			if distance.IsMissing(d) || d > th[i] {
 				ok = false
 				break

@@ -162,18 +162,18 @@ type rhsPlan struct {
 // the previous one, and the greedy fold's state at each cut boundary is
 // exactly the threshold vector a from-scratch pass for that β would
 // produce. This turns Σ_β |prefix(β)| greedy work into max_β |prefix(β)|.
-func searchCandidates(ctx context.Context, patterns []distance.Pattern, cfg *Config, m, workers int) rfd.Set {
+func searchCandidates(ctx context.Context, st *patStore, cfg *Config, m, workers int) rfd.Set {
 	// Per-RHS pattern order by descending RHS distance, built
 	// concurrently across RHS attributes: each β's violating set is then
 	// a prefix.
 	orders := make([][]int, m)
 	runChunks(workers, m, func(_, lo, hi int) {
 		for rhs := lo; rhs < hi; rhs++ {
-			orders[rhs] = rhsOrder(patterns, rhs)
+			orders[rhs] = rhsOrder(st, rhs)
 		}
 	})
 
-	jobs, plans, resLen := buildJobs(patterns, orders, cfg, m)
+	jobs, plans, resLen := buildJobs(st, orders, cfg, m)
 
 	results := make([]*rfd.RFD, resLen)
 	maxW := cfg.MaxLHS
@@ -191,7 +191,7 @@ func searchCandidates(ctx context.Context, patterns []distance.Pattern, cfg *Con
 			}
 			job := jobs[k]
 			plan := &plans[job.rhs]
-			deriveSubset(patterns, orders[job.rhs], plan, job, caps, th, results, cfg)
+			deriveSubset(st, orders[job.rhs], plan, job, caps, th, results, cfg)
 		}
 	})
 
@@ -216,15 +216,15 @@ func searchCandidates(ctx context.Context, patterns []distance.Pattern, cfg *Con
 // violation). sort.Slice on the same input yields the same permutation
 // every run, so the order — and the greedy pass that consumes it — is
 // deterministic.
-func rhsOrder(patterns []distance.Pattern, rhs int) []int {
-	order := make([]int, 0, len(patterns))
-	for idx, p := range patterns {
-		if !distance.IsMissing(p[rhs]) {
+func rhsOrder(st *patStore, rhs int) []int {
+	order := make([]int, 0, st.n)
+	for idx := 0; idx < st.n; idx++ {
+		if !distance.IsMissing(st.at(idx, rhs)) {
 			order = append(order, idx)
 		}
 	}
 	sort.Slice(order, func(a, b int) bool {
-		return patterns[order[a]][rhs] > patterns[order[b]][rhs]
+		return st.at(order[a], rhs) > st.at(order[b], rhs)
 	})
 	return order
 }
@@ -233,7 +233,7 @@ func rhsOrder(patterns []distance.Pattern, rhs int) []int {
 // the config's limits, RHS-major with subsets in enumeration order, and
 // returns the job list, the per-RHS plans (β grid, violating-prefix
 // cuts, result ranges), and the total result-slab length.
-func buildJobs(patterns []distance.Pattern, orders [][]int, cfg *Config, m int) ([]searchJob, []rhsPlan, int) {
+func buildJobs(st *patStore, orders [][]int, cfg *Config, m int) ([]searchJob, []rhsPlan, int) {
 	var jobs []searchJob
 	plans := make([]rhsPlan, m)
 	pool := make([]int, 0, m-1)
@@ -256,7 +256,7 @@ func buildJobs(patterns []distance.Pattern, orders [][]int, cfg *Config, m int) 
 			plan.betas = append(plan.betas, beta)
 			// Violating prefix: d_rhs > beta.
 			plan.cuts = append(plan.cuts, sort.Search(len(order), func(k int) bool {
-				return patterns[order[k]][rhs] <= beta
+				return st.at(order[k], rhs) <= beta
 			}))
 		}
 		plan.resStart = resLen
@@ -282,7 +282,7 @@ func buildJobs(patterns []distance.Pattern, orders [][]int, cfg *Config, m int) 
 // state at each boundary equals a from-scratch greedy pass for that β.
 // Once the fold fails (a violating pair identical on every LHS
 // attribute), every smaller β shares that pair and fails too.
-func deriveSubset(patterns []distance.Pattern, order []int, plan *rhsPlan, job searchJob, caps, th []float64, results []*rfd.RFD, cfg *Config) {
+func deriveSubset(st *patStore, order []int, plan *rhsPlan, job searchJob, caps, th []float64, results []*rfd.RFD, cfg *Config) {
 	lhs := job.lhs
 	caps = caps[:len(lhs)]
 	th = th[:len(lhs)]
@@ -294,12 +294,12 @@ func deriveSubset(patterns []distance.Pattern, order []int, plan *rhsPlan, job s
 	for bi := len(plan.betas) - 1; bi >= 0; bi-- {
 		cut := plan.cuts[bi]
 		if cut > prev {
-			if !greedyAdvance(patterns, order[prev:cut], lhs, th) {
+			if !greedyAdvance(st, order[prev:cut], lhs, th) {
 				return // this β and every smaller one fail
 			}
 			prev = cut
 		}
-		if !supportAtLeast(patterns, lhs, th, cfg.MinSupport) {
+		if !supportAtLeast(st, lhs, th, cfg.MinSupport) {
 			continue
 		}
 		constraints := make([]rfd.Constraint, len(lhs))

@@ -1,0 +1,244 @@
+package discovery
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/distance"
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+var parityShardCounts = []int{1, 2, 4, 8}
+
+// TestDiscoverShardParity: the discovered set (textual codec) and the
+// rule_emitted trace stream are byte-identical across the full
+// (shards x workers) grid, on both the Table 2 sample and the Table 4
+// Restaurant workload — the contract that lets operators pick Shards
+// purely on memory grounds.
+func TestDiscoverShardParity(t *testing.T) {
+	workloads := []struct {
+		name string
+		cfg  Config
+	}{
+		{"table2", Config{MaxThreshold: 6}},
+		{"table4", Config{MaxThreshold: 6}},
+		{"table4-maxlhs3", Config{MaxThreshold: 9, MaxLHS: 3}},
+	}
+	for _, wl := range workloads {
+		t.Run(wl.name, func(t *testing.T) {
+			rel := table2(t)
+			if wl.name != "table2" {
+				rel = table4Relation(t)
+			}
+			var refSet []byte
+			var refEvents []obs.TraceEvent
+			first := true
+			for _, shards := range parityShardCounts {
+				for _, workers := range []int{1, 4} {
+					cfg := wl.cfg
+					cfg.Shards = shards
+					cfg.Workers = workers
+					tr := obs.NewRingTracer(0, 1)
+					cfg.Tracer = tr
+					sigma, err := Discover(rel, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(sigma) == 0 {
+						t.Fatalf("shards=%d workers=%d discovered nothing", shards, workers)
+					}
+					enc := encodeSet(t, sigma, rel.Schema())
+					events := ruleEvents(tr)
+					if first {
+						refSet, refEvents, first = enc, events, false
+						continue
+					}
+					if !bytes.Equal(enc, refSet) {
+						t.Errorf("shards=%d workers=%d set differs from reference:\n%s\nvs\n%s",
+							shards, workers, enc, refSet)
+					}
+					if len(events) != len(refEvents) {
+						t.Fatalf("shards=%d workers=%d emitted %d rule events, want %d",
+							shards, workers, len(events), len(refEvents))
+					}
+					for i, ev := range events {
+						ref := refEvents[i]
+						if ev.Kind != ref.Kind || ev.Attr != ref.Attr || ev.N != ref.N ||
+							ev.Threshold != ref.Threshold || ev.Rules[0] != ref.Rules[0] {
+							t.Errorf("shards=%d workers=%d rule event %d = %+v, want %+v",
+								shards, workers, i, ev, ref)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDiscoverShardSampledParity: with MaxPairs forcing the sampled
+// path, the sharded pipeline bands the sampler's pair list, so the set
+// stays shard-count independent for a fixed seed.
+func TestDiscoverShardSampledParity(t *testing.T) {
+	rel := table4Relation(t)
+	var ref []byte
+	for _, shards := range parityShardCounts {
+		sigma, err := Discover(rel, Config{
+			MaxThreshold: 6, MaxPairs: 500, Seed: 7, Workers: 4, Shards: shards,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := encodeSet(t, sigma, rel.Schema())
+		if shards == parityShardCounts[0] {
+			ref = enc
+			continue
+		}
+		if !bytes.Equal(enc, ref) {
+			t.Errorf("sampled discovery differs at shards=%d", shards)
+		}
+	}
+}
+
+// TestPatColEncoding: the per-column adaptive encoding is lossless for
+// every value class, including the u8 sentinel boundary and the
+// promotion cascades.
+func TestPatColEncoding(t *testing.T) {
+	check := func(t *testing.T, vals []float64, wantEnc uint8) {
+		t.Helper()
+		var c patCol
+		for _, v := range vals {
+			c.push(v)
+		}
+		if c.enc != wantEnc {
+			t.Fatalf("enc = %d, want %d", c.enc, wantEnc)
+		}
+		for i, v := range vals {
+			got := c.get(i)
+			if distance.IsMissing(v) {
+				if !distance.IsMissing(got) {
+					t.Fatalf("entry %d = %v, want missing", i, got)
+				}
+				continue
+			}
+			if math.Float64bits(got) != math.Float64bits(v) {
+				t.Fatalf("entry %d = %v (bits %x), want %v (bits %x)",
+					i, got, math.Float64bits(got), v, math.Float64bits(v))
+			}
+		}
+	}
+	t.Run("u8", func(t *testing.T) {
+		check(t, []float64{0, 1, 254, distance.Missing, 7}, encU8)
+	})
+	t.Run("sentinel-value-promotes", func(t *testing.T) {
+		// A legitimate distance of 255 cannot share the missing sentinel.
+		check(t, []float64{3, distance.Missing, 255}, encF32)
+	})
+	t.Run("fraction-promotes", func(t *testing.T) {
+		check(t, []float64{2, 0.5, distance.Missing}, encF32)
+	})
+	t.Run("negative-promotes", func(t *testing.T) {
+		check(t, []float64{1, -2}, encF32)
+	})
+	t.Run("f64-fallback", func(t *testing.T) {
+		// 0.1 is not float32-exact; the column lands on the full float64.
+		check(t, []float64{4, 0.5, 0.1, distance.Missing, 1e300}, encF64)
+	})
+	t.Run("straight-to-f64", func(t *testing.T) {
+		check(t, []float64{0.1}, encF64)
+	})
+}
+
+// TestPatStoreMatchesFlat: the sharded compact store returns bit-
+// identical values to the legacy flat slab at every (pattern, attr)
+// cell, for several shard counts and both the exhaustive and sampled
+// pair paths.
+func TestPatStoreMatchesFlat(t *testing.T) {
+	rel := table4Relation(t)
+	v := engine.Compile(rel)
+	m := v.Arity()
+	for _, maxPairs := range []int{0, 700} {
+		cfg := Config{MaxPairs: maxPairs, Seed: 7}
+		flat := flatStore(samplePatterns(context.Background(), v, maxPairs, 7, 1, obs.Nop{}), m)
+		for _, shards := range []int{2, 3, 8} {
+			st := shardedPatterns(context.Background(), v, &cfg, shards, 4, obs.Nop{})
+			if st == nil || st.n != flat.n {
+				t.Fatalf("maxPairs=%d shards=%d: store n = %v, want %d", maxPairs, shards, st, flat.n)
+			}
+			for k := 0; k < st.n; k++ {
+				for a := 0; a < m; a++ {
+					want, got := flat.at(k, a), st.at(k, a)
+					same := math.Float64bits(want) == math.Float64bits(got) ||
+						(distance.IsMissing(want) && distance.IsMissing(got))
+					if !same {
+						t.Fatalf("maxPairs=%d shards=%d pattern %d attr %d = %v, want %v",
+							maxPairs, shards, k, a, got, want)
+					}
+				}
+			}
+			if st.peakBytes <= 0 || st.peakBytes >= flat.peakBytes {
+				t.Errorf("maxPairs=%d shards=%d peakBytes = %d, want in (0, %d)",
+					maxPairs, shards, st.peakBytes, flat.peakBytes)
+			}
+		}
+	}
+}
+
+// TestShardedPatternsPeakBytes: the acceptance bound — at four shards
+// the recorded peak pattern footprint is at most half the unsharded
+// slab on the string-heavy Restaurant workload.
+func TestShardedPatternsPeakBytes(t *testing.T) {
+	rel := table4Relation(t)
+	v := engine.Compile(rel)
+	cfg := Config{}
+	flat := flatStore(samplePatterns(context.Background(), v, 0, 0, 1, obs.Nop{}), v.Arity())
+	st := shardedPatterns(context.Background(), v, &cfg, 4, 4, obs.Nop{})
+	if st == nil {
+		t.Fatal("sharded materialization returned nil without cancellation")
+	}
+	if st.peakBytes*2 > flat.peakBytes {
+		t.Errorf("shards=4 peak %d bytes, want <= half of unsharded %d", st.peakBytes, flat.peakBytes)
+	}
+}
+
+// TestShardedPatternsCancel: a context expiring mid-materialization
+// yields nil — the partial store must never reach the search.
+func TestShardedPatternsCancel(t *testing.T) {
+	rel := table4Relation(t)
+	v := engine.Compile(rel)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := Config{}
+	if st := shardedPatterns(ctx, v, &cfg, 4, 2, obs.Nop{}); st != nil && st.n > 0 {
+		t.Errorf("cancelled materialization returned a non-nil store with %d patterns", st.n)
+	}
+}
+
+// TestDiscoverRejectsNegativeShards: config validation covers the new
+// knob.
+func TestDiscoverRejectsNegativeShards(t *testing.T) {
+	if _, err := Discover(table2(t), Config{MaxThreshold: 3, Shards: -1}); err == nil {
+		t.Error("negative Shards accepted")
+	}
+}
+
+// TestDiscoverShardCounters: a sharded run reports its fan-out and the
+// peak pattern footprint through the recorder.
+func TestDiscoverShardCounters(t *testing.T) {
+	rel := table4Relation(t)
+	m := obs.NewMetrics()
+	if _, err := Discover(rel, Config{MaxThreshold: 6, Shards: 4, Recorder: m}); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Snapshot()
+	if s.Counters["discovery_shards"] != 4 {
+		t.Errorf("discovery_shards = %d, want 4", s.Counters["discovery_shards"])
+	}
+	for _, name := range []string{"discovery_shard_slab_bytes", "discovery_pattern_peak_bytes"} {
+		if s.Counters[name] == 0 {
+			t.Errorf("%s not recorded: %+v", name, s.Counters)
+		}
+	}
+}

@@ -69,10 +69,9 @@ func (ix *Index) eqKeyFor(flat, attr int) (eqKey, bool) {
 	}
 }
 
-// NewIndex builds the index over every flat row of the view for the
-// attributes Σ constrains on some LHS. It returns nil when Σ is empty.
-func NewIndex(v *View, sigma rfd.Set) *Index {
-	m := v.Arity()
+// lhsMask returns the attributes Σ constrains on some LHS, or nil when
+// there are none (no index is worth building then).
+func lhsMask(m int, sigma rfd.Set) []bool {
 	lhs := make([]bool, m)
 	any := false
 	for _, dep := range sigma {
@@ -84,6 +83,24 @@ func NewIndex(v *View, sigma rfd.Set) *Index {
 	if !any {
 		return nil
 	}
+	return lhs
+}
+
+// NewIndex builds the index over every flat row of the view for the
+// attributes Σ constrains on some LHS. It returns nil when Σ is empty.
+func NewIndex(v *View, sigma rfd.Set) *Index {
+	lhs := lhsMask(v.Arity(), sigma)
+	if lhs == nil {
+		return nil
+	}
+	return newIndexRange(v, lhs, 0, v.Len())
+}
+
+// newIndexRange builds an index over the contiguous flat row range
+// [lo, hi) — the whole view for the monolithic index, one sub-pool band
+// for a ShardedIndex member.
+func newIndexRange(v *View, lhs []bool, lo, hi int) *Index {
+	m := v.Arity()
 	ix := &Index{
 		v:    v,
 		lhs:  lhs,
@@ -103,7 +120,7 @@ func NewIndex(v *View, sigma rfd.Set) *Index {
 	// bucket's row list sorted without per-insert shifting; the sorted
 	// numeric columns are sorted once at the end (O(n log n) instead of
 	// the O(n²) memmove of repeated sorted inserts).
-	for flat := 0; flat < v.Len(); flat++ {
+	for flat := lo; flat < hi; flat++ {
 		for a := 0; a < m; a++ {
 			if !lhs[a] {
 				continue
@@ -334,8 +351,16 @@ func (ix *Index) CandidateRows(row int, deps rfd.Set) ([]int, bool) {
 		out = p.collect(out)
 	}
 	ix.probes.Add(int64(len(probes)))
+	return finishCandidates(out, row), true
+}
+
+// finishCandidates turns raw probe output into the CandidateRows
+// contract: a deduplicated ascending row list excluding the query row.
+// Shared by the monolithic and sharded indexes — both feed it the same
+// row multiset, so both emit the same list.
+func finishCandidates(out []int, row int) []int {
 	if len(out) == 0 {
-		return nil, true
+		return nil
 	}
 	sort.Ints(out)
 	dedup := out[:1]
@@ -351,5 +376,5 @@ func (ix *Index) CandidateRows(row int, deps rfd.Set) ([]int, bool) {
 			break
 		}
 	}
-	return dedup, true
+	return dedup
 }

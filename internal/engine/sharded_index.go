@@ -1,0 +1,165 @@
+package engine
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/rfd"
+)
+
+// ShardedIndex splits the donor pool into independent sub-Indexes over
+// contiguous flat row bands and scatter-gathers candidate search across
+// them. Because the bands partition the view's rows, every per-shard
+// structure (exact-match buckets, numeric ranges, length buckets)
+// partitions its monolithic counterpart, so per-constraint estimates
+// sum exactly to the monolithic estimate and the union of per-shard
+// collects is the monolithic row set — CandidateRows is byte-identical
+// to a single Index over the whole view for any shard count. What
+// sharding buys is build and update locality: each sub-Index is built
+// over its own band, and an Insert touches only the owning band's
+// (smaller) sorted structures.
+type ShardedIndex struct {
+	v      *View
+	subs   []*Index
+	starts []int // starts[i] is subs[i]'s first flat row
+	probes atomic.Int64
+}
+
+// NewShardedIndex builds shards sub-Indexes over equal contiguous row
+// bands. Like NewIndex it returns nil when Σ constrains no LHS
+// attribute; shards <= 1 degenerates to one band (still exact, just a
+// monolithic index behind the sharded interface).
+func NewShardedIndex(v *View, sigma rfd.Set, shards int) *ShardedIndex {
+	lhs := lhsMask(v.Arity(), sigma)
+	if lhs == nil {
+		return nil
+	}
+	n := v.Len()
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > n && n > 0 {
+		shards = n
+	}
+	sx := &ShardedIndex{v: v}
+	if n == 0 {
+		sx.subs = []*Index{newIndexRange(v, lhs, 0, 0)}
+		sx.starts = []int{0}
+		return sx
+	}
+	size := (n + shards - 1) / shards
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		sx.subs = append(sx.subs, newIndexRange(v, lhs, lo, hi))
+		sx.starts = append(sx.starts, lo)
+	}
+	return sx
+}
+
+// Shards returns the sub-Index fan-out. Nil-safe.
+func (sx *ShardedIndex) Shards() int {
+	if sx == nil {
+		return 0
+	}
+	return len(sx.subs)
+}
+
+// Insert records a committed imputation in the sub-Index owning the
+// row. Nil-safe.
+func (sx *ShardedIndex) Insert(row, attr int) {
+	if sx == nil {
+		return
+	}
+	// Last band whose start <= row.
+	i := sort.SearchInts(sx.starts, row+1) - 1
+	if i >= 0 {
+		sx.subs[i].Insert(row, attr)
+	}
+}
+
+// Probes returns how many logical index probes were answered — one per
+// dependency, not one per (dependency, shard), so the count matches the
+// monolithic index. Nil-safe.
+func (sx *ShardedIndex) Probes() int64 {
+	if sx == nil {
+		return 0
+	}
+	return sx.probes.Load()
+}
+
+// CandidateRows scatter-gathers the monolithic CandidateRows contract:
+// each dependency's constraints are probed on every sub-Index, the
+// per-shard estimates are summed (exactly the monolithic estimate,
+// since the bands partition the rows), the most selective constraint is
+// chosen by the same first-wins comparison, and the per-shard collects
+// are concatenated in shard order before the shared sort + dedup. The
+// gather is sequential — sub-probes are map lookups and binary
+// searches, far below goroutine cost — but each shard's work touches
+// only its own band's structures. Nil-safe.
+func (sx *ShardedIndex) CandidateRows(row int, deps rfd.Set) ([]int, bool) {
+	if sx == nil {
+		return nil, false
+	}
+	v := sx.v
+	var probes [][]probe // one inner probe per shard
+	total := 0
+	scratch := make([]probe, 0, len(sx.subs))
+	for _, dep := range deps {
+		null := false
+		for _, c := range dep.LHS {
+			if v.IsNull(row, c.Attr) {
+				null = true
+				break
+			}
+		}
+		if null {
+			continue
+		}
+		var best []probe
+		bestEst := 0
+		found := false
+		for _, c := range dep.LHS {
+			scratch = scratch[:0]
+			est := 0
+			answerable := true
+			for _, sub := range sx.subs {
+				p, ok := sub.probeFor(row, c)
+				if !ok {
+					// Answerability depends only on the query cell's class,
+					// identical across shards; bail like the monolithic path.
+					answerable = false
+					break
+				}
+				scratch = append(scratch, p)
+				est += p.est
+			}
+			if !answerable {
+				continue
+			}
+			if !found || est < bestEst {
+				best = append([]probe(nil), scratch...)
+				bestEst, found = est, true
+			}
+		}
+		if !found {
+			return nil, false
+		}
+		probes = append(probes, best)
+		total += bestEst
+	}
+	if total > v.Len()*3/4 {
+		// Same sweep-beats-index cutoff as the monolithic path.
+		return nil, false
+	}
+	var out []int
+	for _, shardProbes := range probes {
+		for _, p := range shardProbes {
+			out = p.collect(out)
+		}
+	}
+	sx.probes.Add(int64(len(probes)))
+	return finishCandidates(out, row), true
+}

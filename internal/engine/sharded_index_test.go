@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/rfd"
+)
+
+// shardedParitySigma covers equality, numeric-threshold and
+// string-length probes over the mixed relation.
+func shardedParitySigma(schema *dataset.Schema) rfd.Set {
+	return rfd.Set{
+		rfd.MustParse("S(<=2) -> I(<=1)", schema),
+		rfd.MustParse("I(<=1), F(<=0.5) -> S(<=3)", schema),
+		rfd.MustParse("B(<=0), X(<=2) -> F(<=1)", schema),
+		rfd.MustParse("S(<=0) -> X(<=0)", schema),
+	}
+}
+
+// TestShardedIndexNilSafety mirrors the monolithic index's nil
+// contract.
+func TestShardedIndexNilSafety(t *testing.T) {
+	var sx *ShardedIndex
+	if _, ok := sx.CandidateRows(0, nil); ok {
+		t.Error("nil sharded index claimed candidate rows")
+	}
+	sx.Insert(0, 0) // must not panic
+	if sx.Probes() != 0 || sx.Shards() != 0 {
+		t.Error("nil sharded index reported probes or shards")
+	}
+}
+
+// TestShardedIndexDeclinesNoLHS: like NewIndex, a Σ constraining no LHS
+// attribute yields no index.
+func TestShardedIndexDeclinesNoLHS(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	v := Compile(randomMixedRelation(rng, 10))
+	if sx := NewShardedIndex(v, nil, 4); sx != nil {
+		t.Error("sharded index built for empty sigma")
+	}
+}
+
+// TestShardedIndexParity: for every query row and every shard count —
+// including shards beyond the row count — the scatter-gather answer
+// (rows, coverage decision, cumulative probe count) is identical to the
+// monolithic index, both on the fresh pool and after a committed
+// Insert.
+func TestShardedIndexParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 8; trial++ {
+		rel := randomMixedRelation(rng, 20+rng.Intn(40))
+		sigma := shardedParitySigma(rel.Schema())
+
+		compare := func(t *testing.T, mono *Index, sx *ShardedIndex, stage string) {
+			t.Helper()
+			for row := 0; row < mono.v.Len(); row++ {
+				wantRows, wantOK := mono.CandidateRows(row, sigma)
+				gotRows, gotOK := sx.CandidateRows(row, sigma)
+				if wantOK != gotOK {
+					t.Fatalf("%s row %d: ok = %v, want %v", stage, row, gotOK, wantOK)
+				}
+				if len(wantRows) != len(gotRows) {
+					t.Fatalf("%s row %d: rows = %v, want %v", stage, row, gotRows, wantRows)
+				}
+				for i := range wantRows {
+					if wantRows[i] != gotRows[i] {
+						t.Fatalf("%s row %d: rows = %v, want %v", stage, row, gotRows, wantRows)
+					}
+				}
+			}
+			if mono.Probes() != sx.Probes() {
+				t.Fatalf("%s: probes = %d, want %d", stage, sx.Probes(), mono.Probes())
+			}
+		}
+
+		for _, shards := range []int{1, 2, 3, 8, 1000} {
+			// Independent views: Insert mutates view state below.
+			vm := Compile(rel.Clone())
+			vs := Compile(rel.Clone())
+			mono := NewIndex(vm, sigma)
+			sx := NewShardedIndex(vs, sigma, shards)
+			if mono == nil || sx == nil {
+				t.Fatal("index not built")
+			}
+			if got := sx.Shards(); got < 1 || got > vs.Len() {
+				t.Fatalf("shards = %d for %d rows (asked %d)", got, vs.Len(), shards)
+			}
+			compare(t, mono, sx, "fresh")
+
+			// Commit the same imputation on both and re-compare: the
+			// sharded Insert must land in the owning band.
+			sAttr := rel.Schema().MustIndex("S")
+			for row := 0; row < rel.Len(); row++ {
+				if vm.IsNull(row, sAttr) {
+					val := dataset.NewString("granite")
+					vm.Set(row, sAttr, val)
+					vs.Set(row, sAttr, val)
+					mono.Insert(row, sAttr)
+					sx.Insert(row, sAttr)
+				}
+			}
+			compare(t, mono, sx, "after-insert")
+		}
+	}
+}
+
+// TestShardedIndexEmptyView: a zero-row pool builds and answers without
+// panicking.
+func TestShardedIndexEmptyView(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	rel := randomMixedRelation(rng, 1)
+	empty := dataset.NewRelation(rel.Schema())
+	sx := NewShardedIndex(Compile(empty), shardedParitySigma(rel.Schema()), 4)
+	if sx == nil {
+		t.Fatal("index not built over the empty view")
+	}
+	if sx.Shards() != 1 {
+		t.Errorf("empty view shards = %d, want 1", sx.Shards())
+	}
+}

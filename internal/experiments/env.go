@@ -92,6 +92,7 @@ func (e *Env) SigmaFor(rel *dataset.Relation, threshold float64) (rfd.Set, error
 		MaxPairs:     e.Scale.DiscoveryMaxPairs,
 		Seed:         e.Scale.Seed,
 		Workers:      e.Scale.DiscoveryWorkers,
+		Shards:       e.Scale.DiscoveryShards,
 	})
 }
 

@@ -44,6 +44,10 @@ type Scale struct {
 	// CPUs, 1 = serial). Discovery output is byte-identical for every
 	// value, so campaigns stay reproducible across hosts.
 	DiscoveryWorkers int
+	// DiscoveryShards partitions pattern materialization to bound peak
+	// memory (0 = unsharded). Like DiscoveryWorkers, the discovered set
+	// is byte-identical for every value.
+	DiscoveryShards int
 	// Budget bounds each stress-table run (scaled stand-in for the
 	// paper's 48 h / 30 GB limits).
 	Budget eval.Budget

@@ -101,6 +101,19 @@ const (
 	CtrServeTimeouts
 	// CtrServePanics counts handler panics recovered in serve mode.
 	CtrServePanics
+	// CtrDiscoveryShards accumulates the effective shard count of each
+	// discovery run (Config.Shards with 0 resolved to 1).
+	CtrDiscoveryShards
+	// CtrDiscoveryShardSlabBytes accumulates the transient pattern-slab
+	// bytes each discovery shard materialized before compact encoding.
+	CtrDiscoveryShardSlabBytes
+	// CtrDiscoveryPatternPeakBytes accumulates each discovery run's peak
+	// pattern-storage bytes: the full slab when unsharded, the largest
+	// shard slab plus the compact store when sharded.
+	CtrDiscoveryPatternPeakBytes
+	// CtrDonorShardFanout counts sub-pool scans fanned out by
+	// scatter-gather donor search (shards per sharded candidate scan).
+	CtrDonorShardFanout
 
 	numCounters int = iota
 )
@@ -135,6 +148,11 @@ var counterNames = [...]string{
 	CtrServeRejected:          "serve_rejected",
 	CtrServeTimeouts:          "serve_timeouts",
 	CtrServePanics:            "serve_panics",
+
+	CtrDiscoveryShards:           "discovery_shards",
+	CtrDiscoveryShardSlabBytes:   "discovery_shard_slab_bytes",
+	CtrDiscoveryPatternPeakBytes: "discovery_pattern_peak_bytes",
+	CtrDonorShardFanout:          "donor_shard_fanout",
 }
 
 // String returns the snake_case name used in snapshots.
@@ -168,6 +186,9 @@ const (
 	// PhaseDiscoverySearch covers the greedy lattice search and
 	// dominance pruning inside discovery.
 	PhaseDiscoverySearch
+	// PhaseDonorMerge covers merging the per-shard candidate lists of
+	// scatter-gather donor search.
+	PhaseDonorMerge
 	// PhaseTotal covers one whole Impute run.
 	PhaseTotal
 
@@ -183,6 +204,7 @@ var phaseNames = [...]string{
 	PhaseDiscovery:            "discovery",
 	PhaseDiscoveryMaterialize: "discovery_materialize",
 	PhaseDiscoverySearch:      "discovery_search",
+	PhaseDonorMerge:           "donor_merge",
 	PhaseTotal:                "total",
 }
 
@@ -277,6 +299,11 @@ var counterHelp = [...]string{
 	CtrServeRejected:          "Requests shed with 429 because the admission queue was full.",
 	CtrServeTimeouts:          "Serve-mode requests aborted by the per-request deadline or a client disconnect.",
 	CtrServePanics:            "Handler panics recovered in serve mode.",
+
+	CtrDiscoveryShards:           "Accumulated effective shard count across discovery runs.",
+	CtrDiscoveryShardSlabBytes:   "Transient pattern-slab bytes materialized per discovery shard.",
+	CtrDiscoveryPatternPeakBytes: "Accumulated per-run peak pattern-storage bytes during discovery.",
+	CtrDonorShardFanout:          "Sub-pool scans fanned out by scatter-gather donor search.",
 }
 
 // Help returns the Prometheus HELP text for the counter.

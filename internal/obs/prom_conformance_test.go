@@ -137,7 +137,9 @@ func TestPrometheusConformance(t *testing.T) {
 	}
 	for _, name := range []string{"renuver_phase_seconds_total", "renuver_phase_events_total",
 		"renuver_http_request_micros", "renuver_build_info",
-		"renuver_engine_cache_shard_hits_total", "renuver_engine_cache_shard_merges_total"} {
+		"renuver_engine_cache_shard_hits_total", "renuver_engine_cache_shard_merges_total",
+		"renuver_donor_shard_scans_total", "renuver_donor_shard_donors_total",
+		"renuver_donor_shard_candidates_total"} {
 		if families[name] == nil {
 			t.Errorf("family %s missing", name)
 		}

@@ -209,6 +209,7 @@ var (
 	WithoutKeyReevaluation = core.WithoutKeyReevaluation
 	WithMaxCandidates      = core.WithMaxCandidates
 	WithWorkers            = core.WithWorkers
+	WithDonorShards        = core.WithDonorShards
 	WithRecorder           = core.WithRecorder
 	WithTracer             = core.WithTracer
 )
@@ -314,6 +315,9 @@ type (
 	// CacheShardStat is the engine-side form of ShardStat, returned by
 	// Session.CacheShardStats.
 	CacheShardStat = engine.CacheShardStat
+	// DonorShardStat is one donor sub-pool's scatter-gather counters,
+	// returned by Session.DonorShardStats and exposed on /metrics.
+	DonorShardStat = obs.DonorShardStat
 )
 
 // NewMetricsRegistry wraps a MetricsRecorder (nil = a fresh one).
@@ -334,6 +338,13 @@ func NewConstGauge(name, help string, value float64, labels ...MetricLabel) *Con
 // labeled by shard index, under renuver_<name>_{hits,misses,merges}_total.
 func NewShardStatsCollector(name string, fn func() []ShardStat) *obs.ShardStatsCollector {
 	return obs.NewShardStatsCollector(name, fn)
+}
+
+// NewDonorShardStatsCollector exposes a sharded donor pool's per-sub-pool
+// scatter-gather counters, labeled by shard index, under
+// renuver_<name>_{scans,donors,candidates}_total.
+func NewDonorShardStatsCollector(name string, fn func() []DonorShardStat) *obs.DonorShardStatsCollector {
+	return obs.NewDonorShardStatsCollector(name, fn)
 }
 
 // ActiveKernelName names the Levenshtein kernel currently selected
