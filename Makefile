@@ -63,14 +63,15 @@ bench-dist:
 bench-shard:
 	$(GO) test -bench BenchmarkDiscoverSharded -benchmem -run=^$$ ./internal/discovery/
 
-# Measure the five benchmark JSON documents (core, engine, session,
-# discovery, shard) into $(BENCHTMP) via the env-gated TestBench*JSON
-# emitters.
+# Measure the six benchmark JSON documents (core, engine, session,
+# delta, discovery, shard) into $(BENCHTMP) via the env-gated
+# TestBench*JSON emitters.
 bench-json:
 	@mkdir -p $(BENCHTMP)
 	BENCH_OUT=$(abspath $(BENCHTMP))/BENCH_core.json $(GO) test -run TestBenchJSON -count=1 ./internal/core/
 	BENCH_ENGINE_OUT=$(abspath $(BENCHTMP))/BENCH_engine.json $(GO) test -run TestBenchEngineJSON -count=1 ./internal/core/
 	BENCH_SESSION_OUT=$(abspath $(BENCHTMP))/BENCH_session.json $(GO) test -run TestBenchSessionJSON -count=1 ./internal/core/
+	BENCH_DELTA_OUT=$(abspath $(BENCHTMP))/BENCH_delta.json $(GO) test -run TestBenchDeltaJSON -count=1 ./internal/core/
 	BENCH_DISCOVERY_OUT=$(abspath $(BENCHTMP))/BENCH_discovery.json $(GO) test -run TestBenchDiscoveryJSON -count=1 ./internal/discovery/
 	BENCH_SHARD_OUT=$(abspath $(BENCHTMP))/BENCH_shard.json $(GO) test -run TestBenchShardJSON -count=1 ./internal/discovery/
 
@@ -82,6 +83,7 @@ bench-check: bench-json
 	  BENCH_core.json $(BENCHTMP)/BENCH_core.json \
 	  BENCH_engine.json $(BENCHTMP)/BENCH_engine.json \
 	  BENCH_session.json $(BENCHTMP)/BENCH_session.json \
+	  BENCH_delta.json $(BENCHTMP)/BENCH_delta.json \
 	  BENCH_discovery.json $(BENCHTMP)/BENCH_discovery.json \
 	  BENCH_shard.json $(BENCHTMP)/BENCH_shard.json
 
@@ -89,8 +91,8 @@ bench-check: bench-json
 # intentional performance change; diff the result before committing.
 bench-update: bench-json
 	cp $(BENCHTMP)/BENCH_core.json $(BENCHTMP)/BENCH_engine.json \
-	   $(BENCHTMP)/BENCH_session.json $(BENCHTMP)/BENCH_discovery.json \
-	   $(BENCHTMP)/BENCH_shard.json .
+	   $(BENCHTMP)/BENCH_session.json $(BENCHTMP)/BENCH_delta.json \
+	   $(BENCHTMP)/BENCH_discovery.json $(BENCHTMP)/BENCH_shard.json .
 
 # Artifact-layer gate: deterministic encoding (double-compile is
 # byte-identical, the committed golden checksum still matches), full

@@ -8,6 +8,7 @@
 //	        [-order asc|desc] [-verify lhs|both|off] [-report] [-stats]
 //	renuver explain -in dirty.csv -row 7 -attr Phone [-rfds sigma.rfd]
 //	renuver compile -in base.csv -out base.rnv [-rfds sigma.rfd]
+//	renuver delta -artifact base.rnv -delta changes.json [-out next.rnv]
 //	renuver serve -metrics-addr 127.0.0.1:8080 -in base.csv [-rfds sigma.rfd]
 //	renuver serve -metrics-addr 127.0.0.1:8080 -artifact base.rnv
 //
@@ -25,7 +26,10 @@
 //
 // The compile form precompiles a base instance plus its (discovered or
 // loaded) RFDc set into a versioned binary session artifact — see
-// compile.go. The serve form starts a long-lived imputation service:
+// compile.go. The delta form applies a JSON mutation batch (the same
+// shape the server's POST /v1/delta accepts) to an artifact offline and
+// re-encodes the evolved session — see delta.go. The serve form starts
+// a long-lived imputation service:
 // POST a CSV (or a JSON tuple batch) to /impute, read cumulative
 // metrics on /metrics (JSON, or Prometheus text format via Accept),
 // fetch the latest decision trace on /trace/last, and profile via
@@ -66,6 +70,12 @@ func main() {
 		case "serve":
 			if err := runServe(os.Args[2:]); err != nil {
 				fmt.Fprintln(os.Stderr, "renuver serve:", err)
+				os.Exit(1)
+			}
+			return
+		case "delta":
+			if err := runDelta(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "renuver delta:", err)
 				os.Exit(1)
 			}
 			return

@@ -44,6 +44,11 @@ import (
 //	                    tuples in one request, admitted once and traced
 //	                    as per-tuple child spans, with per-tuple error
 //	                    envelopes inside a 200 — see serve_batch.go.
+//	POST /v1/delta      JSON mutation batch (inserts / updates / deletes)
+//	                    applied atomically to the session base as a new
+//	                    epoch; in-flight imputations keep the epoch they
+//	                    pinned. Answers the DeltaResult as JSON — see
+//	                    serve_delta.go.
 //	GET  /v1/metrics    cumulative counters/histograms/phase timings —
 //	                    JSON by default, Prometheus text exposition
 //	                    format when the Accept header asks for it.
@@ -211,22 +216,13 @@ func runServe(args []string) error {
 	}
 }
 
-// maxParallelFlag bounds the -workers and -shards flags: a value beyond
-// it is almost certainly a typo (nobody runs 10k workers on one box),
-// and catching it at flag parse beats spawning a goroutine storm.
-const maxParallelFlag = 1024
-
 // validateParallelism enforces the CLI rule for parallelism-shaped
 // flags: 0 means the documented default, negatives and absurdly large
-// values are rejected before any work starts.
+// values (nobody runs 10k workers on one box) are rejected before any
+// work starts. It is the shared renuver.CheckParallelism rule, so the
+// flags, the imputer options, and discovery all enforce one bound.
 func validateParallelism(name string, v int) error {
-	if v < 0 {
-		return fmt.Errorf("%s must be >= 0, got %d", name, v)
-	}
-	if v > maxParallelFlag {
-		return fmt.Errorf("%s must be <= %d, got %d", name, maxParallelFlag, v)
-	}
-	return nil
+	return renuver.CheckParallelism(name, v)
 }
 
 // imputerOptions translates the shared CLI flags into imputer options.
@@ -383,13 +379,13 @@ func handleBoth(mux *http.ServeMux, path string, h http.Handler) {
 // and everything unrecognized onto "other", so the family's cardinality
 // is bounded no matter what paths clients probe.
 var serveRoutes = []string{
-	"/impute", "/metrics", "/trace/last", "/healthz", "/debug/spans", "/debug/pprof", "other",
+	"/impute", "/delta", "/metrics", "/trace/last", "/healthz", "/debug/spans", "/debug/pprof", "other",
 }
 
 func routeLabel(path string) string {
 	p := strings.TrimPrefix(path, "/v1")
 	switch p {
-	case "/impute", "/metrics", "/trace/last", "/healthz", "/debug/spans":
+	case "/impute", "/delta", "/metrics", "/trace/last", "/healthz", "/debug/spans":
 		return p
 	}
 	if strings.HasPrefix(p, "/debug/pprof") {
@@ -499,6 +495,13 @@ func newServeRegistry(sess *renuver.Session, metrics *renuver.MetricsRecorder) (
 			renuver.MetricLabel{Key: "sigma_rules", Value: fmt.Sprintf("%d", ai.Rules)},
 		))
 	}
+	if sess.BaseView() != nil {
+		// The live-session epoch: 0 at boot, +1 per applied /delta. A flat
+		// line here means the replica serves exactly what it booted with.
+		reg.Register(renuver.NewFuncGauge("session_epoch",
+			"Current live-session epoch (deltas applied since boot).",
+			func() float64 { return float64(sess.Epoch()) }))
+	}
 	if sess.CacheShardStats() != nil {
 		reg.Register(renuver.NewShardStatsCollector("engine_cache_shard", func() []renuver.ShardStat {
 			stats := sess.CacheShardStats()
@@ -542,6 +545,9 @@ func newServeMux(sess *renuver.Session, metrics *renuver.MetricsRecorder,
 	renuver.MountDebugHandlers(mux)
 	handleBoth(mux, "/healthz", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
+	}))
+	handleBoth(mux, "/delta", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handleDelta(w, r, sess, g, metrics, limits, logger)
 	}))
 	handleBoth(mux, "/impute", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {

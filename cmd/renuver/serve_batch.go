@@ -65,11 +65,60 @@ type batchResponse struct {
 // test seam for deterministic mid-batch cancellation.
 var batchTupleHook func(i int)
 
+// decodeJSONValue converts one JSON value into the typed cell value of
+// schema attribute a, strictly typed: strings for string attributes,
+// integral numbers for ints, numbers for floats, booleans for bools;
+// JSON null is the missing value. Shared by the batch-impute tuple
+// decoder and the /delta update decoder, so both speak one schema
+// dialect.
+func decodeJSONValue(schema *renuver.Schema, a int, raw json.RawMessage) (renuver.Value, error) {
+	if string(raw) == "null" {
+		return renuver.Null, nil
+	}
+	name := schema.Attr(a).Name
+	kind := schema.Attr(a).Kind
+	switch kind {
+	case renuver.KindString:
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return renuver.Null, fmt.Errorf("attribute %q expects a string", name)
+		}
+		return renuver.NewString(s), nil
+	case renuver.KindInt:
+		var n json.Number
+		if err := json.Unmarshal(raw, &n); err != nil {
+			return renuver.Null, fmt.Errorf("attribute %q expects an integer", name)
+		}
+		i, err := n.Int64()
+		if err != nil {
+			return renuver.Null, fmt.Errorf("attribute %q expects an integer, got %s", name, n)
+		}
+		return renuver.NewInt(i), nil
+	case renuver.KindFloat:
+		var n json.Number
+		if err := json.Unmarshal(raw, &n); err != nil {
+			return renuver.Null, fmt.Errorf("attribute %q expects a number", name)
+		}
+		f, err := n.Float64()
+		if err != nil {
+			return renuver.Null, fmt.Errorf("attribute %q expects a number, got %s", name, n)
+		}
+		return renuver.NewFloat(f), nil
+	case renuver.KindBool:
+		var b bool
+		if err := json.Unmarshal(raw, &b); err != nil {
+			return renuver.Null, fmt.Errorf("attribute %q expects a boolean", name)
+		}
+		return renuver.NewBool(b), nil
+	default:
+		return renuver.Null, fmt.Errorf("attribute %q has unsupported kind %v", name, kind)
+	}
+}
+
 // decodeBatchTuple converts one attribute-name-keyed JSON object into a
-// positional tuple under the schema, strictly typed: strings for string
-// attributes, integral numbers for ints, numbers for floats, booleans
-// for bools; JSON null (or an absent attribute) is the missing value;
-// unknown attribute names are an error.
+// positional tuple under the schema (see decodeJSONValue for the value
+// rules); an absent attribute is the missing value; unknown attribute
+// names are an error.
 func decodeBatchTuple(schema *renuver.Schema, obj map[string]json.RawMessage) (renuver.Tuple, error) {
 	t := make(renuver.Tuple, schema.Len())
 	for name, raw := range obj {
@@ -77,46 +126,11 @@ func decodeBatchTuple(schema *renuver.Schema, obj map[string]json.RawMessage) (r
 		if !ok {
 			return nil, fmt.Errorf("unknown attribute %q", name)
 		}
-		if string(raw) == "null" {
-			continue // already Null
+		v, err := decodeJSONValue(schema, a, raw)
+		if err != nil {
+			return nil, err
 		}
-		kind := schema.Attr(a).Kind
-		switch kind {
-		case renuver.KindString:
-			var s string
-			if err := json.Unmarshal(raw, &s); err != nil {
-				return nil, fmt.Errorf("attribute %q expects a string", name)
-			}
-			t[a] = renuver.NewString(s)
-		case renuver.KindInt:
-			var n json.Number
-			if err := json.Unmarshal(raw, &n); err != nil {
-				return nil, fmt.Errorf("attribute %q expects an integer", name)
-			}
-			i, err := n.Int64()
-			if err != nil {
-				return nil, fmt.Errorf("attribute %q expects an integer, got %s", name, n)
-			}
-			t[a] = renuver.NewInt(i)
-		case renuver.KindFloat:
-			var n json.Number
-			if err := json.Unmarshal(raw, &n); err != nil {
-				return nil, fmt.Errorf("attribute %q expects a number", name)
-			}
-			f, err := n.Float64()
-			if err != nil {
-				return nil, fmt.Errorf("attribute %q expects a number, got %s", name, n)
-			}
-			t[a] = renuver.NewFloat(f)
-		case renuver.KindBool:
-			var b bool
-			if err := json.Unmarshal(raw, &b); err != nil {
-				return nil, fmt.Errorf("attribute %q expects a boolean", name)
-			}
-			t[a] = renuver.NewBool(b)
-		default:
-			return nil, fmt.Errorf("attribute %q has unsupported kind %v", name, kind)
-		}
+		t[a] = v
 	}
 	return t, nil
 }

@@ -34,22 +34,13 @@ type options struct {
 	shards        int
 }
 
-// maxParallelFlag bounds -workers and -shards: a value beyond it is
-// almost certainly a typo, and catching it at flag parse beats
-// spawning a goroutine storm.
-const maxParallelFlag = 1024
-
 // validateParallelism enforces the CLI rule for parallelism-shaped
 // flags: 0 means the documented default, negatives and absurdly large
-// values are rejected before any work starts.
+// values are rejected before any work starts. It is the shared
+// renuver.CheckParallelism rule, so this CLI, the renuver CLI, and the
+// library option validators all enforce one bound.
 func validateParallelism(name string, v int) error {
-	if v < 0 {
-		return fmt.Errorf("%s must be >= 0, got %d", name, v)
-	}
-	if v > maxParallelFlag {
-		return fmt.Errorf("%s must be <= %d, got %d", name, maxParallelFlag, v)
-	}
-	return nil
+	return renuver.CheckParallelism(name, v)
 }
 
 func main() {

@@ -117,25 +117,29 @@ func decodeSigma(r *artifact.Reader, arity int) (rfd.Set, error) {
 
 // EncodeArtifact serializes the session's compiled state — base
 // columns, interning tables, candidate index over Σ's LHS attributes,
-// and Σ itself — into one artifact. Encoding the same session twice
-// yields byte-identical output. Self-contained sessions (nil base) have
-// no compiled state to persist and return an error.
+// and Σ itself — into one artifact, all read from the one epoch the
+// call pins (an artifact can never mix two epochs' state, even while
+// deltas apply concurrently). Encoding the same session twice at the
+// same epoch yields byte-identical output. Self-contained sessions
+// (nil base) have no compiled state to persist and return an error.
 func (s *Session) EncodeArtifact() ([]byte, error) {
-	if s.shared == nil {
+	ep := s.pin()
+	if ep == nil {
 		return nil, fmt.Errorf("core: session has no base instance to encode")
 	}
+	defer ep.unpin()
 	b := artifact.NewBuilder()
 	b.Begin(artifact.SecMeta)
-	b.Uint64(uint64(s.shared.Len()))
-	b.Uint32(uint32(s.shared.Arity()))
-	b.Uint32(uint32(len(s.im.sigma)))
-	s.shared.EncodeTo(b)
-	ix := s.baseIndex
+	b.Uint64(uint64(ep.shared.Len()))
+	b.Uint32(uint32(ep.shared.Arity()))
+	b.Uint32(uint32(len(ep.sigma)))
+	ep.shared.EncodeTo(b)
+	ix := ep.index
 	if ix == nil {
-		ix = engine.NewIndex(s.shared.View(), s.im.sigma)
+		ix = engine.NewIndex(ep.shared.View(), ep.sigma)
 	}
 	ix.EncodeTo(b)
-	encodeSigma(b, s.im.sigma)
+	encodeSigma(b, ep.sigma)
 	data := b.Finish()
 	r, err := artifact.Decode(data)
 	if err != nil {
@@ -146,9 +150,9 @@ func (s *Session) EncodeArtifact() ([]byte, error) {
 	s.art = &ArtifactInfo{
 		FormatVersion: r.Version(),
 		Checksum:      r.Checksum(),
-		Tuples:        s.shared.Len(),
-		Arity:         s.shared.Arity(),
-		Rules:         len(s.im.sigma),
+		Tuples:        ep.shared.Len(),
+		Arity:         ep.shared.Arity(),
+		Rules:         len(ep.sigma),
 		Bytes:         len(data),
 	}
 	return data, nil
@@ -247,10 +251,8 @@ func NewSessionFromArtifact(data []byte, opts ...Option) (*Session, error) {
 		return nil, err
 	}
 	im.attachDonorStats()
-	return &Session{
-		im:        im,
-		shared:    shared,
-		baseIndex: ix,
+	s := &Session{
+		im: im,
 		art: &ArtifactInfo{
 			FormatVersion: r.Version(),
 			Checksum:      r.Checksum(),
@@ -259,7 +261,12 @@ func NewSessionFromArtifact(data []byte, opts ...Option) (*Session, error) {
 			Rules:         rules,
 			Bytes:         len(data),
 		},
-	}, nil
+	}
+	// The decoded state becomes epoch 0; the decoded index is carried so
+	// a later EncodeArtifact round-trips it, and insert-only deltas
+	// extend it incrementally.
+	s.newEpoch(shared, ix, sigma)
+	return s, nil
 }
 
 // LoadSession reads a compiled-session artifact from disk and

@@ -339,7 +339,7 @@ func FuzzArtifactDecode(f *testing.F) {
 		sess, err := NewSessionFromArtifact(data)
 		if err == nil {
 			// A surviving mutation must have produced a coherent session.
-			if sess.shared == nil {
+			if sess.cur.Load() == nil {
 				t.Fatal("decode succeeded with no shared state")
 			}
 			return

@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"repro/internal/obs"
+	"repro/internal/par"
 )
 
 // ClusterOrder selects the order in which RHS-threshold clusters are
@@ -123,16 +124,18 @@ type Options struct {
 
 // Validate rejects option values outside their documented domains, per
 // the package defaulting rule: zero means default, negative is an
-// error. Enum fields are checked against their defined values.
+// error. Parallelism knobs share the par bounds (negatives and values
+// beyond par.Max rejected); enum fields are checked against their
+// defined values.
 func (o *Options) Validate() error {
-	if o.Workers < 0 {
-		return fmt.Errorf("core: Workers must be >= 0, got %d", o.Workers)
+	if err := par.Check("core: Workers", o.Workers); err != nil {
+		return err
 	}
 	if o.MaxCandidates < 0 {
 		return fmt.Errorf("core: MaxCandidates must be >= 0, got %d", o.MaxCandidates)
 	}
-	if o.DonorShards < 0 {
-		return fmt.Errorf("core: DonorShards must be >= 0, got %d", o.DonorShards)
+	if err := par.Check("core: DonorShards", o.DonorShards); err != nil {
+		return err
 	}
 	if o.ClusterOrder != AscendingThreshold && o.ClusterOrder != DescendingThreshold {
 		return fmt.Errorf("core: unknown ClusterOrder %d", o.ClusterOrder)

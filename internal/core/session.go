@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/dataset"
 	"repro/internal/discovery"
@@ -31,27 +33,43 @@ import (
 //     to Imputer.Impute, with the per-request donor index enabled. This
 //     is the ephemeral mode the free functions wrap.
 //
-// A Session is immutable after construction and safe for any number of
-// concurrent Impute / Explain calls.
+// Sessions with a base are live: ApplyDelta evolves the base in place
+// by publishing a new epoch (see delta.go), and every read serves
+// against the one epoch it pinned at entry. A Session is safe for any
+// number of concurrent Impute / Explain calls, concurrently with at
+// most-serialized ApplyDelta writers.
 type Session struct {
-	im     *Imputer
-	shared *engine.Shared // nil in self-contained mode
+	im *Imputer
 
-	// baseIndex is the candidate index over the base's Σ-LHS attributes
-	// decoded from a compiled-session artifact (nil otherwise). It is
-	// retained for artifact round-trips and future index-accelerated
-	// donor scans; the Impute hot path does not consult it, so loaded
-	// and freshly compiled sessions stay byte-identical.
-	baseIndex *engine.Index
+	// cur is the session's current epoch — the compiled base, its
+	// candidate index, and the Σ in force, published together so readers
+	// can never observe a half-applied delta. Nil in self-contained
+	// mode (and in the internal Imputer-wrapping constructions).
+	cur atomic.Pointer[epochState]
+	// applyMu serializes ApplyDelta writers; readers never take it.
+	applyMu sync.Mutex
+
 	// art is the metadata of the artifact this session was loaded from
-	// or last encoded to; nil for sessions that never touched one.
+	// or last encoded to; nil for sessions that never touched one. It is
+	// boot provenance: deltas applied afterwards do not clear it.
 	art *ArtifactInfo
+}
+
+// newEpoch publishes the session's first epoch (seq 0).
+func (s *Session) newEpoch(shared *engine.Shared, ix *engine.Index, sigma rfd.Set) {
+	s.cur.Store(&epochState{
+		shared: shared,
+		index:  ix,
+		sigma:  sigma,
+		rec:    s.im.opts.recorder(),
+	})
 }
 
 // NewSession builds a Session over Σ. base may be nil (self-contained
 // mode). A non-nil base is cloned, so later caller-side mutation of the
-// original cannot corrupt the compiled artifacts. Option values are
-// validated here — once — rather than on every request.
+// original cannot corrupt the compiled artifacts — ApplyDelta is the
+// only way to change a session's base. Option values are validated
+// here — once — rather than on every request.
 func NewSession(base *dataset.Relation, sigma rfd.Set, opts ...Option) (*Session, error) {
 	im := New(sigma, opts...)
 	if err := im.opts.Validate(); err != nil {
@@ -63,7 +81,7 @@ func NewSession(base *dataset.Relation, sigma rfd.Set, opts ...Option) (*Session
 		if err := validateSigma(sigma, base.Schema().Len()); err != nil {
 			return nil, err
 		}
-		s.shared = engine.Precompile(base.Clone())
+		s.newEpoch(engine.Precompile(base.Clone()), nil, sigma)
 	}
 	return s, nil
 }
@@ -82,41 +100,58 @@ func (im *Imputer) attachDonorStats() {
 // precompiled base — the serve-mode flow (precompile the base, discover
 // Σ from it, then serve with the discovered Σ) without a second compile
 // of the base. The receiver's options carry over.
+//
+// The derived session snapshots the receiver's current epoch: it keeps
+// serving that compiled base even if deltas later evolve the receiver,
+// and deltas applied to the derived session do not reach the receiver.
 func (s *Session) WithSigma(sigma rfd.Set) (*Session, error) {
-	if s.shared != nil {
-		if err := validateSigma(sigma, s.shared.Arity()); err != nil {
+	ep := s.cur.Load()
+	if ep != nil {
+		if err := validateSigma(sigma, ep.shared.Arity()); err != nil {
 			return nil, err
 		}
 	}
-	// The decoded candidate index and artifact metadata do not carry
-	// over: both are bound to the Σ they were compiled with.
-	return &Session{im: &Imputer{sigma: sigma, opts: s.im.opts}, shared: s.shared}, nil
+	out := &Session{im: &Imputer{sigma: sigma, opts: s.im.opts}}
+	if ep != nil {
+		// The decoded candidate index and artifact metadata do not carry
+		// over: both are bound to the Σ they were compiled with.
+		out.cur.Store(&epochState{
+			seq:    ep.seq,
+			shared: ep.shared,
+			sigma:  sigma,
+			rec:    out.im.opts.recorder(),
+		})
+	}
+	return out, nil
 }
 
-// Sigma returns the session's dependency set. Callers must not mutate
-// it.
-func (s *Session) Sigma() rfd.Set { return s.im.sigma }
+// Sigma returns the dependency set currently in force — the
+// constructor's set as repaired by any applied deltas' revalidation.
+// Callers must not mutate it.
+func (s *Session) Sigma() rfd.Set { return s.sigmaAt(s.cur.Load()) }
 
-// BaseView returns a frozen read-only view over the precompiled base —
-// the input for running discovery against the base without recompiling
-// it — or nil in self-contained mode. Reads through it warm the shared
-// distance cache for every future Impute call.
+// BaseView returns a frozen read-only view over the precompiled base at
+// the current epoch — the input for running discovery against the base
+// without recompiling it — or nil in self-contained mode. Reads through
+// it warm the shared distance cache for every future Impute call.
 func (s *Session) BaseView() *engine.View {
-	if s.shared == nil {
+	ep := s.cur.Load()
+	if ep == nil {
 		return nil
 	}
-	return s.shared.View()
+	return ep.shared.View()
 }
 
 // CacheShardStats returns the per-shard hit / miss / merge counters of
-// the session's shared distance cache, or nil in self-contained mode
-// (ephemeral caches die with their request; there is nothing long-lived
-// to inspect).
+// the current epoch's shared distance cache, or nil in self-contained
+// mode (ephemeral caches die with their request; there is nothing
+// long-lived to inspect).
 func (s *Session) CacheShardStats() []engine.CacheShardStat {
-	if s.shared == nil {
+	ep := s.cur.Load()
+	if ep == nil {
 		return nil
 	}
-	return s.shared.CacheShardStats()
+	return ep.shared.CacheShardStats()
 }
 
 // DonorShardStats returns the accumulated per-sub-pool scatter-gather
@@ -133,9 +168,11 @@ func (s *Session) DonorShardStats() []obs.DonorShardStat {
 // with WithSigma to serve the discovered set. Self-contained sessions
 // (nil base) have no instance to mine and return an error.
 func (s *Session) Discover(ctx context.Context, cfg discovery.Config) (rfd.Set, error) {
-	if s.shared == nil {
+	ep := s.pin()
+	if ep == nil {
 		return nil, fmt.Errorf("core: session has no base instance to discover from")
 	}
+	defer ep.unpin()
 	if sp := obs.SpanFromContext(ctx).Child("discover"); sp.Enabled() {
 		// Re-anchor the context so the discovery phases nest under this
 		// span; the rewrite (one allocation) happens only when a request
@@ -143,7 +180,7 @@ func (s *Session) Discover(ctx context.Context, cfg discovery.Config) (rfd.Set, 
 		defer sp.End()
 		ctx = obs.ContextWithSpan(ctx, sp)
 	}
-	return discovery.DiscoverViewContext(ctx, s.shared.View(), cfg)
+	return discovery.DiscoverViewContext(ctx, ep.shared.View(), cfg)
 }
 
 // Impute runs RENUVER on the request relation against the session's
@@ -151,30 +188,48 @@ func (s *Session) Discover(ctx context.Context, cfg discovery.Config) (rfd.Set, 
 // rejected in O(1) — before any clone or compile — with a non-nil empty
 // Result and engine.ErrCanceled; mid-run expiry returns the partial
 // well-formed result the cancellation checkpoints produced.
+//
+// The call pins the current epoch for its whole duration: a concurrent
+// ApplyDelta neither blocks it nor changes what it sees.
 func (s *Session) Impute(ctx context.Context, rel *dataset.Relation) (*Result, error) {
 	if ctx.Err() != nil {
 		return &Result{}, engine.Canceled(ctx)
 	}
-	if s.shared != nil && !rel.Schema().Equal(s.shared.Relation().Schema()) {
-		return nil, fmt.Errorf("core: request schema %q incompatible with session base %q",
-			rel.Schema(), s.shared.Relation().Schema())
+	ep := s.pin()
+	if ep != nil {
+		defer ep.unpin()
 	}
-	if err := validateSigma(s.im.sigma, rel.Schema().Len()); err != nil {
+	return s.imputeEpoch(ctx, rel, s.im, ep)
+}
+
+// imputeEpoch runs one imputation against a pinned epoch (nil = the
+// self-contained path). The options always come from im; the compiled
+// base and the Σ served come from the epoch when one is pinned, so the
+// (view, Σ) pair can never tear against a concurrent delta.
+func (s *Session) imputeEpoch(ctx context.Context, rel *dataset.Relation, im *Imputer, ep *epochState) (*Result, error) {
+	if ep != nil {
+		if !rel.Schema().Equal(ep.shared.Relation().Schema()) {
+			return nil, fmt.Errorf("core: request schema %q incompatible with session base %q",
+				rel.Schema(), ep.shared.Relation().Schema())
+		}
+		im = &Imputer{sigma: ep.sigma, opts: im.opts}
+	}
+	if err := validateSigma(im.sigma, rel.Schema().Len()); err != nil {
 		return nil, err
 	}
 	work := rel.Clone()
 	var eng *engine.View
-	useIndex := !s.im.opts.NoIndex
-	if s.shared != nil {
+	useIndex := !im.opts.NoIndex
+	if ep != nil {
 		// Donor-pool mode: only the request rows are compiled; the base
 		// tier is shared. No per-request donor index — building one would
 		// rescan every base row and forfeit the O(request) per-call cost.
-		eng = s.shared.Extend(work)
+		eng = ep.shared.Extend(work)
 		useIndex = false
 	} else {
 		eng = engine.Compile(work)
 	}
-	return s.im.runImpute(ctx, work, eng, useIndex)
+	return im.runImpute(ctx, work, eng, useIndex)
 }
 
 // Explain reruns the request with a tracer pinned to one cell and
@@ -196,11 +251,15 @@ func (s *Session) Explain(ctx context.Context, rel *dataset.Relation, row, attr 
 		defer sp.End()
 		ctx = obs.ContextWithSpan(ctx, sp)
 	}
+	ep := s.pin()
+	if ep != nil {
+		defer ep.unpin()
+	}
 	tr := obs.NewRingTracer(1, 1)
 	tr.Only(row, attr)
-	traced := &Imputer{sigma: s.im.sigma, opts: s.im.opts}
+	traced := &Imputer{sigma: s.sigmaAt(ep), opts: s.im.opts}
 	traced.opts.Tracer = tr
-	res, err := (&Session{im: traced, shared: s.shared}).Impute(ctx, rel)
+	res, err := s.imputeEpoch(ctx, rel, traced, ep)
 	if err != nil {
 		return "", err
 	}

@@ -38,6 +38,7 @@ import (
 	"repro/internal/distance"
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/rfd"
 )
 
@@ -115,11 +116,11 @@ func (c *Config) normalize() error {
 	if c.MaxLHS < 0 {
 		return fmt.Errorf("discovery: negative MaxLHS %d", c.MaxLHS)
 	}
-	if c.Workers < 0 {
-		return fmt.Errorf("discovery: negative Workers %d", c.Workers)
+	if err := par.Check("discovery: Workers", c.Workers); err != nil {
+		return err
 	}
-	if c.Shards < 0 {
-		return fmt.Errorf("discovery: negative Shards %d", c.Shards)
+	if err := par.Check("discovery: Shards", c.Shards); err != nil {
+		return err
 	}
 	if len(c.RHSGrid) == 0 {
 		for b := 0.0; b <= c.MaxThreshold; b++ {

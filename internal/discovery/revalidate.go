@@ -1,0 +1,132 @@
+package discovery
+
+import (
+	"runtime"
+	"sort"
+
+	"repro/internal/distance"
+	"repro/internal/engine"
+	"repro/internal/rfd"
+)
+
+// RevalidateRows repairs Σ against every tuple pair a set of changed
+// rows introduces — the Maintainer's repair rule applied after an
+// in-place mutation instead of an append. It is the Σ-correctness half
+// of a live-session delta:
+//
+//   - deletes need no repair (every RFDc holding on an instance holds
+//     on any subset — dropping pairs cannot create a violation), so
+//     callers pass only the inserted and updated rows;
+//   - an inserted or updated row can witness new violations against
+//     every other row, so each changed row is checked against the whole
+//     instance; a pair of two changed rows is checked once (by its
+//     lower-numbered member's sweep);
+//   - repairs reuse the Maintainer's greedy cut (repairAgainst): the
+//     LHS threshold with the largest pair distance is tightened just
+//     below it, or the dependency is dropped when the pair is identical
+//     on the whole LHS. Tightening is monotone, so the returned set
+//     holds on the entire new instance, not just the checked pairs.
+//
+// rows are flat indices into v (deduplicated here). Pattern
+// materialization is chunked across workers (0 = all CPUs, 1 = serial);
+// repairs apply serially in (row, pair) order, so the returned set is
+// identical for every worker count. Σ is deep-copied; the caller's set
+// is never mutated.
+func RevalidateRows(v *engine.View, sigma rfd.Set, rows []int, workers int) (out rfd.Set, dropped, tightened int) {
+	cp := make(rfd.Set, len(sigma))
+	for i, dep := range sigma {
+		lhs := append([]rfd.Constraint(nil), dep.LHS...)
+		cp[i] = rfd.MustNew(lhs, dep.RHS)
+	}
+	if len(rows) == 0 || len(cp) == 0 {
+		return cp, 0, 0
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	n := v.Len()
+	changed := make([]bool, n)
+	order := append([]int(nil), rows...)
+	sort.Ints(order)
+	order = order[:uniqInts(order)]
+	for _, r := range order {
+		changed[r] = true
+	}
+
+	repair := func(p distance.Pattern) {
+		kept := cp[:0]
+		for _, dep := range cp {
+			repaired, ok := repairAgainst(dep, p)
+			if !ok {
+				dropped++
+				continue
+			}
+			if repaired != dep {
+				tightened++
+			}
+			kept = append(kept, repaired)
+		}
+		cp = kept
+	}
+	// skip reports whether the pair (r, j) is not this sweep's to check:
+	// the row itself, or a changed pair already covered by the sweep of
+	// its lower-numbered member.
+	skip := func(r, j int) bool { return j == r || (changed[j] && j < r) }
+
+	m := v.Matcher()
+	var one distance.Pattern
+	var slab []distance.Pattern
+	for _, r := range order {
+		if len(cp) == 0 {
+			break
+		}
+		if workers <= 1 || n < 2*workers {
+			if one == nil {
+				one = distance.NewPattern(v.Arity())
+			}
+			for j := 0; j < n; j++ {
+				if skip(r, j) {
+					continue
+				}
+				m.PatternInto(one, r, j)
+				repair(one)
+			}
+			continue
+		}
+		// Materialize the changed row's patterns against every row
+		// concurrently (view reads are safe), then repair serially in pair
+		// order — identical to the serial sweep.
+		if len(slab) < n {
+			slab = patternSlab(n, v.Arity())
+		}
+		runChunks(workers, n, func(_, lo, hi int) {
+			wm := v.Matcher()
+			for j := lo; j < hi; j++ {
+				if !skip(r, j) {
+					wm.PatternInto(slab[j], r, j)
+				}
+			}
+		})
+		for j := 0; j < n; j++ {
+			if !skip(r, j) {
+				repair(slab[j])
+			}
+		}
+	}
+	return cp, dropped, tightened
+}
+
+// uniqInts compacts a sorted slice in place, returning the new length.
+func uniqInts(s []int) int {
+	if len(s) == 0 {
+		return 0
+	}
+	w := 1
+	for _, x := range s[1:] {
+		if x != s[w-1] {
+			s[w] = x
+			w++
+		}
+	}
+	return w
+}

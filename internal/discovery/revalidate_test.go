@@ -1,0 +1,177 @@
+package discovery
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/rfd"
+)
+
+// revalidateInstance builds a mutated successor of table2 plus the rows
+// a delta would mark changed: a few cell rewrites and a few appends.
+func revalidateInstance(t *testing.T, rng *rand.Rand, appends int) (*dataset.Relation, []int) {
+	t.Helper()
+	rel := table2(t).Clone()
+	words := []string{"Granita", "Citrus", "Fenix", "LA", "Hollywood", "French", "Californian", "C. Main"}
+	changed := []int{1, 4}
+	for _, r := range changed {
+		rel.Set(r, rng.Intn(3), dataset.NewString(words[rng.Intn(len(words))]))
+	}
+	for k := 0; k < appends; k++ {
+		tpl := make(dataset.Tuple, rel.Schema().Len())
+		for a := 0; a < rel.Schema().Len(); a++ {
+			if rel.Schema().Attr(a).Kind == dataset.KindInt {
+				tpl[a] = dataset.NewInt(int64(rng.Intn(9)))
+			} else {
+				tpl[a] = dataset.NewString(words[rng.Intn(len(words))])
+			}
+		}
+		rel.MustAppend(tpl)
+		changed = append(changed, rel.Len()-1)
+	}
+	return rel, changed
+}
+
+// TestRevalidateRowsInvariant: the property a live session depends on —
+// whatever RevalidateRows returns holds on the ENTIRE mutated instance,
+// not just the checked pairs (tightening is monotone), and the caller's
+// Σ comes back untouched.
+func TestRevalidateRowsInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	base := table2(t)
+	sigma, err := Discover(base, Config{MaxThreshold: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := make(rfd.Set, len(sigma))
+	for i, dep := range sigma {
+		orig[i] = rfd.MustNew(append([]rfd.Constraint(nil), dep.LHS...), dep.RHS)
+	}
+	sawRepair := false
+	for trial := 0; trial < 10; trial++ {
+		rel, changed := revalidateInstance(t, rng, 2+rng.Intn(3))
+		out, dropped, tightened := RevalidateRows(engine.Compile(rel), sigma, changed, 1)
+		if dropped+tightened > 0 {
+			sawRepair = true
+		}
+		if len(out)+dropped != len(sigma) {
+			t.Fatalf("trial %d: %d kept + %d dropped != %d in", trial, len(out), dropped, len(sigma))
+		}
+		for _, dep := range out {
+			if !dep.HoldsOn(rel) {
+				t.Errorf("trial %d: revalidated dependency violated on the new instance: %s",
+					trial, dep.Format(rel.Schema()))
+			}
+		}
+		for i, dep := range sigma {
+			if !dep.Equal(orig[i]) {
+				t.Fatalf("trial %d: RevalidateRows mutated the caller's Σ", trial)
+			}
+		}
+	}
+	if !sawRepair {
+		t.Error("no trial needed a repair; the mutations are not exercising the cut")
+	}
+}
+
+// TestRevalidateRowsWorkerDeterminism: the repaired set is identical
+// for every worker count — the parallel path only materializes
+// patterns, repairs stay in (row, pair) order.
+func TestRevalidateRowsWorkerDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := table2(t)
+	sigma, err := Discover(base, Config{MaxThreshold: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, changed := revalidateInstance(t, rng, 12) // enough rows for the chunked path
+	v := engine.Compile(rel)
+	wantOut, wantD, wantT := RevalidateRows(v, sigma, changed, 1)
+	for _, workers := range []int{0, 2, 3, 8} {
+		out, d, tt := RevalidateRows(v, sigma, changed, workers)
+		if d != wantD || tt != wantT {
+			t.Fatalf("workers=%d: counts (%d,%d) != serial (%d,%d)", workers, d, tt, wantD, wantT)
+		}
+		if len(out) != len(wantOut) {
+			t.Fatalf("workers=%d: %d deps != serial %d", workers, len(out), len(wantOut))
+		}
+		for i := range out {
+			if !out[i].Equal(wantOut[i]) {
+				t.Fatalf("workers=%d: dep %d diverged: %s vs %s", workers, i,
+					out[i].Format(rel.Schema()), wantOut[i].Format(rel.Schema()))
+			}
+		}
+	}
+}
+
+// TestRevalidateRowsMatchesMaintainer: for a pure append, revalidating
+// the new row must agree with the Maintainer's incremental repair —
+// same kept set, same drop/tighten counts — since both sweep the same
+// pairs in the same order through the same greedy cut.
+func TestRevalidateRowsMatchesMaintainer(t *testing.T) {
+	base := table2(t)
+	sigma, err := Discover(base, Config{MaxThreshold: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrival := dataset.Tuple{
+		dataset.NewString("Granita"), dataset.NewString("Hollywood"),
+		dataset.NewString("310/456-0488"), dataset.NewString("French"),
+		dataset.NewInt(3),
+	}
+	mt := NewMaintainer(base, sigma)
+	wantD, wantT, err := mt.Append(arrival)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	grown := base.Clone()
+	grown.MustAppend(arrival.Clone())
+	out, d, tt := RevalidateRows(engine.Compile(grown), sigma, []int{grown.Len() - 1}, 1)
+	if d != wantD || tt != wantT {
+		t.Fatalf("counts (%d,%d) != maintainer (%d,%d)", d, tt, wantD, wantT)
+	}
+	want := mt.Sigma()
+	if len(out) != len(want) {
+		t.Fatalf("%d deps != maintainer %d", len(out), len(want))
+	}
+	for i := range out {
+		if !out[i].Equal(want[i]) {
+			t.Fatalf("dep %d diverged: %s vs %s", i,
+				out[i].Format(base.Schema()), want[i].Format(base.Schema()))
+		}
+	}
+}
+
+// TestRevalidateRowsEdgeCases: no changed rows or an empty Σ short-
+// circuit to a plain deep copy; duplicate row handles collapse.
+func TestRevalidateRowsEdgeCases(t *testing.T) {
+	base := table2(t)
+	sigma, err := Discover(base, Config{MaxThreshold: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := engine.Compile(base)
+
+	out, d, tt := RevalidateRows(v, sigma, nil, 1)
+	if d != 0 || tt != 0 || len(out) != len(sigma) {
+		t.Fatalf("no-rows call repaired: kept %d, dropped %d, tightened %d", len(out), d, tt)
+	}
+	out[0] = rfd.MustNew(append([]rfd.Constraint(nil), sigma[1].LHS...), sigma[1].RHS)
+	if out[0].Equal(sigma[0]) && len(sigma) > 1 {
+		t.Fatal("returned set aliases the caller's Σ")
+	}
+
+	if out, d, tt := RevalidateRows(v, rfd.Set{}, []int{0}, 1); len(out) != 0 || d != 0 || tt != 0 {
+		t.Fatal("empty Σ produced repairs")
+	}
+
+	dupOut, dupD, dupT := RevalidateRows(v, sigma, []int{2, 2, 2, 5, 5}, 1)
+	oneOut, oneD, oneT := RevalidateRows(v, sigma, []int{2, 5}, 1)
+	if dupD != oneD || dupT != oneT || len(dupOut) != len(oneOut) {
+		t.Fatalf("duplicate handles changed the outcome: (%d,%d,%d) vs (%d,%d,%d)",
+			len(dupOut), dupD, dupT, len(oneOut), oneD, oneT)
+	}
+}

@@ -128,6 +128,89 @@ func (c *distCache) put(attr int, a, b int32, d int32) {
 	sh.misses.Add(1)
 }
 
+// withoutAttrs builds a NEW cache carrying every memoized entry except
+// those keyed by a dropped attribute, returning it and the number of
+// shards that held at least one dropped entry. Copy-on-invalidate is
+// what makes interner compaction safe under epochs: compaction remaps
+// an attribute's interned ids, so the successor epoch must not share a
+// cache instance with its predecessors — a pinned reader of an old
+// epoch would keep inserting entries keyed by old ids that collide
+// with the remapped ones. Old epochs keep the old instance; shards the
+// drop never touched share their frozen map pointer with the new cache
+// (safe: published frozen maps are immutable — merges always build new
+// maps), so the copy is proportional to the invalidated shards only.
+func (c *distCache) withoutAttrs(drop []bool) (*distCache, int) {
+	out := newDistCache()
+	invalidated := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		frozen := sh.frozen.Load()
+		sh.mu.Lock()
+		var over map[cacheKey]int32
+		if len(sh.over) > 0 {
+			over = make(map[cacheKey]int32, len(sh.over))
+			for k, v := range sh.over {
+				over[k] = v
+			}
+		}
+		sh.mu.Unlock()
+		touched := false
+		if frozen != nil {
+			for k := range *frozen {
+				if drop[k.attr] {
+					touched = true
+					break
+				}
+			}
+		}
+		if !touched {
+			for k := range over {
+				if drop[k.attr] {
+					touched = true
+					break
+				}
+			}
+		}
+		switch {
+		case touched:
+			invalidated++
+			kept := make(map[cacheKey]int32)
+			if frozen != nil {
+				for k, v := range *frozen {
+					if !drop[k.attr] {
+						kept[k] = v
+					}
+				}
+			}
+			for k, v := range over {
+				if !drop[k.attr] {
+					kept[k] = v
+				}
+			}
+			if len(kept) > 0 {
+				out.shards[i].frozen.Store(&kept)
+			}
+		case over == nil:
+			if frozen != nil {
+				out.shards[i].frozen.Store(frozen)
+			}
+		default:
+			merged := over
+			if frozen != nil {
+				merged = make(map[cacheKey]int32, len(*frozen)+len(over))
+				for k, v := range *frozen {
+					merged[k] = v
+				}
+				for k, v := range over {
+					merged[k] = v
+				}
+			}
+			out.shards[i].frozen.Store(&merged)
+		}
+	}
+	return out, invalidated
+}
+
 func (c *distCache) stats() (hits, misses int64) {
 	for i := range c.shards {
 		hits += c.shards[i].hits.Load()

@@ -114,6 +114,30 @@ const (
 	// CtrDonorShardFanout counts sub-pool scans fanned out by
 	// scatter-gather donor search (shards per sharded candidate scan).
 	CtrDonorShardFanout
+	// CtrDeltaApplied counts ApplyDelta calls that published a new epoch.
+	CtrDeltaApplied
+	// CtrDeltaRowsInserted counts tuples inserted by applied deltas.
+	CtrDeltaRowsInserted
+	// CtrDeltaRowsUpdated counts cell updates applied by deltas.
+	CtrDeltaRowsUpdated
+	// CtrDeltaRowsDeleted counts rows deleted by applied deltas.
+	CtrDeltaRowsDeleted
+	// CtrDeltaSigmaDropped counts dependencies the post-delta
+	// revalidation dropped from Σ.
+	CtrDeltaSigmaDropped
+	// CtrDeltaSigmaTightened counts LHS tightenings the post-delta
+	// revalidation applied to Σ.
+	CtrDeltaSigmaTightened
+	// CtrDeltaCacheShardsInvalidated counts distance-cache shards a delta
+	// invalidated (only interner compactions remap ids; id-stable deltas
+	// invalidate nothing).
+	CtrDeltaCacheShardsInvalidated
+	// CtrInternersCompacted counts per-attribute interning tables rebuilt
+	// with dense ids because deletes left them mostly dead.
+	CtrInternersCompacted
+	// CtrEpochsRetired counts superseded epochs whose last pinned reader
+	// finished.
+	CtrEpochsRetired
 
 	numCounters int = iota
 )
@@ -153,6 +177,16 @@ var counterNames = [...]string{
 	CtrDiscoveryShardSlabBytes:   "discovery_shard_slab_bytes",
 	CtrDiscoveryPatternPeakBytes: "discovery_pattern_peak_bytes",
 	CtrDonorShardFanout:          "donor_shard_fanout",
+
+	CtrDeltaApplied:                "delta_applied",
+	CtrDeltaRowsInserted:           "delta_rows_inserted",
+	CtrDeltaRowsUpdated:            "delta_rows_updated",
+	CtrDeltaRowsDeleted:            "delta_rows_deleted",
+	CtrDeltaSigmaDropped:           "delta_sigma_dropped",
+	CtrDeltaSigmaTightened:         "delta_sigma_tightened",
+	CtrDeltaCacheShardsInvalidated: "delta_cache_shards_invalidated",
+	CtrInternersCompacted:          "interners_compacted",
+	CtrEpochsRetired:               "epochs_retired",
 }
 
 // String returns the snake_case name used in snapshots.
@@ -189,6 +223,15 @@ const (
 	// PhaseDonorMerge covers merging the per-shard candidate lists of
 	// scatter-gather donor search.
 	PhaseDonorMerge
+	// PhaseDeltaBuild covers cloning the logical relation, applying a
+	// delta's mutations, and evolving the compiled base columns.
+	PhaseDeltaBuild
+	// PhaseDeltaRevalidate covers repairing Σ against the pairs a delta's
+	// changed rows introduce.
+	PhaseDeltaRevalidate
+	// PhaseDeltaIndex covers maintaining or rebuilding the candidate
+	// index for the new epoch.
+	PhaseDeltaIndex
 	// PhaseTotal covers one whole Impute run.
 	PhaseTotal
 
@@ -205,6 +248,9 @@ var phaseNames = [...]string{
 	PhaseDiscoveryMaterialize: "discovery_materialize",
 	PhaseDiscoverySearch:      "discovery_search",
 	PhaseDonorMerge:           "donor_merge",
+	PhaseDeltaBuild:           "delta_build",
+	PhaseDeltaRevalidate:      "delta_revalidate",
+	PhaseDeltaIndex:           "delta_index",
 	PhaseTotal:                "total",
 }
 
@@ -304,6 +350,16 @@ var counterHelp = [...]string{
 	CtrDiscoveryShardSlabBytes:   "Transient pattern-slab bytes materialized per discovery shard.",
 	CtrDiscoveryPatternPeakBytes: "Accumulated per-run peak pattern-storage bytes during discovery.",
 	CtrDonorShardFanout:          "Sub-pool scans fanned out by scatter-gather donor search.",
+
+	CtrDeltaApplied:                "ApplyDelta calls that published a new epoch.",
+	CtrDeltaRowsInserted:           "Tuples inserted by applied deltas.",
+	CtrDeltaRowsUpdated:            "Cell updates applied by deltas.",
+	CtrDeltaRowsDeleted:            "Rows deleted by applied deltas.",
+	CtrDeltaSigmaDropped:           "Dependencies dropped from Sigma by post-delta revalidation.",
+	CtrDeltaSigmaTightened:         "LHS tightenings applied to Sigma by post-delta revalidation.",
+	CtrDeltaCacheShardsInvalidated: "Distance-cache shards invalidated by deltas.",
+	CtrInternersCompacted:          "Per-attribute interning tables rebuilt with dense ids after deletes.",
+	CtrEpochsRetired:               "Superseded epochs whose last pinned reader finished.",
 }
 
 // Help returns the Prometheus HELP text for the counter.

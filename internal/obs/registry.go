@@ -240,6 +240,33 @@ func (g *ConstGauge) SnapshotEntry() (string, any) {
 	return g.name, out
 }
 
+// FuncGauge is a live gauge sample: the value is read from fn at every
+// exposition — the renuver_session_epoch pattern, where the payload is
+// the number itself and changes over the process lifetime. fn must be
+// safe for concurrent use.
+type FuncGauge struct {
+	name string
+	help string
+	fn   func() float64
+}
+
+// NewFuncGauge builds a live gauge.
+func NewFuncGauge(name, help string, fn func() float64) *FuncGauge {
+	return &FuncGauge{name: name, help: help, fn: fn}
+}
+
+// AppendPrometheus implements Collector.
+func (g *FuncGauge) AppendPrometheus(sb *strings.Builder) {
+	name := promName(g.name)
+	promHeader(sb, name, "gauge", g.help)
+	fmt.Fprintf(sb, "%s %s\n", name, promFloat(g.fn()))
+}
+
+// SnapshotEntry implements Collector: the current value.
+func (g *FuncGauge) SnapshotEntry() (string, any) {
+	return g.name, g.fn()
+}
+
 // ---- per-shard cache stats ----------------------------------------------
 
 // ShardStat is one cache shard's counters, as exposed on /metrics. The

@@ -1,0 +1,62 @@
+// Package par is the single home for the repo's parallelism-knob
+// validation rule. Imputation options, discovery config, and the CLI
+// flags of cmd/renuver and cmd/rfdiscover all carry some subset of
+// {Workers, Shards, DonorShards}; before this package each surface
+// re-implemented the same bounds with slightly different wording. The
+// rule is uniform:
+//
+//   - 0 means the documented default (all CPUs, unsharded, single pool);
+//   - negative values are invalid — rejected at construction or flag
+//     parse, never clamped mid-run;
+//   - values above Max are invalid — a parallelism degree beyond 1024 is
+//     almost certainly a typo, and catching it early beats spawning a
+//     goroutine storm.
+package par
+
+import "fmt"
+
+// Max bounds every parallelism-shaped knob in the repo (workers,
+// discovery shards, donor shards).
+const Max = 1024
+
+// Check enforces the shared rule for one knob. name appears verbatim in
+// the error, so callers pass their own surface's spelling ("-workers"
+// at flag parse, "core: Workers" from Options.Validate).
+func Check(name string, v int) error {
+	if v < 0 {
+		return fmt.Errorf("%s must be >= 0, got %d", name, v)
+	}
+	if v > Max {
+		return fmt.Errorf("%s must be <= %d, got %d", name, Max, v)
+	}
+	return nil
+}
+
+// Parallelism bundles the three parallelism knobs every layer of the
+// stack understands. The zero value means "all defaults" and is always
+// valid.
+type Parallelism struct {
+	// Workers is the number of goroutines for tuple scans and discovery
+	// search (0 = all CPUs, 1 = serial). Output is bit-identical for any
+	// value.
+	Workers int
+	// Shards splits discovery pattern materialization into contiguous
+	// bands bounding peak memory (0 = unsharded). Output is identical
+	// for any value.
+	Shards int
+	// DonorShards splits the imputation donor pool into independent
+	// sub-pools for scatter-gather candidate search (0 or 1 = single
+	// pool). Output is byte-identical for any value.
+	DonorShards int
+}
+
+// Validate applies Check to each knob, naming the offending field.
+func (p Parallelism) Validate() error {
+	if err := Check("Workers", p.Workers); err != nil {
+		return err
+	}
+	if err := Check("Shards", p.Shards); err != nil {
+		return err
+	}
+	return Check("DonorShards", p.DonorShards)
+}

@@ -1,0 +1,49 @@
+package par
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheck(t *testing.T) {
+	for _, v := range []int{0, 1, 7, Max} {
+		if err := Check("Workers", v); err != nil {
+			t.Errorf("Check(%d) = %v, want nil", v, err)
+		}
+	}
+	for _, v := range []int{-1, -100, Max + 1, 1 << 20} {
+		if err := Check("Workers", v); err == nil {
+			t.Errorf("Check(%d) accepted", v)
+		}
+	}
+}
+
+func TestCheckNamesTheKnob(t *testing.T) {
+	err := Check("-donor-shards", -3)
+	if err == nil || !strings.Contains(err.Error(), "-donor-shards") {
+		t.Errorf("error %v does not name the knob", err)
+	}
+}
+
+func TestParallelismValidate(t *testing.T) {
+	if err := (Parallelism{}).Validate(); err != nil {
+		t.Errorf("zero value invalid: %v", err)
+	}
+	if err := (Parallelism{Workers: 4, Shards: 8, DonorShards: 2}).Validate(); err != nil {
+		t.Errorf("valid triple rejected: %v", err)
+	}
+	cases := []struct {
+		p    Parallelism
+		want string
+	}{
+		{Parallelism{Workers: -1}, "Workers"},
+		{Parallelism{Shards: Max + 1}, "Shards"},
+		{Parallelism{DonorShards: -2}, "DonorShards"},
+	}
+	for _, c := range cases {
+		err := c.p.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Validate(%+v) = %v, want error naming %s", c.p, err, c.want)
+		}
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"repro/internal/impute/meanmode"
 	"repro/internal/impute/regression"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/profile"
 	"repro/internal/rfd"
 )
@@ -334,6 +335,12 @@ func NewConstGauge(name, help string, value float64, labels ...MetricLabel) *Con
 	return obs.NewConstGauge(name, help, value, labels...)
 }
 
+// NewFuncGauge builds a gauge whose value is read from fn at every
+// scrape — e.g. the live-session epoch `renuver serve` exports.
+func NewFuncGauge(name, help string, fn func() float64) *obs.FuncGauge {
+	return obs.NewFuncGauge(name, help, fn)
+}
+
 // NewShardStatsCollector exposes a sharded cache's per-shard counters,
 // labeled by shard index, under renuver_<name>_{hits,misses,merges}_total.
 func NewShardStatsCollector(name string, fn func() []ShardStat) *obs.ShardStatsCollector {
@@ -441,6 +448,46 @@ type Session = core.Session
 func NewSession(base *Relation, sigma RFDSet, opts ...Option) (*Session, error) {
 	return core.NewSession(base, sigma, opts...)
 }
+
+// Live-data sessions. A Session with a base is mutated exclusively
+// through Session.ApplyDelta, which publishes each applied batch as a
+// new immutable epoch: concurrent Impute / Explain calls pin one epoch
+// for their whole duration and are never disturbed, and the result at
+// every epoch is byte-identical to a from-scratch NewSession over the
+// mutated relation.
+//
+// Deprecated pattern: mutating the Relation passed to NewSession after
+// construction never worked (the base is cloned at compile time) —
+// sessions that need live data must go through ApplyDelta.
+type (
+	// Delta is one atomic batch of base mutations: inserts, cell
+	// updates, and row deletes, addressed in the pre-delta epoch's row
+	// numbering. The same type is the body of the server's POST
+	// /v1/delta and the input of the `renuver delta` CLI verb.
+	Delta = core.Delta
+	// CellUpdate assigns one value to one existing cell.
+	CellUpdate = core.CellUpdate
+	// DeltaResult reports what one ApplyDelta published: the new epoch,
+	// row count, applied mutation counts, and the Σ repairs and cache
+	// invalidation the delta caused.
+	DeltaResult = core.DeltaResult
+)
+
+// Parallelism bundles the three independent parallelism knobs the
+// pipeline exposes — scan workers (WithWorkers / DiscoveryOptions.
+// Workers), discovery shards (DiscoveryOptions.Shards), and donor-pool
+// sub-pools (WithDonorShards) — under one validation rule: 0 means
+// default, negatives and values above the shared bound are rejected.
+// Both CLIs and the option validators all delegate to this one rule.
+type Parallelism = par.Parallelism
+
+// CheckParallelism validates one parallelism knob value (0 = default),
+// naming the knob in the error.
+func CheckParallelism(name string, v int) error { return par.Check(name, v) }
+
+// MaxParallelism is the shared upper bound CheckParallelism enforces on
+// every parallelism knob.
+const MaxParallelism = par.Max
 
 // ArtifactInfo summarizes a compiled-session artifact: format version,
 // whole-file checksum, tuple count, arity, |Σ|, and encoded size. A
